@@ -1,0 +1,48 @@
+//! # xloops-asm
+//!
+//! A two-pass text assembler and disassembler for the TRISC/XLOOPS ISA
+//! defined in [`xloops_isa`].
+//!
+//! The source syntax is MIPS-flavoured:
+//!
+//! ```text
+//! # comment
+//!     li    r4, 0x2000        # pseudo: load 32-bit immediate
+//!     li    r2, 0
+//!     li    r3, 64
+//! loop:
+//!     sll   r7, r2, 2
+//!     addu  r7, r4, r7
+//!     lw    r8, 0(r7)
+//!     addiu r2, r2, 1
+//!     xloop.uc loop, r2, r3   # loop body is [loop, here)
+//!     exit
+//! ```
+//!
+//! Branch/jump/xloop targets are labels; the assembler resolves them to the
+//! pc-relative or absolute encodings of [`xloops_isa::Instr`].
+//!
+//! The crate also provides [`lower_gp`], which rewrites an XLOOPS binary for
+//! the plain general-purpose ISA (`xloop` becomes `blt`, `xi` becomes an
+//! ordinary add). This is how the *GP-ISA baseline* binaries of the paper's
+//! Table II are produced, and it is also a software statement of exactly the
+//! transformation that a traditional microarchitecture's decoder performs.
+//!
+//! ```
+//! use xloops_asm::assemble;
+//! let p = assemble("start: addiu r1, r1, 1\n beq r0, r0, start\n exit")?;
+//! assert_eq!(p.len(), 3);
+//! # Ok::<(), xloops_asm::AsmError>(())
+//! ```
+
+mod disasm;
+mod error;
+mod lower;
+mod parse;
+mod program;
+
+pub use disasm::disassemble;
+pub use error::AsmError;
+pub use lower::lower_gp;
+pub use parse::assemble;
+pub use program::Program;

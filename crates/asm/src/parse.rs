@@ -1,0 +1,532 @@
+use std::collections::HashMap;
+
+use xloops_isa::{AluOp, AmoOp, BranchCond, Instr, LlfuOp, LoopPattern, MemOp, Reg, XiKind};
+
+use crate::error::AsmError;
+use crate::program::Program;
+
+/// Assembles TRISC/XLOOPS source text into a [`Program`].
+///
+/// Syntax: one statement per line; `#` starts a comment; `label:` defines a
+/// label (optionally followed by a statement on the same line). See the
+/// crate-level docs for the full mnemonic list, including the
+/// pseudo-instructions `li`, `la`, `move`, `neg`, `not`, `b`, `beqz`,
+/// `bnez`, `bgt`, `ble`, `bgtu`, `bleu`.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] carrying the offending source line for unknown
+/// mnemonics, malformed operands, undefined or duplicate labels, and
+/// out-of-range immediates/offsets.
+pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    let mut stmts: Vec<Stmt<'_>> = Vec::new();
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut index = 0u32; // instruction index of next statement
+
+    // Pass 1: split lines into labels and statements, recording sizes.
+    for (lineno, raw) in src.lines().enumerate() {
+        let lineno = lineno as u32 + 1;
+        let mut line = raw;
+        if let Some(hash) = line.find('#') {
+            line = &line[..hash];
+        }
+        let mut rest = line.trim();
+        while let Some(colon) = rest.find(':') {
+            let (name, after) = rest.split_at(colon);
+            let name = name.trim();
+            if !is_label_name(name) {
+                break; // not a label; let the statement parser complain
+            }
+            if labels.insert(name.to_string(), index).is_some() {
+                return Err(AsmError::new(lineno, format!("duplicate label `{name}`")));
+            }
+            rest = after[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        let stmt = Stmt { line: lineno, text: rest, index };
+        index += stmt_size(&stmt)?;
+        stmts.push(stmt);
+    }
+
+    // Pass 2: emit instructions with labels resolved.
+    let mut instrs: Vec<Instr> = Vec::with_capacity(index as usize);
+    let mut lines: Vec<u32> = Vec::with_capacity(index as usize);
+    for stmt in &stmts {
+        let before = instrs.len();
+        emit(stmt, &labels, &mut instrs)?;
+        debug_assert_eq!(instrs.len() - before, stmt_size(stmt)? as usize);
+        lines.extend(std::iter::repeat_n(stmt.line, instrs.len() - before));
+    }
+    Ok(Program::from_parts(instrs, labels, lines))
+}
+
+struct Stmt<'a> {
+    line: u32,
+    text: &'a str,
+    /// Instruction index of the first instruction this statement emits.
+    index: u32,
+}
+
+fn is_label_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+/// Number of instructions a statement expands to.
+fn stmt_size(stmt: &Stmt<'_>) -> Result<u32, AsmError> {
+    let (mnemonic, ops) = split_stmt(stmt)?;
+    Ok(match mnemonic {
+        "li" | "la" => {
+            let imm = parse_imm32(stmt.line, ops.get(1).copied().unwrap_or(""))?;
+            li_size(imm)
+        }
+        _ => 1,
+    })
+}
+
+fn li_size(imm: u32) -> u32 {
+    let simm = imm as i32;
+    if (-32768..=32767).contains(&simm) || imm & 0xFFFF == 0 {
+        1
+    } else {
+        2
+    }
+}
+
+fn split_stmt<'a>(stmt: &Stmt<'a>) -> Result<(&'a str, Vec<&'a str>), AsmError> {
+    let text = stmt.text;
+    let (mnemonic, rest) = match text.find(char::is_whitespace) {
+        Some(pos) => (&text[..pos], text[pos..].trim()),
+        None => (text, ""),
+    };
+    let ops: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    if ops.iter().any(|o| o.is_empty()) {
+        return Err(AsmError::new(stmt.line, format!("malformed operand list in `{text}`")));
+    }
+    Ok((mnemonic, ops))
+}
+
+fn parse_reg(line: u32, s: &str) -> Result<Reg, AsmError> {
+    // Accept AMO-style parenthesized address registers.
+    let s = s.strip_prefix('(').and_then(|t| t.strip_suffix(')')).unwrap_or(s);
+    s.parse().map_err(|_| AsmError::new(line, format!("invalid register `{s}`")))
+}
+
+fn parse_imm32(line: u32, s: &str) -> Result<u32, AsmError> {
+    let err = || AsmError::new(line, format!("invalid immediate `{s}`"));
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let mag: i64 = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(&hex.replace('_', ""), 16).map_err(|_| err())?
+    } else {
+        body.replace('_', "").parse().map_err(|_| err())?
+    };
+    let val = if neg { -mag } else { mag };
+    if !(-(1i64 << 31)..(1i64 << 32)).contains(&val) {
+        return Err(err());
+    }
+    Ok(val as u32)
+}
+
+fn parse_imm16(line: u32, s: &str) -> Result<i16, AsmError> {
+    let v = parse_imm32(line, s)? as i32;
+    // Accept either signed or unsigned 16-bit spellings (e.g. `ori r1, r1, 0xFFFF`).
+    if (-32768..=65535).contains(&v) {
+        Ok(v as u16 as i16)
+    } else {
+        Err(AsmError::new(line, format!("immediate `{s}` does not fit in 16 bits")))
+    }
+}
+
+fn expect_ops(stmt: &Stmt<'_>, ops: &[&str], n: usize) -> Result<(), AsmError> {
+    if ops.len() == n {
+        Ok(())
+    } else {
+        Err(AsmError::new(
+            stmt.line,
+            format!("`{}` expects {n} operand(s), found {}", stmt.text, ops.len()),
+        ))
+    }
+}
+
+fn lookup_label(
+    stmt: &Stmt<'_>,
+    labels: &HashMap<String, u32>,
+    name: &str,
+) -> Result<u32, AsmError> {
+    labels
+        .get(name)
+        .copied()
+        .ok_or_else(|| AsmError::new(stmt.line, format!("undefined label `{name}`")))
+}
+
+fn branch_offset(stmt: &Stmt<'_>, at: u32, target: u32) -> Result<i16, AsmError> {
+    let delta = target as i64 - at as i64;
+    i16::try_from(delta)
+        .map_err(|_| AsmError::new(stmt.line, format!("branch target out of range ({delta})")))
+}
+
+/// Parses `offset(base)` memory operands.
+fn parse_mem_operand(line: u32, s: &str) -> Result<(i16, Reg), AsmError> {
+    let err = || AsmError::new(line, format!("invalid memory operand `{s}`"));
+    let open = s.find('(').ok_or_else(err)?;
+    if !s.ends_with(')') {
+        return Err(err());
+    }
+    let off_str = s[..open].trim();
+    let offset = if off_str.is_empty() { 0 } else { parse_imm16(line, off_str)? };
+    let base = parse_reg(line, s[open + 1..s.len() - 1].trim())?;
+    Ok((offset, base))
+}
+
+fn alu_reg_op(m: &str) -> Option<AluOp> {
+    AluOp::ALL.into_iter().find(|op| op.mnemonic() == m)
+}
+
+fn alu_imm_op(m: &str) -> Option<AluOp> {
+    AluOp::ALL.into_iter().find(|op| op.imm_mnemonic() == Some(m))
+}
+
+fn llfu_op(m: &str) -> Option<LlfuOp> {
+    LlfuOp::ALL.into_iter().find(|op| op.mnemonic() == m)
+}
+
+fn amo_op(m: &str) -> Option<AmoOp> {
+    AmoOp::ALL.into_iter().find(|op| op.mnemonic() == m)
+}
+
+fn mem_op(m: &str) -> Option<MemOp> {
+    MemOp::ALL.into_iter().find(|op| op.mnemonic() == m)
+}
+
+fn branch_cond(m: &str) -> Option<BranchCond> {
+    BranchCond::ALL.into_iter().find(|c| c.mnemonic() == m)
+}
+
+fn emit(
+    stmt: &Stmt<'_>,
+    labels: &HashMap<String, u32>,
+    out: &mut Vec<Instr>,
+) -> Result<(), AsmError> {
+    let (mnemonic, ops) = split_stmt(stmt)?;
+    let line = stmt.line;
+    let reg = |s: &&str| parse_reg(line, s);
+
+    // xloop.<pattern>
+    if let Some(suffix) = mnemonic.strip_prefix("xloop.") {
+        let pattern: LoopPattern = suffix
+            .parse()
+            .map_err(|_| AsmError::new(line, format!("unknown xloop pattern `{suffix}`")))?;
+        expect_ops(stmt, &ops, 3)?;
+        let target = lookup_label(stmt, labels, ops[0])?;
+        if target >= stmt.index {
+            return Err(AsmError::new(
+                line,
+                format!("xloop body label `{}` must precede the xloop instruction", ops[0]),
+            ));
+        }
+        let body_offset = stmt.index - target;
+        if body_offset >= 1 << 12 {
+            return Err(AsmError::new(line, "xloop body exceeds 4095 instructions"));
+        }
+        out.push(Instr::Xloop {
+            pattern,
+            idx: reg(&ops[1])?,
+            bound: reg(&ops[2])?,
+            body_offset: body_offset as u16,
+        });
+        return Ok(());
+    }
+
+    match mnemonic {
+        // ---- pseudo-instructions ----
+        "li" | "la" => {
+            expect_ops(stmt, &ops, 2)?;
+            let rd = reg(&ops[0])?;
+            let imm = parse_imm32(line, ops[1])?;
+            if li_size(imm) == 1 {
+                if imm & 0xFFFF == 0 && imm != 0 {
+                    out.push(Instr::Lui { rd, imm: (imm >> 16) as u16 });
+                } else {
+                    out.push(Instr::AluImm {
+                        op: AluOp::Addu,
+                        rd,
+                        rs: Reg::ZERO,
+                        imm: imm as i16,
+                    });
+                }
+            } else {
+                out.push(Instr::Lui { rd, imm: (imm >> 16) as u16 });
+                out.push(Instr::AluImm { op: AluOp::Or, rd, rs: rd, imm: imm as u16 as i16 });
+            }
+        }
+        "move" => {
+            expect_ops(stmt, &ops, 2)?;
+            out.push(Instr::Alu { op: AluOp::Addu, rd: reg(&ops[0])?, rs: reg(&ops[1])?, rt: Reg::ZERO });
+        }
+        "neg" => {
+            expect_ops(stmt, &ops, 2)?;
+            out.push(Instr::Alu { op: AluOp::Subu, rd: reg(&ops[0])?, rs: Reg::ZERO, rt: reg(&ops[1])? });
+        }
+        "not" => {
+            expect_ops(stmt, &ops, 2)?;
+            out.push(Instr::Alu { op: AluOp::Nor, rd: reg(&ops[0])?, rs: reg(&ops[1])?, rt: Reg::ZERO });
+        }
+        "b" => {
+            expect_ops(stmt, &ops, 1)?;
+            let target = lookup_label(stmt, labels, ops[0])?;
+            let offset = branch_offset(stmt, stmt.index, target)?;
+            out.push(Instr::Branch { cond: BranchCond::Eq, rs: Reg::ZERO, rt: Reg::ZERO, offset });
+        }
+        "beqz" | "bnez" => {
+            expect_ops(stmt, &ops, 2)?;
+            let cond = if mnemonic == "beqz" { BranchCond::Eq } else { BranchCond::Ne };
+            let target = lookup_label(stmt, labels, ops[1])?;
+            let offset = branch_offset(stmt, stmt.index, target)?;
+            out.push(Instr::Branch { cond, rs: reg(&ops[0])?, rt: Reg::ZERO, offset });
+        }
+        // Reversed-operand branch pseudos.
+        "bgt" | "ble" | "bgtu" | "bleu" => {
+            expect_ops(stmt, &ops, 3)?;
+            let cond = match mnemonic {
+                "bgt" => BranchCond::Lt,
+                "ble" => BranchCond::Ge,
+                "bgtu" => BranchCond::Ltu,
+                _ => BranchCond::Geu,
+            };
+            let target = lookup_label(stmt, labels, ops[2])?;
+            let offset = branch_offset(stmt, stmt.index, target)?;
+            out.push(Instr::Branch { cond, rs: reg(&ops[1])?, rt: reg(&ops[0])?, offset });
+        }
+        "nop" => {
+            expect_ops(stmt, &ops, 0)?;
+            out.push(Instr::Nop);
+        }
+        // ---- cross-iteration instructions ----
+        "addiu.xi" => {
+            expect_ops(stmt, &ops, 3)?;
+            let rd = reg(&ops[0])?;
+            let rs = reg(&ops[1])?;
+            if rd != rs {
+                return Err(AsmError::new(line, "addiu.xi requires rd == rs (MIV register)"));
+            }
+            out.push(Instr::Xi { reg: rd, kind: XiKind::Imm(parse_imm16(line, ops[2])?) });
+        }
+        "addu.xi" => {
+            expect_ops(stmt, &ops, 3)?;
+            let rd = reg(&ops[0])?;
+            let rs = reg(&ops[1])?;
+            if rd != rs {
+                return Err(AsmError::new(line, "addu.xi requires rd == rs (MIV register)"));
+            }
+            out.push(Instr::Xi { reg: rd, kind: XiKind::Reg(reg(&ops[2])?) });
+        }
+        // ---- jumps ----
+        "j" | "jal" => {
+            expect_ops(stmt, &ops, 1)?;
+            let target = lookup_label(stmt, labels, ops[0])?;
+            out.push(Instr::Jump { link: mnemonic == "jal", target_word: target });
+        }
+        "jr" => {
+            expect_ops(stmt, &ops, 1)?;
+            out.push(Instr::JumpReg { link: false, rd: Reg::ZERO, rs: reg(&ops[0])? });
+        }
+        "jalr" => {
+            expect_ops(stmt, &ops, 2)?;
+            out.push(Instr::JumpReg { link: true, rd: reg(&ops[0])?, rs: reg(&ops[1])? });
+        }
+        "sync" => {
+            expect_ops(stmt, &ops, 0)?;
+            out.push(Instr::Sync);
+        }
+        "exit" => {
+            expect_ops(stmt, &ops, 0)?;
+            out.push(Instr::Exit);
+        }
+        "lui" => {
+            expect_ops(stmt, &ops, 2)?;
+            let imm = parse_imm32(line, ops[1])?;
+            if imm > 0xFFFF {
+                return Err(AsmError::new(line, "lui immediate exceeds 16 bits"));
+            }
+            out.push(Instr::Lui { rd: reg(&ops[0])?, imm: imm as u16 });
+        }
+        _ => {
+            if let Some(op) = alu_reg_op(mnemonic) {
+                expect_ops(stmt, &ops, 3)?;
+                out.push(Instr::Alu { op, rd: reg(&ops[0])?, rs: reg(&ops[1])?, rt: reg(&ops[2])? });
+            } else if let Some(op) = alu_imm_op(mnemonic) {
+                expect_ops(stmt, &ops, 3)?;
+                out.push(Instr::AluImm {
+                    op,
+                    rd: reg(&ops[0])?,
+                    rs: reg(&ops[1])?,
+                    imm: parse_imm16(line, ops[2])?,
+                });
+            } else if let Some(op) = llfu_op(mnemonic) {
+                expect_ops(stmt, &ops, 3)?;
+                out.push(Instr::Llfu { op, rd: reg(&ops[0])?, rs: reg(&ops[1])?, rt: reg(&ops[2])? });
+            } else if let Some(op) = amo_op(mnemonic) {
+                expect_ops(stmt, &ops, 3)?;
+                out.push(Instr::Amo { op, rd: reg(&ops[0])?, addr: reg(&ops[1])?, src: reg(&ops[2])? });
+            } else if let Some(op) = mem_op(mnemonic) {
+                expect_ops(stmt, &ops, 2)?;
+                let (offset, base) = parse_mem_operand(line, ops[1])?;
+                out.push(Instr::Mem { op, data: reg(&ops[0])?, base, offset });
+            } else if let Some(cond) = branch_cond(mnemonic) {
+                expect_ops(stmt, &ops, 3)?;
+                let target = lookup_label(stmt, labels, ops[2])?;
+                let offset = branch_offset(stmt, stmt.index, target)?;
+                out.push(Instr::Branch { cond, rs: reg(&ops[0])?, rt: reg(&ops[1])?, offset });
+            } else {
+                return Err(AsmError::new(line, format!("unknown mnemonic `{mnemonic}`")));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xloops_isa::DataPattern;
+
+    #[test]
+    fn assembles_basic_program() {
+        let p = assemble(
+            "
+            li r1, 10
+            li r2, 0x12345678
+        top:
+            addiu r1, r1, -1
+            bnez r1, top
+            exit
+            ",
+        )
+        .unwrap();
+        // li#1 = 1 instr, li#2 = 2 instrs.
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.label("top"), Some(12));
+        assert_eq!(
+            p.fetch(16),
+            Some(Instr::Branch { cond: BranchCond::Ne, rs: Reg::new(1), rt: Reg::ZERO, offset: -1 })
+        );
+    }
+
+    #[test]
+    fn li_expansion_forms() {
+        let p = assemble("li r1, 5\nli r2, -5\nli r3, 0x10000\nli r4, 0x12345\nexit").unwrap();
+        assert_eq!(p.len(), 1 + 1 + 1 + 2 + 1);
+        assert_eq!(p.fetch(0), Some(Instr::AluImm { op: AluOp::Addu, rd: Reg::new(1), rs: Reg::ZERO, imm: 5 }));
+        assert_eq!(p.fetch(8), Some(Instr::Lui { rd: Reg::new(3), imm: 1 }));
+        assert_eq!(p.fetch(12), Some(Instr::Lui { rd: Reg::new(4), imm: 1 }));
+        assert_eq!(p.fetch(16), Some(Instr::AluImm { op: AluOp::Or, rd: Reg::new(4), rs: Reg::new(4), imm: 0x2345 }));
+    }
+
+    #[test]
+    fn xloop_body_offset() {
+        let p = assemble(
+            "
+            li r2, 0
+            li r3, 8
+        body:
+            addiu r2, r2, 1
+            xloop.uc body, r2, r3
+            exit
+            ",
+        )
+        .unwrap();
+        match p.fetch(12).unwrap() {
+            Instr::Xloop { pattern, idx, bound, body_offset } => {
+                assert_eq!(pattern.data, DataPattern::Uc);
+                assert_eq!(idx, Reg::new(2));
+                assert_eq!(bound, Reg::new(3));
+                assert_eq!(body_offset, 1);
+            }
+            other => panic!("expected xloop, got {other}"),
+        }
+    }
+
+    #[test]
+    fn xloop_label_must_be_backward() {
+        let e = assemble("xloop.uc after, r1, r2\nafter: exit").unwrap_err();
+        assert!(e.message().contains("must precede"), "{e}");
+    }
+
+    #[test]
+    fn mem_operands() {
+        let p = assemble("lw r1, 8(r2)\nsw r1, -4(r3)\nlb r4, (r5)\nexit").unwrap();
+        assert_eq!(p.fetch(0), Some(Instr::Mem { op: MemOp::Lw, data: Reg::new(1), base: Reg::new(2), offset: 8 }));
+        assert_eq!(p.fetch(4), Some(Instr::Mem { op: MemOp::Sw, data: Reg::new(1), base: Reg::new(3), offset: -4 }));
+        assert_eq!(p.fetch(8), Some(Instr::Mem { op: MemOp::Lb, data: Reg::new(4), base: Reg::new(5), offset: 0 }));
+    }
+
+    #[test]
+    fn amo_paren_syntax() {
+        let p = assemble("amo.add r1, (r2), r3\namo.xchg r4, r5, r6\nexit").unwrap();
+        assert_eq!(p.fetch(0), Some(Instr::Amo { op: AmoOp::Add, rd: Reg::new(1), addr: Reg::new(2), src: Reg::new(3) }));
+        assert_eq!(p.fetch(4), Some(Instr::Amo { op: AmoOp::Xchg, rd: Reg::new(4), addr: Reg::new(5), src: Reg::new(6) }));
+    }
+
+    #[test]
+    fn reversed_branch_pseudos() {
+        let p = assemble("top: bgt r1, r2, top\nble r1, r2, top\nexit").unwrap();
+        assert_eq!(p.fetch(0), Some(Instr::Branch { cond: BranchCond::Lt, rs: Reg::new(2), rt: Reg::new(1), offset: 0 }));
+        assert_eq!(p.fetch(4), Some(Instr::Branch { cond: BranchCond::Ge, rs: Reg::new(2), rt: Reg::new(1), offset: -1 }));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("nop\nbogus r1, r2\n").unwrap_err();
+        assert_eq!(e.line(), 2);
+        assert!(e.message().contains("bogus"));
+
+        let e = assemble("addiu r1, r1, 99999").unwrap_err();
+        assert!(e.message().contains("16 bits"));
+
+        let e = assemble("beq r1, r2, nowhere").unwrap_err();
+        assert!(e.message().contains("undefined label"));
+
+        let e = assemble("x: nop\nx: nop").unwrap_err();
+        assert!(e.message().contains("duplicate label"));
+    }
+
+    #[test]
+    fn xi_requires_matching_registers() {
+        assert!(assemble("addiu.xi r1, r2, 4").is_err());
+        assert!(assemble("addiu.xi r1, r1, 4\nexit").is_ok());
+        assert!(assemble("addu.xi r1, r1, r2\nexit").is_ok());
+    }
+
+    #[test]
+    fn label_on_same_line_and_multiple_labels() {
+        let p = assemble("a: b: nop\nc: exit").unwrap();
+        assert_eq!(p.label("a"), Some(0));
+        assert_eq!(p.label("b"), Some(0));
+        assert_eq!(p.label("c"), Some(4));
+    }
+
+    #[test]
+    fn jumps() {
+        let p = assemble("start: j start\njal start\njr ra\njalr r5, r6\nexit").unwrap();
+        assert_eq!(p.fetch(0), Some(Instr::Jump { link: false, target_word: 0 }));
+        assert_eq!(p.fetch(4), Some(Instr::Jump { link: true, target_word: 0 }));
+        assert_eq!(p.fetch(8), Some(Instr::JumpReg { link: false, rd: Reg::ZERO, rs: Reg::RA }));
+        assert_eq!(p.fetch(12), Some(Instr::JumpReg { link: true, rd: Reg::new(5), rs: Reg::new(6) }));
+    }
+
+    #[test]
+    fn ori_accepts_unsigned_16bit() {
+        let p = assemble("ori r1, r1, 0xFFFF\nexit").unwrap();
+        assert_eq!(p.fetch(0), Some(Instr::AluImm { op: AluOp::Or, rd: Reg::new(1), rs: Reg::new(1), imm: -1 }));
+    }
+}

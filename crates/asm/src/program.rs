@@ -1,0 +1,151 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use xloops_isa::{Instr, INSTR_BYTES};
+
+/// An assembled TRISC/XLOOPS binary.
+///
+/// Instructions are laid out contiguously from byte address 0; instruction
+/// `i` lives at pc `4 × i`. The decoded form is kept alongside the encoded
+/// words so simulators never re-decode on the hot path.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Program {
+    instrs: Vec<Instr>,
+    labels: HashMap<String, u32>,
+    /// 1-based source line of each instruction (0 if synthesized).
+    lines: Vec<u32>,
+}
+
+impl Program {
+    /// Builds a program directly from decoded instructions (no labels).
+    pub fn from_instrs(instrs: Vec<Instr>) -> Program {
+        let lines = vec![0; instrs.len()];
+        Program { instrs, labels: HashMap::new(), lines }
+    }
+
+    pub(crate) fn from_parts(
+        instrs: Vec<Instr>,
+        labels: HashMap<String, u32>,
+        lines: Vec<u32>,
+    ) -> Program {
+        debug_assert_eq!(instrs.len(), lines.len());
+        Program { instrs, labels, lines }
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The decoded instructions in layout order.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Fetches the instruction at byte address `pc`, or `None` past the end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is not 4-byte aligned.
+    #[inline]
+    pub fn fetch(&self, pc: u32) -> Option<Instr> {
+        assert!(pc.is_multiple_of(INSTR_BYTES), "misaligned pc {pc:#x}");
+        self.instrs.get((pc / INSTR_BYTES) as usize).copied()
+    }
+
+    /// The byte address of a label, if defined.
+    pub fn label(&self, name: &str) -> Option<u32> {
+        self.labels.get(name).map(|&idx| idx * INSTR_BYTES)
+    }
+
+    /// All labels as `(name, byte address)` pairs in address order.
+    pub fn labels(&self) -> Vec<(&str, u32)> {
+        let mut v: Vec<_> =
+            self.labels.iter().map(|(n, &i)| (n.as_str(), i * INSTR_BYTES)).collect();
+        v.sort_by_key(|&(_, addr)| addr);
+        v
+    }
+
+    /// 1-based source line of the instruction at byte address `pc`
+    /// (0 if synthesized by a pseudo-instruction expansion or lowering).
+    pub fn source_line(&self, pc: u32) -> u32 {
+        self.lines.get((pc / INSTR_BYTES) as usize).copied().unwrap_or(0)
+    }
+
+    /// Encodes the program to binary words.
+    pub fn to_words(&self) -> Vec<u32> {
+        self.instrs.iter().map(|i| i.encode()).collect()
+    }
+
+    /// Decodes a program from binary words.
+    ///
+    /// Returns the index of the first invalid word on failure.
+    pub fn from_words(words: &[u32]) -> Result<Program, usize> {
+        let instrs: Vec<Instr> = words
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| Instr::decode(w).ok_or(i))
+            .collect::<Result<_, _>>()?;
+        Ok(Program::from_instrs(instrs))
+    }
+
+    /// Total static code size in bytes.
+    pub fn size_bytes(&self) -> u32 {
+        self.instrs.len() as u32 * INSTR_BYTES
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::disassemble(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xloops_isa::{AluOp, Reg};
+
+    fn prog() -> Program {
+        Program::from_instrs(vec![
+            Instr::AluImm { op: AluOp::Addu, rd: Reg::new(1), rs: Reg::ZERO, imm: 5 },
+            Instr::Exit,
+        ])
+    }
+
+    #[test]
+    fn fetch_and_len() {
+        let p = prog();
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.fetch(0), Some(p.instrs()[0]));
+        assert_eq!(p.fetch(4), Some(Instr::Exit));
+        assert_eq!(p.fetch(8), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn fetch_misaligned_panics() {
+        prog().fetch(2);
+    }
+
+    #[test]
+    fn words_round_trip() {
+        let p = prog();
+        let words = p.to_words();
+        let q = Program::from_words(&words).unwrap();
+        assert_eq!(p.instrs(), q.instrs());
+    }
+
+    #[test]
+    fn from_words_reports_bad_index() {
+        let mut words = prog().to_words();
+        words.insert(1, 0xFFFF_FFFF);
+        assert_eq!(Program::from_words(&words), Err(1));
+    }
+}

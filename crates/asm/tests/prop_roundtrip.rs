@@ -1,0 +1,123 @@
+//! Property tests: disassembling any structurally-valid program and
+//! re-assembling it reproduces the identical instruction sequence, and the
+//! binary word round-trip is the identity.
+
+use proptest::prelude::*;
+use xloops_asm::{assemble, disassemble, lower_gp, Program};
+use xloops_isa::{AluOp, BranchCond, DataPattern, Instr, LoopPattern, MemOp, Reg};
+
+/// A structurally-valid program: branch targets stay inside the text,
+/// xloop bodies are non-empty and backward. Generated as abstract slots
+/// that are fixed up once the length is known.
+#[derive(Clone, Debug)]
+enum Slot {
+    Alu(u8, u8, u8),
+    AluImm(u8, u8, i16),
+    Load(u8, u8, i16),
+    Store(u8, u8, i16),
+    /// Branch to a program position chosen by `target_frac`.
+    Branch(u8, u8, u8),
+    Jump(bool, u8),
+    Xloop(u8, u8, u8),
+    Sync,
+    Nop,
+}
+
+fn slot() -> impl Strategy<Value = Slot> {
+    prop_oneof![
+        (0u8..32, 0u8..32, 0u8..32).prop_map(|(a, b, c)| Slot::Alu(a, b, c)),
+        (0u8..32, 0u8..32, any::<i16>()).prop_map(|(a, b, i)| Slot::AluImm(a, b, i)),
+        (0u8..32, 0u8..32, -64i16..64).prop_map(|(a, b, o)| Slot::Load(a, b, o * 4)),
+        (0u8..32, 0u8..32, -64i16..64).prop_map(|(a, b, o)| Slot::Store(a, b, o * 4)),
+        (0u8..32, 0u8..32, any::<u8>()).prop_map(|(a, b, t)| Slot::Branch(a, b, t)),
+        (any::<bool>(), any::<u8>()).prop_map(|(l, t)| Slot::Jump(l, t)),
+        (0u8..32, 0u8..32, any::<u8>()).prop_map(|(i, b, o)| Slot::Xloop(i, b, o)),
+        Just(Slot::Sync),
+        Just(Slot::Nop),
+    ]
+}
+
+fn materialize(slots: &[Slot]) -> Program {
+    let r = Reg::new;
+    let len = slots.len() as i64;
+    let instrs: Vec<Instr> = slots
+        .iter()
+        .enumerate()
+        .map(|(i, s)| match *s {
+            Slot::Alu(a, b, c) => {
+                Instr::Alu { op: AluOp::Xor, rd: r(a), rs: r(b), rt: r(c) }
+            }
+            Slot::AluImm(a, b, imm) => Instr::AluImm { op: AluOp::Addu, rd: r(a), rs: r(b), imm },
+            Slot::Load(a, b, offset) => {
+                Instr::Mem { op: MemOp::Lw, data: r(a), base: r(b), offset }
+            }
+            Slot::Store(a, b, offset) => {
+                Instr::Mem { op: MemOp::Sw, data: r(a), base: r(b), offset }
+            }
+            Slot::Branch(a, b, t) => {
+                let target = (t as i64) % len;
+                Instr::Branch {
+                    cond: BranchCond::Ne,
+                    rs: r(a),
+                    rt: r(b),
+                    offset: (target - i as i64) as i16,
+                }
+            }
+            Slot::Jump(link, t) => {
+                Instr::Jump { link, target_word: (t as u32) % len as u32 }
+            }
+            Slot::Xloop(idx, bound, back) => {
+                let body_offset = 1 + (back as u16 % i.max(1) as u16).min(i as u16 - 1);
+                Instr::Xloop {
+                    pattern: LoopPattern::fixed(DataPattern::Om),
+                    idx: r(idx),
+                    bound: r(bound),
+                    body_offset,
+                }
+            }
+            Slot::Sync => Instr::Sync,
+            Slot::Nop => Instr::Nop,
+        })
+        .collect();
+    Program::from_instrs(instrs)
+}
+
+proptest! {
+    #[test]
+    fn disassemble_reassemble_is_identity(slots in prop::collection::vec(slot(), 2..40)) {
+        // The first slot cannot host an xloop (no backward body room).
+        let mut slots = slots;
+        if matches!(slots[0], Slot::Xloop(..)) {
+            slots[0] = Slot::Nop;
+        }
+        let p = materialize(&slots);
+        let text = disassemble(&p);
+        let q = assemble(&text).map_err(|e| {
+            TestCaseError::fail(format!("reassembly failed: {e}\n{text}"))
+        })?;
+        prop_assert_eq!(p.instrs(), q.instrs(), "\n{}", text);
+    }
+
+    #[test]
+    fn binary_round_trip_is_identity(slots in prop::collection::vec(slot(), 2..40)) {
+        let mut slots = slots;
+        if matches!(slots[0], Slot::Xloop(..)) {
+            slots[0] = Slot::Nop;
+        }
+        let p = materialize(&slots);
+        let q = Program::from_words(&p.to_words()).expect("all words valid");
+        prop_assert_eq!(p.instrs(), q.instrs());
+    }
+
+    #[test]
+    fn gp_lowering_removes_all_extensions(slots in prop::collection::vec(slot(), 2..40)) {
+        let mut slots = slots;
+        if matches!(slots[0], Slot::Xloop(..)) {
+            slots[0] = Slot::Nop;
+        }
+        let p = materialize(&slots);
+        let gp = lower_gp(&p);
+        prop_assert_eq!(p.len(), gp.len(), "lowering is one-for-one");
+        prop_assert!(gp.instrs().iter().all(|i| !i.is_xloop() && !i.is_xi()));
+    }
+}

@@ -1,0 +1,4 @@
+//! Ablation study of DESIGN.md's called-out LPSU design choices.
+fn main() {
+    xloops_bench::emit("ablation", &xloops_bench::experiments::ablation_report());
+}

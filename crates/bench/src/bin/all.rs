@@ -1,0 +1,7 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//! Run with --release; artifacts land in `results/`.
+fn main() {
+    for (name, report) in xloops_bench::experiments::all_reports() {
+        xloops_bench::emit(name, &report);
+    }
+}

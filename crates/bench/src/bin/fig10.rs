@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig10 artifact. Run with --release.
+fn main() {
+    xloops_bench::emit("fig10", &xloops_bench::experiments::fig10_report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig5 artifact. Run with --release.
+fn main() {
+    xloops_bench::emit("fig5", &xloops_bench::experiments::fig5_report());
+}

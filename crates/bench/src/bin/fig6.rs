@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig6 artifact. Run with --release.
+fn main() {
+    xloops_bench::emit("fig6", &xloops_bench::experiments::fig6_report());
+}

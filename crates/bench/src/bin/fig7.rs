@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig7 artifact. Run with --release.
+fn main() {
+    xloops_bench::emit("fig7", &xloops_bench::experiments::fig7_report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig8 artifact. Run with --release.
+fn main() {
+    xloops_bench::emit("fig8", &xloops_bench::experiments::fig8_report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig9 artifact. Run with --release.
+fn main() {
+    xloops_bench::emit("fig9", &xloops_bench::experiments::fig9_report());
+}

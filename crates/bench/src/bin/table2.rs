@@ -1,0 +1,4 @@
+//! Regenerates the paper's table2 artifact. Run with --release.
+fn main() {
+    xloops_bench::emit("table2", &xloops_bench::experiments::table2_report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table4 artifact. Run with --release.
+fn main() {
+    xloops_bench::emit("table4", &xloops_bench::experiments::table4_report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table5 artifact. Run with --release.
+fn main() {
+    xloops_bench::emit("table5", &xloops_bench::experiments::table5_report());
+}

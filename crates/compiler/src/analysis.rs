@@ -1,0 +1,468 @@
+//! Register and memory dependence analysis, and the annotation → xloop
+//! mapping of Section II-B.
+
+use std::collections::HashSet;
+
+use xloops_isa::{ControlPattern, DataPattern, LoopPattern};
+
+use crate::ir::{Annotation, ArrayRef, Bound, Loop, Stmt, Subscript};
+
+/// A cross-iteration memory dependence between two accesses of one array.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemDep {
+    /// The array involved.
+    pub array: String,
+    /// Which subscript test established the dependence.
+    pub test: DepTest,
+}
+
+/// The subscript test that fired (Section II-B cites the zero-, single-,
+/// and multiple-index-variable tests).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DepTest {
+    /// Zero index variables: both subscripts constant and equal.
+    Ziv,
+    /// Single index variable: strong/weak SIV or GCD on one index.
+    Siv,
+    /// Multiple index variables: conservative GCD test.
+    Miv,
+    /// Non-affine subscript: assumed dependent.
+    Opaque,
+}
+
+/// Result of [`select_pattern`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct PatternChoice {
+    /// The xloop variant the loop should be encoded with, or `None` when
+    /// the loop carries no annotation (stays serial).
+    pub pattern: LoopPattern,
+    /// Cross-iteration registers found by the scalar analysis (only
+    /// meaningful for ordered loops).
+    pub cirs: Vec<String>,
+    /// Cross-iteration memory dependences found by the subscript tests.
+    pub mem_deps: Vec<MemDep>,
+}
+
+/// Finds the scalars that behave as cross-iteration registers: values
+/// *read before they are (definitely) written* and written somewhere in
+/// the body — the use-def-chain analysis the paper implements over PHI
+/// nodes. Writes under a condition do not count as definite, so a
+/// conditionally-updated running value (e.g. a running maximum) is
+/// correctly classified as a CIR.
+pub fn scalar_cirs(l: &Loop) -> Vec<String> {
+    let mut read_first: Vec<String> = Vec::new();
+    let mut written_any: HashSet<String> = HashSet::new();
+    let mut written_def: HashSet<String> = HashSet::new();
+    walk_scalars(&l.body, false, &mut read_first, &mut written_any, &mut written_def);
+    read_first.retain(|v| written_any.contains(v) && v != &l.index);
+    read_first
+}
+
+fn note_read(
+    v: &str,
+    read_first: &mut Vec<String>,
+    written_def: &HashSet<String>,
+) {
+    if !written_def.contains(v) && !read_first.iter().any(|r| r == v) {
+        read_first.push(v.to_string());
+    }
+}
+
+fn walk_scalars(
+    body: &[Stmt],
+    conditional: bool,
+    read_first: &mut Vec<String>,
+    written_any: &mut HashSet<String>,
+    written_def: &mut HashSet<String>,
+) {
+    for stmt in body {
+        match stmt {
+            Stmt::Assign { dst, expr } => {
+                let mut vars = Vec::new();
+                expr.vars(&mut vars);
+                for v in vars {
+                    note_read(v, read_first, written_def);
+                }
+                written_any.insert(dst.clone());
+                if !conditional {
+                    written_def.insert(dst.clone());
+                }
+            }
+            Stmt::Load { dst, src } => {
+                for (sym, _) in &src.subscript.symbols {
+                    note_read(sym, read_first, written_def);
+                }
+                written_any.insert(dst.clone());
+                if !conditional {
+                    written_def.insert(dst.clone());
+                }
+            }
+            Stmt::Store { dst, expr } => {
+                let mut vars = Vec::new();
+                expr.vars(&mut vars);
+                for (sym, _) in &dst.subscript.symbols {
+                    vars.push(sym);
+                }
+                for v in vars {
+                    note_read(v, read_first, written_def);
+                }
+            }
+            Stmt::AmoAdd { dst, expr, .. } => {
+                let mut vars = Vec::new();
+                expr.vars(&mut vars);
+                for v in vars {
+                    note_read(v, read_first, written_def);
+                }
+                written_any.insert(dst.clone());
+                if !conditional {
+                    written_def.insert(dst.clone());
+                }
+            }
+            Stmt::If { cond, then } => {
+                let mut vars = Vec::new();
+                cond.vars(&mut vars);
+                for v in vars {
+                    note_read(v, read_first, written_def);
+                }
+                walk_scalars(then, true, read_first, written_any, written_def);
+            }
+            Stmt::Nested(inner) => {
+                // The inner loop reads its bound; its body's reads count
+                // against the outer iteration conservatively.
+                let mut vars = Vec::new();
+                match &inner.bound {
+                    Bound::Fixed(e) | Bound::Dynamic(e) => e.vars(&mut vars),
+                }
+                for v in vars {
+                    note_read(v, read_first, written_def);
+                }
+                walk_scalars(&inner.body, true, read_first, written_any, written_def);
+            }
+            Stmt::GrowBound { expr } => {
+                let mut vars = Vec::new();
+                expr.vars(&mut vars);
+                for v in vars {
+                    note_read(v, read_first, written_def);
+                }
+            }
+        }
+    }
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Tests a (write, read-or-write) subscript pair of one array for a
+/// *cross-iteration* dependence. Returns which test fired, or `None` when
+/// independence is proven.
+pub fn subscript_dep(a: &Subscript, b: &Subscript) -> Option<DepTest> {
+    if a.is_opaque() || b.is_opaque() {
+        return Some(DepTest::Opaque);
+    }
+    if a.is_miv() || b.is_miv() {
+        // MIV: if the symbolic parts are identical, reduce to SIV on the
+        // index; otherwise fall back to the conservative GCD test over all
+        // coefficients.
+        if a.symbols == b.symbols {
+            return siv(a.stride, a.offset, b.stride, b.offset);
+        }
+        let mut g = gcd(a.stride, b.stride);
+        for (_, c) in a.symbols.iter().chain(&b.symbols) {
+            g = gcd(g, *c);
+        }
+        let delta = b.offset - a.offset;
+        return if g == 0 {
+            // Both sides constant apart from symbols that differ; cannot
+            // prove independence.
+            Some(DepTest::Miv)
+        } else if delta % g == 0 {
+            Some(DepTest::Miv)
+        } else {
+            None
+        };
+    }
+    if a.stride == 0 && b.stride == 0 {
+        // ZIV: constant subscripts.
+        return if a.offset == b.offset { Some(DepTest::Ziv) } else { None };
+    }
+    siv(a.stride, a.offset, b.stride, b.offset)
+}
+
+fn siv(a1: i64, o1: i64, a2: i64, o2: i64) -> Option<DepTest> {
+    let delta = o2 - o1;
+    if a1 == a2 {
+        // Strong SIV: dependence distance delta / a1.
+        if a1 != 0 && delta % a1 == 0 && delta != 0 {
+            return Some(DepTest::Siv);
+        }
+        // delta == 0 is a same-iteration access: no *cross-iteration* dep.
+        return None;
+    }
+    // Weak SIV / general: GCD test.
+    let g = gcd(a1, a2);
+    if g == 0 {
+        return None;
+    }
+    if delta % g == 0 {
+        Some(DepTest::Siv)
+    } else {
+        None
+    }
+}
+
+/// Collects every (array, subscript, is_write) access in a body,
+/// flattening conditionals and nested loops (nested-loop subscripts treat
+/// the inner index symbolically, which the IR already encodes).
+fn accesses<'a>(body: &'a [Stmt], out: &mut Vec<(&'a ArrayRef, bool)>) {
+    for stmt in body {
+        match stmt {
+            Stmt::Load { src, .. } => out.push((src, false)),
+            Stmt::Store { dst, .. } => out.push((dst, true)),
+            Stmt::AmoAdd { .. } => {} // atomic by construction
+            Stmt::If { then, .. } => accesses(then, out),
+            Stmt::Nested(inner) => accesses(&inner.body, out),
+            _ => {}
+        }
+    }
+}
+
+/// Runs the subscript tests over every write/access pair of the loop body.
+pub fn memory_dependences(l: &Loop) -> Vec<MemDep> {
+    let mut accs = Vec::new();
+    accesses(&l.body, &mut accs);
+    let mut deps = Vec::new();
+    for (i, &(a, a_write)) in accs.iter().enumerate() {
+        for &(b, b_write) in &accs[i..] {
+            if !(a_write || b_write) || a.array != b.array {
+                continue;
+            }
+            if let Some(test) = subscript_dep(&a.subscript, &b.subscript) {
+                let dep = MemDep { array: a.array.clone(), test };
+                if !deps.contains(&dep) {
+                    deps.push(dep);
+                }
+            }
+        }
+    }
+    deps
+}
+
+/// Whether the body grows its own bound (the `.db` detection pass).
+pub fn grows_bound(body: &[Stmt]) -> bool {
+    body.iter().any(|s| match s {
+        Stmt::GrowBound { .. } => true,
+        Stmt::If { then, .. } => grows_bound(then),
+        _ => false,
+    })
+}
+
+/// Maps an annotated loop to its xloop variant (Section II-B):
+///
+/// * `unordered` → `xloop.uc`
+/// * `atomic` → `xloop.ua`
+/// * `ordered` → `xloop.or` / `xloop.om` / `xloop.orm` depending on what
+///   the register and memory dependence analyses find (an ordered loop
+///   with no discovered dependences is encoded `uc`, the least
+///   restrictive valid pattern);
+///
+/// `.db` is appended when the loop updates its own bound.
+///
+/// # Panics
+///
+/// Panics if the loop carries [`Annotation::None`]; unannotated loops are
+/// not xloops.
+pub fn select_pattern(l: &Loop) -> PatternChoice {
+    let control = if grows_bound(&l.body) || matches!(l.bound, Bound::Dynamic(_)) {
+        ControlPattern::Dynamic
+    } else {
+        ControlPattern::Fixed
+    };
+    let (data, cirs, mem_deps) = match l.annotation {
+        Annotation::None => panic!("select_pattern requires an annotated loop"),
+        Annotation::Unordered => (DataPattern::Uc, Vec::new(), Vec::new()),
+        Annotation::Atomic => (DataPattern::Ua, Vec::new(), Vec::new()),
+        Annotation::Ordered => {
+            let cirs = scalar_cirs(l);
+            let deps = memory_dependences(l);
+            let data = match (!cirs.is_empty(), !deps.is_empty()) {
+                (true, true) => DataPattern::Orm,
+                (true, false) => DataPattern::Or,
+                (false, true) => DataPattern::Om,
+                (false, false) => DataPattern::Uc,
+            };
+            (data, cirs, deps)
+        }
+    };
+    PatternChoice { pattern: LoopPattern { data, control }, cirs, mem_deps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Expr;
+
+    #[test]
+    fn prefix_sum_is_or() {
+        // ordered: sum = sum + a[i]
+        let mut l = Loop::new("i", Bound::fixed_var("n"), Annotation::Ordered);
+        l.body.push(Stmt::load("t", ArrayRef::new("a", Subscript::linear(1, 0))));
+        l.body.push(Stmt::assign("sum", Expr::add(Expr::var("sum"), Expr::var("t"))));
+        l.body.push(Stmt::store(ArrayRef::new("out", Subscript::linear(1, 0)), Expr::var("sum")));
+        let c = select_pattern(&l);
+        assert_eq!(c.pattern.data, DataPattern::Or);
+        assert_eq!(c.cirs, vec!["sum".to_string()]);
+        assert!(c.mem_deps.is_empty());
+    }
+
+    #[test]
+    fn recurrence_through_memory_is_om() {
+        // ordered: a[i] = a[i-3] + 7 — strong SIV with distance 3.
+        let mut l = Loop::new("i", Bound::fixed_var("n"), Annotation::Ordered);
+        l.body.push(Stmt::load("t", ArrayRef::new("a", Subscript::linear(1, -3))));
+        l.body.push(Stmt::assign("t2", Expr::add(Expr::var("t"), Expr::konst(7))));
+        l.body.push(Stmt::store(ArrayRef::new("a", Subscript::linear(1, 0)), Expr::var("t2")));
+        let c = select_pattern(&l);
+        assert_eq!(c.pattern.data, DataPattern::Om);
+        assert_eq!(c.mem_deps, vec![MemDep { array: "a".into(), test: DepTest::Siv }]);
+    }
+
+    #[test]
+    fn ordered_loop_with_no_dependences_relaxes_to_uc() {
+        // ordered but actually parallel: b[i] = a[i] * 2.
+        let mut l = Loop::new("i", Bound::fixed_var("n"), Annotation::Ordered);
+        l.body.push(Stmt::load("t", ArrayRef::new("a", Subscript::linear(1, 0))));
+        l.body.push(Stmt::assign("t2", Expr::mul(Expr::var("t"), Expr::konst(2))));
+        l.body.push(Stmt::store(ArrayRef::new("b", Subscript::linear(1, 0)), Expr::var("t2")));
+        assert_eq!(select_pattern(&l).pattern.data, DataPattern::Uc);
+    }
+
+    #[test]
+    fn mm_style_loop_is_orm() {
+        // Figure 3: ordered; out[k++] = i with indirect vertex updates.
+        let mut l = Loop::new("i", Bound::fixed_var("n"), Annotation::Ordered);
+        l.body.push(Stmt::load("v", ArrayRef::new("edges", Subscript::linear(2, 0))));
+        l.body.push(Stmt::load("u", ArrayRef::new("edges", Subscript::linear(2, 1))));
+        l.body.push(Stmt::If {
+            cond: Expr::var("free"),
+            then: vec![
+                Stmt::store(ArrayRef::new("vertices", Subscript::opaque()), Expr::var("u")),
+                Stmt::store(ArrayRef::new("vertices", Subscript::opaque()), Expr::var("v")),
+                Stmt::store(
+                    ArrayRef::new("out", Subscript::constant(0).with_symbol("k", 1)),
+                    Expr::var("i"),
+                ),
+                Stmt::assign("k", Expr::add(Expr::var("k"), Expr::konst(1))),
+            ],
+        });
+        let c = select_pattern(&l);
+        assert_eq!(c.pattern.data, DataPattern::Orm, "k is a CIR and vertices[] is opaque");
+        assert!(c.cirs.contains(&"k".to_string()));
+        assert!(c.mem_deps.iter().any(|d| d.test == DepTest::Opaque));
+    }
+
+    #[test]
+    fn war_outer_loop_is_om_inner_is_uc() {
+        // Figure 2: path[i][j] = min(path[i][j], path[i][k] + path[k][j]).
+        // Inner j-loop (unordered by annotation):
+        let mut inner = Loop::new("j", Bound::fixed_var("n"), Annotation::Unordered);
+        inner.body.push(Stmt::load(
+            "pij",
+            ArrayRef::new("path", Subscript::linear(1, 0).with_symbol("i", 64)),
+        ));
+        inner.body.push(Stmt::load(
+            "pik",
+            ArrayRef::new("path", Subscript::constant(0).with_symbol("i", 64).with_symbol("k", 1)),
+        ));
+        inner.body.push(Stmt::load(
+            "pkj",
+            ArrayRef::new("path", Subscript::linear(1, 0).with_symbol("k", 64)),
+        ));
+        inner.body.push(Stmt::store(
+            ArrayRef::new("path", Subscript::linear(1, 0).with_symbol("i", 64)),
+            Expr::var("m"),
+        ));
+        assert_eq!(select_pattern(&inner).pattern.data, DataPattern::Uc);
+
+        // Middle i-loop (ordered by annotation): subscripts seen from i.
+        let mut mid = Loop::new("i", Bound::fixed_var("n"), Annotation::Ordered);
+        mid.body.push(Stmt::load(
+            "pij",
+            ArrayRef::new("path", Subscript::linear(64, 0).with_symbol("j", 1)),
+        ));
+        mid.body.push(Stmt::load(
+            "pkj",
+            ArrayRef::new("path", Subscript::constant(0).with_symbol("k", 64).with_symbol("j", 1)),
+        ));
+        mid.body.push(Stmt::store(
+            ArrayRef::new("path", Subscript::linear(64, 0).with_symbol("j", 1)),
+            Expr::var("m"),
+        ));
+        let c = select_pattern(&mid);
+        assert_eq!(c.pattern.data, DataPattern::Om, "store path[i][j] vs load path[k][j]");
+    }
+
+    #[test]
+    fn worklist_loop_gets_db_suffix() {
+        let mut l = Loop::new("i", Bound::Dynamic(Expr::var("tail")), Annotation::Unordered);
+        l.body.push(Stmt::AmoAdd {
+            dst: "slot".into(),
+            cell: "tail_cell".into(),
+            expr: Expr::konst(2),
+        });
+        l.body.push(Stmt::GrowBound { expr: Expr::add(Expr::var("slot"), Expr::konst(2)) });
+        let c = select_pattern(&l);
+        assert_eq!(c.pattern.to_string(), "uc.db");
+    }
+
+    #[test]
+    fn ziv_same_cell_is_a_dependence_different_cells_are_not() {
+        assert_eq!(
+            subscript_dep(&Subscript::constant(4), &Subscript::constant(4)),
+            Some(DepTest::Ziv)
+        );
+        assert_eq!(subscript_dep(&Subscript::constant(4), &Subscript::constant(8)), None);
+    }
+
+    #[test]
+    fn strong_siv_distance_zero_is_independent() {
+        // a[i] read and written in the same iteration only.
+        assert_eq!(subscript_dep(&Subscript::linear(1, 0), &Subscript::linear(1, 0)), None);
+        assert_eq!(
+            subscript_dep(&Subscript::linear(1, 0), &Subscript::linear(1, 4)),
+            Some(DepTest::Siv)
+        );
+        // Interleaved strides that never meet: 2i vs 2i+1.
+        assert_eq!(subscript_dep(&Subscript::linear(2, 0), &Subscript::linear(2, 1)), None);
+    }
+
+    #[test]
+    fn gcd_test_proves_independence_across_strides() {
+        // 4i vs 4i'+2: gcd 4 does not divide 2.
+        assert_eq!(subscript_dep(&Subscript::linear(4, 0), &Subscript::linear(4, 2)), None);
+        // 2i vs 4i'+2 can meet (i=3, i'=1): gcd 2 divides 2.
+        assert_eq!(
+            subscript_dep(&Subscript::linear(2, 0), &Subscript::linear(4, 2)),
+            Some(DepTest::Siv)
+        );
+    }
+
+    #[test]
+    fn conditional_write_keeps_scalar_a_cir() {
+        // running max: if (a[i] > m) m = a[i]  — m must be a CIR.
+        let mut l = Loop::new("i", Bound::fixed_var("n"), Annotation::Ordered);
+        l.body.push(Stmt::load("t", ArrayRef::new("a", Subscript::linear(1, 0))));
+        l.body.push(Stmt::If {
+            cond: Expr::Bin(crate::ir::BinOp::LtS, Box::new(Expr::var("m")), Box::new(Expr::var("t"))),
+            then: vec![Stmt::assign("m", Expr::var("t"))],
+        });
+        let c = select_pattern(&l);
+        assert!(c.cirs.contains(&"m".to_string()), "{:?}", c.cirs);
+    }
+}

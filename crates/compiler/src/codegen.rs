@@ -1,0 +1,492 @@
+//! Lowering simple (non-nested) IR loops to TRISC/XLOOPS assembly.
+//!
+//! This closes the toolchain loop of Section II-B: an annotated IR loop is
+//! analyzed ([`crate::analysis`]), its affine addresses strength-reduced
+//! to `xi` pointers ([`crate::strength`]), and the result emitted as
+//! assembly that [`xloops_asm::assemble`] turns into a runnable binary.
+//!
+//! The generator handles the statement forms the paper's figures use:
+//! scalar assignments over expressions, affine loads/stores, conditionals,
+//! atomic fetch-and-add, and dynamic-bound growth. Nested loops and
+//! symbolic (outer-index) subscripts are out of scope — the evaluation
+//! kernels are hand-written assembly, as described in `DESIGN.md`.
+
+use std::fmt;
+
+use crate::analysis::select_pattern;
+use crate::ir::{Bound, BinOp, Expr, Loop, Stmt, Subscript};
+use crate::strength::{plan_xi, XiPlan};
+
+/// Addresses for the memory-resident names a loop references.
+#[derive(Clone, Debug, Default)]
+pub struct CodegenCtx {
+    /// Array (or atomic-cell) name → base byte address.
+    pub arrays: Vec<(String, u32)>,
+    /// Scalar name → initial value loaded in the preamble.
+    pub scalars: Vec<(String, u32)>,
+    /// Scalars stored to memory after the loop (live-outs), as
+    /// `(name, address)`.
+    pub outputs: Vec<(String, u32)>,
+    /// Use `xi` cross-iteration pointers for affine addresses instead of
+    /// per-iteration shift/add address computation.
+    pub use_xi: bool,
+}
+
+/// Codegen failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodegenError {
+    /// Nested loops are not lowered by this generator.
+    NestedLoop,
+    /// A subscript references outer indices or is non-affine.
+    UnsupportedSubscript,
+    /// The loop references a name with no address/value in the context.
+    UnknownName(String),
+    /// Expression needs more temporaries than the allocator owns.
+    TooComplex,
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::NestedLoop => f.write_str("nested loops are not supported"),
+            CodegenError::UnsupportedSubscript => f.write_str("unsupported subscript form"),
+            CodegenError::UnknownName(n) => write!(f, "no binding for `{n}`"),
+            CodegenError::TooComplex => f.write_str("expression exceeds the temporary pool"),
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+struct Gen<'a> {
+    l: &'a Loop,
+    ctx: &'a CodegenCtx,
+    xi_plans: Vec<XiPlan>,
+    out: String,
+    /// name → register for arrays (bases), scalars, and xi pointers.
+    array_regs: Vec<(String, u8)>,
+    scalar_regs: Vec<(String, u8)>,
+    xi_regs: Vec<(usize, u8)>,
+    next_label: u32,
+}
+
+const IDX: u8 = 2;
+const BOUND: u8 = 3;
+const TMP_BASE: u8 = 20;
+const TMP_COUNT: u8 = 10;
+
+impl<'a> Gen<'a> {
+    fn line(&mut self, s: &str) {
+        self.out.push_str("    ");
+        self.out.push_str(s);
+        self.out.push('\n');
+    }
+
+    fn label(&mut self, prefix: &str) -> String {
+        self.next_label += 1;
+        format!(".{prefix}{}", self.next_label)
+    }
+
+    fn scalar_reg(&self, name: &str) -> Result<u8, CodegenError> {
+        if name == self.l.index {
+            return Ok(IDX);
+        }
+        self.scalar_regs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, r)| r)
+            .ok_or_else(|| CodegenError::UnknownName(name.to_string()))
+    }
+
+    fn array_reg(&self, name: &str) -> Result<u8, CodegenError> {
+        self.array_regs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, r)| r)
+            .ok_or_else(|| CodegenError::UnknownName(name.to_string()))
+    }
+
+    /// Evaluates `e` into a register, using temporaries from `tmp` up.
+    fn expr(&mut self, e: &Expr, tmp: u8) -> Result<u8, CodegenError> {
+        if tmp >= TMP_BASE + TMP_COUNT {
+            return Err(CodegenError::TooComplex);
+        }
+        match e {
+            Expr::Const(v) => {
+                self.line(&format!("li r{tmp}, {v}"));
+                Ok(tmp)
+            }
+            Expr::Var(name) => self.scalar_reg(name),
+            Expr::Bin(op, a, b) => {
+                let ra = self.expr(a, tmp)?;
+                let next = if ra == tmp { tmp + 1 } else { tmp };
+                let rb = self.expr(b, next)?;
+                let rd = tmp;
+                match op {
+                    BinOp::Add => self.line(&format!("addu r{rd}, r{ra}, r{rb}")),
+                    BinOp::Sub => self.line(&format!("subu r{rd}, r{ra}, r{rb}")),
+                    BinOp::Mul => self.line(&format!("mul r{rd}, r{ra}, r{rb}")),
+                    BinOp::And => self.line(&format!("and r{rd}, r{ra}, r{rb}")),
+                    BinOp::Or => self.line(&format!("or r{rd}, r{ra}, r{rb}")),
+                    BinOp::Xor => self.line(&format!("xor r{rd}, r{ra}, r{rb}")),
+                    BinOp::Shl => self.line(&format!("sllv r{rd}, r{ra}, r{rb}")),
+                    BinOp::Shr => self.line(&format!("srlv r{rd}, r{ra}, r{rb}")),
+                    BinOp::LtS => self.line(&format!("slt r{rd}, r{ra}, r{rb}")),
+                    BinOp::Min | BinOp::Max => {
+                        let keep = self.label("m");
+                        let scratch = rd + 1;
+                        if scratch >= TMP_BASE + TMP_COUNT {
+                            return Err(CodegenError::TooComplex);
+                        }
+                        // rd = a; if (b < a) == (op is Min) { rd = b }
+                        self.line(&format!("slt r{scratch}, r{rb}, r{ra}"));
+                        self.line(&format!("move r{rd}, r{ra}"));
+                        match op {
+                            BinOp::Min => self.line(&format!("beqz r{scratch}, {keep}")),
+                            _ => self.line(&format!("bnez r{scratch}, {keep}")),
+                        }
+                        self.line(&format!("move r{rd}, r{rb}"));
+                        self.out.push_str(&format!("{keep}:\n"));
+                    }
+                }
+                Ok(rd)
+            }
+        }
+    }
+
+    /// Computes the byte address of an affine access into a temp register
+    /// and returns `(reg, constant_offset)` for the memory instruction.
+    fn address(&mut self, array: &str, sub: &Subscript, tmp: u8) -> Result<(u8, i32), CodegenError> {
+        if sub.is_opaque() || sub.is_miv() {
+            return Err(CodegenError::UnsupportedSubscript);
+        }
+        let base = self.array_reg(array)?;
+        if sub.stride == 0 {
+            return Ok((base, 4 * sub.offset as i32));
+        }
+        // Prefer the planned xi pointer when enabled.
+        if self.ctx.use_xi {
+            if let Some(pos) = self
+                .xi_plans
+                .iter()
+                .position(|p| p.array == array && p.step_bytes == 4 * sub.stride)
+            {
+                let reg = self.xi_regs.iter().find(|&&(i, _)| i == pos).map(|&(_, r)| r);
+                if let Some(r) = reg {
+                    return Ok((r, 4 * sub.offset as i32));
+                }
+            }
+        }
+        if tmp >= TMP_BASE + TMP_COUNT {
+            return Err(CodegenError::TooComplex);
+        }
+        let shift = 4 * sub.stride;
+        if shift > 0 && (shift as u64).is_power_of_two() {
+            self.line(&format!("sll r{tmp}, r{IDX}, {}", shift.trailing_zeros()));
+        } else {
+            self.line(&format!("li r{tmp}, {shift}"));
+            self.line(&format!("mul r{tmp}, r{IDX}, r{tmp}"));
+        }
+        self.line(&format!("addu r{tmp}, r{base}, r{tmp}"));
+        Ok((tmp, 4 * sub.offset as i32))
+    }
+
+    fn stmts(&mut self, body: &[Stmt]) -> Result<(), CodegenError> {
+        for stmt in body {
+            match stmt {
+                Stmt::Assign { dst, expr } => {
+                    let r = self.expr(expr, TMP_BASE)?;
+                    let rd = self.scalar_reg(dst)?;
+                    if rd != r {
+                        self.line(&format!("move r{rd}, r{r}"));
+                    }
+                }
+                Stmt::Load { dst, src } => {
+                    let (base, off) = self.address(&src.array, &src.subscript, TMP_BASE)?;
+                    let rd = self.scalar_reg(dst)?;
+                    self.line(&format!("lw r{rd}, {off}(r{base})"));
+                }
+                Stmt::Store { dst, expr } => {
+                    let r = self.expr(expr, TMP_BASE)?;
+                    let (base, off) = self.address(&dst.array, &dst.subscript, TMP_BASE + 4)?;
+                    self.line(&format!("sw r{r}, {off}(r{base})"));
+                }
+                Stmt::AmoAdd { dst, cell, expr } => {
+                    let r = self.expr(expr, TMP_BASE)?;
+                    let cell_reg = self.array_reg(cell)?;
+                    let rd = self.scalar_reg(dst)?;
+                    self.line(&format!("amo.add r{rd}, (r{cell_reg}), r{r}"));
+                }
+                Stmt::If { cond, then } => {
+                    let r = self.expr(cond, TMP_BASE)?;
+                    let skip = self.label("if");
+                    self.line(&format!("beqz r{r}, {skip}"));
+                    self.stmts(then)?;
+                    self.out.push_str(&format!("{skip}:\n"));
+                }
+                Stmt::Nested(_) => return Err(CodegenError::NestedLoop),
+                Stmt::GrowBound { expr } => {
+                    let r = self.expr(expr, TMP_BASE)?;
+                    self.line(&format!("move r{BOUND}, r{r}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Lowers an annotated loop to assembly text (preamble, body, `xloop`,
+/// live-out stores, `exit`).
+///
+/// # Errors
+///
+/// See [`CodegenError`] for the IR forms the generator rejects.
+pub fn lower_loop(l: &Loop, ctx: &CodegenCtx) -> Result<String, CodegenError> {
+    let choice = select_pattern(l);
+    let xi_plans = if ctx.use_xi { plan_xi(l) } else { Vec::new() };
+
+    let mut gen = Gen {
+        l,
+        ctx,
+        xi_plans,
+        out: String::new(),
+        array_regs: Vec::new(),
+        scalar_regs: Vec::new(),
+        xi_regs: Vec::new(),
+        next_label: 0,
+    };
+
+    // Register plan: r2 index, r3 bound, r4.. array bases, then scalars,
+    // then xi pointers; r20..r29 expression temporaries.
+    let mut next = 4u8;
+    for (name, addr) in &ctx.arrays {
+        gen.array_regs.push((name.clone(), next));
+        gen.line(&format!("li r{next}, {addr:#x}"));
+        next += 1;
+    }
+    for (name, value) in &ctx.scalars {
+        gen.scalar_regs.push((name.clone(), next));
+        gen.line(&format!("li r{next}, {value}"));
+        next += 1;
+    }
+    // Scalars written by the body but not pre-bound get a register too.
+    let mut defined: Vec<String> = Vec::new();
+    collect_defs(&l.body, &mut defined);
+    for name in defined {
+        if name != l.index && gen.scalar_reg(&name).is_err() {
+            gen.scalar_regs.push((name.clone(), next));
+            next += 1;
+        }
+    }
+    // xi pointers start one step before the first element (Figure 1(f)).
+    for (i, plan) in gen.xi_plans.clone().into_iter().enumerate() {
+        let base = ctx
+            .arrays
+            .iter()
+            .find(|(n, _)| *n == plan.array)
+            .map(|&(_, a)| a)
+            .ok_or_else(|| CodegenError::UnknownName(plan.array.clone()))?;
+        gen.xi_regs.push((i, next));
+        gen.line(&format!("li r{next}, {}", base as i64 - plan.step_bytes));
+        next += 1;
+    }
+    debug_assert!(next <= TMP_BASE, "register plan overflows into temporaries");
+
+    gen.line(&format!("li r{IDX}, 0"));
+    match &l.bound {
+        Bound::Fixed(e) | Bound::Dynamic(e) => {
+            let r = gen.expr(e, TMP_BASE)?;
+            if r != BOUND {
+                gen.line(&format!("move r{BOUND}, r{r}"));
+            }
+        }
+    }
+
+    gen.out.push_str("body:\n");
+    for (i, reg) in gen.xi_regs.clone() {
+        let step = gen.xi_plans[i].step_bytes;
+        gen.line(&format!("addiu.xi r{reg}, r{reg}, {step}"));
+    }
+    gen.stmts(&l.body)?;
+    gen.line(&format!("addiu r{IDX}, r{IDX}, 1"));
+    gen.line(&format!("xloop.{} body, r{IDX}, r{BOUND}", choice.pattern));
+
+    for (name, addr) in &ctx.outputs {
+        let r = gen.scalar_reg(name)?;
+        gen.line(&format!("li r{}, {addr:#x}", TMP_BASE));
+        gen.line(&format!("sw r{r}, 0(r{})", TMP_BASE));
+    }
+    gen.line("exit");
+    Ok(gen.out)
+}
+
+fn collect_defs(body: &[Stmt], out: &mut Vec<String>) {
+    for stmt in body {
+        match stmt {
+            Stmt::Assign { dst, .. } | Stmt::Load { dst, .. } | Stmt::AmoAdd { dst, .. }
+                if !out.contains(dst) => {
+                    out.push(dst.clone());
+                }
+            Stmt::If { then, .. } => collect_defs(then, out),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Annotation, ArrayRef};
+    use xloops_asm::assemble;
+
+    fn vector_scale_ir() -> (Loop, CodegenCtx) {
+        // unordered: b[i] = a[i] * 3
+        let mut l = Loop::new("i", Bound::Fixed(Expr::konst(32)), Annotation::Unordered);
+        l.body.push(Stmt::load("t", ArrayRef::new("a", Subscript::linear(1, 0))));
+        l.body.push(Stmt::assign("t2", Expr::mul(Expr::var("t"), Expr::konst(3))));
+        l.body.push(Stmt::store(ArrayRef::new("b", Subscript::linear(1, 0)), Expr::var("t2")));
+        let ctx = CodegenCtx {
+            arrays: vec![("a".into(), 0x1000), ("b".into(), 0x2000)],
+            ..CodegenCtx::default()
+        };
+        (l, ctx)
+    }
+
+    fn run_asm(asm: &str, init: &[(u32, u32)]) -> xloops_mem::Memory {
+        let p = assemble(asm).unwrap_or_else(|e| panic!("{e}\n{asm}"));
+        let mut mem = xloops_mem::Memory::new();
+        for &(a, v) in init {
+            mem.write_u32(a, v);
+        }
+        let mut cpu = xloops_func::Interp::new();
+        cpu.run(&p, &mut mem, 1_000_000).expect("runs");
+        mem
+    }
+
+    #[test]
+    fn generated_vector_scale_computes_correctly() {
+        let (l, mut ctx) = vector_scale_ir();
+        for use_xi in [false, true] {
+            ctx.use_xi = use_xi;
+            let asm = lower_loop(&l, &ctx).unwrap();
+            if use_xi {
+                assert!(asm.contains("addiu.xi"), "xi mode emits xi instructions:\n{asm}");
+            }
+            let init: Vec<(u32, u32)> = (0..32).map(|i| (0x1000 + 4 * i, i + 5)).collect();
+            let mem = run_asm(&asm, &init);
+            for i in 0..32 {
+                assert_eq!(mem.read_u32(0x2000 + 4 * i), 3 * (i + 5), "b[{i}] (xi={use_xi})");
+            }
+        }
+    }
+
+    #[test]
+    fn generated_prefix_sum_is_or_and_correct() {
+        let mut l = Loop::new("i", Bound::Fixed(Expr::konst(16)), Annotation::Ordered);
+        l.body.push(Stmt::load("t", ArrayRef::new("a", Subscript::linear(1, 0))));
+        l.body.push(Stmt::assign("sum", Expr::add(Expr::var("sum"), Expr::var("t"))));
+        l.body.push(Stmt::store(ArrayRef::new("out", Subscript::linear(1, 0)), Expr::var("sum")));
+        let ctx = CodegenCtx {
+            arrays: vec![("a".into(), 0x1000), ("out".into(), 0x2000)],
+            scalars: vec![("sum".into(), 0)],
+            outputs: vec![("sum".into(), 0x3000)],
+            ..CodegenCtx::default()
+        };
+        let asm = lower_loop(&l, &ctx).unwrap();
+        assert!(asm.contains("xloop.or body"), "{asm}");
+        let init: Vec<(u32, u32)> = (0..16).map(|i| (0x1000 + 4 * i, i)).collect();
+        let mem = run_asm(&asm, &init);
+        assert_eq!(mem.read_u32(0x3000), (0..16).sum::<u32>());
+        assert_eq!(mem.read_u32(0x2000 + 4 * 3), 1 + 2 + 3);
+    }
+
+    #[test]
+    fn generated_conditional_max_is_correct() {
+        use crate::ir::BinOp;
+        let mut l = Loop::new("i", Bound::Fixed(Expr::konst(10)), Annotation::Ordered);
+        l.body.push(Stmt::load("t", ArrayRef::new("a", Subscript::linear(1, 0))));
+        l.body.push(Stmt::If {
+            cond: Expr::Bin(BinOp::LtS, Box::new(Expr::var("m")), Box::new(Expr::var("t"))),
+            then: vec![Stmt::assign("m", Expr::var("t"))],
+        });
+        let ctx = CodegenCtx {
+            arrays: vec![("a".into(), 0x1000)],
+            scalars: vec![("m".into(), 0)],
+            outputs: vec![("m".into(), 0x3000)],
+            ..CodegenCtx::default()
+        };
+        let asm = lower_loop(&l, &ctx).unwrap();
+        assert!(asm.contains("xloop.or"), "conditional write keeps m a CIR:\n{asm}");
+        let vals = [3u32, 9, 1, 12, 7, 2, 12, 5, 0, 11];
+        let init: Vec<(u32, u32)> = vals.iter().enumerate().map(|(i, &v)| (0x1000 + 4 * i as u32, v)).collect();
+        let mem = run_asm(&asm, &init);
+        assert_eq!(mem.read_u32(0x3000), 12);
+    }
+
+    #[test]
+    fn min_max_expressions_lower_correctly() {
+        let mut l = Loop::new("i", Bound::Fixed(Expr::konst(8)), Annotation::Unordered);
+        l.body.push(Stmt::load("x", ArrayRef::new("a", Subscript::linear(1, 0))));
+        l.body.push(Stmt::load("y", ArrayRef::new("b", Subscript::linear(1, 0))));
+        l.body.push(Stmt::store(
+            ArrayRef::new("lo", Subscript::linear(1, 0)),
+            Expr::Bin(BinOp::Min, Box::new(Expr::var("x")), Box::new(Expr::var("y"))),
+        ));
+        l.body.push(Stmt::store(
+            ArrayRef::new("hi", Subscript::linear(1, 0)),
+            Expr::Bin(BinOp::Max, Box::new(Expr::var("x")), Box::new(Expr::var("y"))),
+        ));
+        let ctx = CodegenCtx {
+            arrays: vec![
+                ("a".into(), 0x1000),
+                ("b".into(), 0x1100),
+                ("lo".into(), 0x1200),
+                ("hi".into(), 0x1300),
+            ],
+            ..CodegenCtx::default()
+        };
+        let asm = lower_loop(&l, &ctx).unwrap();
+        let mut init = Vec::new();
+        for i in 0..8u32 {
+            init.push((0x1000 + 4 * i, 10 + i));
+            init.push((0x1100 + 4 * i, 17 - i));
+        }
+        let mem = run_asm(&asm, &init);
+        for i in 0..8u32 {
+            assert_eq!(mem.read_u32(0x1200 + 4 * i), (10 + i).min(17 - i), "lo[{i}]");
+            assert_eq!(mem.read_u32(0x1300 + 4 * i), (10 + i).max(17 - i), "hi[{i}]");
+        }
+    }
+
+    #[test]
+    fn nested_loops_are_rejected() {
+        let mut l = Loop::new("i", Bound::Fixed(Expr::konst(4)), Annotation::Unordered);
+        l.body.push(Stmt::Nested(Box::new(Loop::new(
+            "j",
+            Bound::Fixed(Expr::konst(4)),
+            Annotation::None,
+        ))));
+        let e = lower_loop(&l, &CodegenCtx::default());
+        assert_eq!(e.unwrap_err(), CodegenError::NestedLoop);
+    }
+
+    #[test]
+    fn generated_code_runs_specialized_on_the_lpsu() {
+        // End-to-end: IR → asm → specialized execution on io+x.
+        use xloops_sim::{ExecMode, System, SystemConfig};
+        let (l, mut ctx) = vector_scale_ir();
+        ctx.use_xi = true;
+        let asm = lower_loop(&l, &ctx).unwrap();
+        let p = assemble(&asm).unwrap();
+        let mut sys = System::new(SystemConfig::io_x());
+        for i in 0..32 {
+            sys.store_word(0x1000 + 4 * i, i + 5);
+        }
+        let stats = sys.run(&p, ExecMode::Specialized).unwrap();
+        assert_eq!(stats.xloops_specialized, 1);
+        assert!(stats.lpsu.xi_ops > 0, "xi pointers exercised on the LPSU");
+        for i in 0..32 {
+            assert_eq!(sys.load_word(0x2000 + 4 * i), 3 * (i + 5));
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! A small loop-level IR: enough structure to express the paper's example
+//! kernels (Figures 1–3) and to drive the dependence analyses.
+
+/// Programmer annotation on a loop (`#pragma xloops …` in the paper's C
+/// sources). The programmer never specifies *how* an ordered dependence is
+/// communicated — the compiler's analyses decide between `or`, `om`, and
+/// `orm`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Annotation {
+    /// Iterations may run concurrently in any order (`unordered`).
+    Unordered,
+    /// Inter-iteration dependences must be preserved (`ordered`).
+    Ordered,
+    /// Iterations may reorder but memory updates must be atomic (`atomic`).
+    Atomic,
+    /// No annotation: the loop stays serial.
+    None,
+}
+
+/// Loop bound.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Bound {
+    /// Loop-invariant bound (a variable or constant fixed before entry).
+    Fixed(Expr),
+    /// The loop may monotonically grow its own bound (worklist loops);
+    /// the expression is the initial bound.
+    Dynamic(Expr),
+}
+
+impl Bound {
+    /// Fixed bound read from a scalar variable.
+    pub fn fixed_var(name: &str) -> Bound {
+        Bound::Fixed(Expr::var(name))
+    }
+}
+
+/// Scalar expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer constant.
+    Const(i64),
+    /// Scalar variable (including the loop index).
+    Var(String),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+/// Binary operators in [`Expr`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Min,
+    Max,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    LtS,
+}
+
+impl Expr {
+    /// A variable reference.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_string())
+    }
+
+    /// An integer constant.
+    pub fn konst(v: i64) -> Expr {
+        Expr::Const(v)
+    }
+
+    /// `a + b`.
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Add, Box::new(a), Box::new(b))
+    }
+
+    /// `a - b`.
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Sub, Box::new(a), Box::new(b))
+    }
+
+    /// `a * b`.
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Mul, Box::new(a), Box::new(b))
+    }
+
+    /// Collects every variable read by the expression.
+    pub fn vars<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Var(v) => out.push(v),
+            Expr::Bin(_, a, b) => {
+                a.vars(out);
+                b.vars(out);
+            }
+        }
+    }
+}
+
+/// An affine subscript in the loop index: `stride × i + offset`, where
+/// `offset` may reference outer-loop indices symbolically.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Subscript {
+    /// Coefficient of this loop's index variable.
+    pub stride: i64,
+    /// Constant part.
+    pub offset: i64,
+    /// Symbolic terms (outer indices or loop-invariant scalars) with
+    /// coefficients; these make a subscript *multiple-index-variable*.
+    pub symbols: Vec<(String, i64)>,
+    /// Non-affine subscript (e.g. indirect through another array): the
+    /// dependence tests must assume it may touch anything.
+    pub opaque: bool,
+}
+
+impl Subscript {
+    /// `stride × i + offset` with no symbolic part.
+    pub fn linear(stride: i64, offset: i64) -> Subscript {
+        Subscript { stride, offset, symbols: Vec::new(), opaque: false }
+    }
+
+    /// A non-affine subscript the tests cannot analyze.
+    pub fn opaque() -> Subscript {
+        Subscript { opaque: true, ..Subscript::linear(0, 0) }
+    }
+
+    /// Whether the subscript defeats the affine tests.
+    pub fn is_opaque(&self) -> bool {
+        self.opaque
+    }
+
+    /// A subscript that does not involve this loop's index at all
+    /// (zero-index-variable).
+    pub fn constant(offset: i64) -> Subscript {
+        Subscript::linear(0, offset)
+    }
+
+    /// Adds a symbolic term (e.g. an outer loop index).
+    pub fn with_symbol(mut self, name: &str, coeff: i64) -> Subscript {
+        self.symbols.push((name.to_string(), coeff));
+        self
+    }
+
+    /// Whether the subscript references variables other than this loop's
+    /// index (the MIV case of the dependence tests).
+    pub fn is_miv(&self) -> bool {
+        !self.symbols.is_empty()
+    }
+}
+
+/// A reference to one element of a named array.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArrayRef {
+    /// Array name (distinct names are assumed not to alias, as in the
+    /// paper's kernels).
+    pub array: String,
+    /// Element subscript.
+    pub subscript: Subscript,
+}
+
+impl ArrayRef {
+    /// `array[subscript]`.
+    pub fn new(array: &str, subscript: Subscript) -> ArrayRef {
+        ArrayRef { array: array.to_string(), subscript }
+    }
+}
+
+/// A statement in a loop body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// `dst = expr` over scalars.
+    Assign { dst: String, expr: Expr },
+    /// `dst = array[sub]`.
+    Load { dst: String, src: ArrayRef },
+    /// `array[sub] = expr`.
+    Store { dst: ArrayRef, expr: Expr },
+    /// Atomic fetch-and-add on a scalar memory cell: `dst = cell; cell += expr`.
+    AmoAdd { dst: String, cell: String, expr: Expr },
+    /// Conditional execution of a block.
+    If { cond: Expr, then: Vec<Stmt> },
+    /// A nested loop.
+    Nested(Box<Loop>),
+    /// The loop grows its own bound: `bound = expr` (monotonic).
+    GrowBound { expr: Expr },
+}
+
+impl Stmt {
+    /// `dst = expr`.
+    pub fn assign(dst: &str, expr: Expr) -> Stmt {
+        Stmt::Assign { dst: dst.to_string(), expr }
+    }
+
+    /// `dst = src[…]`.
+    pub fn load(dst: &str, src: ArrayRef) -> Stmt {
+        Stmt::Load { dst: dst.to_string(), src }
+    }
+
+    /// `dst[…] = expr`.
+    pub fn store(dst: ArrayRef, expr: Expr) -> Stmt {
+        Stmt::Store { dst, expr }
+    }
+}
+
+/// A counted loop `for (index = 0; index < bound; index++) body`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Loop {
+    /// Induction variable name.
+    pub index: String,
+    /// Loop bound.
+    pub bound: Bound,
+    /// Programmer annotation.
+    pub annotation: Annotation,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+impl Loop {
+    /// An empty annotated loop.
+    pub fn new(index: &str, bound: Bound, annotation: Annotation) -> Loop {
+        Loop { index: index.to_string(), bound, annotation, body: Vec::new() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_vars_collects_reads() {
+        let e = Expr::add(Expr::var("a"), Expr::mul(Expr::var("b"), Expr::konst(3)));
+        let mut v = Vec::new();
+        e.vars(&mut v);
+        assert_eq!(v, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn subscript_classification() {
+        assert!(!Subscript::linear(1, 0).is_miv());
+        assert!(!Subscript::constant(5).is_miv());
+        assert!(Subscript::linear(1, 0).with_symbol("k", 8).is_miv());
+    }
+}

@@ -1,0 +1,45 @@
+//! # xloops-compiler
+//!
+//! The compiler side of XLOOPS (Section II-B of the paper): lightweight
+//! analyses that map *programmer-annotated* loops onto the xloop variants.
+//!
+//! The paper modifies LLVM-3.1 (LoopRotation and LoopStrengthReduction plus
+//! a `#pragma`-tagging preprocessor). An industrial backend is out of scope
+//! for a reproduction, but the *contribution* — the analysis and mapping —
+//! is small and self-contained, so this crate reimplements it over a
+//! loop-level IR:
+//!
+//! * programmers annotate loops `unordered`, `ordered`, or `atomic`
+//!   ([`ir::Annotation`]);
+//! * [`analysis`] finds cross-iteration registers (scalars read before
+//!   written, discovered through use-def chains) and memory dependences
+//!   (zero-, single-, and multiple-index-variable subscript tests);
+//! * [`select_pattern`](analysis::select_pattern) chooses
+//!   `xloop.{uc,or,om,orm,ua}[.db]` exactly as Section II-B prescribes:
+//!   `unordered` → `uc`, `atomic` → `ua`, and `ordered` → whichever of
+//!   `or`/`om`/`orm` the dependence tests justify, with `.db` appended when
+//!   the loop grows its own bound;
+//! * [`strength`] reproduces the modified loop-strength-reduction pass: it
+//!   finds affine address expressions and plans `xi`
+//!   (cross-iteration) instructions for them;
+//! * [`codegen`] lowers simple (non-nested) IR loops to TRISC/XLOOPS
+//!   assembly accepted by [`xloops_asm::assemble`], closing the loop from
+//!   annotated source to a runnable binary.
+//!
+//! ```
+//! use xloops_compiler::ir::*;
+//! use xloops_compiler::analysis::select_pattern;
+//! use xloops_isa::DataPattern;
+//!
+//! // for (i) { sum = sum + a[i]; }  annotated `ordered`
+//! let mut l = Loop::new("i", Bound::fixed_var("n"), Annotation::Ordered);
+//! l.body.push(Stmt::load("t", ArrayRef::new("a", Subscript::linear(1, 0))));
+//! l.body.push(Stmt::assign("sum", Expr::add(Expr::var("sum"), Expr::var("t"))));
+//! let choice = select_pattern(&l);
+//! assert_eq!(choice.pattern.data, DataPattern::Or); // CIR `sum`, no memory deps
+//! ```
+
+pub mod analysis;
+pub mod codegen;
+pub mod ir;
+pub mod strength;

@@ -1,0 +1,89 @@
+//! The modified loop-strength-reduction pass: affine address expressions
+//! become mutual induction variables encoded with `xi` instructions.
+//!
+//! A subscript `s × i + c` over 4-byte elements means the byte address
+//! advances by `4 × s` every iteration. Classic strength reduction turns
+//! the multiply into an iterative add — which creates an inter-iteration
+//! dependence. XLOOPS instead emits `addiu.xi ptr, ptr, 4s`, letting
+//! specialized hardware compute the pointer for *any* iteration from the
+//! MIVT (Section II-A, Figure 1(f)).
+
+use crate::ir::{Loop, Stmt, Subscript};
+
+/// One planned cross-iteration pointer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct XiPlan {
+    /// The array whose accesses the pointer covers.
+    pub array: String,
+    /// Byte step per iteration (`4 × stride`).
+    pub step_bytes: i64,
+    /// Byte offset of the access relative to the pointer (`4 × offset`).
+    pub offset_bytes: i64,
+}
+
+/// Plans `xi` pointers for every affine array access whose subscript
+/// involves the loop index with a non-zero stride. Accesses to the same
+/// array with the same stride share one pointer (differing only in their
+/// constant offsets).
+pub fn plan_xi(l: &Loop) -> Vec<XiPlan> {
+    let mut plans: Vec<XiPlan> = Vec::new();
+    collect(&l.body, &mut plans);
+    plans
+}
+
+fn push_plan(plans: &mut Vec<XiPlan>, array: &str, sub: &Subscript) {
+    if sub.is_opaque() || sub.stride == 0 {
+        return;
+    }
+    let step = 4 * sub.stride;
+    if let Some(p) = plans.iter().find(|p| p.array == array && p.step_bytes == step) {
+        // Shared pointer; the differing constant folds into the
+        // instruction's offset field.
+        let _ = p;
+        return;
+    }
+    plans.push(XiPlan { array: array.to_string(), step_bytes: step, offset_bytes: 4 * sub.offset });
+}
+
+fn collect(body: &[Stmt], plans: &mut Vec<XiPlan>) {
+    for stmt in body {
+        match stmt {
+            Stmt::Load { src, .. } => push_plan(plans, &src.array, &src.subscript),
+            Stmt::Store { dst, .. } => push_plan(plans, &dst.array, &dst.subscript),
+            Stmt::If { then, .. } => collect(then, plans),
+            Stmt::Nested(inner) => {
+                // Inner-loop accesses whose subscript is invariant in the
+                // inner index may still be MIVs of the outer loop, but the
+                // outer pass only plans for its own index.
+                let _ = inner;
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Annotation, ArrayRef, Bound, Expr};
+
+    #[test]
+    fn plans_one_pointer_per_array_and_stride() {
+        let mut l = Loop::new("i", Bound::fixed_var("n"), Annotation::Unordered);
+        l.body.push(Stmt::load("a0", ArrayRef::new("a", Subscript::linear(1, 0))));
+        l.body.push(Stmt::load("a1", ArrayRef::new("a", Subscript::linear(1, 1))));
+        l.body.push(Stmt::store(ArrayRef::new("b", Subscript::linear(2, 0)), Expr::var("a0")));
+        let plans = plan_xi(&l);
+        assert_eq!(plans.len(), 2, "a (stride 1) and b (stride 2): {plans:?}");
+        assert_eq!(plans[0], XiPlan { array: "a".into(), step_bytes: 4, offset_bytes: 0 });
+        assert_eq!(plans[1], XiPlan { array: "b".into(), step_bytes: 8, offset_bytes: 0 });
+    }
+
+    #[test]
+    fn invariant_and_opaque_accesses_get_no_pointer() {
+        let mut l = Loop::new("i", Bound::fixed_var("n"), Annotation::Unordered);
+        l.body.push(Stmt::load("x", ArrayRef::new("c", Subscript::constant(3))));
+        l.body.push(Stmt::store(ArrayRef::new("d", Subscript::opaque()), Expr::var("x")));
+        assert!(plan_xi(&l).is_empty());
+    }
+}

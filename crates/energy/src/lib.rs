@@ -1,0 +1,29 @@
+//! # xloops-energy
+//!
+//! Event-based energy accounting and the analytical VLSI area/cycle-time
+//! model.
+//!
+//! The paper estimates energy with McPAT-1.0 at 45 nm for the cycle-level
+//! study (Figure 8) and with a commercial ASIC flow at TSMC 40 nm for the
+//! RTL study (Figure 10, Table V). Neither tool can be shipped in a Rust
+//! reproduction, so this crate substitutes:
+//!
+//! * [`EnergyTable`] — per-event energies (pJ) of McPAT-class magnitude.
+//!   The *relative* energy claims of the paper depend only on event ratios
+//!   (e.g. an LPSU instruction-buffer access measured 10× cheaper than an
+//!   I-cache access; out-of-order issue adds tens of pJ of
+//!   rename/IQ/ROB overhead per instruction), which the tables encode
+//!   directly.
+//! * [`lpsu_area_mm2`]/[`lpsu_cycle_time_ns`] — an analytical area and
+//!   cycle-time model calibrated to the
+//!   published post-place-and-route numbers of Table V (GPP 0.25 mm²;
+//!   `lpsu+i128+ln4` ≈ 0.36 mm²; near-linear lane scaling).
+//!
+//! Energy is accumulated from [`EventCounts`], which `xloops-sim` fills
+//! from the GPP and LPSU statistics.
+
+mod area;
+mod model;
+
+pub use area::{gpp_area_mm2, lpsu_area_mm2, lpsu_cycle_time_ns, scalar_cycle_time_ns};
+pub use model::{EnergyTable, EventCounts};

@@ -1,0 +1,592 @@
+//! # xloops-func
+//!
+//! A functional (instruction-level, untimed) interpreter for TRISC/XLOOPS
+//! binaries. It executes XLOOPS binaries with *traditional* semantics —
+//! `xloop` behaves as a conditional branch, `xi` as a plain add — which the
+//! ISA defines to be a valid serial execution of every loop pattern.
+//!
+//! The interpreter is the **golden model**: every cycle-level
+//! microarchitecture model in `xloops-gpp` / `xloops-lpsu` must produce the
+//! same architectural memory state, and the kernel test-suites compare all
+//! of them against it (and against the pure-Rust reference implementations
+//! in `xloops-kernels`).
+//!
+//! ```
+//! use xloops_asm::assemble;
+//! use xloops_func::Interp;
+//! use xloops_mem::Memory;
+//!
+//! let p = assemble("
+//!     li r1, 7
+//!     li r2, 5
+//!     addu r3, r1, r2
+//!     sw r3, 0x100(r0)
+//!     exit")?;
+//! let mut mem = Memory::new();
+//! let mut interp = Interp::new();
+//! let stats = interp.run(&p, &mut mem, 1_000)?;
+//! assert_eq!(mem.read_u32(0x100), 12);
+//! assert_eq!(stats.instret, 5);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::fmt;
+
+use xloops_asm::Program;
+use xloops_isa::{AluOp, Instr, MemOp, Reg, XiKind, INSTR_BYTES, NUM_REGS};
+use xloops_mem::Memory;
+
+/// Dynamic instruction mix, used for Table II dynamic-instruction counts
+/// and as event counts by the energy model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InsnMix {
+    /// Simple integer ALU operations (including `lui`, `nop`).
+    pub alu: u64,
+    /// Long-latency operations (integer mul/div, FP).
+    pub llfu: u64,
+    /// Loads.
+    pub loads: u64,
+    /// Stores.
+    pub stores: u64,
+    /// Atomic memory operations.
+    pub amos: u64,
+    /// Conditional branches (excluding `xloop`).
+    pub branches: u64,
+    /// Taken conditional branches (excluding `xloop`).
+    pub branches_taken: u64,
+    /// Unconditional jumps (`j`, `jal`, `jr`, `jalr`).
+    pub jumps: u64,
+    /// `xloop` instructions executed (as branches, under traditional
+    /// semantics).
+    pub xloops: u64,
+    /// Cross-iteration (`xi`) instructions.
+    pub xis: u64,
+    /// Memory fences.
+    pub syncs: u64,
+}
+
+impl InsnMix {
+    /// Total dynamic instructions.
+    pub fn total(&self) -> u64 {
+        self.alu
+            + self.llfu
+            + self.loads
+            + self.stores
+            + self.amos
+            + self.branches
+            + self.jumps
+            + self.xloops
+            + self.xis
+            + self.syncs
+    }
+}
+
+/// Result of running a program to completion.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Dynamic instructions retired (including the final `exit`).
+    pub instret: u64,
+    /// Dynamic instruction mix.
+    pub mix: InsnMix,
+}
+
+/// Errors the interpreter can signal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// The pc left the program text.
+    InvalidPc(u32),
+    /// The step budget was exhausted before `exit` (likely livelock).
+    StepLimit(u64),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::InvalidPc(pc) => write!(f, "pc {pc:#x} is outside the program"),
+            ExecError::StepLimit(n) => write!(f, "program did not exit within {n} steps"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// What a single [`Interp::step`] did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// Execution continues at the new pc.
+    Continue,
+    /// The program executed `exit`.
+    Exit,
+}
+
+/// The functional interpreter: architectural register state plus a pc.
+///
+/// Registers start at zero; `r0` stays zero regardless of writes.
+#[derive(Clone, Debug)]
+pub struct Interp {
+    /// Current program counter (byte address).
+    pub pc: u32,
+    regs: [u32; NUM_REGS],
+    mix: InsnMix,
+}
+
+impl Default for Interp {
+    fn default() -> Interp {
+        Interp::new()
+    }
+}
+
+impl Interp {
+    /// Creates an interpreter with pc 0 and all registers zero.
+    pub fn new() -> Interp {
+        Interp { pc: 0, regs: [0; NUM_REGS], mix: InsnMix::default() }
+    }
+
+    /// Reads a register (reads of `r0` return 0).
+    #[inline]
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register (writes to `r0` are discarded).
+    #[inline]
+    pub fn set_reg(&mut self, r: Reg, value: u32) {
+        if !r.is_zero() {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    /// The dynamic instruction mix accumulated so far.
+    pub fn mix(&self) -> InsnMix {
+        self.mix
+    }
+
+    /// Executes a single instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::InvalidPc`] if the pc is outside the program.
+    pub fn step(&mut self, program: &Program, mem: &mut Memory) -> Result<Step, ExecError> {
+        let instr = program.fetch(self.pc).ok_or(ExecError::InvalidPc(self.pc))?;
+        let mut next_pc = self.pc.wrapping_add(INSTR_BYTES);
+        match instr {
+            Instr::Alu { op, rd, rs, rt } => {
+                self.mix.alu += 1;
+                self.set_reg(rd, op.apply(self.reg(rs), self.reg(rt)));
+            }
+            Instr::AluImm { op, rd, rs, imm } => {
+                self.mix.alu += 1;
+                self.set_reg(rd, op.apply(self.reg(rs), alu_imm_value(op, imm)));
+            }
+            Instr::Lui { rd, imm } => {
+                self.mix.alu += 1;
+                self.set_reg(rd, (imm as u32) << 16);
+            }
+            Instr::Llfu { op, rd, rs, rt } => {
+                self.mix.llfu += 1;
+                self.set_reg(rd, op.apply(self.reg(rs), self.reg(rt)));
+            }
+            Instr::Amo { op, rd, addr, src } => {
+                self.mix.amos += 1;
+                let old = mem.amo(op, self.reg(addr), self.reg(src));
+                self.set_reg(rd, old);
+            }
+            Instr::Mem { op, data, base, offset } => {
+                let addr = self.reg(base).wrapping_add(offset as i32 as u32);
+                if op.is_load() {
+                    self.mix.loads += 1;
+                    self.set_reg(data, load(mem, op, addr));
+                } else {
+                    self.mix.stores += 1;
+                    store(mem, op, addr, self.reg(data));
+                }
+            }
+            Instr::Branch { cond, rs, rt, offset } => {
+                self.mix.branches += 1;
+                if cond.eval(self.reg(rs), self.reg(rt)) {
+                    self.mix.branches_taken += 1;
+                    next_pc = branch_target(self.pc, offset);
+                }
+            }
+            Instr::Jump { link, target_word } => {
+                self.mix.jumps += 1;
+                if link {
+                    self.set_reg(Reg::RA, next_pc);
+                }
+                next_pc = target_word * INSTR_BYTES;
+            }
+            Instr::JumpReg { link, rd, rs } => {
+                self.mix.jumps += 1;
+                let target = self.reg(rs);
+                if link {
+                    self.set_reg(rd, next_pc);
+                }
+                next_pc = target;
+            }
+            Instr::Sync => {
+                self.mix.syncs += 1;
+            }
+            Instr::Exit => {
+                self.mix.alu += 1; // count the exit like a simple op
+                return Ok(Step::Exit);
+            }
+            Instr::Nop => {
+                self.mix.alu += 1;
+            }
+            // Traditional execution: xloop is exactly `blt idx, bound, body`.
+            Instr::Xloop { idx, bound, body_offset, .. } => {
+                self.mix.xloops += 1;
+                if (self.reg(idx) as i32) < (self.reg(bound) as i32) {
+                    next_pc = self.pc - body_offset as u32 * INSTR_BYTES;
+                }
+            }
+            // Traditional execution: xi is a plain add.
+            Instr::Xi { reg, kind } => {
+                self.mix.xis += 1;
+                let inc = match kind {
+                    XiKind::Imm(imm) => imm as i32 as u32,
+                    XiKind::Reg(rt) => self.reg(rt),
+                };
+                self.set_reg(reg, self.reg(reg).wrapping_add(inc));
+            }
+        }
+        self.pc = next_pc;
+        Ok(Step::Continue)
+    }
+
+    /// Runs until `exit` or until `max_steps` instructions have retired.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::StepLimit`] if the program does not exit in
+    /// time, or [`ExecError::InvalidPc`] if control flow escapes the text.
+    pub fn run(
+        &mut self,
+        program: &Program,
+        mem: &mut Memory,
+        max_steps: u64,
+    ) -> Result<RunStats, ExecError> {
+        let start_total = self.mix.total();
+        for _ in 0..max_steps {
+            if self.step(program, mem)? == Step::Exit {
+                return Ok(RunStats { instret: self.mix.total() - start_total, mix: self.mix });
+            }
+        }
+        Err(ExecError::StepLimit(max_steps))
+    }
+}
+
+/// The immediate value an [`Instr::AluImm`] presents to the ALU: logical
+/// ops zero-extend, everything else sign-extends.
+#[inline]
+pub fn alu_imm_value(op: AluOp, imm: i16) -> u32 {
+    match op {
+        AluOp::And | AluOp::Or | AluOp::Xor => imm as u16 as u32,
+        _ => imm as i32 as u32,
+    }
+}
+
+/// Computes a branch target: `pc + 4 × offset`.
+#[inline]
+pub fn branch_target(pc: u32, offset: i16) -> u32 {
+    pc.wrapping_add((offset as i32 * INSTR_BYTES as i32) as u32)
+}
+
+/// Performs a load of the given kind against memory.
+#[inline]
+pub fn load(mem: &Memory, op: MemOp, addr: u32) -> u32 {
+    match op {
+        MemOp::Lw => mem.read_u32(addr),
+        MemOp::Lh => mem.read_u16(addr) as i16 as i32 as u32,
+        MemOp::Lhu => mem.read_u16(addr) as u32,
+        MemOp::Lb => mem.read_u8(addr) as i8 as i32 as u32,
+        MemOp::Lbu => mem.read_u8(addr) as u32,
+        _ => unreachable!("load called with a store op"),
+    }
+}
+
+/// Performs a store of the given kind against memory.
+#[inline]
+pub fn store(mem: &mut Memory, op: MemOp, addr: u32, value: u32) {
+    match op {
+        MemOp::Sw => mem.write_u32(addr, value),
+        MemOp::Sh => mem.write_u16(addr, value as u16),
+        MemOp::Sb => mem.write_u8(addr, value as u8),
+        _ => unreachable!("store called with a load op"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xloops_asm::{assemble, lower_gp};
+
+    fn run_src(src: &str) -> (Interp, Memory, RunStats) {
+        let p = assemble(src).expect("assembles");
+        let mut mem = Memory::new();
+        let mut interp = Interp::new();
+        let stats = interp.run(&p, &mut mem, 1_000_000).expect("runs");
+        (interp, mem, stats)
+    }
+
+    #[test]
+    fn arithmetic_and_memory() {
+        let (interp, mem, _) = run_src(
+            "
+            li r1, -3
+            li r2, 10
+            addu r3, r1, r2
+            mul r4, r2, r2
+            sw r4, 0(r0)
+            lw r5, 0(r0)
+            sb r1, 8(r0)
+            lb r6, 8(r0)
+            lbu r7, 8(r0)
+            exit",
+        );
+        assert_eq!(interp.reg(Reg::new(3)), 7);
+        assert_eq!(interp.reg(Reg::new(5)), 100);
+        assert_eq!(mem.read_u32(0), 100);
+        assert_eq!(interp.reg(Reg::new(6)), -3i32 as u32);
+        assert_eq!(interp.reg(Reg::new(7)), 0xFD);
+    }
+
+    #[test]
+    fn loop_sums_integers() {
+        // sum 1..=10 with a plain branch loop
+        let (interp, _, stats) = run_src(
+            "
+            li r1, 0    # sum
+            li r2, 1    # i
+            li r3, 10   # n
+        top:
+            addu r1, r1, r2
+            addiu r2, r2, 1
+            ble r2, r3, top
+            exit",
+        );
+        assert_eq!(interp.reg(Reg::new(1)), 55);
+        assert!(stats.mix.branches_taken == 9);
+    }
+
+    #[test]
+    fn xloop_serial_semantics_match_lowered_gp() {
+        let src = "
+            li r2, 0
+            li r3, 16
+            li r4, 0x400
+        body:
+            sll r5, r2, 2
+            addu r5, r4, r5
+            sw r2, 0(r5)
+            addiu r2, r2, 1
+            xloop.uc body, r2, r3
+            exit";
+        let p = assemble(src).unwrap();
+        let gp = lower_gp(&p);
+
+        let mut mem_x = Memory::new();
+        let mut cpu_x = Interp::new();
+        cpu_x.run(&p, &mut mem_x, 100_000).unwrap();
+
+        let mut mem_g = Memory::new();
+        let mut cpu_g = Interp::new();
+        cpu_g.run(&gp, &mut mem_g, 100_000).unwrap();
+
+        for i in 0..16u32 {
+            assert_eq!(mem_x.read_u32(0x400 + 4 * i), i);
+            assert_eq!(mem_g.read_u32(0x400 + 4 * i), i);
+        }
+        // Dynamic instruction counts are identical under the 1:1 lowering.
+        assert_eq!(cpu_x.mix().total(), cpu_g.mix().total());
+        assert_eq!(cpu_x.mix().xloops, 16);
+        assert_eq!(cpu_g.mix().xloops, 0);
+    }
+
+    #[test]
+    fn xi_traditional_is_plain_add() {
+        let (interp, _, _) = run_src(
+            "
+            li r2, 0
+            li r3, 4
+            li r6, 100
+        body:
+            addiu.xi r6, r6, 10
+            addiu r2, r2, 1
+            xloop.uc body, r2, r3
+            exit",
+        );
+        assert_eq!(interp.reg(Reg::new(6)), 140);
+    }
+
+    #[test]
+    fn amo_and_fence() {
+        let (interp, mem, stats) = run_src(
+            "
+            li r1, 0x200
+            li r2, 5
+            sw r2, 0(r1)
+            amo.add r3, (r1), r2
+            sync
+            lw r4, 0(r1)
+            exit",
+        );
+        assert_eq!(interp.reg(Reg::new(3)), 5, "amo returns old value");
+        assert_eq!(interp.reg(Reg::new(4)), 10);
+        assert_eq!(mem.read_u32(0x200), 10);
+        assert_eq!(stats.mix.amos, 1);
+        assert_eq!(stats.mix.syncs, 1);
+    }
+
+    #[test]
+    fn jal_jr_call_return() {
+        let (interp, _, _) = run_src(
+            "
+            jal fun
+            sw r9, 0(r0)
+            exit
+        fun:
+            li r9, 42
+            jr ra",
+        );
+        assert_eq!(interp.reg(Reg::new(9)), 42);
+    }
+
+    #[test]
+    fn float_path() {
+        let (interp, _, _) = run_src(
+            "
+            li r1, 3
+            li r2, 4
+            cvt.s.w r3, r1, r0
+            cvt.s.w r4, r2, r0
+            fmul.s r5, r3, r4
+            cvt.w.s r6, r5, r0
+            exit",
+        );
+        assert_eq!(interp.reg(Reg::new(6)), 12);
+    }
+
+    #[test]
+    fn step_limit_detected() {
+        let p = assemble("spin: b spin").unwrap();
+        let mut mem = Memory::new();
+        let mut interp = Interp::new();
+        assert_eq!(interp.run(&p, &mut mem, 100), Err(ExecError::StepLimit(100)));
+    }
+
+    #[test]
+    fn invalid_pc_detected() {
+        let p = assemble("nop").unwrap(); // falls off the end
+        let mut mem = Memory::new();
+        let mut interp = Interp::new();
+        assert_eq!(interp.run(&p, &mut mem, 100), Err(ExecError::InvalidPc(4)));
+    }
+
+    #[test]
+    fn r0_is_immutable() {
+        let (interp, _, _) = run_src("li r0, 55\naddiu r0, r0, 3\nexit");
+        assert_eq!(interp.reg(Reg::ZERO), 0);
+    }
+}
+
+/// One executed instruction with its architectural effects — the unit of
+/// the [`trace_step`] debugging facility.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// pc the instruction executed at.
+    pub pc: u32,
+    /// The instruction itself.
+    pub instr: Instr,
+    /// Register written, with its new value (`None` for stores/branches).
+    pub wrote: Option<(Reg, u32)>,
+    /// Memory address touched and whether it was written.
+    pub mem: Option<(u32, bool)>,
+    /// Whether a control-flow instruction redirected the pc.
+    pub taken: bool,
+}
+
+impl std::fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#06x}: {:<28}", self.pc, self.instr.to_string())?;
+        if let Some((r, v)) = self.wrote {
+            write!(f, " {r} <- {v:#x}")?;
+        }
+        if let Some((addr, is_write)) = self.mem {
+            write!(f, " [{}{addr:#x}]", if is_write { "W " } else { "R " })?;
+        }
+        if self.taken {
+            write!(f, " taken")?;
+        }
+        Ok(())
+    }
+}
+
+/// Executes one instruction like [`Interp::step`], additionally reporting
+/// what it did — for debugging kernels and inspecting execution.
+///
+/// # Errors
+///
+/// Same conditions as [`Interp::step`].
+pub fn trace_step(
+    interp: &mut Interp,
+    program: &Program,
+    mem: &mut Memory,
+) -> Result<(Step, TraceEntry), ExecError> {
+    let pc = interp.pc;
+    let instr = program.fetch(pc).ok_or(ExecError::InvalidPc(pc))?;
+    let mem_effect = match instr {
+        Instr::Mem { op, base, offset, .. } => {
+            Some((interp.reg(base).wrapping_add(offset as i32 as u32), op.is_store()))
+        }
+        Instr::Amo { addr, .. } => Some((interp.reg(addr), true)),
+        _ => None,
+    };
+    let step = interp.step(program, mem)?;
+    let wrote = instr.dst().filter(|r| !r.is_zero()).map(|r| (r, interp.reg(r)));
+    let taken = instr.is_control() && interp.pc != pc.wrapping_add(INSTR_BYTES);
+    Ok((step, TraceEntry { pc, instr, wrote, mem: mem_effect, taken }))
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use xloops_asm::assemble;
+
+    #[test]
+    fn trace_reports_writes_memory_and_control() {
+        let p = assemble(
+            "
+            li r1, 5
+            sw r1, 0x40(r0)
+            lw r2, 0x40(r0)
+            beqz r0, skip
+            nop
+        skip:
+            exit",
+        )
+        .unwrap();
+        let mut mem = Memory::new();
+        let mut cpu = Interp::new();
+
+        let (_, t) = trace_step(&mut cpu, &p, &mut mem).unwrap();
+        assert_eq!(t.wrote, Some((Reg::new(1), 5)));
+        assert_eq!(t.mem, None);
+
+        let (_, t) = trace_step(&mut cpu, &p, &mut mem).unwrap();
+        assert_eq!(t.mem, Some((0x40, true)));
+        assert_eq!(t.wrote, None);
+
+        let (_, t) = trace_step(&mut cpu, &p, &mut mem).unwrap();
+        assert_eq!(t.mem, Some((0x40, false)));
+        assert_eq!(t.wrote, Some((Reg::new(2), 5)));
+
+        let (_, t) = trace_step(&mut cpu, &p, &mut mem).unwrap();
+        assert!(t.taken, "beqz r0 is always taken");
+        assert!(t.to_string().contains("taken"));
+
+        let (step, t) = trace_step(&mut cpu, &p, &mut mem).unwrap();
+        assert_eq!(step, Step::Exit);
+        assert!(t.to_string().contains("exit"));
+    }
+}

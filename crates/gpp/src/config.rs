@@ -1,0 +1,110 @@
+use xloops_mem::CacheConfig;
+
+/// Which microarchitecture a [`crate::GppCore`] models.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GppKind {
+    /// Single-issue five-stage in-order pipeline.
+    InOrder,
+    /// Out-of-order superscalar with the given fetch/issue/commit width.
+    OutOfOrder {
+        /// Front-end, issue, and commit width.
+        width: u32,
+        /// Reorder-buffer entries.
+        rob: u32,
+        /// Data-memory ports.
+        mem_ports: u32,
+    },
+}
+
+/// Full configuration of a GPP timing model (Table III of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GppConfig {
+    /// Core kind and width parameters.
+    pub kind: GppKind,
+    /// L1 data-cache geometry and latencies.
+    pub dcache: CacheConfig,
+    /// Penalty in cycles for a taken branch on the in-order core
+    /// (predict-not-taken front end) and for a mispredicted branch on the
+    /// out-of-order cores (front-end refill).
+    pub branch_penalty: u32,
+    /// Whether the long-latency functional unit is pipelined (true on the
+    /// out-of-order cores, false on the simple in-order core and the LPSU).
+    pub llfu_pipelined: bool,
+}
+
+impl GppConfig {
+    /// The paper's `io` baseline: single-issue in-order, 16 KB L1,
+    /// unpipelined LLFU, 2-cycle taken-branch bubble.
+    pub fn io() -> GppConfig {
+        GppConfig {
+            kind: GppKind::InOrder,
+            dcache: CacheConfig::l1_default(),
+            branch_penalty: 2,
+            llfu_pipelined: false,
+        }
+    }
+
+    /// The paper's `ooo/2` baseline: two-way out-of-order, 64-entry ROB,
+    /// one memory port, 8-cycle mispredict penalty, pipelined LLFU.
+    pub fn ooo2() -> GppConfig {
+        GppConfig {
+            kind: GppKind::OutOfOrder { width: 2, rob: 64, mem_ports: 1 },
+            dcache: CacheConfig::l1_default(),
+            branch_penalty: 8,
+            llfu_pipelined: true,
+        }
+    }
+
+    /// The paper's `ooo/4` baseline: four-way out-of-order, 128-entry ROB,
+    /// two memory ports, 10-cycle mispredict penalty, pipelined LLFU.
+    pub fn ooo4() -> GppConfig {
+        GppConfig {
+            kind: GppKind::OutOfOrder { width: 4, rob: 128, mem_ports: 2 },
+            dcache: CacheConfig::l1_default(),
+            branch_penalty: 10,
+            llfu_pipelined: true,
+        }
+    }
+
+    /// Short name used in result tables (`io`, `ooo/2`, `ooo/4`).
+    pub fn name(&self) -> &'static str {
+        match self.kind {
+            GppKind::InOrder => "io",
+            GppKind::OutOfOrder { width: 2, .. } => "ooo/2",
+            GppKind::OutOfOrder { width: 4, .. } => "ooo/4",
+            GppKind::OutOfOrder { .. } => "ooo/n",
+        }
+    }
+
+    /// Issue width (1 for the in-order core).
+    pub fn width(&self) -> u32 {
+        match self.kind {
+            GppKind::InOrder => 1,
+            GppKind::OutOfOrder { width, .. } => width,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table_iii() {
+        assert_eq!(GppConfig::io().width(), 1);
+        assert_eq!(GppConfig::io().name(), "io");
+        match GppConfig::ooo2().kind {
+            GppKind::OutOfOrder { width, rob, mem_ports } => {
+                assert_eq!((width, rob, mem_ports), (2, 64, 1));
+            }
+            _ => panic!("ooo2 must be out-of-order"),
+        }
+        match GppConfig::ooo4().kind {
+            GppKind::OutOfOrder { width, rob, mem_ports } => {
+                assert_eq!((width, rob, mem_ports), (4, 128, 2));
+            }
+            _ => panic!("ooo4 must be out-of-order"),
+        }
+        assert_eq!(GppConfig::ooo4().name(), "ooo/4");
+    }
+}

@@ -1,0 +1,475 @@
+use std::collections::HashSet;
+
+use xloops_asm::Program;
+use xloops_func::{ExecError, Interp, Step};
+use xloops_isa::{Instr, Reg};
+use xloops_mem::{Cache, Memory};
+
+use crate::config::{GppConfig, GppKind};
+use crate::inorder::InOrder;
+use crate::ooo::OutOfOrder;
+use crate::stats::GppStats;
+
+/// One retired instruction with the information the timing engines need.
+#[derive(Clone, Debug)]
+pub(crate) struct Event {
+    pub instr: Instr,
+    pub pc: u32,
+    /// Outcome for control-flow instructions (`xloop` included).
+    pub taken: bool,
+    /// Effective address for memory operations.
+    pub mem_addr: Option<u32>,
+    /// Target for indirect jumps.
+    pub target: Option<u32>,
+}
+
+impl Event {
+    /// An event with neutral metadata (used by engine unit tests).
+    #[allow(dead_code)]
+    pub(crate) fn of(instr: Instr) -> Event {
+        Event { instr, pc: 0, taken: false, mem_addr: None, target: None }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Engine {
+    InOrder(InOrder),
+    OutOfOrder(OutOfOrder),
+}
+
+impl Engine {
+    fn feed(&mut self, ev: &Event, dcache: &mut Cache) {
+        match self {
+            Engine::InOrder(e) => e.feed(ev, dcache),
+            Engine::OutOfOrder(e) => e.feed(ev, dcache),
+        }
+    }
+
+    fn drain(&mut self) -> u64 {
+        match self {
+            Engine::InOrder(e) => e.drain(),
+            Engine::OutOfOrder(e) => e.drain(),
+        }
+    }
+
+    fn stall_until(&mut self, cycle: u64) {
+        match self {
+            Engine::InOrder(e) => e.stall_until(cycle),
+            Engine::OutOfOrder(e) => e.stall_until(cycle),
+        }
+    }
+
+    fn last_dispatch(&self) -> u64 {
+        match self {
+            Engine::InOrder(e) => e.last_dispatch(),
+            Engine::OutOfOrder(e) => e.last_dispatch(),
+        }
+    }
+
+    fn mispredicts(&self) -> u64 {
+        match self {
+            Engine::InOrder(_) => 0,
+            Engine::OutOfOrder(e) => e.mispredicts(),
+        }
+    }
+}
+
+/// Why [`GppCore::run`] stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The program executed `exit`. The pipeline has been drained.
+    Exited,
+    /// A *taken* `xloop` was reached and
+    /// [`RunOpts::stop_at_taken_xloop`] was set. The xloop has **not**
+    /// executed (the pc still points at it); the system should start the
+    /// scan phase and hand the loop to the LPSU.
+    XloopTaken {
+        /// pc of the xloop instruction.
+        pc: u32,
+    },
+    /// The watched xloop (see [`RunOpts::watch`]) finished `iters` more
+    /// iterations, either because the profiling quota was met
+    /// (`loop_exited == false`, pc is at the body start) or because the
+    /// loop ran out of iterations (`loop_exited == true`, pc is past the
+    /// xloop).
+    WatchDone {
+        /// Iterations of the watched loop executed during this run.
+        iters: u64,
+        /// Whether the loop exited on its own.
+        loop_exited: bool,
+    },
+}
+
+/// A profiling watch on one xloop pc (GPP profiling phase of adaptive
+/// execution): stop at the iteration boundary once either budget is spent.
+#[derive(Clone, Copy, Debug)]
+pub struct Watch {
+    /// pc of the watched `xloop` instruction.
+    pub pc: u32,
+    /// Stop after this many iterations.
+    pub max_iters: u64,
+    /// Stop once this many cycles have elapsed (0 = no cycle budget).
+    pub max_cycles: u64,
+}
+
+/// Options controlling one [`GppCore::run`] call.
+#[derive(Clone, Debug, Default)]
+pub struct RunOpts {
+    /// Stop (before executing) at any taken `xloop` not in [`Self::ignore_pcs`].
+    pub stop_at_taken_xloop: bool,
+    /// xloop pcs that should *not* stop execution (e.g. pcs the adaptive
+    /// profiling table has already decided to run traditionally).
+    pub ignore_pcs: HashSet<u32>,
+    /// Count iterations (and cycles) of one xloop and stop at a budget.
+    pub watch: Option<Watch>,
+    /// Safety limit on retired instructions.
+    pub max_steps: u64,
+}
+
+impl RunOpts {
+    /// Plain traditional execution to completion.
+    pub fn traditional() -> RunOpts {
+        RunOpts { max_steps: u64::MAX, ..RunOpts::default() }
+    }
+
+    /// Stop at every taken xloop (specialized execution).
+    pub fn specialized() -> RunOpts {
+        RunOpts { stop_at_taken_xloop: true, max_steps: u64::MAX, ..RunOpts::default() }
+    }
+}
+
+/// A general-purpose processor: functional core + cycle-level timing engine
+/// + L1 data cache.
+///
+/// ```
+/// use xloops_asm::assemble;
+/// use xloops_gpp::{GppConfig, GppCore, RunOpts, StopReason};
+/// use xloops_mem::Memory;
+///
+/// let p = assemble("li r1, 3\n mul r2, r1, r1\n sw r2, 0(r0)\n exit")?;
+/// let mut mem = Memory::new();
+/// let mut gpp = GppCore::new(GppConfig::io());
+/// let stop = gpp.run(&p, &mut mem, &RunOpts::traditional())?;
+/// assert_eq!(stop, StopReason::Exited);
+/// assert_eq!(mem.read_u32(0), 9);
+/// assert!(gpp.stats().cycles > 4);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct GppCore {
+    config: GppConfig,
+    interp: Interp,
+    engine: Engine,
+    dcache: Cache,
+    drained_cycles: u64,
+}
+
+impl GppCore {
+    /// Creates a core in the reset state (pc 0, registers zero).
+    pub fn new(config: GppConfig) -> GppCore {
+        let engine = match config.kind {
+            GppKind::InOrder => Engine::InOrder(InOrder::new(config.branch_penalty)),
+            GppKind::OutOfOrder { width, rob, mem_ports } => Engine::OutOfOrder(OutOfOrder::new(
+                width,
+                rob,
+                mem_ports,
+                config.branch_penalty,
+                config.llfu_pipelined,
+            )),
+        };
+        GppCore {
+            config,
+            interp: Interp::new(),
+            engine,
+            dcache: Cache::new(config.dcache),
+            drained_cycles: 0,
+        }
+    }
+
+    /// The configuration this core was built with.
+    pub fn config(&self) -> &GppConfig {
+        &self.config
+    }
+
+    /// Current pc.
+    pub fn pc(&self) -> u32 {
+        self.interp.pc
+    }
+
+    /// Redirects the pc (used when the LPSU hands a finished loop back).
+    pub fn set_pc(&mut self, pc: u32) {
+        self.interp.pc = pc;
+    }
+
+    /// Reads an architectural register.
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.interp.reg(r)
+    }
+
+    /// Writes an architectural register (live-out updates after a loop).
+    pub fn set_reg(&mut self, r: Reg, value: u32) {
+        self.interp.set_reg(r, value);
+    }
+
+    /// Snapshot of the whole register file (scan phase reads live-ins).
+    pub fn reg_file(&self) -> [u32; 32] {
+        let mut f = [0; 32];
+        for r in Reg::all() {
+            f[r.index()] = self.interp.reg(r);
+        }
+        f
+    }
+
+    /// The L1 data cache. The LPSU shares this cache (and its port) with
+    /// the GPP, which is central to the paper's area story.
+    pub fn dcache_mut(&mut self) -> &mut Cache {
+        &mut self.dcache
+    }
+
+    /// Advances the clock to `cycle` (GPP stalled while the LPSU runs).
+    pub fn stall_until(&mut self, cycle: u64) {
+        self.engine.stall_until(cycle);
+        self.drained_cycles = self.drained_cycles.max(cycle);
+    }
+
+    /// Retires all in-flight instructions and returns the current cycle.
+    pub fn drain(&mut self) -> u64 {
+        self.drained_cycles = self.engine.drain();
+        self.drained_cycles
+    }
+
+    /// Cycle at which the most recent instruction entered the back end —
+    /// out-of-order cores overlap the scan phase with draining older work,
+    /// so the scan can start here rather than after [`Self::drain`].
+    pub fn last_dispatch_cycle(&self) -> u64 {
+        self.engine.last_dispatch()
+    }
+
+    /// Statistics accumulated so far (drains the pipeline to get a stable
+    /// cycle count).
+    pub fn stats(&mut self) -> GppStats {
+        let cycles = self.drain();
+        GppStats {
+            cycles,
+            instret: self.interp.mix().total(),
+            mix: self.interp.mix(),
+            mispredicts: self.engine.mispredicts(),
+            cache: self.dcache.stats(),
+        }
+    }
+
+    /// Runs until `exit`, a stop condition from `opts`, or `max_steps`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExecError`] from the functional core (invalid pc or
+    /// step-limit exhaustion).
+    pub fn run(
+        &mut self,
+        program: &Program,
+        mem: &mut Memory,
+        opts: &RunOpts,
+    ) -> Result<StopReason, ExecError> {
+        let mut watch_iters = 0u64;
+        let watch_start_cycle = self.engine.last_dispatch();
+        let max_steps = if opts.max_steps == 0 { u64::MAX } else { opts.max_steps };
+        for step_idx in 0..max_steps {
+            let pc = self.interp.pc;
+            let instr = program.fetch(pc).ok_or(ExecError::InvalidPc(pc))?;
+
+            if let Instr::Xloop { idx, bound, .. } = instr {
+                let taken = (self.interp.reg(idx) as i32) < (self.interp.reg(bound) as i32);
+                if taken && opts.stop_at_taken_xloop && !opts.ignore_pcs.contains(&pc) {
+                    return Ok(StopReason::XloopTaken { pc });
+                }
+            }
+
+            // Gather timing-relevant facts *before* executing.
+            let ev = self.pre_event(instr, pc, mem);
+            let step = self.interp.step(program, mem)?;
+            self.engine.feed(&ev, &mut self.dcache);
+
+            if step == Step::Exit {
+                self.drain();
+                return Ok(StopReason::Exited);
+            }
+
+            if let Some(w) = opts.watch {
+                // A crossing on the very first step belongs to an iteration
+                // that executed *before* this profiling run began (the run
+                // starts at the xloop pc): don't count it.
+                if pc == w.pc && step_idx > 0 {
+                    if !ev.taken {
+                        return Ok(StopReason::WatchDone { iters: watch_iters, loop_exited: true });
+                    }
+                    watch_iters += 1;
+                    let elapsed = self.engine.last_dispatch().saturating_sub(watch_start_cycle);
+                    if watch_iters >= w.max_iters || (w.max_cycles > 0 && elapsed >= w.max_cycles)
+                    {
+                        return Ok(StopReason::WatchDone { iters: watch_iters, loop_exited: false });
+                    }
+                }
+            }
+        }
+        Err(ExecError::StepLimit(max_steps))
+    }
+
+    fn pre_event(&self, instr: Instr, pc: u32, mem: &Memory) -> Event {
+        let _ = mem;
+        let mut ev = Event { instr, pc, taken: false, mem_addr: None, target: None };
+        match instr {
+            Instr::Mem { base, offset, .. } => {
+                ev.mem_addr = Some(self.interp.reg(base).wrapping_add(offset as i32 as u32));
+            }
+            Instr::Amo { addr, .. } => {
+                ev.mem_addr = Some(self.interp.reg(addr));
+            }
+            Instr::Branch { cond, rs, rt, .. } => {
+                ev.taken = cond.eval(self.interp.reg(rs), self.interp.reg(rt));
+            }
+            Instr::Xloop { idx, bound, .. } => {
+                ev.taken = (self.interp.reg(idx) as i32) < (self.interp.reg(bound) as i32);
+            }
+            Instr::JumpReg { rs, .. } => {
+                ev.target = Some(self.interp.reg(rs));
+            }
+            Instr::Jump { .. } => {
+                ev.taken = true;
+            }
+            _ => {}
+        }
+        ev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xloops_asm::assemble;
+
+    fn vector_sum_src(n: u32) -> String {
+        format!(
+            "
+            li r4, 0x1000
+            li r2, 0
+            li r3, {n}
+            li r9, 0
+        body:
+            sll r5, r2, 2
+            addu r5, r4, r5
+            lw r6, 0(r5)
+            addu r9, r9, r6
+            addiu r2, r2, 1
+            xloop.or body, r2, r3
+            sw r9, 0x800(r0)
+            exit"
+        )
+    }
+
+    fn prep_mem(n: u32) -> Memory {
+        let mut mem = Memory::new();
+        for i in 0..n {
+            mem.write_u32(0x1000 + 4 * i, i + 1);
+        }
+        mem
+    }
+
+    #[test]
+    fn traditional_execution_all_cores_same_result() {
+        let p = assemble(&vector_sum_src(64)).unwrap();
+        for config in [GppConfig::io(), GppConfig::ooo2(), GppConfig::ooo4()] {
+            let mut mem = prep_mem(64);
+            let mut gpp = GppCore::new(config);
+            let stop = gpp.run(&p, &mut mem, &RunOpts::traditional()).unwrap();
+            assert_eq!(stop, StopReason::Exited);
+            assert_eq!(mem.read_u32(0x800), 64 * 65 / 2, "{}", config.name());
+        }
+    }
+
+    #[test]
+    fn wider_cores_are_faster_on_the_same_binary() {
+        let p = assemble(&vector_sum_src(256)).unwrap();
+        let mut cycles = Vec::new();
+        for config in [GppConfig::io(), GppConfig::ooo2(), GppConfig::ooo4()] {
+            let mut mem = prep_mem(256);
+            let mut gpp = GppCore::new(config);
+            gpp.run(&p, &mut mem, &RunOpts::traditional()).unwrap();
+            cycles.push(gpp.stats().cycles);
+        }
+        assert!(cycles[0] > cycles[1], "io {} should be slower than ooo/2 {}", cycles[0], cycles[1]);
+        assert!(cycles[1] > cycles[2], "ooo/2 {} should be slower than ooo/4 {}", cycles[1], cycles[2]);
+    }
+
+    #[test]
+    fn stops_at_taken_xloop_before_executing_it() {
+        let p = assemble(&vector_sum_src(8)).unwrap();
+        let mut mem = prep_mem(8);
+        let mut gpp = GppCore::new(GppConfig::io());
+        let stop = gpp.run(&p, &mut mem, &RunOpts::specialized()).unwrap();
+        let xloop_pc = match stop {
+            StopReason::XloopTaken { pc } => pc,
+            other => panic!("expected xloop stop, got {other:?}"),
+        };
+        assert_eq!(gpp.pc(), xloop_pc);
+        // One body iteration has executed traditionally: idx == 1.
+        assert_eq!(gpp.reg(Reg::new(2)), 1);
+        assert!(matches!(p.fetch(xloop_pc), Some(Instr::Xloop { .. })));
+    }
+
+    #[test]
+    fn ignored_xloop_pc_runs_traditionally() {
+        let p = assemble(&vector_sum_src(8)).unwrap();
+        let mut mem = prep_mem(8);
+        let mut gpp = GppCore::new(GppConfig::io());
+        let mut opts = RunOpts::specialized();
+        opts.ignore_pcs.insert(p.label("body").unwrap() + 5 * 4);
+        let stop = gpp.run(&p, &mut mem, &opts).unwrap();
+        assert_eq!(stop, StopReason::Exited);
+        assert_eq!(mem.read_u32(0x800), 36);
+    }
+
+    #[test]
+    fn watch_counts_profiling_iterations() {
+        let p = assemble(&vector_sum_src(100)).unwrap();
+        let xloop_pc = p.instrs().iter().position(|i| i.is_xloop()).unwrap() as u32 * 4;
+        let mut mem = prep_mem(100);
+        let mut gpp = GppCore::new(GppConfig::io());
+        let mut opts = RunOpts::traditional();
+        opts.watch = Some(Watch { pc: xloop_pc, max_iters: 10, max_cycles: 0 });
+        let stop = gpp.run(&p, &mut mem, &opts).unwrap();
+        assert_eq!(stop, StopReason::WatchDone { iters: 10, loop_exited: false });
+        // pc is at the body start, about to run iteration 10.
+        assert_eq!(gpp.pc(), p.label("body").unwrap());
+        assert_eq!(gpp.reg(Reg::new(2)), 10);
+
+        // Watching more iterations than the loop has reports loop exit.
+        let mut mem = prep_mem(100);
+        let mut gpp = GppCore::new(GppConfig::io());
+        opts.watch = Some(Watch { pc: xloop_pc, max_iters: 1000, max_cycles: 0 });
+        let stop = gpp.run(&p, &mut mem, &opts).unwrap();
+        assert_eq!(stop, StopReason::WatchDone { iters: 99, loop_exited: true });
+    }
+
+    #[test]
+    fn stall_until_adds_cycles() {
+        let p = assemble("li r1, 1\nexit").unwrap();
+        let mut mem = Memory::new();
+        let mut gpp = GppCore::new(GppConfig::io());
+        gpp.stall_until(500);
+        gpp.run(&p, &mut mem, &RunOpts::traditional()).unwrap();
+        assert!(gpp.stats().cycles >= 500);
+    }
+
+    #[test]
+    fn stats_mix_counts_match_program() {
+        let p = assemble(&vector_sum_src(16)).unwrap();
+        let mut mem = prep_mem(16);
+        let mut gpp = GppCore::new(GppConfig::ooo2());
+        gpp.run(&p, &mut mem, &RunOpts::traditional()).unwrap();
+        let stats = gpp.stats();
+        assert_eq!(stats.mix.loads, 16);
+        assert_eq!(stats.mix.stores, 1);
+        assert_eq!(stats.mix.xloops, 16);
+        assert!(stats.ipc() > 0.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # xloops-gpp
+//!
+//! Cycle-level general-purpose processor (GPP) models:
+//!
+//! * [`GppConfig::io`] — a single-issue five-stage in-order core with full
+//!   bypassing and an unpipelined long-latency functional unit, and
+//! * [`GppConfig::ooo2`] / [`GppConfig::ooo4`] — two- and four-wide
+//!   out-of-order superscalar cores with register renaming, a reorder
+//!   buffer, gshare branch prediction, store-to-load forwarding, and
+//!   (deliberately, matching the paper) *conservative* atomic-memory-
+//!   operation handling that drains the ROB.
+//!
+//! Both models execute XLOOPS binaries with **traditional** semantics —
+//! the decoder maps `xloop` to a conditional branch and `xi` to an add —
+//! which is Section II-C of the paper. The same [`GppCore`] drives the
+//! specialized and adaptive execution modes in `xloops-sim`: it can stop
+//! when it reaches a taken `xloop` so the system can hand the loop to the
+//! LPSU, and it exposes [`GppCore::stall_until`] so the cycles the GPP
+//! spends waiting on the LPSU are accounted.
+//!
+//! The timing models are *trace-driven by their own functional core*: each
+//! retired instruction (with its branch outcome and memory address) is fed
+//! to a timing engine that schedules it against pipeline width, dependence,
+//! and structural constraints. This is the standard lightweight-simulation
+//! approach; it reproduces the first-order effects (issue width, ILP
+//! extraction, mispredict and miss penalties) that drive the paper's
+//! speedup ratios.
+
+mod config;
+mod core;
+mod inorder;
+mod ooo;
+mod predictor;
+mod slots;
+mod stats;
+
+pub use config::{GppConfig, GppKind};
+pub use core::{GppCore, RunOpts, StopReason, Watch};
+pub use predictor::Gshare;
+pub use stats::GppStats;

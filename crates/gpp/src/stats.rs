@@ -1,0 +1,30 @@
+use xloops_func::InsnMix;
+use xloops_mem::CacheStats;
+
+/// Statistics of one GPP execution phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct GppStats {
+    /// Total cycles, including any cycles spent stalled waiting for the
+    /// LPSU during specialized execution.
+    pub cycles: u64,
+    /// Instructions retired by the GPP itself.
+    pub instret: u64,
+    /// Dynamic instruction mix retired by the GPP itself.
+    pub mix: InsnMix,
+    /// Branch mispredictions (out-of-order cores; zero on the in-order
+    /// core, which does not speculate past taken branches).
+    pub mispredicts: u64,
+    /// Data-cache statistics.
+    pub cache: CacheStats,
+}
+
+impl GppStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instret as f64 / self.cycles as f64
+        }
+    }
+}

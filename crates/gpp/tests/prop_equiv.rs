@@ -1,0 +1,122 @@
+//! Property test: every GPP timing model is functionally transparent —
+//! the architectural memory and register state after a run equal the pure
+//! functional interpreter's, for random loop programs.
+
+use proptest::prelude::*;
+use xloops_asm::Program;
+use xloops_func::Interp;
+use xloops_gpp::{GppConfig, GppCore, RunOpts};
+use xloops_isa::{AluOp, Instr, LlfuOp, MemOp, Reg};
+use xloops_mem::Memory;
+
+const ARRAY: u32 = 0x2000;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Alu(u8, u8, u8, AluOp),
+    Llfu(u8, u8, u8, LlfuOp),
+    Load(u8, i8),
+    Store(u8, i8),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    let t = 8u8..16;
+    prop_oneof![
+        (t.clone(), t.clone(), t.clone(), prop::sample::select(AluOp::ALL.to_vec()))
+            .prop_map(|(a, b, c, o)| Op::Alu(a, b, c, o)),
+        (
+            t.clone(),
+            t.clone(),
+            t.clone(),
+            prop::sample::select(vec![LlfuOp::Mul, LlfuOp::Div, LlfuOp::Rem])
+        )
+            .prop_map(|(a, b, c, o)| Op::Llfu(a, b, c, o)),
+        (t.clone(), -8i8..8).prop_map(|(a, k)| Op::Load(a, k)),
+        (t, -8i8..8).prop_map(|(a, k)| Op::Store(a, k)),
+    ]
+}
+
+fn build(ops: &[Op], iters: u8) -> Program {
+    let r = Reg::new;
+    let mut v = vec![
+        Instr::AluImm { op: AluOp::Addu, rd: r(2), rs: Reg::ZERO, imm: 0 },
+        Instr::AluImm { op: AluOp::Addu, rd: r(3), rs: Reg::ZERO, imm: iters.max(1) as i16 },
+        Instr::AluImm { op: AluOp::Addu, rd: r(4), rs: Reg::ZERO, imm: ARRAY as i16 },
+    ];
+    let body_start = v.len();
+    for o in ops {
+        match *o {
+            Op::Alu(a, b, c, op) => v.push(Instr::Alu { op, rd: r(a), rs: r(b), rt: r(c) }),
+            Op::Llfu(a, b, c, op) => v.push(Instr::Llfu { op, rd: r(a), rs: r(b), rt: r(c) }),
+            Op::Load(a, k) | Op::Store(a, k) => {
+                v.push(Instr::AluImm { op: AluOp::Addu, rd: r(6), rs: r(2), imm: k as i16 });
+                v.push(Instr::AluImm { op: AluOp::And, rd: r(6), rs: r(6), imm: 31 });
+                v.push(Instr::AluImm { op: AluOp::Sll, rd: r(6), rs: r(6), imm: 2 });
+                v.push(Instr::Alu { op: AluOp::Addu, rd: r(7), rs: r(4), rt: r(6) });
+                let m = if matches!(o, Op::Load(..)) { MemOp::Lw } else { MemOp::Sw };
+                v.push(Instr::Mem { op: m, data: r(a), base: r(7), offset: 0 });
+            }
+        }
+    }
+    v.push(Instr::AluImm { op: AluOp::Addu, rd: r(2), rs: r(2), imm: 1 });
+    v.push(Instr::Branch {
+        cond: xloops_isa::BranchCond::Lt,
+        rs: r(2),
+        rt: r(3),
+        offset: -((v.len() - body_start) as i16),
+    });
+    v.push(Instr::Exit);
+    Program::from_instrs(v)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn timing_models_are_functionally_transparent(
+        ops in prop::collection::vec(op(), 1..12),
+        iters in 1u8..20,
+    ) {
+        let p = build(&ops, iters);
+
+        let mut golden_mem = Memory::new();
+        let mut golden = Interp::new();
+        golden.run(&p, &mut golden_mem, 10_000_000).expect("golden run");
+
+        for config in [GppConfig::io(), GppConfig::ooo2(), GppConfig::ooo4()] {
+            let mut mem = Memory::new();
+            let mut gpp = GppCore::new(config);
+            gpp.run(&p, &mut mem, &RunOpts::traditional()).expect("timed run");
+            for i in 0..32u32 {
+                prop_assert_eq!(
+                    mem.read_u32(ARRAY + 4 * i),
+                    golden_mem.read_u32(ARRAY + 4 * i),
+                    "{} word {}", config.name(), i
+                );
+            }
+            for reg in Reg::all() {
+                prop_assert_eq!(gpp.reg(reg), golden.reg(reg), "{} {}", config.name(), reg);
+            }
+            prop_assert!(gpp.stats().cycles > 0);
+        }
+    }
+
+    /// Cycle counts are deterministic: the same program on the same model
+    /// always takes the same number of cycles.
+    #[test]
+    fn timing_is_deterministic(
+        ops in prop::collection::vec(op(), 1..10),
+        iters in 1u8..12,
+    ) {
+        let p = build(&ops, iters);
+        for config in [GppConfig::io(), GppConfig::ooo4()] {
+            let run = || {
+                let mut mem = Memory::new();
+                let mut gpp = GppCore::new(config);
+                gpp.run(&p, &mut mem, &RunOpts::traditional()).expect("runs");
+                gpp.stats().cycles
+            };
+            prop_assert_eq!(run(), run());
+        }
+    }
+}

@@ -1,0 +1,718 @@
+use std::fmt;
+
+use crate::op::{AluOp, AmoOp, LlfuOp};
+use crate::pattern::{ControlPattern, DataPattern, LoopPattern};
+use crate::reg::Reg;
+
+/// Memory access operations (loads and stores of all widths).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemOp {
+    /// Load word (32-bit).
+    Lw,
+    /// Load half, sign-extended.
+    Lh,
+    /// Load half, zero-extended.
+    Lhu,
+    /// Load byte, sign-extended.
+    Lb,
+    /// Load byte, zero-extended.
+    Lbu,
+    /// Store word.
+    Sw,
+    /// Store half.
+    Sh,
+    /// Store byte.
+    Sb,
+}
+
+impl MemOp {
+    /// All memory operations.
+    pub const ALL: [MemOp; 8] = [
+        MemOp::Lw,
+        MemOp::Lh,
+        MemOp::Lhu,
+        MemOp::Lb,
+        MemOp::Lbu,
+        MemOp::Sw,
+        MemOp::Sh,
+        MemOp::Sb,
+    ];
+
+    /// Whether this is a load.
+    pub fn is_load(self) -> bool {
+        matches!(self, MemOp::Lw | MemOp::Lh | MemOp::Lhu | MemOp::Lb | MemOp::Lbu)
+    }
+
+    /// Whether this is a store.
+    pub fn is_store(self) -> bool {
+        !self.is_load()
+    }
+
+    /// Access size in bytes (1, 2, or 4).
+    pub fn size(self) -> u32 {
+        match self {
+            MemOp::Lw | MemOp::Sw => 4,
+            MemOp::Lh | MemOp::Lhu | MemOp::Sh => 2,
+            MemOp::Lb | MemOp::Lbu | MemOp::Sb => 1,
+        }
+    }
+
+    /// Assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            MemOp::Lw => "lw",
+            MemOp::Lh => "lh",
+            MemOp::Lhu => "lhu",
+            MemOp::Lb => "lb",
+            MemOp::Lbu => "lbu",
+            MemOp::Sw => "sw",
+            MemOp::Sh => "sh",
+            MemOp::Sb => "sb",
+        }
+    }
+}
+
+impl fmt::Display for MemOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Conditions for conditional branches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// Branch if equal.
+    Eq,
+    /// Branch if not equal.
+    Ne,
+    /// Branch if less than (signed).
+    Lt,
+    /// Branch if greater or equal (signed).
+    Ge,
+    /// Branch if less than (unsigned).
+    Ltu,
+    /// Branch if greater or equal (unsigned).
+    Geu,
+}
+
+impl BranchCond {
+    /// All branch conditions.
+    pub const ALL: [BranchCond; 6] = [
+        BranchCond::Eq,
+        BranchCond::Ne,
+        BranchCond::Lt,
+        BranchCond::Ge,
+        BranchCond::Ltu,
+        BranchCond::Geu,
+    ];
+
+    /// Evaluates the condition on two register values.
+    pub fn eval(self, a: u32, b: u32) -> bool {
+        match self {
+            BranchCond::Eq => a == b,
+            BranchCond::Ne => a != b,
+            BranchCond::Lt => (a as i32) < (b as i32),
+            BranchCond::Ge => (a as i32) >= (b as i32),
+            BranchCond::Ltu => a < b,
+            BranchCond::Geu => a >= b,
+        }
+    }
+
+    /// Assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BranchCond::Eq => "beq",
+            BranchCond::Ne => "bne",
+            BranchCond::Lt => "blt",
+            BranchCond::Ge => "bge",
+            BranchCond::Ltu => "bltu",
+            BranchCond::Geu => "bgeu",
+        }
+    }
+}
+
+impl fmt::Display for BranchCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// The increment operand of a cross-iteration (`xi`) instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum XiKind {
+    /// `addiu.xi rX, rX, imm` — immediate increment.
+    Imm(i16),
+    /// `addu.xi rX, rX, rT` — increment held in a loop-invariant register.
+    Reg(Reg),
+}
+
+/// One TRISC/XLOOPS instruction.
+///
+/// Branch targets are *pc-relative*: `target = pc + 4 × offset`, where
+/// `offset` is in instructions and relative to the branch itself (TRISC has
+/// no delay slot). The `xloop` body start is `pc − 4 × body_offset` with
+/// `body_offset ≥ 1`; the ISA makes a label at or after the `xloop` itself
+/// undefined, which the encoding rules out by construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// Register-register ALU operation: `rd ← rs op rt`.
+    Alu { op: AluOp, rd: Reg, rs: Reg, rt: Reg },
+    /// Immediate ALU operation: `rd ← rs op imm`.
+    ///
+    /// Logical ops (`andi`/`ori`/`xori`) zero-extend the immediate; all
+    /// others sign-extend. Shifts use the low 5 bits.
+    AluImm { op: AluOp, rd: Reg, rs: Reg, imm: i16 },
+    /// Load upper immediate: `rd ← imm << 16`.
+    Lui { rd: Reg, imm: u16 },
+    /// Long-latency op (integer mul/div, FP): `rd ← rs op rt`.
+    Llfu { op: LlfuOp, rd: Reg, rs: Reg, rt: Reg },
+    /// Atomic memory operation: `rd ← M[addr]; M[addr] ← op(rd, src)`.
+    Amo { op: AmoOp, rd: Reg, addr: Reg, src: Reg },
+    /// Load or store: loads write `data ← M[base+offset]`, stores write
+    /// `M[base+offset] ← data`.
+    Mem { op: MemOp, data: Reg, base: Reg, offset: i16 },
+    /// Conditional branch to `pc + 4 × offset` if `rs cond rt`.
+    Branch { cond: BranchCond, rs: Reg, rt: Reg, offset: i16 },
+    /// Unconditional jump to the absolute word address `target_word`
+    /// (byte address `4 × target_word`); `jal` links into `ra`.
+    Jump { link: bool, target_word: u32 },
+    /// Jump to the address in `rs`; `jalr` links `pc + 4` into `rd`.
+    JumpReg { link: bool, rd: Reg, rs: Reg },
+    /// Memory fence: all prior memory operations complete before any later
+    /// one issues.
+    Sync,
+    /// Halt the hart (end of kernel).
+    Exit,
+    /// No operation.
+    Nop,
+    /// XLOOPS loop instruction: the body is the static sequence
+    /// `[pc − 4 × body_offset, pc)`; `idx` is the loop induction variable
+    /// register and `bound` the loop-bound register. On a traditional
+    /// microarchitecture this is exactly `blt idx, bound, body`.
+    Xloop { pattern: LoopPattern, idx: Reg, bound: Reg, body_offset: u16 },
+    /// Cross-iteration instruction encoding a mutual induction variable:
+    /// `reg ← reg + inc`, where hardware may instead compute
+    /// `reg ← reg + inc × (1 + i_cur − i_prev)` in parallel.
+    Xi { reg: Reg, kind: XiKind },
+}
+
+/// Opcode field values (bits `[31:26]`) of the binary encoding.
+mod opc {
+    pub const ALU: u32 = 0x00;
+    pub const LLFU: u32 = 0x02;
+    pub const AMO: u32 = 0x03;
+    pub const ADDIU: u32 = 0x04;
+    pub const ANDI: u32 = 0x05;
+    pub const ORI: u32 = 0x06;
+    pub const XORI: u32 = 0x07;
+    pub const SLTI: u32 = 0x08;
+    pub const SLTIU: u32 = 0x09;
+    pub const SLLI: u32 = 0x0A;
+    pub const SRLI: u32 = 0x0B;
+    pub const SRAI: u32 = 0x0C;
+    pub const LUI: u32 = 0x0D;
+    pub const MEM_BASE: u32 = 0x10; // 0x10..=0x17, MemOp::ALL order
+    pub const BR_BASE: u32 = 0x18; // 0x18..=0x1D, BranchCond::ALL order
+    pub const J: u32 = 0x20;
+    pub const JAL: u32 = 0x21;
+    pub const JR: u32 = 0x22;
+    pub const JALR: u32 = 0x23;
+    pub const SYNC: u32 = 0x24;
+    pub const EXIT: u32 = 0x25;
+    pub const NOP: u32 = 0x26;
+    pub const XLOOP: u32 = 0x28;
+    pub const XI_ADDIU: u32 = 0x29;
+    pub const XI_ADDU: u32 = 0x2A;
+}
+
+const fn imm_op_opcode(op: AluOp) -> Option<u32> {
+    Some(match op {
+        AluOp::Addu => opc::ADDIU,
+        AluOp::And => opc::ANDI,
+        AluOp::Or => opc::ORI,
+        AluOp::Xor => opc::XORI,
+        AluOp::Slt => opc::SLTI,
+        AluOp::Sltu => opc::SLTIU,
+        AluOp::Sll => opc::SLLI,
+        AluOp::Srl => opc::SRLI,
+        AluOp::Sra => opc::SRAI,
+        AluOp::Subu | AluOp::Nor => return None,
+    })
+}
+
+fn imm_op_from_opcode(opcode: u32) -> Option<AluOp> {
+    Some(match opcode {
+        opc::ADDIU => AluOp::Addu,
+        opc::ANDI => AluOp::And,
+        opc::ORI => AluOp::Or,
+        opc::XORI => AluOp::Xor,
+        opc::SLTI => AluOp::Slt,
+        opc::SLTIU => AluOp::Sltu,
+        opc::SLLI => AluOp::Sll,
+        opc::SRLI => AluOp::Srl,
+        opc::SRAI => AluOp::Sra,
+        _ => return None,
+    })
+}
+
+fn rd_field(word: u32) -> Option<Reg> {
+    Reg::try_new(((word >> 21) & 31) as u8)
+}
+fn rs_field(word: u32) -> Option<Reg> {
+    Reg::try_new(((word >> 16) & 31) as u8)
+}
+fn rt_field(word: u32) -> Option<Reg> {
+    Reg::try_new(((word >> 11) & 31) as u8)
+}
+
+impl Instr {
+    /// Encodes the instruction into its 32-bit binary form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an [`Instr::AluImm`] uses an operation without an immediate
+    /// form (`subu`, `nor`), if a jump target exceeds 26 bits, or if an
+    /// `xloop` body offset is zero or exceeds 12 bits. The assembler
+    /// validates these before constructing the instruction.
+    pub fn encode(self) -> u32 {
+        let r3 = |opcode: u32, a: Reg, b: Reg, c: Reg, func: u32| {
+            (opcode << 26) | (a.field() << 21) | (b.field() << 16) | (c.field() << 11) | func
+        };
+        let ri = |opcode: u32, a: Reg, b: Reg, imm: u16| {
+            (opcode << 26) | (a.field() << 21) | (b.field() << 16) | imm as u32
+        };
+        match self {
+            Instr::Alu { op, rd, rs, rt } => r3(opc::ALU, rd, rs, rt, op.code()),
+            Instr::AluImm { op, rd, rs, imm } => {
+                let opcode = imm_op_opcode(op).expect("ALU op has no immediate form");
+                ri(opcode, rd, rs, imm as u16)
+            }
+            Instr::Lui { rd, imm } => (opc::LUI << 26) | (rd.field() << 21) | imm as u32,
+            Instr::Llfu { op, rd, rs, rt } => r3(opc::LLFU, rd, rs, rt, op.code()),
+            Instr::Amo { op, rd, addr, src } => r3(opc::AMO, rd, addr, src, op.code()),
+            Instr::Mem { op, data, base, offset } => {
+                let idx = MemOp::ALL.iter().position(|&m| m == op).unwrap() as u32;
+                ri(opc::MEM_BASE + idx, data, base, offset as u16)
+            }
+            Instr::Branch { cond, rs, rt, offset } => {
+                let idx = BranchCond::ALL.iter().position(|&c| c == cond).unwrap() as u32;
+                ri(opc::BR_BASE + idx, rs, rt, offset as u16)
+            }
+            Instr::Jump { link, target_word } => {
+                assert!(target_word < (1 << 26), "jump target out of range");
+                let opcode = if link { opc::JAL } else { opc::J };
+                (opcode << 26) | target_word
+            }
+            Instr::JumpReg { link, rd, rs } => {
+                let opcode = if link { opc::JALR } else { opc::JR };
+                (opcode << 26) | (rd.field() << 21) | (rs.field() << 16)
+            }
+            Instr::Sync => opc::SYNC << 26,
+            Instr::Exit => opc::EXIT << 26,
+            Instr::Nop => opc::NOP << 26,
+            Instr::Xloop { pattern, idx, bound, body_offset } => {
+                assert!(
+                    (1..(1 << 12)).contains(&body_offset),
+                    "xloop body offset out of range"
+                );
+                let db = (pattern.control == ControlPattern::Dynamic) as u32;
+                (opc::XLOOP << 26)
+                    | (pattern.data.code() << 23)
+                    | (db << 22)
+                    | (idx.field() << 17)
+                    | (bound.field() << 12)
+                    | body_offset as u32
+            }
+            Instr::Xi { reg, kind } => match kind {
+                XiKind::Imm(imm) => ri(opc::XI_ADDIU, reg, reg, imm as u16),
+                XiKind::Reg(rt) => r3(opc::XI_ADDU, reg, reg, rt, 0),
+            },
+        }
+    }
+
+    /// Decodes a 32-bit instruction word, returning `None` for any word that
+    /// is not a canonical encoding of a valid instruction.
+    pub fn decode(word: u32) -> Option<Instr> {
+        let opcode = word >> 26;
+        let func = word & 0x7FF;
+        let imm16 = (word & 0xFFFF) as u16;
+        match opcode {
+            opc::ALU => {
+                let op = AluOp::from_code(word & 63)?;
+                if func >> 6 != 0 {
+                    return None;
+                }
+                Some(Instr::Alu { op, rd: rd_field(word)?, rs: rs_field(word)?, rt: rt_field(word)? })
+            }
+            opc::LLFU => {
+                let op = LlfuOp::from_code(word & 63)?;
+                if func >> 6 != 0 {
+                    return None;
+                }
+                Some(Instr::Llfu { op, rd: rd_field(word)?, rs: rs_field(word)?, rt: rt_field(word)? })
+            }
+            opc::AMO => {
+                let op = AmoOp::from_code(word & 63)?;
+                if func >> 6 != 0 {
+                    return None;
+                }
+                Some(Instr::Amo { op, rd: rd_field(word)?, addr: rs_field(word)?, src: rt_field(word)? })
+            }
+            opc::LUI => {
+                if word >> 16 & 31 != 0 {
+                    return None;
+                }
+                Some(Instr::Lui { rd: rd_field(word)?, imm: imm16 })
+            }
+            opc::MEM_BASE..=0x17 => {
+                let op = MemOp::ALL[(opcode - opc::MEM_BASE) as usize];
+                Some(Instr::Mem { op, data: rd_field(word)?, base: rs_field(word)?, offset: imm16 as i16 })
+            }
+            opc::BR_BASE..=0x1D => {
+                let cond = BranchCond::ALL[(opcode - opc::BR_BASE) as usize];
+                Some(Instr::Branch { cond, rs: rd_field(word)?, rt: rs_field(word)?, offset: imm16 as i16 })
+            }
+            opc::J => Some(Instr::Jump { link: false, target_word: word & 0x03FF_FFFF }),
+            opc::JAL => Some(Instr::Jump { link: true, target_word: word & 0x03FF_FFFF }),
+            opc::JR => {
+                if word & 0x03E0_FFFF != 0 {
+                    return None;
+                }
+                Some(Instr::JumpReg { link: false, rd: Reg::ZERO, rs: rs_field(word)? })
+            }
+            opc::JALR => {
+                if word & 0xFFFF != 0 {
+                    return None;
+                }
+                Some(Instr::JumpReg { link: true, rd: rd_field(word)?, rs: rs_field(word)? })
+            }
+            opc::SYNC if word & 0x03FF_FFFF == 0 => Some(Instr::Sync),
+            opc::EXIT if word & 0x03FF_FFFF == 0 => Some(Instr::Exit),
+            opc::NOP if word & 0x03FF_FFFF == 0 => Some(Instr::Nop),
+            opc::XLOOP => {
+                let data = DataPattern::from_code((word >> 23) & 7)?;
+                let control = if word & (1 << 22) != 0 {
+                    ControlPattern::Dynamic
+                } else {
+                    ControlPattern::Fixed
+                };
+                let body_offset = (word & 0xFFF) as u16;
+                if body_offset == 0 {
+                    return None;
+                }
+                Some(Instr::Xloop {
+                    pattern: LoopPattern { data, control },
+                    idx: Reg::try_new(((word >> 17) & 31) as u8)?,
+                    bound: Reg::try_new(((word >> 12) & 31) as u8)?,
+                    body_offset,
+                })
+            }
+            opc::XI_ADDIU => {
+                let rd = rd_field(word)?;
+                if rs_field(word)? != rd {
+                    return None;
+                }
+                Some(Instr::Xi { reg: rd, kind: XiKind::Imm(imm16 as i16) })
+            }
+            opc::XI_ADDU => {
+                let rd = rd_field(word)?;
+                if rs_field(word)? != rd || func != 0 {
+                    return None;
+                }
+                Some(Instr::Xi { reg: rd, kind: XiKind::Reg(rt_field(word)?) })
+            }
+            _ => {
+                let _ = imm16;
+                imm_op_from_opcode(opcode).and_then(|op| {
+                    Some(Instr::AluImm {
+                        op,
+                        rd: rd_field(word)?,
+                        rs: rs_field(word)?,
+                        imm: imm16 as i16,
+                    })
+                })
+            }
+        }
+    }
+
+    /// The architectural destination register, if the instruction writes one.
+    ///
+    /// Writes to `r0` are still reported; they are architecturally discarded.
+    pub fn dst(&self) -> Option<Reg> {
+        match *self {
+            Instr::Alu { rd, .. }
+            | Instr::AluImm { rd, .. }
+            | Instr::Lui { rd, .. }
+            | Instr::Llfu { rd, .. }
+            | Instr::Amo { rd, .. } => Some(rd),
+            Instr::Mem { op, data, .. } if op.is_load() => Some(data),
+            Instr::Jump { link: true, .. } => Some(Reg::RA),
+            Instr::JumpReg { link: true, rd, .. } => Some(rd),
+            Instr::Xi { reg, .. } => Some(reg),
+            _ => None,
+        }
+    }
+
+    /// The source registers read by the instruction (up to two), `None`
+    /// slots unused. An `xloop` reads its index and bound registers.
+    pub fn srcs(&self) -> [Option<Reg>; 2] {
+        match *self {
+            Instr::Alu { rs, rt, .. } | Instr::Llfu { rs, rt, .. } => [Some(rs), Some(rt)],
+            Instr::AluImm { rs, .. } => [Some(rs), None],
+            Instr::Lui { .. } => [None, None],
+            Instr::Amo { addr, src, .. } => [Some(addr), Some(src)],
+            Instr::Mem { op, data, base, .. } => {
+                if op.is_load() {
+                    [Some(base), None]
+                } else {
+                    [Some(base), Some(data)]
+                }
+            }
+            Instr::Branch { rs, rt, .. } => [Some(rs), Some(rt)],
+            Instr::Jump { .. } => [None, None],
+            Instr::JumpReg { rs, .. } => [Some(rs), None],
+            Instr::Sync | Instr::Exit | Instr::Nop => [None, None],
+            Instr::Xloop { idx, bound, .. } => [Some(idx), Some(bound)],
+            Instr::Xi { reg, kind } => match kind {
+                XiKind::Imm(_) => [Some(reg), None],
+                XiKind::Reg(rt) => [Some(reg), Some(rt)],
+            },
+        }
+    }
+
+    /// Whether this is a memory load (AMOs count as both load and store).
+    pub fn is_load(&self) -> bool {
+        matches!(self, Instr::Mem { op, .. } if op.is_load()) || self.is_amo()
+    }
+
+    /// Whether this writes memory (stores and AMOs).
+    pub fn is_store(&self) -> bool {
+        matches!(self, Instr::Mem { op, .. } if op.is_store()) || self.is_amo()
+    }
+
+    /// Whether this accesses the data memory port at all.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Instr::Mem { .. } | Instr::Amo { .. })
+    }
+
+    /// Whether this is an atomic memory operation.
+    pub fn is_amo(&self) -> bool {
+        matches!(self, Instr::Amo { .. })
+    }
+
+    /// Whether this instruction executes on the long-latency functional unit.
+    pub fn is_llfu(&self) -> bool {
+        matches!(self, Instr::Llfu { .. })
+    }
+
+    /// Whether this may redirect the pc (branches, jumps, and `xloop`, which
+    /// traditional execution treats as a conditional branch).
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Instr::Branch { .. } | Instr::Jump { .. } | Instr::JumpReg { .. } | Instr::Xloop { .. }
+        )
+    }
+
+    /// Whether this is an `xloop` instruction.
+    pub fn is_xloop(&self) -> bool {
+        matches!(self, Instr::Xloop { .. })
+    }
+
+    /// Whether this is a cross-iteration (`xi`) instruction.
+    pub fn is_xi(&self) -> bool {
+        matches!(self, Instr::Xi { .. })
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Alu { op, rd, rs, rt } => write!(f, "{} {rd}, {rs}, {rt}", op.mnemonic()),
+            Instr::AluImm { op, rd, rs, imm } => {
+                let m = op.imm_mnemonic().unwrap_or("<bad-imm-op>");
+                write!(f, "{m} {rd}, {rs}, {imm}")
+            }
+            Instr::Lui { rd, imm } => write!(f, "lui {rd}, {imm:#x}"),
+            Instr::Llfu { op, rd, rs, rt } => write!(f, "{op} {rd}, {rs}, {rt}"),
+            Instr::Amo { op, rd, addr, src } => write!(f, "{op} {rd}, ({addr}), {src}"),
+            Instr::Mem { op, data, base, offset } => write!(f, "{op} {data}, {offset}({base})"),
+            Instr::Branch { cond, rs, rt, offset } => write!(f, "{cond} {rs}, {rt}, {offset}"),
+            Instr::Jump { link: false, target_word } => write!(f, "j {:#x}", target_word * 4),
+            Instr::Jump { link: true, target_word } => write!(f, "jal {:#x}", target_word * 4),
+            Instr::JumpReg { link: false, rs, .. } => write!(f, "jr {rs}"),
+            Instr::JumpReg { link: true, rd, rs } => write!(f, "jalr {rd}, {rs}"),
+            Instr::Sync => f.write_str("sync"),
+            Instr::Exit => f.write_str("exit"),
+            Instr::Nop => f.write_str("nop"),
+            Instr::Xloop { pattern, idx, bound, body_offset } => {
+                write!(f, "xloop.{pattern} -{body_offset}, {idx}, {bound}")
+            }
+            Instr::Xi { reg, kind: XiKind::Imm(imm) } => {
+                write!(f, "addiu.xi {reg}, {reg}, {imm}")
+            }
+            Instr::Xi { reg, kind: XiKind::Reg(rt) } => {
+                write!(f, "addu.xi {reg}, {reg}, {rt}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_instrs() -> Vec<Instr> {
+        let r = Reg::new;
+        let mut v = Vec::new();
+        for op in AluOp::ALL {
+            v.push(Instr::Alu { op, rd: r(1), rs: r(2), rt: r(3) });
+            if op.imm_mnemonic().is_some() {
+                v.push(Instr::AluImm { op, rd: r(4), rs: r(5), imm: -7 });
+                v.push(Instr::AluImm { op, rd: r(31), rs: r(0), imm: i16::MAX });
+            }
+        }
+        for op in LlfuOp::ALL {
+            v.push(Instr::Llfu { op, rd: r(6), rs: r(7), rt: r(8) });
+        }
+        for op in AmoOp::ALL {
+            v.push(Instr::Amo { op, rd: r(9), addr: r(10), src: r(11) });
+        }
+        for op in MemOp::ALL {
+            v.push(Instr::Mem { op, data: r(12), base: r(13), offset: -128 });
+        }
+        for cond in BranchCond::ALL {
+            v.push(Instr::Branch { cond, rs: r(14), rt: r(15), offset: -3 });
+        }
+        v.push(Instr::Lui { rd: r(16), imm: 0xBEEF });
+        v.push(Instr::Jump { link: false, target_word: 0x123 });
+        v.push(Instr::Jump { link: true, target_word: (1 << 26) - 1 });
+        v.push(Instr::JumpReg { link: false, rd: Reg::ZERO, rs: r(17) });
+        v.push(Instr::JumpReg { link: true, rd: r(18), rs: r(19) });
+        v.push(Instr::Sync);
+        v.push(Instr::Exit);
+        v.push(Instr::Nop);
+        for data in DataPattern::ALL {
+            for control in [ControlPattern::Fixed, ControlPattern::Dynamic] {
+                v.push(Instr::Xloop {
+                    pattern: LoopPattern { data, control },
+                    idx: r(20),
+                    bound: r(21),
+                    body_offset: 42,
+                });
+            }
+        }
+        v.push(Instr::Xi { reg: r(22), kind: XiKind::Imm(4) });
+        v.push(Instr::Xi { reg: r(23), kind: XiKind::Reg(r(24)) });
+        v
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for i in sample_instrs() {
+            let word = i.encode();
+            assert_eq!(Instr::decode(word), Some(i), "round-trip failed for {i}");
+        }
+    }
+
+    #[test]
+    fn encodings_are_distinct() {
+        let instrs = sample_instrs();
+        let mut words: Vec<u32> = instrs.iter().map(|i| i.encode()).collect();
+        words.sort_unstable();
+        words.dedup();
+        assert_eq!(words.len(), instrs.len(), "two instructions share an encoding");
+    }
+
+    #[test]
+    fn invalid_words_decode_to_none() {
+        // Unassigned opcodes.
+        for opcode in [0x01u32, 0x0E, 0x1E, 0x1F, 0x27, 0x2B, 0x3F] {
+            assert_eq!(Instr::decode(opcode << 26), None, "opcode {opcode:#x}");
+        }
+        // Bad funct codes.
+        assert_eq!(Instr::decode(AluOp::ALL.len() as u32), None);
+        assert_eq!(Instr::decode((opc_pub::LLFU << 26) | 63), None);
+        // xloop with zero body offset.
+        let xl = Instr::Xloop {
+            pattern: LoopPattern::fixed(DataPattern::Uc),
+            idx: Reg::new(1),
+            bound: Reg::new(2),
+            body_offset: 1,
+        };
+        assert_eq!(Instr::decode(xl.encode() & !0xFFF), None);
+        // xi with rd != rs.
+        let xi = Instr::Xi { reg: Reg::new(3), kind: XiKind::Imm(1) }.encode();
+        assert_eq!(Instr::decode(xi ^ (1 << 16)), None);
+    }
+
+    mod opc_pub {
+        pub const LLFU: u32 = 0x02;
+    }
+
+    #[test]
+    fn traditional_branch_equivalence_fields() {
+        // An xloop's operand metadata matches a conditional branch: it reads
+        // idx and bound and writes nothing.
+        let xl = Instr::Xloop {
+            pattern: LoopPattern::fixed(DataPattern::Om),
+            idx: Reg::new(5),
+            bound: Reg::new(6),
+            body_offset: 10,
+        };
+        assert_eq!(xl.dst(), None);
+        assert_eq!(xl.srcs(), [Some(Reg::new(5)), Some(Reg::new(6))]);
+        assert!(xl.is_control());
+    }
+
+    #[test]
+    fn metadata_classification() {
+        let r = Reg::new;
+        let load = Instr::Mem { op: MemOp::Lw, data: r(1), base: r(2), offset: 0 };
+        assert!(load.is_load() && !load.is_store() && load.is_mem());
+        assert_eq!(load.dst(), Some(r(1)));
+        assert_eq!(load.srcs(), [Some(r(2)), None]);
+
+        let store = Instr::Mem { op: MemOp::Sw, data: r(1), base: r(2), offset: 0 };
+        assert!(!store.is_load() && store.is_store());
+        assert_eq!(store.dst(), None);
+        assert_eq!(store.srcs(), [Some(r(2)), Some(r(1))]);
+
+        let amo = Instr::Amo { op: AmoOp::Add, rd: r(3), addr: r(4), src: r(5) };
+        assert!(amo.is_load() && amo.is_store() && amo.is_amo() && amo.is_mem());
+
+        let jal = Instr::Jump { link: true, target_word: 0 };
+        assert_eq!(jal.dst(), Some(Reg::RA));
+
+        let llfu = Instr::Llfu { op: LlfuOp::FDiv, rd: r(1), rs: r(2), rt: r(3) };
+        assert!(llfu.is_llfu());
+    }
+
+    #[test]
+    fn display_forms() {
+        let r = Reg::new;
+        assert_eq!(
+            Instr::Alu { op: AluOp::Addu, rd: r(1), rs: r(2), rt: r(3) }.to_string(),
+            "addu r1, r2, r3"
+        );
+        assert_eq!(
+            Instr::AluImm { op: AluOp::Addu, rd: r(1), rs: r(2), imm: -4 }.to_string(),
+            "addiu r1, r2, -4"
+        );
+        assert_eq!(
+            Instr::Mem { op: MemOp::Lw, data: r(9), base: r(4), offset: 8 }.to_string(),
+            "lw r9, 8(r4)"
+        );
+        assert_eq!(
+            Instr::Xloop {
+                pattern: LoopPattern::dynamic(DataPattern::Uc),
+                idx: r(2),
+                bound: r(3),
+                body_offset: 9
+            }
+            .to_string(),
+            "xloop.uc.db -9, r2, r3"
+        );
+        assert_eq!(Instr::Xi { reg: r(7), kind: XiKind::Imm(4) }.to_string(), "addiu.xi r7, r7, 4");
+    }
+}

@@ -1,0 +1,46 @@
+//! # xloops-isa
+//!
+//! The TRISC instruction set plus the XLOOPS extensions of Table I of the
+//! paper. TRISC is a 32-bit RISC ISA with the properties the paper's custom
+//! LLVM target assumes: 32 unified integer/floating-point registers, no
+//! branch delay slot, word-aligned 32-bit instructions.
+//!
+//! The XLOOPS extensions are:
+//!
+//! * `xloop.{uc,or,om,orm,ua}[.db] L, rIdx, rBound` — marks the static
+//!   instruction sequence `[L, xloop)` as a parallel loop body with the given
+//!   inter-iteration [data-dependence pattern](DataPattern) and
+//!   [control-dependence pattern](ControlPattern). On a traditional
+//!   microarchitecture the instruction behaves exactly like
+//!   `blt rIdx, rBound, L`.
+//! * `addiu.xi rX, rX, imm` / `addu.xi rX, rX, rT` — cross-iteration
+//!   instructions that explicitly encode mutual induction variables (MIVs) so
+//!   specialized hardware can compute them in parallel; traditionally they
+//!   execute as plain additions.
+//!
+//! The crate provides the [`Instr`] representation, a dense 32-bit binary
+//! [encoding](Instr::encode) / [decoding](Instr::decode), and the operand /
+//! hazard metadata ([`Instr::dst`], [`Instr::srcs`], …) that the cycle-level
+//! models in `xloops-gpp` and `xloops-lpsu` are driven by.
+//!
+//! ```
+//! use xloops_isa::{Instr, AluOp, Reg};
+//!
+//! let i = Instr::Alu { op: AluOp::Addu, rd: Reg::new(3), rs: Reg::new(1), rt: Reg::new(2) };
+//! let word = i.encode();
+//! assert_eq!(Instr::decode(word), Some(i));
+//! ```
+
+mod instr;
+mod op;
+mod pattern;
+mod reg;
+
+pub use instr::{BranchCond, Instr, MemOp, XiKind};
+pub use op::{AluOp, AmoOp, LlfuOp};
+pub use pattern::{ControlPattern, DataPattern, LoopPattern, ParsePatternError};
+pub use reg::{ParseRegError, Reg, NUM_REGS};
+// original exports replaced
+
+/// Size of one instruction in bytes. All instructions are fixed width.
+pub const INSTR_BYTES: u32 = 4;

@@ -1,0 +1,425 @@
+use std::fmt;
+
+/// Single-cycle integer ALU operations.
+///
+/// Shift operations take their shift amount from the low 5 bits of the
+/// second operand (register form) or from the immediate (immediate form).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Addition (wrapping; TRISC has no trapping add).
+    Addu,
+    /// Subtraction (wrapping).
+    Subu,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Bitwise NOR.
+    Nor,
+    /// Set-if-less-than, signed comparison.
+    Slt,
+    /// Set-if-less-than, unsigned comparison.
+    Sltu,
+    /// Shift left logical.
+    Sll,
+    /// Shift right logical.
+    Srl,
+    /// Shift right arithmetic.
+    Sra,
+}
+
+impl AluOp {
+    /// All ALU operations.
+    pub const ALL: [AluOp; 11] = [
+        AluOp::Addu,
+        AluOp::Subu,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Nor,
+        AluOp::Slt,
+        AluOp::Sltu,
+        AluOp::Sll,
+        AluOp::Srl,
+        AluOp::Sra,
+    ];
+
+    /// Applies the operation to two operand values.
+    pub fn apply(self, a: u32, b: u32) -> u32 {
+        match self {
+            AluOp::Addu => a.wrapping_add(b),
+            AluOp::Subu => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Nor => !(a | b),
+            AluOp::Slt => ((a as i32) < (b as i32)) as u32,
+            AluOp::Sltu => (a < b) as u32,
+            AluOp::Sll => a.wrapping_shl(b & 31),
+            AluOp::Srl => a.wrapping_shr(b & 31),
+            AluOp::Sra => ((a as i32).wrapping_shr(b & 31)) as u32,
+        }
+    }
+
+    /// Register-form mnemonic (`addu`, `and`, …).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Addu => "addu",
+            AluOp::Subu => "subu",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Nor => "nor",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+            AluOp::Sll => "sllv",
+            AluOp::Srl => "srlv",
+            AluOp::Sra => "srav",
+        }
+    }
+
+    /// Immediate-form mnemonic (`addiu`, `andi`, …), or `None` if the
+    /// operation has no immediate form (`subu`, `nor`).
+    pub fn imm_mnemonic(self) -> Option<&'static str> {
+        Some(match self {
+            AluOp::Addu => "addiu",
+            AluOp::And => "andi",
+            AluOp::Or => "ori",
+            AluOp::Xor => "xori",
+            AluOp::Slt => "slti",
+            AluOp::Sltu => "sltiu",
+            AluOp::Sll => "sll",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Subu | AluOp::Nor => return None,
+        })
+    }
+
+    pub(crate) fn code(self) -> u32 {
+        AluOp::ALL.iter().position(|&o| o == self).unwrap() as u32
+    }
+
+    pub(crate) fn from_code(code: u32) -> Option<AluOp> {
+        AluOp::ALL.get(code as usize).copied()
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Long-latency functional unit operations: integer multiply/divide and
+/// single-precision floating point.
+///
+/// In the LPSU these are executed by the single LLFU shared between the GPP
+/// and all lanes (Section II-D); sharing the LLFU is the key decision that
+/// keeps the LPSU's area overhead near 40%.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LlfuOp {
+    /// 32-bit integer multiply (low word).
+    Mul,
+    /// Signed integer division. Division by zero yields all ones.
+    Div,
+    /// Signed integer remainder. Remainder by zero yields the dividend.
+    Rem,
+    /// Unsigned integer division.
+    Divu,
+    /// Unsigned integer remainder.
+    Remu,
+    /// Single-precision add.
+    FAdd,
+    /// Single-precision subtract.
+    FSub,
+    /// Single-precision multiply.
+    FMul,
+    /// Single-precision divide.
+    FDiv,
+    /// Single-precision compare: set 1 if `a < b`.
+    FLt,
+    /// Single-precision compare: set 1 if `a <= b`.
+    FLe,
+    /// Single-precision compare: set 1 if `a == b`.
+    FEq,
+    /// Convert signed integer to single-precision float.
+    CvtSW,
+    /// Convert single-precision float to signed integer (round toward zero).
+    CvtWS,
+}
+
+impl LlfuOp {
+    /// All LLFU operations.
+    pub const ALL: [LlfuOp; 14] = [
+        LlfuOp::Mul,
+        LlfuOp::Div,
+        LlfuOp::Rem,
+        LlfuOp::Divu,
+        LlfuOp::Remu,
+        LlfuOp::FAdd,
+        LlfuOp::FSub,
+        LlfuOp::FMul,
+        LlfuOp::FDiv,
+        LlfuOp::FLt,
+        LlfuOp::FLe,
+        LlfuOp::FEq,
+        LlfuOp::CvtSW,
+        LlfuOp::CvtWS,
+    ];
+
+    /// Applies the operation. The unified register file stores `f32` values
+    /// as raw bits, so both operands and results are `u32`.
+    pub fn apply(self, a: u32, b: u32) -> u32 {
+        let (fa, fb) = (f32::from_bits(a), f32::from_bits(b));
+        match self {
+            LlfuOp::Mul => a.wrapping_mul(b),
+            LlfuOp::Div => {
+                if b == 0 {
+                    u32::MAX
+                } else if a == 0x8000_0000 && b == u32::MAX {
+                    a // i32::MIN / -1 overflows; mirror RISC-V semantics
+                } else {
+                    ((a as i32).wrapping_div(b as i32)) as u32
+                }
+            }
+            LlfuOp::Rem => {
+                if b == 0 {
+                    a
+                } else if a == 0x8000_0000 && b == u32::MAX {
+                    0
+                } else {
+                    ((a as i32).wrapping_rem(b as i32)) as u32
+                }
+            }
+            LlfuOp::Divu => {
+                if b == 0 {
+                    u32::MAX
+                } else {
+                    a / b
+                }
+            }
+            LlfuOp::Remu => {
+                if b == 0 {
+                    a
+                } else {
+                    a % b
+                }
+            }
+            LlfuOp::FAdd => (fa + fb).to_bits(),
+            LlfuOp::FSub => (fa - fb).to_bits(),
+            LlfuOp::FMul => (fa * fb).to_bits(),
+            LlfuOp::FDiv => (fa / fb).to_bits(),
+            LlfuOp::FLt => (fa < fb) as u32,
+            LlfuOp::FLe => (fa <= fb) as u32,
+            LlfuOp::FEq => (fa == fb) as u32,
+            LlfuOp::CvtSW => (a as i32 as f32).to_bits(),
+            LlfuOp::CvtWS => {
+                // Round toward zero with saturation, like RISC-V fcvt.w.s.
+                if fa.is_nan() {
+                    0
+                } else {
+                    (fa.trunc().clamp(i32::MIN as f32, i32::MAX as f32) as i32) as u32
+                }
+            }
+        }
+    }
+
+    /// Assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            LlfuOp::Mul => "mul",
+            LlfuOp::Div => "div",
+            LlfuOp::Rem => "rem",
+            LlfuOp::Divu => "divu",
+            LlfuOp::Remu => "remu",
+            LlfuOp::FAdd => "fadd.s",
+            LlfuOp::FSub => "fsub.s",
+            LlfuOp::FMul => "fmul.s",
+            LlfuOp::FDiv => "fdiv.s",
+            LlfuOp::FLt => "flt.s",
+            LlfuOp::FLe => "fle.s",
+            LlfuOp::FEq => "feq.s",
+            LlfuOp::CvtSW => "cvt.s.w",
+            LlfuOp::CvtWS => "cvt.w.s",
+        }
+    }
+
+    /// Whether the operation flows through the LLFU's pipelined datapath
+    /// (multiply, FP add/mul, compares, converts) or occupies the iterative
+    /// divider for its full latency.
+    pub fn is_pipelined(self) -> bool {
+        !matches!(
+            self,
+            LlfuOp::Div | LlfuOp::Rem | LlfuOp::Divu | LlfuOp::Remu | LlfuOp::FDiv
+        )
+    }
+
+    /// Default occupancy of the long-latency functional unit in cycles.
+    /// Pipelined ops occupy an issue slot for one cycle and deliver after
+    /// this latency; divides occupy the unit for the whole duration.
+    pub fn default_latency(self) -> u32 {
+        match self {
+            LlfuOp::Mul => 3,
+            LlfuOp::Div | LlfuOp::Rem | LlfuOp::Divu | LlfuOp::Remu => 12,
+            LlfuOp::FAdd | LlfuOp::FSub => 4,
+            LlfuOp::FMul => 4,
+            LlfuOp::FDiv => 12,
+            LlfuOp::FLt | LlfuOp::FLe | LlfuOp::FEq => 2,
+            LlfuOp::CvtSW | LlfuOp::CvtWS => 3,
+        }
+    }
+
+    pub(crate) fn code(self) -> u32 {
+        LlfuOp::ALL.iter().position(|&o| o == self).unwrap() as u32
+    }
+
+    pub(crate) fn from_code(code: u32) -> Option<LlfuOp> {
+        LlfuOp::ALL.get(code as usize).copied()
+    }
+}
+
+impl fmt::Display for LlfuOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Atomic memory operations.
+///
+/// Each AMO atomically loads a word, combines it with the source operand,
+/// stores the result, and returns the *old* value. `amo.add` is the
+/// `amo_inc` primitive used by the dynamic-bound worklist example in
+/// Figure 1(e).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AmoOp {
+    /// Atomic fetch-and-add.
+    Add,
+    /// Atomic fetch-and-AND.
+    And,
+    /// Atomic fetch-and-OR.
+    Or,
+    /// Atomic exchange.
+    Xchg,
+    /// Atomic fetch-and-minimum (signed).
+    Min,
+    /// Atomic fetch-and-maximum (signed).
+    Max,
+}
+
+impl AmoOp {
+    /// All AMO operations.
+    pub const ALL: [AmoOp; 6] =
+        [AmoOp::Add, AmoOp::And, AmoOp::Or, AmoOp::Xchg, AmoOp::Min, AmoOp::Max];
+
+    /// Combines the old memory value with the operand, producing the new
+    /// memory value.
+    pub fn combine(self, old: u32, operand: u32) -> u32 {
+        match self {
+            AmoOp::Add => old.wrapping_add(operand),
+            AmoOp::And => old & operand,
+            AmoOp::Or => old | operand,
+            AmoOp::Xchg => operand,
+            AmoOp::Min => (old as i32).min(operand as i32) as u32,
+            AmoOp::Max => (old as i32).max(operand as i32) as u32,
+        }
+    }
+
+    /// Assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AmoOp::Add => "amo.add",
+            AmoOp::And => "amo.and",
+            AmoOp::Or => "amo.or",
+            AmoOp::Xchg => "amo.xchg",
+            AmoOp::Min => "amo.min",
+            AmoOp::Max => "amo.max",
+        }
+    }
+
+    pub(crate) fn code(self) -> u32 {
+        AmoOp::ALL.iter().position(|&o| o == self).unwrap() as u32
+    }
+
+    pub(crate) fn from_code(code: u32) -> Option<AmoOp> {
+        AmoOp::ALL.get(code as usize).copied()
+    }
+}
+
+impl fmt::Display for AmoOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Addu.apply(3, 4), 7);
+        assert_eq!(AluOp::Addu.apply(u32::MAX, 1), 0);
+        assert_eq!(AluOp::Subu.apply(3, 4), u32::MAX);
+        assert_eq!(AluOp::Slt.apply(-1i32 as u32, 0), 1);
+        assert_eq!(AluOp::Sltu.apply(-1i32 as u32, 0), 0);
+        assert_eq!(AluOp::Sll.apply(1, 33), 2, "shift amount is mod 32");
+        assert_eq!(AluOp::Sra.apply(-8i32 as u32, 1), -4i32 as u32);
+        assert_eq!(AluOp::Srl.apply(0x8000_0000, 31), 1);
+        assert_eq!(AluOp::Nor.apply(0, 0), u32::MAX);
+    }
+
+    #[test]
+    fn llfu_integer_semantics() {
+        assert_eq!(LlfuOp::Mul.apply(7, 6), 42);
+        assert_eq!(LlfuOp::Div.apply(-7i32 as u32, 2), -3i32 as u32);
+        assert_eq!(LlfuOp::Rem.apply(-7i32 as u32, 2), -1i32 as u32);
+        assert_eq!(LlfuOp::Div.apply(5, 0), u32::MAX);
+        assert_eq!(LlfuOp::Rem.apply(5, 0), 5);
+        assert_eq!(LlfuOp::Div.apply(i32::MIN as u32, -1i32 as u32), i32::MIN as u32);
+        assert_eq!(LlfuOp::Rem.apply(i32::MIN as u32, -1i32 as u32), 0);
+        assert_eq!(LlfuOp::Divu.apply(7, 2), 3);
+        assert_eq!(LlfuOp::Remu.apply(7, 2), 1);
+    }
+
+    #[test]
+    fn llfu_float_semantics() {
+        let b = |f: f32| f.to_bits();
+        assert_eq!(LlfuOp::FAdd.apply(b(1.5), b(2.25)), b(3.75));
+        assert_eq!(LlfuOp::FMul.apply(b(3.0), b(-2.0)), b(-6.0));
+        assert_eq!(LlfuOp::FLt.apply(b(1.0), b(2.0)), 1);
+        assert_eq!(LlfuOp::FLe.apply(b(2.0), b(2.0)), 1);
+        assert_eq!(LlfuOp::FEq.apply(b(2.0), b(2.5)), 0);
+        assert_eq!(LlfuOp::CvtSW.apply(-3i32 as u32, 0), b(-3.0));
+        assert_eq!(LlfuOp::CvtWS.apply(b(-3.7), 0), -3i32 as u32);
+        assert_eq!(LlfuOp::CvtWS.apply(b(f32::NAN), 0), 0);
+        assert_eq!(LlfuOp::CvtWS.apply(b(1e20), 0), i32::MAX as u32);
+    }
+
+    #[test]
+    fn amo_semantics() {
+        assert_eq!(AmoOp::Add.combine(10, 4), 14);
+        assert_eq!(AmoOp::Xchg.combine(10, 4), 4);
+        assert_eq!(AmoOp::Min.combine(-5i32 as u32, 3), -5i32 as u32);
+        assert_eq!(AmoOp::Max.combine(-5i32 as u32, 3), 3);
+        assert_eq!(AmoOp::And.combine(0b1100, 0b1010), 0b1000);
+        assert_eq!(AmoOp::Or.combine(0b1100, 0b1010), 0b1110);
+    }
+
+    #[test]
+    fn op_codes_round_trip() {
+        for op in AluOp::ALL {
+            assert_eq!(AluOp::from_code(op.code()), Some(op));
+        }
+        for op in LlfuOp::ALL {
+            assert_eq!(LlfuOp::from_code(op.code()), Some(op));
+        }
+        for op in AmoOp::ALL {
+            assert_eq!(AmoOp::from_code(op.code()), Some(op));
+        }
+        assert_eq!(AluOp::from_code(31), None);
+        assert_eq!(LlfuOp::from_code(31), None);
+        assert_eq!(AmoOp::from_code(31), None);
+    }
+}

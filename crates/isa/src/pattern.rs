@@ -1,0 +1,274 @@
+use std::fmt;
+use std::str::FromStr;
+
+/// Inter-iteration **data**-dependence pattern of an `xloop` (Table I).
+///
+/// The patterns form a partial order of restrictiveness: any valid
+/// [`Uc`](DataPattern::Uc) loop is also a valid [`Or`](DataPattern::Or) loop,
+/// any valid [`Ua`](DataPattern::Ua) loop is also a valid
+/// [`Om`](DataPattern::Om) loop, and any fixed-bound xloop is a valid
+/// [`Orm`](DataPattern::Orm) loop. Software should pick the *least
+/// restrictive* pattern that is valid, which gives hardware the most freedom.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DataPattern {
+    /// `uc` — unordered concurrent: iterations may appear to execute
+    /// concurrently and in any order. Data races are possible; AMOs provide
+    /// synchronization when needed.
+    Uc,
+    /// `or` — ordered through registers: cross-iteration registers (CIRs)
+    /// must observe the same values as a serial execution. No memory
+    /// ordering.
+    Or,
+    /// `om` — ordered through memory: all values read from and written to
+    /// memory must match a serial execution; no races are possible.
+    Om,
+    /// `orm` — ordered through registers *and* memory.
+    Orm,
+    /// `ua` — unordered atomic: iterations may execute in any order but
+    /// their memory updates must appear atomic to other iterations.
+    Ua,
+}
+
+impl DataPattern {
+    /// All data-dependence patterns.
+    pub const ALL: [DataPattern; 5] = [
+        DataPattern::Uc,
+        DataPattern::Or,
+        DataPattern::Om,
+        DataPattern::Orm,
+        DataPattern::Ua,
+    ];
+
+    /// ISA mnemonic suffix (`uc`, `or`, `om`, `orm`, `ua`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            DataPattern::Uc => "uc",
+            DataPattern::Or => "or",
+            DataPattern::Om => "om",
+            DataPattern::Orm => "orm",
+            DataPattern::Ua => "ua",
+        }
+    }
+
+    /// Whether the pattern constrains ordering through registers (CIRs).
+    pub fn orders_registers(self) -> bool {
+        matches!(self, DataPattern::Or | DataPattern::Orm)
+    }
+
+    /// Whether the pattern constrains ordering through memory.
+    ///
+    /// `ua` is included: the current microarchitecture (like the paper's)
+    /// executes `xloop.ua` with the same serial-memory-order mechanisms as
+    /// `xloop.om`, which trivially satisfies atomicity.
+    pub fn orders_memory(self) -> bool {
+        matches!(self, DataPattern::Om | DataPattern::Orm | DataPattern::Ua)
+    }
+
+    /// Whether `self` is a valid *re-encoding* of `other`, i.e. every loop
+    /// that is valid under `other` is also valid under `self`.
+    ///
+    /// This is the "any valid `xloop.uc` is also a valid `xloop.or`"
+    /// relation from Section II-A.
+    pub fn generalizes(self, other: DataPattern) -> bool {
+        use DataPattern::*;
+        if self == other {
+            return true;
+        }
+        match (other, self) {
+            (Uc, Or) | (Uc, Om) | (Uc, Orm) | (Uc, Ua) => true,
+            (Ua, Om) | (Ua, Orm) => true,
+            (Or, Orm) => true,
+            (Om, Orm) => true,
+            _ => false,
+        }
+    }
+
+    /// Binary encoding of the pattern in the `xloop` instruction word.
+    pub(crate) fn code(self) -> u32 {
+        match self {
+            DataPattern::Uc => 0,
+            DataPattern::Or => 1,
+            DataPattern::Om => 2,
+            DataPattern::Orm => 3,
+            DataPattern::Ua => 4,
+        }
+    }
+
+    pub(crate) fn from_code(code: u32) -> Option<DataPattern> {
+        Some(match code {
+            0 => DataPattern::Uc,
+            1 => DataPattern::Or,
+            2 => DataPattern::Om,
+            3 => DataPattern::Orm,
+            4 => DataPattern::Ua,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for DataPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+/// Inter-iteration **control**-dependence pattern of an `xloop` (Table I).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ControlPattern {
+    /// The loop bound is a loop-invariant value (no suffix in the mnemonic).
+    #[default]
+    Fixed,
+    /// `db` — iterations may monotonically *increase* the loop bound
+    /// (worklist-style loops).
+    Dynamic,
+}
+
+impl ControlPattern {
+    /// Mnemonic suffix: `""` for fixed bound, `".db"` for dynamic bound.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            ControlPattern::Fixed => "",
+            ControlPattern::Dynamic => ".db",
+        }
+    }
+}
+
+/// The complete inter-iteration dependence pattern of an `xloop`: one
+/// [`DataPattern`] combined with one [`ControlPattern`].
+///
+/// ```
+/// use xloops_isa::{DataPattern, LoopPattern};
+/// let p: LoopPattern = "uc.db".parse()?;
+/// assert_eq!(p.data, DataPattern::Uc);
+/// assert!(p.is_dynamic_bound());
+/// assert_eq!(p.to_string(), "uc.db");
+/// # Ok::<(), xloops_isa::ParsePatternError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LoopPattern {
+    /// Data-dependence pattern.
+    pub data: DataPattern,
+    /// Control-dependence pattern.
+    pub control: ControlPattern,
+}
+
+impl LoopPattern {
+    /// A fixed-bound loop with the given data-dependence pattern.
+    pub const fn fixed(data: DataPattern) -> LoopPattern {
+        LoopPattern { data, control: ControlPattern::Fixed }
+    }
+
+    /// A dynamic-bound loop with the given data-dependence pattern.
+    pub const fn dynamic(data: DataPattern) -> LoopPattern {
+        LoopPattern { data, control: ControlPattern::Dynamic }
+    }
+
+    /// Whether iterations may grow the loop bound while executing.
+    pub fn is_dynamic_bound(self) -> bool {
+        self.control == ControlPattern::Dynamic
+    }
+}
+
+impl fmt::Display for LoopPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.data.suffix(), self.control.suffix())
+    }
+}
+
+/// Error returned when parsing a loop-pattern suffix fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePatternError {
+    text: String,
+}
+
+impl fmt::Display for ParsePatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid xloop pattern suffix `{}`", self.text)
+    }
+}
+
+impl std::error::Error for ParsePatternError {}
+
+impl FromStr for LoopPattern {
+    type Err = ParsePatternError;
+
+    fn from_str(s: &str) -> Result<LoopPattern, ParsePatternError> {
+        let err = || ParsePatternError { text: s.to_string() };
+        let (data_str, control) = match s.strip_suffix(".db") {
+            Some(prefix) => (prefix, ControlPattern::Dynamic),
+            None => (s, ControlPattern::Fixed),
+        };
+        let data = DataPattern::ALL
+            .into_iter()
+            .find(|p| p.suffix() == data_str)
+            .ok_or_else(err)?;
+        Ok(LoopPattern { data, control })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suffix_round_trip() {
+        for data in DataPattern::ALL {
+            for control in [ControlPattern::Fixed, ControlPattern::Dynamic] {
+                let p = LoopPattern { data, control };
+                let parsed: LoopPattern = p.to_string().parse().unwrap();
+                assert_eq!(parsed, p);
+            }
+        }
+    }
+
+    #[test]
+    fn code_round_trip() {
+        for data in DataPattern::ALL {
+            assert_eq!(DataPattern::from_code(data.code()), Some(data));
+        }
+        assert_eq!(DataPattern::from_code(7), None);
+    }
+
+    #[test]
+    fn generalization_lattice() {
+        use DataPattern::*;
+        // Reflexive.
+        for p in DataPattern::ALL {
+            assert!(p.generalizes(p));
+        }
+        // The relations named in Section II-A.
+        assert!(Or.generalizes(Uc));
+        assert!(Om.generalizes(Ua));
+        assert!(Orm.generalizes(Uc));
+        assert!(Orm.generalizes(Or));
+        assert!(Orm.generalizes(Om));
+        assert!(Orm.generalizes(Ua));
+        // And non-relations.
+        assert!(!Uc.generalizes(Or));
+        assert!(!Or.generalizes(Om));
+        assert!(!Om.generalizes(Or));
+        assert!(!Ua.generalizes(Om));
+        assert!(!Uc.generalizes(Ua));
+    }
+
+    #[test]
+    fn ordering_predicates() {
+        assert!(!DataPattern::Uc.orders_registers());
+        assert!(!DataPattern::Uc.orders_memory());
+        assert!(DataPattern::Or.orders_registers());
+        assert!(!DataPattern::Or.orders_memory());
+        assert!(!DataPattern::Om.orders_registers());
+        assert!(DataPattern::Om.orders_memory());
+        assert!(DataPattern::Orm.orders_registers());
+        assert!(DataPattern::Orm.orders_memory());
+        assert!(!DataPattern::Ua.orders_registers());
+        assert!(DataPattern::Ua.orders_memory());
+    }
+
+    #[test]
+    fn rejects_bad_suffixes() {
+        for bad in ["", "xx", "uc.", "uc.dbx", "db", "UC"] {
+            assert!(bad.parse::<LoopPattern>().is_err(), "{bad:?}");
+        }
+    }
+}

@@ -1,0 +1,160 @@
+use std::fmt;
+use std::str::FromStr;
+
+/// Number of architectural registers in the unified register file.
+pub const NUM_REGS: usize = 32;
+
+/// An architectural register specifier, `r0`–`r31`.
+///
+/// TRISC uses a single unified register file for integer and floating-point
+/// values (as the paper's target does). `r0` is hard-wired to zero.
+///
+/// ```
+/// use xloops_isa::Reg;
+/// let r: Reg = "r17".parse()?;
+/// assert_eq!(r.index(), 17);
+/// assert_eq!(r.to_string(), "r17");
+/// # Ok::<(), xloops_isa::ParseRegError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The zero register, hard-wired to `0`.
+    pub const ZERO: Reg = Reg(0);
+    /// Link register written by `jal`/`jalr` by convention.
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer by convention.
+    pub const SP: Reg = Reg(2);
+
+    /// Creates a register specifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[inline]
+    pub const fn new(index: u8) -> Reg {
+        assert!(index < NUM_REGS as u8, "register index out of range");
+        Reg(index)
+    }
+
+    /// Creates a register specifier, returning `None` if out of range.
+    #[inline]
+    pub const fn try_new(index: u8) -> Option<Reg> {
+        if index < NUM_REGS as u8 {
+            Some(Reg(index))
+        } else {
+            None
+        }
+    }
+
+    /// The register number, `0..32`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The register number as the 5-bit field used in instruction encodings.
+    #[inline]
+    pub const fn field(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// Whether this is the hard-wired zero register.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over all 32 registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..NUM_REGS as u8).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Error returned when parsing a register name fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegError {
+    text: String,
+}
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid register name `{}`", self.text)
+    }
+}
+
+impl std::error::Error for ParseRegError {}
+
+impl FromStr for Reg {
+    type Err = ParseRegError;
+
+    fn from_str(s: &str) -> Result<Reg, ParseRegError> {
+        let err = || ParseRegError { text: s.to_string() };
+        match s {
+            "zero" => return Ok(Reg::ZERO),
+            "ra" => return Ok(Reg::RA),
+            "sp" => return Ok(Reg::SP),
+            _ => {}
+        }
+        let num = s.strip_prefix('r').ok_or_else(err)?;
+        // Reject `r007`-style names so every register has one spelling.
+        if num.len() > 1 && num.starts_with('0') {
+            return Err(err());
+        }
+        let idx: u8 = num.parse().map_err(|_| err())?;
+        Reg::try_new(idx).ok_or_else(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_registers() {
+        for r in Reg::all() {
+            let parsed: Reg = r.to_string().parse().unwrap();
+            assert_eq!(parsed, r);
+        }
+    }
+
+    #[test]
+    fn named_aliases() {
+        assert_eq!("zero".parse::<Reg>().unwrap(), Reg::ZERO);
+        assert_eq!("ra".parse::<Reg>().unwrap(), Reg::new(1));
+        assert_eq!("sp".parse::<Reg>().unwrap(), Reg::new(2));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!("r32".parse::<Reg>().is_err());
+        assert!("r100".parse::<Reg>().is_err());
+        assert!(Reg::try_new(32).is_none());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in ["", "x1", "r", "r-1", "r01", "R3"] {
+            assert!(bad.parse::<Reg>().is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_panics_out_of_range() {
+        let _ = Reg::new(32);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests: every constructible instruction encodes to a word that
+//! decodes back to itself, and no two distinct instructions share an
+//! encoding within a sampled batch.
+
+use proptest::prelude::*;
+use xloops_isa::{
+    AluOp, AmoOp, BranchCond, ControlPattern, DataPattern, Instr, LlfuOp, LoopPattern, MemOp, Reg,
+    XiKind,
+};
+
+fn reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+fn alu_op() -> impl Strategy<Value = AluOp> {
+    prop::sample::select(AluOp::ALL.to_vec())
+}
+
+fn imm_alu_op() -> impl Strategy<Value = AluOp> {
+    prop::sample::select(
+        AluOp::ALL.iter().copied().filter(|o| o.imm_mnemonic().is_some()).collect::<Vec<_>>(),
+    )
+}
+
+fn instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (alu_op(), reg(), reg(), reg()).prop_map(|(op, rd, rs, rt)| Instr::Alu { op, rd, rs, rt }),
+        (imm_alu_op(), reg(), reg(), any::<i16>())
+            .prop_map(|(op, rd, rs, imm)| Instr::AluImm { op, rd, rs, imm }),
+        (reg(), any::<u16>()).prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
+        (prop::sample::select(LlfuOp::ALL.to_vec()), reg(), reg(), reg())
+            .prop_map(|(op, rd, rs, rt)| Instr::Llfu { op, rd, rs, rt }),
+        (prop::sample::select(AmoOp::ALL.to_vec()), reg(), reg(), reg())
+            .prop_map(|(op, rd, addr, src)| Instr::Amo { op, rd, addr, src }),
+        (prop::sample::select(MemOp::ALL.to_vec()), reg(), reg(), any::<i16>())
+            .prop_map(|(op, data, base, offset)| Instr::Mem { op, data, base, offset }),
+        (prop::sample::select(BranchCond::ALL.to_vec()), reg(), reg(), any::<i16>())
+            .prop_map(|(cond, rs, rt, offset)| Instr::Branch { cond, rs, rt, offset }),
+        (any::<bool>(), 0u32..(1 << 26))
+            .prop_map(|(link, target_word)| Instr::Jump { link, target_word }),
+        reg().prop_map(|rs| Instr::JumpReg { link: false, rd: Reg::ZERO, rs }),
+        (reg(), reg()).prop_map(|(rd, rs)| Instr::JumpReg { link: true, rd, rs }),
+        Just(Instr::Sync),
+        Just(Instr::Exit),
+        Just(Instr::Nop),
+        (
+            prop::sample::select(DataPattern::ALL.to_vec()),
+            any::<bool>(),
+            reg(),
+            reg(),
+            1u16..(1 << 12)
+        )
+            .prop_map(|(data, db, idx, bound, body_offset)| Instr::Xloop {
+                pattern: LoopPattern {
+                    data,
+                    control: if db { ControlPattern::Dynamic } else { ControlPattern::Fixed },
+                },
+                idx,
+                bound,
+                body_offset,
+            }),
+        (reg(), any::<i16>()).prop_map(|(r, imm)| Instr::Xi { reg: r, kind: XiKind::Imm(imm) }),
+        (reg(), reg()).prop_map(|(r, rt)| Instr::Xi { reg: r, kind: XiKind::Reg(rt) }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trip(i in instr()) {
+        let word = i.encode();
+        prop_assert_eq!(Instr::decode(word), Some(i));
+    }
+
+    #[test]
+    fn encoding_is_injective(a in instr(), b in instr()) {
+        if a != b {
+            prop_assert_ne!(a.encode(), b.encode(), "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn decode_never_panics(word in any::<u32>()) {
+        // Arbitrary bit patterns either decode to a canonical instruction
+        // (whose re-encoding reproduces the word) or are rejected.
+        if let Some(i) = Instr::decode(word) {
+            prop_assert_eq!(i.encode(), word, "decode must be canonical for {}", i);
+        }
+    }
+
+    #[test]
+    fn display_is_nonempty_and_stable(i in instr()) {
+        let s = i.to_string();
+        prop_assert!(!s.is_empty());
+        prop_assert_eq!(i.to_string(), s);
+    }
+
+    #[test]
+    fn srcs_and_dst_are_valid_registers(i in instr()) {
+        for s in i.srcs().into_iter().flatten() {
+            prop_assert!(s.index() < 32);
+        }
+        if let Some(d) = i.dst() {
+            prop_assert!(d.index() < 32);
+        }
+    }
+}

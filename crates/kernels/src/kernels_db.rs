@@ -1,0 +1,222 @@
+//! The `xloop.uc.db` kernels of Table II: bfs and qsort. Both use a
+//! dynamically-growing worklist: iterations reserve space with `amo.add`
+//! and monotonically raise the loop-bound register (Figure 1(e)).
+
+use crate::dataset::Rng;
+use crate::{check_words, CheckFn, Kernel, Suite};
+
+pub fn all() -> Vec<Kernel> {
+    vec![bfs(), qsort()]
+}
+
+pub(crate) const BFS_V: usize = 64;
+const INF: u32 = 0x7FFFFF;
+
+/// CSR of a random connected-ish digraph, plus golden BFS distances.
+pub(crate) fn bfs_graph() -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    let mut rng = Rng::new(0xBF);
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); BFS_V];
+    // A ring to guarantee reachability, plus random shortcuts.
+    for v in 0..BFS_V {
+        adj[v].push(((v + 1) % BFS_V) as u32);
+    }
+    for _ in 0..2 * BFS_V {
+        let u = rng.below(BFS_V as u32) as usize;
+        let w = rng.below(BFS_V as u32);
+        if w as usize != u && !adj[u].contains(&w) {
+            adj[u].push(w);
+        }
+    }
+    let mut row_ptr = Vec::with_capacity(BFS_V + 1);
+    let mut cols = Vec::new();
+    row_ptr.push(0);
+    for v in 0..BFS_V {
+        cols.extend(&adj[v]);
+        row_ptr.push(cols.len() as u32);
+    }
+    // Golden BFS from vertex 0.
+    let mut dist = vec![INF; BFS_V];
+    dist[0] = 0;
+    let mut q = std::collections::VecDeque::from([0usize]);
+    while let Some(u) = q.pop_front() {
+        for &w in &adj[u] {
+            if dist[w as usize] == INF {
+                dist[w as usize] = dist[u] + 1;
+                q.push_back(w as usize);
+            }
+        }
+    }
+    (row_ptr, cols, dist)
+}
+
+/// Worklist breadth-first search (custom kernel). Each iteration relaxes
+/// one worklist entry with `amo.min` on the distances and re-pushes
+/// improved vertices, so the final distances are exact shortest paths
+/// regardless of iteration order — the property that makes `uc` (rather
+/// than `om`) the right pattern.
+pub fn bfs() -> Kernel {
+    let (row_ptr, cols, dist) = bfs_graph();
+
+    let asm = "
+    li r4, 0x1000      # row_ptr
+    li r5, 0x1200      # cols
+    li r6, 0x2000      # dist
+    li r7, 0x3000      # worklist
+    li r21, 0x6000     # tail cell
+    li r2, 0
+    lw r3, 0(r21)      # bound = initial tail (1)
+body:
+    sll r8, r2, 2
+    addu r8, r7, r8
+    lw r9, 0(r8)       # u
+    sll r10, r9, 2
+    addu r10, r6, r10
+    lw r11, 0(r10)     # dist[u]
+    addiu r11, r11, 1
+    sll r12, r9, 2
+    addu r12, r4, r12
+    lw r13, 0(r12)     # start
+    lw r14, 4(r12)     # end
+nloop:
+    bge r13, r14, ndone
+    sll r15, r13, 2
+    addu r15, r5, r15
+    lw r16, 0(r15)     # v
+    sll r17, r16, 2
+    addu r17, r6, r17
+    amo.min r18, (r17), r11
+    ble r18, r11, nnext
+    li r19, 1
+    amo.add r20, (r21), r19
+    sll r22, r20, 2
+    addu r22, r7, r22
+    sw r16, 0(r22)
+    addiu r23, r20, 1
+    bge r3, r23, nnext
+    move r3, r23
+nnext:
+    addiu r13, r13, 1
+    b nloop
+ndone:
+    addiu r2, r2, 1
+    xloop.uc.db body, r2, r3
+    exit".to_string();
+    let mut dist_init = vec![INF; BFS_V];
+    dist_init[0] = 0;
+    let segments = vec![
+        (0x1000, row_ptr),
+        (0x1200, cols),
+        (0x2000, dist_init),
+        (0x3000, vec![0u32]), // worklist[0] = source
+        (0x6000, vec![1u32]), // tail = 1
+    ];
+    Kernel::new(
+        "bfs-uc-db",
+        Suite::Custom,
+        "uc,db",
+        asm,
+        segments,
+        check_words("dist", 0x2000, dist),
+    )
+}
+
+pub(crate) const QSORT_N: usize = 128;
+
+pub(crate) fn qsort_input() -> Vec<u32> {
+    Rng::new(0x95).vec_below(QSORT_N, 100_000)
+}
+
+pub(crate) fn qsort_check() -> CheckFn {
+    let mut sorted = qsort_input();
+    sorted.sort_unstable();
+    check_words("a", 0x1000, sorted)
+}
+
+/// Quicksort with a dynamically-growing worklist of partitions (custom
+/// kernel): each iteration Lomuto-partitions its range in place and
+/// reserves two new worklist slots with `amo.add`. Partitions are
+/// disjoint, so the loop is `uc`.
+pub fn qsort() -> Kernel {
+    let input = qsort_input();
+
+    let asm = "
+    li r4, 0x1000      # a
+    li r6, 0x6000      # tail cell (in pairs)
+    li r7, 0x3000      # worklist of (lo, hi) pairs
+    li r2, 0
+    lw r3, 0(r6)       # bound = 1
+body:
+    sll r8, r2, 3
+    addu r8, r7, r8
+    lw r9, 0(r8)       # lo
+    lw r10, 4(r8)      # hi
+    bge r9, r10, qdone
+    sll r11, r10, 2
+    addu r11, r4, r11
+    lw r12, 0(r11)     # pivot = a[hi]
+    move r13, r9
+    move r14, r9
+qscan:
+    bge r14, r10, qscand
+    sll r15, r14, 2
+    addu r15, r4, r15
+    lw r16, 0(r15)
+    bge r16, r12, qnext
+    sll r17, r13, 2
+    addu r17, r4, r17
+    lw r18, 0(r17)
+    sw r16, 0(r17)
+    sw r18, 0(r15)
+    addiu r13, r13, 1
+qnext:
+    addiu r14, r14, 1
+    b qscan
+qscand:
+    sll r17, r13, 2
+    addu r17, r4, r17
+    lw r18, 0(r17)
+    sw r12, 0(r17)
+    sw r18, 0(r11)
+    li r19, 2
+    amo.add r20, (r6), r19
+    sll r21, r20, 3
+    addu r21, r7, r21
+    addiu r22, r13, -1
+    sw r9, 0(r21)
+    sw r22, 4(r21)
+    addiu r22, r13, 1
+    sw r22, 8(r21)
+    sw r10, 12(r21)
+    addiu r23, r20, 2
+    bge r3, r23, qdone
+    move r3, r23
+qdone:
+    addiu r2, r2, 1
+    xloop.uc.db body, r2, r3
+    exit".to_string();
+    let segments = vec![
+        (0x1000, input),
+        (0x3000, vec![0u32, QSORT_N as u32 - 1]), // initial partition
+        (0x6000, vec![1u32]),                     // tail = 1 pair
+    ];
+    Kernel::new("qsort-uc-db", Suite::Custom, "uc,db", asm, segments, qsort_check())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_kernels_pass_functionally() {
+        for k in all() {
+            k.run_functional().unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        }
+    }
+
+    #[test]
+    fn bfs_distances_are_finite() {
+        let (_, _, dist) = bfs_graph();
+        assert!(dist.iter().all(|&d| d < INF), "ring guarantees reachability");
+        assert!(dist.iter().any(|&d| d > 2), "graph is not trivially shallow");
+    }
+}

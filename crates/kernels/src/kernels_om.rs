@@ -1,0 +1,414 @@
+//! The `xloop.om` / `xloop.orm` kernels of Table II: dynprog, knn,
+//! ksack-sm, ksack-lg, war-om, mm, stencil. These exercise the LPSU's
+//! memory-dependence speculation: per-lane LSQs, store-address broadcast,
+//! and violation squash.
+
+use crate::dataset::Rng;
+use crate::kernels_uc::war_parts;
+use crate::{check_words, Kernel, Suite};
+
+pub fn all() -> Vec<Kernel> {
+    vec![dynprog(), knn(), ksack(true), ksack(false), war_om(), mm(), stencil()]
+}
+
+/// 1-D dynamic programming (PolyBench dynprog flavour): each cell is the
+/// windowed minimum of the previous `W` cells plus a local weight — a
+/// distance-`1..=W` memory recurrence.
+pub fn dynprog() -> Kernel {
+    const N: usize = 256;
+    const W: usize = 4;
+    let mut rng = Rng::new(0xD9);
+    let w: Vec<u32> = (0..N).map(|_| rng.below(50)).collect();
+    let mut c = vec![0u32; N];
+    for i in 0..W {
+        c[i] = 10 * i as u32;
+    }
+    let init = c.clone();
+    for i in W..N {
+        let best = (1..=W).map(|k| c[i - k]).min().expect("window");
+        c[i] = best + w[i];
+    }
+
+    let asm = format!(
+        "
+    li r4, 0x1000      # c
+    li r5, 0x2000      # w
+    li r2, {W}
+    li r3, {N}
+body:
+    li r8, 0x7FFFFF
+    li r9, 1
+dkloop:
+    subu r10, r2, r9
+    sll r10, r10, 2
+    addu r10, r4, r10
+    lw r11, 0(r10)
+    bge r11, r8, dskip
+    move r8, r11
+dskip:
+    addiu r9, r9, 1
+    li r10, {W}
+    ble r9, r10, dkloop
+    sll r10, r2, 2
+    addu r11, r5, r10
+    lw r12, 0(r11)
+    addu r8, r8, r12
+    addu r10, r4, r10
+    sw r8, 0(r10)
+    addiu r2, r2, 1
+    xloop.om body, r2, r3
+    exit"
+    );
+    Kernel::new(
+        "dynprog-om",
+        Suite::PolyBench,
+        "om",
+        asm,
+        vec![(0x1000, init), (0x2000, w)],
+        check_words("c", 0x1000, c),
+    )
+}
+
+const KNN_M: usize = 128;
+
+/// k-nearest-neighbour construction (PBBS flavour): points insert
+/// themselves into per-cell linked lists while searching the list for
+/// their nearest earlier neighbour — reads genuinely depend on earlier
+/// iterations' inserts (`om`), with an inner search loop (`uc`-free).
+pub fn knn() -> Kernel {
+    let mut rng = Rng::new(0x88);
+    let px: Vec<u32> = (0..KNN_M).map(|_| rng.below(256)).collect();
+    let py: Vec<u32> = (0..KNN_M).map(|_| rng.below(256)).collect();
+
+    // Golden reference replicating the kernel exactly.
+    let cell = |x: u32, y: u32| ((((x >> 6) & 3) << 2) | ((y >> 6) & 3)) as usize;
+    let mut head = [-1i32; 16];
+    let mut next = vec![-1i32; KNN_M];
+    let mut nn = vec![-1i32; KNN_M];
+    for i in 0..KNN_M {
+        let c = cell(px[i], py[i]);
+        let mut j = head[c];
+        let mut bestj = -1i32;
+        let mut bestd = 0x7FFFFFi64;
+        while j >= 0 {
+            let dx = px[i] as i64 - px[j as usize] as i64;
+            let dy = py[i] as i64 - py[j as usize] as i64;
+            let d = dx * dx + dy * dy;
+            if d < bestd {
+                bestd = d;
+                bestj = j;
+            }
+            j = next[j as usize];
+        }
+        next[i] = head[c];
+        head[c] = i as i32;
+        nn[i] = bestj;
+    }
+
+    let asm = format!(
+        "
+    li r4, 0x1000      # px
+    li r5, 0x1400      # py
+    li r6, 0x1800      # head (16 cells)
+    li r7, 0x1900      # next
+    li r21, 0x2000     # nn
+    li r2, 0
+    li r3, {KNN_M}
+body:
+    sll r8, r2, 2
+    addu r9, r4, r8
+    lw r10, 0(r9)
+    addu r9, r5, r8
+    lw r11, 0(r9)
+    srl r12, r10, 6
+    andi r12, r12, 3
+    sll r12, r12, 2
+    srl r13, r11, 6
+    andi r13, r13, 3
+    or r12, r12, r13
+    sll r12, r12, 2
+    addu r12, r6, r12
+    lw r14, 0(r12)
+    li r15, -1
+    li r16, 0x7FFFFF
+walk:
+    blt r14, r0, wdone
+    sll r17, r14, 2
+    addu r18, r4, r17
+    lw r19, 0(r18)
+    subu r19, r10, r19
+    mul r19, r19, r19
+    addu r18, r5, r17
+    lw r20, 0(r18)
+    subu r20, r11, r20
+    mul r20, r20, r20
+    addu r19, r19, r20
+    bge r19, r16, wnext
+    move r16, r19
+    move r15, r14
+wnext:
+    addu r18, r7, r17
+    lw r14, 0(r18)
+    b walk
+wdone:
+    lw r17, 0(r12)
+    sll r18, r2, 2
+    addu r19, r7, r18
+    sw r17, 0(r19)
+    sw r2, 0(r12)
+    addu r19, r21, r18
+    sw r15, 0(r19)
+    addiu r2, r2, 1
+    xloop.om body, r2, r3
+    exit"
+    );
+    let segments = vec![
+        (0x1000, px),
+        (0x1400, py),
+        (0x1800, vec![-1i32 as u32; 16]),
+        (0x1900, vec![-1i32 as u32; KNN_M]),
+    ];
+    let expected: Vec<u32> = nn.iter().map(|&v| v as u32).collect();
+    Kernel::new("knn-om", Suite::Pbbs, "om,uc", asm, segments, check_words("nn", 0x2000, expected))
+}
+
+/// Unbounded knapsack DP (custom kernel). `small` weights put the
+/// dependence distance within the speculation window — nearby iterations
+/// collide and squash; large weights rarely do. This is the paper's
+/// data-dependent-performance example (static analysis could not predict
+/// it).
+pub fn ksack(small: bool) -> Kernel {
+    const CAP: usize = 200;
+    let (name, weights): (&'static str, [u32; 4]) = if small {
+        ("ksack-sm-om", [2, 3, 5, 7])
+    } else {
+        ("ksack-lg-om", [11, 14, 17, 23])
+    };
+    let values: [u32; 4] = [3, 5, 9, 14];
+    let mut dp = vec![0u32; CAP];
+    for c in 1..CAP {
+        let mut best = 0;
+        for j in 0..4 {
+            if c as u32 >= weights[j] {
+                let cand = dp[c - weights[j] as usize] + values[j];
+                if cand > best {
+                    best = cand;
+                }
+            }
+        }
+        dp[c] = best;
+    }
+
+    let asm = format!(
+        "
+    li r4, 0x1000      # dp
+    li r5, 0x2000      # weights
+    li r6, 0x2100      # values
+    li r2, 1
+    li r3, {CAP}
+body:
+    li r8, 0
+    li r9, 0
+iloop:
+    sll r10, r9, 2
+    addu r11, r5, r10
+    lw r12, 0(r11)
+    blt r2, r12, nofit
+    subu r13, r2, r12
+    sll r13, r13, 2
+    addu r13, r4, r13
+    lw r14, 0(r13)
+    addu r15, r6, r10
+    lw r16, 0(r15)
+    addu r14, r14, r16
+    bge r8, r14, nofit
+    move r8, r14
+nofit:
+    addiu r9, r9, 1
+    li r10, 4
+    blt r9, r10, iloop
+    sll r10, r2, 2
+    addu r10, r4, r10
+    sw r8, 0(r10)
+    addiu r2, r2, 1
+    xloop.om body, r2, r3
+    exit"
+    );
+    let segments = vec![
+        (0x2000, weights.to_vec()),
+        (0x2100, values.to_vec()),
+    ];
+    Kernel::new(name, Suite::Custom, "om", asm, segments, check_words("dp", 0x1000, dp))
+}
+
+/// Floyd-Warshall with the *middle* i-loop specialized as `xloop.om`
+/// (Figure 2's compiler mapping).
+pub fn war_om() -> Kernel {
+    let (asm, segments, check) = war_parts(false);
+    Kernel::new("war-om", Suite::PolyBench, "om", asm, segments, check)
+}
+
+const MM_V: usize = 128;
+const MM_E: usize = 512;
+
+/// Greedy maximal matching on an undirected graph (PBBS, Figure 3):
+/// `out[k++] = i` makes `k` a CIR while the `vertices[]` updates are
+/// indirect memory dependences — the compiler maps this to `xloop.orm`.
+pub fn mm() -> Kernel {
+    let mut rng = Rng::new(0x33);
+    let mut edges = Vec::with_capacity(2 * MM_E);
+    for _ in 0..MM_E {
+        let v = rng.below(MM_V as u32);
+        let mut u = rng.below(MM_V as u32);
+        if u == v {
+            u = (u + 1) % MM_V as u32;
+        }
+        edges.push(v);
+        edges.push(u);
+    }
+    // Golden greedy matching.
+    let mut vertices = vec![-1i32; MM_V];
+    let mut out = Vec::new();
+    for i in 0..MM_E {
+        let (v, u) = (edges[2 * i] as usize, edges[2 * i + 1] as usize);
+        if vertices[v] < 0 && vertices[u] < 0 {
+            vertices[v] = u as i32;
+            vertices[u] = v as i32;
+            out.push(i as u32);
+        }
+    }
+    let k = out.len() as u32;
+
+    let asm = format!(
+        "
+    li r4, 0x1000      # edges (v,u interleaved)
+    li r5, 0x2800      # vertices
+    li r6, 0x2C00      # out
+    li r9, 0           # k (CIR)
+    li r2, 0
+    li r3, {MM_E}
+body:
+    sll r8, r2, 3
+    addu r8, r4, r8
+    lw r10, 0(r8)
+    lw r11, 4(r8)
+    sll r12, r10, 2
+    addu r12, r5, r12
+    lw r13, 0(r12)
+    bge r13, r0, mskip
+    sll r14, r11, 2
+    addu r14, r5, r14
+    lw r15, 0(r14)
+    bge r15, r0, mskip
+    sw r11, 0(r12)
+    sw r10, 0(r14)
+    sll r16, r9, 2
+    addu r16, r6, r16
+    sw r2, 0(r16)
+    addiu r9, r9, 1
+mskip:
+    addiu r2, r2, 1
+    xloop.orm body, r2, r3
+    li r4, 0x2FF0
+    sw r9, 0(r4)
+    exit"
+    );
+    let segments = vec![(0x1000, edges), (0x2800, vec![-1i32 as u32; MM_V])];
+    let expected_vertices: Vec<u32> = vertices.iter().map(|&v| v as u32).collect();
+    let out_clone = out.clone();
+    Kernel::new(
+        "mm-orm",
+        Suite::Pbbs,
+        "orm,uc",
+        asm,
+        segments,
+        Box::new(move |mem| {
+            if mem.read_u32(0x2FF0) != k {
+                return Err(format!("matched {} edges, expected {k}", mem.read_u32(0x2FF0)));
+            }
+            check_words("out", 0x2C00, out_clone.clone())(mem)?;
+            check_words("vertices", 0x2800, expected_vertices.clone())(mem)
+        }),
+    )
+}
+
+/// In-place 1-D stencil with a running checksum: the smoothing reads the
+/// element the previous iteration wrote (`om`) while the checksum is a
+/// CIR (`or`) — together, `xloop.orm`.
+pub fn stencil() -> Kernel {
+    const N: usize = 256;
+    let mut rng = Rng::new(0x57E);
+    let a0: Vec<u32> = (0..N).map(|_| rng.below(1000)).collect();
+    let mut a = a0.clone();
+    let mut sum = 0u32;
+    for i in 1..N - 1 {
+        a[i] = (a[i - 1] + a[i] + a[i + 1]) >> 2;
+        sum = sum.wrapping_add(a[i]);
+    }
+
+    let asm = format!(
+        "
+    li r4, 0x1000      # a
+    li r9, 0           # checksum (CIR)
+    li r2, 1
+    li r3, {bound}
+body:
+    sll r8, r2, 2
+    addu r8, r4, r8
+    lw r10, -4(r8)
+    lw r11, 0(r8)
+    lw r12, 4(r8)
+    addu r10, r10, r11
+    addu r10, r10, r12
+    srl r10, r10, 2
+    sw r10, 0(r8)
+    addu r9, r9, r10
+    addiu r2, r2, 1
+    xloop.orm body, r2, r3
+    li r4, 0x2000
+    sw r9, 0(r4)
+    exit",
+        bound = N - 1
+    );
+    Kernel::new(
+        "stencil-orm",
+        Suite::Pbbs,
+        "orm,uc",
+        asm,
+        vec![(0x1000, a0)],
+        Box::new(move |mem| {
+            check_words("a", 0x1000, a.clone())(mem)?;
+            let got = mem.read_u32(0x2000);
+            if got != sum {
+                return Err(format!("checksum {got}, expected {sum}"));
+            }
+            Ok(())
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn om_kernels_pass_functionally() {
+        for k in all() {
+            k.run_functional().unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        }
+    }
+
+    #[test]
+    fn ksack_variants_share_code_but_not_data() {
+        // The structural property the paper's data-dependent results rely
+        // on: same binary shape, different dependence distances in memory.
+        let sm = ksack(true);
+        let lg = ksack(false);
+        assert_eq!(sm.asm, lg.asm, "identical code");
+        let mut sm_mem = xloops_mem::Memory::new();
+        let mut lg_mem = xloops_mem::Memory::new();
+        sm.init_memory(&mut sm_mem);
+        lg.init_memory(&mut lg_mem);
+        assert_ne!(sm_mem.read_u32(0x2000), lg_mem.read_u32(0x2000), "different weights");
+    }
+}

@@ -1,0 +1,670 @@
+//! The `xloop.or` kernels of Table II: adpcm, covar, dither, kmeans, sha,
+//! symm-or. Their defining feature is one or more cross-iteration
+//! registers (CIRs) whose serial values the LPSU must reproduce through
+//! the CIBs.
+
+use crate::dataset::{pack_bytes, Rng};
+use crate::kernels_uc::symm_kernel;
+use crate::{check_bytes, check_words, CheckFn, Kernel, Suite};
+
+pub fn all() -> Vec<Kernel> {
+    vec![
+        adpcm(false),
+        covar(),
+        dither_or(false),
+        kmeans_or(),
+        sha(false),
+        symm_kernel("symm-or", false),
+    ]
+}
+
+const ADPCM_N: usize = 1024;
+const STEP_TABLE: [i32; 16] =
+    [7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31];
+const INDEX_TABLE: [i32; 8] = [-1, -1, -1, -1, 2, 4, 6, 8];
+
+fn adpcm_samples() -> Vec<i32> {
+    let mut rng = Rng::new(0xADC);
+    let mut v = 0i32;
+    (0..ADPCM_N)
+        .map(|i| {
+            v += rng.range_i32(-80, 81) + if i % 64 < 32 { 15 } else { -15 };
+            v = v.clamp(-20000, 20000);
+            v
+        })
+        .collect()
+}
+
+/// Golden IMA-style ADPCM encoder matching the kernel's arithmetic.
+fn adpcm_reference(samples: &[i32]) -> Vec<u8> {
+    let mut valpred = 0i32;
+    let mut index = 0i32;
+    samples
+        .iter()
+        .map(|&s| {
+            let step = STEP_TABLE[index as usize];
+            let mut diff = s - valpred;
+            let sign = if diff < 0 {
+                diff = -diff;
+                8
+            } else {
+                0
+            };
+            let mut delta = 0i32;
+            let mut vpdiff = step >> 3;
+            let mut st = step;
+            if diff >= st {
+                delta |= 4;
+                diff -= st;
+                vpdiff += st;
+            }
+            st >>= 1;
+            if diff >= st {
+                delta |= 2;
+                diff -= st;
+                vpdiff += st;
+            }
+            st >>= 1;
+            if diff >= st {
+                delta |= 1;
+                vpdiff += st;
+            }
+            if sign != 0 {
+                valpred -= vpdiff;
+            } else {
+                valpred += vpdiff;
+            }
+            valpred = valpred.clamp(-32768, 32767);
+            index = (index + INDEX_TABLE[delta as usize]).clamp(0, 15);
+            (delta | sign) as u8
+        })
+        .collect()
+}
+
+/// ADPCM speech compression (MiBench). `opt` applies the Table IV
+/// hand-scheduling: the state (CIR) updates move as early as possible so
+/// their "last CIR write" forwards sooner, and pattern-independent work
+/// (output-byte formation and store) sinks below them.
+pub(crate) fn adpcm(opt: bool) -> Kernel {
+    let samples = adpcm_samples();
+    let expected = adpcm_reference(&samples);
+
+    // Common prologue and per-sample prefix: load sample, load step via
+    // the index CIR (r10), quantize into delta (r17) and vpdiff (r18).
+    let prefix = format!(
+        "
+    li r4, 0x1000      # samples (words)
+    li r5, 0x3000      # output codes (bytes)
+    li r6, 0x4000      # step table
+    li r7, 0x4100      # index table
+    li r9, 0           # valpred (CIR)
+    li r10, 0          # index (CIR)
+    li r2, 0
+    li r3, {ADPCM_N}
+body:
+    sll r11, r2, 2
+    addu r11, r4, r11
+    lw r12, 0(r11)
+    sll r13, r10, 2
+    addu r13, r6, r13
+    lw r14, 0(r13)
+    subu r15, r12, r9
+    li r16, 0
+    bge r15, r0, pos
+    li r16, 8
+    subu r15, r0, r15
+pos:
+    li r17, 0
+    srl r18, r14, 3
+    blt r15, r14, d1
+    ori r17, r17, 4
+    subu r15, r15, r14
+    addu r18, r18, r14
+d1:
+    srl r14, r14, 1
+    blt r15, r14, d2
+    ori r17, r17, 2
+    subu r15, r15, r14
+    addu r18, r18, r14
+d2:
+    srl r14, r14, 1
+    blt r15, r14, d3
+    ori r17, r17, 1
+    addu r18, r18, r14
+d3:"
+    );
+    let state_update = "
+    beqz r16, posv
+    subu r9, r9, r18
+    b clampv
+posv:
+    addu r9, r9, r18
+clampv:
+    li r19, 32767
+    ble r9, r19, c1
+    move r9, r19
+c1:
+    li r19, -32768
+    bge r9, r19, c2
+    move r9, r19
+c2:
+    sll r19, r17, 2
+    addu r19, r7, r19
+    lw r19, 0(r19)
+    addu r10, r10, r19
+    bge r10, r0, c3
+    li r10, 0
+c3:
+    li r19, 15
+    ble r10, r19, c4
+    move r10, r19
+c4:";
+    let emit = "
+    or r20, r17, r16
+    addu r21, r5, r2
+    sb r20, 0(r21)";
+    let tail = "
+    addiu r2, r2, 1
+    xloop.or body, r2, r3
+    exit";
+
+    // Baseline (compiler-like) schedule emits the output before updating
+    // the CIRs; the -opt schedule updates the CIRs first.
+    let asm = if opt {
+        format!("{prefix}{state_update}{emit}{tail}")
+    } else {
+        format!("{prefix}{emit}{state_update}{tail}")
+    };
+    Kernel::new(
+        if opt { "adpcm-or-opt" } else { "adpcm-or" },
+        Suite::MiBench,
+        "or",
+        asm,
+        vec![
+            (0x1000, samples.iter().map(|&v| v as u32).collect()),
+            (0x4000, STEP_TABLE.iter().map(|&v| v as u32).collect()),
+            (0x4100, INDEX_TABLE.iter().map(|&v| v as u32).collect()),
+        ],
+        check_bytes("code", 0x3000, expected),
+    )
+}
+
+/// Covariance (PolyBench): the dominant loop accumulates
+/// `(d[i][j1]-mean[j1])·(d[i][j2]-mean[j2])` over observations `i`, a
+/// floating-point CIR chain.
+pub fn covar() -> Kernel {
+    const VARS: usize = 8;
+    const OBS: usize = 32;
+    let mut rng = Rng::new(0xC0);
+    let data: Vec<f32> = (0..OBS * VARS).map(|_| rng.below(16) as f32 / 2.0).collect();
+    let mut mean = [0f32; VARS];
+    for j in 0..VARS {
+        for i in 0..OBS {
+            mean[j] += data[i * VARS + j];
+        }
+        mean[j] /= OBS as f32;
+    }
+    let mut cov = vec![0f32; VARS * VARS];
+    for j1 in 0..VARS {
+        for j2 in 0..=j1 {
+            let mut acc = 0f32;
+            for i in 0..OBS {
+                acc += (data[i * VARS + j1] - mean[j1]) * (data[i * VARS + j2] - mean[j2]);
+            }
+            cov[j1 * VARS + j2] = acc;
+        }
+    }
+    // Expected image covers the computed (lower) triangle only.
+    let expected: Vec<u32> = cov.iter().map(|v| v.to_bits()).collect();
+    let check: CheckFn = Box::new(move |mem| {
+        for j1 in 0..VARS {
+            for j2 in 0..=j1 {
+                let idx = (j1 * VARS + j2) as u32;
+                let got = mem.read_u32(0x5000 + 4 * idx);
+                if got != expected[idx as usize] {
+                    return Err(format!(
+                        "cov[{j1}][{j2}] = {:?}, expected {:?}",
+                        f32::from_bits(got),
+                        f32::from_bits(expected[idx as usize])
+                    ));
+                }
+            }
+        }
+        Ok(())
+    });
+
+    let asm = format!(
+        "
+    li r4, 0x1000      # data
+    li r5, 0x2000      # mean
+    li r6, 0x5000      # cov
+    li r20, 0          # j1
+    li r21, {VARS}
+j1loop:
+    sll r7, r20, 2
+    addu r7, r5, r7
+    lw r22, 0(r7)      # mean[j1]
+    li r23, 0          # j2
+j2loop:
+    sll r7, r23, 2
+    addu r7, r5, r7
+    lw r24, 0(r7)      # mean[j2]
+    li r10, 0          # acc (CIR)
+    li r2, 0
+    li r3, {OBS}
+body:
+    sll r11, r2, 5
+    sll r12, r20, 2
+    addu r13, r11, r12
+    addu r13, r4, r13
+    lw r14, 0(r13)
+    fsub.s r14, r14, r22
+    sll r12, r23, 2
+    addu r13, r11, r12
+    addu r13, r4, r13
+    lw r15, 0(r13)
+    fsub.s r15, r15, r24
+    fmul.s r14, r14, r15
+    fadd.s r10, r10, r14
+    addiu r2, r2, 1
+    xloop.or body, r2, r3
+    sll r7, r20, 5
+    sll r8, r23, 2
+    addu r7, r7, r8
+    addu r7, r6, r7
+    sw r10, 0(r7)
+    addiu r23, r23, 1
+    ble r23, r20, j2loop
+    addiu r20, r20, 1
+    blt r20, r21, j1loop
+    exit"
+    );
+    let mut segments = vec![(0x1000, data.iter().map(|v| v.to_bits()).collect::<Vec<u32>>())];
+    segments.push((0x2000, mean.iter().map(|v| v.to_bits()).collect()));
+    Kernel::new("covar-or", Suite::PolyBench, "or", asm, segments, check)
+}
+
+pub(crate) const DITHER_W: usize = 64;
+pub(crate) const DITHER_H: usize = 16;
+
+pub(crate) fn dither_input() -> Vec<u8> {
+    let mut rng = Rng::new(0xD1);
+    (0..DITHER_W * DITHER_H)
+        .map(|i| {
+            let x = (i % DITHER_W) as i32;
+            (((x * 4) % 256) as i64 + rng.range_i32(-30, 30) as i64).clamp(0, 255) as u8
+        })
+        .collect()
+}
+
+/// Error diffusion: out[x] thresholds pix+err; err (the CIR) carries the
+/// residual rightward and resets at each row start.
+pub(crate) fn dither_reference(img: &[u8]) -> Vec<u8> {
+    let mut out = vec![0u8; img.len()];
+    for y in 0..DITHER_H {
+        let mut err = 0i32;
+        for x in 0..DITHER_W {
+            let v = img[y * DITHER_W + x] as i32 + err;
+            if v > 127 {
+                out[y * DITHER_W + x] = 255;
+                err = v - 255;
+            } else {
+                out[y * DITHER_W + x] = 0;
+                err = v;
+            }
+        }
+    }
+    out
+}
+
+/// Floyd–Steinberg-style dithering (custom kernel): one `xloop.or` over
+/// all pixels with the running error as the CIR (reset at row starts).
+/// `opt` hand-schedules the error update before the output store.
+pub(crate) fn dither_or(opt: bool) -> Kernel {
+    let img = dither_input();
+    let expected = dither_reference(&img);
+    let n = DITHER_W * DITHER_H;
+    let wmask = DITHER_W - 1;
+
+    let head = format!(
+        "
+    li r4, 0x1000      # img
+    li r5, 0x2000      # out
+    li r9, 0           # err (CIR)
+    li r2, 0
+    li r3, {n}
+body:
+    andi r11, r2, {wmask}
+    sltu r11, r0, r11
+    subu r11, r0, r11
+    and r9, r9, r11    # err = (x == 0) ? 0 : err (read-then-write CIR)
+    addu r11, r4, r2
+    lbu r12, 0(r11)
+    addu r12, r12, r9
+    li r13, 0
+    li r14, 127
+    ble r12, r14, dark"
+    );
+    // Baseline: set out value, store it, then update err; opt: update the
+    // CIR first so the CIB transfer launches earlier.
+    let asm = if !opt {
+        format!(
+            "{head}
+    li r13, 255
+dark:
+    addu r15, r5, r2
+    sb r13, 0(r15)
+    beqz r13, keep
+    addiu r12, r12, -255
+keep:
+    move r9, r12
+    addiu r2, r2, 1
+    xloop.or body, r2, r3
+    exit"
+        )
+    } else {
+        format!(
+            "{head}
+    li r13, 255
+    addiu r12, r12, -255
+dark:
+    move r9, r12
+    addu r15, r5, r2
+    sb r13, 0(r15)
+    addiu r2, r2, 1
+    xloop.or body, r2, r3
+    exit"
+        )
+    };
+    Kernel::new(
+        if opt { "dither-or-opt" } else { "dither-or" },
+        Suite::Custom,
+        "or",
+        asm,
+        vec![(0x1000, pack_bytes(&img))],
+        check_bytes("out", 0x2000, expected),
+    )
+}
+
+pub(crate) const KMEANS_N: usize = 256;
+pub(crate) const KMEANS_K: usize = 4;
+pub(crate) const KMEANS_CENTROIDS: [i32; KMEANS_K] = [40, 120, 200, 300];
+
+pub(crate) fn kmeans_points() -> Vec<u32> {
+    let mut rng = Rng::new(0x44);
+    (0..KMEANS_N)
+        .map(|_| {
+            let c = KMEANS_CENTROIDS[rng.below(KMEANS_K as u32) as usize];
+            (c + rng.range_i32(-35, 36)).max(0) as u32
+        })
+        .collect()
+}
+
+/// `(sums, counts)` of the assignment step.
+pub(crate) fn kmeans_reference(points: &[u32]) -> (Vec<u32>, Vec<u32>) {
+    let mut sums = vec![0u32; KMEANS_K];
+    let mut counts = vec![0u32; KMEANS_K];
+    for &p in points {
+        let mut best = 0usize;
+        let mut bestd = i32::MAX;
+        for (c, &ctr) in KMEANS_CENTROIDS.iter().enumerate() {
+            let d = (p as i32 - ctr).abs();
+            if d < bestd {
+                bestd = d;
+                best = c;
+            }
+        }
+        sums[best] += p;
+        counts[best] += 1;
+    }
+    (sums, counts)
+}
+
+/// k-means assignment step (custom kernel): per-cluster sums and counts
+/// accumulate in registers — eight CIRs.
+pub fn kmeans_or() -> Kernel {
+    let points = kmeans_points();
+    let (sums, counts) = kmeans_reference(&points);
+    let c = KMEANS_CENTROIDS;
+
+    let asm = format!(
+        "
+    li r4, 0x1000      # points
+    li r16, 0          # sum0 (CIR)
+    li r17, 0
+    li r18, 0
+    li r19, 0
+    li r20, 0          # cnt0 (CIR)
+    li r21, 0
+    li r22, 0
+    li r23, 0
+    li r24, {c0}
+    li r25, {c1}
+    li r26, {c2}
+    li r27, {c3}
+    li r2, 0
+    li r3, {KMEANS_N}
+body:
+    sll r5, r2, 2
+    addu r5, r4, r5
+    lw r6, 0(r5)       # p
+    # distance to each centroid (abs diff)
+    subu r7, r6, r24
+    bge r7, r0, a0
+    subu r7, r0, r7
+a0:
+    li r8, 0           # best cluster
+    move r9, r7        # best distance
+    subu r7, r6, r25
+    bge r7, r0, a1
+    subu r7, r0, r7
+a1:
+    bge r7, r9, a2
+    li r8, 1
+    move r9, r7
+a2:
+    subu r7, r6, r26
+    bge r7, r0, a3
+    subu r7, r0, r7
+a3:
+    bge r7, r9, a4
+    li r8, 2
+    move r9, r7
+a4:
+    subu r7, r6, r27
+    bge r7, r0, a5
+    subu r7, r0, r7
+a5:
+    bge r7, r9, a6
+    li r8, 3
+    move r9, r7
+a6:
+    # accumulate into cluster r8
+    li r10, 1
+    beq r8, r10, k1
+    li r10, 2
+    beq r8, r10, k2
+    li r10, 3
+    beq r8, r10, k3
+    addu r16, r16, r6
+    addiu r20, r20, 1
+    b kdone
+k1:
+    addu r17, r17, r6
+    addiu r21, r21, 1
+    b kdone
+k2:
+    addu r18, r18, r6
+    addiu r22, r22, 1
+    b kdone
+k3:
+    addu r19, r19, r6
+    addiu r23, r23, 1
+kdone:
+    addiu r2, r2, 1
+    xloop.or body, r2, r3
+    li r5, 0x2000
+    sw r16, 0(r5)
+    sw r17, 4(r5)
+    sw r18, 8(r5)
+    sw r19, 12(r5)
+    sw r20, 16(r5)
+    sw r21, 20(r5)
+    sw r22, 24(r5)
+    sw r23, 28(r5)
+    exit",
+        c0 = c[0],
+        c1 = c[1],
+        c2 = c[2],
+        c3 = c[3],
+    );
+    let expected: Vec<u32> = sums.iter().chain(counts.iter()).copied().collect();
+    Kernel::new(
+        "kmeans-or",
+        Suite::Custom,
+        "or,uc",
+        asm,
+        vec![(0x1000, points)],
+        check_words("sums+counts", 0x2000, expected),
+    )
+}
+
+pub(crate) const SHA_ROUNDS: usize = 64;
+
+pub(crate) fn sha_words() -> Vec<u32> {
+    Rng::new(0x5A).vec_below(SHA_ROUNDS, u32::MAX)
+}
+
+pub(crate) fn sha_reference(w: &[u32]) -> [u32; 5] {
+    let (mut a, mut b, mut c, mut d, mut e) =
+        (0x67452301u32, 0xEFCDAB89u32, 0x98BADCFEu32, 0x10325476u32, 0xC3D2E1F0u32);
+    for &wt in w {
+        let f = (b & c) | (!b & d);
+        let temp = a
+            .rotate_left(5)
+            .wrapping_add(f)
+            .wrapping_add(e)
+            .wrapping_add(wt)
+            .wrapping_add(0x5A827999);
+        e = d;
+        d = c;
+        c = b.rotate_left(30);
+        b = a;
+        a = temp;
+    }
+    [a, b, c, d, e]
+}
+
+/// SHA-1-style compression rounds (MiBench): five rotating CIRs. `opt`
+/// hand-schedules the simple CIR rotations (`e=d`, `d=c`, …) to the top of
+/// the body so successors unblock while `temp` is still being computed.
+pub(crate) fn sha(opt: bool) -> Kernel {
+    let w = sha_words();
+    let expected = sha_reference(&w).to_vec();
+
+    let head = format!(
+        "
+    li r4, 0x1000      # message schedule
+    li r10, 0x67452301 # a
+    li r11, 0xEFCDAB89 # b
+    li r12, 0x98BADCFE # c
+    li r13, 0x10325476 # d
+    li r14, 0xC3D2E1F0 # e
+    li r15, 0x5A827999 # K
+    li r2, 0
+    li r3, {SHA_ROUNDS}
+body:"
+    );
+    let compute_f_temp = "
+    and r16, r11, r12
+    nor r17, r11, r0
+    and r17, r17, r13
+    or r16, r16, r17   # f
+    sll r18, r10, 5
+    srl r19, r10, 27
+    or r18, r18, r19   # rol(a,5)
+    addu r18, r18, r16
+    addu r18, r18, r14
+    addu r18, r18, r20
+    addu r18, r18, r15 # temp";
+    let load_w = "
+    sll r21, r2, 2
+    addu r21, r4, r21
+    lw r20, 0(r21)     # w[t]";
+    let rotate_late = "
+    move r14, r13      # e = d
+    move r13, r12      # d = c
+    sll r22, r11, 30
+    srl r23, r11, 2
+    or r12, r22, r23   # c = rol(b,30)
+    move r11, r10      # b = a
+    move r10, r18      # a = temp";
+    let opt_body = "
+    sll r21, r2, 2
+    addu r21, r4, r21
+    lw r20, 0(r21)     # w[t]
+    sll r18, r10, 5
+    srl r19, r10, 27
+    or r18, r18, r19   # rol(a,5)
+    addu r18, r18, r14 # + e (old e consumed)
+    and r16, r11, r12
+    nor r17, r11, r0
+    and r17, r17, r13
+    or r16, r16, r17   # f (old b,c,d consumed)
+    move r14, r13      # e = d      — CIR writes retire early
+    move r13, r12      # d = c
+    sll r22, r11, 30
+    srl r23, r11, 2
+    or r12, r22, r23   # c = rol(b,30)
+    move r11, r10      # b = a
+    addu r18, r18, r16
+    addu r18, r18, r20
+    addu r18, r18, r15
+    move r10, r18      # a = temp";
+    let tail = "
+    addiu r2, r2, 1
+    xloop.or body, r2, r3
+    li r4, 0x2000
+    sw r10, 0(r4)
+    sw r11, 4(r4)
+    sw r12, 8(r4)
+    sw r13, 12(r4)
+    sw r14, 16(r4)
+    exit";
+
+    let asm = if !opt {
+        // Compiler-like order: load w, compute f and temp, then rotate.
+        format!("{head}{load_w}{compute_f_temp}{rotate_late}{tail}")
+    } else {
+        // Hand schedule: f/temp consume the old values first, then the
+        // cheap rotations retire the CIR chain as early as possible.
+        format!("{head}{opt_body}{tail}")
+    };
+    Kernel::new(
+        if opt { "sha-or-opt" } else { "sha-or" },
+        Suite::MiBench,
+        "or,uc",
+        asm,
+        vec![(0x1000, w)],
+        check_words("digest", 0x2000, expected),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn or_kernels_pass_functionally() {
+        for k in all() {
+            k.run_functional().unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        }
+    }
+
+    #[test]
+    fn opt_variants_compute_identical_results() {
+        for k in [adpcm(true), dither_or(true), sha(true)] {
+            k.run_functional().unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! The `xloop.ua` kernels of Table II: btree, hsort, huffman, rsort.
+//! Iterations may execute in any order but their memory updates must
+//! appear atomic; the current microarchitecture (like the paper's)
+//! guarantees this with the serial-order `om` mechanisms, so results are
+//! serial-equivalent and verified against serial references.
+
+use crate::dataset::{pack_bytes, Rng};
+use crate::{check_words, Kernel, Suite};
+
+pub fn all() -> Vec<Kernel> {
+    vec![btree(), hsort(), huffman(), rsort_ua()]
+}
+
+const BTREE_N: usize = 256;
+
+/// Binary-search-tree construction from random integers (custom kernel):
+/// each iteration inserts one key, atomically linking itself into the
+/// shared tree.
+pub fn btree() -> Kernel {
+    let keys = Rng::new(0xB7).permutation(BTREE_N as u32);
+
+    // Golden serial insertion. Node i = pool[3i..3i+3] = (key, left, right).
+    let mut pool = vec![-1i32; 3 * BTREE_N];
+    let mut root = -1i32;
+    for (i, &k) in keys.iter().enumerate() {
+        pool[3 * i] = k as i32;
+        pool[3 * i + 1] = -1;
+        pool[3 * i + 2] = -1;
+        if root < 0 {
+            root = i as i32;
+            continue;
+        }
+        let mut cur = root as usize;
+        loop {
+            let field = if (k as i32) < pool[3 * cur] { 1 } else { 2 };
+            let child = pool[3 * cur + field];
+            if child < 0 {
+                pool[3 * cur + field] = i as i32;
+                break;
+            }
+            cur = child as usize;
+        }
+    }
+
+    let asm = format!(
+        "
+    li r4, 0x1000      # keys
+    li r5, 0x2000      # node pool (12 bytes per node)
+    li r6, 0x3000      # root cell
+    li r2, 0
+    li r3, {BTREE_N}
+body:
+    sll r8, r2, 2
+    addu r8, r4, r8
+    lw r9, 0(r8)
+    li r10, 12
+    mul r11, r2, r10
+    addu r11, r5, r11
+    sw r9, 0(r11)
+    li r12, -1
+    sw r12, 4(r11)
+    sw r12, 8(r11)
+    lw r13, 0(r6)
+    bge r13, r0, bwalk
+    sw r2, 0(r6)
+    b bdone
+bwalk:
+    li r10, 12
+    mul r14, r13, r10
+    addu r14, r5, r14
+    lw r15, 0(r14)
+    blt r9, r15, goleft
+    lw r16, 8(r14)
+    bge r16, r0, goright
+    sw r2, 8(r14)
+    b bdone
+goright:
+    move r13, r16
+    b bwalk
+goleft:
+    lw r16, 4(r14)
+    bge r16, r0, goleftc
+    sw r2, 4(r14)
+    b bdone
+goleftc:
+    move r13, r16
+    b bwalk
+bdone:
+    addiu r2, r2, 1
+    xloop.ua body, r2, r3
+    exit"
+    );
+    let segments = vec![
+        (0x1000, keys),
+        (0x2000, vec![-1i32 as u32; 3 * BTREE_N]),
+        (0x3000, vec![-1i32 as u32]),
+    ];
+    let expected_pool: Vec<u32> = pool.iter().map(|&v| v as u32).collect();
+    Kernel::new(
+        "btree-ua",
+        Suite::Custom,
+        "ua,uc",
+        asm,
+        segments,
+        Box::new(move |mem| {
+            if mem.read_u32(0x3000) != root as u32 {
+                return Err(format!("root {} expected {root}", mem.read_u32(0x3000) as i32));
+            }
+            check_words("pool", 0x2000, expected_pool.clone())(mem)
+        }),
+    )
+}
+
+const HSORT_N: usize = 512;
+
+/// Heap construction (the insertion phase of heap-sort, custom kernel):
+/// each iteration appends to a shared binary min-heap and sifts up.
+pub fn hsort() -> Kernel {
+    let vals: Vec<u32> = Rng::new(0x45).vec_below(HSORT_N, 10_000);
+
+    let mut heap: Vec<u32> = Vec::new();
+    for &v in &vals {
+        heap.push(v);
+        let mut cur = heap.len() - 1;
+        while cur > 0 {
+            let parent = (cur - 1) / 2;
+            if heap[parent] <= v {
+                break;
+            }
+            heap[cur] = heap[parent];
+            heap[parent] = v;
+            cur = parent;
+        }
+    }
+
+    let asm = format!(
+        "
+    li r4, 0x1000      # input
+    li r5, 0x2000      # heap
+    li r6, 0x3000      # size cell
+    li r2, 0
+    li r3, {HSORT_N}
+body:
+    sll r8, r2, 2
+    addu r8, r4, r8
+    lw r9, 0(r8)
+    lw r10, 0(r6)
+    addiu r11, r10, 1
+    sw r11, 0(r6)
+    sll r12, r10, 2
+    addu r12, r5, r12
+    sw r9, 0(r12)
+hsift:
+    beqz r10, hdone
+    addiu r13, r10, -1
+    srl r13, r13, 1
+    sll r14, r13, 2
+    addu r14, r5, r14
+    lw r15, 0(r14)
+    ble r15, r9, hdone
+    sll r16, r10, 2
+    addu r16, r5, r16
+    sw r15, 0(r16)
+    sw r9, 0(r14)
+    move r10, r13
+    b hsift
+hdone:
+    addiu r2, r2, 1
+    xloop.ua body, r2, r3
+    exit"
+    );
+    Kernel::new(
+        "hsort-ua",
+        Suite::Custom,
+        "ua",
+        asm,
+        vec![(0x1000, vals)],
+        Box::new(move |mem| {
+            if mem.read_u32(0x3000) != HSORT_N as u32 {
+                return Err(format!("heap size {}", mem.read_u32(0x3000)));
+            }
+            check_words("heap", 0x2000, heap.clone())(mem)
+        }),
+    )
+}
+
+const HUFF_N: usize = 2048;
+const HUFF_SYMS: usize = 16;
+
+/// Symbol-frequency histogram of the Huffman encoder (custom kernel):
+/// every iteration atomically bumps one of 16 counters — maximal
+/// contention on a handful of cells.
+pub fn huffman() -> Kernel {
+    let mut rng = Rng::new(0x4F);
+    // Skewed distribution, as an entropy coder expects.
+    let input: Vec<u8> = (0..HUFF_N)
+        .map(|_| {
+            let r = rng.below(100);
+            match r {
+                0..=39 => 0,
+                40..=64 => 1,
+                65..=79 => 2,
+                80..=89 => 3,
+                _ => 4 + (r % 12) as u8,
+            }
+        })
+        .collect();
+    let mut freq = vec![0u32; HUFF_SYMS];
+    for &b in &input {
+        freq[b as usize] += 1;
+    }
+
+    let asm = format!(
+        "
+    li r4, 0x1000      # input bytes
+    li r5, 0x2000      # freq
+    li r2, 0
+    li r3, {HUFF_N}
+body:
+    addu r8, r4, r2
+    lbu r9, 0(r8)
+    sll r9, r9, 2
+    addu r9, r5, r9
+    lw r10, 0(r9)
+    addiu r10, r10, 1
+    sw r10, 0(r9)
+    addiu r2, r2, 1
+    xloop.ua body, r2, r3
+    exit"
+    );
+    Kernel::new(
+        "huffman-ua",
+        Suite::Custom,
+        "ua",
+        asm,
+        vec![(0x1000, pack_bytes(&input))],
+        check_words("freq", 0x2000, freq),
+    )
+}
+
+pub(crate) const RSORT_N: usize = 512;
+
+pub(crate) fn rsort_input() -> Vec<u32> {
+    Rng::new(0x4A).vec_below(RSORT_N, 1 << 16)
+}
+
+/// Stable counting sort by the low digit — the golden image of one radix
+/// pass.
+pub(crate) fn rsort_reference(input: &[u32]) -> (Vec<u32>, Vec<u32>) {
+    let mut hist = vec![0u32; 16];
+    for &v in input {
+        hist[(v & 15) as usize] += 1;
+    }
+    let mut offsets = vec![0u32; 16];
+    let mut acc = 0;
+    for d in 0..16 {
+        offsets[d] = acc;
+        acc += hist[d];
+    }
+    let mut cursor = offsets.clone();
+    let mut sorted = vec![0u32; input.len()];
+    for &v in input {
+        let d = (v & 15) as usize;
+        sorted[cursor[d] as usize] = v;
+        cursor[d] += 1;
+    }
+    (hist, sorted)
+}
+
+/// One pass of incremental radix sort (custom kernel): an `xloop.ua`
+/// histogram, a serial prefix-sum, and an `xloop.ua` scatter whose bucket
+/// cursors are shared read-modify-write cells.
+pub fn rsort_ua() -> Kernel {
+    let input = rsort_input();
+    let (hist, sorted) = rsort_reference(&input);
+
+    let asm = format!(
+        "
+    li r4, 0x1000      # input
+    li r5, 0x2000      # hist
+    li r6, 0x2100      # cursors
+    li r7, 0x3000      # sorted
+    li r2, 0
+    li r3, {RSORT_N}
+body:
+    sll r8, r2, 2
+    addu r8, r4, r8
+    lw r9, 0(r8)
+    andi r9, r9, 15
+    sll r9, r9, 2
+    addu r9, r5, r9
+    lw r10, 0(r9)
+    addiu r10, r10, 1
+    sw r10, 0(r9)
+    addiu r2, r2, 1
+    xloop.ua body, r2, r3
+    # serial prefix sum into cursors
+    li r11, 0          # acc
+    li r12, 0          # d
+prefix:
+    sll r13, r12, 2
+    addu r14, r6, r13
+    sw r11, 0(r14)
+    addu r13, r5, r13
+    lw r13, 0(r13)
+    addu r11, r11, r13
+    addiu r12, r12, 1
+    li r13, 16
+    blt r12, r13, prefix
+    # scatter pass
+    li r2, 0
+    li r3, {RSORT_N}
+body2:
+    sll r8, r2, 2
+    addu r8, r4, r8
+    lw r9, 0(r8)
+    andi r10, r9, 15
+    sll r10, r10, 2
+    addu r10, r6, r10
+    lw r11, 0(r10)
+    addiu r12, r11, 1
+    sw r12, 0(r10)
+    sll r11, r11, 2
+    addu r11, r7, r11
+    sw r9, 0(r11)
+    addiu r2, r2, 1
+    xloop.ua body2, r2, r3
+    exit"
+    );
+    Kernel::new(
+        "rsort-ua",
+        Suite::Custom,
+        "ua",
+        asm,
+        vec![(0x1000, input)],
+        Box::new(move |mem| {
+            check_words("hist", 0x2000, hist.clone())(mem)?;
+            check_words("sorted", 0x3000, sorted.clone())(mem)
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ua_kernels_pass_functionally() {
+        for k in all() {
+            k.run_functional().unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        }
+    }
+}

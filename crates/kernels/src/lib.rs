@@ -1,0 +1,220 @@
+//! # xloops-kernels
+//!
+//! The application-kernel suite of Table II (all 25 kernels) and the
+//! hand-optimized / loop-transformed variants of Table IV.
+//!
+//! Every kernel bundles:
+//!
+//! * XLOOPS assembly (hand-written, as discussed in `DESIGN.md`: the
+//!   paper's LLVM backend cannot be reproduced, and the loop *dependence
+//!   structure* — which is what XLOOPS exercises — is what matters);
+//! * a seeded synthetic dataset sized to fit the modeled 16 KB L1 (the
+//!   paper's VLSI methodology does the same);
+//! * a pure-Rust golden reference, so results of every execution mode on
+//!   every microarchitecture are verified, not eyeballed.
+//!
+//! Kernel names follow the paper: the suffix is the dominant
+//! inter-iteration dependence pattern (`-uc`, `-or`, `-om`, `-orm`, `-ua`,
+//! `-uc-db`).
+//!
+//! ```
+//! use xloops_kernels::{table2, by_name};
+//! assert_eq!(table2().len(), 25);
+//! let k = by_name("sgemm-uc").expect("kernel exists");
+//! assert!(k.patterns.contains("uc"));
+//! ```
+
+mod dataset;
+mod kernels_db;
+mod kernels_om;
+mod kernels_or;
+mod kernels_ua;
+mod kernels_uc;
+mod variants;
+
+use xloops_asm::{assemble, Program};
+use xloops_mem::Memory;
+
+pub use dataset::Rng;
+
+/// Benchmark suite a kernel is drawn from (Table II's `Suite` column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Suite {
+    /// Custom kernels written for the paper.
+    Custom,
+    /// PolyBench.
+    PolyBench,
+    /// MiBench.
+    MiBench,
+    /// Problem-Based Benchmark Suite.
+    Pbbs,
+}
+
+impl Suite {
+    /// One-letter tag used in the tables (`C`, `Po`, `M`, `P`).
+    pub fn tag(self) -> &'static str {
+        match self {
+            Suite::Custom => "C",
+            Suite::PolyBench => "Po",
+            Suite::MiBench => "M",
+            Suite::Pbbs => "P",
+        }
+    }
+}
+
+type CheckFn = Box<dyn Fn(&Memory) -> Result<(), String> + Send + Sync>;
+
+/// A runnable, verifiable application kernel.
+pub struct Kernel {
+    /// Table II name (e.g. `ksack-sm-om`).
+    pub name: &'static str,
+    /// Source suite.
+    pub suite: Suite,
+    /// Dominant dependence pattern(s), e.g. `"or,uc"`.
+    pub patterns: &'static str,
+    /// XLOOPS assembly source.
+    pub asm: String,
+    /// Assembled XLOOPS binary.
+    pub program: Program,
+    segments: Vec<(u32, Vec<u32>)>,
+    check: CheckFn,
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("name", &self.name)
+            .field("suite", &self.suite)
+            .field("patterns", &self.patterns)
+            .field("instrs", &self.program.len())
+            .finish()
+    }
+}
+
+impl Kernel {
+    /// Builds a kernel, assembling its source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assembly does not assemble — kernels are static data
+    /// and an error is a bug in this crate (covered by tests).
+    pub(crate) fn new(
+        name: &'static str,
+        suite: Suite,
+        patterns: &'static str,
+        asm: String,
+        segments: Vec<(u32, Vec<u32>)>,
+        check: CheckFn,
+    ) -> Kernel {
+        let program =
+            assemble(&asm).unwrap_or_else(|e| panic!("kernel `{name}` does not assemble: {e}"));
+        Kernel { name, suite, patterns, asm, program, segments, check }
+    }
+
+    /// Writes the kernel's dataset into memory.
+    pub fn init_memory(&self, mem: &mut Memory) {
+        for (addr, words) in &self.segments {
+            mem.write_words(*addr, words);
+        }
+    }
+
+    /// Verifies the kernel's result in `mem` against the golden reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first mismatch.
+    pub fn verify(&self, mem: &Memory) -> Result<(), String> {
+        (self.check)(mem)
+    }
+
+    /// Runs the kernel functionally (serial, traditional semantics) and
+    /// verifies it — the fastest smoke test of kernel correctness.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution errors and verification mismatches as strings.
+    pub fn run_functional(&self) -> Result<Memory, String> {
+        let mut mem = Memory::new();
+        self.init_memory(&mut mem);
+        let mut cpu = xloops_func::Interp::new();
+        cpu.run(&self.program, &mut mem, 500_000_000).map_err(|e| e.to_string())?;
+        self.verify(&mem)?;
+        Ok(mem)
+    }
+}
+
+/// Checker comparing a word array against an expected image.
+pub(crate) fn check_words(label: &'static str, addr: u32, expected: Vec<u32>) -> CheckFn {
+    Box::new(move |mem| {
+        for (i, &want) in expected.iter().enumerate() {
+            let got = mem.read_u32(addr + 4 * i as u32);
+            if got != want {
+                return Err(format!("{label}[{i}] = {got:#x}, expected {want:#x}"));
+            }
+        }
+        Ok(())
+    })
+}
+
+/// Checker comparing a byte array against an expected image.
+pub(crate) fn check_bytes(label: &'static str, addr: u32, expected: Vec<u8>) -> CheckFn {
+    Box::new(move |mem| {
+        for (i, &want) in expected.iter().enumerate() {
+            let got = mem.read_u8(addr + i as u32);
+            if got != want {
+                return Err(format!("{label}[{i}] = {got:#x}, expected {want:#x}"));
+            }
+        }
+        Ok(())
+    })
+}
+
+/// All 25 kernels of Table II, in the table's order.
+pub fn table2() -> Vec<Kernel> {
+    let mut v = Vec::new();
+    v.extend(kernels_uc::all());
+    v.extend(kernels_or::all());
+    v.extend(kernels_om::all());
+    v.extend(kernels_ua::all());
+    v.extend(kernels_db::all());
+    v
+}
+
+/// The hand-optimized and loop-transformed variants of Table IV.
+pub fn table4() -> Vec<Kernel> {
+    variants::all()
+}
+
+/// Looks a kernel up by its Table II / Table IV name.
+pub fn by_name(name: &str) -> Option<Kernel> {
+    table2().into_iter().chain(table4()).find(|k| k.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_distinct() {
+        let t2 = table2();
+        assert_eq!(t2.len(), 25, "Table II has 25 kernels");
+        let t4 = table4();
+        assert_eq!(t4.len(), 8, "Table IV has 8 case-study variants");
+        let mut names: Vec<_> = t2.iter().chain(&t4).map(|k| k.name).collect();
+        names.sort_unstable();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(names.len(), n, "kernel names are unique");
+    }
+
+    #[test]
+    fn every_kernel_assembles_and_has_an_xloop() {
+        for k in table2().iter().chain(&table4()) {
+            assert!(
+                k.program.instrs().iter().any(|i| i.is_xloop()),
+                "{} contains no xloop",
+                k.name
+            );
+        }
+    }
+}

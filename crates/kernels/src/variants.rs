@@ -1,0 +1,416 @@
+//! Table IV case-study variants: hand-optimized `xloop.or` schedules
+//! (`*-or-opt`) and alternative loop parallelization strategies that turn
+//! ordered or dynamic-bound loops into plain `xloop.uc` loops.
+
+use crate::dataset::pack_bytes;
+use crate::kernels_db::{bfs_graph, qsort_check, qsort_input, BFS_V, QSORT_N};
+use crate::kernels_or::{
+    adpcm, dither_input, dither_or, dither_reference, kmeans_points, kmeans_reference, sha,
+    DITHER_H, DITHER_W, KMEANS_CENTROIDS, KMEANS_N,
+};
+use crate::kernels_ua::{rsort_input, rsort_reference, RSORT_N};
+use crate::{check_bytes, check_words, Kernel, Suite};
+
+pub fn all() -> Vec<Kernel> {
+    vec![
+        adpcm(true),
+        dither_or(true),
+        sha(true),
+        bfs_uc(),
+        dither_uc(),
+        kmeans_uc(),
+        qsort_uc(),
+        rsort_uc(),
+    ]
+}
+
+/// Level-synchronous BFS: the worklist disappears; an outer plain loop
+/// walks levels and an inner `xloop.uc` sweeps all vertices, relaxing
+/// those on the current level with `amo.min`.
+pub fn bfs_uc() -> Kernel {
+    let (row_ptr, cols, dist) = bfs_graph();
+    const LEVELS: usize = 24;
+    assert!(
+        dist.iter().all(|&d| (d as usize) < LEVELS),
+        "level cap must cover the graph diameter"
+    );
+
+    let asm = format!(
+        "
+    li r4, 0x1000      # row_ptr
+    li r5, 0x1200      # cols
+    li r6, 0x2000      # dist
+    li r20, 0          # level
+    li r21, {LEVELS}
+lvloop:
+    li r2, 0
+    li r3, {BFS_V}
+body:
+    sll r8, r2, 2
+    addu r9, r6, r8
+    lw r10, 0(r9)
+    bne r10, r20, vdone   # only vertices on the current level expand
+    addu r11, r4, r8
+    lw r12, 0(r11)
+    lw r13, 4(r11)
+    addiu r14, r20, 1
+nloop:
+    bge r12, r13, vdone
+    sll r15, r12, 2
+    addu r15, r5, r15
+    lw r16, 0(r15)
+    sll r17, r16, 2
+    addu r17, r6, r17
+    amo.min r18, (r17), r14
+    addiu r12, r12, 1
+    b nloop
+vdone:
+    addiu r2, r2, 1
+    xloop.uc body, r2, r3
+    addiu r20, r20, 1
+    blt r20, r21, lvloop
+    exit"
+    );
+    let mut dist_init = vec![0x7FFFFFu32; BFS_V];
+    dist_init[0] = 0;
+    Kernel::new(
+        "bfs-uc",
+        Suite::Custom,
+        "uc",
+        asm,
+        vec![(0x1000, row_ptr), (0x1200, cols), (0x2000, dist_init)],
+        check_words("dist", 0x2000, dist),
+    )
+}
+
+/// Row-parallel dithering: rows are independent (the error resets per
+/// row), so an `xloop.uc` over rows with the diffusion loop inside each
+/// iteration computes the identical image without any CIR.
+pub fn dither_uc() -> Kernel {
+    // Same dataset and golden output as the -or kernel: per-row private
+    // error gives an identical image.
+    let img = dither_input();
+    let expected = dither_reference(&img);
+    let img_words = pack_bytes(&img);
+    const W: usize = DITHER_W;
+    const H: usize = DITHER_H;
+
+    let asm = format!(
+        "
+    li r4, 0x1000      # img
+    li r5, 0x2000      # out
+    li r2, 0
+    li r3, {H}
+body:
+    sll r8, r2, 6      # row offset (W = 64)
+    addu r9, r4, r8
+    addu r10, r5, r8
+    li r11, 0          # x
+    li r12, 0          # private err
+xline:
+    addu r13, r9, r11
+    lbu r14, 0(r13)
+    addu r14, r14, r12
+    li r15, 0
+    li r16, 127
+    ble r14, r16, xdark
+    li r15, 255
+    addiu r14, r14, -255
+xdark:
+    move r12, r14
+    addu r13, r10, r11
+    sb r15, 0(r13)
+    addiu r11, r11, 1
+    li r16, {W}
+    blt r11, r16, xline
+    addiu r2, r2, 1
+    xloop.uc body, r2, r3
+    exit"
+    );
+    Kernel::new(
+        "dither-uc",
+        Suite::Custom,
+        "uc",
+        asm,
+        vec![(0x1000, img_words)],
+        check_bytes("out", 0x2000, expected),
+    )
+}
+
+/// k-means assignment with atomic accumulation: per-cluster sums and
+/// counts move from CIRs into memory cells updated with `amo.add`, making
+/// the loop `uc` (the privatize-and-reduce transformation).
+pub fn kmeans_uc() -> Kernel {
+    let points = kmeans_points();
+    let (sums, counts) = kmeans_reference(&points);
+    let c = KMEANS_CENTROIDS;
+
+    let asm = format!(
+        "
+    li r4, 0x1000      # points
+    li r5, 0x2000      # sums (4) then counts (4)
+    li r24, {c0}
+    li r25, {c1}
+    li r26, {c2}
+    li r27, {c3}
+    li r2, 0
+    li r3, {KMEANS_N}
+body:
+    sll r6, r2, 2
+    addu r6, r4, r6
+    lw r6, 0(r6)
+    subu r7, r6, r24
+    bge r7, r0, a0
+    subu r7, r0, r7
+a0:
+    li r8, 0
+    move r9, r7
+    subu r7, r6, r25
+    bge r7, r0, a1
+    subu r7, r0, r7
+a1:
+    bge r7, r9, a2
+    li r8, 1
+    move r9, r7
+a2:
+    subu r7, r6, r26
+    bge r7, r0, a3
+    subu r7, r0, r7
+a3:
+    bge r7, r9, a4
+    li r8, 2
+    move r9, r7
+a4:
+    subu r7, r6, r27
+    bge r7, r0, a5
+    subu r7, r0, r7
+a5:
+    bge r7, r9, a6
+    li r8, 3
+    move r9, r7
+a6:
+    sll r10, r8, 2
+    addu r11, r5, r10
+    amo.add r12, (r11), r6
+    addiu r11, r11, 16
+    li r13, 1
+    amo.add r12, (r11), r13
+    addiu r2, r2, 1
+    xloop.uc body, r2, r3
+    exit",
+        c0 = c[0],
+        c1 = c[1],
+        c2 = c[2],
+        c3 = c[3],
+    );
+    let expected: Vec<u32> = sums.iter().chain(counts.iter()).copied().collect();
+    Kernel::new(
+        "kmeans-uc",
+        Suite::Custom,
+        "uc",
+        asm,
+        vec![(0x1000, points)],
+        check_words("sums+counts", 0x2000, expected),
+    )
+}
+
+/// Level-synchronous quicksort: partitions of one level are processed by
+/// an inner `xloop.uc` that writes next-level partitions into a second
+/// worklist (split worklists instead of one dynamic-bound list).
+pub fn qsort_uc() -> Kernel {
+    let input = qsort_input();
+    const LEVELS: usize = 32;
+
+    // Worklist A at 0x3000, worklist B at 0x4800, tails at 0x6000/0x6004.
+    // Each level swaps the roles via pointer registers.
+    let asm = format!(
+        "
+    li r4, 0x1000      # a
+    li r7, 0x3000      # current worklist
+    li r6, 0x6000      # current tail cell
+    li r28, 0x4800     # next worklist
+    li r29, 0x6004     # next tail cell
+    li r20, 0          # level
+    li r21, {LEVELS}
+lvloop:
+    sw r0, 0(r29)      # next tail = 0
+    li r2, 0
+    lw r3, 0(r6)       # bound = current tail (fixed within the level)
+    beqz r3, lvnext
+body:
+    sll r8, r2, 3
+    addu r8, r7, r8
+    lw r9, 0(r8)       # lo
+    lw r10, 4(r8)      # hi
+    bge r9, r10, qdone
+    sll r11, r10, 2
+    addu r11, r4, r11
+    lw r12, 0(r11)
+    move r13, r9
+    move r14, r9
+qscan:
+    bge r14, r10, qscand
+    sll r15, r14, 2
+    addu r15, r4, r15
+    lw r16, 0(r15)
+    bge r16, r12, qnext
+    sll r17, r13, 2
+    addu r17, r4, r17
+    lw r18, 0(r17)
+    sw r16, 0(r17)
+    sw r18, 0(r15)
+    addiu r13, r13, 1
+qnext:
+    addiu r14, r14, 1
+    b qscan
+qscand:
+    sll r17, r13, 2
+    addu r17, r4, r17
+    lw r18, 0(r17)
+    sw r12, 0(r17)
+    sw r18, 0(r11)
+    li r19, 2
+    amo.add r20x, (r29), r19
+    sll r22, r20x, 3
+    addu r22, r28, r22
+    addiu r23, r13, -1
+    sw r9, 0(r22)
+    sw r23, 4(r22)
+    addiu r23, r13, 1
+    sw r23, 8(r22)
+    sw r10, 12(r22)
+qdone:
+    addiu r2, r2, 1
+    xloop.uc body, r2, r3
+lvnext:
+    # swap current/next worklists and tails
+    move r22, r7
+    move r7, r28
+    move r28, r22
+    move r22, r6
+    move r6, r29
+    move r29, r22
+    addiu r20, r20, 1
+    blt r20, r21, lvloop
+    exit"
+    );
+    let asm = asm.replace("r20x", "r24");
+    let segments = vec![
+        (0x1000, input),
+        (0x3000, vec![0u32, QSORT_N as u32 - 1]),
+        (0x6000, vec![1u32]),
+        (0x6004, vec![0u32]),
+    ];
+    Kernel::new("qsort-uc", Suite::Custom, "uc", asm, segments, qsort_check())
+}
+
+/// Radix-sort pass with atomic histogram and cursor updates: both loops
+/// become `xloop.uc`. Bucket contents are order-sensitive under `uc`, so
+/// verification checks the histogram plus per-bucket multisets.
+pub fn rsort_uc() -> Kernel {
+    let input = rsort_input();
+    let (hist, sorted) = rsort_reference(&input);
+
+    let asm = format!(
+        "
+    li r4, 0x1000      # input
+    li r5, 0x2000      # hist
+    li r6, 0x2100      # cursors
+    li r7, 0x3000      # sorted
+    li r2, 0
+    li r3, {RSORT_N}
+body:
+    sll r8, r2, 2
+    addu r8, r4, r8
+    lw r9, 0(r8)
+    andi r9, r9, 15
+    sll r9, r9, 2
+    addu r9, r5, r9
+    li r10, 1
+    amo.add r11, (r9), r10
+    addiu r2, r2, 1
+    xloop.uc body, r2, r3
+    li r11, 0
+    li r12, 0
+prefix:
+    sll r13, r12, 2
+    addu r14, r6, r13
+    sw r11, 0(r14)
+    addu r13, r5, r13
+    lw r13, 0(r13)
+    addu r11, r11, r13
+    addiu r12, r12, 1
+    li r13, 16
+    blt r12, r13, prefix
+    li r2, 0
+    li r3, {RSORT_N}
+body2:
+    sll r8, r2, 2
+    addu r8, r4, r8
+    lw r9, 0(r8)
+    andi r10, r9, 15
+    sll r10, r10, 2
+    addu r10, r6, r10
+    li r12, 1
+    amo.add r11, (r10), r12
+    sll r11, r11, 2
+    addu r11, r7, r11
+    sw r9, 0(r11)
+    addiu r2, r2, 1
+    xloop.uc body2, r2, r3
+    exit"
+    );
+    // Verification: exact histogram; per-bucket multiset equality (bucket
+    // boundaries from the stable reference are the same).
+    let bucket_bounds: Vec<(usize, usize)> = {
+        let mut bounds = Vec::new();
+        let mut start = 0usize;
+        for d in 0..16 {
+            let len = hist[d] as usize;
+            bounds.push((start, start + len));
+            start += len;
+        }
+        bounds
+    };
+    let sorted_ref = sorted;
+    let hist_ref = hist;
+    Kernel::new(
+        "rsort-uc",
+        Suite::Custom,
+        "uc",
+        asm,
+        vec![(0x1000, input)],
+        Box::new(move |mem| {
+            check_words("hist", 0x2000, hist_ref.clone())(mem)?;
+            for (d, &(lo, hi)) in bucket_bounds.iter().enumerate() {
+                let mut got: Vec<u32> =
+                    (lo..hi).map(|i| mem.read_u32(0x3000 + 4 * i as u32)).collect();
+                let mut want: Vec<u32> = sorted_ref[lo..hi].to_vec();
+                got.sort_unstable();
+                want.sort_unstable();
+                if got != want {
+                    return Err(format!("bucket {d} multiset mismatch"));
+                }
+            }
+            Ok(())
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_pass_functionally() {
+        for k in all() {
+            k.run_functional().unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        }
+    }
+
+    #[test]
+    fn pack_bytes_is_reexported_for_this_module() {
+        // Keep the import honest if variants stop using it.
+        assert_eq!(pack_bytes(&[1]), vec![1]);
+    }
+}

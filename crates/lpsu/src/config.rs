@@ -1,0 +1,126 @@
+/// Configuration of a loop-pattern specialization unit.
+///
+/// The default matches the paper's primary design point
+/// (`lpsu+i128+ln4`): four lanes, 128-entry instruction buffers, 8+8-entry
+/// load-store queues, one shared memory port, one shared (unpipelined)
+/// LLFU, no lane multithreading.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LpsuConfig {
+    /// Number of decoupled lanes (2–8 in the paper's design space).
+    pub lanes: u32,
+    /// Loop-instruction-buffer entries per lane; loops with bigger bodies
+    /// fall back to traditional execution.
+    pub ibuf_entries: u32,
+    /// Speculative-load entries per lane LSQ.
+    pub lsq_loads: u32,
+    /// Speculative-store entries per lane LSQ.
+    pub lsq_stores: u32,
+    /// Shared data-memory ports (1; 2 in the `+r` design point).
+    pub mem_ports: u32,
+    /// Shared long-latency functional units (1; 2 in the `+r` design point).
+    pub llfus: u32,
+    /// Vertical multithreading contexts per lane (1 = off; 2 in the `+t`
+    /// design point). Only `xloop.uc` uses the extra context — the paper
+    /// disables multithreading for ordered patterns because it slows the
+    /// inter-iteration critical path and the non-speculative lane.
+    pub contexts: u32,
+    /// Extra cycles to transfer a CIR value between lanes through a CIB.
+    pub cib_latency: u32,
+    /// Allow a speculative load that misses its own LSQ to snoop *older
+    /// active iterations'* LSQs before going to memory — the paper's
+    /// "more aggressive implementations" extension (Section II-D). Adds a
+    /// 2-cycle cross-lane network hop, and a provider squash must flush
+    /// its consumers.
+    pub cross_lane_forwarding: bool,
+}
+
+impl LpsuConfig {
+    /// The paper's primary LPSU: `lpsu+i128+ln4`.
+    pub fn default4() -> LpsuConfig {
+        LpsuConfig {
+            lanes: 4,
+            ibuf_entries: 128,
+            lsq_loads: 8,
+            lsq_stores: 8,
+            mem_ports: 1,
+            llfus: 1,
+            contexts: 1,
+            cib_latency: 1,
+            cross_lane_forwarding: false,
+        }
+    }
+
+    /// Figure 9 `ooo/4+x4+t`: adds two-way lane multithreading.
+    pub fn with_multithreading(mut self) -> LpsuConfig {
+        self.contexts = 2;
+        self
+    }
+
+    /// Figure 9 `…x8`: doubles the lane count.
+    pub fn with_lanes(mut self, lanes: u32) -> LpsuConfig {
+        self.lanes = lanes;
+        self
+    }
+
+    /// Figure 9 `…+r`: doubles the shared LLFUs and memory ports.
+    pub fn with_double_resources(mut self) -> LpsuConfig {
+        self.mem_ports = 2;
+        self.llfus = 2;
+        self
+    }
+
+    /// Figure 9 `…+m`: grows the LSQs to 16+16 entries.
+    pub fn with_big_lsq(mut self) -> LpsuConfig {
+        self.lsq_loads = 16;
+        self.lsq_stores = 16;
+        self
+    }
+
+    /// Enables cross-lane store-load forwarding (paper extension).
+    pub fn with_cross_lane_forwarding(mut self) -> LpsuConfig {
+        self.cross_lane_forwarding = true;
+        self
+    }
+
+    /// Sets the CIB transfer latency (ablation studies).
+    pub fn with_cib_latency(mut self, cycles: u32) -> LpsuConfig {
+        self.cib_latency = cycles;
+        self
+    }
+
+    /// Table V style name, e.g. `lpsu+i128+ln4`.
+    pub fn name(&self) -> String {
+        format!("lpsu+i{:03}+ln{}", self.ibuf_entries, self.lanes)
+    }
+}
+
+impl Default for LpsuConfig {
+    fn default() -> LpsuConfig {
+        LpsuConfig::default4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_primary_design_point() {
+        let c = LpsuConfig::default4();
+        assert_eq!(c.lanes, 4);
+        assert_eq!(c.ibuf_entries, 128);
+        assert_eq!((c.lsq_loads, c.lsq_stores), (8, 8));
+        assert_eq!(c.name(), "lpsu+i128+ln4");
+    }
+
+    #[test]
+    fn design_space_builders() {
+        let c = LpsuConfig::default4().with_lanes(8).with_double_resources().with_big_lsq();
+        assert_eq!(c.lanes, 8);
+        assert_eq!(c.mem_ports, 2);
+        assert_eq!(c.llfus, 2);
+        assert_eq!(c.lsq_loads, 16);
+        assert_eq!(c.name(), "lpsu+i128+ln8");
+        assert_eq!(LpsuConfig::default4().with_multithreading().contexts, 2);
+    }
+}

@@ -1,0 +1,800 @@
+//! The cycle-stepped specialized-execution engine.
+
+use std::collections::HashMap;
+
+use xloops_func::{alu_imm_value, load, store};
+use xloops_isa::{Instr, Reg};
+use xloops_mem::{Cache, Memory, SharedPort, SharedUnit};
+
+use crate::config::LpsuConfig;
+use crate::lsq::Lsq;
+use crate::scan::ScanResult;
+use crate::stats::LpsuStats;
+
+/// Result of one specialized-execution phase.
+#[derive(Clone, Debug)]
+pub struct LpsuResult {
+    /// Cycles the phase occupied (the GPP stalls for this long).
+    pub cycles: u64,
+    /// Iterations committed.
+    pub iterations: u64,
+    /// Serial-equivalent final value of the induction register.
+    pub final_idx: u32,
+    /// Final value of the bound register (grows for `.db` loops).
+    pub final_bound: u32,
+    /// Serial-equivalent final values of the cross-iteration registers
+    /// (the one class of live-outs the ISA defines).
+    pub cir_finals: Vec<(Reg, u32)>,
+    /// Cycle-level statistics (Figure 6 breakdown).
+    pub stats: LpsuStats,
+}
+
+/// Why a context could not make progress this cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Block {
+    Raw,
+    MemPort,
+    Llfu,
+    Cir,
+    Lsq,
+    Idle,
+}
+
+/// Per-iteration stall tally, merged into [`LpsuStats`] at commit (kept
+/// work) or folded into the squash bucket when the iteration restarts.
+#[derive(Clone, Copy, Debug, Default)]
+struct IterTally {
+    exec: u64,
+    raw: u64,
+    mem_port: u64,
+    llfu: u64,
+    cir: u64,
+    lsq: u64,
+    instrs: u64,
+    mem_accesses: u64,
+    llfu_ops: u64,
+    xi_ops: u64,
+    cir_transfers: u64,
+    lsq_events: u64,
+}
+
+impl IterTally {
+    fn blocked(&mut self, b: Block) {
+        match b {
+            Block::Raw => self.raw += 1,
+            Block::MemPort => self.mem_port += 1,
+            Block::Llfu => self.llfu += 1,
+            Block::Cir => self.cir += 1,
+            Block::Lsq => self.lsq += 1,
+            Block::Idle => {}
+        }
+    }
+
+    fn commit_into(&self, s: &mut LpsuStats) {
+        s.exec += self.exec;
+        s.stall_raw += self.raw;
+        s.stall_mem_port += self.mem_port;
+        s.stall_llfu += self.llfu;
+        s.stall_cir += self.cir;
+        s.stall_lsq += self.lsq;
+        s.instret += self.instrs;
+        s.mem_accesses += self.mem_accesses;
+        s.llfu_ops += self.llfu_ops;
+        s.xi_ops += self.xi_ops;
+        s.cir_transfers += self.cir_transfers;
+        s.lsq_events += self.lsq_events;
+    }
+
+    fn squash_into(&self, s: &mut LpsuStats) {
+        s.squash += self.exec + self.raw + self.mem_port + self.llfu + self.cir + self.lsq;
+        s.squashed_instrs += self.instrs;
+        // Energy was still spent on the discarded work.
+        s.mem_accesses += self.mem_accesses;
+        s.llfu_ops += self.llfu_ops;
+        s.xi_ops += self.xi_ops;
+        s.cir_transfers += self.cir_transfers;
+        s.lsq_events += self.lsq_events;
+    }
+}
+
+/// One hardware iteration context (a lane, or one thread of a
+/// multithreaded lane).
+#[derive(Clone, Debug)]
+struct Ctx {
+    iter: Option<u64>,
+    pc: usize,
+    regs: [u32; 32],
+    reg_ready: [u64; 32],
+    busy_until: u64,
+    lsq: Lsq,
+    /// CIRs localized this iteration (received from the CIB or written).
+    cir_local: u32,
+    /// CIRs already forwarded to the next iteration.
+    cir_pub: u32,
+    /// Finished executing, waiting to commit/drain (ordered-memory only).
+    done_exec: bool,
+    tally: IterTally,
+}
+
+impl Ctx {
+    fn new() -> Ctx {
+        Ctx {
+            iter: None,
+            pc: 0,
+            regs: [0; 32],
+            reg_ready: [0; 32],
+            busy_until: 0,
+            lsq: Lsq::default(),
+            cir_local: 0,
+            cir_pub: 0,
+            done_exec: false,
+            tally: IterTally::default(),
+        }
+    }
+}
+
+/// The loop-pattern specialization unit.
+///
+/// Construct once per system with a [`LpsuConfig`]; call
+/// [`execute`](Lpsu::execute) per specialized loop instance. The unit is
+/// stateless between loops (the instruction buffers are re-scanned per
+/// dynamic instance, as in the paper).
+#[derive(Clone, Debug)]
+pub struct Lpsu {
+    config: LpsuConfig,
+}
+
+impl Lpsu {
+    /// Creates an LPSU with the given configuration.
+    pub fn new(config: LpsuConfig) -> Lpsu {
+        Lpsu { config }
+    }
+
+    /// The unit's configuration.
+    pub fn config(&self) -> &LpsuConfig {
+        &self.config
+    }
+
+    /// Executes the scanned loop on the LPSU, mutating architectural
+    /// memory, and returns the phase timing/statistics.
+    ///
+    /// `max_iters` caps how many iterations are *assigned* (used by the
+    /// adaptive-execution LPSU profiling phase); migration happens at an
+    /// iteration boundary, so all assigned iterations complete.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine fails to make forward progress (an internal
+    /// invariant violation, not reachable from safe inputs).
+    pub fn execute(
+        &self,
+        scan: &ScanResult,
+        mem: &mut Memory,
+        dcache: &mut Cache,
+        max_iters: Option<u64>,
+    ) -> LpsuResult {
+        Engine::new(&self.config, scan, mem, dcache, max_iters).run()
+    }
+}
+
+struct Engine<'a> {
+    cfg: &'a LpsuConfig,
+    scan: &'a ScanResult,
+    mem: &'a mut Memory,
+    dcache: &'a mut Cache,
+    max_iters: u64,
+
+    orders_mem: bool,
+    orders_reg: bool,
+    contexts_per_lane: u32,
+    ctxs: Vec<Ctx>,
+    port: SharedPort,
+    llfu_pipe: SharedPort,
+    llfu_div: SharedUnit,
+    /// CIR channel: value produced by iteration `.0` for register `.1`,
+    /// available at the stamped cycle.
+    chan: HashMap<(i64, u8), (u32, u64)>,
+    next_iter: u64,
+    frontier: u64,
+    committed: u64,
+    bound: u32,
+    stats: LpsuStats,
+    cycle: u64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        cfg: &'a LpsuConfig,
+        scan: &'a ScanResult,
+        mem: &'a mut Memory,
+        dcache: &'a mut Cache,
+        max_iters: Option<u64>,
+    ) -> Engine<'a> {
+        let orders_mem = scan.pattern.data.orders_memory();
+        let orders_reg = scan.pattern.data.orders_registers();
+        // Multithreading applies only to plain `uc` (the paper disables it
+        // for patterns with register or memory ordering).
+        let contexts_per_lane =
+            if !orders_mem && !orders_reg { cfg.contexts } else { 1 };
+        let n = (cfg.lanes * contexts_per_lane) as usize;
+        let mut chan = HashMap::new();
+        if orders_reg {
+            for cir in &scan.cirs {
+                chan.insert((-1i64, cir.reg.index() as u8), (scan.live_ins[cir.reg.index()], 0));
+            }
+        }
+        Engine {
+            cfg,
+            scan,
+            mem,
+            dcache,
+            max_iters: max_iters.unwrap_or(u64::MAX),
+            orders_mem,
+            orders_reg,
+            contexts_per_lane,
+            ctxs: vec![Ctx::new(); n],
+            port: SharedPort::new(cfg.mem_ports),
+            llfu_pipe: SharedPort::new(cfg.llfus),
+            llfu_div: SharedUnit::new(cfg.llfus),
+            chan,
+            next_iter: 0,
+            frontier: 0,
+            committed: 0,
+            bound: scan.live_ins[scan.bound_reg.index()],
+            stats: LpsuStats::default(),
+            cycle: 0,
+        }
+    }
+
+    fn run(mut self) -> LpsuResult {
+        const CYCLE_CAP: u64 = 50_000_000_000;
+        loop {
+            if !self.any_work() {
+                break;
+            }
+            self.step_cycle();
+            self.cycle += 1;
+            assert!(self.cycle < CYCLE_CAP, "LPSU failed to make forward progress");
+        }
+        self.stats.iterations = self.committed;
+        let cir_finals = self
+            .scan
+            .cirs
+            .iter()
+            .map(|c| {
+                let v = if self.committed == 0 {
+                    self.scan.live_ins[c.reg.index()]
+                } else {
+                    self.chan
+                        .get(&(self.committed as i64 - 1, c.reg.index() as u8))
+                        .expect("last committed iteration published every CIR")
+                        .0
+                };
+                (c.reg, v)
+            })
+            .collect();
+        LpsuResult {
+            cycles: self.cycle,
+            iterations: self.committed,
+            final_idx: self.scan.iter_value(self.committed),
+            final_bound: self.bound,
+            cir_finals,
+            stats: self.stats,
+        }
+    }
+
+    fn iter_assignable(&self) -> bool {
+        self.next_iter < self.max_iters
+            && (self.scan.iter_value(self.next_iter) as i32) < (self.bound as i32)
+    }
+
+    fn any_work(&self) -> bool {
+        self.iter_assignable() || self.ctxs.iter().any(|c| c.iter.is_some())
+    }
+
+    fn step_cycle(&mut self) {
+        let lanes = self.cfg.lanes as usize;
+        let k = self.contexts_per_lane as usize;
+        // Rotate lane polling order for fair arbitration of shared
+        // resources, and rotate context preference within a lane.
+        for li in 0..lanes {
+            let lane = (li + self.cycle as usize) % lanes;
+            let mut progressed = false;
+            let mut first_block: Option<Block> = None;
+            for ci in 0..k {
+                let ctx_idx = lane * k + (ci + self.cycle as usize) % k;
+                match self.ctx_step(ctx_idx) {
+                    Ok(()) => {
+                        progressed = true;
+                        break;
+                    }
+                    Err(b) => {
+                        if first_block.is_none() {
+                            first_block = Some(b);
+                        }
+                    }
+                }
+            }
+            if progressed {
+                continue;
+            }
+            // Account the lane-cycle to the first context's blocking cause.
+            match first_block.unwrap_or(Block::Idle) {
+                Block::Idle => self.stats.idle += 1,
+                b => {
+                    let ctx_idx = lane * k + self.cycle as usize % k;
+                    self.ctxs[ctx_idx].tally.blocked(b);
+                }
+            }
+        }
+    }
+
+    /// Tries to make the context progress this cycle. `Ok` means it used
+    /// its lane's issue slot; `Err` reports why it could not.
+    fn ctx_step(&mut self, ci: usize) -> Result<(), Block> {
+        if self.ctxs[ci].busy_until > self.cycle {
+            // Pipeline occupied by a previous issue (multi-cycle front end
+            // effects such as taken-branch bubbles).
+            self.ctxs[ci].tally.exec += 1;
+            return Ok(());
+        }
+        if self.ctxs[ci].iter.is_none() {
+            if !self.iter_assignable() {
+                return Err(Block::Idle);
+            }
+            let it = self.next_iter;
+            self.next_iter += 1;
+            self.start_iteration(ci, it);
+            // The IDQ dequeue / context start occupies the slot.
+            self.ctxs[ci].tally.exec += 1;
+            return Ok(());
+        }
+        let iter = self.ctxs[ci].iter.expect("checked above");
+
+        // Promotion drain: a (possibly still executing) lane that has
+        // become non-speculative first drains its buffered stores in
+        // program order, one per cycle through the shared port.
+        if self.orders_mem && iter == self.frontier && self.ctxs[ci].lsq.store_count() > 0 {
+            if !self.port.try_issue(self.cycle) {
+                return Err(Block::MemPort);
+            }
+            let entry = self.ctxs[ci].lsq.pop_store().expect("store count checked");
+            store(self.mem, entry.op, entry.addr, entry.value);
+            self.dcache.access(entry.addr, true);
+            self.ctxs[ci].tally.mem_accesses += 1;
+            self.broadcast_store(entry.addr, iter);
+            self.ctxs[ci].tally.exec += 1;
+            return Ok(());
+        }
+
+        if self.ctxs[ci].done_exec {
+            if iter == self.frontier {
+                // LSQ already drained above; commit.
+                self.commit(ci);
+                return Ok(());
+            }
+            return Err(Block::Lsq); // waiting for promotion
+        }
+
+        if self.ctxs[ci].pc == self.scan.body.len() {
+            return self.end_of_body(ci);
+        }
+
+        self.issue_instr(ci)
+    }
+
+    fn start_iteration(&mut self, ci: usize, iter: u64) {
+        let value = self.scan.iter_value(iter);
+        let ctx = &mut self.ctxs[ci];
+        ctx.iter = Some(iter);
+        ctx.pc = 0;
+        ctx.regs = self.scan.live_ins;
+        ctx.regs[self.scan.idx_reg.index()] = value;
+        ctx.reg_ready = [0; 32];
+        ctx.lsq.clear();
+        ctx.cir_local = 0;
+        ctx.cir_pub = 0;
+        ctx.done_exec = false;
+        ctx.tally = IterTally::default();
+        ctx.busy_until = self.cycle + 1;
+    }
+
+    fn commit(&mut self, ci: usize) {
+        let ctx = &mut self.ctxs[ci];
+        debug_assert_eq!(ctx.lsq.store_count(), 0, "commit requires a drained LSQ");
+        ctx.tally.commit_into(&mut self.stats);
+        ctx.lsq.clear();
+        ctx.iter = None;
+        ctx.done_exec = false;
+        self.frontier += 1;
+        self.committed += 1;
+        // Old CIR channel entries are dead once their consumer committed.
+        if self.orders_reg && self.frontier.is_multiple_of(64) {
+            let horizon = self.frontier as i64 - 2;
+            self.chan.retain(|&(it, _), _| it >= horizon);
+        }
+    }
+
+    /// End-of-iteration sequence: reconcile and publish any CIRs whose
+    /// last write was skipped by control flow, then complete.
+    fn end_of_body(&mut self, ci: usize) -> Result<(), Block> {
+        let iter = self.ctxs[ci].iter.expect("active iteration");
+        if self.orders_reg {
+            for idx in 0..self.scan.cirs.len() {
+                let cir = self.scan.cirs[idx];
+                let bit = 1u32 << cir.reg.index();
+                if self.ctxs[ci].cir_pub & bit != 0 {
+                    continue;
+                }
+                if self.ctxs[ci].cir_local & bit == 0 {
+                    // Never received nor wrote it: pull the previous
+                    // iteration's value so it can be forwarded on.
+                    match self.chan.get(&(iter as i64 - 1, cir.reg.index() as u8)) {
+                        Some(&(v, avail)) if avail <= self.cycle => {
+                            self.ctxs[ci].regs[cir.reg.index()] = v;
+                            self.ctxs[ci].cir_local |= bit;
+                        }
+                        _ => return Err(Block::Cir),
+                    }
+                }
+                let value = self.ctxs[ci].regs[cir.reg.index()];
+                self.publish_cir(iter, cir.reg, value);
+                self.ctxs[ci].cir_pub |= bit;
+                self.ctxs[ci].tally.cir_transfers += 1;
+                self.ctxs[ci].tally.exec += 1;
+                return Ok(()); // one CIB transfer per cycle
+            }
+        }
+        // All CIRs settled; finish the iteration.
+        if self.orders_mem && (iter != self.frontier || self.ctxs[ci].lsq.store_count() > 0) {
+            self.ctxs[ci].done_exec = true;
+            return Err(Block::Lsq); // waits for promotion + drain
+        }
+        self.commit(ci);
+        Ok(())
+    }
+
+    fn publish_cir(&mut self, iter: u64, reg: Reg, value: u32) {
+        self.chan.insert(
+            (iter as i64, reg.index() as u8),
+            (value, self.cycle + self.cfg.cib_latency as u64),
+        );
+    }
+
+    /// A store from `store_iter` reached memory: squash any younger
+    /// iteration that already loaded from that word.
+    fn broadcast_store(&mut self, addr: u32, store_iter: u64) {
+        let mut squash_from: Option<u64> = None;
+        for ctx in &self.ctxs {
+            if let Some(it) = ctx.iter {
+                if it > store_iter && ctx.lsq.loaded_word(addr) {
+                    squash_from = Some(squash_from.map_or(it, |s: u64| s.min(it)));
+                }
+            }
+        }
+        let Some(first) = squash_from else { return };
+        // With register ordering (orm), a squashed iteration may already
+        // have forwarded CIR values to its successors; with cross-lane
+        // forwarding, so may its buffered stores. Either way the
+        // conservative cascade flushes every younger active iteration.
+        for ci in 0..self.ctxs.len() {
+            if let Some(it) = self.ctxs[ci].iter {
+                let direct = it >= first && self.ctxs[ci].lsq.loaded_word(addr);
+                let cascade = (self.orders_reg || self.cfg.cross_lane_forwarding) && it > first;
+                if direct || cascade {
+                    self.squash(ci);
+                }
+            }
+        }
+    }
+
+    fn squash(&mut self, ci: usize) {
+        let iter = self.ctxs[ci].iter.expect("squashing an active iteration");
+        self.stats.squashed_iters += 1;
+        self.ctxs[ci].tally.squash_into(&mut self.stats);
+        // Un-publish CIR values the squashed iteration produced.
+        if self.orders_reg {
+            self.chan.retain(|&(it, _), _| it != iter as i64);
+        }
+        let value = self.scan.iter_value(iter);
+        let ctx = &mut self.ctxs[ci];
+        ctx.pc = 0;
+        ctx.regs = self.scan.live_ins;
+        ctx.regs[self.scan.idx_reg.index()] = value;
+        ctx.reg_ready = [0; 32];
+        ctx.lsq.clear();
+        ctx.cir_local = 0;
+        ctx.cir_pub = 0;
+        ctx.done_exec = false;
+        ctx.tally = IterTally::default();
+        ctx.busy_until = self.cycle + 1; // pipeline flush
+    }
+
+    fn is_cir(&self, r: Reg) -> bool {
+        self.scan.cirs.iter().any(|c| c.reg == r)
+    }
+
+    fn issue_instr(&mut self, ci: usize) -> Result<(), Block> {
+        let iter = self.ctxs[ci].iter.expect("active iteration");
+        let pc = self.ctxs[ci].pc;
+        let instr = self.scan.body[pc];
+
+        // CIR availability: the first read of a CIR pulls the value from
+        // the CIB connected to the previous lane.
+        if self.orders_reg {
+            for src in instr.srcs().into_iter().flatten() {
+                let bit = 1u32 << src.index();
+                if self.is_cir(src) && self.ctxs[ci].cir_local & bit == 0 {
+                    match self.chan.get(&(iter as i64 - 1, src.index() as u8)) {
+                        Some(&(v, avail)) if avail <= self.cycle => {
+                            self.ctxs[ci].regs[src.index()] = v;
+                            self.ctxs[ci].cir_local |= bit;
+                        }
+                        _ => return Err(Block::Cir),
+                    }
+                }
+            }
+        }
+
+        // RAW: all sources must be ready (full bypassing within the lane).
+        for src in instr.srcs().into_iter().flatten() {
+            if self.ctxs[ci].reg_ready[src.index()] > self.cycle {
+                return Err(Block::Raw);
+            }
+        }
+
+        // The iteration is speculative w.r.t. memory unless it is the
+        // frontier (a frontier lane reaching here has a drained LSQ).
+        let speculative = self.orders_mem && iter != self.frontier;
+
+        let mut next_pc = pc + 1;
+        let mut busy = self.cycle + 1;
+        let mut result: Option<(Reg, u32, u64)> = None; // (reg, value, ready)
+
+        match instr {
+            Instr::Alu { op, rd, rs, rt } => {
+                let v = op.apply(self.reg(ci, rs), self.reg(ci, rt));
+                result = Some((rd, v, self.cycle + 1));
+            }
+            Instr::AluImm { op, rd, rs, imm } => {
+                let v = op.apply(self.reg(ci, rs), alu_imm_value(op, imm));
+                result = Some((rd, v, self.cycle + 1));
+            }
+            Instr::Lui { rd, imm } => {
+                result = Some((rd, (imm as u32) << 16, self.cycle + 1));
+            }
+            Instr::Xi { reg, .. } => {
+                self.ctxs[ci].tally.xi_ops += 1;
+                if reg == self.scan.idx_reg {
+                    // Induction update: a plain add of the step.
+                    let v = self.reg(ci, reg).wrapping_add(self.scan.step as u32);
+                    result = Some((reg, v, self.cycle + 1));
+                } else {
+                    // MIVT lookup: value = live-in + inc × (ordinal + 1),
+                    // computed with the narrow multiplier.
+                    let entry = self
+                        .scan
+                        .mivt
+                        .iter()
+                        .find(|m| m.reg == reg)
+                        .expect("xi register is in the MIVT");
+                    let v = self.scan.live_ins[reg.index()]
+                        .wrapping_add((entry.inc as i64 * (iter as i64 + 1)) as u32);
+                    result = Some((reg, v, self.cycle + 1));
+                }
+            }
+            Instr::Llfu { op, rd, rs, rt } => {
+                let granted = if op.is_pipelined() {
+                    self.llfu_pipe.try_issue(self.cycle)
+                } else {
+                    self.llfu_div.try_start(self.cycle, op.default_latency())
+                };
+                if !granted {
+                    return Err(Block::Llfu);
+                }
+                self.ctxs[ci].tally.llfu_ops += 1;
+                let v = op.apply(self.reg(ci, rs), self.reg(ci, rt));
+                result = Some((rd, v, self.cycle + op.default_latency() as u64));
+            }
+            Instr::Mem { op, data, base, offset } => {
+                let addr = self.reg(ci, base).wrapping_add(offset as i32 as u32);
+                if op.is_load() {
+                    let (value, ready) = if speculative {
+                        if let Some(v) = self.ctxs[ci].lsq.forward(addr, op) {
+                            self.ctxs[ci].tally.lsq_events += 1;
+                            (v, self.cycle + 2)
+                        } else if let Some(v) = self.cross_lane_forward(ci, iter, addr, op) {
+                            // Cross-lane snoop hit: 2-cycle network hop; the
+                            // load is still recorded so a later broadcast
+                            // from an intermediate iteration squashes us.
+                            if !self.ctxs[ci].lsq.load_has_room(self.cfg.lsq_loads) {
+                                return Err(Block::Lsq);
+                            }
+                            self.ctxs[ci].tally.lsq_events += 1;
+                            self.ctxs[ci].lsq.record_load(addr);
+                            (v, self.cycle + 3)
+                        } else {
+                            if !self.ctxs[ci].lsq.load_has_room(self.cfg.lsq_loads) {
+                                return Err(Block::Lsq);
+                            }
+                            if !self.port.try_issue(self.cycle) {
+                                return Err(Block::MemPort);
+                            }
+                            let lat = self.dcache.access(addr, false) as u64;
+                            self.ctxs[ci].tally.mem_accesses += 1;
+                            self.ctxs[ci].tally.lsq_events += 1;
+                            self.ctxs[ci].lsq.record_load(addr);
+                            (load(self.mem, op, addr), self.cycle + 1 + lat)
+                        }
+                    } else {
+                        // Non-speculative lanes may still hit their own
+                        // not-yet-drained stores (or/uc have no LSQ at all).
+                        if let Some(v) = self.ctxs[ci].lsq.forward(addr, op) {
+                            self.ctxs[ci].tally.lsq_events += 1;
+                            (v, self.cycle + 2)
+                        } else {
+                            if !self.port.try_issue(self.cycle) {
+                                return Err(Block::MemPort);
+                            }
+                            let lat = self.dcache.access(addr, false) as u64;
+                            self.ctxs[ci].tally.mem_accesses += 1;
+                            (load(self.mem, op, addr), self.cycle + 1 + lat)
+                        }
+                    };
+                    result = Some((data, value, ready));
+                } else {
+                    let value = self.reg(ci, data);
+                    if speculative {
+                        if !self.ctxs[ci].lsq.store_has_room(self.cfg.lsq_stores) {
+                            return Err(Block::Lsq);
+                        }
+                        self.ctxs[ci].lsq.push_store(addr, op, value);
+                        self.ctxs[ci].tally.lsq_events += 1;
+                    } else {
+                        if !self.port.try_issue(self.cycle) {
+                            return Err(Block::MemPort);
+                        }
+                        store(self.mem, op, addr, value);
+                        self.dcache.access(addr, true);
+                        self.ctxs[ci].tally.mem_accesses += 1;
+                        if self.orders_mem {
+                            self.broadcast_store(addr, iter);
+                        }
+                    }
+                }
+            }
+            Instr::Amo { op, rd, addr, src } => {
+                let a = self.reg(ci, addr);
+                let operand = self.reg(ci, src);
+                if speculative {
+                    // Read (LSQ-forwarded or memory), combine, buffer the
+                    // store; atomicity follows from the serial memory order
+                    // the om mechanism enforces.
+                    let old = match self.ctxs[ci].lsq.forward(a, xloops_isa::MemOp::Lw) {
+                        Some(v) => {
+                            self.ctxs[ci].tally.lsq_events += 1;
+                            v
+                        }
+                        None => {
+                            if !self.ctxs[ci].lsq.load_has_room(self.cfg.lsq_loads)
+                                || !self.ctxs[ci].lsq.store_has_room(self.cfg.lsq_stores)
+                            {
+                                return Err(Block::Lsq);
+                            }
+                            if !self.port.try_issue(self.cycle) {
+                                return Err(Block::MemPort);
+                            }
+                            self.dcache.access(a, false);
+                            self.ctxs[ci].tally.mem_accesses += 1;
+                            self.ctxs[ci].lsq.record_load(a);
+                            self.mem.read_u32(a)
+                        }
+                    };
+                    self.ctxs[ci].lsq.push_store(a, xloops_isa::MemOp::Sw, op.combine(old, operand));
+                    self.ctxs[ci].tally.lsq_events += 1;
+                    result = Some((rd, old, self.cycle + 2));
+                } else {
+                    if !self.port.try_issue(self.cycle) {
+                        return Err(Block::MemPort);
+                    }
+                    let old = self.mem.amo(op, a, operand);
+                    self.dcache.access(a, true);
+                    self.ctxs[ci].tally.mem_accesses += 1;
+                    if self.orders_mem {
+                        self.broadcast_store(a, iter);
+                    }
+                    result = Some((rd, old, self.cycle + 2));
+                    busy = self.cycle + 2;
+                }
+            }
+            Instr::Branch { cond, rs, rt, offset } => {
+                if cond.eval(self.reg(ci, rs), self.reg(ci, rt)) {
+                    next_pc = (pc as i64 + offset as i64) as usize;
+                    busy = self.cycle + 2; // one-bubble redirect
+                }
+            }
+            Instr::Xloop { idx, bound, body_offset, .. } => {
+                // A nested xloop executes traditionally inside the lane.
+                if (self.reg(ci, idx) as i32) < (self.reg(ci, bound) as i32) {
+                    next_pc = pc - body_offset as usize;
+                    busy = self.cycle + 2;
+                }
+            }
+            Instr::Nop => {}
+            Instr::Jump { .. } | Instr::JumpReg { .. } | Instr::Sync | Instr::Exit => {
+                unreachable!("rejected at scan time")
+            }
+        }
+
+        // Writeback, dynamic-bound reporting, and CIR forwarding.
+        if let Some((rd, value, ready)) = result {
+            if !rd.is_zero() {
+                self.ctxs[ci].regs[rd.index()] = value;
+                self.ctxs[ci].reg_ready[rd.index()] = ready;
+            }
+            if self.scan.pattern.is_dynamic_bound() && rd == self.scan.bound_reg {
+                // Bounds grow monotonically; the LMU keeps the maximum.
+                if (value as i32) > (self.bound as i32) {
+                    self.bound = value;
+                }
+            }
+            if self.orders_reg && self.is_cir(rd) {
+                let bit = 1u32 << rd.index();
+                self.ctxs[ci].cir_local |= bit;
+                // The "last CIR write" bit: forward when the largest-pc
+                // writer executes.
+                if let Some(cir) = self.scan.cirs.iter().find(|c| c.reg == rd) {
+                    if cir.last_write == pc {
+                        self.publish_cir(iter, rd, value);
+                        self.ctxs[ci].cir_pub |= bit;
+                        self.ctxs[ci].tally.cir_transfers += 1;
+                    }
+                }
+            }
+        }
+
+        self.ctxs[ci].pc = next_pc;
+        self.ctxs[ci].busy_until = busy;
+        self.ctxs[ci].tally.exec += 1;
+        self.ctxs[ci].tally.instrs += 1;
+        Ok(())
+    }
+
+    /// Snoops older active iterations' LSQs (newest older iteration
+    /// first) for a forwardable store.
+    fn cross_lane_forward(
+        &mut self,
+        ci: usize,
+        iter: u64,
+        addr: u32,
+        op: xloops_isa::MemOp,
+    ) -> Option<u32> {
+        if !self.cfg.cross_lane_forwarding {
+            return None;
+        }
+        let mut best: Option<(u64, u32)> = None;
+        for (other, ctx) in self.ctxs.iter().enumerate() {
+            if other == ci {
+                continue;
+            }
+            if let Some(it) = ctx.iter {
+                if it < iter {
+                    if let Some(v) = ctx.lsq.forward(addr, op) {
+                        if best.is_none_or(|(bit, _)| it > bit) {
+                            best = Some((it, v));
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(_, v)| v)
+    }
+
+    fn reg(&self, ci: usize, r: Reg) -> u32 {
+        if r.is_zero() {
+            0
+        } else {
+            self.ctxs[ci].regs[r.index()]
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # xloops-lpsu
+//!
+//! The **loop-pattern specialization unit** (LPSU) of Section II-D: a
+//! configurable number of decoupled in-order lanes plus a lane management
+//! unit (LMU), attached to a GPP. The GPP and the lanes dynamically
+//! arbitrate for a shared data-memory port and a shared long-latency
+//! functional unit — the sharing that keeps the LPSU's area overhead near
+//! 40% of a scalar core.
+//!
+//! Specialized execution has two phases:
+//!
+//! 1. **Scan** ([`scan`]): when the GPP reaches a taken `xloop`, the loop
+//!    body and live-in registers are streamed into the lanes' instruction
+//!    buffers; the LMU renames registers once (amortizing rename energy
+//!    over all iterations), builds the mutual-induction-variable table
+//!    (MIVT) from `xi` instructions, and identifies cross-iteration
+//!    registers (CIRs, read-before-written) with their last-writer.
+//! 2. **Specialized execution** ([`Lpsu::execute`]): the LMU hands
+//!    iteration indices to idle lanes. Per pattern:
+//!    * `uc` — iterations run fully concurrently; stores go straight to
+//!      memory; AMOs synchronize.
+//!    * `or`/`orm` — CIR values flow between consecutive iterations through
+//!      cross-iteration buffers (CIBs); a consumer stalls until the
+//!      producing iteration publishes (at its last CIR write, or at
+//!      iteration end when the last write was control-flow-skipped).
+//!    * `om`/`orm`/`ua` — per-lane load-store queues buffer speculative
+//!      stores; the lowest active iteration is non-speculative and writes
+//!      memory directly; every store that reaches memory broadcasts its
+//!      address, and a speculative lane that already loaded from that
+//!      address squashes and restarts its iteration.
+//!    * `*.db` — writes to the bound register are reported to the LMU,
+//!      which monotonically grows the iteration space.
+//!
+//! The model is cycle-stepped and deterministic, and it reports the stall
+//! breakdown of Figure 6 (RAW, memory-port, LLFU, CIR, LSQ, squash, idle).
+
+mod config;
+mod engine;
+mod lsq;
+mod scan;
+mod stats;
+
+pub use config::LpsuConfig;
+pub use engine::{Lpsu, LpsuResult};
+pub use scan::{scan, ScanError, ScanResult};
+pub use stats::LpsuStats;

@@ -1,0 +1,154 @@
+//! Per-lane load-store queues for memory-dependence speculation
+//! (`xloop.om`, `xloop.orm`, `xloop.ua`).
+
+use xloops_isa::MemOp;
+
+/// A buffered speculative store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct StoreEntry {
+    pub addr: u32,
+    pub op: MemOp,
+    pub value: u32,
+}
+
+/// The 2r1w load-store queue attached to each lane.
+///
+/// Stores issued by a speculative lane are buffered here instead of
+/// updating memory; loads check the queue (newest first) for store-to-load
+/// forwarding; load addresses are remembered so a broadcast store address
+/// from an older iteration can detect a memory-dependence violation.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Lsq {
+    stores: Vec<StoreEntry>,
+    /// Word-granular addresses this iteration has loaded from memory.
+    load_words: Vec<u32>,
+}
+
+impl Lsq {
+    /// Whether another store can be buffered.
+    pub fn store_has_room(&self, capacity: u32) -> bool {
+        (self.stores.len() as u32) < capacity
+    }
+
+    /// Whether another load can be tracked.
+    pub fn load_has_room(&self, capacity: u32) -> bool {
+        (self.load_words.len() as u32) < capacity
+    }
+
+    /// Buffers a speculative store (program order within the iteration).
+    pub fn push_store(&mut self, addr: u32, op: MemOp, value: u32) {
+        debug_assert!(op.is_store());
+        self.stores.push(StoreEntry { addr, op, value });
+    }
+
+    /// Records that this iteration loaded from `addr` (word granularity).
+    pub fn record_load(&mut self, addr: u32) {
+        let w = addr & !3;
+        if !self.load_words.contains(&w) {
+            self.load_words.push(w);
+        }
+    }
+
+    /// Searches (newest first) for a store to forward to a load of
+    /// `(addr, op)`. Returns the value only on an exact address+width
+    /// match; an overlapping but non-identical access cannot forward, and
+    /// the caller treats it as a forwarding failure (reads memory — any
+    /// inconsistency is caught by the violation broadcast at drain).
+    pub fn forward(&self, addr: u32, op: MemOp) -> Option<u32> {
+        self.stores
+            .iter()
+            .rev()
+            .find(|s| s.addr == addr && s.op.size() == op.size())
+            .map(|s| s.value)
+    }
+
+    /// Whether this iteration loaded from the word containing `addr`
+    /// (violation check against a broadcast store address).
+    pub fn loaded_word(&self, addr: u32) -> bool {
+        self.load_words.contains(&(addr & !3))
+    }
+
+    /// Number of buffered stores.
+    pub fn store_count(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// Removes and returns the oldest buffered store.
+    pub fn pop_store(&mut self) -> Option<StoreEntry> {
+        if self.stores.is_empty() {
+            None
+        } else {
+            Some(self.stores.remove(0))
+        }
+    }
+
+    /// Flushes everything (squash or commit).
+    pub fn clear(&mut self) {
+        self.stores.clear();
+        self.load_words.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forwarding_prefers_newest_store() {
+        let mut q = Lsq::default();
+        q.push_store(0x100, MemOp::Sw, 1);
+        q.push_store(0x100, MemOp::Sw, 2);
+        assert_eq!(q.forward(0x100, MemOp::Lw), Some(2));
+        assert_eq!(q.forward(0x104, MemOp::Lw), None);
+    }
+
+    #[test]
+    fn width_mismatch_does_not_forward() {
+        let mut q = Lsq::default();
+        q.push_store(0x100, MemOp::Sb, 0xAA);
+        assert_eq!(q.forward(0x100, MemOp::Lw), None);
+        assert_eq!(q.forward(0x100, MemOp::Lb), Some(0xAA));
+    }
+
+    #[test]
+    fn violation_detection_is_word_granular() {
+        let mut q = Lsq::default();
+        q.record_load(0x102); // byte load inside word 0x100
+        assert!(q.loaded_word(0x100));
+        assert!(q.loaded_word(0x103));
+        assert!(!q.loaded_word(0x104));
+    }
+
+    #[test]
+    fn capacity_checks() {
+        let mut q = Lsq::default();
+        for i in 0..8 {
+            assert!(q.store_has_room(8));
+            q.push_store(i * 4, MemOp::Sw, i);
+        }
+        assert!(!q.store_has_room(8));
+        assert!(q.store_has_room(16));
+        q.record_load(0);
+        assert!(q.load_has_room(8));
+    }
+
+    #[test]
+    fn drain_in_program_order() {
+        let mut q = Lsq::default();
+        q.push_store(0x10, MemOp::Sw, 1);
+        q.push_store(0x20, MemOp::Sw, 2);
+        assert_eq!(q.pop_store().unwrap().addr, 0x10);
+        assert_eq!(q.pop_store().unwrap().addr, 0x20);
+        assert_eq!(q.pop_store(), None);
+    }
+
+    #[test]
+    fn clear_resets_both_sides() {
+        let mut q = Lsq::default();
+        q.push_store(0x10, MemOp::Sw, 1);
+        q.record_load(0x20);
+        q.clear();
+        assert_eq!(q.store_count(), 0);
+        assert!(!q.loaded_word(0x20));
+    }
+}

@@ -1,0 +1,424 @@
+//! The scan phase: extracting everything the LMU needs from a loop body.
+
+use std::fmt;
+
+use xloops_asm::Program;
+use xloops_isa::{Instr, LoopPattern, Reg, XiKind, INSTR_BYTES};
+
+use crate::config::LpsuConfig;
+
+/// Why a loop cannot be specialized (the system falls back to traditional
+/// execution, which the XLOOPS abstraction explicitly permits).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScanError {
+    /// The instruction at the given pc is not an `xloop`.
+    NotAnXloop(u32),
+    /// The body has more instructions than a lane instruction buffer.
+    BodyTooLarge { body: u32, ibuf: u32 },
+    /// The body contains an instruction the lanes cannot execute
+    /// (indirect jumps, `exit`, `sync`).
+    UnsupportedInstr(Instr),
+    /// A branch or jump escapes the loop body.
+    ControlEscapesBody,
+    /// The induction-variable update could not be identified (need exactly
+    /// one `addiu idx, idx, step` with positive step).
+    NoInductionUpdate,
+    /// A mutual induction variable is updated more than once per iteration.
+    IrregularMiv(Reg),
+}
+
+impl fmt::Display for ScanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScanError::NotAnXloop(pc) => write!(f, "no xloop at pc {pc:#x}"),
+            ScanError::BodyTooLarge { body, ibuf } => {
+                write!(f, "loop body of {body} instructions exceeds the {ibuf}-entry buffer")
+            }
+            ScanError::UnsupportedInstr(i) => write!(f, "lanes cannot execute `{i}`"),
+            ScanError::ControlEscapesBody => write!(f, "control flow escapes the loop body"),
+            ScanError::NoInductionUpdate => write!(f, "no unique induction-variable update"),
+            ScanError::IrregularMiv(r) => write!(f, "mutual induction variable {r} is irregular"),
+        }
+    }
+}
+
+impl std::error::Error for ScanError {}
+
+/// One mutual-induction-variable table entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MivEntry {
+    /// The MIV register.
+    pub reg: Reg,
+    /// Loop-invariant increment per iteration (resolved at scan time for
+    /// `addu.xi`).
+    pub inc: i32,
+    /// Body index of the `xi` instruction.
+    pub at: usize,
+}
+
+/// One cross-iteration register with its last static writer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CirEntry {
+    /// The CIR.
+    pub reg: Reg,
+    /// Body index of the *largest-pc* instruction writing the CIR; the
+    /// lane forwards the value to the next iteration when it executes this
+    /// instruction (the "last CIR write" bit).
+    pub last_write: usize,
+}
+
+/// Everything the LMU extracts during the scan phase.
+#[derive(Clone, Debug)]
+pub struct ScanResult {
+    /// The loop body, `[L, xloop)` in program order.
+    pub body: Vec<Instr>,
+    /// pc of the first body instruction.
+    pub body_pc: u32,
+    /// pc of the `xloop` instruction itself.
+    pub xloop_pc: u32,
+    /// The loop's dependence pattern.
+    pub pattern: LoopPattern,
+    /// Induction-variable register (from the `xloop` operands).
+    pub idx_reg: Reg,
+    /// Bound register (from the `xloop` operands).
+    pub bound_reg: Reg,
+    /// Induction step extracted from the body's `addiu idx, idx, step`.
+    pub step: i32,
+    /// Live-in register file captured at scan time.
+    pub live_ins: [u32; 32],
+    /// Cross-iteration registers (empty unless the pattern orders
+    /// registers).
+    pub cirs: Vec<CirEntry>,
+    /// Mutual-induction-variable table.
+    pub mivt: Vec<MivEntry>,
+    /// Cycles the scan phase occupies: one per body instruction (write to
+    /// the instruction buffers + rename) plus fixed startup overhead.
+    pub scan_cycles: u64,
+}
+
+impl ScanResult {
+    /// Induction-variable value of iteration ordinal `k` (ordinal 0 is the
+    /// first iteration the LPSU executes).
+    pub fn iter_value(&self, k: u64) -> u32 {
+        self.live_ins[self.idx_reg.index()].wrapping_add((self.step as i64 * k as i64) as u32)
+    }
+
+    /// Number of remaining iterations given the scanned live-in index and
+    /// a bound value (fixed-bound loops only).
+    pub fn remaining_iters(&self, bound: u32) -> u64 {
+        let start = self.live_ins[self.idx_reg.index()] as i32 as i64;
+        let bound = bound as i32 as i64;
+        if start >= bound {
+            0
+        } else {
+            ((bound - start + self.step as i64 - 1) / self.step as i64) as u64
+        }
+    }
+}
+
+/// Performs the scan phase for the `xloop` at `xloop_pc`.
+///
+/// `live_ins` is the GPP architectural register file at the moment the
+/// `xloop` was reached (one body iteration has already executed
+/// traditionally, so the induction variable holds the first iteration the
+/// LPSU should run).
+///
+/// # Errors
+///
+/// Returns a [`ScanError`] when the loop cannot be specialized; the system
+/// then executes it traditionally.
+pub fn scan(
+    program: &Program,
+    xloop_pc: u32,
+    live_ins: [u32; 32],
+    config: &LpsuConfig,
+) -> Result<ScanResult, ScanError> {
+    let Some(Instr::Xloop { pattern, idx, bound, body_offset }) = program.fetch(xloop_pc) else {
+        return Err(ScanError::NotAnXloop(xloop_pc));
+    };
+    if body_offset as u32 > config.ibuf_entries {
+        return Err(ScanError::BodyTooLarge { body: body_offset as u32, ibuf: config.ibuf_entries });
+    }
+    let body_pc = xloop_pc - body_offset as u32 * INSTR_BYTES;
+    let body_len = body_offset as usize;
+    let mut body = Vec::with_capacity(body_len);
+    for i in 0..body_len {
+        let instr = program
+            .fetch(body_pc + i as u32 * INSTR_BYTES)
+            .expect("body lies inside the program");
+        match instr {
+            Instr::JumpReg { .. } | Instr::Exit | Instr::Sync | Instr::Jump { .. } => {
+                return Err(ScanError::UnsupportedInstr(instr))
+            }
+            // Branch targets must stay inside [0, body_len]; target ==
+            // body_len is the loop latch (ends the iteration). A nested
+            // xloop executes as a backward branch inside the body.
+            Instr::Branch { offset, .. } => {
+                let target = i as i64 + offset as i64;
+                if !(0..=body_len as i64).contains(&target) {
+                    return Err(ScanError::ControlEscapesBody);
+                }
+                body.push(instr);
+            }
+            Instr::Xloop { body_offset: nested_offset, .. } => {
+                let target = i as i64 - nested_offset as i64;
+                if !(0..=body_len as i64).contains(&target) {
+                    return Err(ScanError::ControlEscapesBody);
+                }
+                body.push(instr);
+            }
+            _ => body.push(instr),
+        }
+    }
+
+    // Find the unique induction update `addiu idx, idx, step` (an `xi` on
+    // the induction register also qualifies).
+    let mut step: Option<i32> = None;
+    for instr in &body {
+        let s = match *instr {
+            Instr::AluImm { op: xloops_isa::AluOp::Addu, rd, rs, imm } if rd == idx && rs == idx => {
+                Some(imm as i32)
+            }
+            Instr::Xi { reg, kind: XiKind::Imm(imm) } if reg == idx => Some(imm as i32),
+            Instr::Xi { reg, kind: XiKind::Reg(rt) } if reg == idx => {
+                Some(live_ins[rt.index()] as i32)
+            }
+            _ => None,
+        };
+        if let Some(s) = s {
+            if step.is_some() || s <= 0 {
+                return Err(ScanError::NoInductionUpdate);
+            }
+            step = Some(s);
+        }
+    }
+    let step = step.ok_or(ScanError::NoInductionUpdate)?;
+
+    // MIVT: every xi instruction (except on the induction register, which
+    // the LMU already handles via the index queues).
+    let mut mivt: Vec<MivEntry> = Vec::new();
+    for (i, instr) in body.iter().enumerate() {
+        if let Instr::Xi { reg, kind } = *instr {
+            if reg == idx {
+                continue;
+            }
+            if mivt.iter().any(|m| m.reg == reg) {
+                return Err(ScanError::IrregularMiv(reg));
+            }
+            let inc = match kind {
+                XiKind::Imm(imm) => imm as i32,
+                XiKind::Reg(rt) => live_ins[rt.index()] as i32,
+            };
+            mivt.push(MivEntry { reg, inc, at: i });
+        }
+    }
+
+    // CIR identification (or/orm): registers read before written, then
+    // written. The induction register, MIV registers, and the bound
+    // register are excluded — the ISA exempts the induction update, the
+    // MIVT handles MIVs, and the LMU owns the dynamic bound.
+    let mut cirs: Vec<CirEntry> = Vec::new();
+    if pattern.data.orders_registers() {
+        let mut read_first = [false; 32];
+        let mut written = [false; 32];
+        for instr in &body {
+            for src in instr.srcs().into_iter().flatten() {
+                if !written[src.index()] {
+                    read_first[src.index()] = true;
+                }
+            }
+            if let Some(rd) = instr.dst() {
+                written[rd.index()] = true;
+            }
+        }
+        for r in Reg::all() {
+            if r.is_zero() || r == idx || r == bound {
+                continue;
+            }
+            if mivt.iter().any(|m| m.reg == r) {
+                continue;
+            }
+            if read_first[r.index()] && written[r.index()] {
+                let last_write = body
+                    .iter()
+                    .rposition(|i| i.dst() == Some(r))
+                    .expect("written implies a writer");
+                cirs.push(CirEntry { reg: r, last_write });
+            }
+        }
+    }
+
+    Ok(ScanResult {
+        scan_cycles: body.len() as u64 + 8,
+        body,
+        body_pc,
+        xloop_pc,
+        pattern,
+        idx_reg: idx,
+        bound_reg: bound,
+        step,
+        live_ins,
+        cirs,
+        mivt,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xloops_asm::assemble;
+    use xloops_isa::DataPattern;
+
+    fn scan_src(src: &str, live_ins: [u32; 32]) -> Result<ScanResult, ScanError> {
+        let p = assemble(src).unwrap();
+        let xloop_pc = p
+            .instrs()
+            .iter()
+            .position(|i| i.is_xloop())
+            .expect("program contains an xloop") as u32
+            * 4;
+        scan(&p, xloop_pc, live_ins, &LpsuConfig::default4())
+    }
+
+    fn regs(pairs: &[(u8, u32)]) -> [u32; 32] {
+        let mut f = [0; 32];
+        for &(r, v) in pairs {
+            f[r as usize] = v;
+        }
+        f
+    }
+
+    #[test]
+    fn extracts_body_step_and_pattern() {
+        let s = scan_src(
+            "
+            li r2, 0
+            li r3, 10
+        body:
+            sll r5, r2, 2
+            lw r6, 0(r5)
+            addiu r2, r2, 1
+            xloop.uc body, r2, r3
+            exit",
+            regs(&[(2, 1), (3, 10)]),
+        )
+        .unwrap();
+        assert_eq!(s.body.len(), 3);
+        assert_eq!(s.pattern.data, DataPattern::Uc);
+        assert_eq!(s.step, 1);
+        assert_eq!(s.iter_value(0), 1, "first LPSU iteration is the live-in idx");
+        assert_eq!(s.iter_value(3), 4);
+        assert_eq!(s.remaining_iters(10), 9);
+        assert_eq!(s.scan_cycles, 3 + 8);
+    }
+
+    #[test]
+    fn identifies_cir_and_last_writer() {
+        // r9 is read (addu r9, r9, r6) — read-before-write — and written.
+        let s = scan_src(
+            "
+            li r2, 0
+            li r3, 10
+        body:
+            lw r6, 0(r2)
+            addu r9, r9, r6
+            addiu r9, r9, 1
+            addiu r2, r2, 4
+            xloop.or body, r2, r3
+            exit",
+            regs(&[(3, 40)]),
+        )
+        .unwrap();
+        assert_eq!(s.cirs.len(), 1);
+        assert_eq!(s.cirs[0].reg, Reg::new(9));
+        assert_eq!(s.cirs[0].last_write, 2, "the addiu at body index 2 is the last writer");
+        assert_eq!(s.step, 4);
+    }
+
+    #[test]
+    fn uc_pattern_has_no_cirs() {
+        let s = scan_src(
+            "
+            li r2, 0
+            li r3, 10
+        body:
+            addu r9, r9, r2
+            addiu r2, r2, 1
+            xloop.uc body, r2, r3
+            exit",
+            regs(&[(3, 10)]),
+        )
+        .unwrap();
+        assert!(s.cirs.is_empty(), "uc never tracks CIRs");
+    }
+
+    #[test]
+    fn builds_mivt_with_register_increment() {
+        let s = scan_src(
+            "
+            li r2, 0
+            li r3, 8
+            li r7, 12
+        body:
+            addiu.xi r5, r5, 4
+            addu.xi r6, r6, r7
+            addiu r2, r2, 1
+            xloop.uc body, r2, r3
+            exit",
+            regs(&[(7, 12), (3, 8)]),
+        )
+        .unwrap();
+        assert_eq!(s.mivt.len(), 2);
+        assert_eq!(s.mivt[0], MivEntry { reg: Reg::new(5), inc: 4, at: 0 });
+        assert_eq!(s.mivt[1], MivEntry { reg: Reg::new(6), inc: 12, at: 1 });
+    }
+
+    #[test]
+    fn rejects_unsupported_bodies() {
+        let e = scan_src(
+            "li r3, 4\nbody: jr ra\n addiu r2, r2, 1\n xloop.uc body, r2, r3\nexit",
+            regs(&[]),
+        );
+        assert!(matches!(e, Err(ScanError::UnsupportedInstr(_))));
+
+        let e = scan_src(
+            "li r3, 4\nout: nop\nbody: beq r0, r0, out\n addiu r2, r2, 1\n xloop.uc body, r2, r3\nexit",
+            regs(&[]),
+        );
+        assert_eq!(e.unwrap_err(), ScanError::ControlEscapesBody);
+
+        let e = scan_src(
+            "li r3, 4\nbody: nop\n xloop.uc body, r2, r3\nexit",
+            regs(&[]),
+        );
+        assert_eq!(e.unwrap_err(), ScanError::NoInductionUpdate);
+    }
+
+    #[test]
+    fn body_too_large_falls_back() {
+        let mut src = String::from("li r3, 4\nbody:\n");
+        for _ in 0..200 {
+            src.push_str("nop\n");
+        }
+        src.push_str("addiu r2, r2, 1\nxloop.uc body, r2, r3\nexit");
+        let e = scan_src(&src, regs(&[]));
+        assert!(matches!(e, Err(ScanError::BodyTooLarge { .. })));
+    }
+
+    #[test]
+    fn branch_to_latch_is_allowed() {
+        let s = scan_src(
+            "
+            li r3, 4
+        body:
+            addiu r2, r2, 1
+            beq r0, r0, latch
+            nop
+        latch:
+            xloop.uc body, r2, r3
+            exit",
+            regs(&[]),
+        );
+        assert!(s.is_ok(), "{s:?}");
+    }
+}

@@ -1,0 +1,79 @@
+/// Statistics of one specialized-execution phase, including the per-cycle
+/// breakdown reported in Figure 6 of the paper.
+///
+/// Every *lane-cycle* of the phase falls into exactly one bucket, so
+/// `exec + stall_* + idle + squash ≈ lanes × phase_cycles`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LpsuStats {
+    /// Lane-cycles spent executing instructions that were ultimately kept.
+    pub exec: u64,
+    /// Lane-cycles stalled on intra-iteration RAW dependences (including
+    /// load-use and LLFU-result waits).
+    pub stall_raw: u64,
+    /// Lane-cycles stalled arbitrating for the shared memory port.
+    pub stall_mem_port: u64,
+    /// Lane-cycles stalled arbitrating for the shared LLFU.
+    pub stall_llfu: u64,
+    /// Lane-cycles stalled waiting for a cross-iteration register value.
+    pub stall_cir: u64,
+    /// Lane-cycles stalled because the LSQ was full or waiting to commit.
+    pub stall_lsq: u64,
+    /// Lane-cycles of squashed (discarded) speculative work.
+    pub squash: u64,
+    /// Lane-cycles with no iteration to run.
+    pub idle: u64,
+    /// Iterations that were squashed and restarted.
+    pub squashed_iters: u64,
+    /// Iterations committed.
+    pub iterations: u64,
+    /// Instructions executed and kept (instruction-buffer fetches that
+    /// retired).
+    pub instret: u64,
+    /// Instructions executed and then squashed.
+    pub squashed_instrs: u64,
+    /// Loads + stores + AMOs issued to memory (energy events).
+    pub mem_accesses: u64,
+    /// LLFU operations executed.
+    pub llfu_ops: u64,
+    /// `xi` MIV computations (narrow multiplies).
+    pub xi_ops: u64,
+    /// CIR values transferred through CIBs.
+    pub cir_transfers: u64,
+    /// LSQ search/insert events.
+    pub lsq_events: u64,
+}
+
+impl LpsuStats {
+    /// Total lane-cycles across all buckets.
+    pub fn lane_cycles(&self) -> u64 {
+        self.exec
+            + self.stall_raw
+            + self.stall_mem_port
+            + self.stall_llfu
+            + self.stall_cir
+            + self.stall_lsq
+            + self.squash
+            + self.idle
+    }
+
+    /// Merges another phase's statistics into this one.
+    pub fn merge(&mut self, other: &LpsuStats) {
+        self.exec += other.exec;
+        self.stall_raw += other.stall_raw;
+        self.stall_mem_port += other.stall_mem_port;
+        self.stall_llfu += other.stall_llfu;
+        self.stall_cir += other.stall_cir;
+        self.stall_lsq += other.stall_lsq;
+        self.squash += other.squash;
+        self.idle += other.idle;
+        self.squashed_iters += other.squashed_iters;
+        self.iterations += other.iterations;
+        self.instret += other.instret;
+        self.squashed_instrs += other.squashed_instrs;
+        self.mem_accesses += other.mem_accesses;
+        self.llfu_ops += other.llfu_ops;
+        self.xi_ops += other.xi_ops;
+        self.cir_transfers += other.cir_transfers;
+        self.lsq_events += other.lsq_events;
+    }
+}

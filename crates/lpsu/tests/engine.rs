@@ -1,0 +1,490 @@
+//! End-to-end tests of the LPSU engine: every dependence pattern, squash
+//! behaviour, MIV handling, the dynamic-bound worklist, and design-space
+//! configuration effects.
+
+use xloops_asm::assemble;
+use xloops_func::Interp;
+use xloops_isa::Reg;
+use xloops_lpsu::{scan, Lpsu, LpsuConfig, LpsuResult, ScanResult};
+use xloops_mem::{Cache, CacheConfig, Memory};
+
+/// Assembles `src`, runs it serially (traditional semantics) on the
+/// functional interpreter until the first taken xloop, then performs the
+/// scan. Returns the scan and the memory image at the handoff point.
+fn handoff(src: &str, init: &dyn Fn(&mut Memory)) -> (ScanResult, Memory, xloops_asm::Program) {
+    let p = assemble(src).expect("assembles");
+    let mut mem = Memory::new();
+    init(&mut mem);
+    let mut cpu = Interp::new();
+    // Run until the pc reaches the xloop instruction for the first time.
+    let xloop_idx = p.instrs().iter().position(|i| i.is_xloop()).expect("has xloop");
+    let xloop_pc = xloop_idx as u32 * 4;
+    for _ in 0..10_000_000 {
+        if cpu.pc == xloop_pc {
+            break;
+        }
+        cpu.step(&p, &mut mem).expect("serial prefix runs");
+    }
+    assert_eq!(cpu.pc, xloop_pc, "program must reach its xloop");
+    let mut live_ins = [0u32; 32];
+    for r in Reg::all() {
+        live_ins[r.index()] = cpu.reg(r);
+    }
+    let s = scan(&p, xloop_pc, live_ins, &LpsuConfig::default4()).expect("loop specializes");
+    (s, mem, p)
+}
+
+/// Runs the same program fully serially for the golden memory image.
+fn golden(src: &str, init: &dyn Fn(&mut Memory)) -> Memory {
+    let p = assemble(src).expect("assembles");
+    let mut mem = Memory::new();
+    init(&mut mem);
+    let mut cpu = Interp::new();
+    cpu.run(&p, &mut mem, 100_000_000).expect("serial run completes");
+    mem
+}
+
+fn run_lpsu(config: LpsuConfig, s: &ScanResult, mem: &mut Memory) -> LpsuResult {
+    let mut dcache = Cache::new(CacheConfig::l1_default());
+    Lpsu::new(config).execute(s, mem, &mut dcache, None)
+}
+
+// ---------------------------------------------------------------- uc ----
+
+const VECTOR_SCALE: &str = "
+    li r4, 0x1000        # src
+    li r5, 0x2000        # dst
+    li r2, 0
+    li r3, 64
+body:
+    sll r6, r2, 2
+    addu r7, r4, r6
+    lw r8, 0(r7)
+    addu r8, r8, r8
+    addu r7, r5, r6
+    sw r8, 0(r7)
+    addiu r2, r2, 1
+    xloop.uc body, r2, r3
+    exit";
+
+fn vector_init(mem: &mut Memory) {
+    for i in 0..64 {
+        mem.write_u32(0x1000 + 4 * i, i + 100);
+    }
+}
+
+#[test]
+fn uc_matches_serial_execution() {
+    let (s, mut mem, _) = handoff(VECTOR_SCALE, &vector_init);
+    let r = run_lpsu(LpsuConfig::default4(), &s, &mut mem);
+    let gold = golden(VECTOR_SCALE, &vector_init);
+    for i in 0..64 {
+        assert_eq!(mem.read_u32(0x2000 + 4 * i), gold.read_u32(0x2000 + 4 * i), "element {i}");
+    }
+    assert_eq!(r.iterations, 63, "iteration 0 ran on the GPP");
+    assert_eq!(r.final_idx, 64);
+    assert_eq!(r.stats.squashed_iters, 0, "uc never squashes");
+}
+
+#[test]
+fn uc_scales_with_lanes() {
+    let (s, mem0, _) = handoff(VECTOR_SCALE, &vector_init);
+    let mut cycles = Vec::new();
+    for lanes in [1, 2, 4, 8] {
+        let mut mem = mem0.clone();
+        let r = run_lpsu(LpsuConfig::default4().with_lanes(lanes), &s, &mut mem);
+        cycles.push(r.cycles);
+    }
+    assert!(cycles[0] > cycles[1], "2 lanes beat 1: {cycles:?}");
+    assert!(cycles[1] > cycles[2], "4 lanes beat 2: {cycles:?}");
+    // 8 lanes may saturate the single shared memory port; allow equality.
+    assert!(cycles[2] >= cycles[3], "8 lanes no slower than 4: {cycles:?}");
+}
+
+#[test]
+fn uc_benefits_from_double_resources_when_port_bound() {
+    // Three memory ops per tiny iteration: memory-port bound.
+    let (s, mem0, _) = handoff(VECTOR_SCALE, &vector_init);
+    let mut base_mem = mem0.clone();
+    let base = run_lpsu(LpsuConfig::default4().with_lanes(8), &s, &mut base_mem);
+    let mut more_mem = mem0;
+    let more = run_lpsu(
+        LpsuConfig::default4().with_lanes(8).with_double_resources(),
+        &s,
+        &mut more_mem,
+    );
+    assert!(
+        more.cycles < base.cycles,
+        "extra port must help a port-bound loop: {} vs {}",
+        more.cycles,
+        base.cycles
+    );
+}
+
+// ---------------------------------------------------------------- xi ----
+
+const XI_LOOP: &str = "
+    li r4, 0x1000
+    li r2, 0
+    li r3, 32
+    addiu r6, r4, -4     # r6 is a MIV pointer, pre-decremented
+body:
+    addiu.xi r6, r6, 4
+    sw r2, 0(r6)
+    addiu r2, r2, 1
+    xloop.uc body, r2, r3
+    exit";
+
+#[test]
+fn xi_miv_values_match_serial() {
+    let (s, mut mem, _) = handoff(XI_LOOP, &|_| {});
+    assert_eq!(s.mivt.len(), 1);
+    run_lpsu(LpsuConfig::default4(), &s, &mut mem);
+    let gold = golden(XI_LOOP, &|_| {});
+    for i in 0..32 {
+        assert_eq!(mem.read_u32(0x1000 + 4 * i), gold.read_u32(0x1000 + 4 * i), "element {i}");
+        assert_eq!(mem.read_u32(0x1000 + 4 * i), i);
+    }
+}
+
+// ---------------------------------------------------------------- or ----
+
+/// Prefix sum: classic ordered-through-registers loop; r9 is the CIR.
+const PREFIX_SUM: &str = "
+    li r4, 0x1000
+    li r5, 0x2000
+    li r2, 0
+    li r3, 48
+    li r9, 0
+body:
+    sll r6, r2, 2
+    addu r7, r4, r6
+    lw r8, 0(r7)
+    addu r9, r9, r8
+    addu r7, r5, r6
+    sw r9, 0(r7)
+    addiu r2, r2, 1
+    xloop.or body, r2, r3
+    exit";
+
+fn prefix_init(mem: &mut Memory) {
+    for i in 0..48 {
+        mem.write_u32(0x1000 + 4 * i, i * i + 1);
+    }
+}
+
+#[test]
+fn or_cir_values_match_serial() {
+    let (s, mut mem, _) = handoff(PREFIX_SUM, &prefix_init);
+    assert_eq!(s.cirs.len(), 1, "r9 is the only CIR: {:?}", s.cirs);
+    assert_eq!(s.cirs[0].reg, Reg::new(9));
+    let r = run_lpsu(LpsuConfig::default4(), &s, &mut mem);
+    let gold = golden(PREFIX_SUM, &prefix_init);
+    for i in 0..48 {
+        assert_eq!(mem.read_u32(0x2000 + 4 * i), gold.read_u32(0x2000 + 4 * i), "prefix {i}");
+    }
+    // The CIR live-out must equal the full serial sum.
+    let total: u32 = (0..48).map(|i| i * i + 1).sum();
+    assert_eq!(r.cir_finals, vec![(Reg::new(9), total)]);
+    assert!(r.stats.cir_transfers >= r.iterations, "one CIR transfer per iteration");
+}
+
+#[test]
+fn or_with_conditional_cir_write_matches_serial() {
+    // The CIR r9 (running max) is only written when a new max is found, so
+    // many iterations skip the last-CIR-write instruction and must forward
+    // at end of iteration.
+    let src = "
+        li r4, 0x1000
+        li r2, 0
+        li r3, 40
+        li r9, 0
+    body:
+        sll r6, r2, 2
+        addu r7, r4, r6
+        lw r8, 0(r7)
+        bge r9, r8, skip
+        addu r9, r8, r0
+    skip:
+        addiu r2, r2, 1
+        xloop.or body, r2, r3
+        sw r9, 0x3000(r0)
+        exit";
+    let init: &dyn Fn(&mut Memory) = &|mem| {
+        let vals = [3u32, 17, 5, 99, 4, 23, 99, 1, 57, 80];
+        for i in 0..40 {
+            mem.write_u32(0x1000 + 4 * i, vals[(i % 10) as usize] + (i / 10));
+        }
+    };
+    let (s, mut mem, _) = handoff(src, init);
+    let r = run_lpsu(LpsuConfig::default4(), &s, &mut mem);
+    let gold = golden(src, init);
+    let expected = gold.read_u32(0x3000);
+    assert_eq!(r.cir_finals, vec![(Reg::new(9), expected)]);
+}
+
+// ---------------------------------------------------------------- om ----
+
+/// A loop where iteration i reads the element written by iteration i-K
+/// (K = 3): genuine cross-iteration memory dependences that speculation
+/// must respect.
+const CHAINED_STORES: &str = "
+    li r4, 0x1000
+    li r2, 3             # start at i = K
+    li r3, 40
+body:
+    sll r6, r2, 2
+    addu r7, r4, r6
+    lw r8, -12(r7)       # a[i-3]
+    addiu r8, r8, 7
+    sw r8, 0(r7)         # a[i]
+    addiu r2, r2, 1
+    xloop.om body, r2, r3
+    exit";
+
+fn chain_init(mem: &mut Memory) {
+    for i in 0..40 {
+        mem.write_u32(0x1000 + 4 * i, i);
+    }
+}
+
+#[test]
+fn om_preserves_serial_memory_order() {
+    let (s, mut mem, _) = handoff(CHAINED_STORES, &chain_init);
+    let r = run_lpsu(LpsuConfig::default4(), &s, &mut mem);
+    let gold = golden(CHAINED_STORES, &chain_init);
+    for i in 0..40 {
+        assert_eq!(mem.read_u32(0x1000 + 4 * i), gold.read_u32(0x1000 + 4 * i), "a[{i}]");
+    }
+    // Distance-3 dependence with 4 lanes: lane 3 reads what lane 0 writes,
+    // so violations (and squashes) are expected.
+    assert!(r.stats.squashed_iters > 0, "expected memory-dependence squashes");
+}
+
+#[test]
+fn om_without_conflicts_runs_parallel() {
+    // Same pattern as uc but encoded om: no actual conflicts (disjoint
+    // addresses), so it should still beat a single lane clearly.
+    let src = VECTOR_SCALE.replace("xloop.uc", "xloop.om");
+    let (s, mem0, _) = handoff(&src, &vector_init);
+    let mut m4 = mem0.clone();
+    let c4 = run_lpsu(LpsuConfig::default4(), &s, &mut m4).cycles;
+    let mut m1 = mem0;
+    let c1 = run_lpsu(LpsuConfig::default4().with_lanes(1), &s, &mut m1).cycles;
+    assert!(c4 * 2 < c1, "conflict-free om should parallelize: 4-lane {c4} vs 1-lane {c1}");
+    let gold = golden(&src, &vector_init);
+    for i in 0..64 {
+        assert_eq!(m4.read_u32(0x2000 + 4 * i), gold.read_u32(0x2000 + 4 * i));
+    }
+}
+
+#[test]
+fn om_bigger_lsq_helps_store_heavy_loops() {
+    // Each iteration performs 12 stores: an 8-entry store LSQ stalls
+    // speculative lanes; 16 entries relieve the pressure.
+    let mut body = String::from(
+        "
+        li r4, 0x1000
+        li r2, 0
+        li r3, 64
+    body:
+        sll r6, r2, 6
+        addu r7, r4, r6
+    ",
+    );
+    for k in 0..12 {
+        body.push_str(&format!("    sw r2, {}(r7)\n", 4 * k));
+    }
+    body.push_str(
+        "    addiu r2, r2, 1
+        xloop.om body, r2, r3
+        exit",
+    );
+    let (s, mem0, _) = handoff(&body, &|_| {});
+    let mut m_small = mem0.clone();
+    let small = run_lpsu(LpsuConfig::default4(), &s, &mut m_small);
+    let mut m_big = mem0;
+    let big = run_lpsu(LpsuConfig::default4().with_big_lsq(), &s, &mut m_big);
+    assert!(
+        big.cycles < small.cycles,
+        "16+16 LSQ should beat 8+8 here: {} vs {}",
+        big.cycles,
+        small.cycles
+    );
+    assert!(small.stats.stall_lsq > big.stats.stall_lsq);
+}
+
+// ---------------------------------------------------------------- ua ----
+
+/// Histogram with plain loads/stores under `ua`: iterations may collide on
+/// a bucket; atomicity (here via the serial-order mechanism) keeps counts
+/// exact.
+const HISTOGRAM_UA: &str = "
+    li r4, 0x1000        # input
+    li r5, 0x4000        # 16 buckets
+    li r2, 0
+    li r3, 64
+body:
+    sll r6, r2, 2
+    addu r7, r4, r6
+    lw r8, 0(r7)
+    andi r8, r8, 15
+    sll r8, r8, 2
+    addu r8, r5, r8
+    lw r9, 0(r8)
+    addiu r9, r9, 1
+    sw r9, 0(r8)
+    addiu r2, r2, 1
+    xloop.ua body, r2, r3
+    exit";
+
+fn histo_init(mem: &mut Memory) {
+    for i in 0..64u32 {
+        mem.write_u32(0x1000 + 4 * i, i.wrapping_mul(2654435761) >> 3);
+    }
+}
+
+#[test]
+fn ua_atomic_updates_are_exact() {
+    let (s, mut mem, _) = handoff(HISTOGRAM_UA, &histo_init);
+    run_lpsu(LpsuConfig::default4(), &s, &mut mem);
+    let gold = golden(HISTOGRAM_UA, &histo_init);
+    let mut total = 0;
+    for b in 0..16 {
+        assert_eq!(mem.read_u32(0x4000 + 4 * b), gold.read_u32(0x4000 + 4 * b), "bucket {b}");
+        total += mem.read_u32(0x4000 + 4 * b);
+    }
+    assert_eq!(total, 64, "every element lands in exactly one bucket");
+}
+
+// ------------------------------------------------------------- uc.db ----
+
+/// Worklist traversal: each processed item may append two children below a
+/// cutoff, reserving space with `amo.add` and growing the bound register —
+/// the Figure 1(e) pattern.
+const WORKLIST_DB: &str = "
+    li r4, 0x1000        # worklist of item values
+    li r5, 0x5000        # tail counter (in memory)
+    li r10, 0x6000       # output: processed flags
+    li r2, 0             # i
+    lw r3, 0(r5)         # bound = initial tail
+body:
+    sll r6, r2, 2
+    addu r7, r4, r6
+    lw r8, 0(r7)         # item
+    sll r9, r8, 2
+    addu r9, r10, r9
+    sw r8, 0(r9)         # mark processed
+    li r11, 24
+    bge r8, r11, nokids  # only items < 24 spawn children
+    li r12, 2
+    amo.add r13, (r5), r12   # reserve two slots, returns old tail
+    sll r14, r13, 2
+    addu r14, r4, r14
+    sll r15, r8, 1
+    addiu r16, r15, 1    # child a = 2*item+1
+    sw r16, 0(r14)
+    addiu r16, r15, 2    # child b = 2*item+2
+    sw r16, 4(r14)
+    addiu r13, r13, 2
+    addu r3, r13, r0     # grow the bound register
+nokids:
+    addiu r2, r2, 1
+    xloop.uc.db body, r2, r3
+    exit";
+
+fn worklist_init(mem: &mut Memory) {
+    mem.write_u32(0x1000, 0); // seed item: 0
+    mem.write_u32(0x5000, 1); // tail = 1
+}
+
+#[test]
+fn uc_db_processes_dynamically_grown_work() {
+    let (s, mut mem, _) = handoff(WORKLIST_DB, &worklist_init);
+    assert!(s.pattern.is_dynamic_bound());
+    let r = run_lpsu(LpsuConfig::default4(), &s, &mut mem);
+    // Seed 0 spawns 1,2; ... binary tree of items < 24: every reachable
+    // item in {0..=48} gets marked. Compare against serial execution.
+    let gold = golden(WORKLIST_DB, &worklist_init);
+    let gold_tail = gold.read_u32(0x5000);
+    assert_eq!(mem.read_u32(0x5000), gold_tail, "same total work generated");
+    for item in 0..64u32 {
+        assert_eq!(
+            mem.read_u32(0x6000 + 4 * item),
+            gold.read_u32(0x6000 + 4 * item),
+            "processed flag for item {item}"
+        );
+    }
+    assert!(r.final_bound >= 3, "bound grew beyond the initial tail");
+    assert_eq!(r.final_bound, gold_tail, "final bound equals total items");
+}
+
+// -------------------------------------------------- multithreading -------
+
+#[test]
+fn multithreading_hides_llfu_latency_for_uc() {
+    // Long RAW chains through the LLFU leave lanes idle; a second context
+    // per lane fills the bubbles.
+    let src = "
+        li r4, 0x1000
+        li r5, 0x2000
+        li r2, 0
+        li r3, 64
+    body:
+        sll r6, r2, 2
+        addu r7, r4, r6
+        lw r8, 0(r7)
+        mul r8, r8, r8
+        addiu r8, r8, 3
+        mul r8, r8, r8
+        addu r7, r5, r6
+        sw r8, 0(r7)
+        addiu r2, r2, 1
+        xloop.uc body, r2, r3
+        exit";
+    let (s, mem0, _) = handoff(src, &vector_init);
+    let mut m1 = mem0.clone();
+    let plain = run_lpsu(LpsuConfig::default4().with_double_resources(), &s, &mut m1);
+    let mut m2 = mem0;
+    let mt = run_lpsu(
+        LpsuConfig::default4().with_double_resources().with_multithreading(),
+        &s,
+        &mut m2,
+    );
+    assert!(
+        mt.cycles < plain.cycles,
+        "multithreading should fill RAW bubbles: {} vs {}",
+        mt.cycles,
+        plain.cycles
+    );
+    // Results identical either way.
+    for i in 0..64 {
+        assert_eq!(m1.read_u32(0x2000 + 4 * i), m2.read_u32(0x2000 + 4 * i));
+    }
+}
+
+// -------------------------------------------------------- accounting ----
+
+#[test]
+fn lane_cycle_accounting_is_conservative() {
+    let (s, mut mem, _) = handoff(PREFIX_SUM, &prefix_init);
+    let r = run_lpsu(LpsuConfig::default4(), &s, &mut mem);
+    let lanes = 4;
+    let budget = lanes * r.cycles;
+    let used = r.stats.lane_cycles();
+    assert!(used <= budget, "buckets {used} exceed lane-cycles {budget}");
+    assert!(used * 10 >= budget * 8, "accounting should cover most lane-cycles: {used}/{budget}");
+    assert!(r.stats.exec > 0 && r.stats.stall_cir > 0);
+}
+
+#[test]
+fn profiling_cap_stops_at_iteration_boundary() {
+    let (s, mut mem, _) = handoff(VECTOR_SCALE, &vector_init);
+    let mut dcache = Cache::new(CacheConfig::l1_default());
+    let r = Lpsu::new(LpsuConfig::default4()).execute(&s, &mut mem, &mut dcache, Some(10));
+    assert_eq!(r.iterations, 10);
+    assert_eq!(r.final_idx, s.iter_value(10));
+    // First 10 LPSU iterations (values 1..=10) are in memory; later ones not.
+    assert_eq!(mem.read_u32(0x2000 + 4), (1 + 100) * 2);
+    assert_eq!(mem.read_u32(0x2000 + 4 * 20), 0);
+}

@@ -1,0 +1,278 @@
+//! Property tests of the LPSU's central guarantees, on randomly generated
+//! loop bodies:
+//!
+//! * `xloop.om`: the final memory image equals a serial execution, for any
+//!   random mix of loads and stores whose addresses create arbitrary
+//!   cross-iteration dependences.
+//! * `xloop.or`: CIR live-outs and all stores equal a serial execution for
+//!   random accumulator chains with conditional updates.
+//! * Every pattern with every lane count: results never depend on the
+//!   configuration.
+
+use proptest::prelude::*;
+use xloops_asm::Program;
+use xloops_func::Interp;
+use xloops_isa::{AluOp, BranchCond, DataPattern, Instr, LoopPattern, MemOp, Reg};
+use xloops_lpsu::{scan, Lpsu, LpsuConfig};
+use xloops_mem::{Cache, CacheConfig, Memory};
+
+const ARRAY: u32 = 0x1000;
+const ITERS: u32 = 24;
+
+/// One random body statement operating on temps r8..r15, the induction
+/// variable r2, and a 64-word array.
+#[derive(Clone, Debug)]
+enum Op {
+    /// rd = rs ⊕ rt over the temp registers.
+    Alu(u8, u8, u8, AluOp),
+    /// rd = A[(i + k) & 63]
+    Load(u8, i8),
+    /// A[(i + k) & 63] = rs
+    Store(u8, i8),
+    /// rd = rd + imm
+    AddImm(u8, i8),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    let temp = 8u8..16;
+    let alu = prop::sample::select(vec![AluOp::Addu, AluOp::Subu, AluOp::Xor, AluOp::And]);
+    prop_oneof![
+        (temp.clone(), temp.clone(), temp.clone(), alu).prop_map(|(a, b, c, op)| Op::Alu(a, b, c, op)),
+        (temp.clone(), -4i8..8).prop_map(|(r, k)| Op::Load(r, k)),
+        (temp.clone(), -4i8..8).prop_map(|(r, k)| Op::Store(r, k)),
+        (temp, any::<i8>()).prop_map(|(r, imm)| Op::AddImm(r, imm)),
+    ]
+}
+
+/// Builds `[prologue, body(ops), addiu, xloop, exit]` with the requested
+/// pattern. Address computation: r7 = ((r2 + k) & 63) * 4 + ARRAY.
+///
+/// For patterns without register ordering (`om`/`ua`/`uc`), the ISA
+/// forbids cross-iteration register dependences, so every temp is defined
+/// from the induction variable before its first read (`orm` skips this
+/// and lets random read-before-write chains become CIRs).
+fn build_program(ops: &[Op], pattern: DataPattern) -> Program {
+    let r = Reg::new;
+    let mut v = vec![
+        // r2 = 0, r3 = ITERS, r4 = ARRAY base; temps start at zero.
+        Instr::AluImm { op: AluOp::Addu, rd: r(2), rs: Reg::ZERO, imm: 0 },
+        Instr::AluImm { op: AluOp::Addu, rd: r(3), rs: Reg::ZERO, imm: ITERS as i16 },
+        Instr::Lui { rd: r(4), imm: 0 },
+        Instr::AluImm { op: AluOp::Addu, rd: r(4), rs: Reg::ZERO, imm: ARRAY as i16 },
+    ];
+    let body_start = v.len();
+    let mut defined = [false; 32];
+    let define = |v: &mut Vec<Instr>, defined: &mut [bool; 32], reg: u8| {
+        if !pattern.orders_registers() && !defined[reg as usize] {
+            v.push(Instr::Alu { op: AluOp::Addu, rd: r(reg), rs: r(2), rt: Reg::ZERO });
+        }
+        defined[reg as usize] = true;
+    };
+    for o in ops {
+        match *o {
+            Op::Alu(a, b, c, _) => {
+                define(&mut v, &mut defined, b);
+                define(&mut v, &mut defined, c);
+                defined[a as usize] = true;
+            }
+            Op::Store(rd, _) | Op::AddImm(rd, _) => define(&mut v, &mut defined, rd),
+            Op::Load(rd, _) => defined[rd as usize] = true,
+        }
+        match *o {
+            Op::Alu(a, b, c, op) => v.push(Instr::Alu { op, rd: r(a), rs: r(b), rt: r(c) }),
+            Op::Load(rd, k) | Op::Store(rd, k) => {
+                // r6 = (r2 + k) & 63 ; r7 = r4 + r6*4
+                v.push(Instr::AluImm { op: AluOp::Addu, rd: r(6), rs: r(2), imm: k as i16 });
+                v.push(Instr::AluImm { op: AluOp::And, rd: r(6), rs: r(6), imm: 63 });
+                v.push(Instr::AluImm { op: AluOp::Sll, rd: r(6), rs: r(6), imm: 2 });
+                v.push(Instr::Alu { op: AluOp::Addu, rd: r(7), rs: r(4), rt: r(6) });
+                let op = if matches!(o, Op::Load(..)) { MemOp::Lw } else { MemOp::Sw };
+                v.push(Instr::Mem { op, data: r(rd), base: r(7), offset: 0 });
+            }
+            Op::AddImm(rd, imm) => {
+                v.push(Instr::AluImm { op: AluOp::Addu, rd: r(rd), rs: r(rd), imm: imm as i16 })
+            }
+        }
+    }
+    v.push(Instr::AluImm { op: AluOp::Addu, rd: r(2), rs: r(2), imm: 1 });
+    let body_offset = (v.len() - body_start) as u16;
+    v.push(Instr::Xloop {
+        pattern: LoopPattern::fixed(pattern),
+        idx: r(2),
+        bound: r(3),
+        body_offset,
+    });
+    v.push(Instr::Exit);
+    Program::from_instrs(v)
+}
+
+/// Serial golden execution.
+fn run_serial(p: &Program) -> Memory {
+    let mut mem = Memory::new();
+    init_array(&mut mem);
+    let mut cpu = Interp::new();
+    cpu.run(p, &mut mem, 10_000_000).expect("serial run");
+    mem
+}
+
+fn init_array(mem: &mut Memory) {
+    for i in 0..64u32 {
+        mem.write_u32(ARRAY + 4 * i, i.wrapping_mul(2654435761));
+    }
+}
+
+/// Runs the loop on the LPSU after one traditional iteration (the handoff
+/// protocol of specialized execution).
+fn run_lpsu(p: &Program, lanes: u32) -> Memory {
+    run_lpsu_cfg(p, LpsuConfig::default4().with_lanes(lanes))
+}
+
+fn run_lpsu_cfg(p: &Program, config: LpsuConfig) -> Memory {
+    let mut mem = Memory::new();
+    init_array(&mut mem);
+    let mut cpu = Interp::new();
+    let xloop_pc =
+        p.instrs().iter().position(|i| i.is_xloop()).expect("has xloop") as u32 * 4;
+    while cpu.pc != xloop_pc {
+        cpu.step(p, &mut mem).expect("prefix");
+    }
+    let mut live_ins = [0u32; 32];
+    for r in Reg::all() {
+        live_ins[r.index()] = cpu.reg(r);
+    }
+    let s = scan(p, xloop_pc, live_ins, &config).expect("scans");
+    let mut dcache = Cache::new(CacheConfig::l1_default());
+    Lpsu::new(config).execute(&s, &mut mem, &mut dcache, None);
+    mem
+}
+
+fn arrays_equal(a: &Memory, b: &Memory) -> Result<(), TestCaseError> {
+    for i in 0..64u32 {
+        prop_assert_eq!(
+            a.read_u32(ARRAY + 4 * i),
+            b.read_u32(ARRAY + 4 * i),
+            "array word {}",
+            i
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Memory-ordered loops must match serial execution exactly, whatever
+    /// random dependence pattern the body creates.
+    #[test]
+    fn om_equals_serial(ops in prop::collection::vec(op(), 1..10)) {
+        let p = build_program(&ops, DataPattern::Om);
+        let serial = run_serial(&p);
+        for lanes in [2, 4, 8] {
+            let lpsu = run_lpsu(&p, lanes);
+            arrays_equal(&serial, &lpsu)?;
+        }
+    }
+
+    /// `ua` uses the same mechanisms and must also be serial-equivalent.
+    #[test]
+    fn ua_equals_serial(ops in prop::collection::vec(op(), 1..10)) {
+        let p = build_program(&ops, DataPattern::Ua);
+        let serial = run_serial(&p);
+        let lpsu = run_lpsu(&p, 4);
+        arrays_equal(&serial, &lpsu)?;
+    }
+
+    /// The cross-lane store-load forwarding extension must never change
+    /// results, only timing.
+    #[test]
+    fn om_with_cross_lane_forwarding_equals_serial(
+        ops in prop::collection::vec(op(), 1..10),
+    ) {
+        let p = build_program(&ops, DataPattern::Om);
+        let serial = run_serial(&p);
+        let lpsu = run_lpsu_cfg(&p, LpsuConfig::default4().with_cross_lane_forwarding());
+        arrays_equal(&serial, &lpsu)?;
+    }
+
+    /// `orm` adds register ordering on top; random temp chains that read
+    /// before writing become CIRs and must still match serial execution.
+    #[test]
+    fn orm_equals_serial(ops in prop::collection::vec(op(), 1..8)) {
+        let p = build_program(&ops, DataPattern::Orm);
+        let serial = run_serial(&p);
+        let lpsu = run_lpsu(&p, 4);
+        arrays_equal(&serial, &lpsu)?;
+    }
+}
+
+/// `or` loops: random accumulator updates (some conditional) must yield
+/// serial CIR live-outs. Built separately because stores must not create
+/// memory dependences under `or`.
+#[derive(Clone, Debug)]
+enum OrOp {
+    /// acc = acc op (idx + k)
+    Acc(AluOp, i8),
+    /// if (idx & 1): acc = acc + k (conditional last-CIR-write path)
+    CondAcc(i8),
+}
+
+fn or_op() -> impl Strategy<Value = OrOp> {
+    prop_oneof![
+        (prop::sample::select(vec![AluOp::Addu, AluOp::Xor, AluOp::Subu]), any::<i8>())
+            .prop_map(|(op, k)| OrOp::Acc(op, k)),
+        any::<i8>().prop_map(OrOp::CondAcc),
+    ]
+}
+
+fn build_or_program(ops: &[OrOp]) -> Program {
+    let r = Reg::new;
+    let mut v = vec![
+        Instr::AluImm { op: AluOp::Addu, rd: r(2), rs: Reg::ZERO, imm: 0 },
+        Instr::AluImm { op: AluOp::Addu, rd: r(3), rs: Reg::ZERO, imm: ITERS as i16 },
+        Instr::AluImm { op: AluOp::Addu, rd: r(9), rs: Reg::ZERO, imm: 7 }, // acc
+        Instr::AluImm { op: AluOp::Addu, rd: r(4), rs: Reg::ZERO, imm: ARRAY as i16 },
+    ];
+    let body_start = v.len();
+    for o in ops {
+        match *o {
+            OrOp::Acc(op, k) => {
+                v.push(Instr::AluImm { op: AluOp::Addu, rd: r(8), rs: r(2), imm: k as i16 });
+                v.push(Instr::Alu { op, rd: r(9), rs: r(9), rt: r(8) });
+            }
+            OrOp::CondAcc(k) => {
+                v.push(Instr::AluImm { op: AluOp::And, rd: r(8), rs: r(2), imm: 1 });
+                // beqz r8, +2 (skip the update)
+                v.push(Instr::Branch { cond: BranchCond::Eq, rs: r(8), rt: Reg::ZERO, offset: 2 });
+                v.push(Instr::AluImm { op: AluOp::Addu, rd: r(9), rs: r(9), imm: k as i16 });
+            }
+        }
+    }
+    // Publish the running value into the array so memory checks see it.
+    v.push(Instr::AluImm { op: AluOp::Sll, rd: r(6), rs: r(2), imm: 2 });
+    v.push(Instr::Alu { op: AluOp::Addu, rd: r(7), rs: r(4), rt: r(6) });
+    v.push(Instr::Mem { op: MemOp::Sw, data: r(9), base: r(7), offset: 0 });
+    v.push(Instr::AluImm { op: AluOp::Addu, rd: r(2), rs: r(2), imm: 1 });
+    let body_offset = (v.len() - body_start) as u16;
+    v.push(Instr::Xloop {
+        pattern: LoopPattern::fixed(DataPattern::Or),
+        idx: r(2),
+        bound: r(3),
+        body_offset,
+    });
+    v.push(Instr::Exit);
+    Program::from_instrs(v)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn or_cir_chain_equals_serial(ops in prop::collection::vec(or_op(), 1..8)) {
+        let p = build_or_program(&ops);
+        let serial = run_serial(&p);
+        for lanes in [2, 4] {
+            let lpsu = run_lpsu(&p, lanes);
+            arrays_equal(&serial, &lpsu)?;
+        }
+    }
+}

@@ -1,0 +1,243 @@
+/// Configuration of a timing-only cache model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u32,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Latency of a hit, in cycles.
+    pub hit_cycles: u32,
+    /// Additional latency of a miss (refill from next level), in cycles.
+    pub miss_cycles: u32,
+}
+
+impl CacheConfig {
+    /// The paper's L1 configuration: 16 KB, 4-way, 64 B lines, 1-cycle hit,
+    /// 20-cycle miss penalty.
+    pub fn l1_default() -> CacheConfig {
+        CacheConfig { size_bytes: 16 * 1024, line_bytes: 64, ways: 4, hit_cycles: 1, miss_cycles: 20 }
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig::l1_default()
+    }
+}
+
+/// Access statistics of a [`Cache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Read accesses that hit.
+    pub read_hits: u64,
+    /// Read accesses that missed.
+    pub read_misses: u64,
+    /// Write accesses that hit.
+    pub write_hits: u64,
+    /// Write accesses that missed.
+    pub write_misses: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.read_hits + self.read_misses + self.write_hits + self.write_misses
+    }
+
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.read_misses + self.write_misses
+    }
+
+    /// Miss rate in `[0, 1]`; zero if there were no accesses.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / total as f64
+        }
+    }
+}
+
+/// A timing-only set-associative cache with true-LRU replacement.
+///
+/// The cache tracks tags and recency but no data: architectural data always
+/// lives in [`crate::Memory`]. An access returns its latency in cycles;
+/// write misses allocate (write-allocate, write-back timing assumption).
+///
+/// ```
+/// use xloops_mem::{Cache, CacheConfig};
+/// let mut c = Cache::new(CacheConfig::l1_default());
+/// assert_eq!(c.access(0x1000, false), 21); // cold miss: 1 + 20
+/// assert_eq!(c.access(0x1004, false), 1);  // same line: hit
+/// assert_eq!(c.stats().misses(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    stats: CacheStats,
+    tick: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    tag: u32,
+    last_use: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sizes, non-power-of-two
+    /// line size, capacity not divisible by `line_bytes × ways`).
+    pub fn new(config: CacheConfig) -> Cache {
+        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(config.ways > 0 && config.size_bytes > 0);
+        let lines = config.size_bytes / config.line_bytes;
+        assert!(lines.is_multiple_of(config.ways), "capacity not divisible into sets");
+        let num_sets = (lines / config.ways) as usize;
+        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        Cache { config, sets: vec![Vec::new(); num_sets], stats: CacheStats::default(), tick: 0 }
+    }
+
+    /// The configuration the cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Simulates one access, returning its latency in cycles and updating
+    /// the hit/miss statistics.
+    pub fn access(&mut self, addr: u32, is_write: bool) -> u32 {
+        self.tick += 1;
+        let line_addr = addr / self.config.line_bytes;
+        let set_idx = (line_addr as usize) & (self.sets.len() - 1);
+        let tag = line_addr / self.sets.len() as u32;
+        let set = &mut self.sets[set_idx];
+
+        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
+            line.last_use = self.tick;
+            if is_write {
+                self.stats.write_hits += 1;
+            } else {
+                self.stats.read_hits += 1;
+            }
+            return self.config.hit_cycles;
+        }
+
+        // Miss: allocate, evicting LRU if the set is full.
+        if set.len() == self.config.ways as usize {
+            let lru = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_use)
+                .map(|(i, _)| i)
+                .expect("set is non-empty");
+            set.swap_remove(lru);
+        }
+        set.push(Line { tag, last_use: self.tick });
+        if is_write {
+            self.stats.write_misses += 1;
+        } else {
+            self.stats.read_misses += 1;
+        }
+        self.config.hit_cycles + self.config.miss_cycles
+    }
+
+    /// Latency an access *would* have, without updating any state. Used by
+    /// schedulers that need to peek before committing to an issue slot.
+    pub fn peek(&self, addr: u32) -> u32 {
+        let line_addr = addr / self.config.line_bytes;
+        let set_idx = (line_addr as usize) & (self.sets.len() - 1);
+        let tag = line_addr / self.sets.len() as u32;
+        if self.sets[set_idx].iter().any(|l| l.tag == tag) {
+            self.config.hit_cycles
+        } else {
+            self.config.hit_cycles + self.config.miss_cycles
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Clears contents and statistics.
+    pub fn reset(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.stats = CacheStats::default();
+        self.tick = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets × 2 ways × 16-byte lines = 64 bytes.
+        Cache::new(CacheConfig { size_bytes: 64, line_bytes: 16, ways: 2, hit_cycles: 1, miss_cycles: 9 })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert_eq!(c.access(0x00, false), 10);
+        assert_eq!(c.access(0x0C, false), 1, "same line");
+        assert_eq!(c.access(0x10, true), 10, "next line maps to other set");
+        assert_eq!(c.stats().read_hits, 1);
+        assert_eq!(c.stats().read_misses, 1);
+        assert_eq!(c.stats().write_misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut c = tiny();
+        // Three lines mapping to set 0 (line addresses even): 0x00, 0x40, 0x80.
+        c.access(0x00, false);
+        c.access(0x40, false);
+        c.access(0x00, false); // touch 0x00 so 0x40 is LRU
+        c.access(0x80, false); // evicts 0x40
+        assert_eq!(c.access(0x00, false), 1, "0x00 survived");
+        assert_eq!(c.access(0x40, false), 10, "0x40 was evicted");
+    }
+
+    #[test]
+    fn peek_does_not_mutate() {
+        let mut c = tiny();
+        assert_eq!(c.peek(0x0), 10);
+        assert_eq!(c.stats().accesses(), 0);
+        c.access(0x0, false);
+        assert_eq!(c.peek(0x0), 1);
+        assert_eq!(c.stats().accesses(), 1);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = tiny();
+        c.access(0x0, false);
+        c.reset();
+        assert_eq!(c.stats().accesses(), 0);
+        assert_eq!(c.access(0x0, false), 10, "cold again after reset");
+    }
+
+    #[test]
+    fn default_geometry_is_sane() {
+        let c = Cache::new(CacheConfig::l1_default());
+        // 16KB / 64B = 256 lines / 4 ways = 64 sets.
+        assert_eq!(c.sets.len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_panics() {
+        Cache::new(CacheConfig { size_bytes: 64, line_bytes: 12, ways: 2, hit_cycles: 1, miss_cycles: 9 });
+    }
+}

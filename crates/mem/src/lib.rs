@@ -1,0 +1,26 @@
+//! # xloops-mem
+//!
+//! The memory subsystem shared by every XLOOPS microarchitecture model:
+//!
+//! * [`Memory`] — a sparse, paged, byte-addressable 32-bit memory holding
+//!   the architectural state, with little-endian accessors and atomic
+//!   memory operations.
+//! * [`Cache`] — a timing-only set-associative cache model (tags + LRU, no
+//!   data: data always lives in [`Memory`], so functional behaviour can
+//!   never diverge from timing behaviour).
+//! * [`SharedPort`] and [`SharedUnit`] — cycle-granularity models of the
+//!   structural resources the GPP and the LPSU lanes arbitrate for: the
+//!   data-memory port(s) and the long-latency functional unit(s)
+//!   (Section II-D of the paper).
+//!
+//! The evaluation datasets are tailored to fit in the L1 (as in the paper's
+//! VLSI study), so the default cache configuration is 16 KB, 4-way, 64-byte
+//! lines with a 1-cycle hit and 20-cycle miss.
+
+mod cache;
+mod memory;
+mod share;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use memory::Memory;
+pub use share::{SharedPort, SharedUnit};

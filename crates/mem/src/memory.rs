@@ -1,0 +1,205 @@
+use std::collections::HashMap;
+
+use xloops_isa::AmoOp;
+
+const PAGE_BITS: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+/// A sparse, paged, little-endian, byte-addressable 32-bit memory.
+///
+/// Pages are allocated lazily on first touch; unwritten memory reads as
+/// zero. Halfword and word accesses must be naturally aligned (the ISA has
+/// no misaligned accesses, and the assembler cannot express them for code).
+///
+/// ```
+/// use xloops_mem::Memory;
+/// let mut m = Memory::new();
+/// m.write_u32(0x1000, 0xDEAD_BEEF);
+/// assert_eq!(m.read_u32(0x1000), 0xDEAD_BEEF);
+/// assert_eq!(m.read_u8(0x1000), 0xEF); // little-endian
+/// assert_eq!(m.read_u32(0x2000), 0);   // untouched memory is zero
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Memory {
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    fn page(&self, addr: u32) -> Option<&[u8; PAGE_SIZE]> {
+        self.pages.get(&(addr >> PAGE_BITS)).map(|b| &**b)
+    }
+
+    fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE] {
+        self.pages.entry(addr >> PAGE_BITS).or_insert_with(|| Box::new([0; PAGE_SIZE]))
+    }
+
+    /// Reads one byte.
+    #[inline]
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        match self.page(addr) {
+            Some(p) => p[(addr as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    #[inline]
+    pub fn write_u8(&mut self, addr: u32, value: u8) {
+        self.page_mut(addr)[(addr as usize) & (PAGE_SIZE - 1)] = value;
+    }
+
+    /// Reads a halfword.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 2-byte aligned.
+    #[inline]
+    pub fn read_u16(&self, addr: u32) -> u16 {
+        assert!(addr.is_multiple_of(2), "misaligned halfword read at {addr:#x}");
+        u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr + 1)])
+    }
+
+    /// Writes a halfword.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 2-byte aligned.
+    #[inline]
+    pub fn write_u16(&mut self, addr: u32, value: u16) {
+        assert!(addr.is_multiple_of(2), "misaligned halfword write at {addr:#x}");
+        let [a, b] = value.to_le_bytes();
+        self.write_u8(addr, a);
+        self.write_u8(addr + 1, b);
+    }
+
+    /// Reads a word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 4-byte aligned.
+    #[inline]
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        assert!(addr.is_multiple_of(4), "misaligned word read at {addr:#x}");
+        // Words never straddle a page, so take the fast path within one page.
+        match self.page(addr) {
+            Some(p) => {
+                let i = (addr as usize) & (PAGE_SIZE - 1);
+                u32::from_le_bytes([p[i], p[i + 1], p[i + 2], p[i + 3]])
+            }
+            None => 0,
+        }
+    }
+
+    /// Writes a word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 4-byte aligned.
+    #[inline]
+    pub fn write_u32(&mut self, addr: u32, value: u32) {
+        assert!(addr.is_multiple_of(4), "misaligned word write at {addr:#x}");
+        let p = self.page_mut(addr);
+        let i = (addr as usize) & (PAGE_SIZE - 1);
+        p[i..i + 4].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Performs an atomic memory operation on the word at `addr`, returning
+    /// the *old* value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 4-byte aligned.
+    pub fn amo(&mut self, op: AmoOp, addr: u32, operand: u32) -> u32 {
+        let old = self.read_u32(addr);
+        self.write_u32(addr, op.combine(old, operand));
+        old
+    }
+
+    /// Copies a slice of words into memory starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 4-byte aligned.
+    pub fn write_words(&mut self, addr: u32, words: &[u32]) {
+        for (i, &w) in words.iter().enumerate() {
+            self.write_u32(addr + 4 * i as u32, w);
+        }
+    }
+
+    /// Reads `n` consecutive words starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 4-byte aligned.
+    pub fn read_words(&self, addr: u32, n: usize) -> Vec<u32> {
+        (0..n).map(|i| self.read_u32(addr + 4 * i as u32)).collect()
+    }
+
+    /// Number of pages that have been touched (for memory-footprint stats).
+    pub fn touched_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_and_round_trip() {
+        let mut m = Memory::new();
+        assert_eq!(m.read_u32(0), 0);
+        assert_eq!(m.read_u8(12345), 0);
+        m.write_u32(0x1000, 0x0102_0304);
+        assert_eq!(m.read_u32(0x1000), 0x0102_0304);
+        assert_eq!(m.read_u16(0x1000), 0x0304);
+        assert_eq!(m.read_u16(0x1002), 0x0102);
+        assert_eq!(m.read_u8(0x1003), 0x01);
+    }
+
+    #[test]
+    fn page_boundary_bytes() {
+        let mut m = Memory::new();
+        m.write_u8(0x0FFF, 0xAA);
+        m.write_u8(0x1000, 0xBB);
+        assert_eq!(m.read_u8(0x0FFF), 0xAA);
+        assert_eq!(m.read_u8(0x1000), 0xBB);
+        assert_eq!(m.touched_pages(), 2);
+    }
+
+    #[test]
+    fn amo_returns_old_value() {
+        let mut m = Memory::new();
+        m.write_u32(0x40, 10);
+        assert_eq!(m.amo(AmoOp::Add, 0x40, 5), 10);
+        assert_eq!(m.read_u32(0x40), 15);
+        assert_eq!(m.amo(AmoOp::Xchg, 0x40, 99), 15);
+        assert_eq!(m.read_u32(0x40), 99);
+        assert_eq!(m.amo(AmoOp::Min, 0x40, -1i32 as u32), 99);
+        assert_eq!(m.read_u32(0x40), -1i32 as u32);
+    }
+
+    #[test]
+    fn bulk_words() {
+        let mut m = Memory::new();
+        m.write_words(0x100, &[1, 2, 3, 4]);
+        assert_eq!(m.read_words(0x100, 4), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_word_panics() {
+        Memory::new().read_u32(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_half_panics() {
+        Memory::new().read_u16(1);
+    }
+}

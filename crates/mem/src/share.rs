@@ -1,0 +1,172 @@
+//! Cycle-granularity models of shared structural resources.
+//!
+//! The LPSU's lanes and the GPP dynamically arbitrate for the data-memory
+//! port and the long-latency functional unit (Section II-D). These helpers
+//! model that arbitration for cycle-stepped simulators: callers attempt to
+//! acquire the resource for the current cycle and stall (retry next cycle)
+//! when refused. Fairness across requesters is the *caller's* job — the
+//! LPSU polls lanes in rotating order — which keeps the resource model
+//! deterministic.
+
+/// A pipelined shared port that can accept a fixed number of new requests
+/// per cycle (e.g. the shared data-memory port: one request per cycle, two
+/// in the paper's `+r` design point).
+///
+/// ```
+/// use xloops_mem::SharedPort;
+/// let mut port = SharedPort::new(1);
+/// assert!(port.try_issue(10));
+/// assert!(!port.try_issue(10), "second request in cycle 10 is refused");
+/// assert!(port.try_issue(11));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SharedPort {
+    per_cycle: u32,
+    cycle: u64,
+    used: u32,
+    issued_total: u64,
+    refused_total: u64,
+}
+
+impl SharedPort {
+    /// Creates a port that accepts `per_cycle` requests each cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_cycle` is zero.
+    pub fn new(per_cycle: u32) -> SharedPort {
+        assert!(per_cycle > 0, "port must accept at least one request per cycle");
+        SharedPort { per_cycle, cycle: 0, used: 0, issued_total: 0, refused_total: 0 }
+    }
+
+    fn roll(&mut self, cycle: u64) {
+        debug_assert!(cycle >= self.cycle, "time went backwards");
+        if cycle != self.cycle {
+            self.cycle = cycle;
+            self.used = 0;
+        }
+    }
+
+    /// Attempts to issue a request in `cycle`. Returns `false` if the
+    /// port's per-cycle bandwidth is exhausted.
+    pub fn try_issue(&mut self, cycle: u64) -> bool {
+        self.roll(cycle);
+        if self.used < self.per_cycle {
+            self.used += 1;
+            self.issued_total += 1;
+            true
+        } else {
+            self.refused_total += 1;
+            false
+        }
+    }
+
+    /// Total requests granted.
+    pub fn issued(&self) -> u64 {
+        self.issued_total
+    }
+
+    /// Total requests refused (a proxy for port-contention stalls).
+    pub fn refused(&self) -> u64 {
+        self.refused_total
+    }
+}
+
+/// An *unpipelined* shared functional unit with per-operation occupancy
+/// (the LLFU: integer mul/div and FP). A request occupies one of the
+/// `units` for `latency` cycles; further requests in that window are
+/// refused.
+///
+/// ```
+/// use xloops_mem::SharedUnit;
+/// let mut llfu = SharedUnit::new(1);
+/// assert!(llfu.try_start(100, 3)); // busy during 100, 101, 102
+/// assert!(!llfu.try_start(102, 1));
+/// assert!(llfu.try_start(103, 1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SharedUnit {
+    busy_until: Vec<u64>, // first cycle each unit is free again
+    started_total: u64,
+    refused_total: u64,
+}
+
+impl SharedUnit {
+    /// Creates a bank of `units` identical unpipelined units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units` is zero.
+    pub fn new(units: u32) -> SharedUnit {
+        assert!(units > 0, "need at least one unit");
+        SharedUnit { busy_until: vec![0; units as usize], started_total: 0, refused_total: 0 }
+    }
+
+    /// Attempts to start an operation of `latency` cycles in `cycle`.
+    pub fn try_start(&mut self, cycle: u64, latency: u32) -> bool {
+        match self.busy_until.iter_mut().find(|b| **b <= cycle) {
+            Some(slot) => {
+                *slot = cycle + latency as u64;
+                self.started_total += 1;
+                true
+            }
+            None => {
+                self.refused_total += 1;
+                false
+            }
+        }
+    }
+
+    /// Total operations started.
+    pub fn started(&self) -> u64 {
+        self.started_total
+    }
+
+    /// Total requests refused (a proxy for LLFU-contention stalls).
+    pub fn refused(&self) -> u64 {
+        self.refused_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_bandwidth_per_cycle() {
+        let mut p = SharedPort::new(2);
+        assert!(p.try_issue(0));
+        assert!(p.try_issue(0));
+        assert!(!p.try_issue(0));
+        assert!(p.try_issue(1));
+        assert_eq!(p.issued(), 3);
+        assert_eq!(p.refused(), 1);
+    }
+
+    #[test]
+    fn unit_occupancy() {
+        let mut u = SharedUnit::new(1);
+        assert!(u.try_start(0, 12)); // div occupies 0..12
+        for c in 1..12 {
+            assert!(!u.try_start(c, 1), "cycle {c} should be busy");
+        }
+        assert!(u.try_start(12, 1));
+        assert_eq!(u.started(), 2);
+        assert_eq!(u.refused(), 11);
+    }
+
+    #[test]
+    fn two_units_overlap() {
+        let mut u = SharedUnit::new(2);
+        assert!(u.try_start(0, 4));
+        assert!(u.try_start(0, 4));
+        assert!(!u.try_start(1, 1));
+        assert!(u.try_start(4, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_port_panics() {
+        SharedPort::new(0);
+    }
+}

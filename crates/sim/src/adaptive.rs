@@ -1,0 +1,134 @@
+use std::collections::HashMap;
+
+/// The final engine choice for an xloop pc.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Keep the loop on the GPP.
+    Traditional,
+    /// Hand dynamic instances to the LPSU.
+    Specialized,
+}
+
+/// Per-xloop profiling progress.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AptEntry {
+    /// Iterations profiled traditionally so far (may span several dynamic
+    /// instances of the xloop — important for short loops).
+    pub gpp_iters: u64,
+    /// GPP cycles those iterations took.
+    pub gpp_cycles: u64,
+    /// The decision, once made. The current implementation never
+    /// reconsiders it (matching the paper).
+    pub decision: Option<Decision>,
+}
+
+/// The adaptive profiling table (APT): indexed by the pc of the `xloop`
+/// instruction, it records profiling progress and the final
+/// traditional-vs-specialized decision (Section II-E).
+#[derive(Clone, Debug, Default)]
+pub struct Apt {
+    entries: HashMap<u32, AptEntry>,
+    /// Profiling thresholds from Section IV-D.
+    pub iter_threshold: u64,
+    pub cycle_threshold: u64,
+}
+
+impl Apt {
+    /// Creates an APT with the paper's thresholds: 256 iterations or 2000
+    /// cycles.
+    pub fn new() -> Apt {
+        Apt { entries: HashMap::new(), iter_threshold: 256, cycle_threshold: 2000 }
+    }
+
+    /// The entry for an xloop pc, creating it on first touch.
+    pub fn entry(&mut self, pc: u32) -> &mut AptEntry {
+        self.entries.entry(pc).or_default()
+    }
+
+    /// The decision for an xloop pc, if one has been made.
+    pub fn decision(&self, pc: u32) -> Option<Decision> {
+        self.entries.get(&pc).and_then(|e| e.decision)
+    }
+
+    /// Accumulates GPP profiling results; returns `true` once a threshold
+    /// is crossed and the LPSU profiling phase should run.
+    pub fn record_gpp(&mut self, pc: u32, iters: u64, cycles: u64) -> bool {
+        let (it, cy) = (self.iter_threshold, self.cycle_threshold);
+        let e = self.entry(pc);
+        e.gpp_iters += iters;
+        e.gpp_cycles += cycles;
+        e.gpp_iters >= it || e.gpp_cycles >= cy
+    }
+
+    /// Remaining iteration quota for the GPP profiling phase.
+    pub fn gpp_quota(&mut self, pc: u32) -> u64 {
+        let it = self.iter_threshold;
+        let e = self.entry(pc);
+        it.saturating_sub(e.gpp_iters).max(1)
+    }
+
+    /// Records the final decision by comparing per-iteration costs.
+    pub fn decide(&mut self, pc: u32, lpsu_iters: u64, lpsu_cycles: u64) -> Decision {
+        let e = self.entry(pc);
+        let gpp_per_iter = e.gpp_cycles as f64 / e.gpp_iters.max(1) as f64;
+        let lpsu_per_iter = lpsu_cycles as f64 / lpsu_iters.max(1) as f64;
+        let d = if lpsu_per_iter <= gpp_per_iter {
+            Decision::Specialized
+        } else {
+            Decision::Traditional
+        };
+        e.decision = Some(d);
+        d
+    }
+
+    /// pcs whose decision is [`Decision::Traditional`] (the GPP run should
+    /// not stop at them).
+    pub fn traditional_pcs(&self) -> impl Iterator<Item = u32> + '_ {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.decision == Some(Decision::Traditional))
+            .map(|(&pc, _)| pc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiling_accumulates_across_instances() {
+        let mut apt = Apt::new();
+        assert!(!apt.record_gpp(0x40, 100, 500));
+        assert!(!apt.record_gpp(0x40, 100, 500));
+        assert!(apt.record_gpp(0x40, 56, 300), "256 iterations reached");
+        assert_eq!(apt.entry(0x40).gpp_iters, 256);
+    }
+
+    #[test]
+    fn cycle_threshold_also_triggers() {
+        let mut apt = Apt::new();
+        assert!(apt.record_gpp(0x80, 10, 2500));
+    }
+
+    #[test]
+    fn decision_compares_per_iteration_cost() {
+        let mut apt = Apt::new();
+        apt.record_gpp(0x40, 100, 1000); // 10 cycles/iter on the GPP
+        assert_eq!(apt.decide(0x40, 100, 500), Decision::Specialized);
+
+        apt.record_gpp(0x80, 100, 1000);
+        assert_eq!(apt.decide(0x80, 100, 2000), Decision::Traditional);
+        assert_eq!(apt.decision(0x80), Some(Decision::Traditional));
+        assert_eq!(apt.traditional_pcs().collect::<Vec<_>>(), vec![0x80]);
+    }
+
+    #[test]
+    fn quota_shrinks_as_profiling_progresses() {
+        let mut apt = Apt::new();
+        assert_eq!(apt.gpp_quota(0x40), 256);
+        apt.record_gpp(0x40, 200, 100);
+        assert_eq!(apt.gpp_quota(0x40), 56);
+        apt.record_gpp(0x40, 56, 100);
+        assert_eq!(apt.gpp_quota(0x40), 1, "quota never reaches zero");
+    }
+}

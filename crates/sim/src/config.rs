@@ -1,0 +1,103 @@
+use xloops_energy::EnergyTable;
+use xloops_gpp::GppConfig;
+use xloops_lpsu::LpsuConfig;
+
+/// How to execute an XLOOPS binary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Everything on the GPP; `xloop` behaves as a conditional branch.
+    Traditional,
+    /// Taken `xloop`s run on the LPSU (with automatic traditional fallback
+    /// for loops the LPSU cannot execute).
+    Specialized,
+    /// Hardware profiles both and picks the faster engine per xloop pc.
+    Adaptive,
+}
+
+/// A full system: GPP (+ optional LPSU) + energy table.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SystemConfig {
+    /// The general-purpose processor.
+    pub gpp: GppConfig,
+    /// The loop-pattern specialization unit, if present.
+    pub lpsu: Option<LpsuConfig>,
+    /// Per-event energies used for the energy report.
+    pub energy: EnergyTable,
+}
+
+impl SystemConfig {
+    fn energy_for(gpp: &GppConfig) -> EnergyTable {
+        match gpp.width() {
+            1 => EnergyTable::mcpat45_io(),
+            w => EnergyTable::mcpat45_ooo(w),
+        }
+    }
+
+    /// Baseline in-order GPP (the paper's `io`).
+    pub fn io() -> SystemConfig {
+        let gpp = GppConfig::io();
+        SystemConfig { gpp, lpsu: None, energy: Self::energy_for(&gpp) }
+    }
+
+    /// Baseline two-way out-of-order GPP (`ooo/2`).
+    pub fn ooo2() -> SystemConfig {
+        let gpp = GppConfig::ooo2();
+        SystemConfig { gpp, lpsu: None, energy: Self::energy_for(&gpp) }
+    }
+
+    /// Baseline four-way out-of-order GPP (`ooo/4`).
+    pub fn ooo4() -> SystemConfig {
+        let gpp = GppConfig::ooo4();
+        SystemConfig { gpp, lpsu: None, energy: Self::energy_for(&gpp) }
+    }
+
+    /// `io+x`: in-order GPP plus the primary LPSU.
+    pub fn io_x() -> SystemConfig {
+        SystemConfig { lpsu: Some(LpsuConfig::default4()), ..Self::io() }
+    }
+
+    /// `ooo/2+x`.
+    pub fn ooo2_x() -> SystemConfig {
+        SystemConfig { lpsu: Some(LpsuConfig::default4()), ..Self::ooo2() }
+    }
+
+    /// `ooo/4+x`.
+    pub fn ooo4_x() -> SystemConfig {
+        SystemConfig { lpsu: Some(LpsuConfig::default4()), ..Self::ooo4() }
+    }
+
+    /// Replaces the LPSU configuration (design-space studies of Figure 9).
+    pub fn with_lpsu(mut self, lpsu: LpsuConfig) -> SystemConfig {
+        self.lpsu = Some(lpsu);
+        self
+    }
+
+    /// Replaces the energy table (the `vlsi40` study of Figure 10).
+    pub fn with_energy(mut self, energy: EnergyTable) -> SystemConfig {
+        self.energy = energy;
+        self
+    }
+
+    /// Display name, e.g. `ooo/2+x`.
+    pub fn name(&self) -> String {
+        match &self.lpsu {
+            None => self.gpp.name().to_string(),
+            Some(_) => format!("{}+x", self.gpp.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_presets() {
+        assert_eq!(SystemConfig::io().name(), "io");
+        assert_eq!(SystemConfig::ooo2_x().name(), "ooo/2+x");
+        assert!(SystemConfig::io().lpsu.is_none());
+        assert!(SystemConfig::io_x().lpsu.is_some());
+        assert!(SystemConfig::ooo4_x().energy.ooo_per_instr > 0.0);
+        assert_eq!(SystemConfig::io_x().energy.ooo_per_instr, 0.0);
+    }
+}

@@ -1,0 +1,37 @@
+use std::fmt;
+
+use xloops_func::ExecError;
+
+/// Errors surfaced by a system-level run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The functional core faulted (invalid pc or step-limit exhaustion).
+    Exec(ExecError),
+    /// Specialized or adaptive execution was requested on a system with no
+    /// LPSU.
+    NoLpsu,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Exec(e) => write!(f, "execution error: {e}"),
+            SimError::NoLpsu => f.write_str("this system configuration has no LPSU"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Exec(e) => Some(e),
+            SimError::NoLpsu => None,
+        }
+    }
+}
+
+impl From<ExecError> for SimError {
+    fn from(e: ExecError) -> SimError {
+        SimError::Exec(e)
+    }
+}

@@ -1,0 +1,31 @@
+//! # xloops-sim
+//!
+//! System-level composition: a GPP ([`xloops_gpp`]) optionally augmented
+//! with an LPSU ([`xloops_lpsu`]), executing XLOOPS binaries in one of
+//! three modes:
+//!
+//! * [`ExecMode::Traditional`] — the whole binary runs on the GPP; `xloop`
+//!   decodes to a conditional branch (Section II-C).
+//! * [`ExecMode::Specialized`] — every taken `xloop` triggers a scan phase
+//!   and runs on the LPSU; loops the LPSU cannot execute (oversized bodies,
+//!   unsupported instructions) automatically fall back to traditional
+//!   execution, as the abstraction guarantees (Section II-D).
+//! * [`ExecMode::Adaptive`] — per-xloop profiling on the GPP (256
+//!   iterations / 2000 cycles, as in Section IV-D) and then on the LPSU;
+//!   whichever is faster per iteration wins, and the decision is cached in
+//!   the adaptive profiling table (APT) across dynamic instances.
+//!
+//! The crate also converts execution statistics into
+//! [`xloops_energy::EventCounts`] for the Figure 8 / Figure 10 studies.
+
+mod adaptive;
+mod config;
+mod error;
+mod stats;
+mod system;
+
+pub use adaptive::{Apt, Decision};
+pub use config::{ExecMode, SystemConfig};
+pub use error::SimError;
+pub use stats::SystemStats;
+pub use system::System;

@@ -1,0 +1,71 @@
+use xloops_energy::{EnergyTable, EventCounts};
+use xloops_gpp::GppStats;
+use xloops_lpsu::LpsuStats;
+
+/// Statistics of one system-level run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SystemStats {
+    /// End-to-end cycles (GPP clock; the GPP stalls while the LPSU runs,
+    /// so this covers both).
+    pub cycles: u64,
+    /// GPP-side statistics.
+    pub gpp: GppStats,
+    /// LPSU-side statistics, merged over all specialized phases.
+    pub lpsu: LpsuStats,
+    /// Cycles spent inside specialized-execution phases (including scans).
+    pub lpsu_cycles: u64,
+    /// Scan phases performed.
+    pub scans: u64,
+    /// Instructions streamed into instruction buffers by scans.
+    pub scan_instrs: u64,
+    /// xloop instances executed on the LPSU.
+    pub xloops_specialized: u64,
+    /// xloop pcs that fell back to traditional execution (scan rejected).
+    pub xloops_fallback: u64,
+    /// Adaptive decisions that chose the GPP.
+    pub adaptive_to_gpp: u64,
+    /// Adaptive decisions that chose the LPSU.
+    pub adaptive_to_lpsu: u64,
+    /// Total dynamic instructions (GPP + LPSU, squashed work excluded).
+    pub instret: u64,
+    /// Dynamic energy in nanojoules under the system's energy table.
+    pub energy_nj: f64,
+}
+
+impl SystemStats {
+    /// Builds the energy event set and totals from the raw component stats.
+    pub(crate) fn finalize(&mut self, table: &EnergyTable, is_ooo: bool) {
+        self.instret = self.gpp.instret + self.lpsu.instret;
+        self.energy_nj = self.events(is_ooo).energy_nj(table);
+    }
+
+    /// The energy event counts of this run.
+    pub fn events(&self, is_ooo: bool) -> EventCounts {
+        let gpp_events = EventCounts::from_gpp_mix(&self.gpp.mix, self.gpp.mispredicts, is_ooo);
+        let l = &self.lpsu;
+        let fetched = l.instret + l.squashed_instrs;
+        let lpsu_events = EventCounts {
+            ibuf_fetches: fetched,
+            alu_ops: fetched.saturating_sub(l.llfu_ops + l.mem_accesses + l.xi_ops),
+            llfu_ops: l.llfu_ops,
+            dcache_accesses: l.mem_accesses,
+            rf_reads: 2 * fetched,
+            rf_writes: fetched,
+            lsq_events: l.lsq_events,
+            xi_muls: l.xi_ops,
+            cir_transfers: l.cir_transfers,
+            scan_instrs: self.scan_instrs,
+            ..EventCounts::default()
+        };
+        gpp_events.add(&lpsu_events)
+    }
+
+    /// Instructions per cycle over the whole run.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instret as f64 / self.cycles as f64
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Tests of the statistics/energy plumbing and of the graceful-degradation
+//! paths: scan-rejected loops under specialized *and* adaptive execution,
+//! and the event accounting the Figure 8 energy study rests on.
+
+use xloops_asm::assemble;
+use xloops_sim::{ExecMode, System, SystemConfig};
+
+fn big_body_loop() -> String {
+    // A loop body larger than the 128-entry instruction buffer.
+    let mut src = String::from("li r2, 0\nli r3, 6\nbody:\n");
+    for _ in 0..140 {
+        src.push_str("addu r9, r9, r2\n");
+    }
+    src.push_str("addiu r2, r2, 1\nxloop.uc body, r2, r3\nsw r9, 0x100(r0)\nexit");
+    src
+}
+
+#[test]
+fn adaptive_marks_rejected_loops_traditional_and_completes() {
+    let p = assemble(&big_body_loop()).unwrap();
+    let mut sys = System::new(SystemConfig::io_x());
+    let stats = sys.run(&p, ExecMode::Adaptive).unwrap();
+    assert_eq!(stats.xloops_specialized, 0);
+    // The loop still produced its serial result.
+    let mut gold = System::new(SystemConfig::io());
+    gold.run(&p, ExecMode::Traditional).unwrap();
+    assert_eq!(sys.load_word(0x100), gold.load_word(0x100));
+}
+
+#[test]
+fn unsupported_instruction_in_body_falls_back() {
+    // A jr inside the body is not lane-executable: the scan must reject it
+    // and the system must still produce the correct serial result.
+    let src = "
+        li r2, 0
+        li r3, 4
+        jal setup
+        b start
+    setup:
+        jr ra
+    start:
+    body:
+        jal setup
+        addiu r2, r2, 1
+        xloop.uc body, r2, r3
+        sw r2, 0x100(r0)
+        exit";
+    let p = assemble(src).unwrap();
+    let mut sys = System::new(SystemConfig::io_x());
+    let stats = sys.run(&p, ExecMode::Specialized).unwrap();
+    assert_eq!(stats.xloops_fallback, 1);
+    assert_eq!(sys.load_word(0x100), 4);
+}
+
+#[test]
+fn event_counts_reflect_lpsu_work() {
+    let src = "
+        li r4, 0x1000
+        li r2, 0
+        li r3, 32
+    body:
+        addiu.xi r5, r5, 4
+        lw r6, 0(r5)
+        addiu r6, r6, 1
+        sw r6, 0(r5)
+        addiu r2, r2, 1
+        xloop.uc body, r2, r3
+        exit";
+    let p = assemble(src).unwrap();
+    let mut sys = System::new(SystemConfig::io_x());
+    // The xi pointer starts one step below the array.
+    for i in 0..32 {
+        sys.store_word(0x1000 + 4 * i, i);
+    }
+    // r5 starts at 0 → first xi gives 4; initialize the loop to read from
+    // 0x1000 by pre-setting memory there irrelevant; simpler: accept the
+    // addresses the xi produces (4, 8, …) — they are still valid memory.
+    let stats = sys.run(&p, ExecMode::Specialized).unwrap();
+    let ev = stats.events(false);
+    assert!(ev.ibuf_fetches > 0, "LPSU work fetches from instruction buffers");
+    assert!(ev.xi_muls >= 31, "one MIV computation per LPSU iteration");
+    assert!(ev.scan_instrs as usize >= 5, "scan streamed the body once");
+    assert!(ev.icache_fetches > 0, "prologue fetched from the I-cache");
+    // Energy accounting is strictly positive and additive.
+    assert!(stats.energy_nj > 0.0);
+    let doubled = ev.add(&ev);
+    assert_eq!(doubled.ibuf_fetches, 2 * ev.ibuf_fetches);
+}
+
+#[test]
+fn lpsu_cycles_are_within_total_cycles() {
+    let k = xloops_kernels::by_name("war-uc").expect("kernel exists");
+    let mut sys = System::new(SystemConfig::ooo2_x());
+    k.init_memory(sys.mem_mut());
+    let stats = sys.run(&k.program, ExecMode::Specialized).unwrap();
+    assert!(stats.lpsu_cycles > 0);
+    assert!(
+        stats.lpsu_cycles <= stats.cycles,
+        "specialized phases ({}) cannot exceed the run ({})",
+        stats.lpsu_cycles,
+        stats.cycles
+    );
+    assert!(stats.ipc() > 0.0);
+}
+
+#[test]
+fn repeated_runs_on_one_system_accumulate_state_but_stay_correct() {
+    // Warm hardware: second invocation reuses caches, predictor, and APT.
+    let k = xloops_kernels::by_name("huffman-ua").expect("kernel exists");
+    let mut sys = System::new(SystemConfig::ooo4_x());
+    k.init_memory(sys.mem_mut());
+    let first = sys.run(&k.program, ExecMode::Adaptive).unwrap();
+    k.verify(sys.mem()).unwrap();
+
+    // Re-init the dataset (the kernel accumulates into freq counters).
+    let mut sys2 = System::new(SystemConfig::ooo4_x());
+    k.init_memory(sys2.mem_mut());
+    sys2.run(&k.program, ExecMode::Adaptive).unwrap();
+    k.init_memory(sys2.mem_mut());
+    let warm = sys2.run(&k.program, ExecMode::Adaptive).unwrap();
+    k.verify(sys2.mem()).unwrap();
+    assert!(
+        warm.cycles <= first.cycles,
+        "a warm APT/predictor never slows the rerun ({} vs {})",
+        warm.cycles,
+        first.cycles
+    );
+}

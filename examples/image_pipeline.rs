@@ -1,0 +1,143 @@
+//! A two-stage image pipeline mixing dependence patterns.
+//!
+//! Stage 1 is colour-space conversion (`xloop.uc`, fully parallel); stage 2
+//! is error-diffusion dithering of the luminance-ish K channel
+//! (`xloop.or`, a serial error chain carried through a cross-iteration
+//! register). Both stages live in ONE binary with two xloops; the LPSU
+//! specializes each as it is reached, and the `or` stage demonstrates the
+//! CIR forwarding path.
+//!
+//! ```text
+//! cargo run --example image_pipeline --release
+//! ```
+
+use xloops::asm::assemble;
+use xloops::sim::{ExecMode, System, SystemConfig};
+
+const W: u32 = 64;
+const H: u32 = 16;
+const N: u32 = W * H;
+
+fn source() -> String {
+    format!(
+        "
+        li r4, 0x10000     # R plane
+        li r5, 0x11000     # G plane
+        li r6, 0x12000     # B plane
+        li r7, 0x13000     # K plane (stage 1 output)
+        li r2, 0
+        li r3, {N}
+    cmyk:
+        addu r11, r4, r2
+        lbu r12, 0(r11)
+        addu r11, r5, r2
+        lbu r13, 0(r11)
+        addu r11, r6, r2
+        lbu r14, 0(r11)
+        move r15, r12
+        bge r15, r13, m1
+        move r15, r13
+    m1:
+        bge r15, r14, m2
+        move r15, r14
+    m2:
+        li r16, 255
+        subu r17, r16, r15
+        addu r11, r7, r2
+        sb r17, 0(r11)
+        addiu r2, r2, 1
+        xloop.uc cmyk, r2, r3
+
+        # Stage 2: dither the K plane (error carried in r9, reset per row).
+        li r5, 0x14000     # dithered output
+        li r9, 0
+        li r2, 0
+        li r3, {N}
+    dith:
+        andi r11, r2, {wmask}
+        sltu r11, r0, r11
+        subu r11, r0, r11
+        and r9, r9, r11
+        addu r11, r7, r2
+        lbu r12, 0(r11)
+        addu r12, r12, r9
+        li r13, 0
+        li r14, 127
+        ble r12, r14, dark
+        li r13, 255
+    dark:
+        addu r15, r5, r2
+        sb r13, 0(r15)
+        beqz r13, keep
+        addiu r12, r12, -255
+    keep:
+        move r9, r12
+        addiu r2, r2, 1
+        xloop.or dith, r2, r3
+        exit",
+        wmask = W - 1
+    )
+}
+
+/// Host-side golden model of both stages.
+fn reference(r: &[u8], g: &[u8], b: &[u8]) -> (Vec<u8>, Vec<u8>) {
+    let k: Vec<u8> = (0..N as usize).map(|i| 255 - r[i].max(g[i]).max(b[i])).collect();
+    let mut out = vec![0u8; N as usize];
+    for y in 0..H as usize {
+        let mut err = 0i32;
+        for x in 0..W as usize {
+            let i = y * W as usize + x;
+            let v = k[i] as i32 + err;
+            if v > 127 {
+                out[i] = 255;
+                err = v - 255;
+            } else {
+                out[i] = 0;
+                err = v;
+            }
+        }
+    }
+    (k, out)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = assemble(&source())?;
+
+    // A synthetic gradient image with deterministic noise.
+    let pix = |i: u32, ch: u32| (((i * (3 + ch)) ^ (i >> 3)) % 256) as u8;
+    let r: Vec<u8> = (0..N).map(|i| pix(i, 0)).collect();
+    let g: Vec<u8> = (0..N).map(|i| pix(i, 1)).collect();
+    let b: Vec<u8> = (0..N).map(|i| pix(i, 2)).collect();
+    let (k_ref, out_ref) = reference(&r, &g, &b);
+
+    for (config, mode) in [
+        (SystemConfig::io(), ExecMode::Traditional),
+        (SystemConfig::io_x(), ExecMode::Specialized),
+        (SystemConfig::ooo4(), ExecMode::Traditional),
+        (SystemConfig::ooo4_x(), ExecMode::Adaptive),
+    ] {
+        let mut sys = System::new(config);
+        for i in 0..N {
+            sys.mem_mut().write_u8(0x10000 + i, r[i as usize]);
+            sys.mem_mut().write_u8(0x11000 + i, g[i as usize]);
+            sys.mem_mut().write_u8(0x12000 + i, b[i as usize]);
+        }
+        let stats = sys.run(&program, mode)?;
+        for i in 0..N {
+            assert_eq!(sys.mem().read_u8(0x13000 + i), k_ref[i as usize], "k[{i}]");
+            assert_eq!(sys.mem().read_u8(0x14000 + i), out_ref[i as usize], "out[{i}]");
+        }
+        println!(
+            "{:8} {:?}: {:>7} cycles, {:>2} xloops specialized, \
+             {:>4} CIR transfers, {:>8.1} nJ",
+            sys.config().name(),
+            mode,
+            stats.cycles,
+            stats.xloops_specialized,
+            stats.lpsu.cir_transfers,
+            stats.energy_nj,
+        );
+    }
+    println!("\nboth stages verified against the host-side golden model");
+    Ok(())
+}

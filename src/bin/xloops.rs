@@ -1,0 +1,29 @@
+//! The `xloops` command-line tool: assemble, disassemble, and simulate
+//! XLOOPS binaries, and run the bundled paper kernels. See `xloops help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match xloops::cli::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    match xloops::cli::execute(cmd) {
+        Ok((text, file)) => {
+            print!("{text}");
+            if let Some((path, bytes)) = file {
+                if let Err(e) = std::fs::write(&path, bytes) {
+                    eprintln!("error writing {path}: {e}");
+                    std::process::exit(1);
+                }
+                println!("wrote {path}");
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! Implementation of the `xloops` command-line tool (`src/bin/xloops.rs`).
+//!
+//! Subcommands:
+//!
+//! ```text
+//! xloops asm <file.s> [-o <file.bin>]        assemble to a binary image
+//! xloops disasm <file.bin>                   disassemble a binary image
+//! xloops run <file.s> [options]              assemble + simulate
+//! xloops kernels                             list the bundled paper kernels
+//! xloops kernel <name> [options]             run a bundled kernel and verify
+//!
+//! run/kernel options:
+//!   --config io|ooo2|ooo4|io+x|ooo2+x|ooo4+x   (default io+x)
+//!   --mode   traditional|specialized|adaptive  (default specialized)
+//!   --init   ADDR=VALUE    (repeatable; hex accepted)
+//!   --dump   ADDR:WORDS    print memory after the run
+//!   --trace  N             print the first N instructions (functional trace)
+//! ```
+//!
+//! The binary image format is the raw little-endian instruction words,
+//! starting at pc 0.
+
+use std::fmt::Write as _;
+
+use crate::asm::{assemble, disassemble, Program};
+use crate::kernels;
+use crate::sim::{ExecMode, System, SystemConfig};
+
+/// A parsed CLI invocation.
+#[derive(Debug)]
+pub enum Command {
+    Asm { source: String, out: Option<String> },
+    Disasm { image: Vec<u8> },
+    Run { source: String, opts: RunOptions },
+    Kernels,
+    Kernel { name: String, opts: RunOptions },
+    Help,
+}
+
+/// Options shared by `run` and `kernel`.
+#[derive(Debug)]
+pub struct RunOptions {
+    pub config: SystemConfig,
+    pub mode: ExecMode,
+    pub inits: Vec<(u32, u32)>,
+    pub dumps: Vec<(u32, u32)>,
+    /// Print the first N instructions of a functional trace (0 = off).
+    pub trace: u32,
+}
+
+impl Default for RunOptions {
+    fn default() -> RunOptions {
+        RunOptions {
+            config: SystemConfig::io_x(),
+            mode: ExecMode::Specialized,
+            inits: Vec::new(),
+            dumps: Vec::new(),
+            trace: 0,
+        }
+    }
+}
+
+/// Usage text.
+pub fn usage() -> &'static str {
+    "xloops — explicit loop specialization toolchain & simulator\n\n\
+     usage:\n\
+     \x20 xloops asm <file.s> [-o <file.bin>]\n\
+     \x20 xloops disasm <file.bin>\n\
+     \x20 xloops run <file.s> [--config C] [--mode M] [--init A=V]... [--dump A:N]... [--trace N]\n\
+     \x20 xloops kernels\n\
+     \x20 xloops kernel <name> [--config C] [--mode M]\n\n\
+     configs: io ooo2 ooo4 io+x ooo2+x ooo4+x   modes: traditional specialized adaptive\n"
+}
+
+fn parse_u32(s: &str) -> Result<u32, String> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16).map_err(|e| format!("bad number `{s}`: {e}"))
+    } else {
+        s.parse().map_err(|e| format!("bad number `{s}`: {e}"))
+    }
+}
+
+fn parse_config(s: &str) -> Result<SystemConfig, String> {
+    Ok(match s {
+        "io" => SystemConfig::io(),
+        "ooo2" | "ooo/2" => SystemConfig::ooo2(),
+        "ooo4" | "ooo/4" => SystemConfig::ooo4(),
+        "io+x" => SystemConfig::io_x(),
+        "ooo2+x" | "ooo/2+x" => SystemConfig::ooo2_x(),
+        "ooo4+x" | "ooo/4+x" => SystemConfig::ooo4_x(),
+        other => return Err(format!("unknown config `{other}`")),
+    })
+}
+
+fn parse_mode(s: &str) -> Result<ExecMode, String> {
+    Ok(match s {
+        "t" | "traditional" => ExecMode::Traditional,
+        "s" | "specialized" => ExecMode::Specialized,
+        "a" | "adaptive" => ExecMode::Adaptive,
+        other => return Err(format!("unknown mode `{other}`")),
+    })
+}
+
+fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
+    let mut opts = RunOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = |what: &str| {
+            it.next().cloned().ok_or_else(|| format!("{a} expects {what}"))
+        };
+        match a.as_str() {
+            "--config" => opts.config = parse_config(&next("a config name")?)?,
+            "--mode" => opts.mode = parse_mode(&next("a mode")?)?,
+            "--init" => {
+                let spec = next("ADDR=VALUE")?;
+                let (addr, value) =
+                    spec.split_once('=').ok_or_else(|| format!("bad --init `{spec}`"))?;
+                opts.inits.push((parse_u32(addr)?, parse_u32(value)?));
+            }
+            "--dump" => {
+                let spec = next("ADDR:WORDS")?;
+                let (addr, n) =
+                    spec.split_once(':').ok_or_else(|| format!("bad --dump `{spec}`"))?;
+                opts.dumps.push((parse_u32(addr)?, parse_u32(n)?));
+            }
+            "--trace" => opts.trace = parse_u32(&next("an instruction count")?)?,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Parses `argv[1..]` into a [`Command`]; file arguments are read here so
+/// [`execute`] is pure.
+///
+/// # Errors
+///
+/// Human-readable messages for unknown subcommands/options and I/O errors.
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let Some(sub) = args.first() else { return Ok(Command::Help) };
+    match sub.as_str() {
+        "asm" => {
+            let path = args.get(1).ok_or("asm expects a source file")?;
+            let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let out = match args.get(2).map(String::as_str) {
+                Some("-o") => Some(args.get(3).ok_or("-o expects a path")?.clone()),
+                Some(other) => return Err(format!("unknown option `{other}`")),
+                None => None,
+            };
+            Ok(Command::Asm { source, out })
+        }
+        "disasm" => {
+            let path = args.get(1).ok_or("disasm expects a binary file")?;
+            let image = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+            Ok(Command::Disasm { image })
+        }
+        "run" => {
+            let path = args.get(1).ok_or("run expects a source file")?;
+            let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            Ok(Command::Run { source, opts: parse_run_options(&args[2..])? })
+        }
+        "kernels" => Ok(Command::Kernels),
+        "kernel" => {
+            let name = args.get(1).ok_or("kernel expects a kernel name")?.clone();
+            Ok(Command::Kernel { name, opts: parse_run_options(&args[2..])? })
+        }
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(format!("unknown subcommand `{other}`\n\n{}", usage())),
+    }
+}
+
+/// Executes a command, returning the text to print (and optionally a file
+/// to write for `asm -o`).
+///
+/// # Errors
+///
+/// Assembly, simulation, and verification failures as readable strings.
+pub fn execute(cmd: Command) -> Result<(String, Option<(String, Vec<u8>)>), String> {
+    match cmd {
+        Command::Help => Ok((usage().to_string(), None)),
+        Command::Asm { source, out } => {
+            let program = assemble(&source).map_err(|e| e.to_string())?;
+            let words = program.to_words();
+            let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+            let mut text = String::new();
+            let _ = writeln!(text, "assembled {} instructions ({} bytes)", words.len(), bytes.len());
+            if out.is_none() {
+                for (i, w) in words.iter().enumerate() {
+                    let _ = writeln!(text, "{:#06x}: {w:08x}", i * 4);
+                }
+            }
+            Ok((text, out.map(|p| (p, bytes))))
+        }
+        Command::Disasm { image } => {
+            if image.len() % 4 != 0 {
+                return Err("binary image length is not a multiple of 4".into());
+            }
+            let words: Vec<u32> = image
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect();
+            let program = Program::from_words(&words)
+                .map_err(|i| format!("invalid instruction word at index {i}"))?;
+            Ok((disassemble(&program), None))
+        }
+        Command::Run { source, opts } => {
+            let program = assemble(&source).map_err(|e| e.to_string())?;
+            let mut trace_text = String::new();
+            if opts.trace > 0 {
+                let mut mem = crate::mem::Memory::new();
+                for &(addr, value) in &opts.inits {
+                    mem.write_u32(addr, value);
+                }
+                let mut cpu = crate::func::Interp::new();
+                let _ = writeln!(trace_text, "functional trace (first {}):", opts.trace);
+                for _ in 0..opts.trace {
+                    match crate::func::trace_step(&mut cpu, &program, &mut mem) {
+                        Ok((step, entry)) => {
+                            let _ = writeln!(trace_text, "  {entry}");
+                            if step == crate::func::Step::Exit {
+                                break;
+                            }
+                        }
+                        Err(e) => {
+                            let _ = writeln!(trace_text, "  <{e}>");
+                            break;
+                        }
+                    }
+                }
+                trace_text.push('\n');
+            }
+            let mut sys = System::new(opts.config);
+            for &(addr, value) in &opts.inits {
+                sys.store_word(addr, value);
+            }
+            let stats = sys.run(&program, opts.mode).map_err(|e| e.to_string())?;
+            let mut text = trace_text;
+            text.push_str(&report(&sys, &stats));
+            for &(addr, n) in &opts.dumps {
+                let _ = writeln!(text, "\nmemory at {addr:#x}:");
+                for i in 0..n {
+                    let _ = writeln!(text, "  {:#010x}: {:#010x}", addr + 4 * i, sys.load_word(addr + 4 * i));
+                }
+            }
+            Ok((text, None))
+        }
+        Command::Kernels => {
+            let mut text = String::from("Table II kernels:\n");
+            for k in kernels::table2() {
+                let _ = writeln!(text, "  {:14} [{}] {}", k.name, k.suite.tag(), k.patterns);
+            }
+            text.push_str("Table IV variants:\n");
+            for k in kernels::table4() {
+                let _ = writeln!(text, "  {:14} [{}] {}", k.name, k.suite.tag(), k.patterns);
+            }
+            Ok((text, None))
+        }
+        Command::Kernel { name, opts } => {
+            let kernel = kernels::by_name(&name)
+                .ok_or_else(|| format!("no kernel named `{name}` (try `xloops kernels`)"))?;
+            let mut sys = System::new(opts.config);
+            kernel.init_memory(sys.mem_mut());
+            let stats = sys.run(&kernel.program, opts.mode).map_err(|e| e.to_string())?;
+            kernel.verify(sys.mem()).map_err(|e| format!("verification FAILED: {e}"))?;
+            let mut text = format!("{name}: verified OK\n");
+            text.push_str(&report(&sys, &stats));
+            Ok((text, None))
+        }
+    }
+}
+
+fn report(sys: &System, stats: &crate::sim::SystemStats) -> String {
+    let mut t = String::new();
+    let _ = writeln!(t, "config           {}", sys.config().name());
+    let _ = writeln!(t, "cycles           {}", stats.cycles);
+    let _ = writeln!(t, "instructions     {} (IPC {:.2})", stats.instret, stats.ipc());
+    let _ = writeln!(t, "energy           {:.1} nJ", stats.energy_nj);
+    if stats.xloops_specialized > 0 || stats.xloops_fallback > 0 {
+        let _ = writeln!(
+            t,
+            "xloops           {} specialized, {} fell back",
+            stats.xloops_specialized, stats.xloops_fallback
+        );
+        let _ = writeln!(
+            t,
+            "lpsu             {} iterations, {} squashed, {} CIR transfers",
+            stats.lpsu.iterations, stats.lpsu.squashed_iters, stats.lpsu.cir_transfers
+        );
+    }
+    if stats.adaptive_to_gpp + stats.adaptive_to_lpsu > 0 {
+        let _ = writeln!(
+            t,
+            "adaptive         {} loops chose the LPSU, {} the GPP",
+            stats.adaptive_to_lpsu, stats.adaptive_to_gpp
+        );
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_configs_and_modes() {
+        let opts = parse_run_options(&sv(&[
+            "--config", "ooo4+x", "--mode", "adaptive", "--init", "0x100=7", "--dump", "0x100:2",
+        ]))
+        .unwrap();
+        assert_eq!(opts.config.name(), "ooo/4+x");
+        assert_eq!(opts.mode, ExecMode::Adaptive);
+        assert_eq!(opts.inits, vec![(0x100, 7)]);
+        assert_eq!(opts.dumps, vec![(0x100, 2)]);
+    }
+
+    #[test]
+    fn rejects_unknown_options() {
+        assert!(parse_run_options(&sv(&["--bogus"])).is_err());
+        assert!(parse_run_options(&sv(&["--config", "pentium"])).is_err());
+        assert!(parse(&sv(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn kernels_listing_names_everything() {
+        let (text, _) = execute(Command::Kernels).unwrap();
+        for k in kernels::table2() {
+            assert!(text.contains(k.name), "missing {}", k.name);
+        }
+    }
+
+    #[test]
+    fn run_command_executes_and_dumps() {
+        let source = "
+            li r1, 0x100
+            lw r2, 0(r1)
+            addiu r2, r2, 5
+            sw r2, 4(r1)
+            exit";
+        let mut opts = RunOptions { mode: ExecMode::Traditional, ..RunOptions::default() };
+        opts.config = SystemConfig::io();
+        opts.inits.push((0x100, 37));
+        opts.dumps.push((0x104, 1));
+        let (text, _) =
+            execute(Command::Run { source: source.into(), opts }).unwrap();
+        assert!(text.contains("0x0000002a"), "{text}"); // 37 + 5
+        assert!(text.contains("cycles"));
+    }
+
+    #[test]
+    fn kernel_command_verifies() {
+        let (text, _) = execute(Command::Kernel {
+            name: "huffman-ua".into(),
+            opts: RunOptions::default(),
+        })
+        .unwrap();
+        assert!(text.contains("verified OK"), "{text}");
+        assert!(text.contains("specialized"));
+    }
+
+    #[test]
+    fn trace_option_prints_instructions() {
+        let mut opts = RunOptions { mode: ExecMode::Traditional, ..RunOptions::default() };
+        opts.config = SystemConfig::io();
+        opts.trace = 3;
+        let (text, _) = execute(Command::Run {
+            source: "li r1, 9\n sw r1, 0(r0)\n exit".into(),
+            opts,
+        })
+        .unwrap();
+        assert!(text.contains("functional trace"), "{text}");
+        assert!(text.contains("r1 <- 0x9"), "{text}");
+        assert!(text.contains("[W 0x0]"), "{text}");
+    }
+
+    #[test]
+    fn asm_and_disasm_round_trip_via_cli() {
+        let source = "top: addiu r1, r1, 1\n bne r1, r2, top\n exit";
+        let (_, file) = execute(Command::Asm {
+            source: source.into(),
+            out: Some("x.bin".into()),
+        })
+        .unwrap();
+        let (path, bytes) = file.expect("asm -o produces a file");
+        assert_eq!(path, "x.bin");
+        let (text, _) = execute(Command::Disasm { image: bytes }).unwrap();
+        assert!(text.contains("addiu r1, r1, 1"), "{text}");
+    }
+}

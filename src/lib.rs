@@ -1,0 +1,70 @@
+//! # XLOOPS
+//!
+//! A vertically integrated, pure-Rust reproduction of *"Architectural
+//! Specialization for Inter-Iteration Loop Dependence Patterns"*
+//! (Srinath et al., MICRO 2014).
+//!
+//! XLOOPS encodes inter-iteration loop **data-dependence** patterns
+//! (unordered-concurrent, ordered-through-registers, ordered-through-memory,
+//! both, unordered-atomic) and **control-dependence** patterns (fixed vs
+//! dynamic bound) directly in the instruction set. The same binary runs on:
+//!
+//! * a **traditional** general-purpose processor (xloop ≈ conditional branch),
+//! * a **specialized** loop-pattern specialization unit (LPSU) with four
+//!   decoupled lanes, or
+//! * **adaptively**, with hardware migrating the loop to whichever is faster.
+//!
+//! This facade crate re-exports the whole stack. See `DESIGN.md` for the
+//! system inventory and `EXPERIMENTS.md` for the reproduced evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use xloops::asm::assemble;
+//! use xloops::sim::{System, SystemConfig, ExecMode};
+//!
+//! // Element-wise vector multiply: an unordered-concurrent xloop (Fig 1a).
+//! let src = r#"
+//!     li   r4, 0x2000     # a
+//!     li   r5, 0x2400     # b
+//!     li   r6, 0x2800     # c
+//!     li   r2, 0          # i = 0
+//!     li   r3, 64         # n
+//! loop:
+//!     sll  r7, r2, 2
+//!     addu r8, r4, r7
+//!     lw   r9, 0(r8)
+//!     addu r8, r5, r7
+//!     lw   r10, 0(r8)
+//!     mul  r9, r9, r10
+//!     addu r8, r6, r7
+//!     sw   r9, 0(r8)
+//!     addiu r2, r2, 1
+//!     xloop.uc loop, r2, r3
+//!     exit
+//! "#;
+//! let prog = assemble(src)?;
+//! let mut sys = System::new(SystemConfig::io_x());
+//! for i in 0..64u32 {
+//!     sys.store_word(0x2000 + 4 * i, i);
+//!     sys.store_word(0x2400 + 4 * i, 3);
+//! }
+//! let stats = sys.run(&prog, ExecMode::Specialized)?;
+//! assert_eq!(sys.load_word(0x2800), 0);
+//! assert_eq!(sys.load_word(0x2800 + 4 * 10), 30);
+//! assert!(stats.cycles > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod cli;
+
+pub use xloops_asm as asm;
+pub use xloops_compiler as compiler;
+pub use xloops_energy as energy;
+pub use xloops_func as func;
+pub use xloops_gpp as gpp;
+pub use xloops_isa as isa;
+pub use xloops_kernels as kernels;
+pub use xloops_lpsu as lpsu;
+pub use xloops_mem as mem;
+pub use xloops_sim as sim;

@@ -1,0 +1,150 @@
+//! Cross-model consistency: for every kernel, every engine (functional
+//! interpreter, in-order, both out-of-order widths, and the LPSU under
+//! multiple configurations) must leave the identical architectural memory
+//! image, and the timing relationships that the whole evaluation rests on
+//! must hold (specialized ≤ traditional on the in-order core for `uc`
+//! loops, wider out-of-order cores never slower, etc.).
+
+use xloops::func::Interp;
+use xloops::kernels::{by_name, table2};
+use xloops::lpsu::LpsuConfig;
+use xloops::mem::Memory;
+use xloops::sim::{ExecMode, System, SystemConfig};
+
+/// Reference memory image from the functional interpreter.
+fn golden(kernel: &xloops::kernels::Kernel) -> Memory {
+    kernel.run_functional().expect("functional run verifies")
+}
+
+/// Kernels whose results are execution-order-independent *and* serial
+/// under our deterministic engines (everything except the `uc` kernels
+/// with AMO races, whose verification is order-insensitive by design).
+fn word_exact(kernel: &xloops::kernels::Kernel) -> bool {
+    !matches!(kernel.name, "bfs-uc-db" | "qsort-uc-db")
+}
+
+#[test]
+fn every_engine_produces_the_golden_memory_image() {
+    for kernel in table2() {
+        let gold = golden(&kernel);
+        let configs = [
+            (SystemConfig::io(), ExecMode::Traditional),
+            (SystemConfig::ooo2(), ExecMode::Traditional),
+            (SystemConfig::ooo4(), ExecMode::Traditional),
+            (SystemConfig::io_x(), ExecMode::Specialized),
+        ];
+        for (config, mode) in configs {
+            let mut sys = System::new(config);
+            kernel.init_memory(sys.mem_mut());
+            sys.run(&kernel.program, mode).expect("runs");
+            kernel.verify(sys.mem()).unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+            if word_exact(&kernel) {
+                // Stronger than verify(): the *whole* touched image matches
+                // the functional model, not just the checked outputs.
+                for addr in (0x1000..0x7000u32).step_by(4) {
+                    assert_eq!(
+                        sys.load_word(addr),
+                        gold.read_u32(addr),
+                        "{} {:?} at {addr:#x}",
+                        kernel.name,
+                        mode
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn wider_ooo_cores_are_never_slower_traditionally() {
+    for kernel in table2() {
+        let mut cycles = Vec::new();
+        for config in [SystemConfig::io(), SystemConfig::ooo2(), SystemConfig::ooo4()] {
+            let mut sys = System::new(config);
+            kernel.init_memory(sys.mem_mut());
+            let stats = sys.run(&kernel.program, ExecMode::Traditional).expect("runs");
+            cycles.push(stats.cycles);
+        }
+        assert!(
+            cycles[1] <= cycles[0],
+            "{}: ooo/2 ({}) slower than io ({})",
+            kernel.name,
+            cycles[1],
+            cycles[0]
+        );
+        // ooo/4 vs ooo/2 can tie on serial chains but never regress much.
+        assert!(
+            cycles[2] as f64 <= cycles[1] as f64 * 1.02,
+            "{}: ooo/4 ({}) slower than ooo/2 ({})",
+            kernel.name,
+            cycles[2],
+            cycles[1]
+        );
+    }
+}
+
+#[test]
+fn specialization_always_helps_the_inorder_core() {
+    // The paper's headline claim for io+x, kernel by kernel.
+    for kernel in table2() {
+        let mut trad = System::new(SystemConfig::io());
+        kernel.init_memory(trad.mem_mut());
+        let t = trad.run(&kernel.program, ExecMode::Traditional).expect("runs").cycles;
+
+        let mut spec = System::new(SystemConfig::io_x());
+        kernel.init_memory(spec.mem_mut());
+        let s = spec.run(&kernel.program, ExecMode::Specialized).expect("runs").cycles;
+
+        assert!(s < t, "{}: specialized {s} not faster than traditional {t} on io", kernel.name);
+    }
+}
+
+#[test]
+fn lane_count_never_changes_results() {
+    for kernel in table2() {
+        if !word_exact(&kernel) {
+            continue;
+        }
+        let mut images: Vec<Vec<u32>> = Vec::new();
+        for lanes in [1, 2, 4, 8] {
+            let cfg = SystemConfig::io_x().with_lpsu(LpsuConfig::default4().with_lanes(lanes));
+            let mut sys = System::new(cfg);
+            kernel.init_memory(sys.mem_mut());
+            sys.run(&kernel.program, ExecMode::Specialized).expect("runs");
+            images.push((0x1000..0x7000u32).step_by(4).map(|a| sys.load_word(a)).collect());
+        }
+        for (i, img) in images.iter().enumerate().skip(1) {
+            assert_eq!(img, &images[0], "{}: lane count {} diverged", kernel.name, [1, 2, 4, 8][i]);
+        }
+    }
+}
+
+#[test]
+fn functional_interpreter_is_deterministic() {
+    let kernel = by_name("viterbi-uc").expect("kernel exists");
+    let run = || {
+        let mut mem = Memory::new();
+        kernel.init_memory(&mut mem);
+        let mut cpu = Interp::new();
+        let stats = cpu.run(&kernel.program, &mut mem, 100_000_000).expect("runs");
+        (stats.instret, mem.read_u32(0x1600))
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn energy_scales_with_work_not_configuration_luck() {
+    // Same kernel, same engine: more lanes never changes total LPSU
+    // instructions retired (work conservation), only timing.
+    let kernel = by_name("rgb2cmyk-uc").expect("kernel exists");
+    let mut instret = Vec::new();
+    for lanes in [2, 4, 8] {
+        let cfg = SystemConfig::io_x().with_lpsu(LpsuConfig::default4().with_lanes(lanes));
+        let mut sys = System::new(cfg);
+        kernel.init_memory(sys.mem_mut());
+        let stats = sys.run(&kernel.program, ExecMode::Specialized).expect("runs");
+        instret.push(stats.lpsu.instret);
+    }
+    assert_eq!(instret[0], instret[1]);
+    assert_eq!(instret[1], instret[2]);
+}

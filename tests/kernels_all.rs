@@ -1,0 +1,119 @@
+//! Full-matrix integration tests: every Table II / Table IV kernel, on
+//! every GPP class, in every execution mode, verified against the golden
+//! references. This is the repository's core correctness claim: the same
+//! XLOOPS binary produces identical (serial-equivalent) results whether it
+//! runs traditionally, specialized on the LPSU, or adaptively.
+
+use xloops::kernels::{table2, table4, Kernel};
+use xloops::sim::{ExecMode, System, SystemConfig};
+
+fn run_one(kernel: &Kernel, config: SystemConfig, mode: ExecMode) {
+    let mut sys = System::new(config);
+    kernel.init_memory(sys.mem_mut());
+    let stats = sys
+        .run(&kernel.program, mode)
+        .unwrap_or_else(|e| panic!("{} on {} ({mode:?}): {e}", kernel.name, sys.config().name()));
+    kernel.verify(sys.mem()).unwrap_or_else(|e| {
+        panic!("{} on {} ({mode:?}): {e}", kernel.name, sys.config().name())
+    });
+    assert!(stats.cycles > 0);
+}
+
+fn run_mode(kernels: &[Kernel], config: SystemConfig, mode: ExecMode) {
+    for k in kernels {
+        run_one(k, config, mode);
+    }
+}
+
+#[test]
+fn table2_traditional_io() {
+    run_mode(&table2(), SystemConfig::io(), ExecMode::Traditional);
+}
+
+#[test]
+fn table2_traditional_ooo2() {
+    run_mode(&table2(), SystemConfig::ooo2(), ExecMode::Traditional);
+}
+
+#[test]
+fn table2_traditional_ooo4() {
+    run_mode(&table2(), SystemConfig::ooo4(), ExecMode::Traditional);
+}
+
+#[test]
+fn table2_specialized_io_x() {
+    run_mode(&table2(), SystemConfig::io_x(), ExecMode::Specialized);
+}
+
+#[test]
+fn table2_specialized_ooo2_x() {
+    run_mode(&table2(), SystemConfig::ooo2_x(), ExecMode::Specialized);
+}
+
+#[test]
+fn table2_specialized_ooo4_x() {
+    run_mode(&table2(), SystemConfig::ooo4_x(), ExecMode::Specialized);
+}
+
+#[test]
+fn table2_adaptive_io_x() {
+    run_mode(&table2(), SystemConfig::io_x(), ExecMode::Adaptive);
+}
+
+#[test]
+fn table2_adaptive_ooo4_x() {
+    run_mode(&table2(), SystemConfig::ooo4_x(), ExecMode::Adaptive);
+}
+
+#[test]
+fn table4_variants_all_modes() {
+    let kernels = table4();
+    run_mode(&kernels, SystemConfig::io(), ExecMode::Traditional);
+    run_mode(&kernels, SystemConfig::io_x(), ExecMode::Specialized);
+    run_mode(&kernels, SystemConfig::ooo2_x(), ExecMode::Specialized);
+    run_mode(&kernels, SystemConfig::ooo4_x(), ExecMode::Adaptive);
+}
+
+#[test]
+fn specialized_runs_actually_use_the_lpsu() {
+    // Guard against silently falling back to traditional execution: each
+    // Table II kernel must specialize at least one xloop instance.
+    for k in table2() {
+        let mut sys = System::new(SystemConfig::io_x());
+        k.init_memory(sys.mem_mut());
+        let stats = sys.run(&k.program, ExecMode::Specialized).expect("runs");
+        assert!(
+            stats.xloops_specialized > 0,
+            "{} never reached the LPSU (fallbacks: {})",
+            k.name,
+            stats.xloops_fallback
+        );
+        assert!(stats.lpsu.iterations > 0, "{} committed no LPSU iterations", k.name);
+    }
+}
+
+#[test]
+fn design_space_configs_stay_correct() {
+    // Figure 9's LPSU variants must not change results, only timing.
+    use xloops::lpsu::LpsuConfig;
+    let variants = [
+        LpsuConfig::default4().with_multithreading(),
+        LpsuConfig::default4().with_lanes(8),
+        LpsuConfig::default4().with_lanes(8).with_double_resources(),
+        LpsuConfig::default4().with_lanes(8).with_double_resources().with_big_lsq(),
+        LpsuConfig::default4().with_lanes(2),
+    ];
+    for k in table2() {
+        for lpsu in variants {
+            let mut sys = System::new(SystemConfig::ooo4_x().with_lpsu(lpsu));
+            k.init_memory(sys.mem_mut());
+            sys.run(&k.program, ExecMode::Specialized)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", k.name, lpsu.name()));
+            kverify(&k, &sys, &lpsu.name());
+        }
+    }
+}
+
+fn kverify(k: &Kernel, sys: &System, tag: &str) {
+    k.verify(sys.mem()).unwrap_or_else(|e| panic!("{} on {tag}: {e}", k.name));
+}
