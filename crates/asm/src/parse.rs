@@ -102,11 +102,8 @@ fn split_stmt<'a>(stmt: &Stmt<'a>) -> Result<(&'a str, Vec<&'a str>), AsmError> 
         Some(pos) => (&text[..pos], text[pos..].trim()),
         None => (text, ""),
     };
-    let ops: Vec<&str> = if rest.is_empty() {
-        Vec::new()
-    } else {
-        rest.split(',').map(str::trim).collect()
-    };
+    let ops: Vec<&str> =
+        if rest.is_empty() { Vec::new() } else { rest.split(',').map(str::trim).collect() };
     if ops.iter().any(|o| o.is_empty()) {
         return Err(AsmError::new(stmt.line, format!("malformed operand list in `{text}`")));
     }
@@ -257,12 +254,7 @@ fn emit(
                 if imm & 0xFFFF == 0 && imm != 0 {
                     out.push(Instr::Lui { rd, imm: (imm >> 16) as u16 });
                 } else {
-                    out.push(Instr::AluImm {
-                        op: AluOp::Addu,
-                        rd,
-                        rs: Reg::ZERO,
-                        imm: imm as i16,
-                    });
+                    out.push(Instr::AluImm { op: AluOp::Addu, rd, rs: Reg::ZERO, imm: imm as i16 });
                 }
             } else {
                 out.push(Instr::Lui { rd, imm: (imm >> 16) as u16 });
@@ -271,15 +263,30 @@ fn emit(
         }
         "move" => {
             expect_ops(stmt, &ops, 2)?;
-            out.push(Instr::Alu { op: AluOp::Addu, rd: reg(&ops[0])?, rs: reg(&ops[1])?, rt: Reg::ZERO });
+            out.push(Instr::Alu {
+                op: AluOp::Addu,
+                rd: reg(&ops[0])?,
+                rs: reg(&ops[1])?,
+                rt: Reg::ZERO,
+            });
         }
         "neg" => {
             expect_ops(stmt, &ops, 2)?;
-            out.push(Instr::Alu { op: AluOp::Subu, rd: reg(&ops[0])?, rs: Reg::ZERO, rt: reg(&ops[1])? });
+            out.push(Instr::Alu {
+                op: AluOp::Subu,
+                rd: reg(&ops[0])?,
+                rs: Reg::ZERO,
+                rt: reg(&ops[1])?,
+            });
         }
         "not" => {
             expect_ops(stmt, &ops, 2)?;
-            out.push(Instr::Alu { op: AluOp::Nor, rd: reg(&ops[0])?, rs: reg(&ops[1])?, rt: Reg::ZERO });
+            out.push(Instr::Alu {
+                op: AluOp::Nor,
+                rd: reg(&ops[0])?,
+                rs: reg(&ops[1])?,
+                rt: Reg::ZERO,
+            });
         }
         "b" => {
             expect_ops(stmt, &ops, 1)?;
@@ -363,7 +370,12 @@ fn emit(
         _ => {
             if let Some(op) = alu_reg_op(mnemonic) {
                 expect_ops(stmt, &ops, 3)?;
-                out.push(Instr::Alu { op, rd: reg(&ops[0])?, rs: reg(&ops[1])?, rt: reg(&ops[2])? });
+                out.push(Instr::Alu {
+                    op,
+                    rd: reg(&ops[0])?,
+                    rs: reg(&ops[1])?,
+                    rt: reg(&ops[2])?,
+                });
             } else if let Some(op) = alu_imm_op(mnemonic) {
                 expect_ops(stmt, &ops, 3)?;
                 out.push(Instr::AluImm {
@@ -374,10 +386,20 @@ fn emit(
                 });
             } else if let Some(op) = llfu_op(mnemonic) {
                 expect_ops(stmt, &ops, 3)?;
-                out.push(Instr::Llfu { op, rd: reg(&ops[0])?, rs: reg(&ops[1])?, rt: reg(&ops[2])? });
+                out.push(Instr::Llfu {
+                    op,
+                    rd: reg(&ops[0])?,
+                    rs: reg(&ops[1])?,
+                    rt: reg(&ops[2])?,
+                });
             } else if let Some(op) = amo_op(mnemonic) {
                 expect_ops(stmt, &ops, 3)?;
-                out.push(Instr::Amo { op, rd: reg(&ops[0])?, addr: reg(&ops[1])?, src: reg(&ops[2])? });
+                out.push(Instr::Amo {
+                    op,
+                    rd: reg(&ops[0])?,
+                    addr: reg(&ops[1])?,
+                    src: reg(&ops[2])?,
+                });
             } else if let Some(op) = mem_op(mnemonic) {
                 expect_ops(stmt, &ops, 2)?;
                 let (offset, base) = parse_mem_operand(line, ops[1])?;
@@ -418,7 +440,12 @@ mod tests {
         assert_eq!(p.label("top"), Some(12));
         assert_eq!(
             p.fetch(16),
-            Some(Instr::Branch { cond: BranchCond::Ne, rs: Reg::new(1), rt: Reg::ZERO, offset: -1 })
+            Some(Instr::Branch {
+                cond: BranchCond::Ne,
+                rs: Reg::new(1),
+                rt: Reg::ZERO,
+                offset: -1
+            })
         );
     }
 
@@ -426,10 +453,16 @@ mod tests {
     fn li_expansion_forms() {
         let p = assemble("li r1, 5\nli r2, -5\nli r3, 0x10000\nli r4, 0x12345\nexit").unwrap();
         assert_eq!(p.len(), 1 + 1 + 1 + 2 + 1);
-        assert_eq!(p.fetch(0), Some(Instr::AluImm { op: AluOp::Addu, rd: Reg::new(1), rs: Reg::ZERO, imm: 5 }));
+        assert_eq!(
+            p.fetch(0),
+            Some(Instr::AluImm { op: AluOp::Addu, rd: Reg::new(1), rs: Reg::ZERO, imm: 5 })
+        );
         assert_eq!(p.fetch(8), Some(Instr::Lui { rd: Reg::new(3), imm: 1 }));
         assert_eq!(p.fetch(12), Some(Instr::Lui { rd: Reg::new(4), imm: 1 }));
-        assert_eq!(p.fetch(16), Some(Instr::AluImm { op: AluOp::Or, rd: Reg::new(4), rs: Reg::new(4), imm: 0x2345 }));
+        assert_eq!(
+            p.fetch(16),
+            Some(Instr::AluImm { op: AluOp::Or, rd: Reg::new(4), rs: Reg::new(4), imm: 0x2345 })
+        );
     }
 
     #[test]
@@ -465,23 +498,64 @@ mod tests {
     #[test]
     fn mem_operands() {
         let p = assemble("lw r1, 8(r2)\nsw r1, -4(r3)\nlb r4, (r5)\nexit").unwrap();
-        assert_eq!(p.fetch(0), Some(Instr::Mem { op: MemOp::Lw, data: Reg::new(1), base: Reg::new(2), offset: 8 }));
-        assert_eq!(p.fetch(4), Some(Instr::Mem { op: MemOp::Sw, data: Reg::new(1), base: Reg::new(3), offset: -4 }));
-        assert_eq!(p.fetch(8), Some(Instr::Mem { op: MemOp::Lb, data: Reg::new(4), base: Reg::new(5), offset: 0 }));
+        assert_eq!(
+            p.fetch(0),
+            Some(Instr::Mem { op: MemOp::Lw, data: Reg::new(1), base: Reg::new(2), offset: 8 })
+        );
+        assert_eq!(
+            p.fetch(4),
+            Some(Instr::Mem { op: MemOp::Sw, data: Reg::new(1), base: Reg::new(3), offset: -4 })
+        );
+        assert_eq!(
+            p.fetch(8),
+            Some(Instr::Mem { op: MemOp::Lb, data: Reg::new(4), base: Reg::new(5), offset: 0 })
+        );
     }
 
     #[test]
     fn amo_paren_syntax() {
         let p = assemble("amo.add r1, (r2), r3\namo.xchg r4, r5, r6\nexit").unwrap();
-        assert_eq!(p.fetch(0), Some(Instr::Amo { op: AmoOp::Add, rd: Reg::new(1), addr: Reg::new(2), src: Reg::new(3) }));
-        assert_eq!(p.fetch(4), Some(Instr::Amo { op: AmoOp::Xchg, rd: Reg::new(4), addr: Reg::new(5), src: Reg::new(6) }));
+        assert_eq!(
+            p.fetch(0),
+            Some(Instr::Amo {
+                op: AmoOp::Add,
+                rd: Reg::new(1),
+                addr: Reg::new(2),
+                src: Reg::new(3)
+            })
+        );
+        assert_eq!(
+            p.fetch(4),
+            Some(Instr::Amo {
+                op: AmoOp::Xchg,
+                rd: Reg::new(4),
+                addr: Reg::new(5),
+                src: Reg::new(6)
+            })
+        );
     }
 
     #[test]
     fn reversed_branch_pseudos() {
         let p = assemble("top: bgt r1, r2, top\nble r1, r2, top\nexit").unwrap();
-        assert_eq!(p.fetch(0), Some(Instr::Branch { cond: BranchCond::Lt, rs: Reg::new(2), rt: Reg::new(1), offset: 0 }));
-        assert_eq!(p.fetch(4), Some(Instr::Branch { cond: BranchCond::Ge, rs: Reg::new(2), rt: Reg::new(1), offset: -1 }));
+        assert_eq!(
+            p.fetch(0),
+            Some(Instr::Branch {
+                cond: BranchCond::Lt,
+                rs: Reg::new(2),
+                rt: Reg::new(1),
+                offset: 0
+            })
+        );
+        assert_eq!(
+            p.fetch(4),
+            Some(Instr::Branch {
+                cond: BranchCond::Ge,
+                rs: Reg::new(2),
+                rt: Reg::new(1),
+                offset: -1
+            })
+        );
     }
 
     #[test]
@@ -521,12 +595,18 @@ mod tests {
         assert_eq!(p.fetch(0), Some(Instr::Jump { link: false, target_word: 0 }));
         assert_eq!(p.fetch(4), Some(Instr::Jump { link: true, target_word: 0 }));
         assert_eq!(p.fetch(8), Some(Instr::JumpReg { link: false, rd: Reg::ZERO, rs: Reg::RA }));
-        assert_eq!(p.fetch(12), Some(Instr::JumpReg { link: true, rd: Reg::new(5), rs: Reg::new(6) }));
+        assert_eq!(
+            p.fetch(12),
+            Some(Instr::JumpReg { link: true, rd: Reg::new(5), rs: Reg::new(6) })
+        );
     }
 
     #[test]
     fn ori_accepts_unsigned_16bit() {
         let p = assemble("ori r1, r1, 0xFFFF\nexit").unwrap();
-        assert_eq!(p.fetch(0), Some(Instr::AluImm { op: AluOp::Or, rd: Reg::new(1), rs: Reg::new(1), imm: -1 }));
+        assert_eq!(
+            p.fetch(0),
+            Some(Instr::AluImm { op: AluOp::Or, rd: Reg::new(1), rs: Reg::new(1), imm: -1 })
+        );
     }
 }

@@ -44,9 +44,7 @@ fn materialize(slots: &[Slot]) -> Program {
         .iter()
         .enumerate()
         .map(|(i, s)| match *s {
-            Slot::Alu(a, b, c) => {
-                Instr::Alu { op: AluOp::Xor, rd: r(a), rs: r(b), rt: r(c) }
-            }
+            Slot::Alu(a, b, c) => Instr::Alu { op: AluOp::Xor, rd: r(a), rs: r(b), rt: r(c) },
             Slot::AluImm(a, b, imm) => Instr::AluImm { op: AluOp::Addu, rd: r(a), rs: r(b), imm },
             Slot::Load(a, b, offset) => {
                 Instr::Mem { op: MemOp::Lw, data: r(a), base: r(b), offset }
@@ -63,9 +61,7 @@ fn materialize(slots: &[Slot]) -> Program {
                     offset: (target - i as i64) as i16,
                 }
             }
-            Slot::Jump(link, t) => {
-                Instr::Jump { link, target_word: (t as u32) % len as u32 }
-            }
+            Slot::Jump(link, t) => Instr::Jump { link, target_word: (t as u32) % len as u32 },
             Slot::Xloop(idx, bound, back) => {
                 let body_offset = 1 + (back as u16 % i.max(1) as u16).min(i as u16 - 1);
                 Instr::Xloop {

@@ -1,4 +1,5 @@
 //! Ablation study of DESIGN.md's called-out LPSU design choices.
 fn main() {
-    xloops_bench::emit("ablation", &xloops_bench::experiments::ablation_report());
+    let report = xloops_bench::render_artifact(xloops_bench::experiments::ablation_report);
+    xloops_bench::emit("ablation", &report);
 }

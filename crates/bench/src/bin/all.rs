@@ -1,7 +1,61 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //! Run with --release; artifacts land in `results/`.
+//!
+//! Reports share one memoized run cache: pass 1 collects the unique
+//! simulation points, which then execute exactly once each — fanned out
+//! over all hardware threads, or serially with `XLOOPS_BENCH_SERIAL=1`
+//! (byte-identical artifacts either way) — before pass 2 renders from the
+//! warm cache. Wall-clock timing per phase and per artifact, plus cache
+//! statistics, are printed at the end.
+
+use std::time::Instant;
+
+use xloops_bench::experiments::report_fns;
+use xloops_bench::{emit, Runner};
+
 fn main() {
-    for (name, report) in xloops_bench::experiments::all_reports() {
-        xloops_bench::emit(name, &report);
+    let total = Instant::now();
+    let reports = report_fns();
+
+    let t = Instant::now();
+    let runner = Runner::collecting();
+    for (_, f) in &reports {
+        let _ = f(&runner);
     }
+    let collect_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let info = runner.prefill();
+    let simulate_s = t.elapsed().as_secs_f64();
+
+    let mut timings = Vec::new();
+    for (name, f) in &reports {
+        let t = Instant::now();
+        let report = f(&runner);
+        emit(name, &report);
+        timings.push((*name, t.elapsed().as_secs_f64()));
+    }
+
+    let stats = runner.cache_stats();
+    assert_eq!(
+        stats.sims as usize, info.unique_points,
+        "every unique (kernel, config, mode) point must simulate exactly once"
+    );
+    assert_eq!(stats.lookups, stats.hits, "the render pass must be fully cache-served");
+
+    println!("[time] collect jobs   {collect_s:8.3} s");
+    println!(
+        "[time] simulate       {simulate_s:8.3} s  ({} unique points, {} worker thread(s){})",
+        info.unique_points,
+        info.workers,
+        if info.serial { ", serial" } else { "" },
+    );
+    for (name, s) in &timings {
+        println!("[time] render {name:<8}{s:8.3} s");
+    }
+    println!("[time] total          {:8.3} s", total.elapsed().as_secs_f64());
+    println!(
+        "[cache] {} lookups, {} hits, {} simulations — each unique point simulated exactly once",
+        stats.lookups, stats.hits, stats.sims
+    );
 }

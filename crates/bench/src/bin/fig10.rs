@@ -1,4 +1,5 @@
 //! Regenerates the paper's fig10 artifact. Run with --release.
 fn main() {
-    xloops_bench::emit("fig10", &xloops_bench::experiments::fig10_report());
+    let report = xloops_bench::render_artifact(xloops_bench::experiments::fig10_report);
+    xloops_bench::emit("fig10", &report);
 }

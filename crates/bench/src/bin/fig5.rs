@@ -1,4 +1,5 @@
 //! Regenerates the paper's fig5 artifact. Run with --release.
 fn main() {
-    xloops_bench::emit("fig5", &xloops_bench::experiments::fig5_report());
+    let report = xloops_bench::render_artifact(xloops_bench::experiments::fig5_report);
+    xloops_bench::emit("fig5", &report);
 }

@@ -1,4 +1,5 @@
 //! Regenerates the paper's fig6 artifact. Run with --release.
 fn main() {
-    xloops_bench::emit("fig6", &xloops_bench::experiments::fig6_report());
+    let report = xloops_bench::render_artifact(xloops_bench::experiments::fig6_report);
+    xloops_bench::emit("fig6", &report);
 }

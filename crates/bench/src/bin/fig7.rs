@@ -1,4 +1,5 @@
 //! Regenerates the paper's fig7 artifact. Run with --release.
 fn main() {
-    xloops_bench::emit("fig7", &xloops_bench::experiments::fig7_report());
+    let report = xloops_bench::render_artifact(xloops_bench::experiments::fig7_report);
+    xloops_bench::emit("fig7", &report);
 }

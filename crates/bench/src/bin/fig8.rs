@@ -1,4 +1,5 @@
 //! Regenerates the paper's fig8 artifact. Run with --release.
 fn main() {
-    xloops_bench::emit("fig8", &xloops_bench::experiments::fig8_report());
+    let report = xloops_bench::render_artifact(xloops_bench::experiments::fig8_report);
+    xloops_bench::emit("fig8", &report);
 }

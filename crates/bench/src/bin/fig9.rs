@@ -1,4 +1,5 @@
 //! Regenerates the paper's fig9 artifact. Run with --release.
 fn main() {
-    xloops_bench::emit("fig9", &xloops_bench::experiments::fig9_report());
+    let report = xloops_bench::render_artifact(xloops_bench::experiments::fig9_report);
+    xloops_bench::emit("fig9", &report);
 }

@@ -1,4 +1,5 @@
 //! Regenerates the paper's table2 artifact. Run with --release.
 fn main() {
-    xloops_bench::emit("table2", &xloops_bench::experiments::table2_report());
+    let report = xloops_bench::render_artifact(xloops_bench::experiments::table2_report);
+    xloops_bench::emit("table2", &report);
 }

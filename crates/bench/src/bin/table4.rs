@@ -1,4 +1,5 @@
 //! Regenerates the paper's table4 artifact. Run with --release.
 fn main() {
-    xloops_bench::emit("table4", &xloops_bench::experiments::table4_report());
+    let report = xloops_bench::render_artifact(xloops_bench::experiments::table4_report);
+    xloops_bench::emit("table4", &report);
 }

@@ -1,4 +1,5 @@
 //! Regenerates the paper's table5 artifact. Run with --release.
 fn main() {
-    xloops_bench::emit("table5", &xloops_bench::experiments::table5_report());
+    let report = xloops_bench::render_artifact(xloops_bench::experiments::table5_report);
+    xloops_bench::emit("table5", &report);
 }

@@ -1,12 +1,16 @@
-//! One function per paper artifact. Each returns the rendered text table;
-//! the `src/bin/*` entry points print it and write `results/<name>.txt`.
+//! One function per paper artifact. Each takes the memoizing
+//! [`Runner`] and returns the rendered text table; the `src/bin/*` entry
+//! points drive the two-pass collect/execute/render protocol (see
+//! [`crate::runner`]) and write `results/<name>.txt`.
 
-use xloops_energy::{gpp_area_mm2, lpsu_area_mm2, lpsu_cycle_time_ns, scalar_cycle_time_ns, EnergyTable};
-use xloops_kernels::{by_name, table2, table4, Kernel};
+use xloops_energy::{
+    gpp_area_mm2, lpsu_area_mm2, lpsu_cycle_time_ns, scalar_cycle_time_ns, EnergyTable,
+};
+use xloops_kernels::{by_name, table2, table4};
 use xloops_lpsu::LpsuConfig;
 use xloops_sim::{ExecMode, SystemConfig};
 
-use crate::{energy_efficiency, f2, run_gp_baseline, run_kernel, speedup, RunResult, TextTable};
+use crate::{energy_efficiency, f2, speedup, Runner, TextTable};
 
 fn gpp_triples() -> [(SystemConfig, SystemConfig); 3] {
     [
@@ -18,14 +22,15 @@ fn gpp_triples() -> [(SystemConfig, SystemConfig); 3] {
 
 /// Table II: dynamic instruction counts, X/G ratio, and T/S/A speedups on
 /// all three GPP classes.
-pub fn table2_report() -> String {
+pub fn table2_report(r: &Runner) -> String {
     let mut t = TextTable::new(&[
         "name", "suite", "type", "GPI", "X/G", "io:T", "io:S", "io:A", "ooo2:T", "ooo2:S",
         "ooo2:A", "ooo4:T", "ooo4:S", "ooo4:A",
     ]);
+    let triples = gpp_triples();
     for k in table2() {
-        let gp_io = run_gp_baseline(&k, SystemConfig::io());
-        let x_io_t = run_kernel(&k, SystemConfig::io(), ExecMode::Traditional);
+        let gp_io = r.baseline(k, SystemConfig::io());
+        let x_io_t = r.run(k, SystemConfig::io(), ExecMode::Traditional);
         let xg = x_io_t.stats.instret as f64 / gp_io.stats.instret.max(1) as f64;
         let mut cells = vec![
             k.name.to_string(),
@@ -34,11 +39,11 @@ pub fn table2_report() -> String {
             format_insns(gp_io.stats.instret),
             f2(xg),
         ];
-        for (base_cfg, x_cfg) in gpp_triples() {
-            let base = run_gp_baseline(&k, base_cfg);
-            let t_run = run_kernel(&k, base_cfg, ExecMode::Traditional);
-            let s_run = run_kernel(&k, x_cfg, ExecMode::Specialized);
-            let a_run = run_kernel(&k, x_cfg, ExecMode::Adaptive);
+        for (base_cfg, x_cfg) in &triples {
+            let base = r.baseline(k, *base_cfg);
+            let t_run = r.run(k, *base_cfg, ExecMode::Traditional);
+            let s_run = r.run(k, *x_cfg, ExecMode::Specialized);
+            let a_run = r.run(k, *x_cfg, ExecMode::Adaptive);
             cells.push(f2(speedup(&base, &t_run)));
             cells.push(f2(speedup(&base, &s_run)));
             cells.push(f2(speedup(&base, &a_run)));
@@ -62,16 +67,17 @@ fn format_insns(n: u64) -> String {
 
 /// Figure 5: specialized-execution speedup against the out-of-order
 /// baselines (bar-chart data with ASCII bars).
-pub fn fig5_report() -> String {
+pub fn fig5_report(r: &Runner) -> String {
     let mut out = String::from(
         "Figure 5: specialized execution vs out-of-order baselines\n\
          (each bar: kernel speedup of S on ooo/N+x over GP-ISA on ooo/N)\n\n",
     );
-    for (base_cfg, x_cfg) in [&gpp_triples()[1], &gpp_triples()[2]] {
+    let triples = gpp_triples();
+    for (base_cfg, x_cfg) in [&triples[1], &triples[2]] {
         out.push_str(&format!("--- vs {} ---\n", base_cfg.name()));
         for k in table2() {
-            let base = run_gp_baseline(&k, *base_cfg);
-            let s_run = run_kernel(&k, *x_cfg, ExecMode::Specialized);
+            let base = r.baseline(k, *base_cfg);
+            let s_run = r.run(k, *x_cfg, ExecMode::Specialized);
             let sp = speedup(&base, &s_run);
             let bar = "#".repeat((sp * 10.0).round().min(60.0) as usize);
             out.push_str(&format!("{:14} {:5.2} {bar}\n", k.name, sp));
@@ -82,12 +88,12 @@ pub fn fig5_report() -> String {
 }
 
 /// Figure 6: breakdown of lane-cycles during specialized execution.
-pub fn fig6_report() -> String {
+pub fn fig6_report(r: &Runner) -> String {
     let mut t = TextTable::new(&[
         "name", "exec%", "raw%", "mem%", "llfu%", "cir%", "lsq%", "squash%", "idle%", "squashes",
     ]);
     for k in table2() {
-        let run = run_kernel(&k, SystemConfig::ooo2_x(), ExecMode::Specialized);
+        let run = r.run(k, SystemConfig::ooo2_x(), ExecMode::Specialized);
         let l = run.stats.lpsu;
         let total = l.lane_cycles().max(1) as f64;
         let pct = |x: u64| format!("{:.1}", 100.0 * x as f64 / total);
@@ -112,12 +118,12 @@ pub fn fig6_report() -> String {
 }
 
 /// Figure 7: specialized vs adaptive execution on ooo/4+x.
-pub fn fig7_report() -> String {
+pub fn fig7_report(r: &Runner) -> String {
     let mut t = TextTable::new(&["name", "S", "A", "chose"]);
     for k in table2() {
-        let base = run_gp_baseline(&k, SystemConfig::ooo4());
-        let s_run = run_kernel(&k, SystemConfig::ooo4_x(), ExecMode::Specialized);
-        let a_run = run_kernel(&k, SystemConfig::ooo4_x(), ExecMode::Adaptive);
+        let base = r.baseline(k, SystemConfig::ooo4());
+        let s_run = r.run(k, SystemConfig::ooo4_x(), ExecMode::Specialized);
+        let a_run = r.run(k, SystemConfig::ooo4_x(), ExecMode::Adaptive);
         let chose = if a_run.stats.adaptive_to_gpp > 0 { "gpp" } else { "lpsu" };
         t.row(vec![
             k.name.to_string(),
@@ -135,7 +141,7 @@ pub fn fig7_report() -> String {
 
 /// Figure 8: dynamic energy efficiency vs performance for specialized and
 /// adaptive execution on all three GPP+LPSU systems.
-pub fn fig8_report() -> String {
+pub fn fig8_report(r: &Runner) -> String {
     let mut out = String::from(
         "Figure 8: energy efficiency vs performance\n\
          (normalized to the GP-ISA binary on the matching baseline GPP;\n\
@@ -144,9 +150,9 @@ pub fn fig8_report() -> String {
     for (base_cfg, x_cfg) in gpp_triples() {
         let mut t = TextTable::new(&["name", "S perf", "S eff", "A perf", "A eff"]);
         for k in table2() {
-            let base = run_gp_baseline(&k, base_cfg);
-            let s_run = run_kernel(&k, x_cfg, ExecMode::Specialized);
-            let a_run = run_kernel(&k, x_cfg, ExecMode::Adaptive);
+            let base = r.baseline(k, base_cfg);
+            let s_run = r.run(k, x_cfg, ExecMode::Specialized);
+            let a_run = r.run(k, x_cfg, ExecMode::Adaptive);
             t.row(vec![
                 k.name.to_string(),
                 f2(speedup(&base, &s_run)),
@@ -161,28 +167,25 @@ pub fn fig8_report() -> String {
 }
 
 /// Figure 9: microarchitectural design-space exploration on ooo/4.
-pub fn fig9_report() -> String {
+pub fn fig9_report(r: &Runner) -> String {
     let select = ["sgemm-uc", "viterbi-uc", "kmeans-or", "covar-or", "btree-ua"];
     let variants: [(&str, LpsuConfig); 5] = [
         ("x4", LpsuConfig::default4()),
         ("x4+t", LpsuConfig::default4().with_multithreading()),
         ("x8", LpsuConfig::default4().with_lanes(8)),
         ("x8+r", LpsuConfig::default4().with_lanes(8).with_double_resources()),
-        (
-            "x8+r+m",
-            LpsuConfig::default4().with_lanes(8).with_double_resources().with_big_lsq(),
-        ),
+        ("x8+r+m", LpsuConfig::default4().with_lanes(8).with_double_resources().with_big_lsq()),
     ];
     let mut header = vec!["name"];
     header.extend(variants.iter().map(|(n, _)| *n));
     let mut t = TextTable::new(&header);
     for name in select {
         let k = by_name(name).expect("selected kernel exists");
-        let base = run_gp_baseline(&k, SystemConfig::ooo4());
+        let base = r.baseline(k, SystemConfig::ooo4());
         let mut cells = vec![name.to_string()];
         for (_, lpsu) in variants {
             let cfg = SystemConfig::ooo4_x().with_lpsu(lpsu);
-            let run = run_kernel(&k, cfg, ExecMode::Specialized);
+            let run = r.run(k, cfg, ExecMode::Specialized);
             cells.push(f2(speedup(&base, &run)));
         }
         t.row(cells);
@@ -196,13 +199,14 @@ pub fn fig9_report() -> String {
 }
 
 /// Table IV: hand-optimized `or` schedules and loop-transformed variants.
-pub fn table4_report() -> String {
+pub fn table4_report(r: &Runner) -> String {
     let mut t = TextTable::new(&["name", "type", "io+x", "ooo2+x", "ooo4+x"]);
+    let triples = gpp_triples();
     for k in table4() {
         let mut cells = vec![k.name.to_string(), k.patterns.to_string()];
-        for (base_cfg, x_cfg) in gpp_triples() {
-            let base = run_gp_baseline(&k, base_cfg);
-            let run = run_kernel(&k, x_cfg, ExecMode::Specialized);
+        for (base_cfg, x_cfg) in &triples {
+            let base = r.baseline(k, *base_cfg);
+            let run = r.run(k, *x_cfg, ExecMode::Specialized);
             cells.push(f2(speedup(&base, &run)));
         }
         t.row(cells);
@@ -215,15 +219,10 @@ pub fn table4_report() -> String {
     )
 }
 
-/// Table V: the analytical VLSI area / cycle-time model.
-pub fn table5_report() -> String {
+/// Table V: the analytical VLSI area / cycle-time model (no simulations).
+pub fn table5_report(_r: &Runner) -> String {
     let mut t = TextTable::new(&["config", "CT (ns)", "area (mm2)", "overhead"]);
-    t.row(vec![
-        "scalar".into(),
-        f2(scalar_cycle_time_ns()),
-        f2(gpp_area_mm2()),
-        "--".into(),
-    ]);
+    t.row(vec!["scalar".into(), f2(scalar_cycle_time_ns()), f2(gpp_area_mm2()), "--".into()]);
     let sweep: [(u32, u32); 7] =
         [(96, 4), (128, 4), (160, 4), (192, 4), (128, 2), (128, 6), (128, 8)];
     for (ibuf, lanes) in sweep {
@@ -245,7 +244,7 @@ pub fn table5_report() -> String {
 }
 
 /// Figure 10: the VLSI-flavoured energy study on the `xloop.uc` kernels.
-pub fn fig10_report() -> String {
+pub fn fig10_report(r: &Runner) -> String {
     let uc = ["rgb2cmyk-uc", "sgemm-uc", "ssearch-uc", "symm-uc", "viterbi-uc", "war-uc"];
     let vlsi = EnergyTable::vlsi40();
     let base_cfg = SystemConfig::io().with_energy(vlsi);
@@ -253,13 +252,9 @@ pub fn fig10_report() -> String {
     let mut t = TextTable::new(&["name", "speedup", "energy eff"]);
     for name in uc {
         let k = by_name(name).expect("uc kernel exists");
-        let base = run_gp_baseline(&k, base_cfg);
-        let run = run_kernel(&k, x_cfg, ExecMode::Specialized);
-        t.row(vec![
-            name.to_string(),
-            f2(speedup(&base, &run)),
-            f2(energy_efficiency(&base, &run)),
-        ]);
+        let base = r.baseline(k, base_cfg);
+        let run = r.run(k, x_cfg, ExecMode::Specialized);
+        t.row(vec![name.to_string(), f2(speedup(&base, &run)), f2(energy_efficiency(&base, &run))]);
     }
     format!(
         "Figure 10: VLSI energy efficiency vs performance (40nm-class table)\n\
@@ -274,7 +269,7 @@ pub fn fig10_report() -> String {
 /// cross-lane store-load forwarding extension (the paper's "more
 /// aggressive implementations" note) on the speculation-bound kernels,
 /// and the CIB transfer latency on the CIR-bound kernels.
-pub fn ablation_report() -> String {
+pub fn ablation_report(r: &Runner) -> String {
     let mut out = String::from(
         "Ablation: LPSU design choices (specialized execution on ooo/2+x,\n\
          speedup over GP-ISA on ooo/2)\n\n",
@@ -284,11 +279,11 @@ pub fn ablation_report() -> String {
     let mut t = TextTable::new(&["name", "base", "+xlf", "squashes base", "squashes +xlf"]);
     for name in ["dynprog-om", "ksack-sm-om", "stencil-orm", "hsort-ua", "war-om"] {
         let k = by_name(name).expect("kernel exists");
-        let base_run = run_gp_baseline(&k, SystemConfig::ooo2());
-        let plain = run_kernel(&k, SystemConfig::ooo2_x(), ExecMode::Specialized);
+        let base_run = r.baseline(k, SystemConfig::ooo2());
+        let plain = r.run(k, SystemConfig::ooo2_x(), ExecMode::Specialized);
         let xlf_cfg =
             SystemConfig::ooo2_x().with_lpsu(LpsuConfig::default4().with_cross_lane_forwarding());
-        let xlf = run_kernel(&k, xlf_cfg, ExecMode::Specialized);
+        let xlf = r.run(k, xlf_cfg, ExecMode::Specialized);
         t.row(vec![
             name.to_string(),
             f2(speedup(&base_run, &plain)),
@@ -304,12 +299,12 @@ pub fn ablation_report() -> String {
     let mut t = TextTable::new(&["name", "cib=1", "cib=2", "cib=4"]);
     for name in ["adpcm-or", "dither-or", "sha-or", "kmeans-or"] {
         let k = by_name(name).expect("kernel exists");
-        let base_run = run_gp_baseline(&k, SystemConfig::ooo2());
+        let base_run = r.baseline(k, SystemConfig::ooo2());
         let mut cells = vec![name.to_string()];
         for lat in [1, 2, 4] {
             let cfg =
                 SystemConfig::ooo2_x().with_lpsu(LpsuConfig::default4().with_cib_latency(lat));
-            let run = run_kernel(&k, cfg, ExecMode::Specialized);
+            let run = r.run(k, cfg, ExecMode::Specialized);
             cells.push(f2(speedup(&base_run, &run)));
         }
         t.row(cells);
@@ -319,24 +314,29 @@ pub fn ablation_report() -> String {
     out
 }
 
-/// Convenience bundle: `(artifact name, report)` for every experiment.
-pub fn all_reports() -> Vec<(&'static str, String)> {
+/// A report generator: renders one artifact from (cached) run results.
+pub type ReportFn = fn(&Runner) -> String;
+
+/// `(artifact name, report function)` for every experiment, in emission
+/// order. The `all` binary iterates this twice: once collecting jobs, once
+/// rendering (with per-artifact timing) from the warm cache.
+pub fn report_fns() -> Vec<(&'static str, ReportFn)> {
     vec![
-        ("table2", table2_report()),
-        ("fig5", fig5_report()),
-        ("fig6", fig6_report()),
-        ("fig7", fig7_report()),
-        ("fig8", fig8_report()),
-        ("fig9", fig9_report()),
-        ("table4", table4_report()),
-        ("table5", table5_report()),
-        ("fig10", fig10_report()),
-        ("ablation", ablation_report()),
+        ("table2", table2_report),
+        ("fig5", fig5_report),
+        ("fig6", fig6_report),
+        ("fig7", fig7_report),
+        ("fig8", fig8_report),
+        ("fig9", fig9_report),
+        ("table4", table4_report),
+        ("table5", table5_report),
+        ("fig10", fig10_report),
+        ("ablation", ablation_report),
     ]
 }
 
-/// Baseline-vs-run pair used by a couple of reports.
-#[allow(dead_code)]
-fn pair(k: &Kernel, base_cfg: SystemConfig, x_cfg: SystemConfig) -> (RunResult, RunResult) {
-    (run_gp_baseline(k, base_cfg), run_kernel(k, x_cfg, ExecMode::Specialized))
+/// Convenience bundle: `(artifact name, rendered report)` for every
+/// experiment, sharing one run cache.
+pub fn all_reports(r: &Runner) -> Vec<(&'static str, String)> {
+    report_fns().into_iter().map(|(name, f)| (name, f(r))).collect()
 }

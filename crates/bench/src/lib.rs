@@ -24,14 +24,17 @@
 //! assembler, functional core, and LPSU engine).
 
 pub mod experiments;
+pub mod runner;
 
 use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
 
-use xloops_asm::lower_gp;
+use xloops_asm::{lower_gp, Program};
 use xloops_kernels::Kernel;
 use xloops_sim::{ExecMode, System, SystemConfig, SystemStats};
+
+pub use runner::{render_artifact, run_reports, Runner};
 
 /// Result of one kernel execution.
 #[derive(Clone, Debug)]
@@ -44,17 +47,30 @@ pub struct RunResult {
     pub stats: SystemStats,
 }
 
-/// Runs a kernel's XLOOPS binary in the given mode.
-pub fn run_kernel(kernel: &Kernel, config: SystemConfig, mode: ExecMode) -> RunResult {
+/// Runs `program` for `kernel` on a fresh system and verifies the result;
+/// `what` labels panics (`"run"` / `"baseline"`). Shared by the direct
+/// entry points below and the memoizing [`runner::Runner`].
+pub(crate) fn run_program(
+    kernel: &Kernel,
+    program: &Program,
+    config: SystemConfig,
+    mode: ExecMode,
+    what: &str,
+) -> RunResult {
     let mut sys = System::new(config);
     kernel.init_memory(sys.mem_mut());
     let stats = sys
-        .run(&kernel.program, mode)
-        .unwrap_or_else(|e| panic!("{} on {}: {e}", kernel.name, config.name()));
+        .run(program, mode)
+        .unwrap_or_else(|e| panic!("{} {what} on {}: {e}", kernel.name, config.name()));
     kernel
         .verify(sys.mem())
-        .unwrap_or_else(|e| panic!("{} on {} ({mode:?}): {e}", kernel.name, config.name()));
+        .unwrap_or_else(|e| panic!("{} {what} on {} ({mode:?}): {e}", kernel.name, config.name()));
     RunResult { cycles: stats.cycles, energy_nj: stats.energy_nj, stats }
+}
+
+/// Runs a kernel's XLOOPS binary in the given mode.
+pub fn run_kernel(kernel: &Kernel, config: SystemConfig, mode: ExecMode) -> RunResult {
+    run_program(kernel, &kernel.program, config, mode, "run")
 }
 
 /// Runs the *general-purpose ISA* baseline: the same kernel lowered with
@@ -62,15 +78,13 @@ pub fn run_kernel(kernel: &Kernel, config: SystemConfig, mode: ExecMode) -> RunR
 /// in the paper are normalized to this binary on the matching GPP.
 pub fn run_gp_baseline(kernel: &Kernel, config: SystemConfig) -> RunResult {
     let gp = lower_gp(&kernel.program);
-    let mut sys = System::new(SystemConfig { lpsu: None, ..config });
-    kernel.init_memory(sys.mem_mut());
-    let stats = sys
-        .run(&gp, ExecMode::Traditional)
-        .unwrap_or_else(|e| panic!("{} baseline on {}: {e}", kernel.name, config.name()));
-    kernel
-        .verify(sys.mem())
-        .unwrap_or_else(|e| panic!("{} baseline on {}: {e}", kernel.name, config.name()));
-    RunResult { cycles: stats.cycles, energy_nj: stats.energy_nj, stats }
+    run_program(
+        kernel,
+        &gp,
+        SystemConfig { lpsu: None, ..config },
+        ExecMode::Traditional,
+        "baseline",
+    )
 }
 
 /// `baseline / measured` — >1 means faster than the baseline.
@@ -92,12 +106,19 @@ pub fn results_dir() -> PathBuf {
     p
 }
 
-/// Prints an artifact and writes it under `results/<name>.txt`.
+/// Prints an artifact and writes it under `results/<name>.txt`. I/O
+/// failures don't abort the run (the artifact was already printed) but are
+/// reported on stderr with the path involved.
 pub fn emit(name: &str, content: &str) {
     println!("{content}");
     let dir = results_dir();
-    if fs::create_dir_all(&dir).is_ok() {
-        let _ = fs::write(dir.join(format!("{name}.txt")), content);
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.txt"));
+    if let Err(e) = fs::write(&path, content) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
     }
 }
 
@@ -167,8 +188,8 @@ mod tests {
     #[test]
     fn harness_runs_a_kernel_and_baseline() {
         let k = by_name("huffman-ua").expect("kernel exists");
-        let base = run_gp_baseline(&k, SystemConfig::io());
-        let spec = run_kernel(&k, SystemConfig::io_x(), ExecMode::Specialized);
+        let base = run_gp_baseline(k, SystemConfig::io());
+        let spec = run_kernel(k, SystemConfig::io_x(), ExecMode::Specialized);
         assert!(base.cycles > 0 && spec.cycles > 0);
         assert!(speedup(&base, &spec) > 0.2, "sanity bound");
     }

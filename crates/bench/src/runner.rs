@@ -1,0 +1,461 @@
+//! Memoized run-cache and deterministic parallel executor.
+//!
+//! The paper's artifacts overlap heavily: Table II, Figures 5–8, and the
+//! ablation all re-simulate the same (kernel, system config, exec mode)
+//! points. A [`Runner`] memoizes [`RunResult`]s under a canonical
+//! [`RunKey`], so each unique simulation point executes exactly once no
+//! matter how many reports ask for it.
+//!
+//! Reports run in two passes (see [`run_reports`]):
+//!
+//! 1. **Collect** — every report renders once against a collecting runner
+//!    that records the deduplicated job list and returns placeholder
+//!    results. Report control flow never branches on simulated values when
+//!    choosing *which* runs to request, so the collected job set is exactly
+//!    the set the real render needs.
+//! 2. **Execute + render** — the unique jobs are simulated (fanned out
+//!    over [`std::thread::available_parallelism`] worker threads via
+//!    [`std::thread::scope`], or serially with `XLOOPS_BENCH_SERIAL=1`),
+//!    then every report renders again from the warm cache.
+//!
+//! Each job builds a fresh [`System`] and the simulator is deterministic,
+//! so results are independent of worker scheduling: parallel and serial
+//! runs produce byte-identical artifacts.
+//!
+//! Environment:
+//! - `XLOOPS_BENCH_SERIAL=1` — execute the identical job list serially.
+//! - `XLOOPS_BENCH_THREADS=N` — override the worker-thread count.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use xloops_asm::{lower_gp, Program};
+use xloops_kernels::{by_name, Kernel};
+use xloops_sim::{ConfigKey, ExecMode, SystemConfig, SystemStats};
+
+use crate::{run_program, RunResult};
+
+/// Canonical identity of one simulation point.
+///
+/// Baseline runs are normalized before keying: `run_gp_baseline` strips
+/// the LPSU and forces [`ExecMode::Traditional`], so a baseline requested
+/// against `ooo/2+x` and one requested against plain `ooo/2` share a key
+/// (and a simulation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RunKey {
+    /// Kernel name (resolvable via [`xloops_kernels::by_name`]).
+    pub kernel: &'static str,
+    /// Stable identity of the system configuration.
+    pub config: ConfigKey,
+    /// Execution mode.
+    pub mode: ExecMode,
+    /// Whether the program is first lowered to the GP ISA (baselines).
+    pub gp_lowered: bool,
+}
+
+/// One pending simulation: its key plus the full config (the key's energy
+/// fingerprint is not invertible, so the table rides along).
+#[derive(Clone, Copy, Debug)]
+struct Job {
+    key: RunKey,
+    config: SystemConfig,
+}
+
+/// Cache traffic counters (all monotonic).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Cache requests while live (collect-phase requests are not counted).
+    pub lookups: u64,
+    /// Requests served from the cache.
+    pub hits: u64,
+    /// Simulations actually executed (prefill + live misses).
+    pub sims: u64,
+}
+
+/// Result of [`Runner::prefill`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PrefillInfo {
+    /// Unique simulation points executed.
+    pub unique_points: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Whether the serial escape hatch was active.
+    pub serial: bool,
+}
+
+/// Memoizing simulation runner. See the module docs for the two-pass
+/// protocol; a runner built with [`Runner::new`] can also be used directly
+/// as a lazy memo cache (misses simulate inline).
+pub struct Runner {
+    collecting: AtomicBool,
+    pending: Mutex<(Vec<Job>, HashSet<RunKey>)>,
+    cache: Mutex<HashMap<RunKey, RunResult>>,
+    /// GP-lowered programs, cached per kernel (all baseline configs of a
+    /// kernel share one lowering).
+    gp_programs: Mutex<HashMap<&'static str, Arc<Program>>>,
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    sims: AtomicU64,
+}
+
+impl Default for Runner {
+    fn default() -> Runner {
+        Runner::new()
+    }
+}
+
+impl Runner {
+    /// A live runner: requests are served from the cache, misses simulate
+    /// inline and are memoized.
+    pub fn new() -> Runner {
+        Runner {
+            collecting: AtomicBool::new(false),
+            pending: Mutex::new((Vec::new(), HashSet::new())),
+            cache: Mutex::new(HashMap::new()),
+            gp_programs: Mutex::new(HashMap::new()),
+            lookups: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            sims: AtomicU64::new(0),
+        }
+    }
+
+    /// A collecting runner: requests record jobs and return placeholders
+    /// until [`Runner::prefill`] flips it live.
+    pub fn collecting() -> Runner {
+        let r = Runner::new();
+        r.collecting.store(true, Ordering::Relaxed);
+        r
+    }
+
+    /// Requests a kernel run (memoized [`crate::run_kernel`]).
+    pub fn run(&self, kernel: &Kernel, config: SystemConfig, mode: ExecMode) -> RunResult {
+        let key = RunKey { kernel: kernel.name, config: config.key(), mode, gp_lowered: false };
+        self.request(Job { key, config })
+    }
+
+    /// Requests a GP-ISA baseline run (memoized [`crate::run_gp_baseline`]).
+    pub fn baseline(&self, kernel: &Kernel, config: SystemConfig) -> RunResult {
+        // Normalize exactly as run_gp_baseline executes: no LPSU, lowered
+        // program, traditional mode.
+        let config = SystemConfig { lpsu: None, ..config };
+        let key = RunKey {
+            kernel: kernel.name,
+            config: config.key(),
+            mode: ExecMode::Traditional,
+            gp_lowered: true,
+        };
+        self.request(Job { key, config })
+    }
+
+    fn request(&self, job: Job) -> RunResult {
+        if self.collecting.load(Ordering::Relaxed) {
+            let (jobs, seen) = &mut *self.pending.lock().unwrap();
+            if seen.insert(job.key) {
+                jobs.push(job);
+            }
+            // Placeholder; reports guard divisions, and no report chooses
+            // *which* runs to request based on simulated values.
+            return RunResult { cycles: 1, energy_nj: 1.0, stats: SystemStats::default() };
+        }
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        if let Some(hit) = self.cache.lock().unwrap().get(&job.key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        let result = self.execute(&job);
+        self.sims.fetch_add(1, Ordering::Relaxed);
+        self.cache.lock().unwrap().insert(job.key, result.clone());
+        result
+    }
+
+    /// Simulates one job on a fresh system.
+    fn execute(&self, job: &Job) -> RunResult {
+        let kernel = by_name(job.key.kernel)
+            .unwrap_or_else(|| panic!("unknown kernel in run cache: {}", job.key.kernel));
+        if job.key.gp_lowered {
+            let program = self.gp_program(kernel);
+            run_program(kernel, &program, job.config, ExecMode::Traditional, "baseline")
+        } else {
+            run_program(kernel, &kernel.program, job.config, job.key.mode, "run")
+        }
+    }
+
+    /// The kernel's GP-lowered program, lowered at most once per kernel.
+    fn gp_program(&self, kernel: &Kernel) -> Arc<Program> {
+        let mut progs = self.gp_programs.lock().unwrap();
+        Arc::clone(progs.entry(kernel.name).or_insert_with(|| Arc::new(lower_gp(&kernel.program))))
+    }
+
+    /// Executes every collected job exactly once and flips the runner
+    /// live. Jobs fan out over worker threads unless `XLOOPS_BENCH_SERIAL=1`
+    /// (or only one hardware thread is available); either way the cache
+    /// ends up identical, because each job simulates a fresh deterministic
+    /// system.
+    pub fn prefill(&self) -> PrefillInfo {
+        let serial = std::env::var("XLOOPS_BENCH_SERIAL").is_ok_and(|v| v == "1");
+        let workers = if serial {
+            1
+        } else if let Ok(n) = std::env::var("XLOOPS_BENCH_THREADS") {
+            n.parse().unwrap_or(1).max(1)
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        };
+        let mut info = self.prefill_with(workers);
+        info.serial = serial;
+        info
+    }
+
+    /// [`Runner::prefill`] with an explicit worker-thread count (ignores
+    /// the environment). Exposed so determinism tests can pit a parallel
+    /// fill against a serial one directly.
+    pub fn prefill_with(&self, workers: usize) -> PrefillInfo {
+        let jobs = {
+            let (jobs, _) = &mut *self.pending.lock().unwrap();
+            std::mem::take(jobs)
+        };
+        self.collecting.store(false, Ordering::Relaxed);
+        let workers = workers.min(jobs.len().max(1));
+
+        if workers <= 1 {
+            let profile = std::env::var("XLOOPS_BENCH_PROFILE").is_ok_and(|v| v == "1");
+            let mut timings = Vec::new();
+            for job in &jobs {
+                let t = std::time::Instant::now();
+                let result = self.execute(job);
+                if profile {
+                    timings.push((t.elapsed(), job.key));
+                }
+                self.sims.fetch_add(1, Ordering::Relaxed);
+                self.cache.lock().unwrap().insert(job.key, result);
+            }
+            if profile {
+                timings.sort_by_key(|&(d, _)| std::cmp::Reverse(d));
+                eprintln!("[profile] slowest simulation points:");
+                for (d, key) in timings.iter().take(20) {
+                    eprintln!(
+                        "[profile] {:8.1} ms  {} {:?} gp={}",
+                        d.as_secs_f64() * 1e3,
+                        key.kernel,
+                        key.mode,
+                        key.gp_lowered,
+                    );
+                }
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(i) else { break };
+                        let result = self.execute(job);
+                        self.sims.fetch_add(1, Ordering::Relaxed);
+                        self.cache.lock().unwrap().insert(job.key, result);
+                    });
+                }
+            });
+        }
+
+        PrefillInfo { unique_points: jobs.len(), workers, serial: false }
+    }
+
+    /// Number of distinct keys currently cached.
+    pub fn cached_points(&self) -> usize {
+        self.cache.lock().unwrap().len()
+    }
+
+    /// Snapshot of the traffic counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            sims: self.sims.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Runs a report generator with the full two-pass protocol: collect the
+/// job set, execute each unique point exactly once (in parallel unless
+/// `XLOOPS_BENCH_SERIAL=1`), then render from the warm cache. Returns the
+/// rendered output and the runner (for cache statistics).
+pub fn run_reports<R>(f: impl Fn(&Runner) -> R) -> (R, Runner, PrefillInfo) {
+    let runner = Runner::collecting();
+    let _ = f(&runner);
+    let info = runner.prefill();
+    let out = f(&runner);
+    (out, runner, info)
+}
+
+/// [`run_reports`] for a single artifact binary: just the rendered text.
+pub fn render_artifact(f: impl Fn(&Runner) -> String) -> String {
+    run_reports(f).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xloops_lpsu::LpsuConfig;
+
+    #[test]
+    fn cache_hit_returns_identical_result() {
+        let k = by_name("huffman-ua").expect("kernel exists");
+        let runner = Runner::new();
+        let first = runner.run(k, SystemConfig::io_x(), ExecMode::Specialized);
+        let second = runner.run(k, SystemConfig::io_x(), ExecMode::Specialized);
+        assert_eq!(first.cycles, second.cycles);
+        assert_eq!(first.energy_nj, second.energy_nj);
+        assert_eq!(first.stats, second.stats);
+        let s = runner.cache_stats();
+        assert_eq!((s.lookups, s.hits, s.sims), (2, 1, 1));
+    }
+
+    #[test]
+    fn cached_result_matches_uncached_harness_calls() {
+        let k = by_name("huffman-ua").expect("kernel exists");
+        let runner = Runner::new();
+        let spec = runner.run(k, SystemConfig::io_x(), ExecMode::Specialized);
+        let base = runner.baseline(k, SystemConfig::io_x());
+        assert_eq!(
+            spec.cycles,
+            crate::run_kernel(k, SystemConfig::io_x(), ExecMode::Specialized).cycles
+        );
+        assert_eq!(base.cycles, crate::run_gp_baseline(k, SystemConfig::io_x()).cycles);
+    }
+
+    #[test]
+    fn baselines_normalize_away_the_lpsu() {
+        let k = by_name("huffman-ua").expect("kernel exists");
+        let runner = Runner::new();
+        let with_lpsu = runner.baseline(k, SystemConfig::io_x());
+        let without = runner.baseline(k, SystemConfig::io());
+        // Same canonical point: the second request must be a cache hit.
+        assert_eq!(with_lpsu.cycles, without.cycles);
+        let s = runner.cache_stats();
+        assert_eq!((s.lookups, s.hits, s.sims), (2, 1, 1));
+    }
+
+    #[test]
+    fn run_keys_distinguish_all_experiment_configs() {
+        // Every system configuration any report sweeps must map to its own
+        // RunKey, else the cache would alias distinct design points.
+        // fig9's `x4` variant (plain default4) IS ooo4_x — the cache is
+        // meant to share that point, so it is not in this distinct list.
+        assert_eq!(
+            SystemConfig::ooo4_x().with_lpsu(LpsuConfig::default4()).key(),
+            SystemConfig::ooo4_x().key(),
+        );
+        let fig9_lpsus = [
+            LpsuConfig::default4().with_multithreading(),
+            LpsuConfig::default4().with_lanes(8),
+            LpsuConfig::default4().with_lanes(8).with_double_resources(),
+            LpsuConfig::default4().with_lanes(8).with_double_resources().with_big_lsq(),
+            // Ablation variants.
+            LpsuConfig::default4().with_cross_lane_forwarding(),
+            LpsuConfig::default4().with_cib_latency(2),
+            LpsuConfig::default4().with_cib_latency(4),
+        ];
+        let mut configs: Vec<SystemConfig> = vec![
+            SystemConfig::io(),
+            SystemConfig::ooo2(),
+            SystemConfig::ooo4(),
+            SystemConfig::io_x(),
+            SystemConfig::ooo2_x(),
+            SystemConfig::ooo4_x(),
+            SystemConfig::io().with_energy(xloops_energy::EnergyTable::vlsi40()),
+            SystemConfig::io_x().with_energy(xloops_energy::EnergyTable::vlsi40()),
+        ];
+        configs.extend(fig9_lpsus.iter().map(|l| SystemConfig::ooo4_x().with_lpsu(*l)));
+        configs.extend(
+            [
+                LpsuConfig::default4().with_cross_lane_forwarding(),
+                LpsuConfig::default4().with_cib_latency(2),
+            ]
+            .iter()
+            .map(|l| SystemConfig::ooo2_x().with_lpsu(*l)),
+        );
+        let mut keys = HashSet::new();
+        for c in &configs {
+            let key = RunKey {
+                kernel: "k",
+                config: c.key(),
+                mode: ExecMode::Specialized,
+                gp_lowered: false,
+            };
+            assert!(keys.insert(key), "config aliased another: {}", c.name());
+        }
+        // Mode and lowering flag are part of the identity too.
+        let c = SystemConfig::io_x();
+        let base =
+            RunKey { kernel: "k", config: c.key(), mode: ExecMode::Specialized, gp_lowered: false };
+        assert_ne!(base, RunKey { mode: ExecMode::Adaptive, ..base });
+        assert_ne!(base, RunKey { mode: ExecMode::Traditional, ..base });
+        assert_ne!(base, RunKey { gp_lowered: true, ..base });
+        assert_ne!(base, RunKey { kernel: "other", ..base });
+    }
+
+    #[test]
+    fn parallel_and_serial_fills_render_byte_identical_reports() {
+        // A miniature multi-config report over three kernels, exercising
+        // baselines, both LPSU modes, and a design-space variant.
+        let report = |r: &Runner| {
+            let mut out = String::new();
+            for name in ["rgb2cmyk-uc", "dither-or", "ksack-sm-om"] {
+                let k = by_name(name).expect("kernel exists");
+                let base = r.baseline(k, SystemConfig::ooo2());
+                let s = r.run(k, SystemConfig::ooo2_x(), ExecMode::Specialized);
+                let a = r.run(k, SystemConfig::ooo2_x(), ExecMode::Adaptive);
+                let x8 = SystemConfig::ooo2_x().with_lpsu(LpsuConfig::default4().with_lanes(8));
+                let w = r.run(k, x8, ExecMode::Specialized);
+                out.push_str(&format!(
+                    "{name} {} {} {} {} {:.3}\n",
+                    base.cycles, s.cycles, a.cycles, w.cycles, s.energy_nj
+                ));
+            }
+            out
+        };
+
+        let fill = |workers: usize| {
+            let runner = Runner::collecting();
+            let _ = report(&runner);
+            let info = runner.prefill_with(workers);
+            (report(&runner), info)
+        };
+        let (serial_text, serial_info) = fill(1);
+        let (parallel_text, parallel_info) = fill(4);
+        assert_eq!(serial_info.workers, 1);
+        assert_eq!(parallel_info.workers, 4);
+        assert_eq!(serial_info.unique_points, parallel_info.unique_points);
+        assert_eq!(serial_text, parallel_text, "parallel fill must be byte-identical to serial");
+    }
+
+    #[test]
+    fn two_pass_protocol_simulates_each_point_once() {
+        let k = by_name("huffman-ua").expect("kernel exists");
+        let report = |r: &Runner| {
+            // Ask for the same points repeatedly, like overlapping reports.
+            let base = r.baseline(k, SystemConfig::io());
+            let s1 = r.run(k, SystemConfig::io_x(), ExecMode::Specialized);
+            let s2 = r.run(k, SystemConfig::io_x(), ExecMode::Specialized);
+            let base2 = r.baseline(k, SystemConfig::io_x());
+            format!("{} {} {} {}", base.cycles, s1.cycles, s2.cycles, base2.cycles)
+        };
+        let (out, runner, info) = run_reports(report);
+        // Two unique points: the io baseline and the specialized run.
+        assert_eq!(info.unique_points, 2);
+        let s = runner.cache_stats();
+        assert_eq!(s.sims, 2, "each unique point simulated exactly once");
+        assert_eq!(s.lookups, 4);
+        assert_eq!(s.hits, 4, "render pass is fully cache-served");
+        // And the rendered text matches a direct (uncached) computation.
+        let direct_base = crate::run_gp_baseline(k, SystemConfig::io());
+        let direct_spec = crate::run_kernel(k, SystemConfig::io_x(), ExecMode::Specialized);
+        assert_eq!(
+            out,
+            format!(
+                "{} {} {} {}",
+                direct_base.cycles, direct_spec.cycles, direct_spec.cycles, direct_base.cycles
+            )
+        );
+    }
+}

@@ -58,11 +58,7 @@ pub fn scalar_cirs(l: &Loop) -> Vec<String> {
     read_first
 }
 
-fn note_read(
-    v: &str,
-    read_first: &mut Vec<String>,
-    written_def: &HashSet<String>,
-) {
+fn note_read(v: &str, read_first: &mut Vec<String>, written_def: &HashSet<String>) {
     if !written_def.contains(v) && !read_first.iter().any(|r| r == v) {
         read_first.push(v.to_string());
     }
@@ -459,7 +455,11 @@ mod tests {
         let mut l = Loop::new("i", Bound::fixed_var("n"), Annotation::Ordered);
         l.body.push(Stmt::load("t", ArrayRef::new("a", Subscript::linear(1, 0))));
         l.body.push(Stmt::If {
-            cond: Expr::Bin(crate::ir::BinOp::LtS, Box::new(Expr::var("m")), Box::new(Expr::var("t"))),
+            cond: Expr::Bin(
+                crate::ir::BinOp::LtS,
+                Box::new(Expr::var("m")),
+                Box::new(Expr::var("t")),
+            ),
             then: vec![Stmt::assign("m", Expr::var("t"))],
         });
         let c = select_pattern(&l);

@@ -14,7 +14,7 @@
 use std::fmt;
 
 use crate::analysis::select_pattern;
-use crate::ir::{Bound, BinOp, Expr, Loop, Stmt, Subscript};
+use crate::ir::{BinOp, Bound, Expr, Loop, Stmt, Subscript};
 use crate::strength::{plan_xi, XiPlan};
 
 /// Addresses for the memory-resident names a loop references.
@@ -156,7 +156,12 @@ impl<'a> Gen<'a> {
 
     /// Computes the byte address of an affine access into a temp register
     /// and returns `(reg, constant_offset)` for the memory instruction.
-    fn address(&mut self, array: &str, sub: &Subscript, tmp: u8) -> Result<(u8, i32), CodegenError> {
+    fn address(
+        &mut self,
+        array: &str,
+        sub: &Subscript,
+        tmp: u8,
+    ) -> Result<(u8, i32), CodegenError> {
         if sub.is_opaque() || sub.is_miv() {
             return Err(CodegenError::UnsupportedSubscript);
         }
@@ -324,9 +329,10 @@ fn collect_defs(body: &[Stmt], out: &mut Vec<String>) {
     for stmt in body {
         match stmt {
             Stmt::Assign { dst, .. } | Stmt::Load { dst, .. } | Stmt::AmoAdd { dst, .. }
-                if !out.contains(dst) => {
-                    out.push(dst.clone());
-                }
+                if !out.contains(dst) =>
+            {
+                out.push(dst.clone());
+            }
             Stmt::If { then, .. } => collect_defs(then, out),
             _ => {}
         }
@@ -418,7 +424,8 @@ mod tests {
         let asm = lower_loop(&l, &ctx).unwrap();
         assert!(asm.contains("xloop.or"), "conditional write keeps m a CIR:\n{asm}");
         let vals = [3u32, 9, 1, 12, 7, 2, 12, 5, 0, 11];
-        let init: Vec<(u32, u32)> = vals.iter().enumerate().map(|(i, &v)| (0x1000 + 4 * i as u32, v)).collect();
+        let init: Vec<(u32, u32)> =
+            vals.iter().enumerate().map(|(i, &v)| (0x1000 + 4 * i as u32, v)).collect();
         let mem = run_asm(&asm, &init);
         assert_eq!(mem.read_u32(0x3000), 12);
     }

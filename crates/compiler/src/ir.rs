@@ -61,6 +61,9 @@ pub enum BinOp {
     LtS,
 }
 
+// `add`/`sub`/`mul` are associated *constructors* taking two operands by
+// value, not the unary-receiver operator traits clippy suggests.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// A variable reference.
     pub fn var(name: &str) -> Expr {

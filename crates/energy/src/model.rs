@@ -51,6 +51,59 @@ pub struct EnergyTable {
 }
 
 impl EnergyTable {
+    /// A stable 64-bit fingerprint of every entry, suitable as a hash-map
+    /// key component (f64 has no `Hash`/`Eq`; bit patterns do). Two tables
+    /// fingerprint equally iff all entries are bit-identical.
+    pub fn fingerprint(&self) -> u64 {
+        // Destructure so adding a field without extending the fingerprint
+        // is a compile error.
+        let EnergyTable {
+            icache_access,
+            ibuf_access,
+            decode,
+            rf_read,
+            rf_write,
+            alu,
+            llfu,
+            dcache_access,
+            amo_extra,
+            ooo_per_instr,
+            mispredict,
+            lsq_event,
+            xi_mul,
+            cir_transfer,
+            scan_per_instr,
+            lmu_overhead_frac,
+        } = *self;
+        // FNV-1a over the field bit patterns, in declaration order.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for bits in [
+            icache_access,
+            ibuf_access,
+            decode,
+            rf_read,
+            rf_write,
+            alu,
+            llfu,
+            dcache_access,
+            amo_extra,
+            ooo_per_instr,
+            mispredict,
+            lsq_event,
+            xi_mul,
+            cir_transfer,
+            scan_per_instr,
+            lmu_overhead_frac,
+        ]
+        .map(f64::to_bits)
+        {
+            for byte in bits.to_le_bytes() {
+                h = (h ^ byte as u64).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        h
+    }
+
     /// McPAT-class 45 nm table for the simple in-order GPP and LPSU lanes.
     pub fn mcpat45_io() -> EnergyTable {
         EnergyTable {

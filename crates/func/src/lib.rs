@@ -168,6 +168,14 @@ impl Interp {
     /// Returns [`ExecError::InvalidPc`] if the pc is outside the program.
     pub fn step(&mut self, program: &Program, mem: &mut Memory) -> Result<Step, ExecError> {
         let instr = program.fetch(self.pc).ok_or(ExecError::InvalidPc(self.pc))?;
+        Ok(self.exec(instr, mem))
+    }
+
+    /// Executes `instr` as the instruction at the current pc. Callers that
+    /// already fetched (to inspect the instruction before executing, like
+    /// the timing models) use this to avoid a second fetch.
+    #[inline]
+    pub fn exec(&mut self, instr: Instr, mem: &mut Memory) -> Step {
         let mut next_pc = self.pc.wrapping_add(INSTR_BYTES);
         match instr {
             Instr::Alu { op, rd, rs, rt } => {
@@ -228,7 +236,7 @@ impl Interp {
             }
             Instr::Exit => {
                 self.mix.alu += 1; // count the exit like a simple op
-                return Ok(Step::Exit);
+                return Step::Exit;
             }
             Instr::Nop => {
                 self.mix.alu += 1;
@@ -251,7 +259,7 @@ impl Interp {
             }
         }
         self.pc = next_pc;
-        Ok(Step::Continue)
+        Step::Continue
     }
 
     /// Runs until `exit` or until `max_steps` instructions have retired.

@@ -1,7 +1,7 @@
 use xloops_mem::CacheConfig;
 
 /// Which microarchitecture a [`crate::GppCore`] models.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum GppKind {
     /// Single-issue five-stage in-order pipeline.
     InOrder,
@@ -17,7 +17,7 @@ pub enum GppKind {
 }
 
 /// Full configuration of a GPP timing model (Table III of the paper).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct GppConfig {
     /// Core kind and width parameters.
     pub kind: GppKind,

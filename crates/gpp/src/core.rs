@@ -1,4 +1,4 @@
-use std::collections::HashSet;
+use xloops_mem::FxHashSet;
 
 use xloops_asm::Program;
 use xloops_func::{ExecError, Interp, Step};
@@ -31,6 +31,10 @@ impl Event {
     }
 }
 
+// One Engine lives per GppCore (never in collections), and it sits on the
+// per-retired-instruction path — boxing the large variant would trade a
+// few hundred stack bytes for an extra pointer chase per event.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 enum Engine {
     InOrder(InOrder),
@@ -119,7 +123,7 @@ pub struct RunOpts {
     pub stop_at_taken_xloop: bool,
     /// xloop pcs that should *not* stop execution (e.g. pcs the adaptive
     /// profiling table has already decided to run traditionally).
-    pub ignore_pcs: HashSet<u32>,
+    pub ignore_pcs: FxHashSet<u32>,
     /// Count iterations (and cycles) of one xloop and stop at a budget.
     pub watch: Option<Watch>,
     /// Safety limit on retired instructions.
@@ -286,7 +290,7 @@ impl GppCore {
 
             // Gather timing-relevant facts *before* executing.
             let ev = self.pre_event(instr, pc, mem);
-            let step = self.interp.step(program, mem)?;
+            let step = self.interp.exec(instr, mem);
             self.engine.feed(&ev, &mut self.dcache);
 
             if step == Step::Exit {
@@ -304,9 +308,11 @@ impl GppCore {
                     }
                     watch_iters += 1;
                     let elapsed = self.engine.last_dispatch().saturating_sub(watch_start_cycle);
-                    if watch_iters >= w.max_iters || (w.max_cycles > 0 && elapsed >= w.max_cycles)
-                    {
-                        return Ok(StopReason::WatchDone { iters: watch_iters, loop_exited: false });
+                    if watch_iters >= w.max_iters || (w.max_cycles > 0 && elapsed >= w.max_cycles) {
+                        return Ok(StopReason::WatchDone {
+                            iters: watch_iters,
+                            loop_exited: false,
+                        });
                     }
                 }
             }
@@ -396,8 +402,18 @@ mod tests {
             gpp.run(&p, &mut mem, &RunOpts::traditional()).unwrap();
             cycles.push(gpp.stats().cycles);
         }
-        assert!(cycles[0] > cycles[1], "io {} should be slower than ooo/2 {}", cycles[0], cycles[1]);
-        assert!(cycles[1] > cycles[2], "ooo/2 {} should be slower than ooo/4 {}", cycles[1], cycles[2]);
+        assert!(
+            cycles[0] > cycles[1],
+            "io {} should be slower than ooo/2 {}",
+            cycles[0],
+            cycles[1]
+        );
+        assert!(
+            cycles[1] > cycles[2],
+            "ooo/2 {} should be slower than ooo/4 {}",
+            cycles[1],
+            cycles[2]
+        );
     }
 
     #[test]

@@ -89,10 +89,9 @@ impl InOrder {
                 next_issue = (t + 1).max(self.last_mem_done);
                 done = next_issue;
             }
-            Instr::Branch { .. } | Instr::Xloop { .. }
-                if ev.taken => {
-                    next_issue = t + 1 + self.branch_penalty as u64;
-                }
+            Instr::Branch { .. } | Instr::Xloop { .. } if ev.taken => {
+                next_issue = t + 1 + self.branch_penalty as u64;
+            }
             Instr::Jump { .. } => {
                 // Target known at decode: one bubble.
                 next_issue = t + 2;
@@ -139,7 +138,12 @@ mod tests {
 
     fn alu(rd: u8, rs: u8, rt: u8) -> Event {
         Event {
-            instr: Instr::Alu { op: AluOp::Addu, rd: Reg::new(rd), rs: Reg::new(rs), rt: Reg::new(rt) },
+            instr: Instr::Alu {
+                op: AluOp::Addu,
+                rd: Reg::new(rd),
+                rs: Reg::new(rs),
+                rt: Reg::new(rt),
+            },
             taken: false,
             mem_addr: None,
             pc: 0,
@@ -199,7 +203,12 @@ mod tests {
         let mut e = InOrder::new(2);
         let mut c = cache();
         let br = Event {
-            instr: Instr::Branch { cond: xloops_isa::BranchCond::Eq, rs: Reg::ZERO, rt: Reg::ZERO, offset: -1 },
+            instr: Instr::Branch {
+                cond: xloops_isa::BranchCond::Eq,
+                rs: Reg::ZERO,
+                rt: Reg::ZERO,
+                offset: -1,
+            },
             taken: true,
             mem_addr: None,
             pc: 0,
@@ -215,7 +224,12 @@ mod tests {
         let mut e = InOrder::new(2);
         let mut c = cache();
         let mul = Event {
-            instr: Instr::Llfu { op: xloops_isa::LlfuOp::Div, rd: Reg::new(3), rs: Reg::new(1), rt: Reg::new(2) },
+            instr: Instr::Llfu {
+                op: xloops_isa::LlfuOp::Div,
+                rd: Reg::new(3),
+                rs: Reg::new(1),
+                rt: Reg::new(2),
+            },
             taken: false,
             mem_addr: None,
             pc: 0,

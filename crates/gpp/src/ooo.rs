@@ -17,10 +17,10 @@
 //!   implementation on the out-of-order cores is conservative, and our
 //!   traditional-execution results inherit that property).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use xloops_isa::{Instr, NUM_REGS};
-use xloops_mem::Cache;
+use xloops_mem::{Cache, FxHashMap};
 
 use crate::core::Event;
 use crate::predictor::Gshare;
@@ -46,17 +46,23 @@ pub struct OutOfOrder {
     last_commit: u64,
     /// Data-ready time of the youngest in-flight store per word address
     /// (for store-to-load forwarding).
-    store_ready: HashMap<u32, u64>,
+    store_ready: FxHashMap<u32, u64>,
     /// Completion time of the latest memory op (for fences).
     last_mem_done: u64,
     predictor: Gshare,
     /// Last observed target per indirect-jump pc.
-    jr_targets: HashMap<u32, u32>,
+    jr_targets: FxHashMap<u32, u32>,
     last_dispatch: u64,
 }
 
 impl OutOfOrder {
-    pub fn new(width: u32, rob: u32, mem_ports: u32, branch_penalty: u32, llfu_pipelined: bool) -> OutOfOrder {
+    pub fn new(
+        width: u32,
+        rob: u32,
+        mem_ports: u32,
+        branch_penalty: u32,
+        llfu_pipelined: bool,
+    ) -> OutOfOrder {
         OutOfOrder {
             width,
             rob_size: rob as usize,
@@ -71,10 +77,10 @@ impl OutOfOrder {
             commit_slots: SlotTable::new(width),
             llfu_busy_until: 0,
             last_commit: 0,
-            store_ready: HashMap::new(),
+            store_ready: FxHashMap::default(),
             last_mem_done: 0,
             predictor: Gshare::new(12, 8),
-            jr_targets: HashMap::new(),
+            jr_targets: FxHashMap::default(),
             last_dispatch: 0,
         }
     }
@@ -244,7 +250,12 @@ mod tests {
 
     fn alu(rd: u8, rs: u8, rt: u8) -> Event {
         Event {
-            instr: Instr::Alu { op: AluOp::Addu, rd: Reg::new(rd), rs: Reg::new(rs), rt: Reg::new(rt) },
+            instr: Instr::Alu {
+                op: AluOp::Addu,
+                rd: Reg::new(rd),
+                rs: Reg::new(rs),
+                rt: Reg::new(rt),
+            },
             taken: false,
             mem_addr: None,
             pc: 0,
@@ -326,7 +337,12 @@ mod tests {
     #[test]
     fn mispredicted_branch_redirects_fetch() {
         let br = |taken| Event {
-            instr: Instr::Branch { cond: xloops_isa::BranchCond::Eq, rs: Reg::ZERO, rt: Reg::ZERO, offset: 2 },
+            instr: Instr::Branch {
+                cond: xloops_isa::BranchCond::Eq,
+                rs: Reg::ZERO,
+                rt: Reg::ZERO,
+                offset: 2,
+            },
             taken,
             mem_addr: None,
             pc: 0,
@@ -372,7 +388,12 @@ mod tests {
     #[test]
     fn amo_serializes() {
         let amo = Event {
-            instr: Instr::Amo { op: xloops_isa::AmoOp::Add, rd: Reg::new(3), addr: Reg::new(1), src: Reg::new(2) },
+            instr: Instr::Amo {
+                op: xloops_isa::AmoOp::Add,
+                rd: Reg::new(3),
+                addr: Reg::new(1),
+                src: Reg::new(2),
+            },
             taken: false,
             mem_addr: Some(0x100),
             pc: 0,

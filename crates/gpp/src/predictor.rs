@@ -46,8 +46,8 @@ impl Gshare {
     /// was correct.
     pub fn predict_and_update(&mut self, pc: u32, taken: bool) -> bool {
         self.lookups += 1;
-        let idx = (((pc >> 2) ^ (self.history & ((1 << self.history_bits) - 1)))
-            & self.index_mask) as usize;
+        let idx = (((pc >> 2) ^ (self.history & ((1 << self.history_bits) - 1))) & self.index_mask)
+            as usize;
         let counter = &mut self.table[idx];
         let predicted_taken = *counter >= 2;
         if taken {
@@ -107,7 +107,7 @@ mod tests {
     #[test]
     fn loop_closing_branch_mispredicts_once_per_trip() {
         let mut p = Gshare::new(12, 0); // no history: plain bimodal
-        // 10 trips of a 100-iteration loop: expect ~1 mispredict per exit.
+                                        // 10 trips of a 100-iteration loop: expect ~1 mispredict per exit.
         let mut wrong = 0;
         for _ in 0..10 {
             for i in 0..100 {

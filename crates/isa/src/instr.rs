@@ -27,16 +27,8 @@ pub enum MemOp {
 
 impl MemOp {
     /// All memory operations.
-    pub const ALL: [MemOp; 8] = [
-        MemOp::Lw,
-        MemOp::Lh,
-        MemOp::Lhu,
-        MemOp::Lb,
-        MemOp::Lbu,
-        MemOp::Sw,
-        MemOp::Sh,
-        MemOp::Sb,
-    ];
+    pub const ALL: [MemOp; 8] =
+        [MemOp::Lw, MemOp::Lh, MemOp::Lhu, MemOp::Lb, MemOp::Lbu, MemOp::Sw, MemOp::Sh, MemOp::Sb];
 
     /// Whether this is a load.
     pub fn is_load(self) -> bool {
@@ -311,10 +303,7 @@ impl Instr {
             Instr::Exit => opc::EXIT << 26,
             Instr::Nop => opc::NOP << 26,
             Instr::Xloop { pattern, idx, bound, body_offset } => {
-                assert!(
-                    (1..(1 << 12)).contains(&body_offset),
-                    "xloop body offset out of range"
-                );
+                assert!((1..(1 << 12)).contains(&body_offset), "xloop body offset out of range");
                 let db = (pattern.control == ControlPattern::Dynamic) as u32;
                 (opc::XLOOP << 26)
                     | (pattern.data.code() << 23)
@@ -342,21 +331,36 @@ impl Instr {
                 if func >> 6 != 0 {
                     return None;
                 }
-                Some(Instr::Alu { op, rd: rd_field(word)?, rs: rs_field(word)?, rt: rt_field(word)? })
+                Some(Instr::Alu {
+                    op,
+                    rd: rd_field(word)?,
+                    rs: rs_field(word)?,
+                    rt: rt_field(word)?,
+                })
             }
             opc::LLFU => {
                 let op = LlfuOp::from_code(word & 63)?;
                 if func >> 6 != 0 {
                     return None;
                 }
-                Some(Instr::Llfu { op, rd: rd_field(word)?, rs: rs_field(word)?, rt: rt_field(word)? })
+                Some(Instr::Llfu {
+                    op,
+                    rd: rd_field(word)?,
+                    rs: rs_field(word)?,
+                    rt: rt_field(word)?,
+                })
             }
             opc::AMO => {
                 let op = AmoOp::from_code(word & 63)?;
                 if func >> 6 != 0 {
                     return None;
                 }
-                Some(Instr::Amo { op, rd: rd_field(word)?, addr: rs_field(word)?, src: rt_field(word)? })
+                Some(Instr::Amo {
+                    op,
+                    rd: rd_field(word)?,
+                    addr: rs_field(word)?,
+                    src: rt_field(word)?,
+                })
             }
             opc::LUI => {
                 if word >> 16 & 31 != 0 {
@@ -366,11 +370,21 @@ impl Instr {
             }
             opc::MEM_BASE..=0x17 => {
                 let op = MemOp::ALL[(opcode - opc::MEM_BASE) as usize];
-                Some(Instr::Mem { op, data: rd_field(word)?, base: rs_field(word)?, offset: imm16 as i16 })
+                Some(Instr::Mem {
+                    op,
+                    data: rd_field(word)?,
+                    base: rs_field(word)?,
+                    offset: imm16 as i16,
+                })
             }
             opc::BR_BASE..=0x1D => {
                 let cond = BranchCond::ALL[(opcode - opc::BR_BASE) as usize];
-                Some(Instr::Branch { cond, rs: rd_field(word)?, rt: rs_field(word)?, offset: imm16 as i16 })
+                Some(Instr::Branch {
+                    cond,
+                    rs: rd_field(word)?,
+                    rt: rs_field(word)?,
+                    offset: imm16 as i16,
+                })
             }
             opc::J => Some(Instr::Jump { link: false, target_word: word & 0x03FF_FFFF }),
             opc::JAL => Some(Instr::Jump { link: true, target_word: word & 0x03FF_FFFF }),

@@ -193,20 +193,8 @@ impl LlfuOp {
                     ((a as i32).wrapping_rem(b as i32)) as u32
                 }
             }
-            LlfuOp::Divu => {
-                if b == 0 {
-                    u32::MAX
-                } else {
-                    a / b
-                }
-            }
-            LlfuOp::Remu => {
-                if b == 0 {
-                    a
-                } else {
-                    a % b
-                }
-            }
+            LlfuOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
+            LlfuOp::Remu => a.checked_rem(b).unwrap_or(a),
             LlfuOp::FAdd => (fa + fb).to_bits(),
             LlfuOp::FSub => (fa - fb).to_bits(),
             LlfuOp::FMul => (fa * fb).to_bits(),
@@ -250,10 +238,7 @@ impl LlfuOp {
     /// (multiply, FP add/mul, compares, converts) or occupies the iterative
     /// divider for its full latency.
     pub fn is_pipelined(self) -> bool {
-        !matches!(
-            self,
-            LlfuOp::Div | LlfuOp::Rem | LlfuOp::Divu | LlfuOp::Remu | LlfuOp::FDiv
-        )
+        !matches!(self, LlfuOp::Div | LlfuOp::Rem | LlfuOp::Divu | LlfuOp::Remu | LlfuOp::FDiv)
     }
 
     /// Default occupancy of the long-latency functional unit in cycles.

@@ -31,13 +31,8 @@ pub enum DataPattern {
 
 impl DataPattern {
     /// All data-dependence patterns.
-    pub const ALL: [DataPattern; 5] = [
-        DataPattern::Uc,
-        DataPattern::Or,
-        DataPattern::Om,
-        DataPattern::Orm,
-        DataPattern::Ua,
-    ];
+    pub const ALL: [DataPattern; 5] =
+        [DataPattern::Uc, DataPattern::Or, DataPattern::Om, DataPattern::Orm, DataPattern::Ua];
 
     /// ISA mnemonic suffix (`uc`, `or`, `om`, `orm`, `ua`).
     pub fn suffix(self) -> &'static str {
@@ -74,13 +69,17 @@ impl DataPattern {
         if self == other {
             return true;
         }
-        match (other, self) {
-            (Uc, Or) | (Uc, Om) | (Uc, Orm) | (Uc, Ua) => true,
-            (Ua, Om) | (Ua, Orm) => true,
-            (Or, Orm) => true,
-            (Om, Orm) => true,
-            _ => false,
-        }
+        matches!(
+            (other, self),
+            (Uc, Or)
+                | (Uc, Om)
+                | (Uc, Orm)
+                | (Uc, Ua)
+                | (Ua, Om)
+                | (Ua, Orm)
+                | (Or, Orm)
+                | (Om, Orm)
+        )
     }
 
     /// Binary encoding of the pattern in the `xloop` instruction word.
@@ -198,10 +197,7 @@ impl FromStr for LoopPattern {
             Some(prefix) => (prefix, ControlPattern::Dynamic),
             None => (s, ControlPattern::Fixed),
         };
-        let data = DataPattern::ALL
-            .into_iter()
-            .find(|p| p.suffix() == data_str)
-            .ok_or_else(err)?;
+        let data = DataPattern::ALL.into_iter().find(|p| p.suffix() == data_str).ok_or_else(err)?;
         Ok(LoopPattern { data, control })
     }
 }

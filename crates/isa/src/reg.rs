@@ -49,9 +49,13 @@ impl Reg {
     }
 
     /// The register number, `0..32`.
+    ///
+    /// The mask is a no-op (every constructor checks `< 32`) but lets the
+    /// optimizer drop bounds checks when this indexes a 32-entry register
+    /// file — the single most common operation in the simulators.
     #[inline]
     pub const fn index(self) -> usize {
-        self.0 as usize
+        (self.0 & 31) as usize
     }
 
     /// The register number as the 5-bit field used in instruction encodings.

@@ -25,8 +25,12 @@ fn imm_alu_op() -> impl Strategy<Value = AluOp> {
 fn instr() -> impl Strategy<Value = Instr> {
     prop_oneof![
         (alu_op(), reg(), reg(), reg()).prop_map(|(op, rd, rs, rt)| Instr::Alu { op, rd, rs, rt }),
-        (imm_alu_op(), reg(), reg(), any::<i16>())
-            .prop_map(|(op, rd, rs, imm)| Instr::AluImm { op, rd, rs, imm }),
+        (imm_alu_op(), reg(), reg(), any::<i16>()).prop_map(|(op, rd, rs, imm)| Instr::AluImm {
+            op,
+            rd,
+            rs,
+            imm
+        }),
         (reg(), any::<u16>()).prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
         (prop::sample::select(LlfuOp::ALL.to_vec()), reg(), reg(), reg())
             .prop_map(|(op, rd, rs, rt)| Instr::Llfu { op, rd, rs, rt }),

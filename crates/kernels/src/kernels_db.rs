@@ -17,8 +17,8 @@ pub(crate) fn bfs_graph() -> (Vec<u32>, Vec<u32>, Vec<u32>) {
     let mut rng = Rng::new(0xBF);
     let mut adj: Vec<Vec<u32>> = vec![Vec::new(); BFS_V];
     // A ring to guarantee reachability, plus random shortcuts.
-    for v in 0..BFS_V {
-        adj[v].push(((v + 1) % BFS_V) as u32);
+    for (v, edges) in adj.iter_mut().enumerate() {
+        edges.push(((v + 1) % BFS_V) as u32);
     }
     for _ in 0..2 * BFS_V {
         let u = rng.below(BFS_V as u32) as usize;
@@ -30,8 +30,8 @@ pub(crate) fn bfs_graph() -> (Vec<u32>, Vec<u32>, Vec<u32>) {
     let mut row_ptr = Vec::with_capacity(BFS_V + 1);
     let mut cols = Vec::new();
     row_ptr.push(0);
-    for v in 0..BFS_V {
-        cols.extend(&adj[v]);
+    for edges in &adj {
+        cols.extend(edges);
         row_ptr.push(cols.len() as u32);
     }
     // Golden BFS from vertex 0.
@@ -100,7 +100,8 @@ nnext:
 ndone:
     addiu r2, r2, 1
     xloop.uc.db body, r2, r3
-    exit".to_string();
+    exit"
+        .to_string();
     let mut dist_init = vec![INF; BFS_V];
     dist_init[0] = 0;
     let segments = vec![
@@ -193,7 +194,8 @@ qscand:
 qdone:
     addiu r2, r2, 1
     xloop.uc.db body, r2, r3
-    exit".to_string();
+    exit"
+        .to_string();
     let segments = vec![
         (0x1000, input),
         (0x3000, vec![0u32, QSORT_N as u32 - 1]), // initial partition

@@ -20,8 +20,8 @@ pub fn dynprog() -> Kernel {
     let mut rng = Rng::new(0xD9);
     let w: Vec<u32> = (0..N).map(|_| rng.below(50)).collect();
     let mut c = vec![0u32; N];
-    for i in 0..W {
-        c[i] = 10 * i as u32;
+    for (i, cell) in c.iter_mut().enumerate().take(W) {
+        *cell = 10 * i as u32;
     }
     let init = c.clone();
     for i in W..N {
@@ -179,11 +179,8 @@ wdone:
 /// it).
 pub fn ksack(small: bool) -> Kernel {
     const CAP: usize = 200;
-    let (name, weights): (&'static str, [u32; 4]) = if small {
-        ("ksack-sm-om", [2, 3, 5, 7])
-    } else {
-        ("ksack-lg-om", [11, 14, 17, 23])
-    };
+    let (name, weights): (&'static str, [u32; 4]) =
+        if small { ("ksack-sm-om", [2, 3, 5, 7]) } else { ("ksack-lg-om", [11, 14, 17, 23]) };
     let values: [u32; 4] = [3, 5, 9, 14];
     let mut dp = vec![0u32; CAP];
     for c in 1..CAP {
@@ -234,10 +231,7 @@ nofit:
     xloop.om body, r2, r3
     exit"
     );
-    let segments = vec![
-        (0x2000, weights.to_vec()),
-        (0x2100, values.to_vec()),
-    ];
+    let segments = vec![(0x2000, weights.to_vec()), (0x2100, values.to_vec())];
     Kernel::new(name, Suite::Custom, "om", asm, segments, check_words("dp", 0x1000, dp))
 }
 

@@ -19,8 +19,7 @@ pub fn all() -> Vec<Kernel> {
 }
 
 const ADPCM_N: usize = 1024;
-const STEP_TABLE: [i32; 16] =
-    [7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31];
+const STEP_TABLE: [i32; 16] = [7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31];
 const INDEX_TABLE: [i32; 8] = [-1, -1, -1, -1, 2, 4, 6, 8];
 
 fn adpcm_samples() -> Vec<i32> {

@@ -71,11 +71,8 @@ s2:
     xloop.uc body, r2, r3
     exit"
     );
-    let segments = vec![
-        (0x1000, pack_bytes(&r)),
-        (0x1400, pack_bytes(&g)),
-        (0x1800, pack_bytes(&b)),
-    ];
+    let segments =
+        vec![(0x1000, pack_bytes(&r)), (0x1400, pack_bytes(&g)), (0x1800, pack_bytes(&b))];
     let (cc, mm, yy) = (c.clone(), m.clone(), y.clone());
     Kernel::new(
         "rgb2cmyk-uc",
@@ -153,14 +150,7 @@ kloop:
         (0x3400, b.iter().map(|v| v.to_bits()).collect()),
     ];
     let expected: Vec<u32> = c.iter().map(|v| v.to_bits()).collect();
-    Kernel::new(
-        "sgemm-uc",
-        Suite::Custom,
-        "uc",
-        asm,
-        segments,
-        check_words("C", 0x3800, expected),
-    )
+    Kernel::new("sgemm-uc", Suite::Custom, "uc", asm, segments, check_words("C", 0x3800, expected))
 }
 
 /// Knuth-Morris-Pratt substring search over a collection of byte streams
@@ -265,11 +255,7 @@ nofull:
     for t in &texts {
         text_words.extend(pack_bytes(t));
     }
-    let segments = vec![
-        (0x4000, text_words),
-        (0x5000, pack_bytes(&pattern)),
-        (0x5100, fail),
-    ];
+    let segments = vec![(0x4000, text_words), (0x5000, pack_bytes(&pattern)), (0x5100, fail)];
     Kernel::new(
         "ssearch-uc",
         Suite::Custom,

@@ -32,6 +32,8 @@ mod kernels_ua;
 mod kernels_uc;
 mod variants;
 
+use std::sync::OnceLock;
+
 use xloops_asm::{assemble, Program};
 use xloops_mem::Memory;
 
@@ -170,24 +172,33 @@ pub(crate) fn check_bytes(label: &'static str, addr: u32, expected: Vec<u8>) -> 
 }
 
 /// All 25 kernels of Table II, in the table's order.
-pub fn table2() -> Vec<Kernel> {
-    let mut v = Vec::new();
-    v.extend(kernels_uc::all());
-    v.extend(kernels_or::all());
-    v.extend(kernels_om::all());
-    v.extend(kernels_ua::all());
-    v.extend(kernels_db::all());
-    v
+///
+/// Building a kernel assembles its source, generates its dataset, and
+/// computes its golden reference, so the suite is built once per process
+/// and served from a static registry thereafter.
+pub fn table2() -> &'static [Kernel] {
+    static TABLE2: OnceLock<Vec<Kernel>> = OnceLock::new();
+    TABLE2.get_or_init(|| {
+        let mut v = Vec::new();
+        v.extend(kernels_uc::all());
+        v.extend(kernels_or::all());
+        v.extend(kernels_om::all());
+        v.extend(kernels_ua::all());
+        v.extend(kernels_db::all());
+        v
+    })
 }
 
-/// The hand-optimized and loop-transformed variants of Table IV.
-pub fn table4() -> Vec<Kernel> {
-    variants::all()
+/// The hand-optimized and loop-transformed variants of Table IV (built
+/// once per process, like [`table2`]).
+pub fn table4() -> &'static [Kernel] {
+    static TABLE4: OnceLock<Vec<Kernel>> = OnceLock::new();
+    TABLE4.get_or_init(variants::all)
 }
 
 /// Looks a kernel up by its Table II / Table IV name.
-pub fn by_name(name: &str) -> Option<Kernel> {
-    table2().into_iter().chain(table4()).find(|k| k.name == name)
+pub fn by_name(name: &str) -> Option<&'static Kernel> {
+    table2().iter().chain(table4()).find(|k| k.name == name)
 }
 
 #[cfg(test)]
@@ -200,7 +211,7 @@ mod tests {
         assert_eq!(t2.len(), 25, "Table II has 25 kernels");
         let t4 = table4();
         assert_eq!(t4.len(), 8, "Table IV has 8 case-study variants");
-        let mut names: Vec<_> = t2.iter().chain(&t4).map(|k| k.name).collect();
+        let mut names: Vec<_> = t2.iter().chain(t4).map(|k| k.name).collect();
         names.sort_unstable();
         let n = names.len();
         names.dedup();
@@ -209,7 +220,7 @@ mod tests {
 
     #[test]
     fn every_kernel_assembles_and_has_an_xloop() {
-        for k in table2().iter().chain(&table4()) {
+        for k in table2().iter().chain(table4()) {
             assert!(
                 k.program.instrs().iter().any(|i| i.is_xloop()),
                 "{} contains no xloop",

@@ -30,10 +30,7 @@ pub fn all() -> Vec<Kernel> {
 pub fn bfs_uc() -> Kernel {
     let (row_ptr, cols, dist) = bfs_graph();
     const LEVELS: usize = 24;
-    assert!(
-        dist.iter().all(|&d| (d as usize) < LEVELS),
-        "level cap must cover the graph diameter"
-    );
+    assert!(dist.iter().all(|&d| (d as usize) < LEVELS), "level cap must cover the graph diameter");
 
     let asm = format!(
         "
@@ -365,8 +362,8 @@ body2:
     let bucket_bounds: Vec<(usize, usize)> = {
         let mut bounds = Vec::new();
         let mut start = 0usize;
-        for d in 0..16 {
-            let len = hist[d] as usize;
+        for &h in &hist {
+            let len = h as usize;
             bounds.push((start, start + len));
             start += len;
         }

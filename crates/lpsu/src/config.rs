@@ -4,7 +4,7 @@
 /// (`lpsu+i128+ln4`): four lanes, 128-entry instruction buffers, 8+8-entry
 /// load-store queues, one shared memory port, one shared (unpipelined)
 /// LLFU, no lane multithreading.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct LpsuConfig {
     /// Number of decoupled lanes (2–8 in the paper's design space).
     pub lanes: u32,

@@ -1,10 +1,8 @@
 //! The cycle-stepped specialized-execution engine.
 
-use std::collections::HashMap;
-
 use xloops_func::{alu_imm_value, load, store};
 use xloops_isa::{Instr, Reg};
-use xloops_mem::{Cache, Memory, SharedPort, SharedUnit};
+use xloops_mem::{Cache, FxHashMap, Memory, SharedPort, SharedUnit};
 
 use crate::config::LpsuConfig;
 use crate::lsq::Lsq;
@@ -193,7 +191,7 @@ struct Engine<'a> {
     llfu_div: SharedUnit,
     /// CIR channel: value produced by iteration `.0` for register `.1`,
     /// available at the stamped cycle.
-    chan: HashMap<(i64, u8), (u32, u64)>,
+    chan: FxHashMap<(i64, u8), (u32, u64)>,
     next_iter: u64,
     frontier: u64,
     committed: u64,
@@ -214,10 +212,9 @@ impl<'a> Engine<'a> {
         let orders_reg = scan.pattern.data.orders_registers();
         // Multithreading applies only to plain `uc` (the paper disables it
         // for patterns with register or memory ordering).
-        let contexts_per_lane =
-            if !orders_mem && !orders_reg { cfg.contexts } else { 1 };
+        let contexts_per_lane = if !orders_mem && !orders_reg { cfg.contexts } else { 1 };
         let n = (cfg.lanes * contexts_per_lane) as usize;
-        let mut chan = HashMap::new();
+        let mut chan = FxHashMap::default();
         if orders_reg {
             for cir in &scan.cirs {
                 chan.insert((-1i64, cir.reg.index() as u8), (scan.live_ins[cir.reg.index()], 0));
@@ -297,12 +294,21 @@ impl<'a> Engine<'a> {
         let k = self.contexts_per_lane as usize;
         // Rotate lane polling order for fair arbitration of shared
         // resources, and rotate context preference within a lane.
+        let lane_rot = self.cycle as usize % lanes;
+        let ctx_rot = self.cycle as usize % k;
         for li in 0..lanes {
-            let lane = (li + self.cycle as usize) % lanes;
+            let mut lane = li + lane_rot;
+            if lane >= lanes {
+                lane -= lanes;
+            }
             let mut progressed = false;
             let mut first_block: Option<Block> = None;
             for ci in 0..k {
-                let ctx_idx = lane * k + (ci + self.cycle as usize) % k;
+                let mut co = ci + ctx_rot;
+                if co >= k {
+                    co -= k;
+                }
+                let ctx_idx = lane * k + co;
                 match self.ctx_step(ctx_idx) {
                     Ok(()) => {
                         progressed = true;
@@ -322,7 +328,7 @@ impl<'a> Engine<'a> {
             match first_block.unwrap_or(Block::Idle) {
                 Block::Idle => self.stats.idle += 1,
                 b => {
-                    let ctx_idx = lane * k + self.cycle as usize % k;
+                    let ctx_idx = lane * k + ctx_rot;
                     self.ctxs[ctx_idx].tally.blocked(b);
                 }
             }
@@ -690,7 +696,11 @@ impl<'a> Engine<'a> {
                             self.mem.read_u32(a)
                         }
                     };
-                    self.ctxs[ci].lsq.push_store(a, xloops_isa::MemOp::Sw, op.combine(old, operand));
+                    self.ctxs[ci].lsq.push_store(
+                        a,
+                        xloops_isa::MemOp::Sw,
+                        op.combine(old, operand),
+                    );
                     self.ctxs[ci].tally.lsq_events += 1;
                     result = Some((rd, old, self.cycle + 2));
                 } else {

@@ -1,6 +1,8 @@
 //! Per-lane load-store queues for memory-dependence speculation
 //! (`xloop.om`, `xloop.orm`, `xloop.ua`).
 
+use std::collections::VecDeque;
+
 use xloops_isa::MemOp;
 
 /// A buffered speculative store.
@@ -19,7 +21,7 @@ pub(crate) struct StoreEntry {
 /// from an older iteration can detect a memory-dependence violation.
 #[derive(Clone, Debug, Default)]
 pub(crate) struct Lsq {
-    stores: Vec<StoreEntry>,
+    stores: VecDeque<StoreEntry>,
     /// Word-granular addresses this iteration has loaded from memory.
     load_words: Vec<u32>,
 }
@@ -36,9 +38,10 @@ impl Lsq {
     }
 
     /// Buffers a speculative store (program order within the iteration).
+    #[inline]
     pub fn push_store(&mut self, addr: u32, op: MemOp, value: u32) {
         debug_assert!(op.is_store());
-        self.stores.push(StoreEntry { addr, op, value });
+        self.stores.push_back(StoreEntry { addr, op, value });
     }
 
     /// Records that this iteration loaded from `addr` (word granularity).
@@ -74,12 +77,9 @@ impl Lsq {
     }
 
     /// Removes and returns the oldest buffered store.
+    #[inline]
     pub fn pop_store(&mut self) -> Option<StoreEntry> {
-        if self.stores.is_empty() {
-            None
-        } else {
-            Some(self.stores.remove(0))
-        }
+        self.stores.pop_front()
     }
 
     /// Flushes everything (squash or commit).

@@ -137,15 +137,17 @@ pub fn scan(
         return Err(ScanError::NotAnXloop(xloop_pc));
     };
     if body_offset as u32 > config.ibuf_entries {
-        return Err(ScanError::BodyTooLarge { body: body_offset as u32, ibuf: config.ibuf_entries });
+        return Err(ScanError::BodyTooLarge {
+            body: body_offset as u32,
+            ibuf: config.ibuf_entries,
+        });
     }
     let body_pc = xloop_pc - body_offset as u32 * INSTR_BYTES;
     let body_len = body_offset as usize;
     let mut body = Vec::with_capacity(body_len);
     for i in 0..body_len {
-        let instr = program
-            .fetch(body_pc + i as u32 * INSTR_BYTES)
-            .expect("body lies inside the program");
+        let instr =
+            program.fetch(body_pc + i as u32 * INSTR_BYTES).expect("body lies inside the program");
         match instr {
             Instr::JumpReg { .. } | Instr::Exit | Instr::Sync | Instr::Jump { .. } => {
                 return Err(ScanError::UnsupportedInstr(instr))
@@ -176,7 +178,9 @@ pub fn scan(
     let mut step: Option<i32> = None;
     for instr in &body {
         let s = match *instr {
-            Instr::AluImm { op: xloops_isa::AluOp::Addu, rd, rs, imm } if rd == idx && rs == idx => {
+            Instr::AluImm { op: xloops_isa::AluOp::Addu, rd, rs, imm }
+                if rd == idx && rs == idx =>
+            {
                 Some(imm as i32)
             }
             Instr::Xi { reg, kind: XiKind::Imm(imm) } if reg == idx => Some(imm as i32),
@@ -271,12 +275,9 @@ mod tests {
 
     fn scan_src(src: &str, live_ins: [u32; 32]) -> Result<ScanResult, ScanError> {
         let p = assemble(src).unwrap();
-        let xloop_pc = p
-            .instrs()
-            .iter()
-            .position(|i| i.is_xloop())
-            .expect("program contains an xloop") as u32
-            * 4;
+        let xloop_pc =
+            p.instrs().iter().position(|i| i.is_xloop()).expect("program contains an xloop") as u32
+                * 4;
         scan(&p, xloop_pc, live_ins, &LpsuConfig::default4())
     }
 
@@ -387,10 +388,7 @@ mod tests {
         );
         assert_eq!(e.unwrap_err(), ScanError::ControlEscapesBody);
 
-        let e = scan_src(
-            "li r3, 4\nbody: nop\n xloop.uc body, r2, r3\nexit",
-            regs(&[]),
-        );
+        let e = scan_src("li r3, 4\nbody: nop\n xloop.uc body, r2, r3\nexit", regs(&[]));
         assert_eq!(e.unwrap_err(), ScanError::NoInductionUpdate);
     }
 

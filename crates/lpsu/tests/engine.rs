@@ -108,11 +108,8 @@ fn uc_benefits_from_double_resources_when_port_bound() {
     let mut base_mem = mem0.clone();
     let base = run_lpsu(LpsuConfig::default4().with_lanes(8), &s, &mut base_mem);
     let mut more_mem = mem0;
-    let more = run_lpsu(
-        LpsuConfig::default4().with_lanes(8).with_double_resources(),
-        &s,
-        &mut more_mem,
-    );
+    let more =
+        run_lpsu(LpsuConfig::default4().with_lanes(8).with_double_resources(), &s, &mut more_mem);
     assert!(
         more.cycles < base.cycles,
         "extra port must help a port-bound loop: {} vs {}",
@@ -446,11 +443,8 @@ fn multithreading_hides_llfu_latency_for_uc() {
     let mut m1 = mem0.clone();
     let plain = run_lpsu(LpsuConfig::default4().with_double_resources(), &s, &mut m1);
     let mut m2 = mem0;
-    let mt = run_lpsu(
-        LpsuConfig::default4().with_double_resources().with_multithreading(),
-        &s,
-        &mut m2,
-    );
+    let mt =
+        run_lpsu(LpsuConfig::default4().with_double_resources().with_multithreading(), &s, &mut m2);
     assert!(
         mt.cycles < plain.cycles,
         "multithreading should fill RAW bubbles: {} vs {}",

@@ -37,7 +37,8 @@ fn op() -> impl Strategy<Value = Op> {
     let temp = 8u8..16;
     let alu = prop::sample::select(vec![AluOp::Addu, AluOp::Subu, AluOp::Xor, AluOp::And]);
     prop_oneof![
-        (temp.clone(), temp.clone(), temp.clone(), alu).prop_map(|(a, b, c, op)| Op::Alu(a, b, c, op)),
+        (temp.clone(), temp.clone(), temp.clone(), alu)
+            .prop_map(|(a, b, c, op)| Op::Alu(a, b, c, op)),
         (temp.clone(), -4i8..8).prop_map(|(r, k)| Op::Load(r, k)),
         (temp.clone(), -4i8..8).prop_map(|(r, k)| Op::Store(r, k)),
         (temp, any::<i8>()).prop_map(|(r, imm)| Op::AddImm(r, imm)),
@@ -131,8 +132,7 @@ fn run_lpsu_cfg(p: &Program, config: LpsuConfig) -> Memory {
     let mut mem = Memory::new();
     init_array(&mut mem);
     let mut cpu = Interp::new();
-    let xloop_pc =
-        p.instrs().iter().position(|i| i.is_xloop()).expect("has xloop") as u32 * 4;
+    let xloop_pc = p.instrs().iter().position(|i| i.is_xloop()).expect("has xloop") as u32 * 4;
     while cpu.pc != xloop_pc {
         cpu.step(p, &mut mem).expect("prefix");
     }
@@ -148,12 +148,7 @@ fn run_lpsu_cfg(p: &Program, config: LpsuConfig) -> Memory {
 
 fn arrays_equal(a: &Memory, b: &Memory) -> Result<(), TestCaseError> {
     for i in 0..64u32 {
-        prop_assert_eq!(
-            a.read_u32(ARRAY + 4 * i),
-            b.read_u32(ARRAY + 4 * i),
-            "array word {}",
-            i
-        );
+        prop_assert_eq!(a.read_u32(ARRAY + 4 * i), b.read_u32(ARRAY + 4 * i), "array word {}", i);
     }
     Ok(())
 }

@@ -1,5 +1,5 @@
 /// Configuration of a timing-only cache model.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: u32,
@@ -17,7 +17,13 @@ impl CacheConfig {
     /// The paper's L1 configuration: 16 KB, 4-way, 64 B lines, 1-cycle hit,
     /// 20-cycle miss penalty.
     pub fn l1_default() -> CacheConfig {
-        CacheConfig { size_bytes: 16 * 1024, line_bytes: 64, ways: 4, hit_cycles: 1, miss_cycles: 20 }
+        CacheConfig {
+            size_bytes: 16 * 1024,
+            line_bytes: 64,
+            ways: 4,
+            hit_cycles: 1,
+            miss_cycles: 20,
+        }
     }
 }
 
@@ -81,6 +87,10 @@ pub struct Cache {
     sets: Vec<Vec<Line>>,
     stats: CacheStats,
     tick: u64,
+    /// `log2(line_bytes)`, so the hot path shifts instead of dividing.
+    line_shift: u32,
+    /// `log2(sets.len())`.
+    set_shift: u32,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -103,7 +113,14 @@ impl Cache {
         assert!(lines.is_multiple_of(config.ways), "capacity not divisible into sets");
         let num_sets = (lines / config.ways) as usize;
         assert!(num_sets.is_power_of_two(), "set count must be a power of two");
-        Cache { config, sets: vec![Vec::new(); num_sets], stats: CacheStats::default(), tick: 0 }
+        Cache {
+            config,
+            sets: vec![Vec::new(); num_sets],
+            stats: CacheStats::default(),
+            tick: 0,
+            line_shift: config.line_bytes.trailing_zeros(),
+            set_shift: num_sets.trailing_zeros(),
+        }
     }
 
     /// The configuration the cache was built with.
@@ -113,11 +130,12 @@ impl Cache {
 
     /// Simulates one access, returning its latency in cycles and updating
     /// the hit/miss statistics.
+    #[inline]
     pub fn access(&mut self, addr: u32, is_write: bool) -> u32 {
         self.tick += 1;
-        let line_addr = addr / self.config.line_bytes;
+        let line_addr = addr >> self.line_shift;
         let set_idx = (line_addr as usize) & (self.sets.len() - 1);
-        let tag = line_addr / self.sets.len() as u32;
+        let tag = line_addr >> self.set_shift;
         let set = &mut self.sets[set_idx];
 
         if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
@@ -151,10 +169,11 @@ impl Cache {
 
     /// Latency an access *would* have, without updating any state. Used by
     /// schedulers that need to peek before committing to an issue slot.
+    #[inline]
     pub fn peek(&self, addr: u32) -> u32 {
-        let line_addr = addr / self.config.line_bytes;
+        let line_addr = addr >> self.line_shift;
         let set_idx = (line_addr as usize) & (self.sets.len() - 1);
-        let tag = line_addr / self.sets.len() as u32;
+        let tag = line_addr >> self.set_shift;
         if self.sets[set_idx].iter().any(|l| l.tag == tag) {
             self.config.hit_cycles
         } else {
@@ -183,7 +202,13 @@ mod tests {
 
     fn tiny() -> Cache {
         // 2 sets × 2 ways × 16-byte lines = 64 bytes.
-        Cache::new(CacheConfig { size_bytes: 64, line_bytes: 16, ways: 2, hit_cycles: 1, miss_cycles: 9 })
+        Cache::new(CacheConfig {
+            size_bytes: 64,
+            line_bytes: 16,
+            ways: 2,
+            hit_cycles: 1,
+            miss_cycles: 9,
+        })
     }
 
     #[test]
@@ -238,6 +263,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_line_size_panics() {
-        Cache::new(CacheConfig { size_bytes: 64, line_bytes: 12, ways: 2, hit_cycles: 1, miss_cycles: 9 });
+        Cache::new(CacheConfig {
+            size_bytes: 64,
+            line_bytes: 12,
+            ways: 2,
+            hit_cycles: 1,
+            miss_cycles: 9,
+        });
     }
 }

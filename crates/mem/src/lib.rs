@@ -18,9 +18,11 @@
 //! lines with a 1-cycle hit and 20-cycle miss.
 
 mod cache;
+pub mod hash;
 mod memory;
 mod share;
 
 pub use cache::{Cache, CacheConfig, CacheStats};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use memory::Memory;
 pub use share::{SharedPort, SharedUnit};

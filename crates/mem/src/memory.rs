@@ -1,9 +1,15 @@
-use std::collections::HashMap;
-
+use crate::hash::FxHashMap;
 use xloops_isa::AmoOp;
 
 const PAGE_BITS: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+/// Pages below this number (the first 1 MiB of the address space, where all
+/// of the evaluation's code and datasets live) are reached through a
+/// direct-indexed table — one bounds check and one pointer load per access
+/// instead of a hash lookup. Higher pages fall back to a hash map so the
+/// full 32-bit space stays addressable.
+const LOW_PAGES: usize = 256;
 
 /// A sparse, paged, little-endian, byte-addressable 32-bit memory.
 ///
@@ -21,7 +27,8 @@ const PAGE_SIZE: usize = 1 << PAGE_BITS;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Memory {
-    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+    low: Vec<Option<Box<[u8; PAGE_SIZE]>>>,
+    high: FxHashMap<u32, Box<[u8; PAGE_SIZE]>>,
 }
 
 impl Memory {
@@ -30,12 +37,30 @@ impl Memory {
         Memory::default()
     }
 
+    #[inline]
     fn page(&self, addr: u32) -> Option<&[u8; PAGE_SIZE]> {
-        self.pages.get(&(addr >> PAGE_BITS)).map(|b| &**b)
+        let pn = (addr >> PAGE_BITS) as usize;
+        if pn < LOW_PAGES {
+            match self.low.get(pn) {
+                Some(Some(p)) => Some(p),
+                _ => None,
+            }
+        } else {
+            self.high.get(&(pn as u32)).map(|b| &**b)
+        }
     }
 
+    #[inline]
     fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE] {
-        self.pages.entry(addr >> PAGE_BITS).or_insert_with(|| Box::new([0; PAGE_SIZE]))
+        let pn = (addr >> PAGE_BITS) as usize;
+        if pn < LOW_PAGES {
+            if self.low.len() <= pn {
+                self.low.resize_with(LOW_PAGES, || None);
+            }
+            self.low[pn].get_or_insert_with(|| Box::new([0; PAGE_SIZE]))
+        } else {
+            self.high.entry(pn as u32).or_insert_with(|| Box::new([0; PAGE_SIZE]))
+        }
     }
 
     /// Reads one byte.
@@ -142,7 +167,7 @@ impl Memory {
 
     /// Number of pages that have been touched (for memory-footprint stats).
     pub fn touched_pages(&self) -> usize {
-        self.pages.len()
+        self.low.iter().filter(|p| p.is_some()).count() + self.high.len()
     }
 }
 
@@ -189,6 +214,21 @@ mod tests {
         let mut m = Memory::new();
         m.write_words(0x100, &[1, 2, 3, 4]);
         assert_eq!(m.read_words(0x100, 4), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn high_pages_beyond_the_direct_index() {
+        let mut m = Memory::new();
+        let low = 0x0000_2000u32; // direct-indexed page
+        let high = 0xF000_0000u32; // hash-map fallback page
+        m.write_u32(low, 0x1111_2222);
+        m.write_u32(high, 0x3333_4444);
+        assert_eq!(m.read_u32(low), 0x1111_2222);
+        assert_eq!(m.read_u32(high), 0x3333_4444);
+        assert_eq!(m.read_u32(high + PAGE_SIZE as u32), 0); // untouched high page
+        assert_eq!(m.touched_pages(), 2);
+        let copy = m.clone();
+        assert_eq!(copy.read_u32(high), 0x3333_4444);
     }
 
     #[test]

@@ -49,6 +49,7 @@ impl SharedPort {
 
     /// Attempts to issue a request in `cycle`. Returns `false` if the
     /// port's per-cycle bandwidth is exhausted.
+    #[inline]
     pub fn try_issue(&mut self, cycle: u64) -> bool {
         self.roll(cycle);
         if self.used < self.per_cycle {
@@ -103,6 +104,7 @@ impl SharedUnit {
     }
 
     /// Attempts to start an operation of `latency` cycles in `cycle`.
+    #[inline]
     pub fn try_start(&mut self, cycle: u64, latency: u32) -> bool {
         match self.busy_until.iter_mut().find(|b| **b <= cycle) {
             Some(slot) => {

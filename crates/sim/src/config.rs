@@ -3,7 +3,7 @@ use xloops_gpp::GppConfig;
 use xloops_lpsu::LpsuConfig;
 
 /// How to execute an XLOOPS binary.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ExecMode {
     /// Everything on the GPP; `xloop` behaves as a conditional branch.
     Traditional,
@@ -25,7 +25,29 @@ pub struct SystemConfig {
     pub energy: EnergyTable,
 }
 
+/// A hashable identity for a [`SystemConfig`].
+///
+/// `GppConfig` and `LpsuConfig` are all-integer and hash directly; the
+/// `EnergyTable`'s `f64` entries are folded into a stable bit-pattern
+/// fingerprint. Two configs share a key iff every parameter that can
+/// affect a simulation result is identical, so the key is safe to memoize
+/// runs under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ConfigKey {
+    /// The GPP parameters, verbatim.
+    pub gpp: GppConfig,
+    /// The LPSU parameters (or `None` for a GPP-only system), verbatim.
+    pub lpsu: Option<LpsuConfig>,
+    /// [`EnergyTable::fingerprint`] of the energy table.
+    pub energy: u64,
+}
+
 impl SystemConfig {
+    /// Stable hashable identity of this config (see [`ConfigKey`]).
+    pub fn key(&self) -> ConfigKey {
+        ConfigKey { gpp: self.gpp, lpsu: self.lpsu, energy: self.energy.fingerprint() }
+    }
+
     fn energy_for(gpp: &GppConfig) -> EnergyTable {
         match gpp.width() {
             1 => EnergyTable::mcpat45_io(),
@@ -99,5 +121,30 @@ mod tests {
         assert!(SystemConfig::io_x().lpsu.is_some());
         assert!(SystemConfig::ooo4_x().energy.ooo_per_instr > 0.0);
         assert_eq!(SystemConfig::io_x().energy.ooo_per_instr, 0.0);
+    }
+
+    #[test]
+    fn keys_identify_configs() {
+        // Same parameters -> same key, independently constructed.
+        assert_eq!(SystemConfig::ooo2_x().key(), SystemConfig::ooo2_x().key());
+        // Every baseline/LPSU pairing is distinct.
+        let configs = [
+            SystemConfig::io(),
+            SystemConfig::ooo2(),
+            SystemConfig::ooo4(),
+            SystemConfig::io_x(),
+            SystemConfig::ooo2_x(),
+            SystemConfig::ooo4_x(),
+        ];
+        for (i, a) in configs.iter().enumerate() {
+            for b in &configs[i + 1..] {
+                assert_ne!(a.key(), b.key(), "{} vs {}", a.name(), b.name());
+            }
+        }
+        // An energy-table swap alone changes the key.
+        let vlsi = SystemConfig::io_x().with_energy(xloops_energy::EnergyTable::mcpat45_io());
+        let mut bumped = vlsi;
+        bumped.energy.alu += 0.5;
+        assert_ne!(vlsi.key(), bumped.key());
     }
 }

@@ -25,7 +25,7 @@ mod stats;
 mod system;
 
 pub use adaptive::{Apt, Decision};
-pub use config::{ExecMode, SystemConfig};
+pub use config::{ConfigKey, ExecMode, SystemConfig};
 pub use error::SimError;
 pub use stats::SystemStats;
 pub use system::System;

@@ -1,4 +1,4 @@
-use std::collections::HashSet;
+use xloops_mem::FxHashSet;
 
 use xloops_asm::Program;
 use xloops_gpp::{GppCore, GppKind, RunOpts, StopReason, Watch};
@@ -42,7 +42,7 @@ pub struct System {
     lpsu: Option<Lpsu>,
     mem: Memory,
     apt: Apt,
-    fallback_pcs: HashSet<u32>,
+    fallback_pcs: FxHashSet<u32>,
 }
 
 impl System {
@@ -54,7 +54,7 @@ impl System {
             lpsu: config.lpsu.map(Lpsu::new),
             mem: Memory::new(),
             apt: Apt::new(),
-            fallback_pcs: HashSet::new(),
+            fallback_pcs: FxHashSet::default(),
         }
     }
 

@@ -106,9 +106,7 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
     let mut opts = RunOptions::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        let mut next = |what: &str| {
-            it.next().cloned().ok_or_else(|| format!("{a} expects {what}"))
-        };
+        let mut next = |what: &str| it.next().cloned().ok_or_else(|| format!("{a} expects {what}"));
         match a.as_str() {
             "--config" => opts.config = parse_config(&next("a config name")?)?,
             "--mode" => opts.mode = parse_mode(&next("a mode")?)?,
@@ -170,13 +168,17 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     }
 }
 
+/// What [`execute`] produces: text to print, plus an optional
+/// `(path, bytes)` file to write (for `asm -o`).
+pub type CommandOutput = (String, Option<(String, Vec<u8>)>);
+
 /// Executes a command, returning the text to print (and optionally a file
 /// to write for `asm -o`).
 ///
 /// # Errors
 ///
 /// Assembly, simulation, and verification failures as readable strings.
-pub fn execute(cmd: Command) -> Result<(String, Option<(String, Vec<u8>)>), String> {
+pub fn execute(cmd: Command) -> Result<CommandOutput, String> {
     match cmd {
         Command::Help => Ok((usage().to_string(), None)),
         Command::Asm { source, out } => {
@@ -184,7 +186,8 @@ pub fn execute(cmd: Command) -> Result<(String, Option<(String, Vec<u8>)>), Stri
             let words = program.to_words();
             let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
             let mut text = String::new();
-            let _ = writeln!(text, "assembled {} instructions ({} bytes)", words.len(), bytes.len());
+            let _ =
+                writeln!(text, "assembled {} instructions ({} bytes)", words.len(), bytes.len());
             if out.is_none() {
                 for (i, w) in words.iter().enumerate() {
                     let _ = writeln!(text, "{:#06x}: {w:08x}", i * 4);
@@ -240,7 +243,12 @@ pub fn execute(cmd: Command) -> Result<(String, Option<(String, Vec<u8>)>), Stri
             for &(addr, n) in &opts.dumps {
                 let _ = writeln!(text, "\nmemory at {addr:#x}:");
                 for i in 0..n {
-                    let _ = writeln!(text, "  {:#010x}: {:#010x}", addr + 4 * i, sys.load_word(addr + 4 * i));
+                    let _ = writeln!(
+                        text,
+                        "  {:#010x}: {:#010x}",
+                        addr + 4 * i,
+                        sys.load_word(addr + 4 * i)
+                    );
                 }
             }
             Ok((text, None))
@@ -345,19 +353,16 @@ mod tests {
         opts.config = SystemConfig::io();
         opts.inits.push((0x100, 37));
         opts.dumps.push((0x104, 1));
-        let (text, _) =
-            execute(Command::Run { source: source.into(), opts }).unwrap();
+        let (text, _) = execute(Command::Run { source: source.into(), opts }).unwrap();
         assert!(text.contains("0x0000002a"), "{text}"); // 37 + 5
         assert!(text.contains("cycles"));
     }
 
     #[test]
     fn kernel_command_verifies() {
-        let (text, _) = execute(Command::Kernel {
-            name: "huffman-ua".into(),
-            opts: RunOptions::default(),
-        })
-        .unwrap();
+        let (text, _) =
+            execute(Command::Kernel { name: "huffman-ua".into(), opts: RunOptions::default() })
+                .unwrap();
         assert!(text.contains("verified OK"), "{text}");
         assert!(text.contains("specialized"));
     }
@@ -367,11 +372,9 @@ mod tests {
         let mut opts = RunOptions { mode: ExecMode::Traditional, ..RunOptions::default() };
         opts.config = SystemConfig::io();
         opts.trace = 3;
-        let (text, _) = execute(Command::Run {
-            source: "li r1, 9\n sw r1, 0(r0)\n exit".into(),
-            opts,
-        })
-        .unwrap();
+        let (text, _) =
+            execute(Command::Run { source: "li r1, 9\n sw r1, 0(r0)\n exit".into(), opts })
+                .unwrap();
         assert!(text.contains("functional trace"), "{text}");
         assert!(text.contains("r1 <- 0x9"), "{text}");
         assert!(text.contains("[W 0x0]"), "{text}");
@@ -380,11 +383,8 @@ mod tests {
     #[test]
     fn asm_and_disasm_round_trip_via_cli() {
         let source = "top: addiu r1, r1, 1\n bne r1, r2, top\n exit";
-        let (_, file) = execute(Command::Asm {
-            source: source.into(),
-            out: Some("x.bin".into()),
-        })
-        .unwrap();
+        let (_, file) =
+            execute(Command::Asm { source: source.into(), out: Some("x.bin".into()) }).unwrap();
         let (path, bytes) = file.expect("asm -o produces a file");
         assert_eq!(path, "x.bin");
         let (text, _) = execute(Command::Disasm { image: bytes }).unwrap();

@@ -26,7 +26,7 @@ fn word_exact(kernel: &xloops::kernels::Kernel) -> bool {
 #[test]
 fn every_engine_produces_the_golden_memory_image() {
     for kernel in table2() {
-        let gold = golden(&kernel);
+        let gold = golden(kernel);
         let configs = [
             (SystemConfig::io(), ExecMode::Traditional),
             (SystemConfig::ooo2(), ExecMode::Traditional),
@@ -38,7 +38,7 @@ fn every_engine_produces_the_golden_memory_image() {
             kernel.init_memory(sys.mem_mut());
             sys.run(&kernel.program, mode).expect("runs");
             kernel.verify(sys.mem()).unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
-            if word_exact(&kernel) {
+            if word_exact(kernel) {
                 // Stronger than verify(): the *whole* touched image matches
                 // the functional model, not just the checked outputs.
                 for addr in (0x1000..0x7000u32).step_by(4) {
@@ -102,7 +102,7 @@ fn specialization_always_helps_the_inorder_core() {
 #[test]
 fn lane_count_never_changes_results() {
     for kernel in table2() {
-        if !word_exact(&kernel) {
+        if !word_exact(kernel) {
             continue;
         }
         let mut images: Vec<Vec<u32>> = Vec::new();

@@ -13,9 +13,9 @@ fn run_one(kernel: &Kernel, config: SystemConfig, mode: ExecMode) {
     let stats = sys
         .run(&kernel.program, mode)
         .unwrap_or_else(|e| panic!("{} on {} ({mode:?}): {e}", kernel.name, sys.config().name()));
-    kernel.verify(sys.mem()).unwrap_or_else(|e| {
-        panic!("{} on {} ({mode:?}): {e}", kernel.name, sys.config().name())
-    });
+    kernel
+        .verify(sys.mem())
+        .unwrap_or_else(|e| panic!("{} on {} ({mode:?}): {e}", kernel.name, sys.config().name()));
     assert!(stats.cycles > 0);
 }
 
@@ -27,51 +27,51 @@ fn run_mode(kernels: &[Kernel], config: SystemConfig, mode: ExecMode) {
 
 #[test]
 fn table2_traditional_io() {
-    run_mode(&table2(), SystemConfig::io(), ExecMode::Traditional);
+    run_mode(table2(), SystemConfig::io(), ExecMode::Traditional);
 }
 
 #[test]
 fn table2_traditional_ooo2() {
-    run_mode(&table2(), SystemConfig::ooo2(), ExecMode::Traditional);
+    run_mode(table2(), SystemConfig::ooo2(), ExecMode::Traditional);
 }
 
 #[test]
 fn table2_traditional_ooo4() {
-    run_mode(&table2(), SystemConfig::ooo4(), ExecMode::Traditional);
+    run_mode(table2(), SystemConfig::ooo4(), ExecMode::Traditional);
 }
 
 #[test]
 fn table2_specialized_io_x() {
-    run_mode(&table2(), SystemConfig::io_x(), ExecMode::Specialized);
+    run_mode(table2(), SystemConfig::io_x(), ExecMode::Specialized);
 }
 
 #[test]
 fn table2_specialized_ooo2_x() {
-    run_mode(&table2(), SystemConfig::ooo2_x(), ExecMode::Specialized);
+    run_mode(table2(), SystemConfig::ooo2_x(), ExecMode::Specialized);
 }
 
 #[test]
 fn table2_specialized_ooo4_x() {
-    run_mode(&table2(), SystemConfig::ooo4_x(), ExecMode::Specialized);
+    run_mode(table2(), SystemConfig::ooo4_x(), ExecMode::Specialized);
 }
 
 #[test]
 fn table2_adaptive_io_x() {
-    run_mode(&table2(), SystemConfig::io_x(), ExecMode::Adaptive);
+    run_mode(table2(), SystemConfig::io_x(), ExecMode::Adaptive);
 }
 
 #[test]
 fn table2_adaptive_ooo4_x() {
-    run_mode(&table2(), SystemConfig::ooo4_x(), ExecMode::Adaptive);
+    run_mode(table2(), SystemConfig::ooo4_x(), ExecMode::Adaptive);
 }
 
 #[test]
 fn table4_variants_all_modes() {
     let kernels = table4();
-    run_mode(&kernels, SystemConfig::io(), ExecMode::Traditional);
-    run_mode(&kernels, SystemConfig::io_x(), ExecMode::Specialized);
-    run_mode(&kernels, SystemConfig::ooo2_x(), ExecMode::Specialized);
-    run_mode(&kernels, SystemConfig::ooo4_x(), ExecMode::Adaptive);
+    run_mode(kernels, SystemConfig::io(), ExecMode::Traditional);
+    run_mode(kernels, SystemConfig::io_x(), ExecMode::Specialized);
+    run_mode(kernels, SystemConfig::ooo2_x(), ExecMode::Specialized);
+    run_mode(kernels, SystemConfig::ooo4_x(), ExecMode::Adaptive);
 }
 
 #[test]
@@ -109,7 +109,7 @@ fn design_space_configs_stay_correct() {
             k.init_memory(sys.mem_mut());
             sys.run(&k.program, ExecMode::Specialized)
                 .unwrap_or_else(|e| panic!("{} on {}: {e}", k.name, lpsu.name()));
-            kverify(&k, &sys, &lpsu.name());
+            kverify(k, &sys, &lpsu.name());
         }
     }
 }

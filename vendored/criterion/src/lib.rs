@@ -1,0 +1,203 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the API slice its benches use (`Criterion::benchmark_group`,
+//! `BenchmarkGroup::{throughput, bench_function, finish}`, the
+//! `criterion_group!`/`criterion_main!` macros). Unlike a pure compile
+//! shim, this harness *measures*: each benchmark is warmed up, then timed
+//! over enough iterations to cover a minimum measurement window, and the
+//! median per-iteration time (plus throughput, when declared) is printed
+//! in a `name ... time: [x ns/iter]` line. No statistics machinery, no
+//! HTML reports — numbers suitable for before/after comparisons in
+//! EXPERIMENTS.md.
+
+use std::time::{Duration, Instant};
+
+/// Declared workload per iteration, used to derive throughput lines.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Accepts (and ignores) CLI configuration, mirroring criterion's API.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup { group: name.to_string(), throughput: None }
+    }
+
+    /// Runs a single ungrouped benchmark. Accepts `&str` or `String`
+    /// (real criterion takes any `IntoBenchmarkId`).
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name.as_ref(), None, f);
+    }
+}
+
+/// A named group of benchmarks sharing a throughput declaration.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    group: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Declares the per-iteration workload for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Times one benchmark and prints its result line. Accepts `&str` or
+    /// `String` (real criterion takes any `IntoBenchmarkId`).
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.group, name.as_ref());
+        run_bench(&full, self.throughput, f);
+    }
+
+    /// Ends the group (printing is incremental; nothing left to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] times the payload.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `f`, collecting per-iteration samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: size a sample so one sample is >= ~2 ms.
+        let calib = Instant::now();
+        std::hint::black_box(f());
+        let once = calib.elapsed().max(Duration::from_nanos(50));
+        let iters =
+            (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+
+        const SAMPLES: usize = 15;
+        let budget = Duration::from_millis(300);
+        let start = Instant::now();
+        self.iters_per_sample = iters;
+        self.samples.clear();
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            self.samples.push(t.elapsed());
+            if start.elapsed() > budget {
+                break;
+            }
+        }
+    }
+
+    fn median_ns_per_iter(&self) -> Option<f64> {
+        if self.samples.is_empty() || self.iters_per_sample == 0 {
+            return None;
+        }
+        let mut ns: Vec<u128> = self.samples.iter().map(|d| d.as_nanos()).collect();
+        ns.sort_unstable();
+        Some(ns[ns.len() / 2] as f64 / self.iters_per_sample as f64)
+    }
+}
+
+fn run_bench<F>(name: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher::default();
+    f(&mut b);
+    match b.median_ns_per_iter() {
+        Some(ns) => {
+            let rate = throughput.map(|t| match t {
+                Throughput::Elements(n) => format!("  thrpt: {:.3} Melem/s", n as f64 * 1e3 / ns),
+                Throughput::Bytes(n) => {
+                    format!("  thrpt: {:.3} MiB/s", n as f64 * 1e9 / ns / (1 << 20) as f64)
+                }
+            });
+            println!("{name:40} time: [{} /iter]{}", fmt_ns(ns), rate.unwrap_or_default());
+        }
+        None => println!("{name:40} time: [no samples]"),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Mirrors criterion's macro: bundles benchmark functions into one runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Mirrors criterion's macro: the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher::default();
+        b.iter(|| std::hint::black_box(2u64 + 2));
+        assert!(b.median_ns_per_iter().is_some());
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(4));
+        g.bench_function("add", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        g.finish();
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(12.0), "12.0 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.500 µs");
+        assert_eq!(fmt_ns(2_000_000.0), "2.000 ms");
+    }
+}

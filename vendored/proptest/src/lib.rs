@@ -1,0 +1,516 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the API slice its property tests use: the [`Strategy`] trait with
+//! `prop_map`, range/tuple/`any`/`Just`/`select`/`collection::vec`
+//! strategies, the `prop_oneof!` union, the `proptest!` test macro with
+//! `ProptestConfig::with_cases`, and the `prop_assert*` macros.
+//!
+//! Semantics: each test runs `cases` deterministic random cases (seeded
+//! from the test name, so failures reproduce run-to-run). There is **no
+//! shrinking** — a failing case reports its generated inputs via `Debug`
+//! and panics. That is a weaker debugging experience than real proptest
+//! but identical pass/fail power for a fixed case budget.
+
+use std::rc::Rc;
+
+/// Deterministic xoshiro256++ source driving all strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seeds from a test identifier and case index (stable across runs).
+    pub fn deterministic(test_name: &str, case: u32) -> TestRng {
+        // FNV-1a over the name, mixed with the case number.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut x = h ^ ((case as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng { s: [next(), next(), next(), next()] }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// A value generator. Mirrors `proptest::strategy::Strategy` minus
+/// shrinking machinery.
+pub trait Strategy: Clone {
+    /// The generated value type.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        O: std::fmt::Debug,
+        F: Fn(Self::Value) -> O + Clone,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Object-safe generation, so unions can hold heterogeneous strategies.
+trait DynStrategy<V> {
+    fn dyn_new_value(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_new_value(&self, rng: &mut TestRng) -> S::Value {
+        self.new_value(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V>(Rc<dyn DynStrategy<V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> BoxedStrategy<V> {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<V: std::fmt::Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        self.0.dyn_new_value(rng)
+    }
+}
+
+/// `prop_map` adapter.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: std::fmt::Debug,
+    F: Fn(S::Value) -> O + Clone,
+{
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between type-erased alternatives (`prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Clone for Union<V> {
+    fn clone(&self) -> Union<V> {
+        Union { options: self.options.clone() }
+    }
+}
+
+impl<V: std::fmt::Debug> Union<V> {
+    /// Builds a union; panics on an empty option list.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Union<V> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+        Union { options }
+    }
+}
+
+impl<V: std::fmt::Debug> Strategy for Union<V> {
+    type Value = V;
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        let i = (rng.next_u64() % self.options.len() as u64) as usize;
+        self.options[i].new_value(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % (span + 1)) as $t)
+            }
+        }
+    )*};
+}
+
+range_strategy!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);
+
+macro_rules! tuple_strategy {
+    ($(($($n:ident),+))*) => {$(
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($n,)+) = self;
+                ($($n.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Full-domain strategy for primitives, mirroring `proptest::arbitrary`.
+#[derive(Debug)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// `any::<T>()`: every representable value of `T`, uniformly.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! any_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+any_int!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn new_value(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Mirrors `proptest::sample`.
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Uniform choice from a fixed list.
+    #[derive(Clone, Debug)]
+    pub struct Select<T: Clone + std::fmt::Debug>(Vec<T>);
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let i = (rng.next_u64() % self.0.len() as u64) as usize;
+            self.0[i].clone()
+        }
+    }
+
+    /// Picks uniformly from `items`; panics if empty.
+    pub fn select<T: Clone + std::fmt::Debug>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select from an empty list");
+        Select(items)
+    }
+}
+
+/// Mirrors `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Vector of generated elements with a length drawn from a range.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.clone().new_value(rng);
+            (0..n).map(|_| self.elem.new_value(rng)).collect()
+        }
+    }
+
+    /// `vec(strategy, lo..hi)`: a vector with `lo..hi` elements.
+    pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+}
+
+/// A failed (or rejected) test case.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The property does not hold, with an explanation.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given reason.
+    pub fn fail(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// Runner configuration (only the case budget is honoured).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Equal-weight union of strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {:?} != {:?}: {}",
+            l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: {:?} == {:?}: {}",
+            l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// The test-defining macro. Each `fn name(arg in strategy, ...)` body runs
+/// for `cases` deterministic random cases; `prop_assert*` failures and `?`
+/// propagation abort the case with a panic that reports the inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($config); $($rest)*);
+    };
+    (@run ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let strategies = ($($crate::Strategy::boxed($strategy),)+);
+            #[allow(non_snake_case)]
+            let ($($arg,)+) = &strategies;
+            for case in 0..config.cases {
+                let mut rng = $crate::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $arg = $crate::Strategy::new_value($arg, &mut rng);)+
+                let result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $(let $arg = $arg.clone();)+
+                    $body
+                    Ok(())
+                })();
+                if let Err(e) = result {
+                    panic!(
+                        "proptest case {}/{} of `{}` failed: {}\ninputs: {:#?}",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                        e,
+                        ($(&$arg,)+)
+                    );
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Shape {
+        Dot,
+        Line(u8),
+        Pair(u8, u8),
+    }
+
+    fn shape() -> impl Strategy<Value = Shape> {
+        prop_oneof![
+            Just(Shape::Dot),
+            (1u8..10).prop_map(Shape::Line),
+            (0u8..4, any::<u8>()).prop_map(|(a, b)| Shape::Pair(a, b)),
+        ]
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name_and_case() {
+        let mut a = crate::TestRng::deterministic("t", 3);
+        let mut b = crate::TestRng::deterministic("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::TestRng::deterministic("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(x in 3u8..9, yz in (0i8..5, any::<bool>())) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((0..5).contains(&yz.0));
+        }
+
+        #[test]
+        fn unions_cover_alternatives(s in shape()) {
+            match s {
+                Shape::Dot => {}
+                Shape::Line(n) => prop_assert!((1..10).contains(&n)),
+                Shape::Pair(a, _) => prop_assert!(a < 4),
+            }
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in prop::collection::vec(any::<u16>(), 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6, "len {}", v.len());
+        }
+
+        #[test]
+        fn select_draws_from_list(v in prop::sample::select(vec![1, 2, 3])) {
+            prop_assert_ne!(v, 0);
+            prop_assert!(v <= 3);
+        }
+    }
+}
