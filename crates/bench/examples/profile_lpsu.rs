@@ -1,0 +1,106 @@
+//! Throwaway profiling helper (not part of the PR surface): breaks a
+//! specialized run down into scan + execute vs the rest.
+
+use std::time::Instant;
+
+use xloops_kernels::by_name;
+use xloops_lpsu::{scan, Lpsu, Stepper};
+use xloops_mem::{Cache, CacheConfig};
+use xloops_sim::{ExecMode, System, SystemConfig};
+
+fn main() {
+    let kernels = std::env::var("XLOOPS_PROFILE_KERNELS")
+        .unwrap_or_else(|_| "rgb2cmyk-uc,dither-or,ksack-sm-om".into());
+    for name in kernels.split(',') {
+        let kernel = by_name(name).unwrap();
+        // Full system run timing.
+        let t = Instant::now();
+        let reps: u32 =
+            std::env::var("XLOOPS_PROFILE_REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(50);
+        let mut cycles = 0;
+        let mut stats = None;
+        for _ in 0..reps {
+            let mut sys = System::new(SystemConfig::io_x());
+            kernel.init_memory(sys.mem_mut());
+            let s = sys.run(&kernel.program, ExecMode::Specialized).unwrap();
+            cycles = s.cycles;
+            stats = Some(s);
+        }
+        let full = t.elapsed().as_secs_f64() / reps as f64;
+        let st = stats.unwrap();
+        println!(
+            "{name}: full {:.0}us  cycles={} lpsu_cycles={} scans={} scan_instrs={} \
+             lane_cycles={} exec={} raw={} mem_port={} llfu={} cir={} lsq={} squash={} idle={}",
+            full * 1e6,
+            cycles,
+            st.lpsu_cycles,
+            st.scans,
+            st.scan_instrs,
+            st.lpsu.lane_cycles(),
+            st.lpsu.exec,
+            st.lpsu.stall_raw,
+            st.lpsu.stall_mem_port,
+            st.lpsu.stall_llfu,
+            st.lpsu.stall_cir,
+            st.lpsu.stall_lsq,
+            st.lpsu.squash,
+            st.lpsu.idle,
+        );
+
+        // Isolated: functional prefix to the first xloop, then scan+execute
+        // only, naive vs event.
+        let program = &kernel.program;
+        let xloop_pc = program.instrs().iter().position(|i| i.is_xloop()).map(|i| i as u32 * 4);
+        if let Some(_pc) = xloop_pc {
+            let cfg = xloops_lpsu::LpsuConfig::default4();
+            // Re-run functionally to the first taken xloop using the interp.
+            let mut mem = xloops_mem::Memory::new();
+            kernel.init_memory(&mut mem);
+            let mut cpu = xloops_func::Interp::new();
+            let mut live_ins = [0u32; 32];
+            let mut found = None;
+            for _ in 0..10_000_000u64 {
+                let pc = cpu.pc;
+                let instr = program.instrs()[(pc / 4) as usize];
+                if instr.is_xloop() {
+                    for r in xloops_isa::Reg::all() {
+                        live_ins[r.index()] = cpu.reg(r);
+                    }
+                    if scan(program, pc, live_ins, &cfg).is_ok() {
+                        found = Some(pc);
+                        break;
+                    }
+                }
+                if cpu.step(program, &mut mem).is_err() {
+                    break;
+                }
+            }
+            let Some(pc) = found else {
+                println!("  (no scannable xloop reached)");
+                continue;
+            };
+            let s = scan(program, pc, live_ins, &cfg).unwrap();
+            for (label, stepper) in [("naive", Stepper::Naive), ("event", Stepper::EventDriven)] {
+                let t = Instant::now();
+                let mut r = None;
+                for _ in 0..reps {
+                    let mut m2 = mem.clone();
+                    let mut dc = Cache::new(CacheConfig::l1_default());
+                    r = Some(
+                        Lpsu::new(cfg)
+                            .execute_stepper(stepper, &s, &mut m2, &mut dc, None)
+                            .unwrap(),
+                    );
+                }
+                let dt = t.elapsed().as_secs_f64() / reps as f64;
+                let r = r.unwrap();
+                println!(
+                    "  {label}: first-loop execute {:.0}us for {} cycles ({:.0} ns/cycle)",
+                    dt * 1e6,
+                    r.cycles,
+                    dt * 1e9 / r.cycles as f64
+                );
+            }
+        }
+    }
+}

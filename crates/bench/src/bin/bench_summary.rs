@@ -1,0 +1,170 @@
+//! `bench-summary`: the machine-readable performance trajectory.
+//!
+//! Times every table-2 kernel on four representative design points (io
+//! and ooo/4, traditional and specialized), plus one full artifact
+//! regeneration (collect/simulate/render, nothing written to `results/`),
+//! and writes `BENCH_<date>.json` at the workspace root with per-point
+//! wall-clock, simulated cycles, and simulated-cycles-per-second. Future
+//! PRs compare these files numerically instead of prose in EXPERIMENTS.md.
+//!
+//! The file name's date comes from the system clock; set
+//! `XLOOPS_BENCH_DATE=YYYY-MM-DD` to override (e.g. in CI, or to update an
+//! existing file deterministically).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use xloops_bench::experiments::report_fns;
+use xloops_bench::{run_kernel, Runner};
+use xloops_kernels::table2;
+use xloops_sim::{ExecMode, SystemConfig};
+
+struct Point {
+    kernel: &'static str,
+    config: String,
+    mode: &'static str,
+    wall_s: f64,
+    sim_cycles: u64,
+}
+
+fn main() {
+    let design_points = [
+        (SystemConfig::io(), ExecMode::Traditional),
+        (SystemConfig::io_x(), ExecMode::Specialized),
+        (SystemConfig::ooo4(), ExecMode::Traditional),
+        (SystemConfig::ooo4_x(), ExecMode::Specialized),
+    ];
+
+    let mut points = Vec::new();
+    for kernel in table2() {
+        for (config, mode) in design_points {
+            let t = Instant::now();
+            let r = run_kernel(kernel, config, mode);
+            points.push(Point {
+                kernel: kernel.name,
+                config: config.name(),
+                mode: mode_tag(mode),
+                wall_s: t.elapsed().as_secs_f64(),
+                sim_cycles: r.cycles,
+            });
+        }
+    }
+
+    // One full artifact regeneration, rendered to strings only: the
+    // `all` binary stays the sole writer of `results/`.
+    let regen_total = Instant::now();
+    let reports = report_fns();
+    let runner = Runner::collecting();
+    for (_, f) in &reports {
+        let _ = f(&runner);
+    }
+    let t = Instant::now();
+    let info = runner.prefill();
+    let simulate_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    for (_, f) in &reports {
+        let _ = f(&runner);
+    }
+    let render_s = t.elapsed().as_secs_f64();
+    let regen_s = regen_total.elapsed().as_secs_f64();
+
+    let date = bench_date();
+    let json = render_json(&date, &points, info.unique_points, simulate_s, render_s, regen_s);
+    let path = workspace_root().join(format!("BENCH_{date}.json"));
+    std::fs::write(&path, &json).expect("write BENCH json");
+
+    let total_wall: f64 = points.iter().map(|p| p.wall_s).sum();
+    let total_cycles: u64 = points.iter().map(|p| p.sim_cycles).sum();
+    println!(
+        "bench-summary: {} points, {total_cycles} simulated cycles in {total_wall:.3} s \
+         ({:.1} M sim-cycles/s); full regen {regen_s:.3} s -> {}",
+        points.len(),
+        total_cycles as f64 / total_wall / 1e6,
+        path.display()
+    );
+}
+
+fn mode_tag(mode: ExecMode) -> &'static str {
+    match mode {
+        ExecMode::Traditional => "traditional",
+        ExecMode::Specialized => "specialized",
+        ExecMode::Adaptive => "adaptive",
+    }
+}
+
+fn render_json(
+    date: &str,
+    points: &[Point],
+    unique_points: usize,
+    simulate_s: f64,
+    render_s: f64,
+    regen_s: f64,
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"date\": \"{date}\",");
+    let _ = writeln!(s, "  \"points\": [");
+    for (i, p) in points.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"kernel\": \"{}\", \"config\": \"{}\", \"mode\": \"{}\", \
+             \"wall_s\": {:.6}, \"sim_cycles\": {}, \"sim_cycles_per_sec\": {:.0}}}{}",
+            p.kernel,
+            p.config,
+            p.mode,
+            p.wall_s,
+            p.sim_cycles,
+            p.sim_cycles as f64 / p.wall_s.max(1e-9),
+            if i + 1 == points.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    let total_wall: f64 = points.iter().map(|p| p.wall_s).sum();
+    let total_cycles: u64 = points.iter().map(|p| p.sim_cycles).sum();
+    let _ = writeln!(
+        s,
+        "  \"totals\": {{\"wall_s\": {:.6}, \"sim_cycles\": {}, \"sim_cycles_per_sec\": {:.0}}},",
+        total_wall,
+        total_cycles,
+        total_cycles as f64 / total_wall.max(1e-9)
+    );
+    let _ = writeln!(
+        s,
+        "  \"full_regen\": {{\"unique_points\": {unique_points}, \"simulate_s\": {simulate_s:.6}, \
+         \"render_s\": {render_s:.6}, \"total_s\": {regen_s:.6}}}"
+    );
+    let _ = writeln!(s, "}}");
+    s
+}
+
+fn workspace_root() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p
+}
+
+fn bench_date() -> String {
+    if let Ok(d) = std::env::var("XLOOPS_BENCH_DATE") {
+        return d;
+    }
+    let secs = SystemTime::now().duration_since(UNIX_EPOCH).expect("clock after 1970").as_secs();
+    let (y, m, d) = civil_from_days((secs / 86_400) as i64);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Days-since-epoch to (year, month, day), Gregorian calendar
+/// (Howard Hinnant's `civil_from_days` algorithm).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}

@@ -235,6 +235,14 @@ impl OutOfOrder {
     pub fn stall_until(&mut self, cycle: u64) {
         self.last_commit = self.last_commit.max(cycle);
         self.redirect_fetch(cycle);
+        // Fetch now resumes at or after `cycle`, so every future slot
+        // allocation (issue ≥ dispatch > fetch, memory ≥ issue, commit ≥
+        // `last_commit`) lands at `cycle` or later: the slot windows can be
+        // rebased instead of being dragged across the skipped span by the
+        // next allocation.
+        self.issue_slots.skip_to(cycle);
+        self.mem_slots.skip_to(cycle);
+        self.commit_slots.skip_to(cycle);
     }
 
     pub fn last_dispatch(&self) -> u64 {

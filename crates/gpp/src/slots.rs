@@ -27,6 +27,28 @@ impl SlotTable {
         SlotTable { per_cycle, base: 0, counts: VecDeque::new() }
     }
 
+    /// Rebases the window to `cycle`, dropping the per-cycle counts before
+    /// it while keeping occupancy already scheduled at `cycle` or later.
+    ///
+    /// Valid only when the caller guarantees every subsequent
+    /// [`alloc`](SlotTable::alloc) uses `at ≥ cycle`; the out-of-order
+    /// engine establishes this by redirecting fetch past `cycle` whenever
+    /// it skips time forward. Without the rebase, the first allocation
+    /// after a long skip would extend and then trim the window across the
+    /// whole skipped span, one cycle at a time.
+    pub fn skip_to(&mut self, cycle: u64) {
+        if cycle <= self.base {
+            return;
+        }
+        let n = (cycle - self.base) as usize;
+        if n >= self.counts.len() {
+            self.counts.clear();
+        } else {
+            self.counts.drain(..n);
+        }
+        self.base = cycle;
+    }
+
     /// Allocates a slot at the earliest cycle `≥ at`, returning that cycle.
     pub fn alloc(&mut self, at: u64) -> u64 {
         let at = at.max(self.base);
@@ -69,5 +91,18 @@ mod tests {
         for i in 0..10_000u64 {
             assert_eq!(t.alloc(i * 2), i * 2);
         }
+    }
+
+    #[test]
+    fn skip_to_rebases_without_losing_future_counts() {
+        let mut t = SlotTable::new(1);
+        assert_eq!(t.alloc(10), 10);
+        assert_eq!(t.alloc(10), 11);
+        t.skip_to(11);
+        assert_eq!(t.alloc(11), 12, "cycle 11 occupancy survives the rebase");
+        t.skip_to(1_000_000_000);
+        assert_eq!(t.alloc(1_000_000_000), 1_000_000_000);
+        t.skip_to(500); // behind the base: no-op
+        assert_eq!(t.alloc(1_000_000_000), 1_000_000_001);
     }
 }

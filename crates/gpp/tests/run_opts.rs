@@ -1,0 +1,167 @@
+//! Behavioural coverage for [`RunOpts`]: the watch/stop plumbing that the
+//! adaptive executor drives. These paths decide when control transfers
+//! between the GPP, the profiler, and the LPSU, so each stop condition is
+//! pinned down here on a small loop with a known iteration structure.
+
+use xloops_asm::assemble;
+use xloops_func::ExecError;
+use xloops_gpp::{GppConfig, GppCore, RunOpts, StopReason, Watch};
+use xloops_isa::{Instr, Reg};
+use xloops_mem::Memory;
+
+/// Sums `1..=n` through memory with an `xloop.or` back edge.
+fn vector_sum_src(n: u32) -> String {
+    format!(
+        "
+        li r4, 0x1000
+        li r2, 0
+        li r3, {n}
+        li r9, 0
+    body:
+        sll r5, r2, 2
+        addu r5, r4, r5
+        lw r6, 0(r5)
+        addu r9, r9, r6
+        addiu r2, r2, 1
+        xloop.or body, r2, r3
+        sw r9, 0x800(r0)
+        exit"
+    )
+}
+
+fn prep_mem(n: u32) -> Memory {
+    let mut mem = Memory::new();
+    for i in 0..n {
+        mem.write_u32(0x1000 + 4 * i, i + 1);
+    }
+    mem
+}
+
+fn xloop_pc(p: &xloops_asm::Program) -> u32 {
+    p.instrs().iter().position(|i| i.is_xloop()).unwrap() as u32 * 4
+}
+
+/// The profiling run starts *at* the xloop pc (the specialized stop left
+/// the pc there). That first evaluation belongs to the iteration that ran
+/// before profiling began and must not count toward the watch budget.
+#[test]
+fn watch_does_not_count_the_entry_crossing() {
+    let p = assemble(&vector_sum_src(50)).unwrap();
+    let pc = xloop_pc(&p);
+
+    // Drive the core to the xloop with a specialized stop, exactly like
+    // the adaptive executor does before it starts profiling.
+    let mut mem = prep_mem(50);
+    let mut gpp = GppCore::new(GppConfig::io());
+    let stop = gpp.run(&p, &mut mem, &RunOpts::specialized()).unwrap();
+    assert_eq!(stop, StopReason::XloopTaken { pc });
+    assert_eq!(gpp.pc(), pc);
+    let idx_at_entry = gpp.reg(Reg::new(2));
+
+    // Now watch 3 iterations starting from that pc. If the entry
+    // crossing counted, idx would only advance by 2.
+    let mut opts = RunOpts::traditional();
+    opts.watch = Some(Watch { pc, max_iters: 3, max_cycles: 0 });
+    let stop = gpp.run(&p, &mut mem, &opts).unwrap();
+    assert_eq!(stop, StopReason::WatchDone { iters: 3, loop_exited: false });
+    assert_eq!(gpp.reg(Reg::new(2)), idx_at_entry + 3);
+}
+
+/// A cycle budget stops the watch at the next iteration boundary even
+/// when the iteration quota is far from exhausted.
+#[test]
+fn watch_cycle_budget_expires_at_an_iteration_boundary() {
+    let p = assemble(&vector_sum_src(200)).unwrap();
+    let pc = xloop_pc(&p);
+    let mut mem = prep_mem(200);
+    let mut gpp = GppCore::new(GppConfig::io());
+    let mut opts = RunOpts::traditional();
+    opts.watch = Some(Watch { pc, max_iters: u64::MAX, max_cycles: 40 });
+    let stop = gpp.run(&p, &mut mem, &opts).unwrap();
+    let StopReason::WatchDone { iters, loop_exited } = stop else {
+        panic!("expected a watch stop, got {stop:?}");
+    };
+    assert!(!loop_exited);
+    assert!(iters >= 1, "at least one full iteration before the budget bites");
+    assert!(iters < 199, "budget must stop the loop well before it exits");
+    // Stopped at the body start, mid-loop: idx equals iterations done.
+    assert_eq!(u64::from(gpp.reg(Reg::new(2))), iters);
+    assert!(gpp.stats().cycles >= 40);
+}
+
+/// `max_steps` is a hard safety net: expiry is an error, not a stop
+/// reason, and it fires even with a watch active.
+#[test]
+fn max_steps_expiry_is_a_step_limit_error() {
+    let p = assemble(&vector_sum_src(100)).unwrap();
+    let mut mem = prep_mem(100);
+    let mut gpp = GppCore::new(GppConfig::io());
+    let mut opts = RunOpts::traditional();
+    opts.max_steps = 25;
+    let err = gpp.run(&p, &mut mem, &opts).unwrap_err();
+    assert_eq!(err, ExecError::StepLimit(25));
+
+    // With a watch whose budget is beyond the step limit, the step limit
+    // still wins.
+    let mut mem = prep_mem(100);
+    let mut gpp = GppCore::new(GppConfig::io());
+    opts.watch = Some(Watch { pc: xloop_pc(&p), max_iters: 1_000, max_cycles: 0 });
+    let err = gpp.run(&p, &mut mem, &opts).unwrap_err();
+    assert_eq!(err, ExecError::StepLimit(25));
+}
+
+/// `max_steps == 0` means "no limit", not "zero steps".
+#[test]
+fn zero_max_steps_means_unlimited() {
+    let p = assemble(&vector_sum_src(8)).unwrap();
+    let mut mem = prep_mem(8);
+    let mut gpp = GppCore::new(GppConfig::io());
+    let stop = gpp.run(&p, &mut mem, &RunOpts::default()).unwrap();
+    assert_eq!(stop, StopReason::Exited);
+    assert_eq!(mem.read_u32(0x800), 8 * 9 / 2);
+}
+
+/// An ignored pc suppresses the specialized stop but leaves watches on
+/// the same pc fully functional — the adaptive profiler relies on being
+/// able to watch a loop it has already decided not to re-offload.
+#[test]
+fn ignored_pc_still_honours_a_watch() {
+    let p = assemble(&vector_sum_src(60)).unwrap();
+    let pc = xloop_pc(&p);
+    let mut mem = prep_mem(60);
+    let mut gpp = GppCore::new(GppConfig::io());
+    let mut opts = RunOpts::specialized();
+    opts.ignore_pcs.insert(pc);
+    opts.watch = Some(Watch { pc, max_iters: 5, max_cycles: 0 });
+    let stop = gpp.run(&p, &mut mem, &opts).unwrap();
+    assert_eq!(stop, StopReason::WatchDone { iters: 5, loop_exited: false });
+
+    // Clearing the watch and keeping the ignore runs to completion.
+    opts.watch = None;
+    let stop = gpp.run(&p, &mut mem, &opts).unwrap();
+    assert_eq!(stop, StopReason::Exited);
+    assert_eq!(mem.read_u32(0x800), 60 * 61 / 2);
+}
+
+/// The stop reasons compose across engines: every core kind takes the
+/// same path through the watch bookkeeping.
+#[test]
+fn watch_stops_agree_across_core_kinds() {
+    let p = assemble(&vector_sum_src(40)).unwrap();
+    let pc = xloop_pc(&p);
+    assert!(matches!(p.fetch(pc), Some(Instr::Xloop { .. })));
+    for config in [GppConfig::io(), GppConfig::ooo2(), GppConfig::ooo4()] {
+        let mut mem = prep_mem(40);
+        let mut gpp = GppCore::new(config);
+        let mut opts = RunOpts::traditional();
+        opts.watch = Some(Watch { pc, max_iters: 7, max_cycles: 0 });
+        let stop = gpp.run(&p, &mut mem, &opts).unwrap();
+        assert_eq!(
+            stop,
+            StopReason::WatchDone { iters: 7, loop_exited: false },
+            "{}",
+            gpp.config().name()
+        );
+        assert_eq!(gpp.reg(Reg::new(2)), 7, "{}", gpp.config().name());
+    }
+}

@@ -1,4 +1,20 @@
-//! The cycle-stepped specialized-execution engine.
+//! The specialized-execution engine.
+//!
+//! Two steppers drive the same single-cycle evaluation pass
+//! ([`Engine::step_pass`]):
+//!
+//! * [`Stepper::Naive`] polls every lane every simulated cycle — the
+//!   reference model, kept as a differential oracle behind the
+//!   `naive-stepper` feature.
+//! * [`Stepper::EventDriven`] (the default) detects passes in which no
+//!   lane made progress, computes the earliest cycle at which any
+//!   time-gated condition can change (register-ready times, CIB
+//!   availability, LLFU occupancy, cache refills), bulk-accounts the
+//!   skipped stall cycles exactly as the naive stepper would have, and
+//!   jumps time forward. Cycle counts, statistics, and architectural
+//!   state are bit-identical between the two (see DESIGN.md).
+
+use std::fmt;
 
 use xloops_func::{alu_imm_value, load, store};
 use xloops_isa::{Instr, Reg};
@@ -9,8 +25,56 @@ use crate::lsq::Lsq;
 use crate::scan::ScanResult;
 use crate::stats::LpsuStats;
 
+/// Which main-loop strategy drives the engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stepper {
+    /// Poll every lane each simulated cycle (the reference model).
+    Naive,
+    /// Skip runs of globally stalled cycles; timing-identical but faster.
+    EventDriven,
+}
+
+impl Stepper {
+    /// The stepper [`Lpsu::execute`] uses: event-driven unless the crate
+    /// is built with the `naive-stepper` oracle feature.
+    pub fn default_for_build() -> Stepper {
+        if cfg!(feature = "naive-stepper") {
+            Stepper::Naive
+        } else {
+            Stepper::EventDriven
+        }
+    }
+}
+
+/// A specialized-execution phase failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LpsuError {
+    /// The engine can never make progress again: at least one context
+    /// holds an uncommitted iteration, no context can issue, and no
+    /// pending event (register ready, CIB publish, LLFU release, cache
+    /// refill) exists to unblock one. The naive stepper reports this only
+    /// when the cycle cap expires; the event-driven stepper detects it at
+    /// the cycle where progress stops.
+    NoForwardProgress {
+        /// Cycle at which the wedge was detected.
+        cycle: u64,
+    },
+}
+
+impl fmt::Display for LpsuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpsuError::NoForwardProgress { cycle } => {
+                write!(f, "LPSU made no forward progress (wedged at cycle {cycle})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LpsuError {}
+
 /// Result of one specialized-execution phase.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LpsuResult {
     /// Cycles the phase occupied (the GPP stalls for this long).
     pub cycles: u64,
@@ -58,12 +122,18 @@ struct IterTally {
 
 impl IterTally {
     fn blocked(&mut self, b: Block) {
+        self.blocked_n(b, 1);
+    }
+
+    /// Accounts `n` stalled lane-cycles with the same cause at once (the
+    /// event-driven stepper's bulk accounting for skipped cycles).
+    fn blocked_n(&mut self, b: Block, n: u64) {
         match b {
-            Block::Raw => self.raw += 1,
-            Block::MemPort => self.mem_port += 1,
-            Block::Llfu => self.llfu += 1,
-            Block::Cir => self.cir += 1,
-            Block::Lsq => self.lsq += 1,
+            Block::Raw => self.raw += n,
+            Block::MemPort => self.mem_port += n,
+            Block::Llfu => self.llfu += n,
+            Block::Cir => self.cir += n,
+            Block::Lsq => self.lsq += n,
             Block::Idle => {}
         }
     }
@@ -112,6 +182,14 @@ struct Ctx {
     /// Finished executing, waiting to commit/drain (ordered-memory only).
     done_exec: bool,
     tally: IterTally,
+    /// Memoized CIR wait (see [`Engine::cir_wait_blocked`]): while the pc,
+    /// channel epoch, and localized set are unchanged and `cycle <
+    /// cir_wait_until`, a CIR pull is known to fail — the channel lookup
+    /// can be skipped. `cir_wait_pc == usize::MAX` means no memo.
+    cir_wait_pc: usize,
+    cir_wait_epoch: u64,
+    cir_wait_local: u32,
+    cir_wait_until: u64,
 }
 
 impl Ctx {
@@ -127,8 +205,27 @@ impl Ctx {
             cir_pub: 0,
             done_exec: false,
             tally: IterTally::default(),
+            cir_wait_pc: usize::MAX,
+            cir_wait_epoch: 0,
+            cir_wait_local: 0,
+            cir_wait_until: 0,
         }
     }
+}
+
+/// Per-body-instruction issue metadata, precomputed once per phase so the
+/// per-cycle hot path reads one flat table instead of re-decoding
+/// [`Instr::srcs`] (twice) and re-testing CIR membership every poll.
+#[derive(Clone, Copy, Debug)]
+struct InstrMeta {
+    instr: Instr,
+    /// Source register indices, in [`Instr::srcs`] order.
+    srcs: [u8; 2],
+    n_srcs: u8,
+    /// Whether the instruction accesses the data-memory port.
+    is_mem: bool,
+    /// Bits of `srcs` that are cross-iteration registers.
+    cir_srcs: u32,
 }
 
 /// The loop-pattern specialization unit.
@@ -160,18 +257,36 @@ impl Lpsu {
     /// adaptive-execution LPSU profiling phase); migration happens at an
     /// iteration boundary, so all assigned iterations complete.
     ///
-    /// # Panics
+    /// Uses the event-driven stepper unless the crate is built with the
+    /// `naive-stepper` oracle feature (see [`Stepper::default_for_build`]).
     ///
-    /// Panics if the engine fails to make forward progress (an internal
-    /// invariant violation, not reachable from safe inputs).
+    /// # Errors
+    ///
+    /// [`LpsuError::NoForwardProgress`] if the engine wedges — an internal
+    /// invariant violation, not reachable from safe inputs.
     pub fn execute(
         &self,
         scan: &ScanResult,
         mem: &mut Memory,
         dcache: &mut Cache,
         max_iters: Option<u64>,
-    ) -> LpsuResult {
-        Engine::new(&self.config, scan, mem, dcache, max_iters).run()
+    ) -> Result<LpsuResult, LpsuError> {
+        self.execute_stepper(Stepper::default_for_build(), scan, mem, dcache, max_iters)
+    }
+
+    /// [`execute`](Lpsu::execute) with an explicit stepper choice. Both
+    /// steppers produce bit-identical results; the differential-oracle
+    /// test suite relies on this entry point being available regardless
+    /// of the `naive-stepper` feature.
+    pub fn execute_stepper(
+        &self,
+        stepper: Stepper,
+        scan: &ScanResult,
+        mem: &mut Memory,
+        dcache: &mut Cache,
+        max_iters: Option<u64>,
+    ) -> Result<LpsuResult, LpsuError> {
+        Engine::new(&self.config, scan, mem, dcache, max_iters).run(stepper)
     }
 }
 
@@ -198,6 +313,30 @@ struct Engine<'a> {
     bound: u32,
     stats: LpsuStats,
     cycle: u64,
+    /// `cycle % lanes` / `cycle % contexts_per_lane`, maintained
+    /// incrementally (recomputed with `%` only when time jumps).
+    lane_rot: usize,
+    ctx_rot: usize,
+    /// Block reason of each context in the latest pass; meaningful for
+    /// skip accounting only after a pass in which no lane progressed
+    /// (then every context was polled and blocked).
+    block_scratch: Vec<Block>,
+    /// Bit `r` set iff register `r` is a CIR (precomputed from the scan).
+    cir_mask: u32,
+    /// Body index of the last static CIR write per register
+    /// (`usize::MAX` for non-CIRs).
+    cir_last_write: [usize; 32],
+    /// Per-iteration MIVT increment per register (0 for non-MIVs; the
+    /// scan guarantees every non-induction `xi` register has an entry).
+    mivt_inc: [i32; 32],
+    /// Issue metadata parallel to `scan.body`.
+    meta: Vec<InstrMeta>,
+    /// Register index whose writes grow the dynamic bound (`64` = the
+    /// pattern has a static bound, so no write ever matches).
+    bound_watch: u8,
+    /// Bumped on every CIR-channel mutation; lets a blocked context prove
+    /// its memoized failed lookup is still valid without re-hashing.
+    cir_epoch: u64,
 }
 
 impl<'a> Engine<'a> {
@@ -220,6 +359,31 @@ impl<'a> Engine<'a> {
                 chan.insert((-1i64, cir.reg.index() as u8), (scan.live_ins[cir.reg.index()], 0));
             }
         }
+        let mut cir_mask = 0u32;
+        let mut cir_last_write = [usize::MAX; 32];
+        for cir in &scan.cirs {
+            cir_mask |= 1 << cir.reg.index();
+            cir_last_write[cir.reg.index()] = cir.last_write;
+        }
+        let mut mivt_inc = [0i32; 32];
+        for m in &scan.mivt {
+            mivt_inc[m.reg.index()] = m.inc;
+        }
+        let meta = scan
+            .body
+            .iter()
+            .map(|&instr| {
+                let mut srcs = [0u8; 2];
+                let mut n_srcs = 0u8;
+                let mut cir_srcs = 0u32;
+                for s in instr.srcs().into_iter().flatten() {
+                    srcs[n_srcs as usize] = s.index() as u8;
+                    n_srcs += 1;
+                    cir_srcs |= cir_mask & (1 << s.index());
+                }
+                InstrMeta { instr, srcs, n_srcs, is_mem: instr.is_mem(), cir_srcs }
+            })
+            .collect();
         Engine {
             cfg,
             scan,
@@ -240,18 +404,30 @@ impl<'a> Engine<'a> {
             bound: scan.live_ins[scan.bound_reg.index()],
             stats: LpsuStats::default(),
             cycle: 0,
+            lane_rot: 0,
+            ctx_rot: 0,
+            block_scratch: vec![Block::Idle; n],
+            cir_mask,
+            cir_last_write,
+            mivt_inc,
+            meta,
+            bound_watch: if scan.pattern.is_dynamic_bound() {
+                scan.bound_reg.index() as u8
+            } else {
+                64
+            },
+            cir_epoch: 0,
         }
     }
 
-    fn run(mut self) -> LpsuResult {
-        const CYCLE_CAP: u64 = 50_000_000_000;
-        loop {
-            if !self.any_work() {
-                break;
-            }
-            self.step_cycle();
-            self.cycle += 1;
-            assert!(self.cycle < CYCLE_CAP, "LPSU failed to make forward progress");
+    /// Livelock backstop for the naive stepper (the event-driven stepper
+    /// detects a wedge exactly, at the cycle where progress stops).
+    const CYCLE_CAP: u64 = 50_000_000_000;
+
+    fn run(mut self, stepper: Stepper) -> Result<LpsuResult, LpsuError> {
+        match stepper {
+            Stepper::Naive => self.run_naive()?,
+            Stepper::EventDriven => self.run_event()?,
         }
         self.stats.iterations = self.committed;
         let cir_finals = self
@@ -270,14 +446,132 @@ impl<'a> Engine<'a> {
                 (c.reg, v)
             })
             .collect();
-        LpsuResult {
+        Ok(LpsuResult {
             cycles: self.cycle,
             iterations: self.committed,
             final_idx: self.scan.iter_value(self.committed),
             final_bound: self.bound,
             cir_finals,
             stats: self.stats,
+        })
+    }
+
+    /// The reference main loop: one pass per simulated cycle.
+    fn run_naive(&mut self) -> Result<(), LpsuError> {
+        while self.any_work() {
+            self.step_pass();
+            self.advance_one();
+            if self.cycle >= Self::CYCLE_CAP {
+                return Err(LpsuError::NoForwardProgress { cycle: self.cycle });
+            }
         }
+        Ok(())
+    }
+
+    /// The event-driven main loop. A pass in which some lane progressed
+    /// advances time by one cycle, exactly like the naive stepper. A pass
+    /// with no progress is a *globally stalled* cycle: nothing observable
+    /// can change until the earliest pending event, so the stalled cycles
+    /// in between are accounted in bulk and time jumps to the wakeup.
+    ///
+    /// Waking early is always safe (the extra pass stalls again and is
+    /// accounted identically); [`next_wakeup`](Engine::next_wakeup) never
+    /// wakes late because it covers every time-gated comparison the pass
+    /// can make. No wakeup at all means the engine is wedged.
+    fn run_event(&mut self) -> Result<(), LpsuError> {
+        while self.any_work() {
+            if self.step_pass() {
+                self.advance_one();
+                if self.cycle >= Self::CYCLE_CAP {
+                    return Err(LpsuError::NoForwardProgress { cycle: self.cycle });
+                }
+                continue;
+            }
+            let Some(next) = self.next_wakeup() else {
+                return Err(LpsuError::NoForwardProgress { cycle: self.cycle });
+            };
+            debug_assert!(next > self.cycle, "wakeup must move time forward");
+            self.skip_to(next);
+        }
+        Ok(())
+    }
+
+    fn advance_one(&mut self) {
+        self.cycle += 1;
+        self.lane_rot += 1;
+        if self.lane_rot == self.cfg.lanes as usize {
+            self.lane_rot = 0;
+        }
+        self.ctx_rot += 1;
+        if self.ctx_rot == self.contexts_per_lane as usize {
+            self.ctx_rot = 0;
+        }
+    }
+
+    /// Bulk-accounts the stalled cycles in `(self.cycle, next)` and jumps
+    /// to `next`. Valid only right after a no-progress pass: every context
+    /// was polled and blocked, and its recorded reason holds until `next`
+    /// (the minimum over all pending events).
+    fn skip_to(&mut self, next: u64) {
+        let lanes = self.cfg.lanes as usize;
+        let k = self.contexts_per_lane as usize;
+        if next - self.cycle > 1 {
+            // The naive stepper attributes the stalled lane-cycle at cycle
+            // `x` to context `x % k` of each lane (the first one polled),
+            // with that context's own block reason.
+            for p in 0..k {
+                let count = cycles_with_residue(self.cycle + 1, next, p as u64, k as u64);
+                if count == 0 {
+                    continue;
+                }
+                for lane in 0..lanes {
+                    match self.block_scratch[lane * k + p] {
+                        Block::Idle => self.stats.idle += count,
+                        b => self.ctxs[lane * k + p].tally.blocked_n(b, count),
+                    }
+                }
+            }
+        }
+        self.cycle = next;
+        self.lane_rot = (next % self.cfg.lanes as u64) as usize;
+        self.ctx_rot = (next % self.contexts_per_lane as u64) as usize;
+    }
+
+    /// The earliest cycle after `self.cycle` at which any time-gated
+    /// condition in the evaluation pass can change: register-ready times
+    /// and front-end occupancy of active contexts, CIB availability
+    /// stamps, LLFU (divider) release times, and cache refill completion.
+    /// Everything else a pass consults (LSQ occupancy, the commit
+    /// frontier, iteration assignability, per-cycle port bandwidth) only
+    /// changes when some context progresses.
+    fn next_wakeup(&self) -> Option<u64> {
+        let c = self.cycle;
+        let mut best = u64::MAX;
+        for ctx in &self.ctxs {
+            if ctx.iter.is_none() {
+                continue;
+            }
+            if ctx.busy_until > c && ctx.busy_until < best {
+                best = ctx.busy_until;
+            }
+            for &r in &ctx.reg_ready {
+                if r > c && r < best {
+                    best = r;
+                }
+            }
+        }
+        for &(_, avail) in self.chan.values() {
+            if avail > c && avail < best {
+                best = avail;
+            }
+        }
+        if let Some(t) = self.llfu_div.next_free_after(c) {
+            best = best.min(t);
+        }
+        if let Some(t) = self.dcache.next_event(c) {
+            best = best.min(t);
+        }
+        (best != u64::MAX).then_some(best)
     }
 
     fn iter_assignable(&self) -> bool {
@@ -289,13 +583,17 @@ impl<'a> Engine<'a> {
         self.iter_assignable() || self.ctxs.iter().any(|c| c.iter.is_some())
     }
 
-    fn step_cycle(&mut self) {
+    /// One evaluation pass at `self.cycle`; returns whether any lane made
+    /// progress. Each context's block reason is recorded for the skip
+    /// accounting (complete only when no lane progressed — exactly when
+    /// the event-driven stepper consults it).
+    fn step_pass(&mut self) -> bool {
         let lanes = self.cfg.lanes as usize;
         let k = self.contexts_per_lane as usize;
         // Rotate lane polling order for fair arbitration of shared
         // resources, and rotate context preference within a lane.
-        let lane_rot = self.cycle as usize % lanes;
-        let ctx_rot = self.cycle as usize % k;
+        let (lane_rot, ctx_rot) = (self.lane_rot, self.ctx_rot);
+        let mut any_progress = false;
         for li in 0..lanes {
             let mut lane = li + lane_rot;
             if lane >= lanes {
@@ -315,6 +613,7 @@ impl<'a> Engine<'a> {
                         break;
                     }
                     Err(b) => {
+                        self.block_scratch[ctx_idx] = b;
                         if first_block.is_none() {
                             first_block = Some(b);
                         }
@@ -322,6 +621,7 @@ impl<'a> Engine<'a> {
                 }
             }
             if progressed {
+                any_progress = true;
                 continue;
             }
             // Account the lane-cycle to the first context's blocking cause.
@@ -333,6 +633,7 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+        any_progress
     }
 
     /// Tries to make the context progress this cycle. `Ok` means it used
@@ -366,7 +667,7 @@ impl<'a> Engine<'a> {
             }
             let entry = self.ctxs[ci].lsq.pop_store().expect("store count checked");
             store(self.mem, entry.op, entry.addr, entry.value);
-            self.dcache.access(entry.addr, true);
+            self.dcache.access_at(entry.addr, true, self.cycle);
             self.ctxs[ci].tally.mem_accesses += 1;
             self.broadcast_store(entry.addr, iter);
             self.ctxs[ci].tally.exec += 1;
@@ -403,6 +704,8 @@ impl<'a> Engine<'a> {
         ctx.done_exec = false;
         ctx.tally = IterTally::default();
         ctx.busy_until = self.cycle + 1;
+        // The memoized wait keys a different iteration's channel lookup.
+        ctx.cir_wait_pc = usize::MAX;
     }
 
     fn commit(&mut self, ci: usize) {
@@ -417,6 +720,7 @@ impl<'a> Engine<'a> {
         // Old CIR channel entries are dead once their consumer committed.
         if self.orders_reg && self.frontier.is_multiple_of(64) {
             let horizon = self.frontier as i64 - 2;
+            self.cir_epoch += 1;
             self.chan.retain(|&(it, _), _| it >= horizon);
         }
     }
@@ -426,6 +730,9 @@ impl<'a> Engine<'a> {
     fn end_of_body(&mut self, ci: usize) -> Result<(), Block> {
         let iter = self.ctxs[ci].iter.expect("active iteration");
         if self.orders_reg {
+            if self.cir_wait_blocked(ci) {
+                return Err(Block::Cir);
+            }
             for idx in 0..self.scan.cirs.len() {
                 let cir = self.scan.cirs[idx];
                 let bit = 1u32 << cir.reg.index();
@@ -440,7 +747,14 @@ impl<'a> Engine<'a> {
                             self.ctxs[ci].regs[cir.reg.index()] = v;
                             self.ctxs[ci].cir_local |= bit;
                         }
-                        _ => return Err(Block::Cir),
+                        Some(&(_, avail)) => {
+                            self.set_cir_wait(ci, avail);
+                            return Err(Block::Cir);
+                        }
+                        None => {
+                            self.set_cir_wait(ci, u64::MAX);
+                            return Err(Block::Cir);
+                        }
                     }
                 }
                 let value = self.ctxs[ci].regs[cir.reg.index()];
@@ -461,6 +775,7 @@ impl<'a> Engine<'a> {
     }
 
     fn publish_cir(&mut self, iter: u64, reg: Reg, value: u32) {
+        self.cir_epoch += 1;
         self.chan.insert(
             (iter as i64, reg.index() as u8),
             (value, self.cycle + self.cfg.cib_latency as u64),
@@ -500,6 +815,7 @@ impl<'a> Engine<'a> {
         self.ctxs[ci].tally.squash_into(&mut self.stats);
         // Un-publish CIR values the squashed iteration produced.
         if self.orders_reg {
+            self.cir_epoch += 1;
             self.chan.retain(|&(it, _), _| it != iter as i64);
         }
         let value = self.scan.iter_value(iter);
@@ -514,39 +830,84 @@ impl<'a> Engine<'a> {
         ctx.done_exec = false;
         ctx.tally = IterTally::default();
         ctx.busy_until = self.cycle + 1; // pipeline flush
+        ctx.cir_wait_pc = usize::MAX;
     }
 
     fn is_cir(&self, r: Reg) -> bool {
-        self.scan.cirs.iter().any(|c| c.reg == r)
+        self.cir_mask & (1u32 << r.index()) != 0
+    }
+
+    /// Whether the context's memoized failed CIR pull is still valid: same
+    /// pc, no channel mutation since (epoch), no newly localized CIRs, and
+    /// still before the earliest availability stamp seen (`u64::MAX` when
+    /// the entry did not exist — then only a channel mutation can help).
+    /// A valid memo proves the pull would fail again, with no hash lookup.
+    fn cir_wait_blocked(&self, ci: usize) -> bool {
+        let ctx = &self.ctxs[ci];
+        ctx.cir_wait_pc == ctx.pc
+            && ctx.cir_wait_epoch == self.cir_epoch
+            && ctx.cir_wait_local == ctx.cir_local
+            && self.cycle < ctx.cir_wait_until
+    }
+
+    fn set_cir_wait(&mut self, ci: usize, until: u64) {
+        let epoch = self.cir_epoch;
+        let ctx = &mut self.ctxs[ci];
+        ctx.cir_wait_pc = ctx.pc;
+        ctx.cir_wait_epoch = epoch;
+        ctx.cir_wait_local = ctx.cir_local;
+        ctx.cir_wait_until = until;
     }
 
     fn issue_instr(&mut self, ci: usize) -> Result<(), Block> {
+        // A context blocked on a CIR pull stays blocked until the memoized
+        // wake condition; skip re-decoding entirely.
+        if self.orders_reg && self.cir_wait_blocked(ci) {
+            return Err(Block::Cir);
+        }
         let iter = self.ctxs[ci].iter.expect("active iteration");
         let pc = self.ctxs[ci].pc;
-        let instr = self.scan.body[pc];
+        let m = self.meta[pc];
+        let instr = m.instr;
 
         // CIR availability: the first read of a CIR pulls the value from
         // the CIB connected to the previous lane.
-        if self.orders_reg {
-            for src in instr.srcs().into_iter().flatten() {
-                let bit = 1u32 << src.index();
-                if self.is_cir(src) && self.ctxs[ci].cir_local & bit == 0 {
-                    match self.chan.get(&(iter as i64 - 1, src.index() as u8)) {
+        if self.orders_reg && m.cir_srcs & !self.ctxs[ci].cir_local != 0 {
+            for i in 0..m.n_srcs as usize {
+                let src = m.srcs[i] as usize;
+                let bit = 1u32 << src;
+                if m.cir_srcs & bit != 0 && self.ctxs[ci].cir_local & bit == 0 {
+                    match self.chan.get(&(iter as i64 - 1, src as u8)) {
                         Some(&(v, avail)) if avail <= self.cycle => {
-                            self.ctxs[ci].regs[src.index()] = v;
+                            self.ctxs[ci].regs[src] = v;
                             self.ctxs[ci].cir_local |= bit;
                         }
-                        _ => return Err(Block::Cir),
+                        Some(&(_, avail)) => {
+                            self.set_cir_wait(ci, avail);
+                            return Err(Block::Cir);
+                        }
+                        None => {
+                            self.set_cir_wait(ci, u64::MAX);
+                            return Err(Block::Cir);
+                        }
                     }
                 }
             }
         }
 
         // RAW: all sources must be ready (full bypassing within the lane).
-        for src in instr.srcs().into_iter().flatten() {
-            if self.ctxs[ci].reg_ready[src.index()] > self.cycle {
+        for i in 0..m.n_srcs as usize {
+            if self.ctxs[ci].reg_ready[m.srcs[i] as usize] > self.cycle {
                 return Err(Block::Raw);
             }
+        }
+
+        // Without memory ordering there is no LSQ to satisfy a memory
+        // instruction from, so a spent port means a refusal — skip the
+        // decode. (`try_issue`'s refusal counter is not consulted by any
+        // simulation output, so probing instead of issuing is unobservable.)
+        if m.is_mem && !self.orders_mem && self.port.is_exhausted(self.cycle) {
+            return Err(Block::MemPort);
         }
 
         // The iteration is speculative w.r.t. memory unless it is the
@@ -557,13 +918,22 @@ impl<'a> Engine<'a> {
         let mut busy = self.cycle + 1;
         let mut result: Option<(Reg, u32, u64)> = None; // (reg, value, ready)
 
+        // Operand values in `srcs` order (`x0` always reads zero), loaded
+        // once here so the arms below don't each re-index the context.
+        // Masking keeps the proven-in-range index branch-free.
+        let (v0, v1) = {
+            let regs = &self.ctxs[ci].regs;
+            let v = |i: u8| if i == 0 { 0 } else { regs[i as usize & 31] };
+            (v(m.srcs[0]), v(m.srcs[1]))
+        };
+
         match instr {
-            Instr::Alu { op, rd, rs, rt } => {
-                let v = op.apply(self.reg(ci, rs), self.reg(ci, rt));
+            Instr::Alu { op, rd, .. } => {
+                let v = op.apply(v0, v1);
                 result = Some((rd, v, self.cycle + 1));
             }
-            Instr::AluImm { op, rd, rs, imm } => {
-                let v = op.apply(self.reg(ci, rs), alu_imm_value(op, imm));
+            Instr::AluImm { op, rd, imm, .. } => {
+                let v = op.apply(v0, alu_imm_value(op, imm));
                 result = Some((rd, v, self.cycle + 1));
             }
             Instr::Lui { rd, imm } => {
@@ -573,23 +943,18 @@ impl<'a> Engine<'a> {
                 self.ctxs[ci].tally.xi_ops += 1;
                 if reg == self.scan.idx_reg {
                     // Induction update: a plain add of the step.
-                    let v = self.reg(ci, reg).wrapping_add(self.scan.step as u32);
+                    let v = v0.wrapping_add(self.scan.step as u32);
                     result = Some((reg, v, self.cycle + 1));
                 } else {
                     // MIVT lookup: value = live-in + inc × (ordinal + 1),
                     // computed with the narrow multiplier.
-                    let entry = self
-                        .scan
-                        .mivt
-                        .iter()
-                        .find(|m| m.reg == reg)
-                        .expect("xi register is in the MIVT");
+                    let inc = self.mivt_inc[reg.index()];
                     let v = self.scan.live_ins[reg.index()]
-                        .wrapping_add((entry.inc as i64 * (iter as i64 + 1)) as u32);
+                        .wrapping_add((inc as i64 * (iter as i64 + 1)) as u32);
                     result = Some((reg, v, self.cycle + 1));
                 }
             }
-            Instr::Llfu { op, rd, rs, rt } => {
+            Instr::Llfu { op, rd, .. } => {
                 let granted = if op.is_pipelined() {
                     self.llfu_pipe.try_issue(self.cycle)
                 } else {
@@ -599,11 +964,11 @@ impl<'a> Engine<'a> {
                     return Err(Block::Llfu);
                 }
                 self.ctxs[ci].tally.llfu_ops += 1;
-                let v = op.apply(self.reg(ci, rs), self.reg(ci, rt));
+                let v = op.apply(v0, v1);
                 result = Some((rd, v, self.cycle + op.default_latency() as u64));
             }
-            Instr::Mem { op, data, base, offset } => {
-                let addr = self.reg(ci, base).wrapping_add(offset as i32 as u32);
+            Instr::Mem { op, data, offset, .. } => {
+                let addr = v0.wrapping_add(offset as i32 as u32);
                 if op.is_load() {
                     let (value, ready) = if speculative {
                         if let Some(v) = self.ctxs[ci].lsq.forward(addr, op) {
@@ -626,7 +991,7 @@ impl<'a> Engine<'a> {
                             if !self.port.try_issue(self.cycle) {
                                 return Err(Block::MemPort);
                             }
-                            let lat = self.dcache.access(addr, false) as u64;
+                            let lat = self.dcache.access_at(addr, false, self.cycle) as u64;
                             self.ctxs[ci].tally.mem_accesses += 1;
                             self.ctxs[ci].tally.lsq_events += 1;
                             self.ctxs[ci].lsq.record_load(addr);
@@ -642,14 +1007,14 @@ impl<'a> Engine<'a> {
                             if !self.port.try_issue(self.cycle) {
                                 return Err(Block::MemPort);
                             }
-                            let lat = self.dcache.access(addr, false) as u64;
+                            let lat = self.dcache.access_at(addr, false, self.cycle) as u64;
                             self.ctxs[ci].tally.mem_accesses += 1;
                             (load(self.mem, op, addr), self.cycle + 1 + lat)
                         }
                     };
                     result = Some((data, value, ready));
                 } else {
-                    let value = self.reg(ci, data);
+                    let value = v1;
                     if speculative {
                         if !self.ctxs[ci].lsq.store_has_room(self.cfg.lsq_stores) {
                             return Err(Block::Lsq);
@@ -661,7 +1026,7 @@ impl<'a> Engine<'a> {
                             return Err(Block::MemPort);
                         }
                         store(self.mem, op, addr, value);
-                        self.dcache.access(addr, true);
+                        self.dcache.access_at(addr, true, self.cycle);
                         self.ctxs[ci].tally.mem_accesses += 1;
                         if self.orders_mem {
                             self.broadcast_store(addr, iter);
@@ -669,9 +1034,9 @@ impl<'a> Engine<'a> {
                     }
                 }
             }
-            Instr::Amo { op, rd, addr, src } => {
-                let a = self.reg(ci, addr);
-                let operand = self.reg(ci, src);
+            Instr::Amo { op, rd, .. } => {
+                let a = v0;
+                let operand = v1;
                 if speculative {
                     // Read (LSQ-forwarded or memory), combine, buffer the
                     // store; atomicity follows from the serial memory order
@@ -690,7 +1055,7 @@ impl<'a> Engine<'a> {
                             if !self.port.try_issue(self.cycle) {
                                 return Err(Block::MemPort);
                             }
-                            self.dcache.access(a, false);
+                            self.dcache.access_at(a, false, self.cycle);
                             self.ctxs[ci].tally.mem_accesses += 1;
                             self.ctxs[ci].lsq.record_load(a);
                             self.mem.read_u32(a)
@@ -708,7 +1073,7 @@ impl<'a> Engine<'a> {
                         return Err(Block::MemPort);
                     }
                     let old = self.mem.amo(op, a, operand);
-                    self.dcache.access(a, true);
+                    self.dcache.access_at(a, true, self.cycle);
                     self.ctxs[ci].tally.mem_accesses += 1;
                     if self.orders_mem {
                         self.broadcast_store(a, iter);
@@ -717,15 +1082,15 @@ impl<'a> Engine<'a> {
                     busy = self.cycle + 2;
                 }
             }
-            Instr::Branch { cond, rs, rt, offset } => {
-                if cond.eval(self.reg(ci, rs), self.reg(ci, rt)) {
+            Instr::Branch { cond, offset, .. } => {
+                if cond.eval(v0, v1) {
                     next_pc = (pc as i64 + offset as i64) as usize;
                     busy = self.cycle + 2; // one-bubble redirect
                 }
             }
-            Instr::Xloop { idx, bound, body_offset, .. } => {
+            Instr::Xloop { body_offset, .. } => {
                 // A nested xloop executes traditionally inside the lane.
-                if (self.reg(ci, idx) as i32) < (self.reg(ci, bound) as i32) {
+                if (v0 as i32) < (v1 as i32) {
                     next_pc = pc - body_offset as usize;
                     busy = self.cycle + 2;
                 }
@@ -742,7 +1107,7 @@ impl<'a> Engine<'a> {
                 self.ctxs[ci].regs[rd.index()] = value;
                 self.ctxs[ci].reg_ready[rd.index()] = ready;
             }
-            if self.scan.pattern.is_dynamic_bound() && rd == self.scan.bound_reg {
+            if rd.index() as u8 == self.bound_watch {
                 // Bounds grow monotonically; the LMU keeps the maximum.
                 if (value as i32) > (self.bound as i32) {
                     self.bound = value;
@@ -753,12 +1118,10 @@ impl<'a> Engine<'a> {
                 self.ctxs[ci].cir_local |= bit;
                 // The "last CIR write" bit: forward when the largest-pc
                 // writer executes.
-                if let Some(cir) = self.scan.cirs.iter().find(|c| c.reg == rd) {
-                    if cir.last_write == pc {
-                        self.publish_cir(iter, rd, value);
-                        self.ctxs[ci].cir_pub |= bit;
-                        self.ctxs[ci].tally.cir_transfers += 1;
-                    }
+                if self.cir_last_write[rd.index()] == pc {
+                    self.publish_cir(iter, rd, value);
+                    self.ctxs[ci].cir_pub |= bit;
+                    self.ctxs[ci].tally.cir_transfers += 1;
                 }
             }
         }
@@ -799,12 +1162,66 @@ impl<'a> Engine<'a> {
         }
         best.map(|(_, v)| v)
     }
+}
 
-    fn reg(&self, ci: usize, r: Reg) -> u32 {
-        if r.is_zero() {
-            0
-        } else {
-            self.ctxs[ci].regs[r.index()]
+/// Number of cycles `x` in `[from, to)` with `x % k == p` (`p < k`).
+fn cycles_with_residue(from: u64, to: u64, p: u64, k: u64) -> u64 {
+    let upto = |n: u64| if n > p { (n - p).div_ceil(k) } else { 0 };
+    upto(to) - upto(from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xloops_asm::assemble;
+    use xloops_mem::CacheConfig;
+
+    #[test]
+    fn residue_counts_match_enumeration() {
+        for k in 1..4u64 {
+            for from in 0..12 {
+                for to in from..16 {
+                    for p in 0..k {
+                        let expect = (from..to).filter(|x| x % k == p).count() as u64;
+                        assert_eq!(
+                            cycles_with_residue(from, to, p, k),
+                            expect,
+                            "[{from}, {to}) mod {k} == {p}"
+                        );
+                    }
+                }
+            }
         }
+    }
+
+    /// A deliberately wedged engine must return an error, not abort: the
+    /// iteration −1 CIR seed is removed after construction, so no
+    /// iteration can ever obtain its cross-iteration input.
+    #[test]
+    fn wedged_engine_returns_no_forward_progress() {
+        let p = assemble(
+            "
+            li r2, 0
+            li r3, 8
+            li r9, 1
+        body:
+            addu r9, r9, r2
+            addiu r2, r2, 1
+            xloop.or body, r2, r3
+            exit",
+        )
+        .unwrap();
+        let xloop_pc = p.instrs().iter().position(|i| i.is_xloop()).unwrap() as u32 * 4;
+        let mut live_ins = [0u32; 32];
+        live_ins[3] = 8;
+        live_ins[9] = 1;
+        let cfg = LpsuConfig::default4();
+        let s = crate::scan(&p, xloop_pc, live_ins, &cfg).expect("scans as or");
+        let mut mem = Memory::new();
+        let mut dcache = Cache::new(CacheConfig::l1_default());
+        let mut eng = Engine::new(&cfg, &s, &mut mem, &mut dcache, None);
+        eng.chan.clear();
+        let err = eng.run(Stepper::EventDriven).unwrap_err();
+        assert!(matches!(err, LpsuError::NoForwardProgress { .. }), "got {err}");
     }
 }

@@ -41,6 +41,6 @@ mod scan;
 mod stats;
 
 pub use config::LpsuConfig;
-pub use engine::{Lpsu, LpsuResult};
+pub use engine::{Lpsu, LpsuError, LpsuResult, Stepper};
 pub use scan::{scan, ScanError, ScanResult};
 pub use stats::LpsuStats;

@@ -46,7 +46,7 @@ fn golden(src: &str, init: &dyn Fn(&mut Memory)) -> Memory {
 
 fn run_lpsu(config: LpsuConfig, s: &ScanResult, mem: &mut Memory) -> LpsuResult {
     let mut dcache = Cache::new(CacheConfig::l1_default());
-    Lpsu::new(config).execute(s, mem, &mut dcache, None)
+    Lpsu::new(config).execute(s, mem, &mut dcache, None).expect("engine makes progress")
 }
 
 // ---------------------------------------------------------------- uc ----
@@ -475,7 +475,9 @@ fn lane_cycle_accounting_is_conservative() {
 fn profiling_cap_stops_at_iteration_boundary() {
     let (s, mut mem, _) = handoff(VECTOR_SCALE, &vector_init);
     let mut dcache = Cache::new(CacheConfig::l1_default());
-    let r = Lpsu::new(LpsuConfig::default4()).execute(&s, &mut mem, &mut dcache, Some(10));
+    let r = Lpsu::new(LpsuConfig::default4())
+        .execute(&s, &mut mem, &mut dcache, Some(10))
+        .expect("engine makes progress");
     assert_eq!(r.iterations, 10);
     assert_eq!(r.final_idx, s.iter_value(10));
     // First 10 LPSU iterations (values 1..=10) are in memory; later ones not.

@@ -142,7 +142,7 @@ fn run_lpsu_cfg(p: &Program, config: LpsuConfig) -> Memory {
     }
     let s = scan(p, xloop_pc, live_ins, &config).expect("scans");
     let mut dcache = Cache::new(CacheConfig::l1_default());
-    Lpsu::new(config).execute(&s, &mut mem, &mut dcache, None);
+    Lpsu::new(config).execute(&s, &mut mem, &mut dcache, None).expect("engine makes progress");
     mem
 }
 

@@ -91,6 +91,9 @@ pub struct Cache {
     line_shift: u32,
     /// `log2(sets.len())`.
     set_shift: u32,
+    /// Completion time of the latest outstanding refill (see
+    /// [`access_at`](Cache::access_at) / [`next_event`](Cache::next_event)).
+    refill_done: u64,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -120,6 +123,7 @@ impl Cache {
             tick: 0,
             line_shift: config.line_bytes.trailing_zeros(),
             set_shift: num_sets.trailing_zeros(),
+            refill_done: 0,
         }
     }
 
@@ -167,6 +171,34 @@ impl Cache {
         self.config.hit_cycles + self.config.miss_cycles
     }
 
+    /// Like [`access`](Cache::access), but stamps the refill completion
+    /// time of a miss (`now + latency`) so that [`next_event`] can report
+    /// it to an event-driven scheduler. The returned latency is identical
+    /// to what `access` would return for the same access sequence.
+    ///
+    /// [`next_event`]: Cache::next_event
+    #[inline]
+    pub fn access_at(&mut self, addr: u32, is_write: bool, now: u64) -> u32 {
+        let lat = self.access(addr, is_write);
+        if lat > self.config.hit_cycles {
+            let done = now + lat as u64;
+            if done > self.refill_done {
+                self.refill_done = done;
+            }
+        }
+        lat
+    }
+
+    /// The completion time of the latest outstanding refill, if it is
+    /// still in the future of `now`. Event-driven schedulers include this
+    /// in their wakeup computation instead of probing the cache per cycle;
+    /// waking at (or before) this time is always safe because refills only
+    /// extend register-ready times that the scheduler tracks anyway.
+    #[inline]
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        (self.refill_done > now).then_some(self.refill_done)
+    }
+
     /// Latency an access *would* have, without updating any state. Used by
     /// schedulers that need to peek before committing to an issue slot.
     #[inline]
@@ -193,6 +225,7 @@ impl Cache {
         }
         self.stats = CacheStats::default();
         self.tick = 0;
+        self.refill_done = 0;
     }
 }
 
@@ -251,6 +284,19 @@ mod tests {
         c.reset();
         assert_eq!(c.stats().accesses(), 0);
         assert_eq!(c.access(0x0, false), 10, "cold again after reset");
+    }
+
+    #[test]
+    fn access_at_tracks_refill_completion() {
+        let mut c = tiny();
+        assert_eq!(c.next_event(0), None);
+        assert_eq!(c.access_at(0x00, false, 100), 10, "cold miss");
+        assert_eq!(c.next_event(100), Some(110));
+        assert_eq!(c.next_event(110), None, "refill done by then");
+        assert_eq!(c.access_at(0x0C, false, 105), 1, "hit leaves no event");
+        assert_eq!(c.next_event(100), Some(110));
+        c.reset();
+        assert_eq!(c.next_event(0), None);
     }
 
     #[test]

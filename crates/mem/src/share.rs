@@ -47,6 +47,15 @@ impl SharedPort {
         }
     }
 
+    /// Whether a [`try_issue`](SharedPort::try_issue) in `cycle` would be
+    /// refused. A cheap probe for callers that can skip work when the
+    /// port's bandwidth is already spent; unlike `try_issue` it does not
+    /// count a refusal.
+    #[inline]
+    pub fn is_exhausted(&self, cycle: u64) -> bool {
+        self.cycle == cycle && self.used >= self.per_cycle
+    }
+
     /// Attempts to issue a request in `cycle`. Returns `false` if the
     /// port's per-cycle bandwidth is exhausted.
     #[inline]
@@ -119,6 +128,13 @@ impl SharedUnit {
         }
     }
 
+    /// The earliest cycle strictly after `cycle` at which a currently
+    /// occupied unit frees up, or `None` if no unit is busy past `cycle`.
+    /// Event-driven schedulers use this as a wakeup time after a refusal.
+    pub fn next_free_after(&self, cycle: u64) -> Option<u64> {
+        self.busy_until.iter().copied().filter(|&b| b > cycle).min()
+    }
+
     /// Total operations started.
     pub fn started(&self) -> u64 {
         self.started_total
@@ -164,6 +180,17 @@ mod tests {
         assert!(u.try_start(0, 4));
         assert!(!u.try_start(1, 1));
         assert!(u.try_start(4, 1));
+    }
+
+    #[test]
+    fn next_free_after_reports_earliest_release() {
+        let mut u = SharedUnit::new(2);
+        assert_eq!(u.next_free_after(0), None);
+        assert!(u.try_start(0, 12));
+        assert!(u.try_start(0, 4));
+        assert_eq!(u.next_free_after(0), Some(4));
+        assert_eq!(u.next_free_after(4), Some(12));
+        assert_eq!(u.next_free_after(12), None);
     }
 
     #[test]

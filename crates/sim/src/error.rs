@@ -1,6 +1,7 @@
 use std::fmt;
 
 use xloops_func::ExecError;
+use xloops_lpsu::LpsuError;
 
 /// Errors surfaced by a system-level run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -10,6 +11,13 @@ pub enum SimError {
     /// Specialized or adaptive execution was requested on a system with no
     /// LPSU.
     NoLpsu,
+    /// The LPSU wedged: no context can issue and no pending event can
+    /// unblock one (an engine invariant violation, surfaced instead of
+    /// aborting the process).
+    NoForwardProgress {
+        /// LPSU-phase cycle at which the wedge was detected.
+        cycle: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -17,6 +25,9 @@ impl fmt::Display for SimError {
         match self {
             SimError::Exec(e) => write!(f, "execution error: {e}"),
             SimError::NoLpsu => f.write_str("this system configuration has no LPSU"),
+            SimError::NoForwardProgress { cycle } => {
+                write!(f, "LPSU made no forward progress (wedged at cycle {cycle})")
+            }
         }
     }
 }
@@ -25,7 +36,7 @@ impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SimError::Exec(e) => Some(e),
-            SimError::NoLpsu => None,
+            SimError::NoLpsu | SimError::NoForwardProgress { .. } => None,
         }
     }
 }
@@ -33,5 +44,13 @@ impl std::error::Error for SimError {
 impl From<ExecError> for SimError {
     fn from(e: ExecError) -> SimError {
         SimError::Exec(e)
+    }
+}
+
+impl From<LpsuError> for SimError {
+    fn from(e: LpsuError) -> SimError {
+        match e {
+            LpsuError::NoForwardProgress { cycle } => SimError::NoForwardProgress { cycle },
+        }
     }
 }

@@ -173,7 +173,7 @@ impl System {
             }
         };
         let scan_end = self.scan_timing(&s);
-        let res = lpsu.execute(&s, &mut self.mem, self.gpp.dcache_mut(), max_iters);
+        let res = lpsu.execute(&s, &mut self.mem, self.gpp.dcache_mut(), max_iters)?;
         self.gpp.stall_until(scan_end + res.cycles);
 
         // Architectural handback: induction and bound registers take their

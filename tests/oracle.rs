@@ -1,0 +1,173 @@
+//! Differential oracle for the event-driven LPSU stepper.
+//!
+//! The event-driven scheduler skips runs of cycles in which no lane can
+//! make progress. That is a pure simulation-speed transformation: it must
+//! never change *what* the model computes. This suite pins that claim by
+//! executing every scannable `xloop` of every Table II kernel under both
+//! steppers and asserting the complete observable outcome is identical —
+//! cycle count, committed iterations, serial-equivalent live-outs, the
+//! full Figure 6 stall breakdown, and the resulting memory image.
+//!
+//! The loops are harvested by running the functional interpreter and
+//! snapshotting architectural state (live-in registers + memory) the
+//! first time each `xloop` pc is reached, so each loop is exercised from
+//! a realistic entry state rather than a synthetic one.
+
+use xloops::func::Interp;
+use xloops::isa::Reg;
+use xloops::kernels::{by_name, table2, Kernel};
+use xloops::lpsu::{scan, Lpsu, LpsuConfig, Stepper};
+use xloops::mem::{Cache, CacheConfig, Memory};
+
+/// Architectural state captured at the first encounter of an `xloop` pc.
+struct LoopSite {
+    pc: u32,
+    live_ins: [u32; 32],
+    mem: Memory,
+}
+
+/// Runs the kernel functionally and snapshots state at each distinct
+/// `xloop` pc (first encounter only — re-evaluations at the loop back
+/// edge revisit the same pc every iteration).
+fn harvest(kernel: &Kernel) -> Vec<LoopSite> {
+    let program = &kernel.program;
+    let mut mem = Memory::new();
+    kernel.init_memory(&mut mem);
+    let mut cpu = Interp::new();
+    let mut seen = Vec::new();
+    let mut sites = Vec::new();
+    for _ in 0..50_000_000u64 {
+        let pc = cpu.pc;
+        let at_new_xloop = program.fetch(pc).is_some_and(|i| i.is_xloop() && !seen.contains(&pc));
+        if at_new_xloop {
+            seen.push(pc);
+            let mut live_ins = [0u32; 32];
+            for r in Reg::all() {
+                live_ins[r.index()] = cpu.reg(r);
+            }
+            sites.push(LoopSite { pc, live_ins, mem: mem.clone() });
+        }
+        match cpu.step(program, &mut mem) {
+            Ok(xloops::func::Step::Exit) => break,
+            Ok(_) => {}
+            Err(e) => panic!("{}: functional run failed: {e:?}", kernel.name),
+        }
+    }
+    sites
+}
+
+/// Executes one harvested loop under `stepper` and returns everything an
+/// external observer can see: the result record and the memory image.
+fn run_site(
+    site: &LoopSite,
+    kernel: &Kernel,
+    cfg: LpsuConfig,
+    stepper: Stepper,
+    max_iters: Option<u64>,
+) -> Option<(xloops::lpsu::LpsuResult, Vec<u32>)> {
+    let s = scan(&kernel.program, site.pc, site.live_ins, &cfg).ok()?;
+    let mut mem = site.mem.clone();
+    let mut dcache = Cache::new(CacheConfig::l1_default());
+    let res = Lpsu::new(cfg)
+        .execute_stepper(stepper, &s, &mut mem, &mut dcache, max_iters)
+        .unwrap_or_else(|e| panic!("{} pc={:#x} {stepper:?}: {e}", kernel.name, site.pc));
+    // The kernels' working set lives in 0x1000..0x7000 (see
+    // tests/cross_model.rs); comparing the whole span catches any stray
+    // store, not just the verified outputs.
+    Some((res, mem.read_words(0x1000, (0x7000 - 0x1000) / 4)))
+}
+
+fn assert_identical(kernel: &Kernel, cfg: LpsuConfig, max_iters: Option<u64>) {
+    for site in harvest(kernel) {
+        let naive = run_site(&site, kernel, cfg, Stepper::Naive, max_iters);
+        let event = run_site(&site, kernel, cfg, Stepper::EventDriven, max_iters);
+        match (naive, event) {
+            (None, None) => {} // loop not scannable under this config
+            (Some((nr, nm)), Some((er, em))) => {
+                assert_eq!(
+                    nr,
+                    er,
+                    "{} pc={:#x} cfg={}: result diverged",
+                    kernel.name,
+                    site.pc,
+                    cfg.name()
+                );
+                assert_eq!(
+                    nm,
+                    em,
+                    "{} pc={:#x} cfg={}: memory image diverged",
+                    kernel.name,
+                    site.pc,
+                    cfg.name()
+                );
+            }
+            _ => panic!(
+                "{} pc={:#x} cfg={}: steppers disagree on scannability",
+                kernel.name,
+                site.pc,
+                cfg.name()
+            ),
+        }
+    }
+}
+
+/// Every kernel, paper-primary LPSU: the headline oracle.
+#[test]
+fn event_driven_matches_naive_on_every_kernel() {
+    for kernel in table2() {
+        assert_identical(kernel, LpsuConfig::default4(), None);
+    }
+}
+
+/// Every kernel with vertical multithreading (two contexts per lane) —
+/// the rotation order and skipped-cycle attribution differ per context.
+#[test]
+fn event_driven_matches_naive_with_multithreading() {
+    for kernel in table2() {
+        assert_identical(kernel, LpsuConfig::default4().with_multithreading(), None);
+    }
+}
+
+/// Every kernel with doubled shared resources (`+r`): two memory ports
+/// and two LLFUs change which cycles the port-exhaustion fast path and
+/// LLFU wakeups fire on.
+#[test]
+fn event_driven_matches_naive_with_double_resources() {
+    for kernel in table2() {
+        assert_identical(kernel, LpsuConfig::default4().with_double_resources(), None);
+    }
+}
+
+/// An early `max_iters` cut-off exercises the LMU's drain path, where the
+/// event scheduler must not skip past the final partial commit.
+#[test]
+fn event_driven_matches_naive_with_iteration_cap() {
+    for kernel in table2() {
+        assert_identical(kernel, LpsuConfig::default4(), Some(7));
+    }
+}
+
+/// A representative kernel per dependence pattern, across the rest of the
+/// design space: lane counts, CIB latency, cross-lane forwarding, big
+/// LSQs, and combinations.
+#[test]
+fn event_driven_matches_naive_across_design_space() {
+    let representatives =
+        ["rgb2cmyk-uc", "dither-or", "ksack-sm-om", "mm-orm", "hsort-ua", "bfs-uc-db"];
+    let d = LpsuConfig::default4;
+    let configs = [
+        d().with_lanes(2),
+        d().with_lanes(8),
+        d().with_cib_latency(4),
+        d().with_cross_lane_forwarding(),
+        d().with_big_lsq(),
+        d().with_lanes(8).with_multithreading().with_double_resources(),
+        d().with_cross_lane_forwarding().with_cib_latency(4).with_big_lsq(),
+    ];
+    for name in representatives {
+        let kernel = by_name(name).expect("representative kernel exists");
+        for cfg in configs {
+            assert_identical(kernel, cfg, None);
+        }
+    }
+}
