@@ -117,3 +117,21 @@ proptest! {
         prop_assert!(gp.instrs().iter().all(|i| !i.is_xloop() && !i.is_xi()));
     }
 }
+
+/// The same identity property over the real paper programs instead of
+/// synthetic ones, checked exhaustively: every Table II kernel and
+/// Table IV variant must survive assemble → disassemble → re-assemble
+/// with its instruction words intact.
+#[test]
+fn every_paper_kernel_survives_disassemble_reassemble() {
+    let kernels: Vec<_> =
+        xloops_kernels::table2().iter().chain(xloops_kernels::table4().iter()).collect();
+    assert!(kernels.len() >= 10, "kernel tables unexpectedly empty");
+    for k in kernels {
+        let words = k.program.to_words();
+        let text = disassemble(&k.program);
+        let again = assemble(&text)
+            .unwrap_or_else(|e| panic!("{}: reassembly failed: {e}\n{text}", k.name));
+        assert_eq!(words, again.to_words(), "{}:\n{}", k.name, text);
+    }
+}

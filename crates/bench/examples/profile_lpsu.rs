@@ -60,7 +60,7 @@ fn main() {
             let mut live_ins = [0u32; 32];
             let mut found = None;
             for _ in 0..10_000_000u64 {
-                let pc = cpu.pc;
+                let pc = cpu.pc();
                 let instr = program.instrs()[(pc / 4) as usize];
                 if instr.is_xloop() {
                     for r in xloops_isa::Reg::all() {

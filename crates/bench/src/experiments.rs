@@ -9,6 +9,7 @@ use xloops_energy::{
 use xloops_kernels::{by_name, table2, table4};
 use xloops_lpsu::LpsuConfig;
 use xloops_sim::{ExecMode, SystemConfig};
+use xloops_stats::StatValue;
 
 use crate::{energy_efficiency, f2, speedup, Runner, TextTable};
 
@@ -94,20 +95,23 @@ pub fn fig6_report(r: &Runner) -> String {
     ]);
     for k in table2() {
         let run = r.run(k, SystemConfig::ooo2_x(), ExecMode::Specialized);
-        let l = run.stats.lpsu;
-        let total = l.lane_cycles().max(1) as f64;
-        let pct = |x: u64| format!("{:.1}", 100.0 * x as f64 / total);
+        // Consume the unified schema rather than the raw struct: the same
+        // dotted paths the CLI's `--stats json` output exposes.
+        let l = run.stats.lpsu.stat_set();
+        let counter = |path: &str| l.lookup(path).and_then(StatValue::as_counter).unwrap_or(0);
+        let total = counter("lane_cycles").max(1) as f64;
+        let pct = |path: &str| format!("{:.1}", 100.0 * counter(path) as f64 / total);
         t.row(vec![
             k.name.to_string(),
-            pct(l.exec),
-            pct(l.stall_raw),
-            pct(l.stall_mem_port),
-            pct(l.stall_llfu),
-            pct(l.stall_cir),
-            pct(l.stall_lsq),
-            pct(l.squash),
-            pct(l.idle),
-            l.squashed_iters.to_string(),
+            pct("exec"),
+            pct("stalls.raw"),
+            pct("stalls.mem_port"),
+            pct("stalls.llfu"),
+            pct("stalls.cir"),
+            pct("stalls.lsq"),
+            pct("squash"),
+            pct("idle"),
+            counter("squashed_iters").to_string(),
         ]);
     }
     format!(

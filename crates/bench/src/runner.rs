@@ -18,7 +18,7 @@
 //!    [`std::thread::scope`], or serially with `XLOOPS_BENCH_SERIAL=1`),
 //!    then every report renders again from the warm cache.
 //!
-//! Each job builds a fresh [`System`] and the simulator is deterministic,
+//! Each job builds a fresh [`xloops_sim::System`] and the simulator is deterministic,
 //! so results are independent of worker scheduling: parallel and serial
 //! runs produce byte-identical artifacts.
 //!

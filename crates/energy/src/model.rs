@@ -1,4 +1,5 @@
 use xloops_func::InsnMix;
+use xloops_stats::StatSet;
 
 /// Per-event energies in picojoules.
 ///
@@ -231,6 +232,29 @@ impl EventCounts {
             + self.cir_transfers as f64 * t.cir_transfer
             + self.scan_instrs as f64 * t.scan_per_instr;
         (core_pj + lpsu_share_pj * t.lmu_overhead_frac) / 1000.0
+    }
+
+    /// These event counts as a node of the unified schema.
+    ///
+    /// One counter per energy-event class, in the declaration order of
+    /// [`EventCounts`].
+    pub fn stat_set(&self) -> StatSet {
+        let mut s = StatSet::new("energy");
+        s.set("icache_fetches", self.icache_fetches)
+            .set("ibuf_fetches", self.ibuf_fetches)
+            .set("alu_ops", self.alu_ops)
+            .set("llfu_ops", self.llfu_ops)
+            .set("dcache_accesses", self.dcache_accesses)
+            .set("amos", self.amos)
+            .set("rf_reads", self.rf_reads)
+            .set("rf_writes", self.rf_writes)
+            .set("ooo_instrs", self.ooo_instrs)
+            .set("mispredicts", self.mispredicts)
+            .set("lsq_events", self.lsq_events)
+            .set("xi_muls", self.xi_muls)
+            .set("cir_transfers", self.cir_transfers)
+            .set("scan_instrs", self.scan_instrs);
+        s
     }
 
     /// Component-wise sum of two event sets.

@@ -1,9 +1,19 @@
 //! # xloops-func
 //!
-//! A functional (instruction-level, untimed) interpreter for TRISC/XLOOPS
-//! binaries. It executes XLOOPS binaries with *traditional* semantics —
-//! `xloop` behaves as a conditional branch, `xi` as a plain add — which the
-//! ISA defines to be a valid serial execution of every loop pattern.
+//! The shared architectural layer under every engine in the workspace, in
+//! two pieces:
+//!
+//! * [`state::ArchState`] — the pure architectural state (regfile + pc);
+//! * [`semantics`] — the single definition of what each instruction does:
+//!   [`semantics::apply`] executes one instruction against an `ArchState`
+//!   and a [`semantics::MemPort`], returning an [`semantics::Effect`] that
+//!   timing models consume for their slot/port/queue accounting.
+//!
+//! On top of those sits [`Interp`], a functional (instruction-level,
+//! untimed) interpreter: it executes XLOOPS binaries with *traditional*
+//! semantics — `xloop` behaves as a conditional branch, `xi` as a plain
+//! add — which the ISA defines to be a valid serial execution of every loop
+//! pattern.
 //!
 //! The interpreter is the **golden model**: every cycle-level
 //! microarchitecture model in `xloops-gpp` / `xloops-lpsu` must produce the
@@ -33,14 +43,23 @@
 use std::fmt;
 
 use xloops_asm::Program;
-use xloops_isa::{AluOp, Instr, MemOp, Reg, XiKind, INSTR_BYTES, NUM_REGS};
+use xloops_isa::{Instr, Reg, INSTR_BYTES};
 use xloops_mem::Memory;
+
+pub mod semantics;
+pub mod state;
+
+pub use semantics::{
+    alu_imm_value, apply, apply_direct, branch_target, classify, load, store, xi_mivt, xi_step,
+    Effect, EffectClass, MemPort,
+};
+pub use state::ArchState;
 
 /// Dynamic instruction mix, used for Table II dynamic-instruction counts
 /// and as event counts by the energy model.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct InsnMix {
-    /// Simple integer ALU operations (including `lui`, `nop`).
+    /// Simple integer ALU operations (including `lui`, `nop`, `exit`).
     pub alu: u64,
     /// Long-latency operations (integer mul/div, FP).
     pub llfu: u64,
@@ -78,6 +97,29 @@ impl InsnMix {
             + self.xloops
             + self.xis
             + self.syncs
+    }
+
+    /// Accounts one executed instruction by its effect class.
+    #[inline]
+    fn count(&mut self, class: EffectClass, taken: bool) {
+        match class {
+            // `exit` is counted like a simple op.
+            EffectClass::Alu | EffectClass::Exit => self.alu += 1,
+            EffectClass::Llfu(_) => self.llfu += 1,
+            EffectClass::Load(_) => self.loads += 1,
+            EffectClass::Store(_) => self.stores += 1,
+            EffectClass::Amo => self.amos += 1,
+            EffectClass::Branch => {
+                self.branches += 1;
+                if taken {
+                    self.branches_taken += 1;
+                }
+            }
+            EffectClass::Jump | EffectClass::JumpReg => self.jumps += 1,
+            EffectClass::Sync => self.syncs += 1,
+            EffectClass::Xloop => self.xloops += 1,
+            EffectClass::Xi => self.xis += 1,
+        }
     }
 }
 
@@ -119,41 +161,53 @@ pub enum Step {
     Exit,
 }
 
-/// The functional interpreter: architectural register state plus a pc.
-///
-/// Registers start at zero; `r0` stays zero regardless of writes.
-#[derive(Clone, Debug)]
+/// The functional interpreter: an [`ArchState`] stepped by
+/// [`semantics::apply`], plus dynamic-mix accounting. It holds no timing
+/// state whatsoever.
+#[derive(Clone, Debug, Default)]
 pub struct Interp {
-    /// Current program counter (byte address).
-    pub pc: u32,
-    regs: [u32; NUM_REGS],
+    state: ArchState,
     mix: InsnMix,
-}
-
-impl Default for Interp {
-    fn default() -> Interp {
-        Interp::new()
-    }
 }
 
 impl Interp {
     /// Creates an interpreter with pc 0 and all registers zero.
     pub fn new() -> Interp {
-        Interp { pc: 0, regs: [0; NUM_REGS], mix: InsnMix::default() }
+        Interp { state: ArchState::new(), mix: InsnMix::default() }
+    }
+
+    /// Current program counter (byte address).
+    #[inline]
+    pub fn pc(&self) -> u32 {
+        self.state.pc
+    }
+
+    /// Redirects the program counter.
+    #[inline]
+    pub fn set_pc(&mut self, pc: u32) {
+        self.state.pc = pc;
     }
 
     /// Reads a register (reads of `r0` return 0).
     #[inline]
     pub fn reg(&self, r: Reg) -> u32 {
-        self.regs[r.index()]
+        self.state.reg(r)
     }
 
     /// Writes a register (writes to `r0` are discarded).
     #[inline]
     pub fn set_reg(&mut self, r: Reg, value: u32) {
-        if !r.is_zero() {
-            self.regs[r.index()] = value;
-        }
+        self.state.set_reg(r, value);
+    }
+
+    /// The architectural state (for snapshotting).
+    pub fn state(&self) -> &ArchState {
+        &self.state
+    }
+
+    /// Replaces the architectural state (for snapshot restore).
+    pub fn set_state(&mut self, state: ArchState) {
+        self.state = state;
     }
 
     /// The dynamic instruction mix accumulated so far.
@@ -167,99 +221,21 @@ impl Interp {
     ///
     /// Returns [`ExecError::InvalidPc`] if the pc is outside the program.
     pub fn step(&mut self, program: &Program, mem: &mut Memory) -> Result<Step, ExecError> {
-        let instr = program.fetch(self.pc).ok_or(ExecError::InvalidPc(self.pc))?;
-        Ok(self.exec(instr, mem))
+        let pc = self.state.pc;
+        let instr = program.fetch(pc).ok_or(ExecError::InvalidPc(pc))?;
+        let effect = self.exec(instr, mem);
+        Ok(if effect.class == EffectClass::Exit { Step::Exit } else { Step::Continue })
     }
 
-    /// Executes `instr` as the instruction at the current pc. Callers that
-    /// already fetched (to inspect the instruction before executing, like
-    /// the timing models) use this to avoid a second fetch.
+    /// Executes `instr` as the instruction at the current pc and reports
+    /// its [`Effect`]. Callers that already fetched (to inspect the
+    /// instruction before executing, like the timing models) use this to
+    /// avoid a second fetch.
     #[inline]
-    pub fn exec(&mut self, instr: Instr, mem: &mut Memory) -> Step {
-        let mut next_pc = self.pc.wrapping_add(INSTR_BYTES);
-        match instr {
-            Instr::Alu { op, rd, rs, rt } => {
-                self.mix.alu += 1;
-                self.set_reg(rd, op.apply(self.reg(rs), self.reg(rt)));
-            }
-            Instr::AluImm { op, rd, rs, imm } => {
-                self.mix.alu += 1;
-                self.set_reg(rd, op.apply(self.reg(rs), alu_imm_value(op, imm)));
-            }
-            Instr::Lui { rd, imm } => {
-                self.mix.alu += 1;
-                self.set_reg(rd, (imm as u32) << 16);
-            }
-            Instr::Llfu { op, rd, rs, rt } => {
-                self.mix.llfu += 1;
-                self.set_reg(rd, op.apply(self.reg(rs), self.reg(rt)));
-            }
-            Instr::Amo { op, rd, addr, src } => {
-                self.mix.amos += 1;
-                let old = mem.amo(op, self.reg(addr), self.reg(src));
-                self.set_reg(rd, old);
-            }
-            Instr::Mem { op, data, base, offset } => {
-                let addr = self.reg(base).wrapping_add(offset as i32 as u32);
-                if op.is_load() {
-                    self.mix.loads += 1;
-                    self.set_reg(data, load(mem, op, addr));
-                } else {
-                    self.mix.stores += 1;
-                    store(mem, op, addr, self.reg(data));
-                }
-            }
-            Instr::Branch { cond, rs, rt, offset } => {
-                self.mix.branches += 1;
-                if cond.eval(self.reg(rs), self.reg(rt)) {
-                    self.mix.branches_taken += 1;
-                    next_pc = branch_target(self.pc, offset);
-                }
-            }
-            Instr::Jump { link, target_word } => {
-                self.mix.jumps += 1;
-                if link {
-                    self.set_reg(Reg::RA, next_pc);
-                }
-                next_pc = target_word * INSTR_BYTES;
-            }
-            Instr::JumpReg { link, rd, rs } => {
-                self.mix.jumps += 1;
-                let target = self.reg(rs);
-                if link {
-                    self.set_reg(rd, next_pc);
-                }
-                next_pc = target;
-            }
-            Instr::Sync => {
-                self.mix.syncs += 1;
-            }
-            Instr::Exit => {
-                self.mix.alu += 1; // count the exit like a simple op
-                return Step::Exit;
-            }
-            Instr::Nop => {
-                self.mix.alu += 1;
-            }
-            // Traditional execution: xloop is exactly `blt idx, bound, body`.
-            Instr::Xloop { idx, bound, body_offset, .. } => {
-                self.mix.xloops += 1;
-                if (self.reg(idx) as i32) < (self.reg(bound) as i32) {
-                    next_pc = self.pc - body_offset as u32 * INSTR_BYTES;
-                }
-            }
-            // Traditional execution: xi is a plain add.
-            Instr::Xi { reg, kind } => {
-                self.mix.xis += 1;
-                let inc = match kind {
-                    XiKind::Imm(imm) => imm as i32 as u32,
-                    XiKind::Reg(rt) => self.reg(rt),
-                };
-                self.set_reg(reg, self.reg(reg).wrapping_add(inc));
-            }
-        }
-        self.pc = next_pc;
-        Step::Continue
+    pub fn exec(&mut self, instr: Instr, mem: &mut Memory) -> Effect {
+        let effect = semantics::apply_direct(instr, &mut self.state, mem);
+        self.mix.count(effect.class, effect.taken);
+        effect
     }
 
     /// Runs until `exit` or until `max_steps` instructions have retired.
@@ -281,46 +257,6 @@ impl Interp {
             }
         }
         Err(ExecError::StepLimit(max_steps))
-    }
-}
-
-/// The immediate value an [`Instr::AluImm`] presents to the ALU: logical
-/// ops zero-extend, everything else sign-extends.
-#[inline]
-pub fn alu_imm_value(op: AluOp, imm: i16) -> u32 {
-    match op {
-        AluOp::And | AluOp::Or | AluOp::Xor => imm as u16 as u32,
-        _ => imm as i32 as u32,
-    }
-}
-
-/// Computes a branch target: `pc + 4 × offset`.
-#[inline]
-pub fn branch_target(pc: u32, offset: i16) -> u32 {
-    pc.wrapping_add((offset as i32 * INSTR_BYTES as i32) as u32)
-}
-
-/// Performs a load of the given kind against memory.
-#[inline]
-pub fn load(mem: &Memory, op: MemOp, addr: u32) -> u32 {
-    match op {
-        MemOp::Lw => mem.read_u32(addr),
-        MemOp::Lh => mem.read_u16(addr) as i16 as i32 as u32,
-        MemOp::Lhu => mem.read_u16(addr) as u32,
-        MemOp::Lb => mem.read_u8(addr) as i8 as i32 as u32,
-        MemOp::Lbu => mem.read_u8(addr) as u32,
-        _ => unreachable!("load called with a store op"),
-    }
-}
-
-/// Performs a store of the given kind against memory.
-#[inline]
-pub fn store(mem: &mut Memory, op: MemOp, addr: u32, value: u32) {
-    match op {
-        MemOp::Sw => mem.write_u32(addr, value),
-        MemOp::Sh => mem.write_u16(addr, value as u16),
-        MemOp::Sb => mem.write_u8(addr, value as u8),
-        _ => unreachable!("store called with a load op"),
     }
 }
 
@@ -541,18 +477,15 @@ pub fn trace_step(
     program: &Program,
     mem: &mut Memory,
 ) -> Result<(Step, TraceEntry), ExecError> {
-    let pc = interp.pc;
+    let pc = interp.pc();
     let instr = program.fetch(pc).ok_or(ExecError::InvalidPc(pc))?;
-    let mem_effect = match instr {
-        Instr::Mem { op, base, offset, .. } => {
-            Some((interp.reg(base).wrapping_add(offset as i32 as u32), op.is_store()))
-        }
-        Instr::Amo { addr, .. } => Some((interp.reg(addr), true)),
-        _ => None,
-    };
-    let step = interp.step(program, mem)?;
-    let wrote = instr.dst().filter(|r| !r.is_zero()).map(|r| (r, interp.reg(r)));
-    let taken = instr.is_control() && interp.pc != pc.wrapping_add(INSTR_BYTES);
+    let effect = interp.exec(instr, mem);
+    let step = if effect.class == EffectClass::Exit { Step::Exit } else { Step::Continue };
+    let wrote = effect.wrote.filter(|(r, _)| !r.is_zero());
+    let mem_effect = effect
+        .mem_addr
+        .map(|addr| (addr, matches!(effect.class, EffectClass::Store(_) | EffectClass::Amo)));
+    let taken = instr.is_control() && effect.next_pc != pc.wrapping_add(INSTR_BYTES);
     Ok((step, TraceEntry { pc, instr, wrote, mem: mem_effect, taken }))
 }
 

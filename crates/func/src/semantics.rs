@@ -1,0 +1,420 @@
+//! The single shared definition of what every TRISC/XLOOPS instruction
+//! *does* — independent of any timing model's opinion about *when* it
+//! happens.
+//!
+//! [`apply`] executes one instruction against an [`ArchState`] and a
+//! [`MemPort`], and returns an [`Effect`] describing everything that
+//! happened: the register written, the memory address touched, whether a
+//! control transfer redirected the pc, and the pc after the instruction.
+//! Timing models (the in-order and out-of-order GPP cores, the LPSU lanes)
+//! layer their slot/port/queue accounting over the effect; the functional
+//! interpreter simply applies effects back-to-back. There is exactly one
+//! copy of the semantics in the workspace — a repo test
+//! (`tests/semantics_single_source.rs`) greps the engines to keep it that
+//! way.
+//!
+//! A timing model that must *refuse* an instruction mid-execution (the LPSU
+//! blocks on LSQ capacity and memory-port arbitration) does so through its
+//! [`MemPort`] implementation: every instruction performs at most one memory
+//! operation, and `apply` writes no architectural state before that
+//! operation succeeds, so an `Err` from the port aborts the instruction with
+//! zero side effects.
+//!
+//! The one ISA-sanctioned semantic degree of freedom is `xi`: traditional
+//! execution treats it as a plain serial add (the [`apply`] behaviour),
+//! while LPSU lanes may compute mutual-induction values positionally from
+//! the MIVT. Both formulas live here — [`xi_step`] and [`xi_mivt`] — so the
+//! engines choose a formula rather than re-implement one.
+
+use std::convert::Infallible;
+
+use xloops_isa::{AluOp, AmoOp, Instr, LlfuOp, MemOp, Reg, XiKind, INSTR_BYTES};
+use xloops_mem::Memory;
+
+use crate::state::ArchState;
+
+/// Where an instruction's memory operation goes. `Memory` itself is the
+/// direct architectural port used by the functional interpreter; timing
+/// models route accesses through their own implementation (LSQs, shared
+/// port arbitration, caches) and may refuse an access with their own
+/// [`MemPort::Block`] reason.
+pub trait MemPort {
+    /// Why an access cannot be performed this cycle. [`Infallible`] for
+    /// direct architectural access.
+    type Block;
+
+    /// Performs a load and returns the loaded (extended) value.
+    fn load(&mut self, op: MemOp, addr: u32) -> Result<u32, Self::Block>;
+
+    /// Performs a store.
+    fn store(&mut self, op: MemOp, addr: u32, value: u32) -> Result<(), Self::Block>;
+
+    /// Performs an atomic read-modify-write and returns the old value.
+    fn amo(&mut self, op: AmoOp, addr: u32, operand: u32) -> Result<u32, Self::Block>;
+}
+
+/// Direct architectural access: always succeeds.
+impl MemPort for Memory {
+    type Block = Infallible;
+
+    #[inline]
+    fn load(&mut self, op: MemOp, addr: u32) -> Result<u32, Infallible> {
+        Ok(load(self, op, addr))
+    }
+
+    #[inline]
+    fn store(&mut self, op: MemOp, addr: u32, value: u32) -> Result<(), Infallible> {
+        store(self, op, addr, value);
+        Ok(())
+    }
+
+    #[inline]
+    fn amo(&mut self, op: AmoOp, addr: u32, operand: u32) -> Result<u32, Infallible> {
+        Ok(Memory::amo(self, op, addr, operand))
+    }
+}
+
+/// Timing-relevant instruction classification. Everything a timing model
+/// needs to pick a latency/slot rule without re-matching on [`Instr`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EffectClass {
+    /// Single-cycle integer ops (`alu`, `alu-imm`, `lui`, `nop`).
+    Alu,
+    /// Long-latency functional unit op (mul/div/FP), with the op for its
+    /// latency and pipelining class.
+    Llfu(LlfuOp),
+    /// Memory load.
+    Load(MemOp),
+    /// Memory store.
+    Store(MemOp),
+    /// Atomic read-modify-write.
+    Amo,
+    /// Conditional branch.
+    Branch,
+    /// Direct jump (`j`, `jal`).
+    Jump,
+    /// Indirect jump (`jr`, `jalr`).
+    JumpReg,
+    /// Memory fence.
+    Sync,
+    /// Program termination.
+    Exit,
+    /// `xloop` — a conditional backward branch under traditional semantics.
+    Xloop,
+    /// Cross-iteration instruction.
+    Xi,
+}
+
+/// Classifies an instruction without executing it (pre-decode for timing
+/// models that cache per-instruction metadata).
+#[inline]
+pub fn classify(instr: Instr) -> EffectClass {
+    match instr {
+        Instr::Alu { .. } | Instr::AluImm { .. } | Instr::Lui { .. } | Instr::Nop => {
+            EffectClass::Alu
+        }
+        Instr::Llfu { op, .. } => EffectClass::Llfu(op),
+        Instr::Mem { op, .. } => {
+            if op.is_load() {
+                EffectClass::Load(op)
+            } else {
+                EffectClass::Store(op)
+            }
+        }
+        Instr::Amo { .. } => EffectClass::Amo,
+        Instr::Branch { .. } => EffectClass::Branch,
+        Instr::Jump { .. } => EffectClass::Jump,
+        Instr::JumpReg { .. } => EffectClass::JumpReg,
+        Instr::Sync => EffectClass::Sync,
+        Instr::Exit => EffectClass::Exit,
+        Instr::Xloop { .. } => EffectClass::Xloop,
+        Instr::Xi { .. } => EffectClass::Xi,
+    }
+}
+
+/// What one instruction did — the semantics layer's report to the timing
+/// model. Semantics decides *what*; the consumer decides *when*.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Effect {
+    /// Timing class of the executed instruction.
+    pub class: EffectClass,
+    /// Destination register and the value written. Like [`Instr::dst`],
+    /// writes to `r0` are reported here even though the architectural write
+    /// is discarded.
+    pub wrote: Option<(Reg, u32)>,
+    /// Memory address touched, if any (whether it was a write follows from
+    /// `class`).
+    pub mem_addr: Option<u32>,
+    /// Whether a conditional control transfer was taken. Unconditional
+    /// jumps report `true`.
+    pub taken: bool,
+    /// pc after the instruction (`Exit` leaves the pc in place).
+    pub next_pc: u32,
+}
+
+/// Executes `instr` as the instruction at `state.pc`, updating registers,
+/// pc, and memory, and reporting what happened.
+///
+/// # Errors
+///
+/// Propagates the memory port's refusal, in which case **no** architectural
+/// state has changed (each instruction performs at most one memory
+/// operation, and all register/pc updates happen after it succeeds).
+#[inline]
+pub fn apply<M: MemPort>(
+    instr: Instr,
+    state: &mut ArchState,
+    mem: &mut M,
+) -> Result<Effect, M::Block> {
+    let pc = state.pc;
+    let mut next_pc = pc.wrapping_add(INSTR_BYTES);
+    let mut wrote = None;
+    let mut mem_addr = None;
+    let mut taken = false;
+    let class = classify(instr);
+    match instr {
+        Instr::Alu { op, rd, rs, rt } => {
+            let v = op.apply(state.reg(rs), state.reg(rt));
+            state.set_reg(rd, v);
+            wrote = Some((rd, v));
+        }
+        Instr::AluImm { op, rd, rs, imm } => {
+            let v = op.apply(state.reg(rs), alu_imm_value(op, imm));
+            state.set_reg(rd, v);
+            wrote = Some((rd, v));
+        }
+        Instr::Lui { rd, imm } => {
+            let v = (imm as u32) << 16;
+            state.set_reg(rd, v);
+            wrote = Some((rd, v));
+        }
+        Instr::Llfu { op, rd, rs, rt } => {
+            let v = op.apply(state.reg(rs), state.reg(rt));
+            state.set_reg(rd, v);
+            wrote = Some((rd, v));
+        }
+        Instr::Amo { op, rd, addr, src } => {
+            let a = state.reg(addr);
+            mem_addr = Some(a);
+            let old = mem.amo(op, a, state.reg(src))?;
+            state.set_reg(rd, old);
+            wrote = Some((rd, old));
+        }
+        Instr::Mem { op, data, base, offset } => {
+            let addr = state.reg(base).wrapping_add(offset as i32 as u32);
+            mem_addr = Some(addr);
+            if op.is_load() {
+                let v = mem.load(op, addr)?;
+                state.set_reg(data, v);
+                wrote = Some((data, v));
+            } else {
+                mem.store(op, addr, state.reg(data))?;
+            }
+        }
+        Instr::Branch { cond, rs, rt, offset } => {
+            if cond.eval(state.reg(rs), state.reg(rt)) {
+                taken = true;
+                next_pc = branch_target(pc, offset);
+            }
+        }
+        Instr::Jump { link, target_word } => {
+            taken = true;
+            if link {
+                state.set_reg(Reg::RA, next_pc);
+                wrote = Some((Reg::RA, next_pc));
+            }
+            next_pc = target_word * INSTR_BYTES;
+        }
+        Instr::JumpReg { link, rd, rs } => {
+            taken = true;
+            // The target is read before the link write (`jalr r1, r1` jumps
+            // to the *old* r1).
+            let target = state.reg(rs);
+            if link {
+                state.set_reg(rd, next_pc);
+                wrote = Some((rd, next_pc));
+            }
+            next_pc = target;
+        }
+        Instr::Sync | Instr::Nop => {}
+        Instr::Exit => {
+            next_pc = pc;
+        }
+        // Traditional execution: xloop is exactly `blt idx, bound, body`.
+        Instr::Xloop { idx, bound, body_offset, .. } => {
+            if (state.reg(idx) as i32) < (state.reg(bound) as i32) {
+                taken = true;
+                next_pc = pc.wrapping_sub(body_offset as u32 * INSTR_BYTES);
+            }
+        }
+        // Traditional execution: xi is a plain serial add.
+        Instr::Xi { reg, kind } => {
+            let inc = match kind {
+                XiKind::Imm(imm) => imm as i32 as u32,
+                XiKind::Reg(rt) => state.reg(rt),
+            };
+            let v = state.reg(reg).wrapping_add(inc);
+            state.set_reg(reg, v);
+            wrote = Some((reg, v));
+        }
+    }
+    state.pc = next_pc;
+    Ok(Effect { class, wrote, mem_addr, taken, next_pc })
+}
+
+/// [`apply`] against plain [`Memory`], which can never refuse an access.
+#[inline]
+pub fn apply_direct(instr: Instr, state: &mut ArchState, mem: &mut Memory) -> Effect {
+    match apply(instr, state, mem) {
+        Ok(effect) => effect,
+        Err(never) => match never {},
+    }
+}
+
+/// The immediate value an [`Instr::AluImm`] presents to the ALU: logical
+/// ops zero-extend, everything else sign-extends.
+#[inline]
+pub fn alu_imm_value(op: AluOp, imm: i16) -> u32 {
+    match op {
+        AluOp::And | AluOp::Or | AluOp::Xor => imm as u16 as u32,
+        _ => imm as i32 as u32,
+    }
+}
+
+/// Computes a branch target: `pc + 4 × offset`.
+#[inline]
+pub fn branch_target(pc: u32, offset: i16) -> u32 {
+    pc.wrapping_add((offset as i32 * INSTR_BYTES as i32) as u32)
+}
+
+/// Performs a load of the given kind against memory.
+#[inline]
+pub fn load(mem: &Memory, op: MemOp, addr: u32) -> u32 {
+    match op {
+        MemOp::Lw => mem.read_u32(addr),
+        MemOp::Lh => mem.read_u16(addr) as i16 as i32 as u32,
+        MemOp::Lhu => mem.read_u16(addr) as u32,
+        MemOp::Lb => mem.read_u8(addr) as i8 as i32 as u32,
+        MemOp::Lbu => mem.read_u8(addr) as u32,
+        _ => unreachable!("load called with a store op"),
+    }
+}
+
+/// Performs a store of the given kind against memory.
+#[inline]
+pub fn store(mem: &mut Memory, op: MemOp, addr: u32, value: u32) {
+    match op {
+        MemOp::Sw => mem.write_u32(addr, value),
+        MemOp::Sh => mem.write_u16(addr, value as u16),
+        MemOp::Sb => mem.write_u8(addr, value as u8),
+        _ => unreachable!("store called with a load op"),
+    }
+}
+
+/// Serial `xi` semantics: one increment applied per iteration (identical to
+/// what [`apply`] does for `xi`, factored out for timing models that manage
+/// their own register state).
+#[inline]
+pub fn xi_step(value: u32, step: i32) -> u32 {
+    value.wrapping_add(step as u32)
+}
+
+/// Parallel (MIVT) `xi` semantics: the ISA permits hardware to compute a
+/// mutual-induction value positionally — `live_in + inc × (ordinal + 1)` for
+/// the iteration with the given zero-based ordinal — instead of serially.
+#[inline]
+pub fn xi_mivt(live_in: u32, inc: i32, ordinal: u64) -> u32 {
+    live_in.wrapping_add((inc as i64 * (ordinal as i64 + 1)) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A port that refuses everything, for pinning the no-side-effects
+    /// contract.
+    struct Refusing;
+    impl MemPort for Refusing {
+        type Block = ();
+        fn load(&mut self, _: MemOp, _: u32) -> Result<u32, ()> {
+            Err(())
+        }
+        fn store(&mut self, _: MemOp, _: u32, _: u32) -> Result<(), ()> {
+            Err(())
+        }
+        fn amo(&mut self, _: AmoOp, _: u32, _: u32) -> Result<u32, ()> {
+            Err(())
+        }
+    }
+
+    #[test]
+    fn refused_memory_op_has_no_side_effects() {
+        let r = Reg::new;
+        let mut state = ArchState::new();
+        state.set_reg(r(1), 0x100);
+        state.set_reg(r(2), 7);
+        state.pc = 12;
+        let before = state.clone();
+        for instr in [
+            Instr::Mem { op: MemOp::Lw, data: r(2), base: r(1), offset: 0 },
+            Instr::Mem { op: MemOp::Sw, data: r(2), base: r(1), offset: 4 },
+            Instr::Amo { op: AmoOp::Add, rd: r(3), addr: r(1), src: r(2) },
+        ] {
+            assert_eq!(apply(instr, &mut state, &mut Refusing), Err(()));
+            assert_eq!(state, before, "refused {instr} must not change state");
+        }
+    }
+
+    #[test]
+    fn effect_reports_r0_writes_but_discards_them() {
+        let mut state = ArchState::new();
+        let mut mem = Memory::new();
+        let instr = Instr::AluImm { op: AluOp::Addu, rd: Reg::ZERO, rs: Reg::ZERO, imm: 55 };
+        let eff = apply_direct(instr, &mut state, &mut mem);
+        assert_eq!(eff.wrote, Some((Reg::ZERO, 55)));
+        assert_eq!(state.reg(Reg::ZERO), 0);
+    }
+
+    #[test]
+    fn exit_reports_class_and_holds_pc() {
+        let mut state = ArchState::new();
+        state.pc = 20;
+        let mut mem = Memory::new();
+        let eff = apply_direct(Instr::Exit, &mut state, &mut mem);
+        assert_eq!(eff.class, EffectClass::Exit);
+        assert_eq!(state.pc, 20);
+    }
+
+    #[test]
+    fn xi_formulas_agree_serially() {
+        // Applying the serial step k times lands on the positional value
+        // for ordinal k-1.
+        let live_in = 100u32;
+        let inc = -3i32;
+        let mut v = live_in;
+        for k in 0..8u64 {
+            v = xi_step(v, inc);
+            assert_eq!(v, xi_mivt(live_in, inc, k));
+        }
+    }
+
+    #[test]
+    fn classify_matches_apply_class() {
+        let r = Reg::new;
+        let mut mem = Memory::new();
+        for instr in [
+            Instr::Alu { op: AluOp::Addu, rd: r(1), rs: r(2), rt: r(3) },
+            Instr::Nop,
+            Instr::Llfu { op: LlfuOp::Mul, rd: r(1), rs: r(2), rt: r(3) },
+            Instr::Mem { op: MemOp::Lbu, data: r(1), base: r(2), offset: 0 },
+            Instr::Mem { op: MemOp::Sh, data: r(1), base: r(2), offset: 0 },
+            Instr::Amo { op: AmoOp::Xchg, rd: r(1), addr: r(2), src: r(3) },
+            Instr::Sync,
+            Instr::Jump { link: false, target_word: 0 },
+        ] {
+            let mut state = ArchState::new();
+            let eff = apply_direct(instr, &mut state, &mut mem);
+            assert_eq!(eff.class, classify(instr));
+        }
+    }
+}

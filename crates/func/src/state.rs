@@ -1,0 +1,78 @@
+//! The architectural state every timing model shares.
+//!
+//! XLOOPS' portability claim — one binary on a GPP, an LPSU, or adaptively
+//! between them — rests on all engines agreeing on *what* the architectural
+//! state is, even while they disagree on *when* it changes. [`ArchState`] is
+//! that common substrate: a 32-entry register file plus a program counter,
+//! nothing else. The functional interpreter owns one; each LPSU lane context
+//! owns one (with the pc rebased to the loop body); the GPP cores execute
+//! through the interpreter's.
+
+use xloops_isa::{Reg, NUM_REGS};
+
+/// Architectural register file + pc. Registers start at zero; `r0` reads as
+/// zero and ignores writes (when accessed through [`ArchState::set_reg`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArchState {
+    /// Current program counter (byte address).
+    pub pc: u32,
+    regs: [u32; NUM_REGS],
+}
+
+impl Default for ArchState {
+    fn default() -> ArchState {
+        ArchState::new()
+    }
+}
+
+impl ArchState {
+    /// Creates a state with pc 0 and all registers zero.
+    pub fn new() -> ArchState {
+        ArchState { pc: 0, regs: [0; NUM_REGS] }
+    }
+
+    /// Reads a register (reads of `r0` return 0).
+    #[inline]
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register (writes to `r0` are discarded).
+    #[inline]
+    pub fn set_reg(&mut self, r: Reg, value: u32) {
+        if !r.is_zero() {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    /// The raw register file (index 0 is `r0` and always reads 0 here,
+    /// because writes through [`ArchState::set_reg`] never touch it).
+    #[inline]
+    pub fn regs(&self) -> &[u32; NUM_REGS] {
+        &self.regs
+    }
+
+    /// Mutable access to the raw register file, for bulk initialisation
+    /// (LPSU lanes load a whole live-in image per iteration) and for timing
+    /// models whose hot paths index registers directly. Callers must keep
+    /// the `r0 == 0` invariant themselves.
+    #[inline]
+    pub fn regs_mut(&mut self) -> &mut [u32; NUM_REGS] {
+        &mut self.regs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r0_reads_zero_and_ignores_writes() {
+        let mut s = ArchState::new();
+        s.set_reg(Reg::ZERO, 55);
+        assert_eq!(s.reg(Reg::ZERO), 0);
+        s.set_reg(Reg::new(5), 7);
+        assert_eq!(s.reg(Reg::new(5)), 7);
+        assert_eq!(s.regs()[5], 7);
+    }
+}

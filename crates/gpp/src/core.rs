@@ -1,8 +1,8 @@
 use xloops_mem::FxHashSet;
 
 use xloops_asm::Program;
-use xloops_func::{ExecError, Interp, Step};
-use xloops_isa::{Instr, Reg};
+use xloops_func::{ArchState, EffectClass, ExecError, Interp};
+use xloops_isa::Reg;
 use xloops_mem::{Cache, Memory};
 
 use crate::config::{GppConfig, GppKind};
@@ -10,10 +10,16 @@ use crate::inorder::InOrder;
 use crate::ooo::OutOfOrder;
 use crate::stats::GppStats;
 
-/// One retired instruction with the information the timing engines need.
+/// One retired instruction with the information the timing engines need —
+/// built from the semantics layer's [`xloops_func::Effect`] plus the
+/// instruction's register operands. The engines never see an
+/// [`xloops_isa::Instr`]:
+/// semantics decided *what* happened, this record is everything they need
+/// to decide *when*.
 #[derive(Clone, Debug)]
 pub(crate) struct Event {
-    pub instr: Instr,
+    /// Timing class of the retired instruction.
+    pub class: EffectClass,
     pub pc: u32,
     /// Outcome for control-flow instructions (`xloop` included).
     pub taken: bool,
@@ -21,13 +27,17 @@ pub(crate) struct Event {
     pub mem_addr: Option<u32>,
     /// Target for indirect jumps.
     pub target: Option<u32>,
+    /// Destination register (r0 writes included; the engines filter).
+    pub dst: Option<Reg>,
+    /// Source registers read.
+    pub srcs: [Option<Reg>; 2],
 }
 
 impl Event {
     /// An event with neutral metadata (used by engine unit tests).
     #[allow(dead_code)]
-    pub(crate) fn of(instr: Instr) -> Event {
-        Event { instr, pc: 0, taken: false, mem_addr: None, target: None }
+    pub(crate) fn of(class: EffectClass, dst: Option<Reg>, srcs: [Option<Reg>; 2]) -> Event {
+        Event { class, pc: 0, taken: false, mem_addr: None, target: None, dst, srcs }
     }
 }
 
@@ -197,12 +207,12 @@ impl GppCore {
 
     /// Current pc.
     pub fn pc(&self) -> u32 {
-        self.interp.pc
+        self.interp.pc()
     }
 
     /// Redirects the pc (used when the LPSU hands a finished loop back).
     pub fn set_pc(&mut self, pc: u32) {
-        self.interp.pc = pc;
+        self.interp.set_pc(pc);
     }
 
     /// Reads an architectural register.
@@ -217,11 +227,18 @@ impl GppCore {
 
     /// Snapshot of the whole register file (scan phase reads live-ins).
     pub fn reg_file(&self) -> [u32; 32] {
-        let mut f = [0; 32];
-        for r in Reg::all() {
-            f[r.index()] = self.interp.reg(r);
-        }
-        f
+        *self.interp.state().regs()
+    }
+
+    /// The architectural state (regfile + pc), for system checkpoints.
+    pub fn arch_state(&self) -> &ArchState {
+        self.interp.state()
+    }
+
+    /// Replaces the architectural state (system checkpoint restore). Timing
+    /// state (pipeline, caches, predictors) is deliberately left warm.
+    pub fn set_arch_state(&mut self, state: ArchState) {
+        self.interp.set_state(state);
     }
 
     /// The L1 data cache. The LPSU shares this cache (and its port) with
@@ -278,22 +295,32 @@ impl GppCore {
         let watch_start_cycle = self.engine.last_dispatch();
         let max_steps = if opts.max_steps == 0 { u64::MAX } else { opts.max_steps };
         for step_idx in 0..max_steps {
-            let pc = self.interp.pc;
+            let pc = self.interp.pc();
             let instr = program.fetch(pc).ok_or(ExecError::InvalidPc(pc))?;
 
-            if let Instr::Xloop { idx, bound, .. } = instr {
+            if instr.is_xloop() && opts.stop_at_taken_xloop {
+                let [idx, bound] = instr.srcs().map(|r| r.expect("xloop reads idx and bound"));
                 let taken = (self.interp.reg(idx) as i32) < (self.interp.reg(bound) as i32);
-                if taken && opts.stop_at_taken_xloop && !opts.ignore_pcs.contains(&pc) {
+                if taken && !opts.ignore_pcs.contains(&pc) {
                     return Ok(StopReason::XloopTaken { pc });
                 }
             }
 
-            // Gather timing-relevant facts *before* executing.
-            let ev = self.pre_event(instr, pc, mem);
-            let step = self.interp.exec(instr, mem);
+            // Semantics first (what happened), then timing (when): the
+            // effect carries every pre-state fact the engines consume.
+            let effect = self.interp.exec(instr, mem);
+            let ev = Event {
+                class: effect.class,
+                pc,
+                taken: effect.taken,
+                mem_addr: effect.mem_addr,
+                target: (effect.class == EffectClass::JumpReg).then_some(effect.next_pc),
+                dst: instr.dst(),
+                srcs: instr.srcs(),
+            };
             self.engine.feed(&ev, &mut self.dcache);
 
-            if step == Step::Exit {
+            if effect.class == EffectClass::Exit {
                 self.drain();
                 return Ok(StopReason::Exited);
             }
@@ -318,33 +345,6 @@ impl GppCore {
             }
         }
         Err(ExecError::StepLimit(max_steps))
-    }
-
-    fn pre_event(&self, instr: Instr, pc: u32, mem: &Memory) -> Event {
-        let _ = mem;
-        let mut ev = Event { instr, pc, taken: false, mem_addr: None, target: None };
-        match instr {
-            Instr::Mem { base, offset, .. } => {
-                ev.mem_addr = Some(self.interp.reg(base).wrapping_add(offset as i32 as u32));
-            }
-            Instr::Amo { addr, .. } => {
-                ev.mem_addr = Some(self.interp.reg(addr));
-            }
-            Instr::Branch { cond, rs, rt, .. } => {
-                ev.taken = cond.eval(self.interp.reg(rs), self.interp.reg(rt));
-            }
-            Instr::Xloop { idx, bound, .. } => {
-                ev.taken = (self.interp.reg(idx) as i32) < (self.interp.reg(bound) as i32);
-            }
-            Instr::JumpReg { rs, .. } => {
-                ev.target = Some(self.interp.reg(rs));
-            }
-            Instr::Jump { .. } => {
-                ev.taken = true;
-            }
-            _ => {}
-        }
-        ev
     }
 }
 
@@ -429,7 +429,7 @@ mod tests {
         assert_eq!(gpp.pc(), xloop_pc);
         // One body iteration has executed traditionally: idx == 1.
         assert_eq!(gpp.reg(Reg::new(2)), 1);
-        assert!(matches!(p.fetch(xloop_pc), Some(Instr::Xloop { .. })));
+        assert!(p.fetch(xloop_pc).is_some_and(|i| i.is_xloop()));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Timing engine for the single-issue five-stage in-order core.
 
-use xloops_isa::{Instr, NUM_REGS};
+use xloops_func::EffectClass;
+use xloops_isa::NUM_REGS;
 use xloops_mem::Cache;
 
 use crate::core::Event;
@@ -43,18 +44,17 @@ impl InOrder {
     }
 
     pub fn feed(&mut self, ev: &Event, dcache: &mut Cache) {
-        let instr = ev.instr;
         // Operand-ready constraint (full bypass network).
         let mut t = self.cycle;
-        for src in instr.srcs().into_iter().flatten() {
+        for src in ev.srcs.into_iter().flatten() {
             t = t.max(self.reg_ready[src.index()]);
         }
         self.last_dispatch = t;
 
         let mut next_issue = t + 1;
         let mut done = t + 1;
-        match instr {
-            Instr::Llfu { op, .. } => {
+        match ev.class {
+            EffectClass::Llfu(op) => {
                 if op.is_pipelined() {
                     // Multiply/FP-arith flow through the pipelined datapath.
                     done = t + op.default_latency() as u64;
@@ -66,18 +66,20 @@ impl InOrder {
                     next_issue = start + 1;
                 }
             }
-            Instr::Mem { op, .. } => {
+            EffectClass::Load(_) => {
                 let addr = ev.mem_addr.expect("memory op carries an address");
-                let lat = dcache.access(addr, op.is_store()) as u64;
+                let lat = dcache.access(addr, false) as u64;
                 done = t + 1 + lat;
                 self.last_mem_done = self.last_mem_done.max(done);
-                if op.is_store() {
-                    // Stores retire through the write buffer; the pipeline
-                    // moves on next cycle.
-                    done = t + 1;
-                }
             }
-            Instr::Amo { .. } => {
+            EffectClass::Store(_) => {
+                let addr = ev.mem_addr.expect("memory op carries an address");
+                let lat = dcache.access(addr, true) as u64;
+                self.last_mem_done = self.last_mem_done.max(t + 1 + lat);
+                // Stores retire through the write buffer; the pipeline
+                // moves on next cycle (done stays t + 1).
+            }
+            EffectClass::Amo => {
                 let addr = ev.mem_addr.expect("amo carries an address");
                 let lat = dcache.access(addr, true) as u64;
                 // Simple cores serialize atomics: stall to completion.
@@ -85,24 +87,24 @@ impl InOrder {
                 self.last_mem_done = self.last_mem_done.max(done);
                 next_issue = done;
             }
-            Instr::Sync => {
+            EffectClass::Sync => {
                 next_issue = (t + 1).max(self.last_mem_done);
                 done = next_issue;
             }
-            Instr::Branch { .. } | Instr::Xloop { .. } if ev.taken => {
+            EffectClass::Branch | EffectClass::Xloop if ev.taken => {
                 next_issue = t + 1 + self.branch_penalty as u64;
             }
-            Instr::Jump { .. } => {
+            EffectClass::Jump => {
                 // Target known at decode: one bubble.
                 next_issue = t + 2;
             }
-            Instr::JumpReg { .. } => {
+            EffectClass::JumpReg => {
                 next_issue = t + 1 + self.branch_penalty as u64;
             }
             _ => {}
         }
 
-        if let Some(rd) = instr.dst() {
+        if let Some(rd) = ev.dst {
             if !rd.is_zero() {
                 self.reg_ready[rd.index()] = done;
             }
@@ -133,22 +135,11 @@ impl InOrder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xloops_isa::{AluOp, MemOp, Reg};
+    use xloops_isa::{LlfuOp, MemOp, Reg};
     use xloops_mem::CacheConfig;
 
     fn alu(rd: u8, rs: u8, rt: u8) -> Event {
-        Event {
-            instr: Instr::Alu {
-                op: AluOp::Addu,
-                rd: Reg::new(rd),
-                rs: Reg::new(rs),
-                rt: Reg::new(rt),
-            },
-            taken: false,
-            mem_addr: None,
-            pc: 0,
-            target: None,
-        }
+        Event::of(EffectClass::Alu, Some(Reg::new(rd)), [Some(Reg::new(rs)), Some(Reg::new(rt))])
     }
 
     fn cache() -> Cache {
@@ -181,11 +172,8 @@ mod tests {
         let mut e = InOrder::new(2);
         let mut c = cache();
         let load = Event {
-            instr: Instr::Mem { op: MemOp::Lw, data: Reg::new(3), base: Reg::new(1), offset: 0 },
-            taken: false,
             mem_addr: Some(0x100),
-            pc: 0,
-            target: None,
+            ..Event::of(EffectClass::Load(MemOp::Lw), Some(Reg::new(3)), [Some(Reg::new(1)), None])
         };
         e.feed(&load, &mut c); // cold miss: done = 1 + 21 = 22
         e.feed(&alu(4, 3, 3), &mut c); // stalls until 22
@@ -203,16 +191,8 @@ mod tests {
         let mut e = InOrder::new(2);
         let mut c = cache();
         let br = Event {
-            instr: Instr::Branch {
-                cond: xloops_isa::BranchCond::Eq,
-                rs: Reg::ZERO,
-                rt: Reg::ZERO,
-                offset: -1,
-            },
             taken: true,
-            mem_addr: None,
-            pc: 0,
-            target: None,
+            ..Event::of(EffectClass::Branch, None, [Some(Reg::ZERO), Some(Reg::ZERO)])
         };
         e.feed(&br, &mut c); // issues 0, next issue at 3
         e.feed(&alu(3, 1, 2), &mut c);
@@ -223,20 +203,13 @@ mod tests {
     fn llfu_structural_hazard() {
         let mut e = InOrder::new(2);
         let mut c = cache();
-        let mul = Event {
-            instr: Instr::Llfu {
-                op: xloops_isa::LlfuOp::Div,
-                rd: Reg::new(3),
-                rs: Reg::new(1),
-                rt: Reg::new(2),
-            },
-            taken: false,
-            mem_addr: None,
-            pc: 0,
-            target: None,
-        };
-        e.feed(&mul, &mut c); // divider occupied 0..12
-        e.feed(&mul, &mut c); // waits for unit: 12..24
+        let div = Event::of(
+            EffectClass::Llfu(LlfuOp::Div),
+            Some(Reg::new(3)),
+            [Some(Reg::new(1)), Some(Reg::new(2))],
+        );
+        e.feed(&div, &mut c); // divider occupied 0..12
+        e.feed(&div, &mut c); // waits for unit: 12..24
         assert_eq!(e.drain(), 24);
     }
 

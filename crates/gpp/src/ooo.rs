@@ -19,7 +19,8 @@
 
 use std::collections::VecDeque;
 
-use xloops_isa::{Instr, NUM_REGS};
+use xloops_func::EffectClass;
+use xloops_isa::NUM_REGS;
 use xloops_mem::{Cache, FxHashMap};
 
 use crate::core::Event;
@@ -121,20 +122,19 @@ impl OutOfOrder {
     }
 
     pub fn feed(&mut self, ev: &Event, dcache: &mut Cache) {
-        let instr = ev.instr;
-        let serialize = matches!(instr, Instr::Amo { .. } | Instr::Sync);
+        let serialize = matches!(ev.class, EffectClass::Amo | EffectClass::Sync);
         let disp = self.dispatch(serialize);
         self.last_dispatch = disp;
 
         // Operand readiness through renamed registers.
         let mut ready = disp + 1;
-        for src in instr.srcs().into_iter().flatten() {
+        for src in ev.srcs.into_iter().flatten() {
             ready = ready.max(self.reg_ready[src.index()]);
         }
 
         let done;
-        match instr {
-            Instr::Llfu { op, .. } => {
+        match ev.class {
+            EffectClass::Llfu(op) => {
                 let mut issue = self.issue_slots.alloc(ready);
                 if !self.llfu_pipelined {
                     issue = issue.max(self.llfu_busy_until);
@@ -142,28 +142,31 @@ impl OutOfOrder {
                 }
                 done = issue + op.default_latency() as u64;
             }
-            Instr::Mem { op, .. } => {
+            EffectClass::Store(_) => {
                 let addr = ev.mem_addr.expect("memory op carries an address");
                 let issue = self.issue_slots.alloc(ready);
                 let port = self.mem_slots.alloc(issue);
-                if op.is_store() {
-                    // Store completes into the store queue once issued; the
-                    // cache write happens at commit (timed as background).
-                    done = port + 1;
-                    dcache.access(addr, true);
-                    self.store_ready.insert(addr & !3, done);
-                    self.last_mem_done = self.last_mem_done.max(done);
-                } else if let Some(&fwd) = self.store_ready.get(&(addr & !3)) {
+                // Store completes into the store queue once issued; the
+                // cache write happens at commit (timed as background).
+                done = port + 1;
+                dcache.access(addr, true);
+                self.store_ready.insert(addr & !3, done);
+                self.last_mem_done = self.last_mem_done.max(done);
+            }
+            EffectClass::Load(_) => {
+                let addr = ev.mem_addr.expect("memory op carries an address");
+                let issue = self.issue_slots.alloc(ready);
+                let port = self.mem_slots.alloc(issue);
+                if let Some(&fwd) = self.store_ready.get(&(addr & !3)) {
                     // Store-to-load forwarding from the store queue.
                     done = port.max(fwd) + 1;
-                    self.last_mem_done = self.last_mem_done.max(done);
                 } else {
                     let lat = dcache.access(addr, false) as u64;
                     done = port + lat;
-                    self.last_mem_done = self.last_mem_done.max(done);
                 }
+                self.last_mem_done = self.last_mem_done.max(done);
             }
-            Instr::Amo { .. } => {
+            EffectClass::Amo => {
                 let addr = ev.mem_addr.expect("amo carries an address");
                 let issue = self.issue_slots.alloc(ready);
                 let port = self.mem_slots.alloc(issue);
@@ -172,22 +175,22 @@ impl OutOfOrder {
                 self.store_ready.insert(addr & !3, done);
                 self.last_mem_done = self.last_mem_done.max(done);
             }
-            Instr::Sync => {
+            EffectClass::Sync => {
                 done = ready.max(self.last_mem_done);
             }
-            Instr::Branch { .. } | Instr::Xloop { .. } => {
+            EffectClass::Branch | EffectClass::Xloop => {
                 let issue = self.issue_slots.alloc(ready);
                 done = issue + 1;
                 if !self.predictor.predict_and_update(ev.pc, ev.taken) {
                     self.redirect_fetch(done + self.branch_penalty as u64);
                 }
             }
-            Instr::Jump { .. } => {
+            EffectClass::Jump => {
                 // Direct jumps resolve in the front end (BTB): no penalty.
                 let issue = self.issue_slots.alloc(ready);
                 done = issue + 1;
             }
-            Instr::JumpReg { .. } => {
+            EffectClass::JumpReg => {
                 let issue = self.issue_slots.alloc(ready);
                 done = issue + 1;
                 let target = ev.target.unwrap_or(0);
@@ -197,13 +200,13 @@ impl OutOfOrder {
                 }
             }
             _ => {
-                // Simple ALU / lui / nop / exit.
+                // Simple ALU / lui / nop / exit / xi.
                 let issue = self.issue_slots.alloc(ready);
                 done = issue + 1;
             }
         }
 
-        if let Some(rd) = instr.dst() {
+        if let Some(rd) = ev.dst {
             if !rd.is_zero() {
                 self.reg_ready[rd.index()] = done;
             }
@@ -253,21 +256,21 @@ impl OutOfOrder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xloops_isa::{AluOp, MemOp, Reg};
+    use xloops_isa::{MemOp, Reg};
     use xloops_mem::CacheConfig;
 
     fn alu(rd: u8, rs: u8, rt: u8) -> Event {
+        Event::of(EffectClass::Alu, Some(Reg::new(rd)), [Some(Reg::new(rs)), Some(Reg::new(rt))])
+    }
+
+    fn load(data: u8, base: u8, addr: u32) -> Event {
         Event {
-            instr: Instr::Alu {
-                op: AluOp::Addu,
-                rd: Reg::new(rd),
-                rs: Reg::new(rs),
-                rt: Reg::new(rt),
-            },
-            taken: false,
-            mem_addr: None,
-            pc: 0,
-            target: None,
+            mem_addr: Some(addr),
+            ..Event::of(
+                EffectClass::Load(MemOp::Lw),
+                Some(Reg::new(data)),
+                [Some(Reg::new(base)), None],
+            )
         }
     }
 
@@ -318,13 +321,7 @@ mod tests {
     fn rob_limits_overlap_past_long_miss() {
         // A miss followed by many independent ops: with a tiny ROB the
         // window closes and the miss serializes execution.
-        let load = Event {
-            instr: Instr::Mem { op: MemOp::Lw, data: Reg::new(3), base: Reg::new(1), offset: 0 },
-            taken: false,
-            mem_addr: Some(0x8000),
-            pc: 0,
-            target: None,
-        };
+        let load = load(3, 1, 0x8000);
         let run = |rob: u32| {
             let mut e = OutOfOrder::new(4, rob, 2, 10, true);
             let mut c = cache();
@@ -345,16 +342,8 @@ mod tests {
     #[test]
     fn mispredicted_branch_redirects_fetch() {
         let br = |taken| Event {
-            instr: Instr::Branch {
-                cond: xloops_isa::BranchCond::Eq,
-                rs: Reg::ZERO,
-                rt: Reg::ZERO,
-                offset: 2,
-            },
             taken,
-            mem_addr: None,
-            pc: 0,
-            target: None,
+            ..Event::of(EffectClass::Branch, None, [Some(Reg::ZERO), Some(Reg::ZERO)])
         };
         let mut e = OutOfOrder::new(4, 128, 2, 10, true);
         let mut c = cache();
@@ -374,19 +363,10 @@ mod tests {
         let mut e = OutOfOrder::new(2, 64, 1, 8, true);
         let mut c = cache();
         let st = Event {
-            instr: Instr::Mem { op: MemOp::Sw, data: Reg::new(2), base: Reg::new(1), offset: 0 },
-            taken: false,
             mem_addr: Some(0x9000),
-            pc: 0,
-            target: None,
+            ..Event::of(EffectClass::Store(MemOp::Sw), None, [Some(Reg::new(1)), Some(Reg::new(2))])
         };
-        let ld = Event {
-            instr: Instr::Mem { op: MemOp::Lw, data: Reg::new(3), base: Reg::new(1), offset: 0 },
-            taken: false,
-            mem_addr: Some(0x9000),
-            pc: 0,
-            target: None,
-        };
+        let ld = load(3, 1, 0x9000);
         e.feed(&st, &mut c);
         e.feed(&ld, &mut c);
         let cycles = e.drain();
@@ -396,16 +376,8 @@ mod tests {
     #[test]
     fn amo_serializes() {
         let amo = Event {
-            instr: Instr::Amo {
-                op: xloops_isa::AmoOp::Add,
-                rd: Reg::new(3),
-                addr: Reg::new(1),
-                src: Reg::new(2),
-            },
-            taken: false,
             mem_addr: Some(0x100),
-            pc: 0,
-            target: None,
+            ..Event::of(EffectClass::Amo, Some(Reg::new(3)), [Some(Reg::new(1)), Some(Reg::new(2))])
         };
         let mut with_amo = OutOfOrder::new(4, 128, 2, 10, true);
         let mut without = OutOfOrder::new(4, 128, 2, 10, true);

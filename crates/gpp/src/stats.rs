@@ -1,5 +1,6 @@
 use xloops_func::InsnMix;
 use xloops_mem::CacheStats;
+use xloops_stats::{ratio, StatSet};
 
 /// Statistics of one GPP execution phase.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -21,10 +22,77 @@ pub struct GppStats {
 impl GppStats {
     /// Instructions per cycle.
     pub fn ipc(&self) -> f64 {
-        if self.cycles == 0 {
-            0.0
-        } else {
-            self.instret as f64 / self.cycles as f64
-        }
+        ratio(self.instret, self.cycles)
+    }
+
+    /// This phase's statistics as a node of the unified schema.
+    ///
+    /// Layout: counters `cycles`, `instret`, `mispredicts` and metric `ipc`
+    /// at the root; children `mix` (dynamic instruction classes) and
+    /// `dcache` (hit/miss counters plus a `miss_rate` metric).
+    pub fn stat_set(&self) -> StatSet {
+        let mut s = StatSet::new("gpp");
+        s.set("cycles", self.cycles)
+            .set("instret", self.instret)
+            .set("mispredicts", self.mispredicts)
+            .set_metric("ipc", self.ipc());
+
+        let mut mix = StatSet::new("mix");
+        mix.set("alu", self.mix.alu)
+            .set("llfu", self.mix.llfu)
+            .set("loads", self.mix.loads)
+            .set("stores", self.mix.stores)
+            .set("amos", self.mix.amos)
+            .set("branches", self.mix.branches)
+            .set("branches_taken", self.mix.branches_taken)
+            .set("jumps", self.mix.jumps)
+            .set("xloops", self.mix.xloops)
+            .set("xis", self.mix.xis)
+            .set("syncs", self.mix.syncs)
+            .set("total", self.mix.total());
+        s.push_child(mix);
+
+        let mut dcache = StatSet::new("dcache");
+        dcache
+            .set("read_hits", self.cache.read_hits)
+            .set("read_misses", self.cache.read_misses)
+            .set("write_hits", self.cache.write_hits)
+            .set("write_misses", self.cache.write_misses)
+            .set_metric("miss_rate", self.cache.miss_rate());
+        s.push_child(dcache);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_is_zero_for_zero_cycle_runs() {
+        // A phase that never advanced the clock (e.g. an empty program or
+        // an immediately-specialized region) must report 0.0, not NaN.
+        let s = GppStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        let s = GppStats { instret: 100, ..GppStats::default() };
+        assert_eq!(s.ipc(), 0.0, "instret without cycles still guards");
+        let s = GppStats { instret: 100, cycles: 50, ..GppStats::default() };
+        assert_eq!(s.ipc(), 2.0);
+    }
+
+    #[test]
+    fn stat_set_exposes_every_field_through_the_schema() {
+        let mut s = GppStats { cycles: 10, instret: 20, mispredicts: 3, ..GppStats::default() };
+        s.mix.alu = 15;
+        s.mix.loads = 5;
+        s.cache.read_hits = 4;
+        s.cache.read_misses = 1;
+        let set = s.stat_set();
+        assert_eq!(set.lookup("cycles").unwrap().as_counter(), Some(10));
+        assert_eq!(set.lookup("ipc").unwrap().as_f64(), 2.0);
+        assert_eq!(set.lookup("mix.alu").unwrap().as_counter(), Some(15));
+        assert_eq!(set.lookup("mix.total").unwrap().as_counter(), Some(20));
+        assert_eq!(set.lookup("dcache.read_misses").unwrap().as_counter(), Some(1));
+        assert_eq!(set.lookup("dcache.miss_rate").unwrap().as_f64(), 0.2);
     }
 }

@@ -16,8 +16,9 @@
 
 use std::fmt;
 
-use xloops_func::{alu_imm_value, load, store};
-use xloops_isa::{Instr, Reg};
+use xloops_func::{apply, classify, load, store, xi_mivt, xi_step};
+use xloops_func::{ArchState, Effect, EffectClass, MemPort};
+use xloops_isa::{AmoOp, Instr, MemOp, Reg, INSTR_BYTES};
 use xloops_mem::{Cache, FxHashMap, Memory, SharedPort, SharedUnit};
 
 use crate::config::LpsuConfig;
@@ -170,8 +171,10 @@ impl IterTally {
 #[derive(Clone, Debug)]
 struct Ctx {
     iter: Option<u64>,
-    pc: usize,
-    regs: [u32; 32],
+    /// Architectural state of the in-flight iteration. The pc is rebased to
+    /// the loop body: byte offset from the first body instruction, so the
+    /// body index is `state.pc / INSTR_BYTES`.
+    state: ArchState,
     reg_ready: [u64; 32],
     busy_until: u64,
     lsq: Lsq,
@@ -182,10 +185,11 @@ struct Ctx {
     /// Finished executing, waiting to commit/drain (ordered-memory only).
     done_exec: bool,
     tally: IterTally,
-    /// Memoized CIR wait (see [`Engine::cir_wait_blocked`]): while the pc,
-    /// channel epoch, and localized set are unchanged and `cycle <
-    /// cir_wait_until`, a CIR pull is known to fail — the channel lookup
-    /// can be skipped. `cir_wait_pc == usize::MAX` means no memo.
+    /// Memoized CIR wait (see [`Engine::cir_wait_blocked`]): while the
+    /// (body-relative byte) pc, channel epoch, and localized set are
+    /// unchanged and `cycle < cir_wait_until`, a CIR pull is known to fail
+    /// — the channel lookup can be skipped. `cir_wait_pc == usize::MAX`
+    /// means no memo.
     cir_wait_pc: usize,
     cir_wait_epoch: u64,
     cir_wait_local: u32,
@@ -196,8 +200,7 @@ impl Ctx {
     fn new() -> Ctx {
         Ctx {
             iter: None,
-            pc: 0,
-            regs: [0; 32],
+            state: ArchState::new(),
             reg_ready: [0; 32],
             busy_until: 0,
             lsq: Lsq::default(),
@@ -214,12 +217,15 @@ impl Ctx {
 }
 
 /// Per-body-instruction issue metadata, precomputed once per phase so the
-/// per-cycle hot path reads one flat table instead of re-decoding
-/// [`Instr::srcs`] (twice) and re-testing CIR membership every poll.
+/// per-cycle hot path reads one flat table instead of re-decoding the
+/// instruction's source registers (twice) and re-testing CIR membership
+/// every poll.
 #[derive(Clone, Copy, Debug)]
 struct InstrMeta {
     instr: Instr,
-    /// Source register indices, in [`Instr::srcs`] order.
+    /// Timing class (semantics-layer pre-decode).
+    class: EffectClass,
+    /// Source register indices, in source-operand order.
     srcs: [u8; 2],
     n_srcs: u8,
     /// Whether the instruction accesses the data-memory port.
@@ -381,7 +387,18 @@ impl<'a> Engine<'a> {
                     n_srcs += 1;
                     cir_srcs |= cir_mask & (1 << s.index());
                 }
-                InstrMeta { instr, srcs, n_srcs, is_mem: instr.is_mem(), cir_srcs }
+                let class = classify(instr);
+                debug_assert!(
+                    !matches!(
+                        class,
+                        EffectClass::Jump
+                            | EffectClass::JumpReg
+                            | EffectClass::Sync
+                            | EffectClass::Exit
+                    ),
+                    "the scan rejects bodies the lanes cannot execute"
+                );
+                InstrMeta { instr, class, srcs, n_srcs, is_mem: instr.is_mem(), cir_srcs }
             })
             .collect();
         Engine {
@@ -683,7 +700,7 @@ impl<'a> Engine<'a> {
             return Err(Block::Lsq); // waiting for promotion
         }
 
-        if self.ctxs[ci].pc == self.scan.body.len() {
+        if self.ctxs[ci].state.pc == self.scan.body.len() as u32 * INSTR_BYTES {
             return self.end_of_body(ci);
         }
 
@@ -694,9 +711,9 @@ impl<'a> Engine<'a> {
         let value = self.scan.iter_value(iter);
         let ctx = &mut self.ctxs[ci];
         ctx.iter = Some(iter);
-        ctx.pc = 0;
-        ctx.regs = self.scan.live_ins;
-        ctx.regs[self.scan.idx_reg.index()] = value;
+        ctx.state.pc = 0;
+        *ctx.state.regs_mut() = self.scan.live_ins;
+        ctx.state.regs_mut()[self.scan.idx_reg.index()] = value;
         ctx.reg_ready = [0; 32];
         ctx.lsq.clear();
         ctx.cir_local = 0;
@@ -744,7 +761,7 @@ impl<'a> Engine<'a> {
                     // iteration's value so it can be forwarded on.
                     match self.chan.get(&(iter as i64 - 1, cir.reg.index() as u8)) {
                         Some(&(v, avail)) if avail <= self.cycle => {
-                            self.ctxs[ci].regs[cir.reg.index()] = v;
+                            self.ctxs[ci].state.regs_mut()[cir.reg.index()] = v;
                             self.ctxs[ci].cir_local |= bit;
                         }
                         Some(&(_, avail)) => {
@@ -757,7 +774,7 @@ impl<'a> Engine<'a> {
                         }
                     }
                 }
-                let value = self.ctxs[ci].regs[cir.reg.index()];
+                let value = self.ctxs[ci].state.reg(cir.reg);
                 self.publish_cir(iter, cir.reg, value);
                 self.ctxs[ci].cir_pub |= bit;
                 self.ctxs[ci].tally.cir_transfers += 1;
@@ -820,9 +837,9 @@ impl<'a> Engine<'a> {
         }
         let value = self.scan.iter_value(iter);
         let ctx = &mut self.ctxs[ci];
-        ctx.pc = 0;
-        ctx.regs = self.scan.live_ins;
-        ctx.regs[self.scan.idx_reg.index()] = value;
+        ctx.state.pc = 0;
+        *ctx.state.regs_mut() = self.scan.live_ins;
+        ctx.state.regs_mut()[self.scan.idx_reg.index()] = value;
         ctx.reg_ready = [0; 32];
         ctx.lsq.clear();
         ctx.cir_local = 0;
@@ -844,7 +861,7 @@ impl<'a> Engine<'a> {
     /// A valid memo proves the pull would fail again, with no hash lookup.
     fn cir_wait_blocked(&self, ci: usize) -> bool {
         let ctx = &self.ctxs[ci];
-        ctx.cir_wait_pc == ctx.pc
+        ctx.cir_wait_pc == ctx.state.pc as usize
             && ctx.cir_wait_epoch == self.cir_epoch
             && ctx.cir_wait_local == ctx.cir_local
             && self.cycle < ctx.cir_wait_until
@@ -853,7 +870,7 @@ impl<'a> Engine<'a> {
     fn set_cir_wait(&mut self, ci: usize, until: u64) {
         let epoch = self.cir_epoch;
         let ctx = &mut self.ctxs[ci];
-        ctx.cir_wait_pc = ctx.pc;
+        ctx.cir_wait_pc = ctx.state.pc as usize;
         ctx.cir_wait_epoch = epoch;
         ctx.cir_wait_local = ctx.cir_local;
         ctx.cir_wait_until = until;
@@ -866,8 +883,8 @@ impl<'a> Engine<'a> {
             return Err(Block::Cir);
         }
         let iter = self.ctxs[ci].iter.expect("active iteration");
-        let pc = self.ctxs[ci].pc;
-        let m = self.meta[pc];
+        let bidx = (self.ctxs[ci].state.pc / INSTR_BYTES) as usize;
+        let m = self.meta[bidx];
         let instr = m.instr;
 
         // CIR availability: the first read of a CIR pulls the value from
@@ -879,7 +896,7 @@ impl<'a> Engine<'a> {
                 if m.cir_srcs & bit != 0 && self.ctxs[ci].cir_local & bit == 0 {
                     match self.chan.get(&(iter as i64 - 1, src as u8)) {
                         Some(&(v, avail)) if avail <= self.cycle => {
-                            self.ctxs[ci].regs[src] = v;
+                            self.ctxs[ci].state.regs_mut()[src] = v;
                             self.ctxs[ci].cir_local |= bit;
                         }
                         Some(&(_, avail)) => {
@@ -914,197 +931,111 @@ impl<'a> Engine<'a> {
         // frontier (a frontier lane reaching here has a drained LSQ).
         let speculative = self.orders_mem && iter != self.frontier;
 
-        let mut next_pc = pc + 1;
-        let mut busy = self.cycle + 1;
-        let mut result: Option<(Reg, u32, u64)> = None; // (reg, value, ready)
-
-        // Operand values in `srcs` order (`x0` always reads zero), loaded
-        // once here so the arms below don't each re-index the context.
-        // Masking keeps the proven-in-range index branch-free.
-        let (v0, v1) = {
-            let regs = &self.ctxs[ci].regs;
-            let v = |i: u8| if i == 0 { 0 } else { regs[i as usize & 31] };
-            (v(m.srcs[0]), v(m.srcs[1]))
-        };
-
-        match instr {
-            Instr::Alu { op, rd, .. } => {
-                let v = op.apply(v0, v1);
-                result = Some((rd, v, self.cycle + 1));
+        // LLFU arbitration happens before semantics runs: a refused grant
+        // must leave no architectural side effects, and `apply` cannot fail
+        // for an LLFU op (it touches no memory), so grant-then-apply is
+        // safe.
+        if let EffectClass::Llfu(op) = m.class {
+            let granted = if op.is_pipelined() {
+                self.llfu_pipe.try_issue(self.cycle)
+            } else {
+                self.llfu_div.try_start(self.cycle, op.default_latency())
+            };
+            if !granted {
+                return Err(Block::Llfu);
             }
-            Instr::AluImm { op, rd, imm, .. } => {
-                let v = op.apply(v0, alu_imm_value(op, imm));
-                result = Some((rd, v, self.cycle + 1));
-            }
-            Instr::Lui { rd, imm } => {
-                result = Some((rd, (imm as u32) << 16, self.cycle + 1));
-            }
-            Instr::Xi { reg, .. } => {
-                self.ctxs[ci].tally.xi_ops += 1;
-                if reg == self.scan.idx_reg {
-                    // Induction update: a plain add of the step.
-                    let v = v0.wrapping_add(self.scan.step as u32);
-                    result = Some((reg, v, self.cycle + 1));
-                } else {
-                    // MIVT lookup: value = live-in + inc × (ordinal + 1),
-                    // computed with the narrow multiplier.
-                    let inc = self.mivt_inc[reg.index()];
-                    let v = self.scan.live_ins[reg.index()]
-                        .wrapping_add((inc as i64 * (iter as i64 + 1)) as u32);
-                    result = Some((reg, v, self.cycle + 1));
-                }
-            }
-            Instr::Llfu { op, rd, .. } => {
-                let granted = if op.is_pipelined() {
-                    self.llfu_pipe.try_issue(self.cycle)
-                } else {
-                    self.llfu_div.try_start(self.cycle, op.default_latency())
-                };
-                if !granted {
-                    return Err(Block::Llfu);
-                }
-                self.ctxs[ci].tally.llfu_ops += 1;
-                let v = op.apply(v0, v1);
-                result = Some((rd, v, self.cycle + op.default_latency() as u64));
-            }
-            Instr::Mem { op, data, offset, .. } => {
-                let addr = v0.wrapping_add(offset as i32 as u32);
-                if op.is_load() {
-                    let (value, ready) = if speculative {
-                        if let Some(v) = self.ctxs[ci].lsq.forward(addr, op) {
-                            self.ctxs[ci].tally.lsq_events += 1;
-                            (v, self.cycle + 2)
-                        } else if let Some(v) = self.cross_lane_forward(ci, iter, addr, op) {
-                            // Cross-lane snoop hit: 2-cycle network hop; the
-                            // load is still recorded so a later broadcast
-                            // from an intermediate iteration squashes us.
-                            if !self.ctxs[ci].lsq.load_has_room(self.cfg.lsq_loads) {
-                                return Err(Block::Lsq);
-                            }
-                            self.ctxs[ci].tally.lsq_events += 1;
-                            self.ctxs[ci].lsq.record_load(addr);
-                            (v, self.cycle + 3)
-                        } else {
-                            if !self.ctxs[ci].lsq.load_has_room(self.cfg.lsq_loads) {
-                                return Err(Block::Lsq);
-                            }
-                            if !self.port.try_issue(self.cycle) {
-                                return Err(Block::MemPort);
-                            }
-                            let lat = self.dcache.access_at(addr, false, self.cycle) as u64;
-                            self.ctxs[ci].tally.mem_accesses += 1;
-                            self.ctxs[ci].tally.lsq_events += 1;
-                            self.ctxs[ci].lsq.record_load(addr);
-                            (load(self.mem, op, addr), self.cycle + 1 + lat)
-                        }
-                    } else {
-                        // Non-speculative lanes may still hit their own
-                        // not-yet-drained stores (or/uc have no LSQ at all).
-                        if let Some(v) = self.ctxs[ci].lsq.forward(addr, op) {
-                            self.ctxs[ci].tally.lsq_events += 1;
-                            (v, self.cycle + 2)
-                        } else {
-                            if !self.port.try_issue(self.cycle) {
-                                return Err(Block::MemPort);
-                            }
-                            let lat = self.dcache.access_at(addr, false, self.cycle) as u64;
-                            self.ctxs[ci].tally.mem_accesses += 1;
-                            (load(self.mem, op, addr), self.cycle + 1 + lat)
-                        }
-                    };
-                    result = Some((data, value, ready));
-                } else {
-                    let value = v1;
-                    if speculative {
-                        if !self.ctxs[ci].lsq.store_has_room(self.cfg.lsq_stores) {
-                            return Err(Block::Lsq);
-                        }
-                        self.ctxs[ci].lsq.push_store(addr, op, value);
-                        self.ctxs[ci].tally.lsq_events += 1;
-                    } else {
-                        if !self.port.try_issue(self.cycle) {
-                            return Err(Block::MemPort);
-                        }
-                        store(self.mem, op, addr, value);
-                        self.dcache.access_at(addr, true, self.cycle);
-                        self.ctxs[ci].tally.mem_accesses += 1;
-                        if self.orders_mem {
-                            self.broadcast_store(addr, iter);
-                        }
-                    }
-                }
-            }
-            Instr::Amo { op, rd, .. } => {
-                let a = v0;
-                let operand = v1;
-                if speculative {
-                    // Read (LSQ-forwarded or memory), combine, buffer the
-                    // store; atomicity follows from the serial memory order
-                    // the om mechanism enforces.
-                    let old = match self.ctxs[ci].lsq.forward(a, xloops_isa::MemOp::Lw) {
-                        Some(v) => {
-                            self.ctxs[ci].tally.lsq_events += 1;
-                            v
-                        }
-                        None => {
-                            if !self.ctxs[ci].lsq.load_has_room(self.cfg.lsq_loads)
-                                || !self.ctxs[ci].lsq.store_has_room(self.cfg.lsq_stores)
-                            {
-                                return Err(Block::Lsq);
-                            }
-                            if !self.port.try_issue(self.cycle) {
-                                return Err(Block::MemPort);
-                            }
-                            self.dcache.access_at(a, false, self.cycle);
-                            self.ctxs[ci].tally.mem_accesses += 1;
-                            self.ctxs[ci].lsq.record_load(a);
-                            self.mem.read_u32(a)
-                        }
-                    };
-                    self.ctxs[ci].lsq.push_store(
-                        a,
-                        xloops_isa::MemOp::Sw,
-                        op.combine(old, operand),
-                    );
-                    self.ctxs[ci].tally.lsq_events += 1;
-                    result = Some((rd, old, self.cycle + 2));
-                } else {
-                    if !self.port.try_issue(self.cycle) {
-                        return Err(Block::MemPort);
-                    }
-                    let old = self.mem.amo(op, a, operand);
-                    self.dcache.access_at(a, true, self.cycle);
-                    self.ctxs[ci].tally.mem_accesses += 1;
-                    if self.orders_mem {
-                        self.broadcast_store(a, iter);
-                    }
-                    result = Some((rd, old, self.cycle + 2));
-                    busy = self.cycle + 2;
-                }
-            }
-            Instr::Branch { cond, offset, .. } => {
-                if cond.eval(v0, v1) {
-                    next_pc = (pc as i64 + offset as i64) as usize;
-                    busy = self.cycle + 2; // one-bubble redirect
-                }
-            }
-            Instr::Xloop { body_offset, .. } => {
-                // A nested xloop executes traditionally inside the lane.
-                if (v0 as i32) < (v1 as i32) {
-                    next_pc = pc - body_offset as usize;
-                    busy = self.cycle + 2;
-                }
-            }
-            Instr::Nop => {}
-            Instr::Jump { .. } | Instr::JumpReg { .. } | Instr::Sync | Instr::Exit => {
-                unreachable!("rejected at scan time")
-            }
+            self.ctxs[ci].tally.llfu_ops += 1;
         }
 
-        // Writeback, dynamic-bound reporting, and CIR forwarding.
-        if let Some((rd, value, ready)) = result {
+        let mut load_ready = 0u64;
+        let mut stored_to: Option<u32> = None;
+        let effect = if m.class == EffectClass::Xi {
+            // `xi` is the ISA's one semantic degree of freedom: the lane
+            // computes the induction register with the serial step and
+            // mutual-induction registers positionally from the MIVT, using
+            // the shared formulas.
+            self.ctxs[ci].tally.xi_ops += 1;
+            let reg = instr.dst().expect("xi writes its register");
+            let v = if reg == self.scan.idx_reg {
+                xi_step(self.ctxs[ci].state.reg(reg), self.scan.step)
+            } else {
+                xi_mivt(self.scan.live_ins[reg.index()], self.mivt_inc[reg.index()], iter)
+            };
+            let state = &mut self.ctxs[ci].state;
+            state.set_reg(reg, v);
+            state.pc = state.pc.wrapping_add(INSTR_BYTES);
+            Effect {
+                class: m.class,
+                wrote: Some((reg, v)),
+                mem_addr: None,
+                taken: false,
+                next_pc: state.pc,
+            }
+        } else {
+            // Everything else runs the shared semantics, with memory routed
+            // through the lane port (LSQ / snoop network / shared port /
+            // cache). A port refusal aborts the instruction side-effect
+            // free and becomes this context's block reason.
+            let (before, rest) = self.ctxs.split_at_mut(ci);
+            let (ctx, after) = rest.split_first_mut().expect("context index in range");
+            let Ctx { state, lsq, tally, .. } = ctx;
+            let mut lane = LaneMem {
+                speculative,
+                orders_mem: self.orders_mem,
+                cross_lane: self.cfg.cross_lane_forwarding,
+                iter,
+                cycle: self.cycle,
+                lsq_loads: self.cfg.lsq_loads,
+                lsq_stores: self.cfg.lsq_stores,
+                lsq,
+                tally,
+                port: &mut self.port,
+                dcache: &mut *self.dcache,
+                mem: &mut *self.mem,
+                others: (before, after),
+                load_ready: 0,
+                stored_to: None,
+            };
+            let effect = apply(instr, state, &mut lane)?;
+            load_ready = lane.load_ready;
+            stored_to = lane.stored_to;
+            effect
+        };
+
+        // A store that reached memory squashes mis-speculated younger
+        // iterations. Deferred from the port to here because the squash
+        // walks every context; it can never hit this context (only strictly
+        // younger iterations squash), so running it after `apply` updated
+        // our state is equivalent.
+        if let Some(addr) = stored_to {
+            self.broadcast_store(addr, iter);
+        }
+
+        // Timing: when the written value becomes bypassable and how long
+        // the lane front end is occupied.
+        let mut busy = self.cycle + 1;
+        let ready = match effect.class {
+            EffectClass::Llfu(op) => self.cycle + op.default_latency() as u64,
+            EffectClass::Load(_) => load_ready,
+            EffectClass::Amo => {
+                if !speculative {
+                    // A direct atomic occupies the lane to completion.
+                    busy = self.cycle + 2;
+                }
+                self.cycle + 2
+            }
+            EffectClass::Branch | EffectClass::Xloop => {
+                if effect.taken {
+                    busy = self.cycle + 2; // one-bubble redirect
+                }
+                self.cycle + 1
+            }
+            _ => self.cycle + 1,
+        };
+
+        // Writeback bookkeeping, dynamic-bound reporting, CIR forwarding.
+        if let Some((rd, value)) = effect.wrote {
             if !rd.is_zero() {
-                self.ctxs[ci].regs[rd.index()] = value;
                 self.ctxs[ci].reg_ready[rd.index()] = ready;
             }
             if rd.index() as u8 == self.bound_watch {
@@ -1118,7 +1049,7 @@ impl<'a> Engine<'a> {
                 self.ctxs[ci].cir_local |= bit;
                 // The "last CIR write" bit: forward when the largest-pc
                 // writer executes.
-                if self.cir_last_write[rd.index()] == pc {
+                if self.cir_last_write[rd.index()] == bidx {
                     self.publish_cir(iter, rd, value);
                     self.ctxs[ci].cir_pub |= bit;
                     self.ctxs[ci].tally.cir_transfers += 1;
@@ -1126,32 +1057,54 @@ impl<'a> Engine<'a> {
             }
         }
 
-        self.ctxs[ci].pc = next_pc;
         self.ctxs[ci].busy_until = busy;
         self.ctxs[ci].tally.exec += 1;
         self.ctxs[ci].tally.instrs += 1;
         Ok(())
     }
+}
 
-    /// Snoops older active iterations' LSQs (newest older iteration
-    /// first) for a forwardable store.
-    fn cross_lane_forward(
-        &mut self,
-        ci: usize,
-        iter: u64,
-        addr: u32,
-        op: xloops_isa::MemOp,
-    ) -> Option<u32> {
-        if !self.cfg.cross_lane_forwarding {
+/// The lane-side [`MemPort`]: routes the shared semantics' (at most one)
+/// memory operation through the LSQ, the cross-lane snoop network, the
+/// shared memory port, and the cache — refusing with the lane's [`Block`]
+/// reason when a structural resource is exhausted, which makes
+/// [`apply`] abort the instruction with zero side effects.
+struct LaneMem<'e> {
+    /// The iteration is speculative w.r.t. memory (ordered-memory patterns
+    /// only): loads are recorded and stores buffered in the LSQ.
+    speculative: bool,
+    orders_mem: bool,
+    cross_lane: bool,
+    iter: u64,
+    cycle: u64,
+    lsq_loads: u32,
+    lsq_stores: u32,
+    lsq: &'e mut Lsq,
+    tally: &'e mut IterTally,
+    port: &'e mut SharedPort,
+    dcache: &'e mut Cache,
+    mem: &'e mut Memory,
+    /// All other contexts (those before / after this one), for cross-lane
+    /// store forwarding.
+    others: (&'e [Ctx], &'e [Ctx]),
+    /// Out: cycle at which a loaded value becomes bypassable.
+    load_ready: u64,
+    /// Out: a store reached memory at this address — the engine replays
+    /// the squash broadcast once `apply` returns.
+    stored_to: Option<u32>,
+}
+
+impl LaneMem<'_> {
+    /// Snoops older active iterations' LSQs (newest older iteration first)
+    /// for a forwardable store.
+    fn snoop_older(&self, addr: u32, op: MemOp) -> Option<u32> {
+        if !self.cross_lane {
             return None;
         }
         let mut best: Option<(u64, u32)> = None;
-        for (other, ctx) in self.ctxs.iter().enumerate() {
-            if other == ci {
-                continue;
-            }
+        for ctx in self.others.0.iter().chain(self.others.1) {
             if let Some(it) = ctx.iter {
-                if it < iter {
+                if it < self.iter {
                     if let Some(v) = ctx.lsq.forward(addr, op) {
                         if best.is_none_or(|(bit, _)| it > bit) {
                             best = Some((it, v));
@@ -1161,6 +1114,118 @@ impl<'a> Engine<'a> {
             }
         }
         best.map(|(_, v)| v)
+    }
+}
+
+impl MemPort for LaneMem<'_> {
+    type Block = Block;
+
+    fn load(&mut self, op: MemOp, addr: u32) -> Result<u32, Block> {
+        if let Some(v) = self.lsq.forward(addr, op) {
+            // Same-lane store→load forwarding (a non-speculative lane may
+            // still hit its own not-yet-drained stores; or/uc lanes have
+            // no LSQ at all and never hit).
+            self.tally.lsq_events += 1;
+            self.load_ready = self.cycle + 2;
+            return Ok(v);
+        }
+        if self.speculative {
+            if let Some(v) = self.snoop_older(addr, op) {
+                // Cross-lane snoop hit: 2-cycle network hop; the load is
+                // still recorded so a later broadcast from an intermediate
+                // iteration squashes us.
+                if !self.lsq.load_has_room(self.lsq_loads) {
+                    return Err(Block::Lsq);
+                }
+                self.tally.lsq_events += 1;
+                self.lsq.record_load(addr);
+                self.load_ready = self.cycle + 3;
+                return Ok(v);
+            }
+            if !self.lsq.load_has_room(self.lsq_loads) {
+                return Err(Block::Lsq);
+            }
+            if !self.port.try_issue(self.cycle) {
+                return Err(Block::MemPort);
+            }
+            let lat = self.dcache.access_at(addr, false, self.cycle) as u64;
+            self.tally.mem_accesses += 1;
+            self.tally.lsq_events += 1;
+            self.lsq.record_load(addr);
+            self.load_ready = self.cycle + 1 + lat;
+            Ok(load(self.mem, op, addr))
+        } else {
+            if !self.port.try_issue(self.cycle) {
+                return Err(Block::MemPort);
+            }
+            let lat = self.dcache.access_at(addr, false, self.cycle) as u64;
+            self.tally.mem_accesses += 1;
+            self.load_ready = self.cycle + 1 + lat;
+            Ok(load(self.mem, op, addr))
+        }
+    }
+
+    fn store(&mut self, op: MemOp, addr: u32, value: u32) -> Result<(), Block> {
+        if self.speculative {
+            if !self.lsq.store_has_room(self.lsq_stores) {
+                return Err(Block::Lsq);
+            }
+            self.lsq.push_store(addr, op, value);
+            self.tally.lsq_events += 1;
+        } else {
+            if !self.port.try_issue(self.cycle) {
+                return Err(Block::MemPort);
+            }
+            store(self.mem, op, addr, value);
+            self.dcache.access_at(addr, true, self.cycle);
+            self.tally.mem_accesses += 1;
+            if self.orders_mem {
+                self.stored_to = Some(addr);
+            }
+        }
+        Ok(())
+    }
+
+    fn amo(&mut self, op: AmoOp, addr: u32, operand: u32) -> Result<u32, Block> {
+        if self.speculative {
+            // Read (LSQ-forwarded or memory), combine, buffer the store;
+            // atomicity follows from the serial memory order the om
+            // mechanism enforces.
+            let old = match self.lsq.forward(addr, MemOp::Lw) {
+                Some(v) => {
+                    self.tally.lsq_events += 1;
+                    v
+                }
+                None => {
+                    if !self.lsq.load_has_room(self.lsq_loads)
+                        || !self.lsq.store_has_room(self.lsq_stores)
+                    {
+                        return Err(Block::Lsq);
+                    }
+                    if !self.port.try_issue(self.cycle) {
+                        return Err(Block::MemPort);
+                    }
+                    self.dcache.access_at(addr, false, self.cycle);
+                    self.tally.mem_accesses += 1;
+                    self.lsq.record_load(addr);
+                    self.mem.read_u32(addr)
+                }
+            };
+            self.lsq.push_store(addr, MemOp::Sw, op.combine(old, operand));
+            self.tally.lsq_events += 1;
+            Ok(old)
+        } else {
+            if !self.port.try_issue(self.cycle) {
+                return Err(Block::MemPort);
+            }
+            let old = self.mem.amo(op, addr, operand);
+            self.dcache.access_at(addr, true, self.cycle);
+            self.tally.mem_accesses += 1;
+            if self.orders_mem {
+                self.stored_to = Some(addr);
+            }
+            Ok(old)
+        }
     }
 }
 

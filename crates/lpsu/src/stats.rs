@@ -1,3 +1,5 @@
+use xloops_stats::StatSet;
+
 /// Statistics of one specialized-execution phase, including the per-cycle
 /// breakdown reported in Figure 6 of the paper.
 ///
@@ -54,6 +56,40 @@ impl LpsuStats {
             + self.stall_lsq
             + self.squash
             + self.idle
+    }
+
+    /// This phase's statistics as a node of the unified schema.
+    ///
+    /// Layout: lane-cycle buckets `exec`/`squash`/`idle` plus the derived
+    /// `lane_cycles` total and the event counters at the root; the stall
+    /// buckets live in a `stalls` child (`raw`, `mem_port`, `llfu`, `cir`,
+    /// `lsq`), so a Figure 6 consumer reads `stalls.raw` etc. through one
+    /// dotted path per bucket.
+    pub fn stat_set(&self) -> StatSet {
+        let mut s = StatSet::new("lpsu");
+        s.set("lane_cycles", self.lane_cycles())
+            .set("exec", self.exec)
+            .set("squash", self.squash)
+            .set("idle", self.idle)
+            .set("iterations", self.iterations)
+            .set("squashed_iters", self.squashed_iters)
+            .set("instret", self.instret)
+            .set("squashed_instrs", self.squashed_instrs)
+            .set("mem_accesses", self.mem_accesses)
+            .set("llfu_ops", self.llfu_ops)
+            .set("xi_ops", self.xi_ops)
+            .set("cir_transfers", self.cir_transfers)
+            .set("lsq_events", self.lsq_events);
+
+        let mut stalls = StatSet::new("stalls");
+        stalls
+            .set("raw", self.stall_raw)
+            .set("mem_port", self.stall_mem_port)
+            .set("llfu", self.stall_llfu)
+            .set("cir", self.stall_cir)
+            .set("lsq", self.stall_lsq);
+        s.push_child(stalls);
+        s
     }
 
     /// Merges another phase's statistics into this one.

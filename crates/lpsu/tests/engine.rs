@@ -20,12 +20,12 @@ fn handoff(src: &str, init: &dyn Fn(&mut Memory)) -> (ScanResult, Memory, xloops
     let xloop_idx = p.instrs().iter().position(|i| i.is_xloop()).expect("has xloop");
     let xloop_pc = xloop_idx as u32 * 4;
     for _ in 0..10_000_000 {
-        if cpu.pc == xloop_pc {
+        if cpu.pc() == xloop_pc {
             break;
         }
         cpu.step(&p, &mut mem).expect("serial prefix runs");
     }
-    assert_eq!(cpu.pc, xloop_pc, "program must reach its xloop");
+    assert_eq!(cpu.pc(), xloop_pc, "program must reach its xloop");
     let mut live_ins = [0u32; 32];
     for r in Reg::all() {
         live_ins[r.index()] = cpu.reg(r);

@@ -133,7 +133,7 @@ fn run_lpsu_cfg(p: &Program, config: LpsuConfig) -> Memory {
     init_array(&mut mem);
     let mut cpu = Interp::new();
     let xloop_pc = p.instrs().iter().position(|i| i.is_xloop()).expect("has xloop") as u32 * 4;
-    while cpu.pc != xloop_pc {
+    while cpu.pc() != xloop_pc {
         cpu.step(p, &mut mem).expect("prefix");
     }
     let mut live_ins = [0u32; 32];

@@ -307,6 +307,16 @@ mod tests {
     }
 
     #[test]
+    fn miss_rate_is_zero_without_accesses() {
+        // An untouched cache (e.g. a zero-cycle or fully-specialized run)
+        // must report 0.0, not NaN.
+        let s = CacheStats::default();
+        assert_eq!(s.miss_rate(), 0.0);
+        let s = CacheStats { read_hits: 3, read_misses: 1, ..CacheStats::default() };
+        assert_eq!(s.miss_rate(), 0.25);
+    }
+
+    #[test]
     #[should_panic(expected = "power of two")]
     fn bad_line_size_panics() {
         Cache::new(CacheConfig {

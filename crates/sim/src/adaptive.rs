@@ -131,4 +131,56 @@ mod tests {
         apt.record_gpp(0x40, 56, 100);
         assert_eq!(apt.gpp_quota(0x40), 1, "quota never reaches zero");
     }
+
+    #[test]
+    fn quota_saturates_at_one_past_the_threshold() {
+        // A dynamic instance can overshoot the iteration threshold (the
+        // loop body runs to completion); the next quota must not
+        // underflow, and stays pinned at the 1-iteration minimum however
+        // far past the threshold profiling went.
+        let mut apt = Apt::new();
+        apt.record_gpp(0x40, 10_000, 50);
+        assert_eq!(apt.gpp_quota(0x40), 1);
+        apt.record_gpp(0x40, u64::MAX - 20_000, 50);
+        assert_eq!(apt.gpp_quota(0x40), 1);
+    }
+
+    #[test]
+    fn cycle_threshold_crossing_spans_dynamic_instances() {
+        // Seven short instances, each far below both thresholds on its
+        // own; the accumulated cycle count crosses 2000 on the seventh.
+        let mut apt = Apt::new();
+        for i in 0..6 {
+            assert!(!apt.record_gpp(0x40, 8, 300), "instance {i} must not trigger");
+        }
+        assert!(apt.record_gpp(0x40, 8, 300), "1800 + 300 cycles crosses 2000");
+        assert_eq!(apt.entry(0x40).gpp_iters, 56, "iteration threshold not the trigger");
+        // A different pc profiles independently.
+        assert!(!apt.record_gpp(0x80, 8, 300));
+    }
+
+    #[test]
+    fn decide_ties_in_favor_of_the_lpsu() {
+        // Equal per-iteration cost: the LPSU wins the tie (it frees the
+        // GPP and fetches from cheap instruction buffers at equal speed).
+        let mut apt = Apt::new();
+        apt.record_gpp(0x40, 128, 1024); // 8 cycles/iter
+        assert_eq!(apt.decide(0x40, 64, 512), Decision::Specialized);
+        // One cycle over 64 iterations past the tie flips it.
+        let mut apt = Apt::new();
+        apt.record_gpp(0x40, 128, 1024);
+        assert_eq!(apt.decide(0x40, 64, 513), Decision::Traditional);
+    }
+
+    #[test]
+    fn decide_survives_zero_iteration_counts() {
+        // Degenerate profiles (0 iterations recorded on either side) fall
+        // back to `max(1)` divisors instead of dividing by zero; with both
+        // at zero cost the tie rule picks the LPSU.
+        let mut apt = Apt::new();
+        assert_eq!(apt.decide(0x40, 0, 0), Decision::Specialized);
+        let mut apt = Apt::new();
+        apt.record_gpp(0x80, 0, 0);
+        assert_eq!(apt.decide(0x80, 0, 100), Decision::Traditional);
+    }
 }

@@ -28,4 +28,4 @@ pub use adaptive::{Apt, Decision};
 pub use config::{ConfigKey, ExecMode, SystemConfig};
 pub use error::SimError;
 pub use stats::SystemStats;
-pub use system::System;
+pub use system::{System, SystemSnapshot};

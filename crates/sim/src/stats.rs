@@ -1,6 +1,7 @@
 use xloops_energy::{EnergyTable, EventCounts};
 use xloops_gpp::GppStats;
 use xloops_lpsu::LpsuStats;
+use xloops_stats::{ratio, StatSet};
 
 /// Statistics of one system-level run.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -62,10 +63,77 @@ impl SystemStats {
 
     /// Instructions per cycle over the whole run.
     pub fn ipc(&self) -> f64 {
-        if self.cycles == 0 {
-            0.0
-        } else {
-            self.instret as f64 / self.cycles as f64
-        }
+        ratio(self.instret, self.cycles)
+    }
+
+    /// The whole run as one tree of the unified schema.
+    ///
+    /// Root node `system` carries the end-to-end counters (`cycles`,
+    /// `instret`, `lpsu_cycles`, scan and xloop-dispatch counts) and the
+    /// derived `ipc` / `energy_nj` metrics; children are the component
+    /// trees [`GppStats::stat_set`] (`gpp`), [`LpsuStats::stat_set`]
+    /// (`lpsu`), and [`EventCounts::stat_set`] (`energy`). `is_ooo` selects
+    /// the energy-event accounting, exactly as in [`SystemStats::events`].
+    pub fn stat_set(&self, is_ooo: bool) -> StatSet {
+        let mut s = StatSet::new("system");
+        s.set("cycles", self.cycles)
+            .set("instret", self.instret)
+            .set("lpsu_cycles", self.lpsu_cycles)
+            .set("scans", self.scans)
+            .set("scan_instrs", self.scan_instrs)
+            .set("xloops_specialized", self.xloops_specialized)
+            .set("xloops_fallback", self.xloops_fallback)
+            .set("adaptive_to_gpp", self.adaptive_to_gpp)
+            .set("adaptive_to_lpsu", self.adaptive_to_lpsu)
+            .set_metric("ipc", self.ipc())
+            .set_metric("energy_nj", self.energy_nj);
+        s.push_child(self.gpp.stat_set());
+        s.push_child(self.lpsu.stat_set());
+        s.push_child(self.events(is_ooo).stat_set());
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_is_zero_for_zero_cycle_runs() {
+        let s = SystemStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        let s = SystemStats { instret: 7, ..SystemStats::default() };
+        assert_eq!(s.ipc(), 0.0, "no NaN from a zero-cycle run");
+        let s = SystemStats { instret: 30, cycles: 10, ..SystemStats::default() };
+        assert_eq!(s.ipc(), 3.0);
+    }
+
+    #[test]
+    fn stat_set_mirrors_components_and_energy_events() {
+        let mut s = SystemStats { cycles: 100, xloops_specialized: 2, ..SystemStats::default() };
+        s.gpp.cycles = 60;
+        s.gpp.instret = 50;
+        s.gpp.mix.alu = 50;
+        s.lpsu.exec = 40;
+        s.lpsu.stall_lsq = 4;
+        s.lpsu.instret = 40;
+        s.instret = 90;
+        let set = s.stat_set(false);
+        assert_eq!(set.name(), "system");
+        assert_eq!(set.lookup("cycles").unwrap().as_counter(), Some(100));
+        assert_eq!(set.lookup("ipc").unwrap().as_f64(), 0.9);
+        assert_eq!(set.lookup("gpp.instret").unwrap().as_counter(), Some(50));
+        assert_eq!(set.lookup("lpsu.stalls.lsq").unwrap().as_counter(), Some(4));
+        // The energy child agrees with `events`: same accounting, one schema.
+        let ev = s.events(false);
+        assert_eq!(set.lookup("energy.ibuf_fetches").unwrap().as_counter(), Some(ev.ibuf_fetches));
+        assert_eq!(
+            set.lookup("energy.icache_fetches").unwrap().as_counter(),
+            Some(ev.icache_fetches)
+        );
+        // OoO accounting only differs in the ooo_instrs event.
+        let ooo = s.stat_set(true);
+        assert_eq!(set.lookup("energy.ooo_instrs").unwrap().as_counter(), Some(0));
+        assert_eq!(ooo.lookup("energy.ooo_instrs").unwrap().as_counter(), Some(50));
     }
 }

@@ -1,6 +1,7 @@
 use xloops_mem::FxHashSet;
 
 use xloops_asm::Program;
+use xloops_func::ArchState;
 use xloops_gpp::{GppCore, GppKind, RunOpts, StopReason, Watch};
 use xloops_lpsu::{scan, Lpsu, ScanResult};
 use xloops_mem::Memory;
@@ -35,6 +36,14 @@ use crate::stats::SystemStats;
 /// assert_eq!(stats.xloops_specialized, 1);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
+/// Architectural state captured by [`System::snapshot`]: the shared
+/// [`ArchState`] (register file + pc) plus memory.
+#[derive(Clone, Debug)]
+pub struct SystemSnapshot {
+    arch: ArchState,
+    mem: Memory,
+}
+
 #[derive(Clone, Debug)]
 pub struct System {
     config: SystemConfig,
@@ -89,6 +98,21 @@ impl System {
     /// Panics if `addr` is not 4-byte aligned.
     pub fn load_word(&self, addr: u32) -> u32 {
         self.mem.read_u32(addr)
+    }
+
+    /// Captures the architectural state of the system: register file, pc,
+    /// and memory. Microarchitectural state (caches, predictors, the APT)
+    /// is deliberately excluded — restoring rewinds *what* the machine
+    /// computed, not what the hardware has learned, so a restored run
+    /// models re-execution on warm hardware.
+    pub fn snapshot(&self) -> SystemSnapshot {
+        SystemSnapshot { arch: self.gpp.arch_state().clone(), mem: self.mem.clone() }
+    }
+
+    /// Restores architectural state captured by [`System::snapshot`].
+    pub fn restore(&mut self, snapshot: &SystemSnapshot) {
+        self.gpp.set_arch_state(snapshot.arch.clone());
+        self.mem = snapshot.mem.clone();
     }
 
     /// Executes `program` from pc 0 to `exit` in the given mode.
@@ -426,6 +450,33 @@ mod tests {
         // 40 instances × 15 LPSU-eligible iterations; one decision total.
         assert!(stats.adaptive_to_lpsu + stats.adaptive_to_gpp <= 1);
         assert_eq!(sys.load_word(0x1000 + 4 * 5), 4 * 5 + 39, "last instance wrote i=39");
+    }
+
+    #[test]
+    fn snapshot_restore_rewinds_architectural_state_and_replays() {
+        let p = assemble(&saxpy_src(64)).unwrap();
+        let mut sys = System::new(SystemConfig::io_x());
+        init_saxpy(&mut sys, 64);
+
+        let snap = sys.snapshot();
+        let first = sys.run(&p, ExecMode::Specialized).unwrap();
+        check_saxpy(&sys, 64);
+        let after = sys.snapshot();
+
+        // Rewind: inputs are back, outputs are gone.
+        sys.restore(&snap);
+        assert_eq!(sys.load_word(0x20000 + 4 * 7), 1000 + 7, "y[7] rewound to input");
+
+        // Replay: same architectural results (timing may differ — the
+        // caches stayed warm by design).
+        let second = sys.run(&p, ExecMode::Specialized).unwrap();
+        check_saxpy(&sys, 64);
+        assert_eq!(second.xloops_specialized, first.xloops_specialized);
+        assert!(second.cycles <= first.cycles, "warm caches cannot slow the replay");
+
+        // Restoring the post-run snapshot reproduces the post-run memory.
+        sys.restore(&after);
+        check_saxpy(&sys, 64);
     }
 
     #[test]

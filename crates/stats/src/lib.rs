@@ -1,0 +1,347 @@
+//! # xloops-stats
+//!
+//! The unified statistics schema shared by every timing model.
+//!
+//! The three engines (functional interpreter, GPP, LPSU) each keep their
+//! own flat counter structs while simulating — those stay cheap to bump in
+//! the hot loop. At reporting time each struct converts itself into a
+//! [`StatSet`]: a named node holding ordered integer counters, derived
+//! floating-point metrics, and child nodes. Every consumer — the CLI
+//! report, the `--stats json` emitter, the energy model's event audit, and
+//! the benchmark report generators — reads the same tree through the same
+//! dotted-path [`StatSet::lookup`] interface, so a counter has exactly one
+//! name everywhere it appears.
+//!
+//! Determinism: counters, metrics, and children preserve insertion order,
+//! so the JSON rendering of a given run is byte-stable.
+
+/// A value retrieved from a [`StatSet`] by [`StatSet::lookup`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StatValue {
+    /// An integer event counter.
+    Counter(u64),
+    /// A derived floating-point metric (rates, ratios, energies).
+    Metric(f64),
+}
+
+impl StatValue {
+    /// The value as `u64`, if it is a counter.
+    pub fn as_counter(self) -> Option<u64> {
+        match self {
+            StatValue::Counter(v) => Some(v),
+            StatValue::Metric(_) => None,
+        }
+    }
+
+    /// The value as `f64`; counters are widened losslessly enough for
+    /// reporting purposes.
+    pub fn as_f64(self) -> f64 {
+        match self {
+            StatValue::Counter(v) => v as f64,
+            StatValue::Metric(v) => v,
+        }
+    }
+}
+
+/// A named, ordered, hierarchical set of statistics.
+///
+/// Leaves are either integer `counters` (raw event counts) or floating
+/// point `metrics` (derived rates and energies); interior structure comes
+/// from named `children`. Names within one node are unique per kind —
+/// [`StatSet::set`] and [`StatSet::set_metric`] overwrite in place,
+/// preserving the original position so output order is deterministic.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StatSet {
+    name: String,
+    counters: Vec<(String, u64)>,
+    metrics: Vec<(String, f64)>,
+    children: Vec<StatSet>,
+}
+
+impl StatSet {
+    /// An empty set with the given node name.
+    pub fn new(name: &str) -> StatSet {
+        StatSet { name: name.to_string(), ..StatSet::default() }
+    }
+
+    /// This node's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sets counter `name` to `value`, inserting it at the end if new.
+    pub fn set(&mut self, name: &str, value: u64) -> &mut StatSet {
+        match self.counters.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v = value,
+            None => self.counters.push((name.to_string(), value)),
+        }
+        self
+    }
+
+    /// Sets metric `name` to `value`, inserting it at the end if new.
+    pub fn set_metric(&mut self, name: &str, value: f64) -> &mut StatSet {
+        match self.metrics.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v = value,
+            None => self.metrics.push((name.to_string(), value)),
+        }
+        self
+    }
+
+    /// Adds `delta` to counter `name` (creating it at zero first).
+    pub fn add(&mut self, name: &str, delta: u64) -> &mut StatSet {
+        match self.counters.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v += delta,
+            None => self.counters.push((name.to_string(), delta)),
+        }
+        self
+    }
+
+    /// Appends a child node (replacing any existing child of the same name).
+    pub fn push_child(&mut self, child: StatSet) -> &mut StatSet {
+        match self.children.iter_mut().find(|c| c.name == child.name) {
+            Some(slot) => *slot = child,
+            None => self.children.push(child),
+        }
+        self
+    }
+
+    /// The child named `name`, if present.
+    pub fn child(&self, name: &str) -> Option<&StatSet> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// The counter named `name` in this node, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The metric named `name` in this node, if present.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Iterates this node's counters in insertion order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Iterates this node's metrics in insertion order.
+    pub fn metrics(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.metrics.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Iterates this node's children in insertion order.
+    pub fn children(&self) -> impl Iterator<Item = &StatSet> {
+        self.children.iter()
+    }
+
+    /// Resolves a dotted path like `"lpsu.stalls.raw"`: every segment but
+    /// the last names a child; the last names a counter (checked first) or
+    /// a metric of the final node.
+    pub fn lookup(&self, path: &str) -> Option<StatValue> {
+        let mut node = self;
+        let mut parts = path.split('.').peekable();
+        while let Some(part) = parts.next() {
+            if parts.peek().is_none() {
+                return node
+                    .counter(part)
+                    .map(StatValue::Counter)
+                    .or_else(|| node.metric(part).map(StatValue::Metric));
+            }
+            node = node.child(part)?;
+        }
+        None
+    }
+
+    /// Merges `other` into `self`: counters add, metrics overwrite, and
+    /// children merge recursively by name. Used to accumulate per-run
+    /// trees into aggregate reports.
+    pub fn merge(&mut self, other: &StatSet) {
+        for (name, v) in &other.counters {
+            self.add(name, *v);
+        }
+        for (name, v) in &other.metrics {
+            self.set_metric(name, *v);
+        }
+        for child in &other.children {
+            match self.children.iter_mut().find(|c| c.name == child.name) {
+                Some(mine) => mine.merge(child),
+                None => self.children.push(child.clone()),
+            }
+        }
+    }
+
+    /// Renders the tree as a JSON object:
+    /// `{"name": ..., "counters": {...}, "metrics": {...}, "children": [...]}`.
+    ///
+    /// Hand-rolled (the workspace carries no serialization dependency) and
+    /// deterministic: key order is insertion order. Non-finite metrics
+    /// render as `null`, since JSON has no NaN/Infinity literals.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"name\":");
+        write_json_string(out, &self.name);
+        out.push_str(",\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(out, name);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"metrics\":{");
+        for (i, (name, v)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(out, name);
+            out.push(':');
+            if v.is_finite() {
+                // `{:?}` prints a shortest round-trippable form, which is
+                // also valid JSON for finite values.
+                out.push_str(&format!("{v:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        out.push_str("},\"children\":[");
+        for (i, child) in self.children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            child.write_json(out);
+        }
+        out.push_str("]}");
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// `num / den` with the zero-denominator case defined as 0.0, so rate
+/// metrics of empty or zero-cycle runs stay finite.
+pub fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StatSet {
+        let mut root = StatSet::new("system");
+        root.set("cycles", 100).set("instret", 250);
+        root.set_metric("ipc", 2.5);
+        let mut lpsu = StatSet::new("lpsu");
+        lpsu.set("exec", 40);
+        let mut stalls = StatSet::new("stalls");
+        stalls.set("raw", 7).set("lsq", 3);
+        lpsu.push_child(stalls);
+        root.push_child(lpsu);
+        root
+    }
+
+    #[test]
+    fn set_overwrites_in_place_and_add_accumulates() {
+        let mut s = StatSet::new("n");
+        s.set("a", 1).set("b", 2).set("a", 9);
+        assert_eq!(s.counters().collect::<Vec<_>>(), vec![("a", 9), ("b", 2)]);
+        s.add("b", 5).add("c", 1);
+        assert_eq!(s.counter("b"), Some(7));
+        assert_eq!(s.counter("c"), Some(1));
+        s.set_metric("m", 1.0).set_metric("m", 2.0);
+        assert_eq!(s.metric("m"), Some(2.0));
+    }
+
+    #[test]
+    fn lookup_resolves_dotted_paths() {
+        let s = sample();
+        assert_eq!(s.lookup("cycles"), Some(StatValue::Counter(100)));
+        assert_eq!(s.lookup("ipc"), Some(StatValue::Metric(2.5)));
+        assert_eq!(s.lookup("lpsu.exec"), Some(StatValue::Counter(40)));
+        assert_eq!(s.lookup("lpsu.stalls.raw"), Some(StatValue::Counter(7)));
+        assert_eq!(s.lookup("lpsu.stalls.missing"), None);
+        assert_eq!(s.lookup("nope.raw"), None);
+        assert_eq!(s.lookup("lpsu.stalls.raw").unwrap().as_counter(), Some(7));
+        assert_eq!(s.lookup("ipc").unwrap().as_f64(), 2.5);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_recurses() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.lookup("cycles"), Some(StatValue::Counter(200)));
+        assert_eq!(a.lookup("ipc"), Some(StatValue::Metric(2.5))); // overwritten
+        assert_eq!(a.lookup("lpsu.stalls.lsq"), Some(StatValue::Counter(6)));
+        // A child only `b` has is cloned in.
+        let mut c = StatSet::new("system");
+        c.push_child(StatSet::new("extra"));
+        a.merge(&c);
+        assert!(a.child("extra").is_some());
+    }
+
+    #[test]
+    fn json_is_deterministic_and_escapes() {
+        let s = sample();
+        let json = s.to_json();
+        assert_eq!(
+            json,
+            "{\"name\":\"system\",\"counters\":{\"cycles\":100,\"instret\":250},\
+             \"metrics\":{\"ipc\":2.5},\"children\":[{\"name\":\"lpsu\",\
+             \"counters\":{\"exec\":40},\"metrics\":{},\"children\":[\
+             {\"name\":\"stalls\",\"counters\":{\"raw\":7,\"lsq\":3},\
+             \"metrics\":{},\"children\":[]}]}]}"
+        );
+        let mut weird = StatSet::new("a\"b\\c\n");
+        weird.set_metric("nan", f64::NAN).set_metric("inf", f64::INFINITY);
+        assert_eq!(
+            weird.to_json(),
+            "{\"name\":\"a\\\"b\\\\c\\n\",\"counters\":{},\
+             \"metrics\":{\"nan\":null,\"inf\":null},\"children\":[]}"
+        );
+    }
+
+    #[test]
+    fn ratio_guards_zero_denominator() {
+        assert_eq!(ratio(10, 4), 2.5);
+        assert_eq!(ratio(10, 0), 0.0);
+        assert_eq!(ratio(0, 0), 0.0);
+    }
+
+    #[test]
+    fn push_child_replaces_same_name() {
+        let mut s = StatSet::new("root");
+        let mut c1 = StatSet::new("x");
+        c1.set("v", 1);
+        s.push_child(c1);
+        let mut c2 = StatSet::new("x");
+        c2.set("v", 2);
+        s.push_child(c2);
+        assert_eq!(s.children().count(), 1);
+        assert_eq!(s.lookup("x.v"), Some(StatValue::Counter(2)));
+    }
+}

@@ -15,6 +15,7 @@
 //!   --init   ADDR=VALUE    (repeatable; hex accepted)
 //!   --dump   ADDR:WORDS    print memory after the run
 //!   --trace  N             print the first N instructions (functional trace)
+//!   --stats  text|json     report format (json emits the unified StatSet tree)
 //! ```
 //!
 //! The binary image format is the raw little-endian instruction words,
@@ -25,6 +26,7 @@ use std::fmt::Write as _;
 use crate::asm::{assemble, disassemble, Program};
 use crate::kernels;
 use crate::sim::{ExecMode, System, SystemConfig};
+use crate::stats::StatValue;
 
 /// A parsed CLI invocation.
 #[derive(Debug)]
@@ -46,6 +48,9 @@ pub struct RunOptions {
     pub dumps: Vec<(u32, u32)>,
     /// Print the first N instructions of a functional trace (0 = off).
     pub trace: u32,
+    /// Emit the unified [`crate::stats::StatSet`] tree as JSON instead of
+    /// the human-readable report (`--stats json`).
+    pub stats_json: bool,
 }
 
 impl Default for RunOptions {
@@ -56,6 +61,7 @@ impl Default for RunOptions {
             inits: Vec::new(),
             dumps: Vec::new(),
             trace: 0,
+            stats_json: false,
         }
     }
 }
@@ -66,10 +72,11 @@ pub fn usage() -> &'static str {
      usage:\n\
      \x20 xloops asm <file.s> [-o <file.bin>]\n\
      \x20 xloops disasm <file.bin>\n\
-     \x20 xloops run <file.s> [--config C] [--mode M] [--init A=V]... [--dump A:N]... [--trace N]\n\
+     \x20 xloops run <file.s> [--config C] [--mode M] [--init A=V]... [--dump A:N]... [--trace N] [--stats F]\n\
      \x20 xloops kernels\n\
-     \x20 xloops kernel <name> [--config C] [--mode M]\n\n\
-     configs: io ooo2 ooo4 io+x ooo2+x ooo4+x   modes: traditional specialized adaptive\n"
+     \x20 xloops kernel <name> [--config C] [--mode M] [--stats F]\n\n\
+     configs: io ooo2 ooo4 io+x ooo2+x ooo4+x   modes: traditional specialized adaptive\n\
+     stats formats: text (default) json\n"
 }
 
 fn parse_u32(s: &str) -> Result<u32, String> {
@@ -123,6 +130,13 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
                 opts.dumps.push((parse_u32(addr)?, parse_u32(n)?));
             }
             "--trace" => opts.trace = parse_u32(&next("an instruction count")?)?,
+            "--stats" => {
+                opts.stats_json = match next("a format (text|json)")?.as_str() {
+                    "json" => true,
+                    "text" => false,
+                    other => return Err(format!("unknown stats format `{other}`")),
+                }
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -238,6 +252,11 @@ pub fn execute(cmd: Command) -> Result<CommandOutput, String> {
                 sys.store_word(addr, value);
             }
             let stats = sys.run(&program, opts.mode).map_err(|e| e.to_string())?;
+            if opts.stats_json {
+                // Machine-readable mode: the JSON document is the whole
+                // output, so trace/dump text never corrupts a parse.
+                return Ok((stats.stat_set(is_ooo(&opts.config)).to_json() + "\n", None));
+            }
             let mut text = trace_text;
             text.push_str(&report(&sys, &stats));
             for &(addr, n) in &opts.dumps {
@@ -271,6 +290,11 @@ pub fn execute(cmd: Command) -> Result<CommandOutput, String> {
             kernel.init_memory(sys.mem_mut());
             let stats = sys.run(&kernel.program, opts.mode).map_err(|e| e.to_string())?;
             kernel.verify(sys.mem()).map_err(|e| format!("verification FAILED: {e}"))?;
+            if opts.stats_json {
+                // Verification still ran (a failure errors out above); the
+                // output is just the JSON document.
+                return Ok((stats.stat_set(is_ooo(&opts.config)).to_json() + "\n", None));
+            }
             let mut text = format!("{name}: verified OK\n");
             text.push_str(&report(&sys, &stats));
             Ok((text, None))
@@ -278,29 +302,45 @@ pub fn execute(cmd: Command) -> Result<CommandOutput, String> {
     }
 }
 
+/// Whether the configured GPP pays out-of-order energy accounting (the
+/// in-order core is the only width-1 configuration).
+fn is_ooo(config: &SystemConfig) -> bool {
+    config.gpp.width() > 1
+}
+
 fn report(sys: &System, stats: &crate::sim::SystemStats) -> String {
+    // Render from the unified stat tree rather than the raw structs, so
+    // the text report and `--stats json` read the same schema by
+    // construction and cannot disagree on a value.
+    let set = stats.stat_set(is_ooo(sys.config()));
+    let counter = |path: &str| set.lookup(path).and_then(StatValue::as_counter).unwrap_or(0);
+    let metric = |path: &str| set.lookup(path).map(StatValue::as_f64).unwrap_or(0.0);
     let mut t = String::new();
     let _ = writeln!(t, "config           {}", sys.config().name());
-    let _ = writeln!(t, "cycles           {}", stats.cycles);
-    let _ = writeln!(t, "instructions     {} (IPC {:.2})", stats.instret, stats.ipc());
-    let _ = writeln!(t, "energy           {:.1} nJ", stats.energy_nj);
-    if stats.xloops_specialized > 0 || stats.xloops_fallback > 0 {
+    let _ = writeln!(t, "cycles           {}", counter("cycles"));
+    let _ = writeln!(t, "instructions     {} (IPC {:.2})", counter("instret"), metric("ipc"));
+    let _ = writeln!(t, "energy           {:.1} nJ", metric("energy_nj"));
+    if counter("xloops_specialized") > 0 || counter("xloops_fallback") > 0 {
         let _ = writeln!(
             t,
             "xloops           {} specialized, {} fell back",
-            stats.xloops_specialized, stats.xloops_fallback
+            counter("xloops_specialized"),
+            counter("xloops_fallback")
         );
         let _ = writeln!(
             t,
             "lpsu             {} iterations, {} squashed, {} CIR transfers",
-            stats.lpsu.iterations, stats.lpsu.squashed_iters, stats.lpsu.cir_transfers
+            counter("lpsu.iterations"),
+            counter("lpsu.squashed_iters"),
+            counter("lpsu.cir_transfers")
         );
     }
-    if stats.adaptive_to_gpp + stats.adaptive_to_lpsu > 0 {
+    if counter("adaptive_to_gpp") + counter("adaptive_to_lpsu") > 0 {
         let _ = writeln!(
             t,
             "adaptive         {} loops chose the LPSU, {} the GPP",
-            stats.adaptive_to_lpsu, stats.adaptive_to_gpp
+            counter("adaptive_to_lpsu"),
+            counter("adaptive_to_gpp")
         );
     }
     t
@@ -365,6 +405,43 @@ mod tests {
                 .unwrap();
         assert!(text.contains("verified OK"), "{text}");
         assert!(text.contains("specialized"));
+    }
+
+    #[test]
+    fn stats_format_parses_and_rejects_garbage() {
+        assert!(parse_run_options(&sv(&["--stats", "json"])).unwrap().stats_json);
+        assert!(!parse_run_options(&sv(&["--stats", "text"])).unwrap().stats_json);
+        assert!(parse_run_options(&sv(&["--stats", "xml"])).is_err());
+        assert!(parse_run_options(&sv(&["--stats"])).is_err());
+    }
+
+    #[test]
+    fn run_command_emits_json_stats() {
+        let mut opts = RunOptions { mode: ExecMode::Traditional, ..RunOptions::default() };
+        opts.config = SystemConfig::io();
+        opts.stats_json = true;
+        opts.trace = 3; // must be suppressed: JSON is the whole output
+        let (text, _) = execute(Command::Run { source: "li r1, 9\n exit".into(), opts }).unwrap();
+        assert!(text.starts_with("{\"name\":\"system\""), "{text}");
+        assert!(text.ends_with("]}\n"), "{text}");
+        assert!(text.contains("\"counters\":{\"cycles\":"), "{text}");
+        assert!(!text.contains("functional trace"), "{text}");
+    }
+
+    #[test]
+    fn kernel_command_emits_json_stats_with_component_children() {
+        let opts = RunOptions { stats_json: true, ..RunOptions::default() };
+        let (text, _) = execute(Command::Kernel { name: "huffman-ua".into(), opts }).unwrap();
+        assert!(!text.contains("verified OK"), "{text}");
+        for child in ["\"name\":\"gpp\"", "\"name\":\"lpsu\"", "\"name\":\"energy\""] {
+            assert!(text.contains(child), "missing {child} in {text}");
+        }
+        assert!(text.contains("\"name\":\"stalls\""), "{text}");
+        // Still a verification failure if the kernel is broken: the flag
+        // only changes the report, not the checking.
+        let opts =
+            RunOptions { stats_json: true, mode: ExecMode::Traditional, ..RunOptions::default() };
+        assert!(execute(Command::Kernel { name: "huffman-ua".into(), opts }).is_ok());
     }
 
     #[test]

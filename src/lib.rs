@@ -68,3 +68,4 @@ pub use xloops_kernels as kernels;
 pub use xloops_lpsu as lpsu;
 pub use xloops_mem as mem;
 pub use xloops_sim as sim;
+pub use xloops_stats as stats;

@@ -79,7 +79,7 @@ fn hardware_scan_accepts_and_matches_the_compiler_analysis() {
         let mut mem = Memory::new();
         init_mem(&mut mem);
         let mut cpu = Interp::new();
-        while cpu.pc != xloop_pc {
+        while cpu.pc() != xloop_pc {
             cpu.step(&program, &mut mem).expect("prefix runs");
         }
         let mut live_ins = [0u32; 32];

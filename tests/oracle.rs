@@ -37,7 +37,7 @@ fn harvest(kernel: &Kernel) -> Vec<LoopSite> {
     let mut seen = Vec::new();
     let mut sites = Vec::new();
     for _ in 0..50_000_000u64 {
-        let pc = cpu.pc;
+        let pc = cpu.pc();
         let at_new_xloop = program.fetch(pc).is_some_and(|i| i.is_xloop() && !seen.contains(&pc));
         if at_new_xloop {
             seen.push(pc);

@@ -1,0 +1,62 @@
+//! Guard: instruction *semantics* live in exactly one place.
+//!
+//! The shared architectural-state layer (`xloops-func`'s `semantics`
+//! module) is the only code allowed to interpret what an instruction
+//! *does*; the timing engines consume its `Effect`/`EffectClass` and
+//! decide only *when* things happen. This test greps the timing-engine
+//! sources for the `Instr::` variant-match token, so a reintroduced
+//! private semantics match fails CI instead of silently forking behavior.
+//!
+//! Deliberately out of scope:
+//! * `crates/func/src/semantics.rs` — the one sanctioned interpreter.
+//! * `crates/lpsu/src/scan.rs` — the scan phase *classifies* instructions
+//!   (which registers form CIRs, which bodies are executable) without
+//!   executing them; structural matching there is not semantics.
+
+use std::fs;
+use std::path::Path;
+
+/// Timing-engine sources that must stay free of instruction-variant
+/// matches (and of `Instr::` in any form, including doc comments — keep
+/// prose in those files variant-free so the check stays a simple grep).
+const BANNED_FILES: &[&str] = &[
+    "crates/lpsu/src/engine.rs",
+    "crates/gpp/src/core.rs",
+    "crates/gpp/src/inorder.rs",
+    "crates/gpp/src/ooo.rs",
+];
+
+#[test]
+fn timing_engines_contain_no_instruction_semantics() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for rel in BANNED_FILES {
+        let path = root.join(rel);
+        let text = fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let hits: Vec<_> = text
+            .lines()
+            .enumerate()
+            .filter(|(_, line)| line.contains("Instr::"))
+            .map(|(i, line)| format!("  {rel}:{}: {}", i + 1, line.trim()))
+            .collect();
+        assert!(
+            hits.is_empty(),
+            "instruction semantics leaked back into a timing engine \
+             (match on EffectClass instead, or extend xloops-func):\n{}",
+            hits.join("\n")
+        );
+    }
+}
+
+#[test]
+fn the_sanctioned_interpreter_exists_and_matches_instructions() {
+    // Sanity check on the guard itself: the shared semantics module is
+    // where the `Instr::` matches actually are. If this ever fails the
+    // grep above is checking the wrong universe.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let text = fs::read_to_string(root.join("crates/func/src/semantics.rs")).unwrap();
+    assert!(
+        text.matches("Instr::").count() >= 10,
+        "semantics module no longer matches instruction variants — \
+         did the interpreter move? Update BANNED_FILES' rationale."
+    );
+}
