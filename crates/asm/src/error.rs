@@ -1,22 +1,54 @@
 use std::fmt;
 
+/// The class of an assembly error — a typed taxonomy over the same
+/// diagnostics [`AsmError::message`] spells out, so tools can branch on
+/// *what* went wrong without parsing prose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AsmErrorKind {
+    /// A label was defined twice.
+    DuplicateLabel,
+    /// A referenced label has no definition.
+    UndefinedLabel,
+    /// The mnemonic (or xloop pattern suffix) is not in the ISA.
+    UnknownMnemonic,
+    /// An operand could not be parsed (register, immediate, memory
+    /// operand, or a malformed operand list).
+    MalformedOperand,
+    /// The right mnemonic with the wrong number of operands.
+    OperandCount,
+    /// A value that parsed fine but does not fit its encoding: immediate,
+    /// branch/jump displacement, or xloop body size.
+    OutOfRange,
+    /// A structural rule was violated (e.g. `addiu.xi` needs `rd == rs`,
+    /// an xloop body must be backward).
+    Constraint,
+}
+
 /// Error produced while assembling a source file.
 ///
-/// Carries the 1-based source line for diagnostics.
+/// Carries the 1-based source line for diagnostics and a typed
+/// [`AsmErrorKind`] for programmatic handling.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AsmError {
     line: u32,
+    kind: AsmErrorKind,
     message: String,
 }
 
 impl AsmError {
-    pub(crate) fn new(line: u32, message: impl Into<String>) -> AsmError {
-        AsmError { line, message: message.into() }
+    pub(crate) fn new(line: u32, kind: AsmErrorKind, message: impl Into<String>) -> AsmError {
+        AsmError { line, kind, message: message.into() }
     }
 
     /// The 1-based source line the error refers to (0 for file-level errors).
     pub fn line(&self) -> u32 {
         self.line
+    }
+
+    /// The class of the error.
+    pub fn kind(&self) -> AsmErrorKind {
+        self.kind
     }
 
     /// Human-readable description of the problem.

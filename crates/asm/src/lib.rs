@@ -42,7 +42,7 @@ mod parse;
 mod program;
 
 pub use disasm::disassemble;
-pub use error::AsmError;
+pub use error::{AsmError, AsmErrorKind};
 pub use lower::lower_gp;
 pub use parse::assemble;
 pub use program::Program;

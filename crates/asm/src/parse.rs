@@ -2,7 +2,7 @@ use std::collections::HashMap;
 
 use xloops_isa::{AluOp, AmoOp, BranchCond, Instr, LlfuOp, LoopPattern, MemOp, Reg, XiKind};
 
-use crate::error::AsmError;
+use crate::error::{AsmError, AsmErrorKind};
 use crate::program::Program;
 
 /// Assembles TRISC/XLOOPS source text into a [`Program`].
@@ -38,7 +38,11 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
                 break; // not a label; let the statement parser complain
             }
             if labels.insert(name.to_string(), index).is_some() {
-                return Err(AsmError::new(lineno, format!("duplicate label `{name}`")));
+                return Err(AsmError::new(
+                    lineno,
+                    AsmErrorKind::DuplicateLabel,
+                    format!("duplicate label `{name}`"),
+                ));
             }
             rest = after[1..].trim();
         }
@@ -105,7 +109,11 @@ fn split_stmt<'a>(stmt: &Stmt<'a>) -> Result<(&'a str, Vec<&'a str>), AsmError> 
     let ops: Vec<&str> =
         if rest.is_empty() { Vec::new() } else { rest.split(',').map(str::trim).collect() };
     if ops.iter().any(|o| o.is_empty()) {
-        return Err(AsmError::new(stmt.line, format!("malformed operand list in `{text}`")));
+        return Err(AsmError::new(
+            stmt.line,
+            AsmErrorKind::MalformedOperand,
+            format!("malformed operand list in `{text}`"),
+        ));
     }
     Ok((mnemonic, ops))
 }
@@ -113,11 +121,14 @@ fn split_stmt<'a>(stmt: &Stmt<'a>) -> Result<(&'a str, Vec<&'a str>), AsmError> 
 fn parse_reg(line: u32, s: &str) -> Result<Reg, AsmError> {
     // Accept AMO-style parenthesized address registers.
     let s = s.strip_prefix('(').and_then(|t| t.strip_suffix(')')).unwrap_or(s);
-    s.parse().map_err(|_| AsmError::new(line, format!("invalid register `{s}`")))
+    s.parse().map_err(|_| {
+        AsmError::new(line, AsmErrorKind::MalformedOperand, format!("invalid register `{s}`"))
+    })
 }
 
 fn parse_imm32(line: u32, s: &str) -> Result<u32, AsmError> {
-    let err = || AsmError::new(line, format!("invalid immediate `{s}`"));
+    let err =
+        || AsmError::new(line, AsmErrorKind::MalformedOperand, format!("invalid immediate `{s}`"));
     let (neg, body) = match s.strip_prefix('-') {
         Some(b) => (true, b),
         None => (false, s),
@@ -140,7 +151,11 @@ fn parse_imm16(line: u32, s: &str) -> Result<i16, AsmError> {
     if (-32768..=65535).contains(&v) {
         Ok(v as u16 as i16)
     } else {
-        Err(AsmError::new(line, format!("immediate `{s}` does not fit in 16 bits")))
+        Err(AsmError::new(
+            line,
+            AsmErrorKind::OutOfRange,
+            format!("immediate `{s}` does not fit in 16 bits"),
+        ))
     }
 }
 
@@ -150,6 +165,7 @@ fn expect_ops(stmt: &Stmt<'_>, ops: &[&str], n: usize) -> Result<(), AsmError> {
     } else {
         Err(AsmError::new(
             stmt.line,
+            AsmErrorKind::OperandCount,
             format!("`{}` expects {n} operand(s), found {}", stmt.text, ops.len()),
         ))
     }
@@ -160,21 +176,27 @@ fn lookup_label(
     labels: &HashMap<String, u32>,
     name: &str,
 ) -> Result<u32, AsmError> {
-    labels
-        .get(name)
-        .copied()
-        .ok_or_else(|| AsmError::new(stmt.line, format!("undefined label `{name}`")))
+    labels.get(name).copied().ok_or_else(|| {
+        AsmError::new(stmt.line, AsmErrorKind::UndefinedLabel, format!("undefined label `{name}`"))
+    })
 }
 
 fn branch_offset(stmt: &Stmt<'_>, at: u32, target: u32) -> Result<i16, AsmError> {
     let delta = target as i64 - at as i64;
-    i16::try_from(delta)
-        .map_err(|_| AsmError::new(stmt.line, format!("branch target out of range ({delta})")))
+    i16::try_from(delta).map_err(|_| {
+        AsmError::new(
+            stmt.line,
+            AsmErrorKind::OutOfRange,
+            format!("branch target out of range ({delta})"),
+        )
+    })
 }
 
 /// Parses `offset(base)` memory operands.
 fn parse_mem_operand(line: u32, s: &str) -> Result<(i16, Reg), AsmError> {
-    let err = || AsmError::new(line, format!("invalid memory operand `{s}`"));
+    let err = || {
+        AsmError::new(line, AsmErrorKind::MalformedOperand, format!("invalid memory operand `{s}`"))
+    };
     let open = s.find('(').ok_or_else(err)?;
     if !s.ends_with(')') {
         return Err(err());
@@ -220,20 +242,29 @@ fn emit(
 
     // xloop.<pattern>
     if let Some(suffix) = mnemonic.strip_prefix("xloop.") {
-        let pattern: LoopPattern = suffix
-            .parse()
-            .map_err(|_| AsmError::new(line, format!("unknown xloop pattern `{suffix}`")))?;
+        let pattern: LoopPattern = suffix.parse().map_err(|_| {
+            AsmError::new(
+                line,
+                AsmErrorKind::UnknownMnemonic,
+                format!("unknown xloop pattern `{suffix}`"),
+            )
+        })?;
         expect_ops(stmt, &ops, 3)?;
         let target = lookup_label(stmt, labels, ops[0])?;
         if target >= stmt.index {
             return Err(AsmError::new(
                 line,
+                AsmErrorKind::Constraint,
                 format!("xloop body label `{}` must precede the xloop instruction", ops[0]),
             ));
         }
         let body_offset = stmt.index - target;
         if body_offset >= 1 << 12 {
-            return Err(AsmError::new(line, "xloop body exceeds 4095 instructions"));
+            return Err(AsmError::new(
+                line,
+                AsmErrorKind::OutOfRange,
+                "xloop body exceeds 4095 instructions",
+            ));
         }
         out.push(Instr::Xloop {
             pattern,
@@ -324,7 +355,11 @@ fn emit(
             let rd = reg(&ops[0])?;
             let rs = reg(&ops[1])?;
             if rd != rs {
-                return Err(AsmError::new(line, "addiu.xi requires rd == rs (MIV register)"));
+                return Err(AsmError::new(
+                    line,
+                    AsmErrorKind::Constraint,
+                    "addiu.xi requires rd == rs (MIV register)",
+                ));
             }
             out.push(Instr::Xi { reg: rd, kind: XiKind::Imm(parse_imm16(line, ops[2])?) });
         }
@@ -333,7 +368,11 @@ fn emit(
             let rd = reg(&ops[0])?;
             let rs = reg(&ops[1])?;
             if rd != rs {
-                return Err(AsmError::new(line, "addu.xi requires rd == rs (MIV register)"));
+                return Err(AsmError::new(
+                    line,
+                    AsmErrorKind::Constraint,
+                    "addu.xi requires rd == rs (MIV register)",
+                ));
             }
             out.push(Instr::Xi { reg: rd, kind: XiKind::Reg(reg(&ops[2])?) });
         }
@@ -363,7 +402,11 @@ fn emit(
             expect_ops(stmt, &ops, 2)?;
             let imm = parse_imm32(line, ops[1])?;
             if imm > 0xFFFF {
-                return Err(AsmError::new(line, "lui immediate exceeds 16 bits"));
+                return Err(AsmError::new(
+                    line,
+                    AsmErrorKind::OutOfRange,
+                    "lui immediate exceeds 16 bits",
+                ));
             }
             out.push(Instr::Lui { rd: reg(&ops[0])?, imm: imm as u16 });
         }
@@ -410,7 +453,11 @@ fn emit(
                 let offset = branch_offset(stmt, stmt.index, target)?;
                 out.push(Instr::Branch { cond, rs: reg(&ops[0])?, rt: reg(&ops[1])?, offset });
             } else {
-                return Err(AsmError::new(line, format!("unknown mnemonic `{mnemonic}`")));
+                return Err(AsmError::new(
+                    line,
+                    AsmErrorKind::UnknownMnemonic,
+                    format!("unknown mnemonic `{mnemonic}`"),
+                ));
             }
         }
     }

@@ -1,0 +1,125 @@
+//! Robustness properties: no input — textual or binary, however
+//! malformed — may panic the assembler, the disassembler, or the binary
+//! decoder. Malformed inputs must come back as typed [`AsmError`]s (or a
+//! decode rejection), never as an unwind.
+
+use proptest::prelude::*;
+use xloops_asm::{assemble, disassemble, AsmErrorKind, Program};
+
+/// Arbitrary text built from raw bytes (the vendored proptest has no
+/// regex string strategies): control characters, punctuation, multi-line
+/// soup — everything a hostile `.s` file could contain.
+fn arbitrary_text() -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<u8>(), 0..256)
+        .prop_map(|bytes| bytes.into_iter().map(|b| b as char).collect())
+}
+
+/// Short runs of printable ASCII noise.
+fn printable_noise() -> BoxedStrategy<String> {
+    prop::collection::vec(0x20u8..0x7F, 0..8)
+        .prop_map(|bytes| bytes.into_iter().map(|b| b as char).collect())
+        .boxed()
+}
+
+/// Text biased toward almost-valid assembly: real mnemonics, register
+/// names, punctuation, labels — the inputs most likely to reach deep
+/// parser states — mixed with arbitrary printable noise.
+fn asm_ish_text() -> impl Strategy<Value = String> {
+    let token = prop_oneof![
+        Just("addu".to_string()),
+        Just("addiu".to_string()),
+        Just("lw".to_string()),
+        Just("sw".to_string()),
+        Just("li".to_string()),
+        Just("lui".to_string()),
+        Just("xloop.uc".to_string()),
+        Just("xloop.or".to_string()),
+        Just("xloop.zz".to_string()),
+        Just("addiu.xi".to_string()),
+        Just("bne".to_string()),
+        Just("jal".to_string()),
+        Just("exit".to_string()),
+        Just("r1".to_string()),
+        Just("r31".to_string()),
+        Just("r99".to_string()),
+        Just("top:".to_string()),
+        Just("top".to_string()),
+        Just(",".to_string()),
+        Just(", ,".to_string()),
+        Just("0x".to_string()),
+        Just("0xFFFF_FFFF".to_string()),
+        Just("-32769".to_string()),
+        Just("99999999999999999999".to_string()),
+        Just("4(r2)".to_string()),
+        Just("(r2".to_string()),
+        Just("#".to_string()),
+        Just(":".to_string()),
+        printable_noise(),
+    ];
+    prop::collection::vec(token, 0..24).prop_map(|ts| {
+        let mut s = String::new();
+        for (i, t) in ts.iter().enumerate() {
+            s.push_str(t);
+            s.push(if i % 5 == 4 { '\n' } else { ' ' });
+        }
+        s
+    })
+}
+
+proptest! {
+    /// Arbitrary byte soup never panics the assembler.
+    #[test]
+    fn assembler_never_panics_on_arbitrary_text(src in arbitrary_text()) {
+        let _ = assemble(&src);
+    }
+
+    /// Almost-valid assembly never panics either, and failures carry a
+    /// line number inside the input and a non-empty diagnosis.
+    #[test]
+    fn assembler_never_panics_on_asm_like_text(src in asm_ish_text()) {
+        if let Err(e) = assemble(&src) {
+            prop_assert!((e.line() as usize) <= src.lines().count() + 1, "{e}");
+            prop_assert!(!e.message().is_empty());
+            prop_assert!(e.to_string().contains(e.message()));
+        }
+    }
+
+    /// Arbitrary instruction words never panic the decoder, and every
+    /// program it accepts disassembles and reassembles without panicking.
+    #[test]
+    fn decoder_and_disassembler_never_panic_on_arbitrary_words(
+        words in prop::collection::vec(any::<u32>(), 0..64),
+    ) {
+        let Ok(p) = Program::from_words(&words) else { return Ok(()) };
+        let text = disassemble(&p);
+        // Reassembly of decoder-accepted programs may still fail (e.g. an
+        // xloop whose body offset points before pc 0 has no label to name)
+        // but it must fail with an error, not a panic.
+        let _ = assemble(&text);
+    }
+}
+
+#[test]
+fn error_kinds_classify_the_taxonomy() {
+    let kind = |src: &str| assemble(src).unwrap_err().kind();
+    assert_eq!(kind("a:\na:\n exit"), AsmErrorKind::DuplicateLabel);
+    assert_eq!(kind("b missing\n exit"), AsmErrorKind::UndefinedLabel);
+    assert_eq!(kind("frobnicate r1, r2, r3"), AsmErrorKind::UnknownMnemonic);
+    assert_eq!(kind("xloop.zz top, r2, r3\ntop: exit"), AsmErrorKind::UnknownMnemonic);
+    assert_eq!(kind("addu r1, r2"), AsmErrorKind::OperandCount);
+    assert_eq!(kind("addu r1, r99, r2"), AsmErrorKind::MalformedOperand);
+    assert_eq!(kind("li r1, zebra"), AsmErrorKind::MalformedOperand);
+    assert_eq!(kind("lw r1, r2"), AsmErrorKind::MalformedOperand);
+    assert_eq!(kind("addu r1, , r2"), AsmErrorKind::MalformedOperand);
+    assert_eq!(kind("addiu r1, r2, 70000"), AsmErrorKind::OutOfRange);
+    assert_eq!(kind("lui r1, 0x10000"), AsmErrorKind::OutOfRange);
+    assert_eq!(kind("addiu.xi r1, r2, 1"), AsmErrorKind::Constraint);
+    assert_eq!(kind("top: xloop.uc top2, r2, r3\ntop2: exit"), AsmErrorKind::Constraint);
+}
+
+#[test]
+fn error_lines_point_at_the_offender() {
+    let e = assemble("nop\nnop\nbogus r1\nnop").unwrap_err();
+    assert_eq!(e.line(), 3);
+    assert_eq!(e.kind(), AsmErrorKind::UnknownMnemonic);
+}

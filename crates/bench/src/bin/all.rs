@@ -58,4 +58,23 @@ fn main() {
         "[cache] {} lookups, {} hits, {} simulations — each unique point simulated exactly once",
         stats.lookups, stats.hits, stats.sims
     );
+
+    // Quarantined points: every artifact above still rendered (with
+    // placeholder numbers at the sick points), but the run as a whole must
+    // fail loudly so CI catches it.
+    let failures = runner.failures();
+    if !failures.is_empty() {
+        eprintln!("[errors] {} simulation point(s) quarantined:", failures.len());
+        for f in &failures {
+            eprintln!(
+                "[errors]   {} on {:?} ({:?}{}): {}",
+                f.key.kernel,
+                f.key.config,
+                f.key.mode,
+                if f.key.gp_lowered { ", gp-lowered" } else { "" },
+                f.message
+            );
+        }
+        std::process::exit(1);
+    }
 }

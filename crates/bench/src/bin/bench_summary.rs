@@ -37,17 +37,37 @@ fn main() {
     ];
 
     let mut points = Vec::new();
+    let mut errors: Vec<String> = Vec::new();
     for kernel in table2() {
         for (config, mode) in design_points {
             let t = Instant::now();
-            let r = run_kernel(kernel, config, mode);
-            points.push(Point {
-                kernel: kernel.name,
-                config: config.name(),
-                mode: mode_tag(mode),
-                wall_s: t.elapsed().as_secs_f64(),
-                sim_cycles: r.cycles,
-            });
+            // Panic firewall: a sick point lands in the `errors` section of
+            // the JSON instead of killing the whole summary.
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_kernel(kernel, config, mode)
+            }));
+            match caught {
+                Ok(r) => points.push(Point {
+                    kernel: kernel.name,
+                    config: config.name(),
+                    mode: mode_tag(mode),
+                    wall_s: t.elapsed().as_secs_f64(),
+                    sim_cycles: r.cycles,
+                }),
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    errors.push(format!(
+                        "{} on {} ({}): {msg}",
+                        kernel.name,
+                        config.name(),
+                        mode_tag(mode)
+                    ));
+                }
+            }
         }
     }
 
@@ -68,11 +88,21 @@ fn main() {
     }
     let render_s = t.elapsed().as_secs_f64();
     let regen_s = regen_total.elapsed().as_secs_f64();
+    for f in runner.failures() {
+        errors.push(format!("regen {} ({:?}): {}", f.key.kernel, f.key.mode, f.message));
+    }
 
     let date = bench_date();
-    let json = render_json(&date, &points, info.unique_points, simulate_s, render_s, regen_s);
+    let json =
+        render_json(&date, &points, &errors, info.unique_points, simulate_s, render_s, regen_s);
     let path = workspace_root().join(format!("BENCH_{date}.json"));
     std::fs::write(&path, &json).expect("write BENCH json");
+    if !errors.is_empty() {
+        eprintln!(
+            "bench-summary: {} point(s) quarantined (see \"errors\" in the JSON)",
+            errors.len()
+        );
+    }
 
     let total_wall: f64 = points.iter().map(|p| p.wall_s).sum();
     let total_cycles: u64 = points.iter().map(|p| p.sim_cycles).sum();
@@ -93,9 +123,22 @@ fn mode_tag(mode: ExecMode) -> &'static str {
     }
 }
 
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
 fn render_json(
     date: &str,
     points: &[Point],
+    errors: &[String],
     unique_points: usize,
     simulate_s: f64,
     render_s: f64,
@@ -120,6 +163,11 @@ fn render_json(
         );
     }
     let _ = writeln!(s, "  ],");
+    let _ = writeln!(
+        s,
+        "  \"errors\": [{}],",
+        errors.iter().map(|e| format!("\"{}\"", json_escape(e))).collect::<Vec<_>>().join(", ")
+    );
     let total_wall: f64 = points.iter().map(|p| p.wall_s).sum();
     let total_cycles: u64 = points.iter().map(|p| p.sim_cycles).sum();
     let _ = writeln!(

@@ -32,9 +32,9 @@ use std::path::PathBuf;
 
 use xloops_asm::{lower_gp, Program};
 use xloops_kernels::Kernel;
-use xloops_sim::{ExecMode, System, SystemConfig, SystemStats};
+use xloops_sim::{ExecMode, Supervisor, SupervisorConfig, System, SystemConfig, SystemStats};
 
-pub use runner::{render_artifact, run_reports, Runner};
+pub use runner::{render_artifact, run_reports, RunFailure, Runner};
 
 /// Result of one kernel execution.
 #[derive(Clone, Debug)]
@@ -45,6 +45,22 @@ pub struct RunResult {
     pub energy_nj: f64,
     /// Full system statistics.
     pub stats: SystemStats,
+    /// `Some(diagnosis)` when the harness quarantined this point instead
+    /// of completing it (a panic or simulation error caught by the
+    /// hardened executor); the numeric fields are then placeholders.
+    pub error: Option<String>,
+}
+
+/// The supervisor policy requested through the environment, if any:
+/// setting `XLOOPS_SUPERVISE=1`, `XLOOPS_CHECKPOINT_INTERVAL`, or
+/// `XLOOPS_CYCLE_BUDGET` routes every harness simulation through a
+/// [`Supervisor`]. Off by default so artifact runs are bit-for-bit
+/// unaffected by the supervisor's checkpoint counters.
+fn supervisor_from_env() -> Option<SupervisorConfig> {
+    let on = std::env::var("XLOOPS_SUPERVISE").is_ok_and(|v| v == "1")
+        || std::env::var_os("XLOOPS_CHECKPOINT_INTERVAL").is_some()
+        || std::env::var_os("XLOOPS_CYCLE_BUDGET").is_some();
+    on.then(SupervisorConfig::from_env)
 }
 
 /// Runs `program` for `kernel` on a fresh system and verifies the result;
@@ -59,13 +75,15 @@ pub(crate) fn run_program(
 ) -> RunResult {
     let mut sys = System::new(config);
     kernel.init_memory(sys.mem_mut());
-    let stats = sys
-        .run(program, mode)
-        .unwrap_or_else(|e| panic!("{} {what} on {}: {e}", kernel.name, config.name()));
+    let run = match supervisor_from_env() {
+        Some(cfg) => Supervisor::new(&mut sys, cfg).run(program, mode),
+        None => sys.run(program, mode),
+    };
+    let stats = run.unwrap_or_else(|e| panic!("{} {what} on {}: {e}", kernel.name, config.name()));
     kernel
         .verify(sys.mem())
         .unwrap_or_else(|e| panic!("{} {what} on {} ({mode:?}): {e}", kernel.name, config.name()));
-    RunResult { cycles: stats.cycles, energy_nj: stats.energy_nj, stats }
+    RunResult { cycles: stats.cycles, energy_nj: stats.energy_nj, stats, error: None }
 }
 
 /// Runs a kernel's XLOOPS binary in the given mode.

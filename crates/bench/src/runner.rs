@@ -22,11 +22,24 @@
 //! so results are independent of worker scheduling: parallel and serial
 //! runs produce byte-identical artifacts.
 //!
+//! Every execution is hardened: a panicking simulation point (bad kernel,
+//! simulator bug, exceeded cycle budget under `XLOOPS_CYCLE_BUDGET`) is
+//! caught with [`std::panic::catch_unwind`], quarantined into the runner's
+//! failure list, and replaced by a placeholder [`RunResult`] carrying the
+//! diagnosis in [`RunResult::error`] — one sick point cannot take down a
+//! whole artifact regeneration, and `--bin all` reports the quarantined
+//! set (and exits nonzero) instead of dying mid-render.
+//!
 //! Environment:
 //! - `XLOOPS_BENCH_SERIAL=1` — execute the identical job list serially.
 //! - `XLOOPS_BENCH_THREADS=N` — override the worker-thread count.
+//! - `XLOOPS_SUPERVISE=1` / `XLOOPS_CHECKPOINT_INTERVAL` /
+//!   `XLOOPS_CYCLE_BUDGET` — route every simulation through a
+//!   [`xloops_sim::Supervisor`] (checkpointed fault recovery, per-kernel
+//!   cycle budgets).
 
 use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -73,6 +86,16 @@ pub struct CacheStats {
     pub sims: u64,
 }
 
+/// One quarantined simulation point: its identity plus the panic message
+/// (or simulation-error diagnosis) that took it down.
+#[derive(Clone, Debug)]
+pub struct RunFailure {
+    /// Identity of the failed point.
+    pub key: RunKey,
+    /// The diagnosis (panic payload).
+    pub message: String,
+}
+
 /// Result of [`Runner::prefill`].
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PrefillInfo {
@@ -94,6 +117,7 @@ pub struct Runner {
     /// GP-lowered programs, cached per kernel (all baseline configs of a
     /// kernel share one lowering).
     gp_programs: Mutex<HashMap<&'static str, Arc<Program>>>,
+    failures: Mutex<Vec<RunFailure>>,
     lookups: AtomicU64,
     hits: AtomicU64,
     sims: AtomicU64,
@@ -114,6 +138,7 @@ impl Runner {
             pending: Mutex::new((Vec::new(), HashSet::new())),
             cache: Mutex::new(HashMap::new()),
             gp_programs: Mutex::new(HashMap::new()),
+            failures: Mutex::new(Vec::new()),
             lookups: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             sims: AtomicU64::new(0),
@@ -156,17 +181,48 @@ impl Runner {
             }
             // Placeholder; reports guard divisions, and no report chooses
             // *which* runs to request based on simulated values.
-            return RunResult { cycles: 1, energy_nj: 1.0, stats: SystemStats::default() };
+            return RunResult {
+                cycles: 1,
+                energy_nj: 1.0,
+                stats: SystemStats::default(),
+                error: None,
+            };
         }
         self.lookups.fetch_add(1, Ordering::Relaxed);
         if let Some(hit) = self.cache.lock().unwrap().get(&job.key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return hit.clone();
         }
-        let result = self.execute(&job);
+        let result = self.execute_caught(&job);
         self.sims.fetch_add(1, Ordering::Relaxed);
         self.cache.lock().unwrap().insert(job.key, result.clone());
         result
+    }
+
+    /// [`Runner::execute`] behind a panic firewall: a point that panics is
+    /// quarantined into the failure list and yields a placeholder result
+    /// carrying the diagnosis, so the rest of the job list still runs.
+    fn execute_caught(&self, job: &Job) -> RunResult {
+        match catch_unwind(AssertUnwindSafe(|| self.execute(job))) {
+            Ok(result) => result,
+            Err(payload) => {
+                let message = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                self.failures
+                    .lock()
+                    .unwrap()
+                    .push(RunFailure { key: job.key, message: message.clone() });
+                RunResult {
+                    cycles: 1,
+                    energy_nj: 1.0,
+                    stats: SystemStats::default(),
+                    error: Some(message),
+                }
+            }
+        }
     }
 
     /// Simulates one job on a fresh system.
@@ -222,7 +278,7 @@ impl Runner {
             let mut timings = Vec::new();
             for job in &jobs {
                 let t = std::time::Instant::now();
-                let result = self.execute(job);
+                let result = self.execute_caught(job);
                 if profile {
                     timings.push((t.elapsed(), job.key));
                 }
@@ -249,7 +305,7 @@ impl Runner {
                     scope.spawn(|| loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(job) = jobs.get(i) else { break };
-                        let result = self.execute(job);
+                        let result = self.execute_caught(job);
                         self.sims.fetch_add(1, Ordering::Relaxed);
                         self.cache.lock().unwrap().insert(job.key, result);
                     });
@@ -263,6 +319,11 @@ impl Runner {
     /// Number of distinct keys currently cached.
     pub fn cached_points(&self) -> usize {
         self.cache.lock().unwrap().len()
+    }
+
+    /// The quarantined simulation points (empty on a healthy run).
+    pub fn failures(&self) -> Vec<RunFailure> {
+        self.failures.lock().unwrap().clone()
     }
 
     /// Snapshot of the traffic counters.
@@ -392,6 +453,28 @@ mod tests {
         assert_ne!(base, RunKey { mode: ExecMode::Traditional, ..base });
         assert_ne!(base, RunKey { gp_lowered: true, ..base });
         assert_ne!(base, RunKey { kernel: "other", ..base });
+    }
+
+    #[test]
+    fn panicking_point_is_quarantined_not_fatal() {
+        // An unknown kernel name panics inside `execute`; the hardened
+        // executor must quarantine it instead of unwinding the harness.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // quiet the expected panic
+        let runner = Runner::new();
+        let key = RunKey {
+            kernel: "no-such-kernel",
+            config: SystemConfig::io().key(),
+            mode: ExecMode::Traditional,
+            gp_lowered: false,
+        };
+        let r = runner.execute_caught(&Job { key, config: SystemConfig::io() });
+        std::panic::set_hook(hook);
+        assert!(r.error.as_deref().is_some_and(|m| m.contains("no-such-kernel")), "{r:?}");
+        let failures = runner.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].key, key);
+        assert!(failures[0].message.contains("no-such-kernel"));
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod state;
 
 pub use semantics::{
     alu_imm_value, apply, apply_direct, branch_target, classify, load, store, xi_mivt, xi_step,
-    Effect, EffectClass, MemPort,
+    ApplyError, Effect, EffectClass, ExecFault, MemPort,
 };
 pub use state::ArchState;
 
@@ -139,6 +139,13 @@ pub enum ExecError {
     InvalidPc(u32),
     /// The step budget was exhausted before `exit` (likely livelock).
     StepLimit(u64),
+    /// An instruction faulted architecturally (misaligned access).
+    Fault {
+        /// pc of the faulting instruction.
+        pc: u32,
+        /// The fault itself.
+        fault: semantics::ExecFault,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -146,6 +153,7 @@ impl fmt::Display for ExecError {
         match self {
             ExecError::InvalidPc(pc) => write!(f, "pc {pc:#x} is outside the program"),
             ExecError::StepLimit(n) => write!(f, "program did not exit within {n} steps"),
+            ExecError::Fault { pc, fault } => write!(f, "fault at pc {pc:#x}: {fault}"),
         }
     }
 }
@@ -219,11 +227,12 @@ impl Interp {
     ///
     /// # Errors
     ///
-    /// Returns [`ExecError::InvalidPc`] if the pc is outside the program.
+    /// Returns [`ExecError::InvalidPc`] if the pc is outside the program,
+    /// or [`ExecError::Fault`] if the instruction faults.
     pub fn step(&mut self, program: &Program, mem: &mut Memory) -> Result<Step, ExecError> {
         let pc = self.state.pc;
         let instr = program.fetch(pc).ok_or(ExecError::InvalidPc(pc))?;
-        let effect = self.exec(instr, mem);
+        let effect = self.exec(instr, mem)?;
         Ok(if effect.class == EffectClass::Exit { Step::Exit } else { Step::Continue })
     }
 
@@ -231,11 +240,17 @@ impl Interp {
     /// its [`Effect`]. Callers that already fetched (to inspect the
     /// instruction before executing, like the timing models) use this to
     /// avoid a second fetch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Fault`] if the instruction faults (no state
+    /// has changed in that case).
     #[inline]
-    pub fn exec(&mut self, instr: Instr, mem: &mut Memory) -> Effect {
-        let effect = semantics::apply_direct(instr, &mut self.state, mem);
+    pub fn exec(&mut self, instr: Instr, mem: &mut Memory) -> Result<Effect, ExecError> {
+        let effect = semantics::apply_direct(instr, &mut self.state, mem)
+            .map_err(|fault| ExecError::Fault { pc: self.state.pc, fault })?;
         self.mix.count(effect.class, effect.taken);
-        effect
+        Ok(effect)
     }
 
     /// Runs until `exit` or until `max_steps` instructions have retired.
@@ -479,7 +494,7 @@ pub fn trace_step(
 ) -> Result<(Step, TraceEntry), ExecError> {
     let pc = interp.pc();
     let instr = program.fetch(pc).ok_or(ExecError::InvalidPc(pc))?;
-    let effect = interp.exec(instr, mem);
+    let effect = interp.exec(instr, mem)?;
     let step = if effect.class == EffectClass::Exit { Step::Exit } else { Step::Continue };
     let wrote = effect.wrote.filter(|(r, _)| !r.is_zero());
     let mem_effect = effect

@@ -27,11 +27,56 @@
 //! engines choose a formula rather than re-implement one.
 
 use std::convert::Infallible;
+use std::fmt;
 
 use xloops_isa::{AluOp, AmoOp, Instr, LlfuOp, MemOp, Reg, XiKind, INSTR_BYTES};
 use xloops_mem::Memory;
 
 use crate::state::ArchState;
+
+/// An architectural fault raised by the semantics layer itself, before any
+/// memory port is consulted. Faults are program bugs (or injected faults
+/// upstream), not structural refusals: a timing model must surface them,
+/// never retry them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecFault {
+    /// A halfword/word/atomic access whose address is not naturally
+    /// aligned. The ISA defines no misaligned accesses.
+    Misaligned {
+        /// Effective address of the access.
+        addr: u32,
+        /// Required alignment in bytes (2 or 4).
+        align: u32,
+        /// Whether the access was a store (or atomic).
+        store: bool,
+    },
+}
+
+impl fmt::Display for ExecFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ExecFault::Misaligned { addr, align, store } => write!(
+                f,
+                "misaligned {} at {addr:#x} (requires {align}-byte alignment)",
+                if store { "store" } else { "load" }
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecFault {}
+
+/// Why [`apply`] could not execute an instruction. Either way **no**
+/// architectural state has changed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ApplyError<B> {
+    /// The memory port refused the access this cycle (structural hazard):
+    /// retry later reproduces the instruction exactly.
+    Blocked(B),
+    /// The instruction itself is illegal to execute (e.g. a misaligned
+    /// access): retrying can never succeed.
+    Fault(ExecFault),
+}
 
 /// Where an instruction's memory operation goes. `Memory` itself is the
 /// direct architectural port used by the functional interpreter; timing
@@ -157,15 +202,18 @@ pub struct Effect {
 ///
 /// # Errors
 ///
-/// Propagates the memory port's refusal, in which case **no** architectural
-/// state has changed (each instruction performs at most one memory
-/// operation, and all register/pc updates happen after it succeeds).
+/// [`ApplyError::Blocked`] propagates the memory port's refusal;
+/// [`ApplyError::Fault`] reports an architectural fault (a misaligned
+/// halfword/word/atomic access, checked *before* the port is consulted).
+/// In both cases **no** architectural state has changed (each instruction
+/// performs at most one memory operation, and all register/pc updates
+/// happen after it succeeds).
 #[inline]
 pub fn apply<M: MemPort>(
     instr: Instr,
     state: &mut ArchState,
     mem: &mut M,
-) -> Result<Effect, M::Block> {
+) -> Result<Effect, ApplyError<M::Block>> {
     let pc = state.pc;
     let mut next_pc = pc.wrapping_add(INSTR_BYTES);
     let mut wrote = None;
@@ -196,19 +244,34 @@ pub fn apply<M: MemPort>(
         Instr::Amo { op, rd, addr, src } => {
             let a = state.reg(addr);
             mem_addr = Some(a);
-            let old = mem.amo(op, a, state.reg(src))?;
+            if !a.is_multiple_of(4) {
+                return Err(ApplyError::Fault(ExecFault::Misaligned {
+                    addr: a,
+                    align: 4,
+                    store: true,
+                }));
+            }
+            let old = mem.amo(op, a, state.reg(src)).map_err(ApplyError::Blocked)?;
             state.set_reg(rd, old);
             wrote = Some((rd, old));
         }
         Instr::Mem { op, data, base, offset } => {
             let addr = state.reg(base).wrapping_add(offset as i32 as u32);
             mem_addr = Some(addr);
+            let align = op.size();
+            if align > 1 && !addr.is_multiple_of(align) {
+                return Err(ApplyError::Fault(ExecFault::Misaligned {
+                    addr,
+                    align,
+                    store: !op.is_load(),
+                }));
+            }
             if op.is_load() {
-                let v = mem.load(op, addr)?;
+                let v = mem.load(op, addr).map_err(ApplyError::Blocked)?;
                 state.set_reg(data, v);
                 wrote = Some((data, v));
             } else {
-                mem.store(op, addr, state.reg(data))?;
+                mem.store(op, addr, state.reg(data)).map_err(ApplyError::Blocked)?;
             }
         }
         Instr::Branch { cond, rs, rt, offset } => {
@@ -262,12 +325,23 @@ pub fn apply<M: MemPort>(
     Ok(Effect { class, wrote, mem_addr, taken, next_pc })
 }
 
-/// [`apply`] against plain [`Memory`], which can never refuse an access.
+/// [`apply`] against plain [`Memory`], which can never refuse an access —
+/// the only remaining failure is an architectural [`ExecFault`].
+///
+/// # Errors
+///
+/// Returns the fault when the instruction is architecturally illegal
+/// (misaligned access); no state has changed in that case.
 #[inline]
-pub fn apply_direct(instr: Instr, state: &mut ArchState, mem: &mut Memory) -> Effect {
+pub fn apply_direct(
+    instr: Instr,
+    state: &mut ArchState,
+    mem: &mut Memory,
+) -> Result<Effect, ExecFault> {
     match apply(instr, state, mem) {
-        Ok(effect) => effect,
-        Err(never) => match never {},
+        Ok(effect) => Ok(effect),
+        Err(ApplyError::Fault(fault)) => Err(fault),
+        Err(ApplyError::Blocked(never)) => match never {},
     }
 }
 
@@ -360,9 +434,44 @@ mod tests {
             Instr::Mem { op: MemOp::Sw, data: r(2), base: r(1), offset: 4 },
             Instr::Amo { op: AmoOp::Add, rd: r(3), addr: r(1), src: r(2) },
         ] {
-            assert_eq!(apply(instr, &mut state, &mut Refusing), Err(()));
+            assert_eq!(apply(instr, &mut state, &mut Refusing), Err(ApplyError::Blocked(())));
             assert_eq!(state, before, "refused {instr} must not change state");
         }
+    }
+
+    #[test]
+    fn misaligned_access_faults_with_no_side_effects() {
+        let r = Reg::new;
+        let mut state = ArchState::new();
+        state.set_reg(r(1), 0x102); // word-misaligned, halfword-aligned
+        state.set_reg(r(2), 7);
+        state.pc = 12;
+        let before = state.clone();
+        let mut mem = Memory::new();
+        for (instr, fault) in [
+            (
+                Instr::Mem { op: MemOp::Lw, data: r(2), base: r(1), offset: 1 },
+                ExecFault::Misaligned { addr: 0x103, align: 4, store: false },
+            ),
+            (
+                Instr::Mem { op: MemOp::Sh, data: r(2), base: r(1), offset: 1 },
+                ExecFault::Misaligned { addr: 0x103, align: 2, store: true },
+            ),
+            (
+                Instr::Amo { op: AmoOp::Add, rd: r(3), addr: r(1), src: r(2) },
+                ExecFault::Misaligned { addr: 0x102, align: 4, store: true },
+            ),
+        ] {
+            assert_eq!(apply_direct(instr, &mut state, &mut mem), Err(fault));
+            assert_eq!(state, before, "faulted {instr} must not change state");
+        }
+        // Byte accesses and aligned halfwords at the same base are fine.
+        apply_direct(
+            Instr::Mem { op: MemOp::Lbu, data: r(2), base: r(1), offset: 1 },
+            &mut state,
+            &mut mem,
+        )
+        .unwrap();
     }
 
     #[test]
@@ -370,7 +479,7 @@ mod tests {
         let mut state = ArchState::new();
         let mut mem = Memory::new();
         let instr = Instr::AluImm { op: AluOp::Addu, rd: Reg::ZERO, rs: Reg::ZERO, imm: 55 };
-        let eff = apply_direct(instr, &mut state, &mut mem);
+        let eff = apply_direct(instr, &mut state, &mut mem).unwrap();
         assert_eq!(eff.wrote, Some((Reg::ZERO, 55)));
         assert_eq!(state.reg(Reg::ZERO), 0);
     }
@@ -380,7 +489,7 @@ mod tests {
         let mut state = ArchState::new();
         state.pc = 20;
         let mut mem = Memory::new();
-        let eff = apply_direct(Instr::Exit, &mut state, &mut mem);
+        let eff = apply_direct(Instr::Exit, &mut state, &mut mem).unwrap();
         assert_eq!(eff.class, EffectClass::Exit);
         assert_eq!(state.pc, 20);
     }
@@ -413,7 +522,7 @@ mod tests {
             Instr::Jump { link: false, target_word: 0 },
         ] {
             let mut state = ArchState::new();
-            let eff = apply_direct(instr, &mut state, &mut mem);
+            let eff = apply_direct(instr, &mut state, &mut mem).unwrap();
             assert_eq!(eff.class, classify(instr));
         }
     }

@@ -283,8 +283,8 @@ impl GppCore {
     ///
     /// # Errors
     ///
-    /// Propagates [`ExecError`] from the functional core (invalid pc or
-    /// step-limit exhaustion).
+    /// Propagates [`ExecError`] from the functional core (invalid pc,
+    /// step-limit exhaustion, or an architectural fault).
     pub fn run(
         &mut self,
         program: &Program,
@@ -299,16 +299,17 @@ impl GppCore {
             let instr = program.fetch(pc).ok_or(ExecError::InvalidPc(pc))?;
 
             if instr.is_xloop() && opts.stop_at_taken_xloop {
-                let [idx, bound] = instr.srcs().map(|r| r.expect("xloop reads idx and bound"));
-                let taken = (self.interp.reg(idx) as i32) < (self.interp.reg(bound) as i32);
-                if taken && !opts.ignore_pcs.contains(&pc) {
-                    return Ok(StopReason::XloopTaken { pc });
+                if let [Some(idx), Some(bound)] = instr.srcs() {
+                    let taken = (self.interp.reg(idx) as i32) < (self.interp.reg(bound) as i32);
+                    if taken && !opts.ignore_pcs.contains(&pc) {
+                        return Ok(StopReason::XloopTaken { pc });
+                    }
                 }
             }
 
             // Semantics first (what happened), then timing (when): the
             // effect carries every pre-state fact the engines consume.
-            let effect = self.interp.exec(instr, mem);
+            let effect = self.interp.exec(instr, mem)?;
             let ev = Event {
                 class: effect.class,
                 pc,

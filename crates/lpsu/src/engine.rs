@@ -17,11 +17,12 @@
 use std::fmt;
 
 use xloops_func::{apply, classify, load, store, xi_mivt, xi_step};
-use xloops_func::{ArchState, Effect, EffectClass, MemPort};
+use xloops_func::{ApplyError, ArchState, Effect, EffectClass, ExecFault, MemPort};
 use xloops_isa::{AmoOp, Instr, MemOp, Reg, INSTR_BYTES};
 use xloops_mem::{Cache, FxHashMap, Memory, SharedPort, SharedUnit};
 
 use crate::config::LpsuConfig;
+use crate::fault::FaultInjector;
 use crate::lsq::Lsq;
 use crate::scan::ScanResult;
 use crate::stats::LpsuStats;
@@ -53,20 +54,56 @@ pub enum LpsuError {
     /// The engine can never make progress again: at least one context
     /// holds an uncommitted iteration, no context can issue, and no
     /// pending event (register ready, CIB publish, LLFU release, cache
-    /// refill) exists to unblock one. The naive stepper reports this only
-    /// when the cycle cap expires; the event-driven stepper detects it at
-    /// the cycle where progress stops.
+    /// refill) exists to unblock one. Both steppers detect this exactly,
+    /// at the cycle where progress stops.
     NoForwardProgress {
         /// Cycle at which the wedge was detected.
         cycle: u64,
+        /// pc of the loop's `xloop` instruction.
+        pc: u32,
+        /// Number of contexts holding a stalled, uncommitted iteration.
+        stalled: u32,
+    },
+    /// The fault injector raised a spurious engine fault.
+    Injected {
+        /// Cycle at which the fault fired.
+        cycle: u64,
+    },
+    /// A lane instruction faulted architecturally (misaligned access).
+    Fault {
+        /// Cycle of the faulting issue.
+        cycle: u64,
+        /// The fault itself.
+        fault: ExecFault,
+    },
+    /// The last committed iteration never published a cross-iteration
+    /// register (a dropped CIB publish): the live-out value is lost.
+    MissingCir {
+        /// The iteration whose publish is missing.
+        iter: u64,
+        /// The unpublished cross-iteration register.
+        reg: Reg,
     },
 }
 
 impl fmt::Display for LpsuError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LpsuError::NoForwardProgress { cycle } => {
-                write!(f, "LPSU made no forward progress (wedged at cycle {cycle})")
+            LpsuError::NoForwardProgress { cycle, pc, stalled } => {
+                write!(
+                    f,
+                    "LPSU made no forward progress (loop pc {pc:#x}, {stalled} stalled \
+                     contexts, wedged at cycle {cycle})"
+                )
+            }
+            LpsuError::Injected { cycle } => {
+                write!(f, "injected engine fault at cycle {cycle}")
+            }
+            LpsuError::Fault { cycle, fault } => {
+                write!(f, "lane fault at cycle {cycle}: {fault}")
+            }
+            LpsuError::MissingCir { iter, reg } => {
+                write!(f, "iteration {iter} never published cross-iteration register {reg}")
             }
         }
     }
@@ -292,7 +329,30 @@ impl Lpsu {
         dcache: &mut Cache,
         max_iters: Option<u64>,
     ) -> Result<LpsuResult, LpsuError> {
-        Engine::new(&self.config, scan, mem, dcache, max_iters).run(stepper)
+        self.execute_with(stepper, scan, mem, dcache, max_iters, None)
+    }
+
+    /// [`execute_stepper`](Lpsu::execute_stepper) with an optional
+    /// [`FaultInjector`] threaded into the engine's port-arbitration, CIB
+    /// publish, and scheduling hooks. `None` injects nothing (identical to
+    /// `execute_stepper`). The supervisor uses this entry point to exercise
+    /// recovery paths deterministically.
+    ///
+    /// # Errors
+    ///
+    /// Any [`LpsuError`]: injected faults surface as
+    /// [`LpsuError::Injected`], injected wedges (dropped CIB publishes) as
+    /// [`LpsuError::NoForwardProgress`] or [`LpsuError::MissingCir`].
+    pub fn execute_with(
+        &self,
+        stepper: Stepper,
+        scan: &ScanResult,
+        mem: &mut Memory,
+        dcache: &mut Cache,
+        max_iters: Option<u64>,
+        inj: Option<&mut FaultInjector>,
+    ) -> Result<LpsuResult, LpsuError> {
+        Engine::new(&self.config, scan, mem, dcache, max_iters, inj).run(stepper)
     }
 }
 
@@ -343,6 +403,12 @@ struct Engine<'a> {
     /// Bumped on every CIR-channel mutation; lets a blocked context prove
     /// its memoized failed lookup is still valid without re-hashing.
     cir_epoch: u64,
+    /// Optional fault injector consulted at the port-arbitration, CIB
+    /// publish, and scheduling hooks.
+    inj: Option<&'a mut FaultInjector>,
+    /// An architectural fault raised by a lane mid-pass; surfaced by the
+    /// run loop at the end of the pass.
+    pending_fault: Option<ExecFault>,
 }
 
 impl<'a> Engine<'a> {
@@ -352,6 +418,7 @@ impl<'a> Engine<'a> {
         mem: &'a mut Memory,
         dcache: &'a mut Cache,
         max_iters: Option<u64>,
+        inj: Option<&'a mut FaultInjector>,
     ) -> Engine<'a> {
         let orders_mem = scan.pattern.data.orders_memory();
         let orders_reg = scan.pattern.data.orders_registers();
@@ -434,7 +501,30 @@ impl<'a> Engine<'a> {
                 64
             },
             cir_epoch: 0,
+            inj,
+            pending_fault: None,
         }
+    }
+
+    /// The wedge error with its diagnostics (loop pc, stalled contexts).
+    fn wedge(&self) -> LpsuError {
+        LpsuError::NoForwardProgress {
+            cycle: self.cycle,
+            pc: self.scan.xloop_pc,
+            stalled: self.ctxs.iter().filter(|c| c.iter.is_some()).count() as u32,
+        }
+    }
+
+    /// Injected spurious fault due at the current cycle?
+    fn injected_fault_due(&mut self) -> bool {
+        let cycle = self.cycle;
+        self.inj.as_deref_mut().is_some_and(|i| i.spurious_due(cycle))
+    }
+
+    /// Injected memory-port refusal active at the current cycle?
+    fn inj_refuses_mem(&mut self) -> bool {
+        let cycle = self.cycle;
+        self.inj.as_deref_mut().is_some_and(|i| i.refuse_mem(cycle))
     }
 
     /// Livelock backstop for the naive stepper (the event-driven stepper
@@ -447,22 +537,18 @@ impl<'a> Engine<'a> {
             Stepper::EventDriven => self.run_event()?,
         }
         self.stats.iterations = self.committed;
-        let cir_finals = self
-            .scan
-            .cirs
-            .iter()
-            .map(|c| {
-                let v = if self.committed == 0 {
-                    self.scan.live_ins[c.reg.index()]
-                } else {
-                    self.chan
-                        .get(&(self.committed as i64 - 1, c.reg.index() as u8))
-                        .expect("last committed iteration published every CIR")
-                        .0
-                };
-                (c.reg, v)
-            })
-            .collect();
+        let mut cir_finals = Vec::with_capacity(self.scan.cirs.len());
+        for c in &self.scan.cirs {
+            let v = if self.committed == 0 {
+                self.scan.live_ins[c.reg.index()]
+            } else {
+                self.chan
+                    .get(&(self.committed as i64 - 1, c.reg.index() as u8))
+                    .ok_or(LpsuError::MissingCir { iter: self.committed - 1, reg: c.reg })?
+                    .0
+            };
+            cir_finals.push((c.reg, v));
+        }
         Ok(LpsuResult {
             cycles: self.cycle,
             iterations: self.committed,
@@ -473,13 +559,25 @@ impl<'a> Engine<'a> {
         })
     }
 
-    /// The reference main loop: one pass per simulated cycle.
+    /// The reference main loop: one pass per simulated cycle. Wedge
+    /// detection mirrors the event-driven stepper exactly: a no-progress
+    /// pass with no pending wakeup can never unwedge (so polling on is
+    /// pointless), and both steppers report the same wedge cycle.
     fn run_naive(&mut self) -> Result<(), LpsuError> {
         while self.any_work() {
-            self.step_pass();
+            if self.injected_fault_due() {
+                return Err(LpsuError::Injected { cycle: self.cycle });
+            }
+            let progressed = self.step_pass();
+            if let Some(fault) = self.pending_fault {
+                return Err(LpsuError::Fault { cycle: self.cycle, fault });
+            }
+            if !progressed && self.next_wakeup().is_none() {
+                return Err(self.wedge());
+            }
             self.advance_one();
             if self.cycle >= Self::CYCLE_CAP {
-                return Err(LpsuError::NoForwardProgress { cycle: self.cycle });
+                return Err(self.wedge());
             }
         }
         Ok(())
@@ -497,15 +595,22 @@ impl<'a> Engine<'a> {
     /// can make. No wakeup at all means the engine is wedged.
     fn run_event(&mut self) -> Result<(), LpsuError> {
         while self.any_work() {
-            if self.step_pass() {
+            if self.injected_fault_due() {
+                return Err(LpsuError::Injected { cycle: self.cycle });
+            }
+            let progressed = self.step_pass();
+            if let Some(fault) = self.pending_fault {
+                return Err(LpsuError::Fault { cycle: self.cycle, fault });
+            }
+            if progressed {
                 self.advance_one();
                 if self.cycle >= Self::CYCLE_CAP {
-                    return Err(LpsuError::NoForwardProgress { cycle: self.cycle });
+                    return Err(self.wedge());
                 }
                 continue;
             }
             let Some(next) = self.next_wakeup() else {
-                return Err(LpsuError::NoForwardProgress { cycle: self.cycle });
+                return Err(self.wedge());
             };
             debug_assert!(next > self.cycle, "wakeup must move time forward");
             self.skip_to(next);
@@ -587,6 +692,15 @@ impl<'a> Engine<'a> {
         }
         if let Some(t) = self.dcache.next_event(c) {
             best = best.min(t);
+        }
+        // Injected state changes (refusal-window edges, pending spurious
+        // stamps) are wakeups too: an injected stall must be re-evaluated,
+        // never misdiagnosed as a wedge, and a pending spurious fault must
+        // fire at its exact stamp under both steppers.
+        if let Some(inj) = &self.inj {
+            if let Some(t) = inj.next_wakeup(c) {
+                best = best.min(t);
+            }
         }
         (best != u64::MAX).then_some(best)
     }
@@ -679,6 +793,9 @@ impl<'a> Engine<'a> {
         // become non-speculative first drains its buffered stores in
         // program order, one per cycle through the shared port.
         if self.orders_mem && iter == self.frontier && self.ctxs[ci].lsq.store_count() > 0 {
+            if self.inj_refuses_mem() {
+                return Err(Block::MemPort);
+            }
             if !self.port.try_issue(self.cycle) {
                 return Err(Block::MemPort);
             }
@@ -792,6 +909,13 @@ impl<'a> Engine<'a> {
     }
 
     fn publish_cir(&mut self, iter: u64, reg: Reg, value: u32) {
+        // An injected dropped publish vanishes silently: consumers wait on
+        // a value that never arrives (wedge) or the live-out goes missing
+        // at the end of the phase (`MissingCir`).
+        let cycle = self.cycle;
+        if self.inj.as_deref_mut().is_some_and(|i| i.drop_publish(cycle)) {
+            return;
+        }
         self.cir_epoch += 1;
         self.chan.insert(
             (iter as i64, reg.index() as u8),
@@ -926,6 +1050,12 @@ impl<'a> Engine<'a> {
         if m.is_mem && !self.orders_mem && self.port.is_exhausted(self.cycle) {
             return Err(Block::MemPort);
         }
+        // Injected port refusals hit every issue attempt of the window,
+        // before the real port is consulted (they must not consume real
+        // bandwidth, which would perturb arbitration for other lanes).
+        if m.is_mem && self.inj_refuses_mem() {
+            return Err(Block::MemPort);
+        }
 
         // The iteration is speculative w.r.t. memory unless it is the
         // frontier (a frontier lane reaching here has a drained LSQ).
@@ -996,7 +1126,16 @@ impl<'a> Engine<'a> {
                 load_ready: 0,
                 stored_to: None,
             };
-            let effect = apply(instr, state, &mut lane)?;
+            let effect = match apply(instr, state, &mut lane) {
+                Ok(effect) => effect,
+                Err(ApplyError::Blocked(b)) => return Err(b),
+                Err(ApplyError::Fault(fault)) => {
+                    // Surface the fault at the end of this pass; the
+                    // context made no progress (zero side effects).
+                    self.pending_fault = Some(fault);
+                    return Err(Block::Idle);
+                }
+            };
             load_ready = lane.load_ready;
             stored_to = lane.stored_to;
             effect
@@ -1284,7 +1423,7 @@ mod tests {
         let s = crate::scan(&p, xloop_pc, live_ins, &cfg).expect("scans as or");
         let mut mem = Memory::new();
         let mut dcache = Cache::new(CacheConfig::l1_default());
-        let mut eng = Engine::new(&cfg, &s, &mut mem, &mut dcache, None);
+        let mut eng = Engine::new(&cfg, &s, &mut mem, &mut dcache, None, None);
         eng.chan.clear();
         let err = eng.run(Stepper::EventDriven).unwrap_err();
         assert!(matches!(err, LpsuError::NoForwardProgress { .. }), "got {err}");

@@ -1,0 +1,286 @@
+//! Deterministic, seeded fault injection for the LPSU engine.
+//!
+//! A [`FaultPlan`] is a declarative list of faults to inject into LPSU
+//! executions — memory-port refusal windows, dropped CIB publishes, and
+//! spurious engine faults — each pinned to a cycle stamp and (optionally) a
+//! specific loop handoff. The supervisor materialises one [`FaultInjector`]
+//! per handoff from the plan; the engine consults the injector at the three
+//! hook points (port arbitration, CIB publish, top of the scheduling loop).
+//!
+//! Plans are deterministic: [`FaultPlan::seeded`] derives every stamp from a
+//! splitmix64 stream over the seed, so a failing run is reproducible from
+//! its seed alone. Injected refusal windows carry a wakeup stamp (the end of
+//! the window) which the event-driven stepper folds into `next_wakeup`, so
+//! an injected stall is never misdiagnosed as a wedge.
+
+/// One kind of injected fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Refuse every shared-memory-port issue attempt for `cycles` cycles
+    /// starting at `at_cycle` (engine-local cycle stamps). Models a
+    /// transient interconnect stall: execution completes, only later.
+    MemRefusal {
+        /// First engine cycle of the refusal window.
+        at_cycle: u64,
+        /// Window length in cycles.
+        cycles: u64,
+    },
+    /// Drop the first CIB publish at or after `at_cycle`: the consumer
+    /// iteration never sees the value and the engine wedges
+    /// (`NoForwardProgress`), exercising wedge detection and recovery.
+    DropCib {
+        /// Earliest engine cycle at which a publish is dropped.
+        at_cycle: u64,
+    },
+    /// Raise a spurious engine fault at the first scheduling pass at or
+    /// after `at_cycle` (`LpsuError::Injected`). Models a detected-but-
+    /// unattributable hardware error.
+    Spurious {
+        /// Earliest engine cycle at which the fault fires.
+        at_cycle: u64,
+    },
+}
+
+/// A fault pinned (optionally) to a specific loop handoff.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Which LPSU handoff (0-based, counted per `specialize` attempt) the
+    /// fault applies to; `None` applies it to *every* handoff (a persistent
+    /// fault that cannot be retried away — forces degradation).
+    pub handoff: Option<u64>,
+    /// What to inject.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, reproducible list of faults to inject into a run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The faults, in no particular order.
+    pub faults: Vec<FaultSpec>,
+}
+
+/// splitmix64: tiny, high-quality deterministic stream for plan generation
+/// (no external RNG dependency).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Derives `n` faults deterministically from `seed`. Kinds and stamps
+    /// are drawn from a splitmix64 stream; handoffs cycle over the first
+    /// few loop entries so multi-loop kernels see faults in different
+    /// loops. The same seed always yields the same plan.
+    pub fn seeded(seed: u64, n: usize) -> FaultPlan {
+        let mut s = seed;
+        let mut faults = Vec::with_capacity(n);
+        for i in 0..n {
+            let r = splitmix64(&mut s);
+            // Cycle stamps land early in the loop (cycles 1..=64) so short
+            // kernels are still hit; windows are 1..=16 cycles.
+            let at_cycle = 1 + (splitmix64(&mut s) % 64);
+            let kind = match r % 3 {
+                0 => FaultKind::MemRefusal { at_cycle, cycles: 1 + (splitmix64(&mut s) % 16) },
+                1 => FaultKind::DropCib { at_cycle },
+                _ => FaultKind::Spurious { at_cycle },
+            };
+            faults.push(FaultSpec { handoff: Some(i as u64 % 3), kind });
+        }
+        FaultPlan { faults }
+    }
+
+    /// A plan that raises a spurious fault at `at_cycle` of **every**
+    /// handoff — the canonical "LPSU is broken" plan used by the
+    /// degradation tests (retry cannot succeed; the supervisor must fall
+    /// back to the GPP).
+    pub fn persistent_spurious(at_cycle: u64) -> FaultPlan {
+        FaultPlan {
+            faults: vec![FaultSpec { handoff: None, kind: FaultKind::Spurious { at_cycle } }],
+        }
+    }
+
+    /// A plan that injects one fault of the given kind into handoff 0 only
+    /// (a transient fault the supervisor can retry away).
+    pub fn once(kind: FaultKind) -> FaultPlan {
+        FaultPlan { faults: vec![FaultSpec { handoff: Some(0), kind }] }
+    }
+
+    /// True if the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Materialises the injector for the given handoff ordinal, or `None`
+    /// when no fault applies to it.
+    pub fn injector_for(&self, handoff: u64) -> Option<FaultInjector> {
+        let mut inj = FaultInjector::default();
+        let mut any = false;
+        for spec in &self.faults {
+            if spec.handoff.is_some_and(|h| h != handoff) {
+                continue;
+            }
+            any = true;
+            match spec.kind {
+                FaultKind::MemRefusal { at_cycle, cycles } => {
+                    inj.refusals.push((at_cycle, at_cycle.saturating_add(cycles)));
+                }
+                FaultKind::DropCib { at_cycle } => {
+                    let slot = inj.drop_cib.get_or_insert(at_cycle);
+                    *slot = (*slot).min(at_cycle);
+                }
+                FaultKind::Spurious { at_cycle } => {
+                    let slot = inj.spurious.get_or_insert(at_cycle);
+                    *slot = (*slot).min(at_cycle);
+                }
+            }
+        }
+        any.then_some(inj)
+    }
+}
+
+/// The per-handoff fault state the engine consults. Built by
+/// [`FaultPlan::injector_for`]; mutable because one-shot faults (dropped
+/// publish) disarm after delivery.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultInjector {
+    /// Half-open refusal windows `[start, end)` on the shared memory port.
+    refusals: Vec<(u64, u64)>,
+    /// Earliest cycle at which to drop one CIB publish (`None` once
+    /// delivered).
+    drop_cib: Option<u64>,
+    /// Earliest cycle at which to raise a spurious fault (`None` once
+    /// delivered).
+    spurious: Option<u64>,
+    /// Count of faults actually delivered to the engine.
+    delivered: u64,
+}
+
+impl FaultInjector {
+    /// True if the shared memory port must refuse issue this cycle.
+    #[inline]
+    pub fn refuse_mem(&mut self, cycle: u64) -> bool {
+        let hit = self.refusals.iter().any(|&(s, e)| cycle >= s && cycle < e);
+        if hit {
+            self.delivered += 1;
+        }
+        hit
+    }
+
+    /// True if this CIB publish must be dropped (one-shot: disarms after
+    /// delivering once).
+    #[inline]
+    pub fn drop_publish(&mut self, cycle: u64) -> bool {
+        if self.drop_cib.is_some_and(|at| cycle >= at) {
+            self.drop_cib = None;
+            self.delivered += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True if a spurious fault is due this cycle (one-shot).
+    #[inline]
+    pub fn spurious_due(&mut self, cycle: u64) -> bool {
+        if self.spurious.is_some_and(|at| cycle >= at) {
+            self.spurious = None;
+            self.delivered += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The earliest future cycle at which injector state changes — the end
+    /// of an active refusal window, or a pending spurious stamp. Folded
+    /// into the event-driven stepper's `next_wakeup` so an injected stall
+    /// is re-evaluated rather than declared a wedge.
+    pub fn next_wakeup(&self, cycle: u64) -> Option<u64> {
+        let mut next: Option<u64> = None;
+        let mut consider = |c: u64| {
+            if c > cycle {
+                next = Some(next.map_or(c, |n| n.min(c)));
+            }
+        };
+        for &(s, e) in &self.refusals {
+            if cycle < s {
+                consider(s);
+            } else if cycle < e {
+                consider(e);
+            }
+        }
+        if let Some(at) = self.spurious {
+            consider(at.max(cycle + 1));
+        }
+        next
+    }
+
+    /// Number of faults actually delivered into the engine.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let a = FaultPlan::seeded(42, 6);
+        let b = FaultPlan::seeded(42, 6);
+        assert_eq!(a, b);
+        let c = FaultPlan::seeded(43, 6);
+        assert_ne!(a, c, "different seeds should differ");
+        assert_eq!(a.faults.len(), 6);
+    }
+
+    #[test]
+    fn injector_scoped_to_handoff() {
+        let plan = FaultPlan::once(FaultKind::Spurious { at_cycle: 5 });
+        assert!(plan.injector_for(0).is_some());
+        assert!(plan.injector_for(1).is_none());
+        let persistent = FaultPlan::persistent_spurious(5);
+        assert!(persistent.injector_for(0).is_some());
+        assert!(persistent.injector_for(7).is_some());
+    }
+
+    #[test]
+    fn refusal_window_and_wakeup() {
+        let plan = FaultPlan::once(FaultKind::MemRefusal { at_cycle: 10, cycles: 3 });
+        let mut inj = plan.injector_for(0).unwrap();
+        assert!(!inj.refuse_mem(9));
+        assert!(inj.refuse_mem(10));
+        assert!(inj.refuse_mem(12));
+        assert!(!inj.refuse_mem(13));
+        // Before the window: wake at its start; inside: wake at its end.
+        assert_eq!(inj.next_wakeup(5), Some(10));
+        assert_eq!(inj.next_wakeup(11), Some(13));
+        assert_eq!(inj.next_wakeup(20), None);
+        assert_eq!(inj.delivered(), 2);
+    }
+
+    #[test]
+    fn one_shot_faults_disarm() {
+        let plan = FaultPlan::once(FaultKind::DropCib { at_cycle: 4 });
+        let mut inj = plan.injector_for(0).unwrap();
+        assert!(!inj.drop_publish(3));
+        assert!(inj.drop_publish(6));
+        assert!(!inj.drop_publish(7), "drop is one-shot");
+
+        let plan = FaultPlan::persistent_spurious(4);
+        let mut inj = plan.injector_for(0).unwrap();
+        assert_eq!(inj.next_wakeup(2), Some(4));
+        assert!(!inj.spurious_due(3));
+        assert!(inj.spurious_due(4));
+        assert!(!inj.spurious_due(5), "spurious is one-shot per handoff");
+    }
+}

@@ -36,11 +36,13 @@
 
 mod config;
 mod engine;
+pub mod fault;
 mod lsq;
 mod scan;
 mod stats;
 
 pub use config::LpsuConfig;
 pub use engine::{Lpsu, LpsuError, LpsuResult, Stepper};
+pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultSpec};
 pub use scan::{scan, ScanError, ScanResult};
 pub use stats::LpsuStats;

@@ -169,6 +169,37 @@ impl Memory {
     pub fn touched_pages(&self) -> usize {
         self.low.iter().filter(|p| p.is_some()).count() + self.high.len()
     }
+
+    /// Address of the first byte at which the two memories differ, or
+    /// `None` when their full 32-bit contents are identical. A page absent
+    /// on one side compares as zeros, so sparseness differences alone are
+    /// not differences. Used by the supervisor's differential checks.
+    pub fn first_difference(&self, other: &Memory) -> Option<u32> {
+        const ZEROS: [u8; PAGE_SIZE] = [0; PAGE_SIZE];
+        let mut pages: Vec<u32> = Vec::new();
+        for (pn, p) in self.low.iter().enumerate() {
+            if p.is_some() {
+                pages.push(pn as u32);
+            }
+        }
+        for (pn, p) in other.low.iter().enumerate() {
+            if p.is_some() && self.low.get(pn).is_none_or(|q| q.is_none()) {
+                pages.push(pn as u32);
+            }
+        }
+        pages.extend(self.high.keys().copied());
+        pages.extend(other.high.keys().copied().filter(|pn| !self.high.contains_key(pn)));
+        pages.sort_unstable();
+        for pn in pages {
+            let base = pn << PAGE_BITS;
+            let a = self.page(base).map_or(&ZEROS, |p| p);
+            let b = other.page(base).map_or(&ZEROS, |p| p);
+            if let Some(i) = (0..PAGE_SIZE).find(|&i| a[i] != b[i]) {
+                return Some(base + i as u32);
+            }
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -229,6 +260,23 @@ mod tests {
         assert_eq!(m.touched_pages(), 2);
         let copy = m.clone();
         assert_eq!(copy.read_u32(high), 0x3333_4444);
+    }
+
+    #[test]
+    fn first_difference_ignores_sparseness() {
+        let mut a = Memory::new();
+        let mut b = Memory::new();
+        assert_eq!(a.first_difference(&b), None);
+        a.write_u32(0x1000, 0); // touched page, still all zeros
+        assert_eq!(a.first_difference(&b), None, "zero page equals absent page");
+        assert_eq!(b.first_difference(&a), None);
+        b.write_u8(0x1002, 9);
+        assert_eq!(a.first_difference(&b), Some(0x1002));
+        assert_eq!(b.first_difference(&a), Some(0x1002));
+        a.write_u8(0x1002, 9);
+        let mut c = a.clone();
+        c.write_u8(0xF000_0007, 1); // high (hashed) page on one side only
+        assert_eq!(a.first_difference(&c), Some(0xF000_0007));
     }
 
     #[test]

@@ -22,10 +22,13 @@ mod adaptive;
 mod config;
 mod error;
 mod stats;
+mod supervisor;
 mod system;
 
 pub use adaptive::{Apt, Decision};
 pub use config::{ConfigKey, ExecMode, SystemConfig};
 pub use error::SimError;
 pub use stats::SystemStats;
+pub use supervisor::{Supervisor, SupervisorConfig, SupervisorStats};
 pub use system::{System, SystemSnapshot};
+pub use xloops_lpsu::{FaultKind, FaultPlan, FaultSpec};

@@ -3,6 +3,8 @@ use xloops_gpp::GppStats;
 use xloops_lpsu::LpsuStats;
 use xloops_stats::{ratio, StatSet};
 
+use crate::supervisor::SupervisorStats;
+
 /// Statistics of one system-level run.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct SystemStats {
@@ -31,6 +33,9 @@ pub struct SystemStats {
     pub instret: u64,
     /// Dynamic energy in nanojoules under the system's energy table.
     pub energy_nj: f64,
+    /// Supervisor activity (checkpoints, rewinds, degradations); all zero
+    /// for unsupervised runs.
+    pub supervisor: SupervisorStats,
 }
 
 impl SystemStats {
@@ -90,6 +95,12 @@ impl SystemStats {
         s.push_child(self.gpp.stat_set());
         s.push_child(self.lpsu.stat_set());
         s.push_child(self.events(is_ooo).stat_set());
+        // Only supervised runs carry a supervisor child, so unsupervised
+        // stat trees (and their JSON renderings) are byte-identical to
+        // pre-supervisor output.
+        if self.supervisor != SupervisorStats::default() {
+            s.push_child(self.supervisor.stat_set());
+        }
         s
     }
 }

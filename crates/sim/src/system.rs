@@ -3,13 +3,14 @@ use xloops_mem::FxHashSet;
 use xloops_asm::Program;
 use xloops_func::ArchState;
 use xloops_gpp::{GppCore, GppKind, RunOpts, StopReason, Watch};
-use xloops_lpsu::{scan, Lpsu, ScanResult};
+use xloops_lpsu::{scan, FaultInjector, FaultPlan, Lpsu, ScanResult, Stepper};
 use xloops_mem::Memory;
 
 use crate::adaptive::{Apt, Decision};
 use crate::config::{ExecMode, SystemConfig};
 use crate::error::SimError;
 use crate::stats::SystemStats;
+use crate::supervisor::{run_supervised, SupervisorConfig};
 
 /// A complete simulated system: GPP, optional LPSU, and memory.
 ///
@@ -46,12 +47,12 @@ pub struct SystemSnapshot {
 
 #[derive(Clone, Debug)]
 pub struct System {
-    config: SystemConfig,
-    gpp: GppCore,
-    lpsu: Option<Lpsu>,
-    mem: Memory,
-    apt: Apt,
-    fallback_pcs: FxHashSet<u32>,
+    pub(crate) config: SystemConfig,
+    pub(crate) gpp: GppCore,
+    pub(crate) lpsu: Option<Lpsu>,
+    pub(crate) mem: Memory,
+    pub(crate) apt: Apt,
+    pub(crate) fallback_pcs: FxHashSet<u32>,
 }
 
 impl System {
@@ -100,6 +101,11 @@ impl System {
         self.mem.read_u32(addr)
     }
 
+    /// The architectural register file (for differential testing).
+    pub fn reg_file(&self) -> [u32; 32] {
+        self.gpp.reg_file()
+    }
+
     /// Captures the architectural state of the system: register file, pc,
     /// and memory. Microarchitectural state (caches, predictors, the APT)
     /// is deliberately excluded — restoring rewinds *what* the machine
@@ -117,50 +123,17 @@ impl System {
 
     /// Executes `program` from pc 0 to `exit` in the given mode.
     ///
+    /// Equivalent to a [`crate::Supervisor`] run with supervision disabled
+    /// and no fault plan — there is exactly one run loop in the crate, so
+    /// supervised and unsupervised runs cannot drift apart.
+    ///
     /// # Errors
     ///
     /// [`SimError::NoLpsu`] if specialized/adaptive execution is requested
-    /// without an LPSU; [`SimError::Exec`] on functional faults.
+    /// without an LPSU; [`SimError::Exec`] on functional faults; the
+    /// LPSU-phase [`SimError`] variants if a specialized phase fails.
     pub fn run(&mut self, program: &Program, mode: ExecMode) -> Result<SystemStats, SimError> {
-        if mode != ExecMode::Traditional && self.lpsu.is_none() {
-            return Err(SimError::NoLpsu);
-        }
-        let base_cycles = self.gpp.drain();
-        let mut stats = SystemStats::default();
-
-        if mode == ExecMode::Traditional {
-            self.gpp.run(program, &mut self.mem, &RunOpts::traditional())?;
-        } else {
-            loop {
-                let mut opts = RunOpts::specialized();
-                opts.ignore_pcs = self.fallback_pcs.clone();
-                if mode == ExecMode::Adaptive {
-                    opts.ignore_pcs.extend(self.apt.traditional_pcs());
-                }
-                match self.gpp.run(program, &mut self.mem, &opts)? {
-                    StopReason::Exited => break,
-                    StopReason::XloopTaken { pc } => {
-                        if mode == ExecMode::Adaptive && self.apt.decision(pc).is_none() {
-                            if self.adaptive_profile(program, pc, &mut stats)? {
-                                break; // program exited during profiling
-                            }
-                            continue;
-                        }
-                        self.specialize(program, pc, None, &mut stats)?;
-                    }
-                    StopReason::WatchDone { .. } => unreachable!("no watch in the outer loop"),
-                }
-            }
-        }
-
-        let gpp_stats = self.gpp.stats();
-        stats.cycles = gpp_stats.cycles - base_cycles;
-        stats.gpp = gpp_stats;
-        stats.finalize(
-            &self.config.energy,
-            matches!(self.config.gpp.kind, GppKind::OutOfOrder { .. }),
-        );
-        Ok(stats)
+        run_supervised(self, program, mode, &SupervisorConfig::off(), None)
     }
 
     /// Timing of the scan phase: in-order GPPs scan after draining; the
@@ -179,15 +152,19 @@ impl System {
 
     /// Scans and runs the xloop at `pc` on the LPSU. Returns the
     /// (iterations, cycles) of the specialized phase, or `None` if the
-    /// scan rejected the loop (traditional fallback).
-    fn specialize(
+    /// scan rejected the loop (traditional fallback). `inj` threads an
+    /// optional fault injector into the engine (supervised runs only).
+    pub(crate) fn specialize(
         &mut self,
         program: &Program,
         pc: u32,
         max_iters: Option<u64>,
         stats: &mut SystemStats,
+        inj: Option<&mut FaultInjector>,
     ) -> Result<Option<(u64, u64)>, SimError> {
-        let lpsu = self.lpsu.clone().expect("caller checked for an LPSU");
+        let Some(lpsu) = self.lpsu.clone() else {
+            return Err(SimError::NoLpsu);
+        };
         let s = match scan(program, pc, self.gpp.reg_file(), lpsu.config()) {
             Ok(s) => s,
             Err(_) => {
@@ -197,7 +174,16 @@ impl System {
             }
         };
         let scan_end = self.scan_timing(&s);
-        let res = lpsu.execute(&s, &mut self.mem, self.gpp.dcache_mut(), max_iters)?;
+        let res = lpsu
+            .execute_with(
+                Stepper::default_for_build(),
+                &s,
+                &mut self.mem,
+                self.gpp.dcache_mut(),
+                max_iters,
+                inj,
+            )
+            .map_err(|e| SimError::from_lpsu(e, pc))?;
         self.gpp.stall_until(scan_end + res.cycles);
 
         // Architectural handback: induction and bound registers take their
@@ -231,12 +217,16 @@ impl System {
     }
 
     /// The two profiling phases of adaptive execution. Returns `true` if
-    /// the program exited while profiling.
-    fn adaptive_profile(
+    /// the program exited while profiling. `plan`/`handoff` thread the
+    /// supervisor's fault plan into the profiling LPSU phase (it is a
+    /// handoff like any other).
+    pub(crate) fn adaptive_profile(
         &mut self,
         program: &Program,
         pc: u32,
         stats: &mut SystemStats,
+        plan: Option<&FaultPlan>,
+        handoff: &mut u64,
     ) -> Result<bool, SimError> {
         loop {
             // GPP profiling phase: run until either remaining budget
@@ -251,7 +241,9 @@ impl System {
             let cycles = self.gpp.drain() - start;
             match stop {
                 StopReason::Exited => return Ok(true),
-                StopReason::XloopTaken { .. } => unreachable!("watch run does not stop at xloops"),
+                StopReason::XloopTaken { .. } => {
+                    return Err(SimError::Protocol("watch run stopped at an xloop"))
+                }
                 StopReason::WatchDone { iters, loop_exited } => {
                     let crossed = self.apt.record_gpp(pc, iters, cycles);
                     if loop_exited {
@@ -267,7 +259,9 @@ impl System {
                     // lane ramp-up so per-iteration costs compare fairly.
                     let lanes = self.config.lpsu.map(|l| l.lanes as u64).unwrap_or(4);
                     let quota = self.apt.entry(pc).gpp_iters.max(4 * lanes);
-                    match self.specialize(program, pc, Some(quota), stats)? {
+                    let mut inj = plan.and_then(|p| p.injector_for(*handoff));
+                    *handoff += 1;
+                    match self.specialize(program, pc, Some(quota), stats, inj.as_mut())? {
                         None => {
                             // Scan rejected the loop: it stays traditional.
                             self.apt.entry(pc).decision = Some(Decision::Traditional);

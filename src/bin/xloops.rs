@@ -22,8 +22,13 @@ fn main() {
             }
         }
         Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(1);
+            // Machine-readable mode still gets a parseable document on
+            // stdout; the human diagnosis goes to stderr either way.
+            if let Some(json) = e.json {
+                print!("{json}");
+            }
+            eprintln!("error: {}", e.message);
+            std::process::exit(e.code);
         }
     }
 }

@@ -16,17 +16,66 @@
 //!   --dump   ADDR:WORDS    print memory after the run
 //!   --trace  N             print the first N instructions (functional trace)
 //!   --stats  text|json     report format (json emits the unified StatSet tree)
+//!   --faults SEED[:N]      inject N (default 3) seeded faults (supervised run)
+//!   --checkpoint CYCLES    supervise with this checkpoint interval
+//!   --budget CYCLES        supervise with an end-to-end cycle budget
 //! ```
 //!
 //! The binary image format is the raw little-endian instruction words,
 //! starting at pc 0.
+//!
+//! Exit codes: `0` success, `1` generic failure, `2` usage/parse error,
+//! `3` simulation wedge ([`crate::sim::SimError::NoForwardProgress`]),
+//! `4` architectural/injected fault, `5` exceeded cycle budget.
 
 use std::fmt::Write as _;
 
 use crate::asm::{assemble, disassemble, Program};
 use crate::kernels;
-use crate::sim::{ExecMode, System, SystemConfig};
+use crate::sim::{
+    ExecMode, FaultPlan, SimError, Supervisor, SupervisorConfig, System, SystemConfig,
+};
 use crate::stats::StatValue;
+
+/// A failed CLI command: the process exit code, a one-line human
+/// diagnosis for stderr, and (under `--stats json`) a machine-readable
+/// error document for stdout.
+#[derive(Debug)]
+pub struct CliError {
+    /// Process exit code (`1` generic, `3` wedge, `4` fault, `5` budget —
+    /// parse errors exit `2` before [`execute`] is reached).
+    pub code: i32,
+    /// One-line diagnosis.
+    pub message: String,
+    /// JSON error document (only under `--stats json`).
+    pub json: Option<String>,
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> CliError {
+        CliError { code: 1, message, json: None }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> CliError {
+        CliError { code: 1, message: message.to_string(), json: None }
+    }
+}
+
+/// Maps a simulation error to its CLI surface: distinct exit code, the
+/// one-line diagnosis (a wedge reports the loop pc and stalled-context
+/// count), and a JSON error document when `--stats json` was requested.
+fn sim_error(e: SimError, stats_json: bool) -> CliError {
+    let json = stats_json.then(|| {
+        format!(
+            "{{\"error\":{{\"message\":\"{}\",\"exit_code\":{}}}}}\n",
+            e.to_string().replace('\\', "\\\\").replace('"', "\\\""),
+            e.exit_code()
+        )
+    });
+    CliError { code: e.exit_code(), message: e.to_string(), json }
+}
 
 /// A parsed CLI invocation.
 #[derive(Debug)]
@@ -51,6 +100,12 @@ pub struct RunOptions {
     /// Emit the unified [`crate::stats::StatSet`] tree as JSON instead of
     /// the human-readable report (`--stats json`).
     pub stats_json: bool,
+    /// `--faults SEED[:N]`: inject N seeded faults under supervision.
+    pub faults: Option<(u64, usize)>,
+    /// `--checkpoint CYCLES`: supervise with this checkpoint interval.
+    pub checkpoint: Option<u64>,
+    /// `--budget CYCLES`: supervise with an end-to-end cycle budget.
+    pub budget: Option<u64>,
 }
 
 impl Default for RunOptions {
@@ -62,7 +117,41 @@ impl Default for RunOptions {
             dumps: Vec::new(),
             trace: 0,
             stats_json: false,
+            faults: None,
+            checkpoint: None,
+            budget: None,
         }
+    }
+}
+
+impl RunOptions {
+    /// Whether any supervision flag was given (fault injection implies
+    /// supervision: injected faults are meant to be recovered from).
+    fn supervised(&self) -> bool {
+        self.faults.is_some() || self.checkpoint.is_some() || self.budget.is_some()
+    }
+
+    /// Runs `program` on `sys` — plain when no supervision flag was given,
+    /// supervised (with any fault plan, checkpoint interval, and budget)
+    /// otherwise.
+    fn run_system(
+        &self,
+        sys: &mut System,
+        program: &Program,
+    ) -> Result<crate::sim::SystemStats, SimError> {
+        if !self.supervised() {
+            return sys.run(program, self.mode);
+        }
+        let mut cfg = SupervisorConfig::protected();
+        if let Some(interval) = self.checkpoint {
+            cfg.checkpoint_interval = interval.max(1);
+        }
+        cfg.cycle_budget = self.budget;
+        let mut sup = Supervisor::new(sys, cfg);
+        if let Some((seed, n)) = self.faults {
+            sup = sup.with_plan(FaultPlan::seeded(seed, n));
+        }
+        sup.run(program, self.mode)
     }
 }
 
@@ -76,7 +165,9 @@ pub fn usage() -> &'static str {
      \x20 xloops kernels\n\
      \x20 xloops kernel <name> [--config C] [--mode M] [--stats F]\n\n\
      configs: io ooo2 ooo4 io+x ooo2+x ooo4+x   modes: traditional specialized adaptive\n\
-     stats formats: text (default) json\n"
+     stats formats: text (default) json\n\
+     supervision (run/kernel): --faults SEED[:N]  --checkpoint CYCLES  --budget CYCLES\n\
+     exit codes: 0 ok, 1 error, 2 usage, 3 wedge, 4 fault, 5 cycle budget\n"
 }
 
 fn parse_u32(s: &str) -> Result<u32, String> {
@@ -130,6 +221,19 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
                 opts.dumps.push((parse_u32(addr)?, parse_u32(n)?));
             }
             "--trace" => opts.trace = parse_u32(&next("an instruction count")?)?,
+            "--faults" => {
+                let spec = next("SEED[:N]")?;
+                let (seed, n) = match spec.split_once(':') {
+                    Some((seed, n)) => (
+                        parse_u32(seed)? as u64,
+                        n.parse::<usize>().map_err(|e| format!("bad fault count `{n}`: {e}"))?,
+                    ),
+                    None => (parse_u32(&spec)? as u64, 3),
+                };
+                opts.faults = Some((seed, n));
+            }
+            "--checkpoint" => opts.checkpoint = Some(parse_u32(&next("a cycle interval")?)? as u64),
+            "--budget" => opts.budget = Some(parse_u32(&next("a cycle budget")?)? as u64),
             "--stats" => {
                 opts.stats_json = match next("a format (text|json)")?.as_str() {
                     "json" => true,
@@ -191,8 +295,10 @@ pub type CommandOutput = (String, Option<(String, Vec<u8>)>);
 ///
 /// # Errors
 ///
-/// Assembly, simulation, and verification failures as readable strings.
-pub fn execute(cmd: Command) -> Result<CommandOutput, String> {
+/// Assembly, simulation, and verification failures as a [`CliError`]: a
+/// one-line diagnosis plus the exit code of the error class (and, under
+/// `--stats json`, a JSON error document).
+pub fn execute(cmd: Command) -> Result<CommandOutput, CliError> {
     match cmd {
         Command::Help => Ok((usage().to_string(), None)),
         Command::Asm { source, out } => {
@@ -251,7 +357,8 @@ pub fn execute(cmd: Command) -> Result<CommandOutput, String> {
             for &(addr, value) in &opts.inits {
                 sys.store_word(addr, value);
             }
-            let stats = sys.run(&program, opts.mode).map_err(|e| e.to_string())?;
+            let stats =
+                opts.run_system(&mut sys, &program).map_err(|e| sim_error(e, opts.stats_json))?;
             if opts.stats_json {
                 // Machine-readable mode: the JSON document is the whole
                 // output, so trace/dump text never corrupts a parse.
@@ -288,7 +395,9 @@ pub fn execute(cmd: Command) -> Result<CommandOutput, String> {
                 .ok_or_else(|| format!("no kernel named `{name}` (try `xloops kernels`)"))?;
             let mut sys = System::new(opts.config);
             kernel.init_memory(sys.mem_mut());
-            let stats = sys.run(&kernel.program, opts.mode).map_err(|e| e.to_string())?;
+            let stats = opts
+                .run_system(&mut sys, &kernel.program)
+                .map_err(|e| sim_error(e, opts.stats_json))?;
             kernel.verify(sys.mem()).map_err(|e| format!("verification FAILED: {e}"))?;
             if opts.stats_json {
                 // Verification still ran (a failure errors out above); the
@@ -341,6 +450,18 @@ fn report(sys: &System, stats: &crate::sim::SystemStats) -> String {
             "adaptive         {} loops chose the LPSU, {} the GPP",
             counter("adaptive_to_lpsu"),
             counter("adaptive_to_gpp")
+        );
+    }
+    if counter("supervisor.checkpoints") + counter("supervisor.rewinds") > 0 {
+        let _ = writeln!(
+            t,
+            "supervisor       {} checkpoints, {} rewinds ({} injected), {} retries, \
+             {} loops degraded to GPP",
+            counter("supervisor.checkpoints"),
+            counter("supervisor.rewinds"),
+            counter("supervisor.injected_faults"),
+            counter("supervisor.retries"),
+            counter("supervisor.degraded")
         );
     }
     t
@@ -442,6 +563,53 @@ mod tests {
         let opts =
             RunOptions { stats_json: true, mode: ExecMode::Traditional, ..RunOptions::default() };
         assert!(execute(Command::Kernel { name: "huffman-ua".into(), opts }).is_ok());
+    }
+
+    #[test]
+    fn supervision_flags_parse() {
+        let o = parse_run_options(&sv(&[
+            "--faults",
+            "7:5",
+            "--checkpoint",
+            "1000",
+            "--budget",
+            "100000",
+        ]))
+        .unwrap();
+        assert_eq!(o.faults, Some((7, 5)));
+        assert_eq!(o.checkpoint, Some(1000));
+        assert_eq!(o.budget, Some(100_000));
+        assert_eq!(parse_run_options(&sv(&["--faults", "9"])).unwrap().faults, Some((9, 3)));
+        assert!(parse_run_options(&sv(&["--faults", "x:y"])).is_err());
+        assert!(parse_run_options(&sv(&["--budget"])).is_err());
+    }
+
+    #[test]
+    fn wedge_maps_to_exit_code_3_with_a_one_line_diagnosis() {
+        let e = sim_error(SimError::NoForwardProgress { pc: 0x40, cycle: 123, stalled: 4 }, false);
+        assert_eq!(e.code, 3);
+        assert!(!e.message.contains('\n'), "one line: {}", e.message);
+        assert!(e.message.contains("0x40"), "{}", e.message);
+        assert!(e.message.contains("4 stalled"), "{}", e.message);
+        assert!(e.json.is_none());
+    }
+
+    #[test]
+    fn budget_error_has_distinct_exit_code_and_json_document() {
+        let opts = RunOptions { stats_json: true, budget: Some(10), ..RunOptions::default() };
+        let e = execute(Command::Kernel { name: "huffman-ua".into(), opts }).unwrap_err();
+        assert_eq!(e.code, 5);
+        assert!(e.message.contains("cycle budget"), "{}", e.message);
+        assert!(e.json.as_deref().is_some_and(|j| j.contains("\"exit_code\":5")), "{e:?}");
+    }
+
+    #[test]
+    fn injected_faults_recover_under_supervision_and_report() {
+        let opts =
+            RunOptions { faults: Some((1, 3)), checkpoint: Some(1000), ..RunOptions::default() };
+        let (text, _) = execute(Command::Kernel { name: "huffman-ua".into(), opts }).unwrap();
+        assert!(text.contains("verified OK"), "{text}");
+        assert!(text.contains("supervisor"), "supervised run reports activity: {text}");
     }
 
     #[test]

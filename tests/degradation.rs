@@ -1,0 +1,124 @@
+//! Degradation oracle: graceful LPSU→GPP fallback is *observably* free.
+//!
+//! For every Table II kernel, a supervised run whose LPSU faults on every
+//! specialized attempt must (a) still complete, (b) degrade each loop to
+//! traditional GPP execution, and (c) end in architectural state — the
+//! full register file and the entire memory image — byte-identical to a
+//! clean traditional run. That is the XLOOPS contract from the paper: the
+//! GPP is always a valid implementation of an `xloop`, so dropping the
+//! accelerator can lose performance but never answers.
+//!
+//! The suite runs under both steppers: the default build exercises the
+//! event-driven engine, and `--features xloops-lpsu/naive-stepper` routes
+//! the same assertions through the naive oracle stepper.
+
+use xloops::kernels::{by_name, table2, Kernel};
+use xloops::mem::Memory;
+use xloops::sim::{
+    ExecMode, FaultKind, FaultPlan, SimError, Supervisor, SupervisorConfig, System, SystemConfig,
+};
+
+/// Clean traditional run on the plain in-order core: the reference
+/// architectural outcome degradation must reproduce.
+fn traditional_outcome(kernel: &Kernel) -> ([u32; 32], Memory) {
+    let mut sys = System::new(SystemConfig::io());
+    kernel.init_memory(sys.mem_mut());
+    sys.run(&kernel.program, ExecMode::Traditional)
+        .unwrap_or_else(|e| panic!("{}: clean traditional run failed: {e}", kernel.name));
+    (sys.reg_file(), sys.mem().clone())
+}
+
+/// Supervised run with every specialized attempt faulting at cycle 1 —
+/// before any loop can commit — so every `xloop` pc is retried, then
+/// degraded. Returns the final architectural state and the run stats.
+fn degraded_outcome(kernel: &Kernel, mode: ExecMode) -> ([u32; 32], Memory, u64, u64) {
+    let mut sys = System::new(SystemConfig::io_x());
+    kernel.init_memory(sys.mem_mut());
+    let stats = Supervisor::new(&mut sys, SupervisorConfig::protected())
+        .with_plan(FaultPlan::persistent_spurious(1))
+        .run(&kernel.program, mode)
+        .unwrap_or_else(|e| panic!("{}: degraded {mode:?} run failed: {e}", kernel.name));
+    (sys.reg_file(), sys.mem().clone(), stats.supervisor.degraded, stats.xloops_specialized)
+}
+
+/// Every kernel completes under a persistent LPSU fault, and the final
+/// register file and memory image are byte-identical to a clean
+/// traditional run.
+#[test]
+fn every_kernel_degrades_to_the_exact_traditional_outcome() {
+    for kernel in table2() {
+        let (clean_regs, clean_mem) = traditional_outcome(kernel);
+        let (regs, mem, degraded, specialized) = degraded_outcome(kernel, ExecMode::Specialized);
+
+        assert!(degraded >= 1, "{}: no loop was degraded", kernel.name);
+        assert_eq!(specialized, 0, "{}: a faulting LPSU phase still committed", kernel.name);
+        kernel.verify(&mem).unwrap_or_else(|e| panic!("{}: verify failed: {e}", kernel.name));
+        assert_eq!(regs, clean_regs, "{}: register file diverged from traditional", kernel.name);
+        assert_eq!(
+            mem.first_difference(&clean_mem),
+            None,
+            "{}: memory image diverged from traditional",
+            kernel.name
+        );
+    }
+}
+
+/// Adaptive mode recovers the same way: the profiling phase's LPSU
+/// attempts fault, the supervisor degrades, and the outcome is still the
+/// traditional one.
+#[test]
+fn adaptive_mode_degrades_cleanly_too() {
+    for name in ["rgb2cmyk-uc", "mm-orm", "hsort-ua"] {
+        let kernel = by_name(name).expect("representative kernel exists");
+        let (clean_regs, clean_mem) = traditional_outcome(kernel);
+        let (regs, mem, degraded, _) = degraded_outcome(kernel, ExecMode::Adaptive);
+        assert!(degraded >= 1, "{name}: no loop was degraded");
+        assert_eq!(regs, clean_regs, "{name}: register file diverged");
+        assert_eq!(mem.first_difference(&clean_mem), None, "{name}: memory diverged");
+    }
+}
+
+/// Without supervision the same fault plan is fatal, with the fault-class
+/// exit code — degradation is a supervisor policy, not a silent default.
+#[test]
+fn unsupervised_faults_stay_fatal() {
+    let kernel = by_name("rgb2cmyk-uc").expect("kernel exists");
+    let mut sys = System::new(SystemConfig::io_x());
+    kernel.init_memory(sys.mem_mut());
+    let err = Supervisor::new(&mut sys, SupervisorConfig::off())
+        .with_plan(FaultPlan::once(FaultKind::Spurious { at_cycle: 1 }))
+        .run(&kernel.program, ExecMode::Specialized)
+        .unwrap_err();
+    assert!(matches!(err, SimError::Injected { .. }), "got {err:?}");
+    assert_eq!(err.exit_code(), 4);
+}
+
+/// A transient (single-shot) fault is recovered by a same-mode retry and
+/// the specialized run still matches its own clean specialized outcome —
+/// recovery does not silently fall back when it does not need to.
+#[test]
+fn transient_faults_recover_without_degrading() {
+    for name in ["rgb2cmyk-uc", "dither-or", "ksack-sm-om"] {
+        let kernel = by_name(name).expect("kernel exists");
+
+        let mut clean = System::new(SystemConfig::io_x());
+        kernel.init_memory(clean.mem_mut());
+        clean.run(&kernel.program, ExecMode::Specialized).expect("clean specialized run");
+
+        let mut sys = System::new(SystemConfig::io_x());
+        kernel.init_memory(sys.mem_mut());
+        let stats = Supervisor::new(&mut sys, SupervisorConfig::protected())
+            .with_plan(FaultPlan::once(FaultKind::Spurious { at_cycle: 3 }))
+            .run(&kernel.program, ExecMode::Specialized)
+            .unwrap_or_else(|e| panic!("{name}: supervised run failed: {e}"));
+
+        assert_eq!(stats.supervisor.degraded, 0, "{name}: transient fault degraded a loop");
+        assert_eq!(stats.supervisor.retries, 1, "{name}");
+        assert!(stats.xloops_specialized >= 1, "{name}: retry did not reach the LPSU");
+        assert_eq!(
+            sys.mem().first_difference(clean.mem()),
+            None,
+            "{name}: retried run's memory diverged from the clean specialized run"
+        );
+    }
+}
