@@ -1,5 +1,5 @@
-//! Ablation study of DESIGN.md's called-out LPSU design choices.
+//! Regenerates the paper's ablation artifact from its declarative
+//! experiment spec. Run with --release.
 fn main() {
-    let report = xloops_bench::render_artifact(xloops_bench::experiments::ablation_report);
-    xloops_bench::emit("ablation", &report);
+    xloops_bench::emit_spec(&xloops_bench::experiments::ablation_spec());
 }

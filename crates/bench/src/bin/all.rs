@@ -1,7 +1,8 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //! Run with --release; artifacts land in `results/`.
 //!
-//! Reports share one memoized run cache: pass 1 collects the unique
+//! Iterates the declarative experiment specs ([`all_specs`]) through one
+//! memoized run cache: pass 1 collects the union of every spec's unique
 //! simulation points, which then execute exactly once each — fanned out
 //! over all hardware threads, or serially with `XLOOPS_BENCH_SERIAL=1`
 //! (byte-identical artifacts either way) — before pass 2 renders from the
@@ -10,17 +11,18 @@
 
 use std::time::Instant;
 
-use xloops_bench::experiments::report_fns;
+use xloops_bench::experiments::all_specs;
+use xloops_bench::manifest::render_with_runner;
 use xloops_bench::{emit, Runner};
 
 fn main() {
     let total = Instant::now();
-    let reports = report_fns();
+    let specs = all_specs();
 
     let t = Instant::now();
     let runner = Runner::collecting();
-    for (_, f) in &reports {
-        let _ = f(&runner);
+    for spec in &specs {
+        let _ = render_with_runner(&runner, spec);
     }
     let collect_s = t.elapsed().as_secs_f64();
 
@@ -29,11 +31,11 @@ fn main() {
     let simulate_s = t.elapsed().as_secs_f64();
 
     let mut timings = Vec::new();
-    for (name, f) in &reports {
+    for spec in &specs {
         let t = Instant::now();
-        let report = f(&runner);
-        emit(name, &report);
-        timings.push((*name, t.elapsed().as_secs_f64()));
+        let report = render_with_runner(&runner, spec);
+        emit(&spec.name, &report);
+        timings.push((spec.name.clone(), t.elapsed().as_secs_f64()));
     }
 
     let stats = runner.cache_stats();

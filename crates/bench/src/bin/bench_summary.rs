@@ -4,21 +4,25 @@
 //! and ooo/4, traditional and specialized), plus one full artifact
 //! regeneration (collect/simulate/render, nothing written to `results/`),
 //! and writes `BENCH_<date>.json` at the workspace root with per-point
-//! wall-clock, simulated cycles, and simulated-cycles-per-second. Future
-//! PRs compare these files numerically instead of prose in EXPERIMENTS.md.
+//! wall-clock, simulated cycles, and simulated-cycles-per-second. The
+//! document is built on the shared deterministic JSON writer of
+//! `xloops-stats` — the same encoder the CLI's `--stats json` output and
+//! the manifest shard files use. Future PRs compare these files
+//! numerically instead of prose in EXPERIMENTS.md.
 //!
 //! The file name's date comes from the system clock; set
 //! `XLOOPS_BENCH_DATE=YYYY-MM-DD` to override (e.g. in CI, or to update an
 //! existing file deterministically).
 
-use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
-use xloops_bench::experiments::report_fns;
+use xloops_bench::experiments::all_specs;
+use xloops_bench::manifest::{mode_tag, render_with_runner};
 use xloops_bench::{run_kernel, Runner};
 use xloops_kernels::table2;
-use xloops_sim::{ExecMode, SystemConfig};
+use xloops_sim::{ExecMode, RunOptions, SystemConfig};
+use xloops_stats::JsonValue;
 
 struct Point {
     kernel: &'static str,
@@ -74,17 +78,17 @@ fn main() {
     // One full artifact regeneration, rendered to strings only: the
     // `all` binary stays the sole writer of `results/`.
     let regen_total = Instant::now();
-    let reports = report_fns();
+    let specs = all_specs();
     let runner = Runner::collecting();
-    for (_, f) in &reports {
-        let _ = f(&runner);
+    for spec in &specs {
+        let _ = render_with_runner(&runner, spec);
     }
     let t = Instant::now();
     let info = runner.prefill();
     let simulate_s = t.elapsed().as_secs_f64();
     let t = Instant::now();
-    for (_, f) in &reports {
-        let _ = f(&runner);
+    for spec in &specs {
+        let _ = render_with_runner(&runner, spec);
     }
     let render_s = t.elapsed().as_secs_f64();
     let regen_s = regen_total.elapsed().as_secs_f64();
@@ -115,24 +119,10 @@ fn main() {
     );
 }
 
-fn mode_tag(mode: ExecMode) -> &'static str {
-    match mode {
-        ExecMode::Traditional => "traditional",
-        ExecMode::Specialized => "specialized",
-        ExecMode::Adaptive => "adaptive",
-    }
-}
-
-fn json_escape(s: &str) -> String {
-    s.chars()
-        .flat_map(|c| match c {
-            '"' => vec!['\\', '"'],
-            '\\' => vec!['\\', '\\'],
-            '\n' => vec!['\\', 'n'],
-            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
-            c => vec![c],
-        })
-        .collect()
+/// Wall-clock seconds rounded to microseconds, so the JSON stays compact
+/// and diffs between runs are readable.
+fn r6(x: f64) -> f64 {
+    (x * 1e6).round() / 1e6
 }
 
 fn render_json(
@@ -144,45 +134,57 @@ fn render_json(
     render_s: f64,
     regen_s: f64,
 ) -> String {
-    let mut s = String::new();
-    let _ = writeln!(s, "{{");
-    let _ = writeln!(s, "  \"date\": \"{date}\",");
-    let _ = writeln!(s, "  \"points\": [");
-    for (i, p) in points.iter().enumerate() {
-        let _ = writeln!(
-            s,
-            "    {{\"kernel\": \"{}\", \"config\": \"{}\", \"mode\": \"{}\", \
-             \"wall_s\": {:.6}, \"sim_cycles\": {}, \"sim_cycles_per_sec\": {:.0}}}{}",
-            p.kernel,
-            p.config,
-            p.mode,
-            p.wall_s,
-            p.sim_cycles,
-            p.sim_cycles as f64 / p.wall_s.max(1e-9),
-            if i + 1 == points.len() { "" } else { "," }
-        );
-    }
-    let _ = writeln!(s, "  ],");
-    let _ = writeln!(
-        s,
-        "  \"errors\": [{}],",
-        errors.iter().map(|e| format!("\"{}\"", json_escape(e))).collect::<Vec<_>>().join(", ")
-    );
     let total_wall: f64 = points.iter().map(|p| p.wall_s).sum();
     let total_cycles: u64 = points.iter().map(|p| p.sim_cycles).sum();
-    let _ = writeln!(
-        s,
-        "  \"totals\": {{\"wall_s\": {:.6}, \"sim_cycles\": {}, \"sim_cycles_per_sec\": {:.0}}},",
-        total_wall,
-        total_cycles,
-        total_cycles as f64 / total_wall.max(1e-9)
-    );
-    let _ = writeln!(
-        s,
-        "  \"full_regen\": {{\"unique_points\": {unique_points}, \"simulate_s\": {simulate_s:.6}, \
-         \"render_s\": {render_s:.6}, \"total_s\": {regen_s:.6}}}"
-    );
-    let _ = writeln!(s, "}}");
+    let doc = JsonValue::object(vec![
+        ("date", JsonValue::Str(date.to_string())),
+        (
+            "points",
+            JsonValue::Array(
+                points
+                    .iter()
+                    .map(|p| {
+                        JsonValue::object(vec![
+                            ("kernel", JsonValue::Str(p.kernel.to_string())),
+                            ("config", JsonValue::Str(p.config.clone())),
+                            ("mode", JsonValue::Str(p.mode.to_string())),
+                            ("wall_s", JsonValue::Float(r6(p.wall_s))),
+                            ("sim_cycles", JsonValue::UInt(p.sim_cycles)),
+                            (
+                                "sim_cycles_per_sec",
+                                JsonValue::UInt(
+                                    (p.sim_cycles as f64 / p.wall_s.max(1e-9)).round() as u64
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("errors", JsonValue::Array(errors.iter().map(|e| JsonValue::Str(e.clone())).collect())),
+        (
+            "totals",
+            JsonValue::object(vec![
+                ("wall_s", JsonValue::Float(r6(total_wall))),
+                ("sim_cycles", JsonValue::UInt(total_cycles)),
+                (
+                    "sim_cycles_per_sec",
+                    JsonValue::UInt((total_cycles as f64 / total_wall.max(1e-9)).round() as u64),
+                ),
+            ]),
+        ),
+        (
+            "full_regen",
+            JsonValue::object(vec![
+                ("unique_points", JsonValue::UInt(unique_points as u64)),
+                ("simulate_s", JsonValue::Float(r6(simulate_s))),
+                ("render_s", JsonValue::Float(r6(render_s))),
+                ("total_s", JsonValue::Float(r6(regen_s))),
+            ]),
+        ),
+    ]);
+    let mut s = doc.render_pretty();
+    s.push('\n');
     s
 }
 
@@ -194,7 +196,7 @@ fn workspace_root() -> PathBuf {
 }
 
 fn bench_date() -> String {
-    if let Ok(d) = std::env::var("XLOOPS_BENCH_DATE") {
+    if let Some(d) = RunOptions::from_env().bench_date {
         return d;
     }
     let secs = SystemTime::now().duration_since(UNIX_EPOCH).expect("clock after 1970").as_secs();

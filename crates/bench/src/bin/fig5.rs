@@ -1,5 +1,5 @@
-//! Regenerates the paper's fig5 artifact. Run with --release.
+//! Regenerates the paper's fig5 artifact from its declarative
+//! experiment spec. Run with --release.
 fn main() {
-    let report = xloops_bench::render_artifact(xloops_bench::experiments::fig5_report);
-    xloops_bench::emit("fig5", &report);
+    xloops_bench::emit_spec(&xloops_bench::experiments::fig5_spec());
 }

@@ -1,5 +1,5 @@
-//! Regenerates the paper's fig8 artifact. Run with --release.
+//! Regenerates the paper's fig8 artifact from its declarative
+//! experiment spec. Run with --release.
 fn main() {
-    let report = xloops_bench::render_artifact(xloops_bench::experiments::fig8_report);
-    xloops_bench::emit("fig8", &report);
+    xloops_bench::emit_spec(&xloops_bench::experiments::fig8_spec());
 }

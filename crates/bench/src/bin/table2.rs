@@ -1,5 +1,5 @@
-//! Regenerates the paper's table2 artifact. Run with --release.
+//! Regenerates the paper's table2 artifact from its declarative
+//! experiment spec. Run with --release.
 fn main() {
-    let report = xloops_bench::render_artifact(xloops_bench::experiments::table2_report);
-    xloops_bench::emit("table2", &report);
+    xloops_bench::emit_spec(&xloops_bench::experiments::table2_spec());
 }

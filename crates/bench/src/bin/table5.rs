@@ -1,5 +1,5 @@
-//! Regenerates the paper's table5 artifact. Run with --release.
+//! Regenerates the paper's table5 artifact from its declarative
+//! experiment spec. Run with --release.
 fn main() {
-    let report = xloops_bench::render_artifact(xloops_bench::experiments::table5_report);
-    xloops_bench::emit("table5", &report);
+    xloops_bench::emit_spec(&xloops_bench::experiments::table5_spec());
 }

@@ -1,177 +1,231 @@
-//! One function per paper artifact. Each takes the memoizing
-//! [`Runner`] and returns the rendered text table; the `src/bin/*` entry
-//! points drive the two-pass collect/execute/render protocol (see
-//! [`crate::runner`]) and write `results/<name>.txt`.
+//! One declarative [`ExperimentSpec`] per paper artifact.
+//!
+//! Each `*_spec()` constructor builds the artifact as pure data — points
+//! plus rendering description (see [`crate::manifest`]) — and the
+//! `*_report()` wrappers feed it to the generic
+//! [`render_with_runner`] driver, so every figure and table
+//! goes through one code path whether it runs locally, from a manifest
+//! file, or sharded across machines. The rendered text is byte-identical
+//! to the historical imperative reports.
 
-use xloops_energy::{
-    gpp_area_mm2, lpsu_area_mm2, lpsu_cycle_time_ns, scalar_cycle_time_ns, EnergyTable,
-};
-use xloops_kernels::{by_name, table2, table4};
+use xloops_energy::{gpp_area_mm2, lpsu_area_mm2, lpsu_cycle_time_ns, scalar_cycle_time_ns};
+use xloops_kernels::{table2, table4};
 use xloops_lpsu::LpsuConfig;
-use xloops_sim::{ExecMode, SystemConfig};
-use xloops_stats::StatValue;
+use xloops_sim::ExecMode;
 
-use crate::{energy_efficiency, f2, speedup, Runner, TextTable};
+use crate::manifest::{
+    render_with_runner, BarRow, Cell, EnergyPreset, ExperimentSpec, GppPreset, SectionBody,
+    SpecBuilder,
+};
+use crate::{f2, Runner};
 
-fn gpp_triples() -> [(SystemConfig, SystemConfig); 3] {
-    [
-        (SystemConfig::io(), SystemConfig::io_x()),
-        (SystemConfig::ooo2(), SystemConfig::ooo2_x()),
-        (SystemConfig::ooo4(), SystemConfig::ooo4_x()),
-    ]
+/// The three GPP classes every cross-baseline artifact sweeps.
+const GPPS: [GppPreset; 3] = [GppPreset::Io, GppPreset::Ooo2, GppPreset::Ooo4];
+
+fn gpp_name(gpp: GppPreset) -> &'static str {
+    match gpp {
+        GppPreset::Io => "io",
+        GppPreset::Ooo2 => "ooo/2",
+        GppPreset::Ooo4 => "ooo/4",
+    }
+}
+
+fn x_name(gpp: GppPreset) -> &'static str {
+    match gpp {
+        GppPreset::Io => "io+x",
+        GppPreset::Ooo2 => "ooo/2+x",
+        GppPreset::Ooo4 => "ooo/4+x",
+    }
+}
+
+fn primary() -> Option<LpsuConfig> {
+    Some(LpsuConfig::default4())
 }
 
 /// Table II: dynamic instruction counts, X/G ratio, and T/S/A speedups on
 /// all three GPP classes.
-pub fn table2_report(r: &Runner) -> String {
-    let mut t = TextTable::new(&[
+pub fn table2_spec() -> ExperimentSpec {
+    let mut b = SpecBuilder::new(
+        "table2",
+        "Table II: XLOOPS application kernels and cycle-level results\n\
+         (speedups normalized to the GP-ISA binary on the matching baseline GPP)\n\n",
+    );
+    let header: Vec<String> = [
         "name", "suite", "type", "GPI", "X/G", "io:T", "io:S", "io:A", "ooo2:T", "ooo2:S",
         "ooo2:A", "ooo4:T", "ooo4:S", "ooo4:A",
-    ]);
-    let triples = gpp_triples();
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows = Vec::new();
     for k in table2() {
-        let gp_io = r.baseline(k, SystemConfig::io());
-        let x_io_t = r.run(k, SystemConfig::io(), ExecMode::Traditional);
-        let xg = x_io_t.stats.instret as f64 / gp_io.stats.instret.max(1) as f64;
+        let gp_io = b.baseline(k.name, GppPreset::Io, EnergyPreset::Mcpat45);
+        let x_io_t =
+            b.point(k.name, GppPreset::Io, None, EnergyPreset::Mcpat45, ExecMode::Traditional);
         let mut cells = vec![
-            k.name.to_string(),
-            k.suite.tag().to_string(),
-            k.patterns.to_string(),
-            format_insns(gp_io.stats.instret),
-            f2(xg),
+            Cell::Text(k.name.to_string()),
+            Cell::Text(k.suite.tag().to_string()),
+            Cell::Text(k.patterns.to_string()),
+            Cell::Insns { point: gp_io },
+            Cell::Ratio { num: x_io_t, den: gp_io, path: "instret".into() },
         ];
-        for (base_cfg, x_cfg) in &triples {
-            let base = r.baseline(k, *base_cfg);
-            let t_run = r.run(k, *base_cfg, ExecMode::Traditional);
-            let s_run = r.run(k, *x_cfg, ExecMode::Specialized);
-            let a_run = r.run(k, *x_cfg, ExecMode::Adaptive);
-            cells.push(f2(speedup(&base, &t_run)));
-            cells.push(f2(speedup(&base, &s_run)));
-            cells.push(f2(speedup(&base, &a_run)));
+        for gpp in GPPS {
+            let base = b.baseline(k.name, gpp, EnergyPreset::Mcpat45);
+            let t_run = b.point(k.name, gpp, None, EnergyPreset::Mcpat45, ExecMode::Traditional);
+            let s_run =
+                b.point(k.name, gpp, primary(), EnergyPreset::Mcpat45, ExecMode::Specialized);
+            let a_run = b.point(k.name, gpp, primary(), EnergyPreset::Mcpat45, ExecMode::Adaptive);
+            cells.push(Cell::Speedup { base, run: t_run });
+            cells.push(Cell::Speedup { base, run: s_run });
+            cells.push(Cell::Speedup { base, run: a_run });
         }
-        t.row(cells);
+        rows.push(cells);
     }
-    format!(
-        "Table II: XLOOPS application kernels and cycle-level results\n\
-         (speedups normalized to the GP-ISA binary on the matching baseline GPP)\n\n{}",
-        t.render()
-    )
-}
-
-fn format_insns(n: u64) -> String {
-    if n >= 1_000_000 {
-        format!("{:.1}M", n as f64 / 1e6)
-    } else {
-        format!("{}K", n / 1000)
-    }
+    b.section("", SectionBody::Table { header, rows }, "");
+    b.build()
 }
 
 /// Figure 5: specialized-execution speedup against the out-of-order
 /// baselines (bar-chart data with ASCII bars).
-pub fn fig5_report(r: &Runner) -> String {
-    let mut out = String::from(
+pub fn fig5_spec() -> ExperimentSpec {
+    let mut b = SpecBuilder::new(
+        "fig5",
         "Figure 5: specialized execution vs out-of-order baselines\n\
          (each bar: kernel speedup of S on ooo/N+x over GP-ISA on ooo/N)\n\n",
     );
-    let triples = gpp_triples();
-    for (base_cfg, x_cfg) in [&triples[1], &triples[2]] {
-        out.push_str(&format!("--- vs {} ---\n", base_cfg.name()));
+    for gpp in [GppPreset::Ooo2, GppPreset::Ooo4] {
+        let mut rows = Vec::new();
         for k in table2() {
-            let base = r.baseline(k, *base_cfg);
-            let s_run = r.run(k, *x_cfg, ExecMode::Specialized);
-            let sp = speedup(&base, &s_run);
-            let bar = "#".repeat((sp * 10.0).round().min(60.0) as usize);
-            out.push_str(&format!("{:14} {:5.2} {bar}\n", k.name, sp));
+            let base = b.baseline(k.name, gpp, EnergyPreset::Mcpat45);
+            let run = b.point(k.name, gpp, primary(), EnergyPreset::Mcpat45, ExecMode::Specialized);
+            rows.push(BarRow { label: k.name.to_string(), base, run });
         }
-        out.push('\n');
+        b.section(&format!("--- vs {} ---\n", gpp_name(gpp)), SectionBody::Bars { rows }, "\n");
     }
-    out
+    b.build()
 }
 
-/// Figure 6: breakdown of lane-cycles during specialized execution.
-pub fn fig6_report(r: &Runner) -> String {
-    let mut t = TextTable::new(&[
-        "name", "exec%", "raw%", "mem%", "llfu%", "cir%", "lsq%", "squash%", "idle%", "squashes",
-    ]);
-    for k in table2() {
-        let run = r.run(k, SystemConfig::ooo2_x(), ExecMode::Specialized);
-        // Consume the unified schema rather than the raw struct: the same
-        // dotted paths the CLI's `--stats json` output exposes.
-        let l = run.stats.lpsu.stat_set();
-        let counter = |path: &str| l.lookup(path).and_then(StatValue::as_counter).unwrap_or(0);
-        let total = counter("lane_cycles").max(1) as f64;
-        let pct = |path: &str| format!("{:.1}", 100.0 * counter(path) as f64 / total);
-        t.row(vec![
-            k.name.to_string(),
-            pct("exec"),
-            pct("stalls.raw"),
-            pct("stalls.mem_port"),
-            pct("stalls.llfu"),
-            pct("stalls.cir"),
-            pct("stalls.lsq"),
-            pct("squash"),
-            pct("idle"),
-            counter("squashed_iters").to_string(),
-        ]);
-    }
-    format!(
+/// Figure 6: breakdown of lane-cycles during specialized execution. The
+/// cell formulas consume the same dotted stat paths the CLI's
+/// `--stats json` output exposes (under the `lpsu` subtree).
+pub fn fig6_spec() -> ExperimentSpec {
+    let mut b = SpecBuilder::new(
+        "fig6",
         "Figure 6: cycle breakdown of specialized execution on ooo/2+x\n\
-         (fraction of LPSU lane-cycles per category)\n\n{}",
-        t.render()
-    )
+         (fraction of LPSU lane-cycles per category)\n\n",
+    );
+    let header: Vec<String> =
+        ["name", "exec%", "raw%", "mem%", "llfu%", "cir%", "lsq%", "squash%", "idle%", "squashes"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    let fractions = [
+        "lpsu.exec",
+        "lpsu.stalls.raw",
+        "lpsu.stalls.mem_port",
+        "lpsu.stalls.llfu",
+        "lpsu.stalls.cir",
+        "lpsu.stalls.lsq",
+        "lpsu.squash",
+        "lpsu.idle",
+    ];
+    let mut rows = Vec::new();
+    for k in table2() {
+        let run = b.point(
+            k.name,
+            GppPreset::Ooo2,
+            primary(),
+            EnergyPreset::Mcpat45,
+            ExecMode::Specialized,
+        );
+        let mut cells = vec![Cell::Text(k.name.to_string())];
+        for path in fractions {
+            cells.push(Cell::Pct {
+                point: run,
+                path: path.into(),
+                total: "lpsu.lane_cycles".into(),
+            });
+        }
+        cells.push(Cell::Counter { point: run, path: "lpsu.squashed_iters".into() });
+        rows.push(cells);
+    }
+    b.section("", SectionBody::Table { header, rows }, "");
+    b.build()
 }
 
 /// Figure 7: specialized vs adaptive execution on ooo/4+x.
-pub fn fig7_report(r: &Runner) -> String {
-    let mut t = TextTable::new(&["name", "S", "A", "chose"]);
+pub fn fig7_spec() -> ExperimentSpec {
+    let mut b = SpecBuilder::new(
+        "fig7",
+        "Figure 7: specialized vs adaptive execution on ooo/4+x\n\
+         (speedup over GP-ISA on ooo/4; adaptive profiles 256 iters / 2000 cycles)\n\n",
+    );
+    let header: Vec<String> = ["name", "S", "A", "chose"].iter().map(|s| s.to_string()).collect();
+    let mut rows = Vec::new();
     for k in table2() {
-        let base = r.baseline(k, SystemConfig::ooo4());
-        let s_run = r.run(k, SystemConfig::ooo4_x(), ExecMode::Specialized);
-        let a_run = r.run(k, SystemConfig::ooo4_x(), ExecMode::Adaptive);
-        let chose = if a_run.stats.adaptive_to_gpp > 0 { "gpp" } else { "lpsu" };
-        t.row(vec![
-            k.name.to_string(),
-            f2(speedup(&base, &s_run)),
-            f2(speedup(&base, &a_run)),
-            chose.to_string(),
+        let base = b.baseline(k.name, GppPreset::Ooo4, EnergyPreset::Mcpat45);
+        let s_run = b.point(
+            k.name,
+            GppPreset::Ooo4,
+            primary(),
+            EnergyPreset::Mcpat45,
+            ExecMode::Specialized,
+        );
+        let a_run =
+            b.point(k.name, GppPreset::Ooo4, primary(), EnergyPreset::Mcpat45, ExecMode::Adaptive);
+        rows.push(vec![
+            Cell::Text(k.name.to_string()),
+            Cell::Speedup { base, run: s_run },
+            Cell::Speedup { base, run: a_run },
+            Cell::Choice {
+                point: a_run,
+                path: "adaptive_to_gpp".into(),
+                nonzero: "gpp".into(),
+                zero: "lpsu".into(),
+            },
         ]);
     }
-    format!(
-        "Figure 7: specialized vs adaptive execution on ooo/4+x\n\
-         (speedup over GP-ISA on ooo/4; adaptive profiles 256 iters / 2000 cycles)\n\n{}",
-        t.render()
-    )
+    b.section("", SectionBody::Table { header, rows }, "");
+    b.build()
 }
 
 /// Figure 8: dynamic energy efficiency vs performance for specialized and
 /// adaptive execution on all three GPP+LPSU systems.
-pub fn fig8_report(r: &Runner) -> String {
-    let mut out = String::from(
+pub fn fig8_spec() -> ExperimentSpec {
+    let mut b = SpecBuilder::new(
+        "fig8",
         "Figure 8: energy efficiency vs performance\n\
          (normalized to the GP-ISA binary on the matching baseline GPP;\n\
           eff > 1 uses less energy, perf > 1 is faster; power = eff/perf < 1 means less power)\n\n",
     );
-    for (base_cfg, x_cfg) in gpp_triples() {
-        let mut t = TextTable::new(&["name", "S perf", "S eff", "A perf", "A eff"]);
+    let header: Vec<String> =
+        ["name", "S perf", "S eff", "A perf", "A eff"].iter().map(|s| s.to_string()).collect();
+    for gpp in GPPS {
+        let mut rows = Vec::new();
         for k in table2() {
-            let base = r.baseline(k, base_cfg);
-            let s_run = r.run(k, x_cfg, ExecMode::Specialized);
-            let a_run = r.run(k, x_cfg, ExecMode::Adaptive);
-            t.row(vec![
-                k.name.to_string(),
-                f2(speedup(&base, &s_run)),
-                f2(energy_efficiency(&base, &s_run)),
-                f2(speedup(&base, &a_run)),
-                f2(energy_efficiency(&base, &a_run)),
+            let base = b.baseline(k.name, gpp, EnergyPreset::Mcpat45);
+            let s_run =
+                b.point(k.name, gpp, primary(), EnergyPreset::Mcpat45, ExecMode::Specialized);
+            let a_run = b.point(k.name, gpp, primary(), EnergyPreset::Mcpat45, ExecMode::Adaptive);
+            rows.push(vec![
+                Cell::Text(k.name.to_string()),
+                Cell::Speedup { base, run: s_run },
+                Cell::EnergyEff { base, run: s_run },
+                Cell::Speedup { base, run: a_run },
+                Cell::EnergyEff { base, run: a_run },
             ]);
         }
-        out.push_str(&format!("--- {} ---\n{}\n", x_cfg.name(), t.render()));
+        b.section(
+            &format!("--- {} ---\n", x_name(gpp)),
+            SectionBody::Table { header: header.clone(), rows },
+            "\n",
+        );
     }
-    out
+    b.build()
 }
 
 /// Figure 9: microarchitectural design-space exploration on ooo/4.
-pub fn fig9_report(r: &Runner) -> String {
+pub fn fig9_spec() -> ExperimentSpec {
     let select = ["sgemm-uc", "viterbi-uc", "kmeans-or", "covar-or", "btree-ua"];
     let variants: [(&str, LpsuConfig); 5] = [
         ("x4", LpsuConfig::default4()),
@@ -180,142 +234,256 @@ pub fn fig9_report(r: &Runner) -> String {
         ("x8+r", LpsuConfig::default4().with_lanes(8).with_double_resources()),
         ("x8+r+m", LpsuConfig::default4().with_lanes(8).with_double_resources().with_big_lsq()),
     ];
-    let mut header = vec!["name"];
-    header.extend(variants.iter().map(|(n, _)| *n));
-    let mut t = TextTable::new(&header);
-    for name in select {
-        let k = by_name(name).expect("selected kernel exists");
-        let base = r.baseline(k, SystemConfig::ooo4());
-        let mut cells = vec![name.to_string()];
-        for (_, lpsu) in variants {
-            let cfg = SystemConfig::ooo4_x().with_lpsu(lpsu);
-            let run = r.run(k, cfg, ExecMode::Specialized);
-            cells.push(f2(speedup(&base, &run)));
-        }
-        t.row(cells);
-    }
-    format!(
+    let mut b = SpecBuilder::new(
+        "fig9",
         "Figure 9: LPSU design-space exploration on ooo/4\n\
          (specialized-execution speedup over GP-ISA on ooo/4;\n\
-          +t = 2-way lane multithreading, x8 = 8 lanes, +r = 2x LLFU/mem ports, +m = 16+16 LSQ)\n\n{}",
-        t.render()
-    )
+          +t = 2-way lane multithreading, x8 = 8 lanes, +r = 2x LLFU/mem ports, +m = 16+16 LSQ)\n\n",
+    );
+    let mut header = vec!["name".to_string()];
+    header.extend(variants.iter().map(|(n, _)| n.to_string()));
+    let mut rows = Vec::new();
+    for name in select {
+        let base = b.baseline(name, GppPreset::Ooo4, EnergyPreset::Mcpat45);
+        let mut cells = vec![Cell::Text(name.to_string())];
+        for (_, lpsu) in variants {
+            let run = b.point(
+                name,
+                GppPreset::Ooo4,
+                Some(lpsu),
+                EnergyPreset::Mcpat45,
+                ExecMode::Specialized,
+            );
+            cells.push(Cell::Speedup { base, run });
+        }
+        rows.push(cells);
+    }
+    b.section("", SectionBody::Table { header, rows }, "");
+    b.build()
 }
 
 /// Table IV: hand-optimized `or` schedules and loop-transformed variants.
-pub fn table4_report(r: &Runner) -> String {
-    let mut t = TextTable::new(&["name", "type", "io+x", "ooo2+x", "ooo4+x"]);
-    let triples = gpp_triples();
-    for k in table4() {
-        let mut cells = vec![k.name.to_string(), k.patterns.to_string()];
-        for (base_cfg, x_cfg) in &triples {
-            let base = r.baseline(k, *base_cfg);
-            let run = r.run(k, *x_cfg, ExecMode::Specialized);
-            cells.push(f2(speedup(&base, &run)));
-        }
-        t.row(cells);
-    }
-    format!(
+pub fn table4_spec() -> ExperimentSpec {
+    let mut b = SpecBuilder::new(
+        "table4",
         "Table IV: case study results\n\
          (specialized-execution speedup over the variant's GP-ISA binary\n\
-          on the matching baseline GPP)\n\n{}",
-        t.render()
-    )
+          on the matching baseline GPP)\n\n",
+    );
+    let header: Vec<String> =
+        ["name", "type", "io+x", "ooo2+x", "ooo4+x"].iter().map(|s| s.to_string()).collect();
+    let mut rows = Vec::new();
+    for k in table4() {
+        let mut cells = vec![Cell::Text(k.name.to_string()), Cell::Text(k.patterns.to_string())];
+        for gpp in GPPS {
+            let base = b.baseline(k.name, gpp, EnergyPreset::Mcpat45);
+            let run = b.point(k.name, gpp, primary(), EnergyPreset::Mcpat45, ExecMode::Specialized);
+            cells.push(Cell::Speedup { base, run });
+        }
+        rows.push(cells);
+    }
+    b.section("", SectionBody::Table { header, rows }, "");
+    b.build()
 }
 
-/// Table V: the analytical VLSI area / cycle-time model (no simulations).
-pub fn table5_report(_r: &Runner) -> String {
-    let mut t = TextTable::new(&["config", "CT (ns)", "area (mm2)", "overhead"]);
-    t.row(vec!["scalar".into(), f2(scalar_cycle_time_ns()), f2(gpp_area_mm2()), "--".into()]);
+/// Table V: the analytical VLSI area / cycle-time model. No simulation
+/// points — every cell is computed from the (deterministic) analytical
+/// model when the spec is built.
+pub fn table5_spec() -> ExperimentSpec {
+    let mut b = SpecBuilder::new(
+        "table5",
+        "Table V: VLSI area and cycle-time results for the LPSU\n\
+         (analytical model calibrated to the published post-P&R numbers;\n\
+          see crates/energy/src/area.rs for the decomposition)\n\n",
+    );
+    let header: Vec<String> =
+        ["config", "CT (ns)", "area (mm2)", "overhead"].iter().map(|s| s.to_string()).collect();
+    let mut rows = vec![vec![
+        Cell::Text("scalar".into()),
+        Cell::Text(f2(scalar_cycle_time_ns())),
+        Cell::Text(f2(gpp_area_mm2())),
+        Cell::Text("--".into()),
+    ]];
     let sweep: [(u32, u32); 7] =
         [(96, 4), (128, 4), (160, 4), (192, 4), (128, 2), (128, 6), (128, 8)];
     for (ibuf, lanes) in sweep {
         let area = gpp_area_mm2() + lpsu_area_mm2(ibuf, lanes);
         let overhead = lpsu_area_mm2(ibuf, lanes) / gpp_area_mm2();
-        t.row(vec![
-            format!("lpsu+i{ibuf:03}+ln{lanes}"),
-            f2(lpsu_cycle_time_ns(ibuf, lanes)),
-            f2(area),
-            format!("{:.0}%", overhead * 100.0),
+        rows.push(vec![
+            Cell::Text(format!("lpsu+i{ibuf:03}+ln{lanes}")),
+            Cell::Text(f2(lpsu_cycle_time_ns(ibuf, lanes))),
+            Cell::Text(f2(area)),
+            Cell::Text(format!("{:.0}%", overhead * 100.0)),
         ]);
     }
-    format!(
-        "Table V: VLSI area and cycle-time results for the LPSU\n\
-         (analytical model calibrated to the published post-P&R numbers;\n\
-          see crates/energy/src/area.rs for the decomposition)\n\n{}",
-        t.render()
-    )
+    b.section("", SectionBody::Table { header, rows }, "");
+    b.build()
 }
 
 /// Figure 10: the VLSI-flavoured energy study on the `xloop.uc` kernels.
-pub fn fig10_report(r: &Runner) -> String {
+pub fn fig10_spec() -> ExperimentSpec {
     let uc = ["rgb2cmyk-uc", "sgemm-uc", "ssearch-uc", "symm-uc", "viterbi-uc", "war-uc"];
-    let vlsi = EnergyTable::vlsi40();
-    let base_cfg = SystemConfig::io().with_energy(vlsi);
-    let x_cfg = SystemConfig::io_x().with_energy(vlsi);
-    let mut t = TextTable::new(&["name", "speedup", "energy eff"]);
-    for name in uc {
-        let k = by_name(name).expect("uc kernel exists");
-        let base = r.baseline(k, base_cfg);
-        let run = r.run(k, x_cfg, ExecMode::Specialized);
-        t.row(vec![name.to_string(), f2(speedup(&base, &run)), f2(energy_efficiency(&base, &run))]);
-    }
-    format!(
+    let mut b = SpecBuilder::new(
+        "fig10",
         "Figure 10: VLSI energy efficiency vs performance (40nm-class table)\n\
          (xloop.uc kernels, specialized on io+x vs GP-ISA on the scalar GPP;\n\
           instruction-buffer access = I-cache access / 10, as measured by the\n\
-          paper's ASIC flow)\n\n{}",
-        t.render()
-    )
+          paper's ASIC flow)\n\n",
+    );
+    let header: Vec<String> =
+        ["name", "speedup", "energy eff"].iter().map(|s| s.to_string()).collect();
+    let mut rows = Vec::new();
+    for name in uc {
+        let base = b.baseline(name, GppPreset::Io, EnergyPreset::Vlsi40);
+        let run =
+            b.point(name, GppPreset::Io, primary(), EnergyPreset::Vlsi40, ExecMode::Specialized);
+        rows.push(vec![
+            Cell::Text(name.to_string()),
+            Cell::Speedup { base, run },
+            Cell::EnergyEff { base, run },
+        ]);
+    }
+    b.section("", SectionBody::Table { header, rows }, "");
+    b.build()
 }
 
 /// Ablation study of design choices called out in `DESIGN.md`: the
 /// cross-lane store-load forwarding extension (the paper's "more
 /// aggressive implementations" note) on the speculation-bound kernels,
 /// and the CIB transfer latency on the CIR-bound kernels.
-pub fn ablation_report(r: &Runner) -> String {
-    let mut out = String::from(
+pub fn ablation_spec() -> ExperimentSpec {
+    let mut b = SpecBuilder::new(
+        "ablation",
         "Ablation: LPSU design choices (specialized execution on ooo/2+x,\n\
          speedup over GP-ISA on ooo/2)\n\n",
     );
 
     // Cross-lane forwarding on memory-speculation kernels.
-    let mut t = TextTable::new(&["name", "base", "+xlf", "squashes base", "squashes +xlf"]);
+    let header: Vec<String> = ["name", "base", "+xlf", "squashes base", "squashes +xlf"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows = Vec::new();
     for name in ["dynprog-om", "ksack-sm-om", "stencil-orm", "hsort-ua", "war-om"] {
-        let k = by_name(name).expect("kernel exists");
-        let base_run = r.baseline(k, SystemConfig::ooo2());
-        let plain = r.run(k, SystemConfig::ooo2_x(), ExecMode::Specialized);
-        let xlf_cfg =
-            SystemConfig::ooo2_x().with_lpsu(LpsuConfig::default4().with_cross_lane_forwarding());
-        let xlf = r.run(k, xlf_cfg, ExecMode::Specialized);
-        t.row(vec![
-            name.to_string(),
-            f2(speedup(&base_run, &plain)),
-            f2(speedup(&base_run, &xlf)),
-            plain.stats.lpsu.squashed_iters.to_string(),
-            xlf.stats.lpsu.squashed_iters.to_string(),
+        let base = b.baseline(name, GppPreset::Ooo2, EnergyPreset::Mcpat45);
+        let plain =
+            b.point(name, GppPreset::Ooo2, primary(), EnergyPreset::Mcpat45, ExecMode::Specialized);
+        let xlf = b.point(
+            name,
+            GppPreset::Ooo2,
+            Some(LpsuConfig::default4().with_cross_lane_forwarding()),
+            EnergyPreset::Mcpat45,
+            ExecMode::Specialized,
+        );
+        rows.push(vec![
+            Cell::Text(name.to_string()),
+            Cell::Speedup { base, run: plain },
+            Cell::Speedup { base, run: xlf },
+            Cell::Counter { point: plain, path: "lpsu.squashed_iters".into() },
+            Cell::Counter { point: xlf, path: "lpsu.squashed_iters".into() },
         ]);
     }
-    out.push_str("--- cross-lane store-load forwarding ---\n");
-    out.push_str(&t.render());
+    b.section(
+        "--- cross-lane store-load forwarding ---\n",
+        SectionBody::Table { header, rows },
+        "",
+    );
 
     // CIB latency sweep on CIR-bound kernels.
-    let mut t = TextTable::new(&["name", "cib=1", "cib=2", "cib=4"]);
+    let header: Vec<String> =
+        ["name", "cib=1", "cib=2", "cib=4"].iter().map(|s| s.to_string()).collect();
+    let mut rows = Vec::new();
     for name in ["adpcm-or", "dither-or", "sha-or", "kmeans-or"] {
-        let k = by_name(name).expect("kernel exists");
-        let base_run = r.baseline(k, SystemConfig::ooo2());
-        let mut cells = vec![name.to_string()];
+        let base = b.baseline(name, GppPreset::Ooo2, EnergyPreset::Mcpat45);
+        let mut cells = vec![Cell::Text(name.to_string())];
         for lat in [1, 2, 4] {
-            let cfg =
-                SystemConfig::ooo2_x().with_lpsu(LpsuConfig::default4().with_cib_latency(lat));
-            let run = r.run(k, cfg, ExecMode::Specialized);
-            cells.push(f2(speedup(&base_run, &run)));
+            let run = b.point(
+                name,
+                GppPreset::Ooo2,
+                Some(LpsuConfig::default4().with_cib_latency(lat)),
+                EnergyPreset::Mcpat45,
+                ExecMode::Specialized,
+            );
+            cells.push(Cell::Speedup { base, run });
         }
-        t.row(cells);
+        rows.push(cells);
     }
-    out.push_str("\n--- CIB transfer latency ---\n");
-    out.push_str(&t.render());
-    out
+    b.section("\n--- CIB transfer latency ---\n", SectionBody::Table { header, rows }, "");
+    b.build()
+}
+
+/// Every artifact spec, in emission order.
+pub fn all_specs() -> Vec<ExperimentSpec> {
+    vec![
+        table2_spec(),
+        fig5_spec(),
+        fig6_spec(),
+        fig7_spec(),
+        fig8_spec(),
+        fig9_spec(),
+        table4_spec(),
+        table5_spec(),
+        fig10_spec(),
+        ablation_spec(),
+    ]
+}
+
+/// The spec named `name`, if it is one of the known artifacts.
+pub fn spec_by_name(name: &str) -> Option<ExperimentSpec> {
+    all_specs().into_iter().find(|s| s.name == name)
+}
+
+// Thin imperative wrappers: each report is now `render_with_runner` over
+// the artifact's spec, preserving the historical entry points.
+
+/// Renders Table II (see [`table2_spec`]).
+pub fn table2_report(r: &Runner) -> String {
+    render_with_runner(r, &table2_spec())
+}
+
+/// Renders Figure 5 (see [`fig5_spec`]).
+pub fn fig5_report(r: &Runner) -> String {
+    render_with_runner(r, &fig5_spec())
+}
+
+/// Renders Figure 6 (see [`fig6_spec`]).
+pub fn fig6_report(r: &Runner) -> String {
+    render_with_runner(r, &fig6_spec())
+}
+
+/// Renders Figure 7 (see [`fig7_spec`]).
+pub fn fig7_report(r: &Runner) -> String {
+    render_with_runner(r, &fig7_spec())
+}
+
+/// Renders Figure 8 (see [`fig8_spec`]).
+pub fn fig8_report(r: &Runner) -> String {
+    render_with_runner(r, &fig8_spec())
+}
+
+/// Renders Figure 9 (see [`fig9_spec`]).
+pub fn fig9_report(r: &Runner) -> String {
+    render_with_runner(r, &fig9_spec())
+}
+
+/// Renders Table IV (see [`table4_spec`]).
+pub fn table4_report(r: &Runner) -> String {
+    render_with_runner(r, &table4_spec())
+}
+
+/// Renders Table V (see [`table5_spec`]).
+pub fn table5_report(r: &Runner) -> String {
+    render_with_runner(r, &table5_spec())
+}
+
+/// Renders Figure 10 (see [`fig10_spec`]).
+pub fn fig10_report(r: &Runner) -> String {
+    render_with_runner(r, &fig10_spec())
+}
+
+/// Renders the ablation study (see [`ablation_spec`]).
+pub fn ablation_report(r: &Runner) -> String {
+    render_with_runner(r, &ablation_spec())
 }
 
 /// A report generator: renders one artifact from (cached) run results.

@@ -24,6 +24,7 @@
 //! assembler, functional core, and LPSU engine).
 
 pub mod experiments;
+pub mod manifest;
 pub mod runner;
 
 use std::fmt::Write as _;
@@ -32,7 +33,7 @@ use std::path::PathBuf;
 
 use xloops_asm::{lower_gp, Program};
 use xloops_kernels::Kernel;
-use xloops_sim::{ExecMode, Supervisor, SupervisorConfig, System, SystemConfig, SystemStats};
+use xloops_sim::{ExecMode, RunOptions, Supervisor, System, SystemConfig, SystemStats};
 
 pub use runner::{render_artifact, run_reports, RunFailure, Runner};
 
@@ -51,32 +52,23 @@ pub struct RunResult {
     pub error: Option<String>,
 }
 
-/// The supervisor policy requested through the environment, if any:
-/// setting `XLOOPS_SUPERVISE=1`, `XLOOPS_CHECKPOINT_INTERVAL`, or
-/// `XLOOPS_CYCLE_BUDGET` routes every harness simulation through a
-/// [`Supervisor`]. Off by default so artifact runs are bit-for-bit
-/// unaffected by the supervisor's checkpoint counters.
-fn supervisor_from_env() -> Option<SupervisorConfig> {
-    let on = std::env::var("XLOOPS_SUPERVISE").is_ok_and(|v| v == "1")
-        || std::env::var_os("XLOOPS_CHECKPOINT_INTERVAL").is_some()
-        || std::env::var_os("XLOOPS_CYCLE_BUDGET").is_some();
-    on.then(SupervisorConfig::from_env)
-}
-
 /// Runs `program` for `kernel` on a fresh system and verifies the result;
-/// `what` labels panics (`"run"` / `"baseline"`). Shared by the direct
-/// entry points below and the memoizing [`runner::Runner`].
+/// `what` labels panics (`"run"` / `"baseline"`). The only knob of
+/// `options` consulted here is [`RunOptions::supervisor`]; the executor
+/// knobs belong to the [`runner::Runner`]. Shared by the direct entry
+/// points below and the memoizing runner.
 pub(crate) fn run_program(
     kernel: &Kernel,
     program: &Program,
     config: SystemConfig,
     mode: ExecMode,
+    options: &RunOptions,
     what: &str,
 ) -> RunResult {
     let mut sys = System::new(config);
     kernel.init_memory(sys.mem_mut());
-    let run = match supervisor_from_env() {
-        Some(cfg) => Supervisor::new(&mut sys, cfg).run(program, mode),
+    let run = match &options.supervisor {
+        Some(cfg) => Supervisor::new(&mut sys, cfg.clone()).run(program, mode),
         None => sys.run(program, mode),
     };
     let stats = run.unwrap_or_else(|e| panic!("{} {what} on {}: {e}", kernel.name, config.name()));
@@ -86,9 +78,10 @@ pub(crate) fn run_program(
     RunResult { cycles: stats.cycles, energy_nj: stats.energy_nj, stats, error: None }
 }
 
-/// Runs a kernel's XLOOPS binary in the given mode.
+/// Runs a kernel's XLOOPS binary in the given mode, with options from the
+/// environment ([`RunOptions::from_env`]).
 pub fn run_kernel(kernel: &Kernel, config: SystemConfig, mode: ExecMode) -> RunResult {
-    run_program(kernel, &kernel.program, config, mode, "run")
+    run_program(kernel, &kernel.program, config, mode, &RunOptions::from_env(), "run")
 }
 
 /// Runs the *general-purpose ISA* baseline: the same kernel lowered with
@@ -101,8 +94,17 @@ pub fn run_gp_baseline(kernel: &Kernel, config: SystemConfig) -> RunResult {
         &gp,
         SystemConfig { lpsu: None, ..config },
         ExecMode::Traditional,
+        &RunOptions::from_env(),
         "baseline",
     )
+}
+
+/// Drives one artifact binary end to end: two-pass render of `spec`
+/// (collect, parallel prefill, cache-served render), then print + write
+/// `results/<name>.txt`.
+pub fn emit_spec(spec: &manifest::ExperimentSpec) {
+    let report = render_artifact(|r| manifest::render_with_runner(r, spec));
+    emit(&spec.name, &report);
 }
 
 /// `baseline / measured` — >1 means faster than the baseline.

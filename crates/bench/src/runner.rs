@@ -30,13 +30,12 @@
 //! whole artifact regeneration, and `--bin all` reports the quarantined
 //! set (and exits nonzero) instead of dying mid-render.
 //!
-//! Environment:
-//! - `XLOOPS_BENCH_SERIAL=1` — execute the identical job list serially.
-//! - `XLOOPS_BENCH_THREADS=N` — override the worker-thread count.
-//! - `XLOOPS_SUPERVISE=1` / `XLOOPS_CHECKPOINT_INTERVAL` /
-//!   `XLOOPS_CYCLE_BUDGET` — route every simulation through a
-//!   [`xloops_sim::Supervisor`] (checkpointed fault recovery, per-kernel
-//!   cycle budgets).
+//! A runner carries a [`RunOptions`] value fixing its supervision policy
+//! and executor knobs (serial fill, worker count, profiling). The
+//! convenience constructors [`Runner::new`] / [`Runner::collecting`] read
+//! [`RunOptions::from_env`] once at construction; [`Runner::with_options`]
+//! / [`Runner::collecting_with`] take the options explicitly, which is how
+//! the manifest sweep driver records exactly what produced a shard.
 
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -45,7 +44,7 @@ use std::sync::{Arc, Mutex};
 
 use xloops_asm::{lower_gp, Program};
 use xloops_kernels::{by_name, Kernel};
-use xloops_sim::{ConfigKey, ExecMode, SystemConfig, SystemStats};
+use xloops_sim::{ConfigKey, ExecMode, RunOptions, SystemConfig, SystemStats};
 
 use crate::{run_program, RunResult};
 
@@ -111,6 +110,7 @@ pub struct PrefillInfo {
 /// protocol; a runner built with [`Runner::new`] can also be used directly
 /// as a lazy memo cache (misses simulate inline).
 pub struct Runner {
+    options: RunOptions,
     collecting: AtomicBool,
     pending: Mutex<(Vec<Job>, HashSet<RunKey>)>,
     cache: Mutex<HashMap<RunKey, RunResult>>,
@@ -130,10 +130,11 @@ impl Default for Runner {
 }
 
 impl Runner {
-    /// A live runner: requests are served from the cache, misses simulate
-    /// inline and are memoized.
-    pub fn new() -> Runner {
+    /// A live runner with explicit options: requests are served from the
+    /// cache, misses simulate inline and are memoized.
+    pub fn with_options(options: RunOptions) -> Runner {
         Runner {
+            options,
             collecting: AtomicBool::new(false),
             pending: Mutex::new((Vec::new(), HashSet::new())),
             cache: Mutex::new(HashMap::new()),
@@ -145,12 +146,27 @@ impl Runner {
         }
     }
 
-    /// A collecting runner: requests record jobs and return placeholders
-    /// until [`Runner::prefill`] flips it live.
-    pub fn collecting() -> Runner {
-        let r = Runner::new();
+    /// [`Runner::with_options`] with options read from the environment.
+    pub fn new() -> Runner {
+        Runner::with_options(RunOptions::from_env())
+    }
+
+    /// A collecting runner with explicit options: requests record jobs and
+    /// return placeholders until [`Runner::prefill`] flips it live.
+    pub fn collecting_with(options: RunOptions) -> Runner {
+        let r = Runner::with_options(options);
         r.collecting.store(true, Ordering::Relaxed);
         r
+    }
+
+    /// [`Runner::collecting_with`] with options read from the environment.
+    pub fn collecting() -> Runner {
+        Runner::collecting_with(RunOptions::from_env())
+    }
+
+    /// The options this runner was built with.
+    pub fn options(&self) -> &RunOptions {
+        &self.options
     }
 
     /// Requests a kernel run (memoized [`crate::run_kernel`]).
@@ -231,9 +247,16 @@ impl Runner {
             .unwrap_or_else(|| panic!("unknown kernel in run cache: {}", job.key.kernel));
         if job.key.gp_lowered {
             let program = self.gp_program(kernel);
-            run_program(kernel, &program, job.config, ExecMode::Traditional, "baseline")
+            run_program(
+                kernel,
+                &program,
+                job.config,
+                ExecMode::Traditional,
+                &self.options,
+                "baseline",
+            )
         } else {
-            run_program(kernel, &kernel.program, job.config, job.key.mode, "run")
+            run_program(kernel, &kernel.program, job.config, job.key.mode, &self.options, "run")
         }
     }
 
@@ -244,21 +267,20 @@ impl Runner {
     }
 
     /// Executes every collected job exactly once and flips the runner
-    /// live. Jobs fan out over worker threads unless `XLOOPS_BENCH_SERIAL=1`
-    /// (or only one hardware thread is available); either way the cache
-    /// ends up identical, because each job simulates a fresh deterministic
-    /// system.
+    /// live. Jobs fan out over worker threads unless the runner's options
+    /// say [`RunOptions::serial`] (or only one hardware thread is
+    /// available); either way the cache ends up identical, because each
+    /// job simulates a fresh deterministic system.
     pub fn prefill(&self) -> PrefillInfo {
-        let serial = std::env::var("XLOOPS_BENCH_SERIAL").is_ok_and(|v| v == "1");
-        let workers = if serial {
+        let workers = if self.options.serial {
             1
-        } else if let Ok(n) = std::env::var("XLOOPS_BENCH_THREADS") {
-            n.parse().unwrap_or(1).max(1)
+        } else if let Some(n) = self.options.threads {
+            n
         } else {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
         };
         let mut info = self.prefill_with(workers);
-        info.serial = serial;
+        info.serial = self.options.serial;
         info
     }
 
@@ -274,7 +296,7 @@ impl Runner {
         let workers = workers.min(jobs.len().max(1));
 
         if workers <= 1 {
-            let profile = std::env::var("XLOOPS_BENCH_PROFILE").is_ok_and(|v| v == "1");
+            let profile = self.options.profile;
             let mut timings = Vec::new();
             for job in &jobs {
                 let t = std::time::Instant::now();

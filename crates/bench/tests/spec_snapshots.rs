@@ -1,0 +1,191 @@
+//! Snapshot tests pinning the point enumeration of every artifact spec.
+//!
+//! The declarative specs are the single source of truth for which
+//! simulations each figure/table runs; these tests freeze that enumeration
+//! (kernel lists, configuration sweeps, mode combinations) so an
+//! accidental edit to a constructor shows up as a failing snapshot rather
+//! than as silently different paper numbers.
+
+use xloops_bench::experiments::{all_specs, fig9_spec, spec_by_name, table2_spec};
+use xloops_bench::manifest::{
+    Cell, ConfigSpec, EnergyPreset, ExperimentSpec, GppPreset, SectionBody, SpecPoint,
+};
+use xloops_kernels::{table2, table4};
+use xloops_lpsu::LpsuConfig;
+use xloops_sim::ExecMode;
+
+/// The artifact names, in emission order, and each spec's point count as a
+/// closed-form function of the kernel tables.
+#[test]
+fn every_spec_has_its_pinned_name_and_point_count() {
+    let n2 = table2().len();
+    let n4 = table4().len();
+    // Per kernel: 3 GP baselines, and T (no LPSU), S, A on each GPP class,
+    // with io:T shared with the X/G instruction-ratio column.
+    let expected: &[(&str, usize)] = &[
+        ("table2", 12 * n2),
+        // (baseline + specialized) on ooo/2 and ooo/4.
+        ("fig5", 4 * n2),
+        // One specialized point per kernel (ooo/2+x).
+        ("fig6", n2),
+        // baseline + S + A on ooo/4.
+        ("fig7", 3 * n2),
+        // baseline + S + A on each of the three GPP classes.
+        ("fig8", 9 * n2),
+        // 5 kernels x (baseline + 5 LPSU variants).
+        ("fig9", 30),
+        // (baseline + specialized) on each GPP class.
+        ("table4", 6 * n4),
+        // Purely analytical: no simulation points at all.
+        ("table5", 0),
+        // 6 uc kernels x (baseline + specialized), VLSI energy table.
+        ("fig10", 12),
+        // 5 xlf kernels x 3 points + 4 CIB kernels x 4 points.
+        ("ablation", 31),
+    ];
+    let specs = all_specs();
+    let got: Vec<(String, usize)> =
+        specs.iter().map(|s| (s.name.clone(), s.points.len())).collect();
+    let want: Vec<(String, usize)> = expected.iter().map(|&(n, c)| (n.to_string(), c)).collect();
+    assert_eq!(got, want);
+    for spec in &specs {
+        assert!(spec_by_name(&spec.name).is_some());
+    }
+}
+
+fn baseline(kernel: &str, gpp: GppPreset, energy: EnergyPreset) -> SpecPoint {
+    SpecPoint {
+        kernel: kernel.to_string(),
+        config: ConfigSpec { gpp, lpsu: None, energy },
+        mode: ExecMode::Traditional,
+        gp_lowered: true,
+    }
+}
+
+fn run(kernel: &str, gpp: GppPreset, lpsu: LpsuConfig, mode: ExecMode) -> SpecPoint {
+    SpecPoint {
+        kernel: kernel.to_string(),
+        config: ConfigSpec { gpp, lpsu: Some(lpsu), energy: EnergyPreset::Mcpat45 },
+        mode,
+        gp_lowered: false,
+    }
+}
+
+/// Figure 9's LPSU design space on ooo/4, pinned point by point: for each
+/// of the five selected kernels, the GP baseline followed by the x4, x4+t,
+/// x8, x8+r, and x8+r+m variants.
+#[test]
+fn fig9_design_space_is_pinned() {
+    let kernels = ["sgemm-uc", "viterbi-uc", "kmeans-or", "covar-or", "btree-ua"];
+    let variants = [
+        LpsuConfig::default4(),
+        LpsuConfig::default4().with_multithreading(),
+        LpsuConfig::default4().with_lanes(8),
+        LpsuConfig::default4().with_lanes(8).with_double_resources(),
+        LpsuConfig::default4().with_lanes(8).with_double_resources().with_big_lsq(),
+    ];
+    let mut expected = Vec::new();
+    for k in kernels {
+        expected.push(baseline(k, GppPreset::Ooo4, EnergyPreset::Mcpat45));
+        for v in variants {
+            expected.push(run(k, GppPreset::Ooo4, v, ExecMode::Specialized));
+        }
+    }
+    assert_eq!(fig9_spec().points, expected);
+}
+
+/// Table II covers exactly the Table II kernel list, in table order, and
+/// every kernel gets the full T/S/A sweep on all three GPP classes.
+#[test]
+fn table2_sweeps_every_kernel_across_all_gpps_and_modes() {
+    let spec = table2_spec();
+    let SectionBody::Table { rows, .. } = &spec.sections[0].body else {
+        panic!("table2 renders as a table");
+    };
+    let row_names: Vec<&str> = rows
+        .iter()
+        .map(|r| match &r[0] {
+            Cell::Text(t) => t.as_str(),
+            other => panic!("first column is the kernel name, got {other:?}"),
+        })
+        .collect();
+    let kernel_names: Vec<&str> = table2().iter().map(|k| k.name).collect();
+    assert_eq!(row_names, kernel_names);
+
+    for k in table2() {
+        for gpp in [GppPreset::Io, GppPreset::Ooo2, GppPreset::Ooo4] {
+            assert!(
+                spec.points.contains(&baseline(k.name, gpp, EnergyPreset::Mcpat45)),
+                "{} missing its GP baseline on {gpp:?}",
+                k.name
+            );
+            for mode in [ExecMode::Specialized, ExecMode::Adaptive] {
+                assert!(
+                    spec.points.contains(&run(k.name, gpp, LpsuConfig::default4(), mode)),
+                    "{} missing {mode:?} on {gpp:?}",
+                    k.name
+                );
+            }
+            // Traditional runs the XLOOPS binary with no LPSU attached.
+            let trad = SpecPoint {
+                kernel: k.name.to_string(),
+                config: ConfigSpec { gpp, lpsu: None, energy: EnergyPreset::Mcpat45 },
+                mode: ExecMode::Traditional,
+                gp_lowered: false,
+            };
+            assert!(spec.points.contains(&trad), "{} missing T on {gpp:?}", k.name);
+        }
+    }
+}
+
+/// The Figure 6 cycle-breakdown columns read the pinned dotted stat paths
+/// of the system tree (the same paths `--stats json` exposes), all
+/// normalized by total lane-cycles.
+#[test]
+fn fig6_breakdown_paths_are_pinned() {
+    let spec = spec_by_name("fig6").unwrap();
+    let SectionBody::Table { rows, .. } = &spec.sections[0].body else {
+        panic!("fig6 renders as a table");
+    };
+    let expected = [
+        "lpsu.exec",
+        "lpsu.stalls.raw",
+        "lpsu.stalls.mem_port",
+        "lpsu.stalls.llfu",
+        "lpsu.stalls.cir",
+        "lpsu.stalls.lsq",
+        "lpsu.squash",
+        "lpsu.idle",
+    ];
+    for row in rows {
+        let paths: Vec<&str> = row
+            .iter()
+            .filter_map(|c| match c {
+                Cell::Pct { path, total, .. } => {
+                    assert_eq!(total, "lpsu.lane_cycles");
+                    Some(path.as_str())
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(paths, expected);
+        assert!(
+            matches!(&row[row.len() - 1], Cell::Counter { path, .. } if path == "lpsu.squashed_iters")
+        );
+    }
+}
+
+/// Every spec survives the JSON round trip unchanged — including its
+/// fingerprint, which is what shard pairing relies on.
+#[test]
+fn all_specs_round_trip_through_json_with_stable_fingerprints() {
+    for spec in all_specs() {
+        let back = ExperimentSpec::from_json(&spec.to_json()).expect("round trip");
+        assert_eq!(back, spec, "{} changed across encode/parse", spec.name);
+        assert_eq!(back.fingerprint(), spec.fingerprint());
+        // The pretty form parses to the same spec too (it is the
+        // `manifest -o` / sweep file format).
+        let pretty = ExperimentSpec::from_json(&spec.to_json_pretty()).expect("pretty parses");
+        assert_eq!(pretty, spec);
+    }
+}

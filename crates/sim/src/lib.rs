@@ -21,6 +21,7 @@
 mod adaptive;
 mod config;
 mod error;
+mod options;
 mod stats;
 mod supervisor;
 mod system;
@@ -28,6 +29,7 @@ mod system;
 pub use adaptive::{Apt, Decision};
 pub use config::{ConfigKey, ExecMode, SystemConfig};
 pub use error::SimError;
+pub use options::RunOptions;
 pub use stats::SystemStats;
 pub use supervisor::{Supervisor, SupervisorConfig, SupervisorStats};
 pub use system::{System, SystemSnapshot};

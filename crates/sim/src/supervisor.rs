@@ -68,18 +68,14 @@ impl SupervisorConfig {
     /// are ignored.
     pub fn from_env() -> SupervisorConfig {
         let mut cfg = SupervisorConfig::protected();
-        if let Some(v) = env_u64("XLOOPS_CHECKPOINT_INTERVAL") {
+        if let Some(v) = crate::options::env_u64("XLOOPS_CHECKPOINT_INTERVAL") {
             cfg.checkpoint_interval = v.max(1);
         }
-        if let Some(v) = env_u64("XLOOPS_CYCLE_BUDGET") {
+        if let Some(v) = crate::options::env_u64("XLOOPS_CYCLE_BUDGET") {
             cfg.cycle_budget = Some(v);
         }
         cfg
     }
-}
-
-fn env_u64(name: &str) -> Option<u64> {
-    std::env::var(name).ok()?.trim().parse().ok()
 }
 
 /// What the supervisor did during a run. All-zero for unsupervised runs

@@ -15,6 +15,10 @@
 //! Determinism: counters, metrics, and children preserve insertion order,
 //! so the JSON rendering of a given run is byte-stable.
 
+pub mod json;
+
+pub use json::{JsonError, JsonValue};
+
 /// A value retrieved from a [`StatSet`] by [`StatSet::lookup`].
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum StatValue {
@@ -174,67 +178,80 @@ impl StatSet {
     /// Renders the tree as a JSON object:
     /// `{"name": ..., "counters": {...}, "metrics": {...}, "children": [...]}`.
     ///
-    /// Hand-rolled (the workspace carries no serialization dependency) and
-    /// deterministic: key order is insertion order. Non-finite metrics
-    /// render as `null`, since JSON has no NaN/Infinity literals.
+    /// Deterministic: key order is insertion order. Non-finite metrics
+    /// render as `null`, since JSON has no NaN/Infinity literals. Shared
+    /// with every other JSON document the workspace emits via
+    /// [`StatSet::to_json_value`] and the [`json`] writer (the workspace
+    /// carries no serialization dependency).
     pub fn to_json(&self) -> String {
-        let mut out = String::new();
-        self.write_json(&mut out);
-        out
+        self.to_json_value().render()
     }
 
-    fn write_json(&self, out: &mut String) {
-        out.push_str("{\"name\":");
-        write_json_string(out, &self.name);
-        out.push_str(",\"counters\":{");
-        for (i, (name, v)) in self.counters.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            write_json_string(out, name);
-            out.push(':');
-            out.push_str(&v.to_string());
-        }
-        out.push_str("},\"metrics\":{");
-        for (i, (name, v)) in self.metrics.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            write_json_string(out, name);
-            out.push(':');
-            if v.is_finite() {
-                // `{:?}` prints a shortest round-trippable form, which is
-                // also valid JSON for finite values.
-                out.push_str(&format!("{v:?}"));
-            } else {
-                out.push_str("null");
-            }
-        }
-        out.push_str("},\"children\":[");
-        for (i, child) in self.children.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            child.write_json(out);
-        }
-        out.push_str("]}");
+    /// The tree as a generic [`JsonValue`] document, for embedding stat
+    /// trees inside larger documents (shard results, bench summaries).
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("name", JsonValue::Str(self.name.clone())),
+            (
+                "counters",
+                JsonValue::Object(
+                    self.counters.iter().map(|(n, v)| (n.clone(), JsonValue::UInt(*v))).collect(),
+                ),
+            ),
+            (
+                "metrics",
+                JsonValue::Object(
+                    self.metrics.iter().map(|(n, v)| (n.clone(), JsonValue::Float(*v))).collect(),
+                ),
+            ),
+            (
+                "children",
+                JsonValue::Array(self.children.iter().map(StatSet::to_json_value).collect()),
+            ),
+        ])
     }
-}
 
-fn write_json_string(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
+    /// Parses a [`StatSet::to_json`] document back into a tree — the
+    /// inverse of the encode side, up to non-finite metrics (encoded as
+    /// `null`, parsed back as NaN). `encode(parse(encode(x)))` is always
+    /// byte-identical to `encode(x)`.
+    pub fn from_json(text: &str) -> Result<StatSet, JsonError> {
+        Self::from_json_value(&JsonValue::parse(text)?)
     }
-    out.push('"');
+
+    /// [`StatSet::from_json`] on an already-parsed [`JsonValue`].
+    pub fn from_json_value(v: &JsonValue) -> Result<StatSet, JsonError> {
+        let field = |key: &str| {
+            v.get(key).ok_or_else(|| JsonError {
+                pos: 0,
+                message: format!("stat node is missing `{key}`"),
+            })
+        };
+        let bad = |what: &str| JsonError { pos: 0, message: format!("stat node: {what}") };
+        let name = field("name")?.as_str().ok_or_else(|| bad("`name` must be a string"))?;
+        let mut set = StatSet::new(name);
+        for (n, cv) in
+            field("counters")?.as_object().ok_or_else(|| bad("`counters` must be an object"))?
+        {
+            let value = cv
+                .as_u64()
+                .ok_or_else(|| bad(&format!("counter `{n}` must be an unsigned integer")))?;
+            set.set(n, value);
+        }
+        for (n, mv) in
+            field("metrics")?.as_object().ok_or_else(|| bad("`metrics` must be an object"))?
+        {
+            let value =
+                mv.as_f64().ok_or_else(|| bad(&format!("metric `{n}` must be a number")))?;
+            set.set_metric(n, value);
+        }
+        for child in
+            field("children")?.as_array().ok_or_else(|| bad("`children` must be an array"))?
+        {
+            set.push_child(StatSet::from_json_value(child)?);
+        }
+        Ok(set)
+    }
 }
 
 /// `num / den` with the zero-denominator case defined as 0.0, so rate

@@ -1,0 +1,140 @@
+//! Round-trip properties of the deterministic JSON infrastructure:
+//! `render(parse(render(x)))` must be byte-identical to `render(x)` for
+//! arbitrary [`JsonValue`] documents and arbitrary [`StatSet`] trees —
+//! the invariant that lets experiment manifests and shard result files
+//! ship through the same encoder/parser pair without drift.
+
+use proptest::prelude::*;
+use xloops_stats::{JsonValue, StatSet};
+
+/// Names exercising the escaping rules: quotes, backslashes, control
+/// characters, non-ASCII, and plain identifiers.
+fn name_strategy() -> BoxedStrategy<String> {
+    prop::sample::select(vec![
+        "cycles".to_string(),
+        "stalls.raw".to_string(),
+        "a b".to_string(),
+        "quo\"te".to_string(),
+        "back\\slash".to_string(),
+        "new\nline".to_string(),
+        "tab\tand\rcr".to_string(),
+        "ctl\u{1}\u{1f}".to_string(),
+        "unicode-λ-😀".to_string(),
+        String::new(),
+    ])
+    .boxed()
+}
+
+/// Finite and non-finite floats from raw bit patterns (NaN payloads,
+/// infinities, subnormals), plus friendly values.
+fn f64_strategy() -> BoxedStrategy<f64> {
+    prop_oneof![
+        any::<u64>().prop_map(f64::from_bits),
+        prop::sample::select(vec![0.0, -0.0, 1.0, 2.5, -17.25, 1e300, 1e-300]),
+    ]
+    .boxed()
+}
+
+fn scalar_strategy() -> BoxedStrategy<JsonValue> {
+    prop_oneof![
+        Just(JsonValue::Null),
+        any::<bool>().prop_map(JsonValue::Bool),
+        any::<u64>().prop_map(JsonValue::UInt),
+        any::<i64>().prop_map(|v| {
+            if v < 0 {
+                JsonValue::Int(v)
+            } else {
+                JsonValue::UInt(v as u64)
+            }
+        }),
+        f64_strategy().prop_map(JsonValue::Float),
+        name_strategy().prop_map(JsonValue::Str),
+    ]
+    .boxed()
+}
+
+/// JSON documents up to three levels deep.
+fn value_strategy() -> BoxedStrategy<JsonValue> {
+    let mut layer = scalar_strategy();
+    for _ in 0..3 {
+        layer = prop_oneof![
+            scalar_strategy(),
+            prop::collection::vec(layer.clone(), 0..4).prop_map(JsonValue::Array),
+            prop::collection::vec((name_strategy(), layer), 0..4).prop_map(JsonValue::Object),
+        ]
+        .boxed();
+    }
+    layer
+}
+
+/// Stat trees up to three levels deep with arbitrary counters/metrics.
+fn stat_set_strategy() -> BoxedStrategy<StatSet> {
+    fn node(depth: usize) -> BoxedStrategy<StatSet> {
+        let base = (
+            name_strategy(),
+            prop::collection::vec((name_strategy(), any::<u64>()), 0..4),
+            prop::collection::vec((name_strategy(), f64_strategy()), 0..4),
+        );
+        if depth == 0 {
+            base.prop_map(|(name, counters, metrics)| build(&name, counters, metrics, vec![]))
+                .boxed()
+        } else {
+            (base, prop::collection::vec(node(depth - 1), 0..3))
+                .prop_map(|((name, counters, metrics), children)| {
+                    build(&name, counters, metrics, children)
+                })
+                .boxed()
+        }
+    }
+    fn build(
+        name: &str,
+        counters: Vec<(String, u64)>,
+        metrics: Vec<(String, f64)>,
+        children: Vec<StatSet>,
+    ) -> StatSet {
+        let mut s = StatSet::new(name);
+        for (n, v) in counters {
+            s.set(&n, v);
+        }
+        for (n, v) in metrics {
+            s.set_metric(&n, v);
+        }
+        for c in children {
+            s.push_child(c);
+        }
+        s
+    }
+    node(2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn json_value_encode_parse_encode_is_identity(v in value_strategy()) {
+        let once = v.render();
+        let parsed = JsonValue::parse(&once)
+            .map_err(|e| TestCaseError::fail(format!("{e} in {once}")))?;
+        prop_assert_eq!(&parsed.render(), &once);
+        // The pretty rendering parses back to the same reparse too.
+        let pretty = parsed.render_pretty();
+        let reparsed = JsonValue::parse(&pretty)
+            .map_err(|e| TestCaseError::fail(format!("{e} in {pretty}")))?;
+        prop_assert_eq!(reparsed.render(), once);
+    }
+
+    #[test]
+    fn stat_set_encode_parse_encode_is_identity(s in stat_set_strategy()) {
+        let once = s.to_json();
+        let parsed = StatSet::from_json(&once)
+            .map_err(|e| TestCaseError::fail(format!("{e} in {once}")))?;
+        prop_assert_eq!(parsed.to_json(), once);
+    }
+
+    #[test]
+    fn parser_never_panics_on_byte_soup(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        let text: String = bytes.into_iter().map(|b| b as char).collect();
+        let _ = JsonValue::parse(&text); // Ok or Err, never an unwind.
+        let _ = StatSet::from_json(&text);
+    }
+}

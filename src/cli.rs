@@ -8,6 +8,10 @@
 //! xloops run <file.s> [options]              assemble + simulate
 //! xloops kernels                             list the bundled paper kernels
 //! xloops kernel <name> [options]             run a bundled kernel and verify
+//! xloops manifest [<name>] [-o <file>]       list specs / emit one as JSON
+//! xloops sweep --manifest <file> [--shard K/N] [--out <file>]
+//!                                            run one shard of a manifest
+//! xloops merge <shard.json>...               recombine shards and render
 //!
 //! run/kernel options:
 //!   --config io|ooo2|ooo4|io+x|ooo2+x|ooo4+x   (default io+x)
@@ -31,11 +35,13 @@
 use std::fmt::Write as _;
 
 use crate::asm::{assemble, disassemble, Program};
+use crate::bench::experiments::{all_specs, spec_by_name};
+use crate::bench::manifest::{merge, render_spec, run_shard, ExperimentSpec, ShardDoc};
 use crate::kernels;
 use crate::sim::{
     ExecMode, FaultPlan, SimError, Supervisor, SupervisorConfig, System, SystemConfig,
 };
-use crate::stats::StatValue;
+use crate::stats::{JsonValue, StatValue};
 
 /// A failed CLI command: the process exit code, a one-line human
 /// diagnosis for stderr, and (under `--stats json`) a machine-readable
@@ -68,23 +74,62 @@ impl From<&str> for CliError {
 /// count), and a JSON error document when `--stats json` was requested.
 fn sim_error(e: SimError, stats_json: bool) -> CliError {
     let json = stats_json.then(|| {
-        format!(
-            "{{\"error\":{{\"message\":\"{}\",\"exit_code\":{}}}}}\n",
-            e.to_string().replace('\\', "\\\\").replace('"', "\\\""),
-            e.exit_code()
-        )
+        let doc = JsonValue::object(vec![(
+            "error",
+            JsonValue::object(vec![
+                ("message", JsonValue::Str(e.to_string())),
+                ("exit_code", JsonValue::Int(e.exit_code() as i64)),
+            ]),
+        )]);
+        doc.render() + "\n"
     });
     CliError { code: e.exit_code(), message: e.to_string(), json }
+}
+
+/// Maps a manifest/shard schema or merge failure to a usage-class error:
+/// a malformed or mismatched input document is the caller's mistake, so it
+/// exits `2` like any other parse error.
+fn manifest_error(e: impl std::fmt::Display) -> CliError {
+    CliError { code: 2, message: e.to_string(), json: None }
 }
 
 /// A parsed CLI invocation.
 #[derive(Debug)]
 pub enum Command {
-    Asm { source: String, out: Option<String> },
-    Disasm { image: Vec<u8> },
-    Run { source: String, opts: RunOptions },
+    Asm {
+        source: String,
+        out: Option<String>,
+    },
+    Disasm {
+        image: Vec<u8>,
+    },
+    Run {
+        source: String,
+        opts: RunOptions,
+    },
     Kernels,
-    Kernel { name: String, opts: RunOptions },
+    Kernel {
+        name: String,
+        opts: RunOptions,
+    },
+    /// `manifest` (list the specs) or `manifest <name>` (emit its JSON,
+    /// optionally to a file with `-o`).
+    Manifest {
+        name: Option<String>,
+        out: Option<String>,
+    },
+    /// `sweep --manifest FILE [--shard K/N] [--out FILE]`: run one shard
+    /// of a spec; `manifest` holds the spec file's contents.
+    Sweep {
+        manifest: String,
+        shard: (usize, usize),
+        out: Option<String>,
+    },
+    /// `merge FILE...`: recombine shard documents and render the artifact;
+    /// each entry is `(path, contents)`.
+    Merge {
+        shards: Vec<(String, String)>,
+    },
     Help,
 }
 
@@ -163,7 +208,10 @@ pub fn usage() -> &'static str {
      \x20 xloops disasm <file.bin>\n\
      \x20 xloops run <file.s> [--config C] [--mode M] [--init A=V]... [--dump A:N]... [--trace N] [--stats F]\n\
      \x20 xloops kernels\n\
-     \x20 xloops kernel <name> [--config C] [--mode M] [--stats F]\n\n\
+     \x20 xloops kernel <name> [--config C] [--mode M] [--stats F]\n\
+     \x20 xloops manifest [<name>] [-o <file>]\n\
+     \x20 xloops sweep --manifest <file> [--shard K/N] [--out <file>]\n\
+     \x20 xloops merge <shard.json>...\n\n\
      configs: io ooo2 ooo4 io+x ooo2+x ooo4+x   modes: traditional specialized adaptive\n\
      stats formats: text (default) json\n\
      supervision (run/kernel): --faults SEED[:N]  --checkpoint CYCLES  --budget CYCLES\n\
@@ -198,6 +246,17 @@ fn parse_mode(s: &str) -> Result<ExecMode, String> {
         "a" | "adaptive" => ExecMode::Adaptive,
         other => return Err(format!("unknown mode `{other}`")),
     })
+}
+
+/// Parses a `--shard K/N` operand: `N > 0`, `K < N`.
+fn parse_shard(s: &str) -> Result<(usize, usize), String> {
+    let (k, n) = s.split_once('/').ok_or_else(|| format!("bad --shard `{s}` (expect K/N)"))?;
+    let index: usize = k.parse().map_err(|e| format!("bad shard index `{k}`: {e}"))?;
+    let of: usize = n.parse().map_err(|e| format!("bad shard count `{n}`: {e}"))?;
+    if of == 0 || index >= of {
+        return Err(format!("impossible shard {index}/{of} (need 0 <= K < N)"));
+    }
+    Ok((index, of))
 }
 
 fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
@@ -280,6 +339,58 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "kernel" => {
             let name = args.get(1).ok_or("kernel expects a kernel name")?.clone();
             Ok(Command::Kernel { name, opts: parse_run_options(&args[2..])? })
+        }
+        "manifest" => {
+            let mut name = None;
+            let mut out = None;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "-o" => out = Some(it.next().ok_or("-o expects a path")?.clone()),
+                    other if !other.starts_with('-') && name.is_none() => {
+                        name = Some(other.to_string());
+                    }
+                    other => return Err(format!("unknown option `{other}`")),
+                }
+            }
+            if out.is_some() && name.is_none() {
+                return Err("manifest -o requires a spec name".into());
+            }
+            Ok(Command::Manifest { name, out })
+        }
+        "sweep" => {
+            let mut manifest = None;
+            let mut shard = (0, 1);
+            let mut out = None;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                let mut next =
+                    |what: &str| it.next().cloned().ok_or_else(|| format!("{a} expects {what}"));
+                match a.as_str() {
+                    "--manifest" => {
+                        let path = next("a spec file")?;
+                        manifest = Some(
+                            std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?,
+                        );
+                    }
+                    "--shard" => shard = parse_shard(&next("K/N")?)?,
+                    "--out" => out = Some(next("a path")?),
+                    other => return Err(format!("unknown option `{other}`")),
+                }
+            }
+            let manifest = manifest.ok_or("sweep expects --manifest FILE")?;
+            Ok(Command::Sweep { manifest, shard, out })
+        }
+        "merge" => {
+            if args.len() < 2 {
+                return Err("merge expects at least one shard file".into());
+            }
+            let mut shards = Vec::new();
+            for path in &args[1..] {
+                let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                shards.push((path.clone(), text));
+            }
+            Ok(Command::Merge { shards })
         }
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown subcommand `{other}`\n\n{}", usage())),
@@ -407,6 +518,66 @@ pub fn execute(cmd: Command) -> Result<CommandOutput, CliError> {
             let mut text = format!("{name}: verified OK\n");
             text.push_str(&report(&sys, &stats));
             Ok((text, None))
+        }
+        Command::Manifest { name: None, .. } => {
+            let mut text = String::from("experiment manifests:\n");
+            for spec in all_specs() {
+                let _ = writeln!(
+                    text,
+                    "  {:8} {:3} points  {}",
+                    spec.name,
+                    spec.points.len(),
+                    spec.caption.lines().next().unwrap_or("")
+                );
+            }
+            Ok((text, None))
+        }
+        Command::Manifest { name: Some(name), out } => {
+            let spec = spec_by_name(&name)
+                .ok_or_else(|| format!("no spec named `{name}` (try `xloops manifest`)"))?;
+            let json = spec.to_json_pretty();
+            match out {
+                Some(path) => {
+                    let text = format!(
+                        "manifest {}: {} points, fingerprint {}\n",
+                        spec.name,
+                        spec.points.len(),
+                        spec.fingerprint()
+                    );
+                    Ok((text, Some((path, json.into_bytes()))))
+                }
+                None => Ok((json, None)),
+            }
+        }
+        Command::Sweep { manifest, shard: (index, of), out } => {
+            let spec = ExperimentSpec::from_json(&manifest).map_err(manifest_error)?;
+            let doc = run_shard(&spec, index, of, crate::sim::RunOptions::from_env());
+            let json = doc.to_json();
+            match out {
+                Some(path) => {
+                    let text = format!(
+                        "sweep {}: shard {index}/{of}, {} of {} points\n",
+                        spec.name,
+                        doc.results.len(),
+                        spec.points.len()
+                    );
+                    Ok((text, Some((path, json.into_bytes()))))
+                }
+                None => Ok((json, None)),
+            }
+        }
+        Command::Merge { shards } => {
+            let docs = shards
+                .iter()
+                .map(|(path, text)| {
+                    ShardDoc::from_json(text).map_err(|e| manifest_error(format!("{path}: {e}")))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let (spec, results) = merge(&docs).map_err(manifest_error)?;
+            // The rendered artifact *is* the output, byte-for-byte what the
+            // unsharded binary writes under `results/` — so a plain `diff`
+            // proves the sharded path reproduced it.
+            Ok((render_spec(&spec, &results), None))
         }
     }
 }
@@ -623,6 +794,77 @@ mod tests {
         assert!(text.contains("functional trace"), "{text}");
         assert!(text.contains("r1 <- 0x9"), "{text}");
         assert!(text.contains("[W 0x0]"), "{text}");
+    }
+
+    #[test]
+    fn manifest_listing_names_every_spec() {
+        let (text, _) = execute(Command::Manifest { name: None, out: None }).unwrap();
+        for name in ["table2", "fig5", "fig6", "fig7", "fig8", "fig9", "table4", "table5", "fig10"]
+        {
+            assert!(text.contains(name), "missing {name} in {text}");
+        }
+    }
+
+    #[test]
+    fn manifest_command_emits_parseable_spec_json() {
+        let (json, _) =
+            execute(Command::Manifest { name: Some("fig9".into()), out: None }).unwrap();
+        let spec = ExperimentSpec::from_json(&json).expect("emitted JSON parses back");
+        assert_eq!(spec.name, "fig9");
+        assert!(!spec.points.is_empty());
+        assert!(execute(Command::Manifest { name: Some("fig99".into()), out: None }).is_err());
+        // -o routes the document into the returned file instead of stdout.
+        let (text, file) =
+            execute(Command::Manifest { name: Some("fig9".into()), out: Some("s.json".into()) })
+                .unwrap();
+        assert!(text.contains(&spec.fingerprint()), "{text}");
+        let (path, bytes) = file.expect("-o produces a file");
+        assert_eq!(path, "s.json");
+        assert_eq!(bytes, json.into_bytes());
+    }
+
+    #[test]
+    fn shard_flag_parses_and_rejects_impossible_shards() {
+        assert_eq!(parse_shard("0/2").unwrap(), (0, 2));
+        assert_eq!(parse_shard("3/4").unwrap(), (3, 4));
+        assert!(parse_shard("2/2").is_err());
+        assert!(parse_shard("0/0").is_err());
+        assert!(parse_shard("x/y").is_err());
+        assert!(parse_shard("1").is_err());
+    }
+
+    #[test]
+    fn sweep_then_merge_reproduces_the_rendered_artifact() {
+        // table5 is the analytical artifact (zero simulation points), so
+        // the whole sweep -> merge path runs instantly even in debug.
+        let (json, _) =
+            execute(Command::Manifest { name: Some("table5".into()), out: None }).unwrap();
+        let (shard_json, _) =
+            execute(Command::Sweep { manifest: json, shard: (0, 1), out: None }).unwrap();
+        let (merged, _) =
+            execute(Command::Merge { shards: vec![("shard0.json".into(), shard_json.clone())] })
+                .unwrap();
+        let spec = crate::bench::experiments::spec_by_name("table5").unwrap();
+        let expect = render_spec(&spec, &[]);
+        assert_eq!(merged, expect, "merge renders the artifact byte-for-byte");
+
+        // An unparseable shard is a usage-class failure (exit code 2) with
+        // the offending file named in the diagnosis.
+        let truncated = shard_json[..shard_json.len() / 2].to_string();
+        let e =
+            execute(Command::Merge { shards: vec![("bad.json".into(), truncated)] }).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("bad.json"), "{}", e.message);
+
+        // Shards from different manifests parse fine but refuse to merge,
+        // also exit code 2.
+        let forged = shard_json.replace("\"fingerprint\": \"", "\"fingerprint\": \"dead");
+        let e = execute(Command::Merge {
+            shards: vec![("shard0.json".into(), shard_json), ("forged.json".into(), forged)],
+        })
+        .unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("different manifests"), "{}", e.message);
     }
 
     #[test]

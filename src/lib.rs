@@ -59,6 +59,7 @@
 pub mod cli;
 
 pub use xloops_asm as asm;
+pub use xloops_bench as bench;
 pub use xloops_compiler as compiler;
 pub use xloops_energy as energy;
 pub use xloops_func as func;
