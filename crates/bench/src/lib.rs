@@ -53,9 +53,10 @@ pub struct RunResult {
 }
 
 /// Runs `program` for `kernel` on a fresh system and verifies the result;
-/// `what` labels panics (`"run"` / `"baseline"`). The only knob of
-/// `options` consulted here is [`RunOptions::supervisor`]; the executor
-/// knobs belong to the [`runner::Runner`]. Shared by the direct entry
+/// `what` labels panics (`"run"` / `"baseline"`). The knobs of `options`
+/// consulted here are [`RunOptions::sample`], [`RunOptions::supervisor`],
+/// and [`RunOptions::profile`]; the executor knobs belong to the
+/// [`runner::Runner`]. Shared by the direct entry
 /// points below and the memoizing runner.
 pub(crate) fn run_program(
     kernel: &Kernel,
@@ -66,10 +67,14 @@ pub(crate) fn run_program(
     what: &str,
 ) -> RunResult {
     let mut sys = System::new(config);
+    sys.set_profiling(options.profile);
     kernel.init_memory(sys.mem_mut());
-    let run = match &options.supervisor {
-        Some(cfg) => Supervisor::new(&mut sys, cfg.clone()).run(program, mode),
-        None => sys.run(program, mode),
+    let run = match (&options.sample, &options.supervisor) {
+        // Sampled runs are unsupervised by construction (see
+        // `System::run_sampled`); sampling takes precedence.
+        (Some(spec), _) => sys.run_sampled(program, mode, *spec),
+        (None, Some(cfg)) => Supervisor::new(&mut sys, cfg.clone()).run(program, mode),
+        (None, None) => sys.run(program, mode),
     };
     let stats = run.unwrap_or_else(|e| panic!("{} {what} on {}: {e}", kernel.name, config.name()));
     kernel
@@ -82,6 +87,19 @@ pub(crate) fn run_program(
 /// environment ([`RunOptions::from_env`]).
 pub fn run_kernel(kernel: &Kernel, config: SystemConfig, mode: ExecMode) -> RunResult {
     run_program(kernel, &kernel.program, config, mode, &RunOptions::from_env(), "run")
+}
+
+/// Runs a kernel's XLOOPS binary with *explicit* options: the
+/// environment-independent variant of [`run_kernel`], for callers (like
+/// `bench-summary`'s sampled points) that need one deviating knob without
+/// perturbing the process environment.
+pub fn run_kernel_with(
+    kernel: &Kernel,
+    config: SystemConfig,
+    mode: ExecMode,
+    options: &RunOptions,
+) -> RunResult {
+    run_program(kernel, &kernel.program, config, mode, options, "run")
 }
 
 /// Runs the *general-purpose ISA* baseline: the same kernel lowered with

@@ -32,7 +32,7 @@ use std::fmt;
 use xloops_energy::EnergyTable;
 use xloops_kernels::by_name;
 use xloops_lpsu::LpsuConfig;
-use xloops_sim::{ExecMode, RunOptions, SystemConfig};
+use xloops_sim::{ExecMode, RunOptions, SampleSpec, SystemConfig};
 use xloops_stats::{JsonError, JsonValue, StatSet, StatValue};
 
 use crate::{f2, RunResult, Runner, TextTable};
@@ -145,6 +145,10 @@ pub struct SpecPoint {
     pub mode: ExecMode,
     /// Whether the program is first lowered to the GP ISA (baselines).
     pub gp_lowered: bool,
+    /// Interval-sampled simulation for this point (`None` = every cycle in
+    /// detail). Encoded in JSON only when set, so manifests written before
+    /// sampling existed keep their fingerprints byte-for-byte.
+    pub sampling: Option<SampleSpec>,
 }
 
 /// A cell formula: how one table cell is computed from point results.
@@ -299,6 +303,26 @@ impl SpecBuilder {
             config: ConfigSpec { gpp, lpsu, energy },
             mode,
             gp_lowered: false,
+            sampling: None,
+        })
+    }
+
+    /// Registers (or finds) an interval-sampled kernel run point.
+    pub fn sampled_point(
+        &mut self,
+        kernel: &str,
+        gpp: GppPreset,
+        lpsu: Option<LpsuConfig>,
+        energy: EnergyPreset,
+        mode: ExecMode,
+        sampling: SampleSpec,
+    ) -> usize {
+        self.intern(SpecPoint {
+            kernel: kernel.to_string(),
+            config: ConfigSpec { gpp, lpsu, energy },
+            mode,
+            gp_lowered: false,
+            sampling: Some(sampling),
         })
     }
 
@@ -311,6 +335,7 @@ impl SpecBuilder {
             config: ConfigSpec { gpp, lpsu: None, energy },
             mode: ExecMode::Traditional,
             gp_lowered: true,
+            sampling: None,
         })
     }
 
@@ -513,14 +538,20 @@ fn lpsu_from_json(v: &JsonValue) -> Result<LpsuConfig, ManifestError> {
 
 impl SpecPoint {
     fn to_json_value(&self) -> JsonValue {
-        JsonValue::object(vec![
+        let mut fields = vec![
             ("kernel", JsonValue::Str(self.kernel.clone())),
             ("gpp", JsonValue::Str(self.config.gpp.tag().to_string())),
             ("lpsu", self.config.lpsu.as_ref().map_or(JsonValue::Null, lpsu_to_json)),
             ("energy", JsonValue::Str(self.config.energy.tag().to_string())),
             ("mode", JsonValue::Str(mode_tag(self.mode).to_string())),
             ("gp_lowered", JsonValue::Bool(self.gp_lowered)),
-        ])
+        ];
+        // Emitted only when set: pre-sampling manifests must keep their
+        // canonical encoding (and thus fingerprint) byte-for-byte.
+        if let Some(s) = self.sampling {
+            fields.push(("sampling", JsonValue::Str(s.to_string())));
+        }
+        JsonValue::object(fields)
     }
 
     fn from_json_value(v: &JsonValue) -> Result<SpecPoint, ManifestError> {
@@ -537,11 +568,22 @@ impl SpecPoint {
             JsonValue::Null => None,
             l => Some(lpsu_from_json(l)?),
         };
+        // Absent in pre-sampling manifests: those points ran in full detail.
+        let sampling = match v.get("sampling") {
+            None | Some(JsonValue::Null) => None,
+            Some(s) => Some(
+                s.as_str()
+                    .ok_or_else(|| schema("`sampling` must be a string"))?
+                    .parse::<SampleSpec>()
+                    .map_err(|e| schema(format!("bad `sampling`: {e}")))?,
+            ),
+        };
         Ok(SpecPoint {
             kernel: str_field(v, "kernel")?,
             config: ConfigSpec { gpp, lpsu, energy },
             mode,
             gp_lowered: bool_field(v, "gp_lowered")?,
+            sampling,
         })
     }
 }
@@ -911,7 +953,7 @@ fn request_point(r: &Runner, p: &SpecPoint) -> RunResult {
     if p.gp_lowered {
         r.baseline(kernel, config)
     } else {
-        r.run(kernel, config, p.mode)
+        r.run_sampled(kernel, config, p.mode, p.sampling)
     }
 }
 
@@ -1252,6 +1294,48 @@ mod tests {
         assert_eq!(ExperimentSpec::from_json(&spec.to_json_pretty()).unwrap(), spec);
         // And the fingerprint is stable.
         assert_eq!(spec.fingerprint(), back.fingerprint());
+    }
+
+    #[test]
+    fn sampled_points_round_trip_and_leave_old_fingerprints_alone() {
+        // A spec without sampling encodes exactly as before the field
+        // existed: no `sampling` key anywhere, so fingerprints are stable.
+        let plain = tiny_spec();
+        assert!(!plain.to_json().contains("sampling"));
+
+        // A sampled point round-trips through JSON with its spec intact.
+        let mut b = SpecBuilder::new("sampled", "Sampled: a test artifact\n\n");
+        let full = b.point(
+            "huffman-ua",
+            GppPreset::Io,
+            Some(LpsuConfig::default4()),
+            EnergyPreset::Mcpat45,
+            ExecMode::Specialized,
+        );
+        let spec = SampleSpec::new(10_000, 2_000, 50_000).unwrap();
+        let sampled = b.sampled_point(
+            "huffman-ua",
+            GppPreset::Io,
+            Some(LpsuConfig::default4()),
+            EnergyPreset::Mcpat45,
+            ExecMode::Specialized,
+            spec,
+        );
+        // Sampling is part of a point's identity: no dedup with the full run.
+        assert_ne!(full, sampled);
+        let built = b.build();
+        let back = ExperimentSpec::from_json(&built.to_json()).expect("parses");
+        assert_eq!(back, built);
+        assert_eq!(back.points[sampled].sampling, Some(spec));
+
+        // An explicit `"sampling": null` also reads as a full-detail point.
+        let mut doc = built.to_json_value();
+        let rendered = doc.render();
+        assert!(rendered.contains("\"sampling\":\"10000:2000:50000\""), "{rendered}");
+        drop(doc);
+        doc = JsonValue::parse(&rendered.replace("\"10000:2000:50000\"", "null")).unwrap();
+        let relaxed = ExperimentSpec::from_json_value(&doc).expect("null sampling parses");
+        assert_eq!(relaxed.points[sampled].sampling, None);
     }
 
     #[test]

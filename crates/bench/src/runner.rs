@@ -44,7 +44,7 @@ use std::sync::{Arc, Mutex};
 
 use xloops_asm::{lower_gp, Program};
 use xloops_kernels::{by_name, Kernel};
-use xloops_sim::{ConfigKey, ExecMode, RunOptions, SystemConfig, SystemStats};
+use xloops_sim::{ConfigKey, ExecMode, RunOptions, SampleSpec, SystemConfig, SystemStats};
 
 use crate::{run_program, RunResult};
 
@@ -64,6 +64,10 @@ pub struct RunKey {
     pub mode: ExecMode,
     /// Whether the program is first lowered to the GP ISA (baselines).
     pub gp_lowered: bool,
+    /// The sampling spec the point runs under (`None` = every cycle in
+    /// detail). Part of the identity: a sampled run and a full run of the
+    /// same point produce different (estimated vs exact) cycle counts.
+    pub sample: Option<SampleSpec>,
 }
 
 /// One pending simulation: its key plus the full config (the key's energy
@@ -171,7 +175,23 @@ impl Runner {
 
     /// Requests a kernel run (memoized [`crate::run_kernel`]).
     pub fn run(&self, kernel: &Kernel, config: SystemConfig, mode: ExecMode) -> RunResult {
-        let key = RunKey { kernel: kernel.name, config: config.key(), mode, gp_lowered: false };
+        self.run_sampled(kernel, config, mode, None)
+    }
+
+    /// Requests a kernel run with a per-point sampling override; `None`
+    /// falls back to the runner-wide [`RunOptions::sample`]. The effective
+    /// spec is part of the cache key, so a sampled point and the full run
+    /// of the same configuration never alias.
+    pub fn run_sampled(
+        &self,
+        kernel: &Kernel,
+        config: SystemConfig,
+        mode: ExecMode,
+        sample: Option<SampleSpec>,
+    ) -> RunResult {
+        let sample = sample.or(self.options.sample);
+        let key =
+            RunKey { kernel: kernel.name, config: config.key(), mode, gp_lowered: false, sample };
         self.request(Job { key, config })
     }
 
@@ -185,6 +205,7 @@ impl Runner {
             config: config.key(),
             mode: ExecMode::Traditional,
             gp_lowered: true,
+            sample: self.options.sample,
         };
         self.request(Job { key, config })
     }
@@ -241,22 +262,18 @@ impl Runner {
         }
     }
 
-    /// Simulates one job on a fresh system.
+    /// Simulates one job on a fresh system. The key's effective sampling
+    /// spec (per-point override already folded in) replaces the runner-wide
+    /// one, so `run_program` sees exactly what the key promises.
     fn execute(&self, job: &Job) -> RunResult {
         let kernel = by_name(job.key.kernel)
             .unwrap_or_else(|| panic!("unknown kernel in run cache: {}", job.key.kernel));
+        let options = RunOptions { sample: job.key.sample, ..self.options.clone() };
         if job.key.gp_lowered {
             let program = self.gp_program(kernel);
-            run_program(
-                kernel,
-                &program,
-                job.config,
-                ExecMode::Traditional,
-                &self.options,
-                "baseline",
-            )
+            run_program(kernel, &program, job.config, ExecMode::Traditional, &options, "baseline")
         } else {
-            run_program(kernel, &kernel.program, job.config, job.key.mode, &self.options, "run")
+            run_program(kernel, &kernel.program, job.config, job.key.mode, &options, "run")
         }
     }
 
@@ -464,17 +481,49 @@ mod tests {
                 config: c.key(),
                 mode: ExecMode::Specialized,
                 gp_lowered: false,
+                sample: None,
             };
             assert!(keys.insert(key), "config aliased another: {}", c.name());
         }
-        // Mode and lowering flag are part of the identity too.
+        // Mode, lowering flag, and sampling spec are part of the identity too.
         let c = SystemConfig::io_x();
-        let base =
-            RunKey { kernel: "k", config: c.key(), mode: ExecMode::Specialized, gp_lowered: false };
+        let base = RunKey {
+            kernel: "k",
+            config: c.key(),
+            mode: ExecMode::Specialized,
+            gp_lowered: false,
+            sample: None,
+        };
         assert_ne!(base, RunKey { mode: ExecMode::Adaptive, ..base });
         assert_ne!(base, RunKey { mode: ExecMode::Traditional, ..base });
         assert_ne!(base, RunKey { gp_lowered: true, ..base });
         assert_ne!(base, RunKey { kernel: "other", ..base });
+        let spec = SampleSpec::new(10_000, 2_000, 50_000).unwrap();
+        assert_ne!(base, RunKey { sample: Some(spec), ..base });
+    }
+
+    #[test]
+    fn sampled_and_full_runs_occupy_distinct_cache_slots() {
+        let k = by_name("huffman-ua").expect("kernel exists");
+        let runner = Runner::new();
+        let full = runner.run(k, SystemConfig::io_x(), ExecMode::Specialized);
+        let spec = SampleSpec::new(500, 100, 500).unwrap();
+        let sampled =
+            runner.run_sampled(k, SystemConfig::io_x(), ExecMode::Specialized, Some(spec));
+        // Two distinct simulations, not one cache hit.
+        let s = runner.cache_stats();
+        assert_eq!((s.lookups, s.hits, s.sims), (2, 0, 2));
+        // Only the sampled run reports sampling statistics, and its
+        // extrapolated cycle count tracks the exact one.
+        assert!(full.stats.sampling.is_none());
+        let samp = sampled.stats.sampling.as_ref().expect("sampling stats attached");
+        assert!(samp.intervals > 0);
+        let err = (sampled.cycles as f64 - full.cycles as f64).abs() / full.cycles as f64;
+        assert!(err < 0.05, "sampled {} vs full {} ({err:.3})", sampled.cycles, full.cycles);
+        // A repeated sampled request is served from the cache.
+        let again = runner.run_sampled(k, SystemConfig::io_x(), ExecMode::Specialized, Some(spec));
+        assert_eq!(again.cycles, sampled.cycles);
+        assert_eq!(runner.cache_stats().hits, 1);
     }
 
     #[test]
@@ -489,6 +538,7 @@ mod tests {
             config: SystemConfig::io().key(),
             mode: ExecMode::Traditional,
             gp_lowered: false,
+            sample: None,
         };
         let r = runner.execute_caught(&Job { key, config: SystemConfig::io() });
         std::panic::set_hook(hook);

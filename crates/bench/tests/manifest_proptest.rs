@@ -11,7 +11,7 @@ use xloops_bench::manifest::{
 };
 use xloops_kernels::table2;
 use xloops_lpsu::LpsuConfig;
-use xloops_sim::{ExecMode, RunOptions, SupervisorConfig};
+use xloops_sim::{ExecMode, RunOptions, SampleSpec, SupervisorConfig};
 use xloops_stats::StatSet;
 
 /// Real kernel names only: [`ExperimentSpec::validate`] rejects anything
@@ -49,6 +49,19 @@ fn lpsu_strategy() -> BoxedStrategy<Option<LpsuConfig>> {
     .boxed()
 }
 
+/// Arbitrary valid sampling specs (ff and measure must be positive; warm
+/// is free, including zero).
+fn sample_strategy() -> BoxedStrategy<Option<SampleSpec>> {
+    prop_oneof![
+        Just(None),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(ff, warm, measure)| Some(
+            SampleSpec::new(ff.max(1), warm % 100_000, measure.max(1))
+                .expect("positive ff/measure")
+        )),
+    ]
+    .boxed()
+}
+
 fn point_strategy() -> BoxedStrategy<SpecPoint> {
     (
         kernel_strategy(),
@@ -61,12 +74,14 @@ fn point_strategy() -> BoxedStrategy<SpecPoint> {
             ExecMode::Adaptive,
         ]),
         any::<bool>(),
+        sample_strategy(),
     )
-        .prop_map(|(kernel, gpp, lpsu, energy, mode, gp_lowered)| SpecPoint {
+        .prop_map(|(kernel, gpp, lpsu, energy, mode, gp_lowered, sampling)| SpecPoint {
             kernel,
             config: ConfigSpec { gpp, lpsu, energy },
             mode,
             gp_lowered,
+            sampling,
         })
         .boxed()
 }
@@ -206,13 +221,15 @@ fn options_strategy() -> BoxedStrategy<RunOptions> {
         prop_oneof![Just(None), any::<u64>().prop_map(|t| Some((t as usize) % 64))],
         any::<bool>(),
         prop_oneof![Just(None), text_strategy().prop_map(Some)],
+        sample_strategy(),
     )
-        .prop_map(|(supervisor, serial, threads, profile, bench_date)| RunOptions {
+        .prop_map(|(supervisor, serial, threads, profile, bench_date, sample)| RunOptions {
             supervisor,
             serial,
             threads,
             profile,
             bench_date,
+            sample,
         })
         .boxed()
 }

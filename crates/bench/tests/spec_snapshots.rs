@@ -59,6 +59,7 @@ fn baseline(kernel: &str, gpp: GppPreset, energy: EnergyPreset) -> SpecPoint {
         config: ConfigSpec { gpp, lpsu: None, energy },
         mode: ExecMode::Traditional,
         gp_lowered: true,
+        sampling: None,
     }
 }
 
@@ -68,6 +69,7 @@ fn run(kernel: &str, gpp: GppPreset, lpsu: LpsuConfig, mode: ExecMode) -> SpecPo
         config: ConfigSpec { gpp, lpsu: Some(lpsu), energy: EnergyPreset::Mcpat45 },
         mode,
         gp_lowered: false,
+        sampling: None,
     }
 }
 
@@ -132,6 +134,7 @@ fn table2_sweeps_every_kernel_across_all_gpps_and_modes() {
                 config: ConfigSpec { gpp, lpsu: None, energy: EnergyPreset::Mcpat45 },
                 mode: ExecMode::Traditional,
                 gp_lowered: false,
+                sampling: None,
             };
             assert!(spec.points.contains(&trad), "{} missing T on {gpp:?}", k.name);
         }

@@ -1,0 +1,486 @@
+//! The fast-forward functional engine: a pre-decoded threaded-code stepper
+//! that executes a whole [`Program`] at memory speed.
+//!
+//! [`Interp`](crate::Interp) re-fetches and re-matches an [`Instr`] on every
+//! step, going through [`semantics::apply`](crate::semantics::apply) with its
+//! generic [`MemPort`](crate::MemPort) plumbing. That is the right shape for
+//! the timing models (which need the [`Effect`](crate::Effect) record), but
+//! it leaves an order of magnitude on the table for pure fast-forwarding,
+//! where nobody consumes effects. [`FastForward`] decodes the program *once*
+//! into a dense `Vec` of `Op`s with every immediate pre-extended, every
+//! branch target pre-resolved to an instruction index, and registers held in
+//! a flat `[u32; 32]`, then runs a tight fetch-dispatch loop over plain
+//! [`Memory`].
+//!
+//! The engine is **bit-identical** to the interpreter by construction: each
+//! `Op` is a specialization of the corresponding [`semantics`] arm
+//! (`xloop` is a conditional backward branch, `xi` a plain serial add,
+//! misaligned accesses fault *before* touching memory, `r0` stays zero), and
+//! `tests/ff_oracle.rs` pins `Interp == FastForward` on the final
+//! [`ArchState`] + memory image of every Table II kernel.
+//!
+//! The pc is tracked as an instruction index (`pc / 4`). Misaligned pcs are
+//! outside the architectural contract — [`Program::fetch`] panics on them —
+//! and the engine panics at the same point the interpreter would (the fetch
+//! following a misaligned indirect jump).
+//!
+//! [`semantics`]: crate::semantics
+
+use xloops_asm::Program;
+use xloops_isa::{AluOp, AmoOp, BranchCond, Instr, LlfuOp, Reg, INSTR_BYTES, NUM_REGS};
+use xloops_mem::Memory;
+
+use crate::semantics::{alu_imm_value, ExecFault};
+use crate::state::ArchState;
+use crate::ExecError;
+
+/// One pre-decoded instruction. Register numbers are raw indices, immediates
+/// are pre-extended to their architectural `u32` form, and control-flow
+/// targets are instruction indices (not byte addresses).
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Alu { op: AluOp, rd: u8, rs: u8, rt: u8 },
+    AluImm { op: AluOp, rd: u8, rs: u8, imm: u32 },
+    Lui { rd: u8, imm: u32 },
+    Llfu { op: LlfuOp, rd: u8, rs: u8, rt: u8 },
+    Amo { op: AmoOp, rd: u8, addr: u8, src: u8 },
+    Lw { data: u8, base: u8, offset: u32 },
+    Lh { data: u8, base: u8, offset: u32 },
+    Lhu { data: u8, base: u8, offset: u32 },
+    Lb { data: u8, base: u8, offset: u32 },
+    Lbu { data: u8, base: u8, offset: u32 },
+    Sw { data: u8, base: u8, offset: u32 },
+    Sh { data: u8, base: u8, offset: u32 },
+    Sb { data: u8, base: u8, offset: u32 },
+    Branch { cond: BranchCond, rs: u8, rt: u8, target: u32 },
+    Jump { link: bool, target: u32 },
+    JumpReg { link: bool, rd: u8, rs: u8 },
+    Sync,
+    Nop,
+    Exit,
+    Xloop { idx: u8, bound: u8, target: u32 },
+    XiImm { reg: u8, inc: u32 },
+    XiReg { reg: u8, rt: u8 },
+}
+
+/// What a [`FastForward::run`] call did. Both outcomes leave the
+/// [`ArchState`] exactly where the interpreter would: after `exit` the pc
+/// still points at the `exit` instruction; after an exhausted budget it
+/// points at the next unexecuted instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FfRun {
+    /// Dynamic instructions retired (the final `exit`, if any, included).
+    pub retired: u64,
+    /// Whether the program executed `exit`.
+    pub exited: bool,
+}
+
+/// A program decoded once into threaded code. Construction is cheap
+/// (one pass over the text); clone-free execution over any number of
+/// (state, memory) pairs afterwards.
+#[derive(Clone, Debug)]
+pub struct FastForward {
+    ops: Vec<Op>,
+}
+
+impl FastForward {
+    /// Pre-decodes `program` (instruction `i` of the text becomes `ops[i]`).
+    pub fn new(program: &Program) -> FastForward {
+        let ops = program
+            .instrs()
+            .iter()
+            .enumerate()
+            .map(|(i, &instr)| decode(i as u32, instr))
+            .collect();
+        FastForward { ops }
+    }
+
+    /// Executes up to `max_steps` instructions starting from `state`,
+    /// against architectural memory, mutating both in place.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the interpreter's failure modes, with identical state at the
+    /// point of failure: [`ExecError::InvalidPc`] when the pc leaves the
+    /// text (pc set to the invalid address), or [`ExecError::Fault`] on a
+    /// misaligned access (no state changed, pc at the faulting
+    /// instruction). A spent budget is *not* an error here — fast-forward
+    /// windows end routinely — so the run reports `exited: false` instead.
+    pub fn run(
+        &self,
+        state: &mut ArchState,
+        mem: &mut Memory,
+        max_steps: u64,
+    ) -> Result<FfRun, ExecError> {
+        assert!(state.pc.is_multiple_of(INSTR_BYTES), "misaligned pc {:#x}", state.pc);
+        let mut regs: [u32; NUM_REGS] = *state.regs();
+        let mut idx = state.pc / INSTR_BYTES;
+        let mut retired = 0u64;
+
+        macro_rules! flush {
+            () => {{
+                *state.regs_mut() = regs;
+                state.pc = idx.wrapping_mul(INSTR_BYTES);
+            }};
+        }
+        // Writes honoring the r0 invariant without a branch: write, then
+        // re-zero slot 0 (cheaper than a predictable-but-present test).
+        macro_rules! set {
+            ($rd:expr, $v:expr) => {{
+                regs[$rd as usize] = $v;
+                regs[0] = 0;
+            }};
+        }
+
+        while retired < max_steps {
+            let Some(op) = self.ops.get(idx as usize) else {
+                flush!();
+                return Err(ExecError::InvalidPc(state.pc));
+            };
+            match *op {
+                Op::Alu { op, rd, rs, rt } => {
+                    set!(rd, op.apply(regs[rs as usize], regs[rt as usize]));
+                }
+                Op::AluImm { op, rd, rs, imm } => {
+                    set!(rd, op.apply(regs[rs as usize], imm));
+                }
+                Op::Lui { rd, imm } => set!(rd, imm),
+                Op::Llfu { op, rd, rs, rt } => {
+                    set!(rd, op.apply(regs[rs as usize], regs[rt as usize]));
+                }
+                Op::Amo { op, rd, addr, src } => {
+                    let a = regs[addr as usize];
+                    if a & 3 != 0 {
+                        flush!();
+                        return Err(ExecError::Fault {
+                            pc: state.pc,
+                            fault: ExecFault::Misaligned { addr: a, align: 4, store: true },
+                        });
+                    }
+                    set!(rd, mem.amo(op, a, regs[src as usize]));
+                }
+                Op::Lw { data, base, offset } => {
+                    let a = regs[base as usize].wrapping_add(offset);
+                    if a & 3 != 0 {
+                        flush!();
+                        return Err(misaligned(state.pc, a, 4, false));
+                    }
+                    set!(data, mem.read_u32(a));
+                }
+                Op::Lh { data, base, offset } => {
+                    let a = regs[base as usize].wrapping_add(offset);
+                    if a & 1 != 0 {
+                        flush!();
+                        return Err(misaligned(state.pc, a, 2, false));
+                    }
+                    set!(data, mem.read_u16(a) as i16 as i32 as u32);
+                }
+                Op::Lhu { data, base, offset } => {
+                    let a = regs[base as usize].wrapping_add(offset);
+                    if a & 1 != 0 {
+                        flush!();
+                        return Err(misaligned(state.pc, a, 2, false));
+                    }
+                    set!(data, mem.read_u16(a) as u32);
+                }
+                Op::Lb { data, base, offset } => {
+                    let a = regs[base as usize].wrapping_add(offset);
+                    set!(data, mem.read_u8(a) as i8 as i32 as u32);
+                }
+                Op::Lbu { data, base, offset } => {
+                    let a = regs[base as usize].wrapping_add(offset);
+                    set!(data, mem.read_u8(a) as u32);
+                }
+                Op::Sw { data, base, offset } => {
+                    let a = regs[base as usize].wrapping_add(offset);
+                    if a & 3 != 0 {
+                        flush!();
+                        return Err(misaligned(state.pc, a, 4, true));
+                    }
+                    mem.write_u32(a, regs[data as usize]);
+                }
+                Op::Sh { data, base, offset } => {
+                    let a = regs[base as usize].wrapping_add(offset);
+                    if a & 1 != 0 {
+                        flush!();
+                        return Err(misaligned(state.pc, a, 2, true));
+                    }
+                    mem.write_u16(a, regs[data as usize] as u16);
+                }
+                Op::Sb { data, base, offset } => {
+                    let a = regs[base as usize].wrapping_add(offset);
+                    mem.write_u8(a, regs[data as usize] as u8);
+                }
+                Op::Branch { cond, rs, rt, target } => {
+                    if cond.eval(regs[rs as usize], regs[rt as usize]) {
+                        retired += 1;
+                        idx = target;
+                        continue;
+                    }
+                }
+                Op::Jump { link, target } => {
+                    if link {
+                        set!(Reg::RA.index(), next_pc(idx));
+                    }
+                    retired += 1;
+                    idx = target;
+                    continue;
+                }
+                Op::JumpReg { link, rd, rs } => {
+                    // Target read before the link write (`jalr r1, r1`).
+                    let t = regs[rs as usize];
+                    if link {
+                        set!(rd, next_pc(idx));
+                    }
+                    retired += 1;
+                    // A misaligned indirect target is a program bug; panic
+                    // where the interpreter would (at the following fetch),
+                    // with the interpreter's architectural state.
+                    if !t.is_multiple_of(INSTR_BYTES) {
+                        *state.regs_mut() = regs;
+                        state.pc = t;
+                        panic!("misaligned pc {t:#x}");
+                    }
+                    idx = t / INSTR_BYTES;
+                    continue;
+                }
+                Op::Sync | Op::Nop => {}
+                Op::Exit => {
+                    retired += 1;
+                    flush!();
+                    return Ok(FfRun { retired, exited: true });
+                }
+                Op::Xloop { idx: ir, bound, target } => {
+                    if (regs[ir as usize] as i32) < (regs[bound as usize] as i32) {
+                        retired += 1;
+                        idx = target;
+                        continue;
+                    }
+                }
+                Op::XiImm { reg, inc } => {
+                    set!(reg, regs[reg as usize].wrapping_add(inc));
+                }
+                Op::XiReg { reg, rt } => {
+                    set!(reg, regs[reg as usize].wrapping_add(regs[rt as usize]));
+                }
+            }
+            retired += 1;
+            idx = idx.wrapping_add(1);
+        }
+        flush!();
+        Ok(FfRun { retired, exited: false })
+    }
+}
+
+#[inline]
+fn next_pc(idx: u32) -> u32 {
+    idx.wrapping_add(1).wrapping_mul(INSTR_BYTES)
+}
+
+#[cold]
+fn misaligned(pc: u32, addr: u32, align: u32, store: bool) -> ExecError {
+    ExecError::Fault { pc, fault: ExecFault::Misaligned { addr, align, store } }
+}
+
+/// Decodes the instruction at index `i` into its threaded-code form,
+/// pre-computing everything [`crate::semantics::apply`] would re-derive per
+/// execution: extended immediates ([`alu_imm_value`]), byte offsets, and
+/// branch/xloop/jump targets as instruction indices.
+fn decode(i: u32, instr: Instr) -> Op {
+    let r = |reg: Reg| reg.index() as u8;
+    match instr {
+        Instr::Alu { op, rd, rs, rt } => Op::Alu { op, rd: r(rd), rs: r(rs), rt: r(rt) },
+        Instr::AluImm { op, rd, rs, imm } => {
+            Op::AluImm { op, rd: r(rd), rs: r(rs), imm: alu_imm_value(op, imm) }
+        }
+        Instr::Lui { rd, imm } => Op::Lui { rd: r(rd), imm: (imm as u32) << 16 },
+        Instr::Llfu { op, rd, rs, rt } => Op::Llfu { op, rd: r(rd), rs: r(rs), rt: r(rt) },
+        Instr::Amo { op, rd, addr, src } => Op::Amo { op, rd: r(rd), addr: r(addr), src: r(src) },
+        Instr::Mem { op, data, base, offset } => {
+            let (data, base, offset) = (r(data), r(base), offset as i32 as u32);
+            match op {
+                xloops_isa::MemOp::Lw => Op::Lw { data, base, offset },
+                xloops_isa::MemOp::Lh => Op::Lh { data, base, offset },
+                xloops_isa::MemOp::Lhu => Op::Lhu { data, base, offset },
+                xloops_isa::MemOp::Lb => Op::Lb { data, base, offset },
+                xloops_isa::MemOp::Lbu => Op::Lbu { data, base, offset },
+                xloops_isa::MemOp::Sw => Op::Sw { data, base, offset },
+                xloops_isa::MemOp::Sh => Op::Sh { data, base, offset },
+                xloops_isa::MemOp::Sb => Op::Sb { data, base, offset },
+            }
+        }
+        Instr::Branch { cond, rs, rt, offset } => {
+            Op::Branch { cond, rs: r(rs), rt: r(rt), target: i.wrapping_add(offset as i32 as u32) }
+        }
+        Instr::Jump { link, target_word } => Op::Jump { link, target: target_word },
+        Instr::JumpReg { link, rd, rs } => Op::JumpReg { link, rd: r(rd), rs: r(rs) },
+        Instr::Sync => Op::Sync,
+        Instr::Nop => Op::Nop,
+        Instr::Exit => Op::Exit,
+        Instr::Xloop { idx, bound, body_offset, .. } => {
+            Op::Xloop { idx: r(idx), bound: r(bound), target: i.wrapping_sub(body_offset as u32) }
+        }
+        Instr::Xi { reg, kind } => match kind {
+            xloops_isa::XiKind::Imm(imm) => Op::XiImm { reg: r(reg), inc: imm as i32 as u32 },
+            xloops_isa::XiKind::Reg(rt) => Op::XiReg { reg: r(reg), rt: r(rt) },
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Interp, Step};
+    use xloops_asm::assemble;
+
+    /// Runs `src` under both engines and asserts bit-identical final state.
+    fn differential(src: &str) -> (ArchState, Memory) {
+        let p = assemble(src).expect("assembles");
+
+        let mut interp = Interp::new();
+        let mut mem_i = Memory::new();
+        let mut steps = 0u64;
+        loop {
+            match interp.step(&p, &mut mem_i) {
+                Ok(Step::Exit) => break,
+                Ok(Step::Continue) => {}
+                Err(e) => panic!("interp failed: {e}"),
+            }
+            steps += 1;
+            assert!(steps < 10_000_000, "interp did not exit");
+        }
+
+        let ff = FastForward::new(&p);
+        let mut state = ArchState::new();
+        let mut mem_f = Memory::new();
+        let run = ff.run(&mut state, &mut mem_f, u64::MAX).expect("ff runs");
+        assert!(run.exited);
+        assert_eq!(run.retired, interp.mix().total(), "retired counts diverge");
+        assert_eq!(&state, interp.state(), "ArchState diverges");
+        assert_eq!(mem_i.first_difference(&mem_f), None, "memory diverges");
+        (state, mem_f)
+    }
+
+    #[test]
+    fn arithmetic_memory_and_control_match_interp() {
+        differential(
+            "
+            li r1, -3
+            li r2, 10
+            addu r3, r1, r2
+            mul r4, r2, r2
+            sw r4, 0x100(r0)
+            lw r5, 0x100(r0)
+            sb r1, 0x108(r0)
+            lb r6, 0x108(r0)
+            lbu r7, 0x108(r0)
+            sh r2, 0x10A(r0)
+            lh r8, 0x10A(r0)
+            lhu r9, 0x10A(r0)
+            amo.add r10, (r0), r2
+            sync
+            exit",
+        );
+    }
+
+    #[test]
+    fn loops_branches_and_calls_match_interp() {
+        differential(
+            "
+            li r1, 0
+            li r2, 1
+            li r3, 10
+        top:
+            addu r1, r1, r2
+            addiu r2, r2, 1
+            ble r2, r3, top
+            jal fun
+            sw r9, 0x40(r0)
+            exit
+        fun:
+            li r9, 42
+            jr ra",
+        );
+    }
+
+    #[test]
+    fn xloop_and_xi_match_interp() {
+        differential(
+            "
+            li r2, 0
+            li r3, 16
+            li r6, 100
+        body:
+            sll r5, r2, 2
+            sw r2, 0x400(r5)
+            addiu.xi r6, r6, 10
+            addiu r2, r2, 1
+            xloop.uc body, r2, r3
+            exit",
+        );
+    }
+
+    #[test]
+    fn r0_writes_are_discarded() {
+        let (state, _) = differential("li r0, 55\naddiu r0, r0, 3\nxor r1, r0, r0\nexit");
+        assert_eq!(state.reg(Reg::ZERO), 0);
+        assert_eq!(state.reg(Reg::new(1)), 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_stops_at_instruction_boundary() {
+        let p = assemble("li r1, 1\nli r2, 2\nli r3, 3\nexit").unwrap();
+        let ff = FastForward::new(&p);
+        let mut state = ArchState::new();
+        let mut mem = Memory::new();
+        let run = ff.run(&mut state, &mut mem, 2).unwrap();
+        assert_eq!(run, FfRun { retired: 2, exited: false });
+        assert_eq!(state.pc, 8);
+        assert_eq!(state.reg(Reg::new(2)), 2);
+        assert_eq!(state.reg(Reg::new(3)), 0);
+        // Resuming finishes the program.
+        let run = ff.run(&mut state, &mut mem, u64::MAX).unwrap();
+        assert_eq!(run, FfRun { retired: 2, exited: true });
+        assert_eq!(state.pc, 12, "exit leaves the pc in place");
+    }
+
+    #[test]
+    fn invalid_pc_matches_interp() {
+        let p = assemble("nop").unwrap(); // falls off the end
+        let ff = FastForward::new(&p);
+        let mut state = ArchState::new();
+        let mut mem = Memory::new();
+        assert_eq!(ff.run(&mut state, &mut mem, 100), Err(ExecError::InvalidPc(4)));
+        assert_eq!(state.pc, 4);
+    }
+
+    #[test]
+    fn misaligned_access_faults_without_side_effects() {
+        let p = assemble("li r1, 0x102\nlw r2, 0(r1)\nexit").unwrap();
+        let ff = FastForward::new(&p);
+        let mut state = ArchState::new();
+        let mut mem = Memory::new();
+        let err = ff.run(&mut state, &mut mem, 100).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::Fault {
+                pc: 4,
+                fault: ExecFault::Misaligned { addr: 0x102, align: 4, store: false },
+            }
+        );
+        assert_eq!(state.pc, 4, "pc at the faulting instruction");
+        assert_eq!(state.reg(Reg::new(2)), 0, "no partial writes");
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned pc 0x6")]
+    fn misaligned_indirect_jump_panics_like_interp_fetch() {
+        // `Program::fetch` panics on a misaligned pc; the engine panics at
+        // the same point (the fetch after the jump), same message.
+        let p = assemble("li r1, 6\njr r1\nli r9, 1\nexit").unwrap();
+        let ff = FastForward::new(&p);
+        let mut state = ArchState::new();
+        let mut mem = Memory::new();
+        let _ = ff.run(&mut state, &mut mem, 100);
+    }
+}

@@ -46,9 +46,11 @@ use xloops_asm::Program;
 use xloops_isa::{Instr, Reg, INSTR_BYTES};
 use xloops_mem::Memory;
 
+pub mod ff;
 pub mod semantics;
 pub mod state;
 
+pub use ff::{FastForward, FfRun};
 pub use semantics::{
     alu_imm_value, apply, apply_direct, branch_target, classify, load, store, xi_mivt, xi_step,
     ApplyError, Effect, EffectClass, ExecFault, MemPort,

@@ -266,6 +266,23 @@ impl GppCore {
         self.engine.last_dispatch()
     }
 
+    /// Dynamic instructions retired so far, without draining the pipeline.
+    /// [`GppCore::stats`] drains (which perturbs subsequent timing); the
+    /// sampling driver reads instruction-count deltas between measurement
+    /// windows through this instead.
+    pub fn instret(&self) -> u64 {
+        self.interp.mix().total()
+    }
+
+    /// A monotonic, non-draining read of the core's clock: the later of the
+    /// last dispatch and the last drain/stall point. Unlike
+    /// [`GppCore::last_dispatch_cycle`] alone, this advances across LPSU
+    /// phases (which move the clock via [`GppCore::stall_until`] before the
+    /// next instruction dispatches).
+    pub fn clock(&self) -> u64 {
+        self.engine.last_dispatch().max(self.drained_cycles)
+    }
+
     /// Statistics accumulated so far (drains the pipeline to get a stable
     /// cycle count).
     pub fn stats(&mut self) -> GppStats {

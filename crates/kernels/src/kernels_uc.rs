@@ -153,6 +153,85 @@ kloop:
     Kernel::new("sgemm-uc", Suite::Custom, "uc", asm, segments, check_words("C", 0x3800, expected))
 }
 
+/// The mid-size sgemm input: 96×96 matrices, 216× the inner-loop
+/// iteration count of the Table II point (96³ vs 16³). Built for the
+/// interval-sampled / fast-forward path — it is reachable through
+/// [`crate::by_name`] but deliberately **not** part of [`crate::table2`],
+/// so no full cycle-accurate artifact ever sweeps it. The row stride no
+/// longer fits a shift, so addresses are formed with `mul` against a
+/// register-held stride; the dataset lives above the Table II heap
+/// (0x10000/0x20000/0x30000) to keep the 0x1000..0x7000 oracle span
+/// untouched.
+pub fn sgemm_scaled() -> Kernel {
+    const N: usize = 96;
+    let mut rng = Rng::new(0x5E96);
+    let a: Vec<f32> = (0..N * N).map(|_| rng.below(16) as f32 / 4.0).collect();
+    let b: Vec<f32> = (0..N * N).map(|_| rng.below(16) as f32 / 4.0).collect();
+    let mut c = vec![0f32; N * N];
+    for i in 0..N {
+        for j in 0..N {
+            let mut acc = 0f32;
+            for k in 0..N {
+                acc += a[i * N + k] * b[k * N + j];
+            }
+            c[i * N + j] = acc;
+        }
+    }
+
+    let stride = N * 4;
+    let asm = format!(
+        "
+    li r4, 0x10000  # A
+    li r5, 0x20000  # B
+    li r6, 0x30000  # C
+    li r2, 0
+    li r3, {N}
+    li r19, {stride} # row stride in bytes
+body:
+    mul r7, r2, r19
+    addu r7, r4, r7  # &A[i][0]
+    li r8, 0
+jloop:
+    li r9, 0
+    li r10, 0
+    sll r11, r8, 2
+    addu r11, r5, r11 # &B[0][j]
+    move r12, r7
+kloop:
+    lw r13, 0(r12)
+    lw r14, 0(r11)
+    fmul.s r15, r13, r14
+    fadd.s r10, r10, r15
+    addiu r12, r12, 4
+    addu r11, r11, r19
+    addiu r9, r9, 1
+    blt r9, r3, kloop
+    mul r17, r2, r19
+    sll r18, r8, 2
+    addu r17, r17, r18
+    addu r17, r6, r17
+    sw r10, 0(r17)
+    addiu r8, r8, 1
+    blt r8, r3, jloop
+    addiu r2, r2, 1
+    xloop.uc body, r2, r3
+    exit"
+    );
+    let segments = vec![
+        (0x10000, a.iter().map(|v| v.to_bits()).collect()),
+        (0x20000, b.iter().map(|v| v.to_bits()).collect()),
+    ];
+    let expected: Vec<u32> = c.iter().map(|v| v.to_bits()).collect();
+    Kernel::new(
+        "sgemm-uc-scaled",
+        Suite::Custom,
+        "uc",
+        asm,
+        segments,
+        check_words("C", 0x30000, expected),
+    )
+}
+
 /// Knuth-Morris-Pratt substring search over a collection of byte streams
 /// (custom kernel).
 pub fn ssearch() -> Kernel {

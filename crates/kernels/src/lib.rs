@@ -196,9 +196,17 @@ pub fn table4() -> &'static [Kernel] {
     TABLE4.get_or_init(variants::all)
 }
 
-/// Looks a kernel up by its Table II / Table IV name.
+/// Scaled-input variants for sampled / fast-forward simulation. These are
+/// deliberately *not* part of [`table2`]: full cycle-accurate sweeps never
+/// pick them up, but [`by_name`] (and so the CLI and manifests) can.
+pub fn scaled() -> &'static [Kernel] {
+    static SCALED: OnceLock<Vec<Kernel>> = OnceLock::new();
+    SCALED.get_or_init(|| vec![kernels_uc::sgemm_scaled()])
+}
+
+/// Looks a kernel up by its Table II / Table IV / scaled-variant name.
 pub fn by_name(name: &str) -> Option<&'static Kernel> {
-    table2().iter().chain(table4()).find(|k| k.name == name)
+    table2().iter().chain(table4()).chain(scaled()).find(|k| k.name == name)
 }
 
 #[cfg(test)]
@@ -220,12 +228,29 @@ mod tests {
 
     #[test]
     fn every_kernel_assembles_and_has_an_xloop() {
-        for k in table2().iter().chain(table4()) {
+        for k in table2().iter().chain(table4()).chain(scaled()) {
             assert!(
                 k.program.instrs().iter().any(|i| i.is_xloop()),
                 "{} contains no xloop",
                 k.name
             );
         }
+    }
+
+    #[test]
+    fn scaled_variants_resolve_by_name_but_stay_out_of_table2() {
+        for k in scaled() {
+            assert!(by_name(k.name).is_some(), "{} not reachable by name", k.name);
+            assert!(
+                table2().iter().chain(table4()).all(|t| t.name != k.name),
+                "{} leaked into a sweep registry",
+                k.name
+            );
+        }
+    }
+
+    #[test]
+    fn sgemm_scaled_verifies_functionally() {
+        kernels_uc::sgemm_scaled().run_functional().expect("sgemm-uc-scaled verifies");
     }
 }

@@ -213,6 +213,10 @@ struct Ctx {
     /// body index is `state.pc / INSTR_BYTES`.
     state: ArchState,
     reg_ready: [u64; 32],
+    /// Upper bound on every `reg_ready` entry: when `max_ready <= cycle`
+    /// no register is still in flight, so [`Engine::next_wakeup`] skips
+    /// the 32-entry scan for this context.
+    max_ready: u64,
     busy_until: u64,
     lsq: Lsq,
     /// CIRs localized this iteration (received from the CIB or written).
@@ -239,6 +243,7 @@ impl Ctx {
             iter: None,
             state: ArchState::new(),
             reg_ready: [0; 32],
+            max_ready: 0,
             busy_until: 0,
             lsq: Lsq::default(),
             cir_local: 0,
@@ -676,9 +681,11 @@ impl<'a> Engine<'a> {
             if ctx.busy_until > c && ctx.busy_until < best {
                 best = ctx.busy_until;
             }
-            for &r in &ctx.reg_ready {
-                if r > c && r < best {
-                    best = r;
+            if ctx.max_ready > c {
+                for &r in &ctx.reg_ready {
+                    if r > c && r < best {
+                        best = r;
+                    }
                 }
             }
         }
@@ -832,6 +839,7 @@ impl<'a> Engine<'a> {
         *ctx.state.regs_mut() = self.scan.live_ins;
         ctx.state.regs_mut()[self.scan.idx_reg.index()] = value;
         ctx.reg_ready = [0; 32];
+        ctx.max_ready = 0;
         ctx.lsq.clear();
         ctx.cir_local = 0;
         ctx.cir_pub = 0;
@@ -965,6 +973,7 @@ impl<'a> Engine<'a> {
         *ctx.state.regs_mut() = self.scan.live_ins;
         ctx.state.regs_mut()[self.scan.idx_reg.index()] = value;
         ctx.reg_ready = [0; 32];
+        ctx.max_ready = 0;
         ctx.lsq.clear();
         ctx.cir_local = 0;
         ctx.cir_pub = 0;
@@ -1079,7 +1088,22 @@ impl<'a> Engine<'a> {
 
         let mut load_ready = 0u64;
         let mut stored_to: Option<u32> = None;
-        let effect = if m.class == EffectClass::Xi {
+        let effect = if !m.is_mem && m.class != EffectClass::Xi {
+            // Poll-path fast lane: an instruction with no memory operand
+            // can never consult the port, so the whole LaneMem apparatus
+            // (context split, LSQ/snoop/port/cache routing) is dead weight.
+            // Executing against the no-op port both skips its setup and
+            // hands `apply` a monomorphized copy with the memory arms
+            // compiled out. This is the majority of issued instructions.
+            match apply(instr, &mut self.ctxs[ci].state, &mut NoMem) {
+                Ok(effect) => effect,
+                Err(ApplyError::Fault(fault)) => {
+                    self.pending_fault = Some(fault);
+                    return Err(Block::Idle);
+                }
+                Err(ApplyError::Blocked(never)) => match never {},
+            }
+        } else if m.class == EffectClass::Xi {
             // `xi` is the ISA's one semantic degree of freedom: the lane
             // computes the induction register with the serial step and
             // mutual-induction registers positionally from the MIVT, using
@@ -1176,6 +1200,9 @@ impl<'a> Engine<'a> {
         if let Some((rd, value)) = effect.wrote {
             if !rd.is_zero() {
                 self.ctxs[ci].reg_ready[rd.index()] = ready;
+                if ready > self.ctxs[ci].max_ready {
+                    self.ctxs[ci].max_ready = ready;
+                }
             }
             if rd.index() as u8 == self.bound_watch {
                 // Bounds grow monotonically; the LMU keeps the maximum.
@@ -1200,6 +1227,28 @@ impl<'a> Engine<'a> {
         self.ctxs[ci].tally.exec += 1;
         self.ctxs[ci].tally.instrs += 1;
         Ok(())
+    }
+}
+
+/// The port for instructions without a memory operand: [`apply`] never
+/// calls it (`issue_instr` routes only `!is_mem` instructions here), so
+/// every method is unreachable and its monomorphized [`apply`] copy
+/// carries no memory machinery.
+struct NoMem;
+
+impl MemPort for NoMem {
+    type Block = std::convert::Infallible;
+
+    fn load(&mut self, _: MemOp, _: u32) -> Result<u32, Self::Block> {
+        unreachable!("non-memory instruction consulted the port")
+    }
+
+    fn store(&mut self, _: MemOp, _: u32, _: u32) -> Result<(), Self::Block> {
+        unreachable!("non-memory instruction consulted the port")
+    }
+
+    fn amo(&mut self, _: AmoOp, _: u32, _: u32) -> Result<u32, Self::Block> {
+        unreachable!("non-memory instruction consulted the port")
     }
 }
 

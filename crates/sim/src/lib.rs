@@ -22,6 +22,7 @@ mod adaptive;
 mod config;
 mod error;
 mod options;
+mod sampling;
 mod stats;
 mod supervisor;
 mod system;
@@ -30,7 +31,8 @@ pub use adaptive::{Apt, Decision};
 pub use config::{ConfigKey, ExecMode, SystemConfig};
 pub use error::SimError;
 pub use options::RunOptions;
-pub use stats::SystemStats;
+pub use sampling::{ParseSampleSpecError, SampleSpec, SamplingStats};
+pub use stats::{ProfileStats, SystemStats};
 pub use supervisor::{Supervisor, SupervisorConfig, SupervisorStats};
 pub use system::{System, SystemSnapshot};
 pub use xloops_lpsu::{FaultKind, FaultPlan, FaultSpec};

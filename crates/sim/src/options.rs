@@ -19,12 +19,14 @@
 //! | `XLOOPS_BENCH_THREADS=N` | pin the benchmark worker-thread count |
 //! | `XLOOPS_BENCH_PROFILE=1` | report the slowest simulation points after a serial fill |
 //! | `XLOOPS_BENCH_DATE=YYYY-MM-DD` | override the date in `BENCH_<date>.json` |
+//! | `XLOOPS_SAMPLE=N:W:M` | interval-sampled simulation: fast-forward N instructions, warm W cycles, measure M cycles |
 //!
 //! (`XLOOPS_PROFILE_KERNELS` / `XLOOPS_PROFILE_REPS` belong to the
 //! `profile_lpsu` example only and stay local to it.)
 
 use xloops_stats::JsonValue;
 
+use crate::sampling::SampleSpec;
 use crate::supervisor::SupervisorConfig;
 
 /// Everything about a run that comes from the environment rather than a
@@ -50,6 +52,9 @@ pub struct RunOptions {
     pub profile: bool,
     /// Date stamp override for `BENCH_<date>.json` (`XLOOPS_BENCH_DATE`).
     pub bench_date: Option<String>,
+    /// Interval-sampled simulation (`XLOOPS_SAMPLE=N:W:M`); `None` runs
+    /// every cycle in detail (bit-for-bit identical to pre-sampling output).
+    pub sample: Option<SampleSpec>,
 }
 
 impl RunOptions {
@@ -67,6 +72,7 @@ impl RunOptions {
             threads: env_u64("XLOOPS_BENCH_THREADS").map(|n| (n as usize).max(1)),
             profile: env_flag("XLOOPS_BENCH_PROFILE"),
             bench_date: std::env::var("XLOOPS_BENCH_DATE").ok(),
+            sample: std::env::var("XLOOPS_SAMPLE").ok().and_then(|v| v.trim().parse().ok()),
         }
     }
 
@@ -92,6 +98,7 @@ impl RunOptions {
                 "bench_date",
                 self.bench_date.as_ref().map_or(JsonValue::Null, |d| JsonValue::Str(d.clone())),
             ),
+            ("sample", self.sample.map_or(JsonValue::Null, |s| JsonValue::Str(s.to_string()))),
         ])
     }
 
@@ -121,6 +128,12 @@ impl RunOptions {
             bench_date: match v.get("bench_date")? {
                 JsonValue::Null => None,
                 d => Some(d.as_str()?.to_string()),
+            },
+            // Absent in documents written before sampling existed: those
+            // runs were unsampled, so a missing key reads as `None`.
+            sample: match v.get("sample") {
+                None | Some(JsonValue::Null) => None,
+                Some(s) => Some(s.as_str()?.parse().ok()?),
             },
         })
     }
@@ -155,6 +168,16 @@ mod tests {
     }
 
     #[test]
+    fn pre_sampling_documents_still_parse() {
+        // A document written before the `sample` key existed.
+        let old = r#"{"supervisor": null, "serial": false, "threads": null,
+                      "profile": false, "bench_date": null}"#;
+        let v = xloops_stats::JsonValue::parse(old).unwrap();
+        let o = RunOptions::from_json_value(&v).expect("old documents parse");
+        assert_eq!(o, RunOptions::default());
+    }
+
+    #[test]
     fn json_round_trips_all_field_shapes() {
         for o in [
             RunOptions::default(),
@@ -164,6 +187,7 @@ mod tests {
                 threads: Some(4),
                 profile: true,
                 bench_date: Some("2026-08-06".into()),
+                sample: Some(SampleSpec::new(10_000, 2_000, 50_000).unwrap()),
             },
             RunOptions {
                 supervisor: Some(SupervisorConfig {

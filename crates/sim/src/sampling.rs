@@ -1,0 +1,444 @@
+//! Interval-sampled simulation: fast-forward functionally, measure
+//! cycle-accurately, extrapolate (SMARTS-style).
+//!
+//! A sampled run alternates three phases under one [`SampleSpec`]:
+//!
+//! 1. **Measure** — the cycle-accurate system (GPP + LPSU, the same
+//!    dispatch loop as a full run) executes for `measure` cycles. The
+//!    window's cycles and instructions form one CPI observation.
+//! 2. **Fast-forward** — the threaded-code engine
+//!    ([`xloops_func::FastForward`]) executes `ff` instructions against the
+//!    shared [`ArchState`](xloops_func::ArchState) + memory at functional
+//!    speed. No timing state advances; caches and predictors keep their
+//!    contents (warm-hardware semantics, exactly like
+//!    [`System::snapshot`]/[`System::restore`]).
+//! 3. **Warm-up** — `warm` cycles of detailed execution whose timing is
+//!    *discarded*: they exist to refill the pipeline/cache transient that
+//!    fast-forwarding skipped, so the next measurement window is unbiased.
+//!
+//! The run's cycle estimate is
+//!
+//! ```text
+//! est_cycles = measured_cycles + round(cpi_hat × skipped_instrs)
+//! cpi_hat    = Σ measured_cycles / Σ measured_instrs
+//! ```
+//!
+//! where `skipped_instrs` counts both fast-forwarded and warm-up
+//! instructions (warm windows are part of the skipped transient, not of
+//! the sample). The per-interval CPI spread gives the error bar:
+//! `rel_stderr = (stddev(cpi_i) / √n) / mean(cpi_i)`. Energy is scaled by
+//! the instruction ratio. All of it lands in [`SamplingStats`], reported
+//! as the `sampling.*` stat node — present only on sampled runs, so
+//! unsampled output is byte-identical to before.
+//!
+//! Sampling composes with every [`ExecMode`]: measurement windows stop at
+//! taken xloops and dispatch them to the LPSU (or the adaptive profiler)
+//! exactly like [`System::run`]. A specialized phase is atomic — if a loop
+//! instance overruns the window budget, the overrun is real measured work
+//! and is charged to the window. Sampled runs are not supervised and take
+//! no fault plan: rewind/replay across functional gaps would need
+//! per-window memory snapshots, which is exactly the cost sampling exists
+//! to avoid.
+
+use std::fmt;
+use std::str::FromStr;
+
+use xloops_asm::Program;
+use xloops_func::FastForward;
+use xloops_gpp::{GppKind, RunOpts, StopReason};
+use xloops_stats::StatSet;
+
+use crate::config::ExecMode;
+use crate::error::SimError;
+use crate::stats::SystemStats;
+use crate::system::System;
+
+/// The three interval lengths of a sampled run, as given by
+/// `XLOOPS_SAMPLE=N:W:M` / `--sample N:W:M`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SampleSpec {
+    /// Instructions to fast-forward functionally between windows (N ≥ 1).
+    pub ff: u64,
+    /// Detailed warm-up cycles after each fast-forward, excluded from the
+    /// CPI sample (W; 0 disables warm-up).
+    pub warm: u64,
+    /// Detailed measurement cycles per window (M ≥ 1).
+    pub measure: u64,
+}
+
+impl SampleSpec {
+    /// Builds a spec, validating the invariants (`ff ≥ 1`, `measure ≥ 1`).
+    pub fn new(ff: u64, warm: u64, measure: u64) -> Option<SampleSpec> {
+        (ff >= 1 && measure >= 1).then_some(SampleSpec { ff, warm, measure })
+    }
+}
+
+impl fmt::Display for SampleSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.ff, self.warm, self.measure)
+    }
+}
+
+/// Error parsing a `N:W:M` sample spec.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseSampleSpecError {
+    text: String,
+}
+
+impl fmt::Display for ParseSampleSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid sample spec `{}` (expected N:W:M with N ≥ 1 and M ≥ 1)", self.text)
+    }
+}
+
+impl std::error::Error for ParseSampleSpecError {}
+
+impl FromStr for SampleSpec {
+    type Err = ParseSampleSpecError;
+
+    fn from_str(s: &str) -> Result<SampleSpec, ParseSampleSpecError> {
+        let err = || ParseSampleSpecError { text: s.to_string() };
+        let mut parts = s.split(':');
+        let mut field = || parts.next().and_then(|p| p.trim().parse::<u64>().ok()).ok_or_else(err);
+        let (ff, warm, measure) = (field()?, field()?, field()?);
+        if parts.next().is_some() {
+            return Err(err());
+        }
+        SampleSpec::new(ff, warm, measure).ok_or_else(err)
+    }
+}
+
+/// What a sampled run measured and estimated — the `sampling.*` stat node.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SamplingStats {
+    /// Measurement windows completed.
+    pub intervals: u64,
+    /// Detailed cycles inside measurement windows.
+    pub measured_cycles: u64,
+    /// Instructions retired inside measurement windows.
+    pub measured_instrs: u64,
+    /// Instructions executed by the fast-forward engine.
+    pub ff_instrs: u64,
+    /// Instructions retired inside warm-up windows (excluded from CPI).
+    pub warm_instrs: u64,
+    /// Detailed cycles spent warming (excluded from CPI).
+    pub warm_cycles: u64,
+    /// Cycles added by extrapolation (`cpi_hat × skipped instructions`).
+    pub extrapolated_cycles: u64,
+    /// Relative standard error of the per-interval CPI sample:
+    /// `(stddev / √n) / mean`; 0 with fewer than two intervals.
+    pub rel_stderr: f64,
+}
+
+impl SamplingStats {
+    /// The node pushed into [`SystemStats::stat_set`] on sampled runs.
+    pub fn stat_set(&self) -> StatSet {
+        let mut s = StatSet::new("sampling");
+        s.set("intervals", self.intervals)
+            .set("measured_cycles", self.measured_cycles)
+            .set("measured_instrs", self.measured_instrs)
+            .set("ff_instrs", self.ff_instrs)
+            .set("warm_instrs", self.warm_instrs)
+            .set("warm_cycles", self.warm_cycles)
+            .set("extrapolated_cycles", self.extrapolated_cycles)
+            .set_metric("rel_stderr", self.rel_stderr);
+        s
+    }
+}
+
+/// How one detailed window ended.
+struct Window {
+    cycles: u64,
+    instrs: u64,
+    exited: bool,
+}
+
+impl System {
+    /// Executes `program` under interval sampling: detailed measurement
+    /// windows separated by functional fast-forward gaps, per `spec`.
+    ///
+    /// Architectural results (memory, live-out registers) are **exact** —
+    /// every instruction executes, functionally or in detail. Only the
+    /// timing/energy totals are estimates; [`SystemStats::cycles`] becomes
+    /// `measured + extrapolated` and [`SystemStats::sampling`] reports the
+    /// decomposition and error bar.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`System::run`]: [`SimError::NoLpsu`] for
+    /// specialized/adaptive modes without an LPSU, [`SimError::Exec`] on
+    /// functional faults (from either engine), and the LPSU-phase errors.
+    pub fn run_sampled(
+        &mut self,
+        program: &Program,
+        mode: ExecMode,
+        spec: SampleSpec,
+    ) -> Result<SystemStats, SimError> {
+        if mode != ExecMode::Traditional && self.lpsu.is_none() {
+            return Err(SimError::NoLpsu);
+        }
+        let ff = FastForward::new(program);
+        let base_cycles = self.gpp.drain();
+        let mut stats = SystemStats::default();
+        let mut s = SamplingStats::default();
+        let mut cpis: Vec<f64> = Vec::new();
+
+        loop {
+            // Measure. The first window starts cold (pc 0) like a full run;
+            // later windows start right after a warm-up window.
+            let w = self.detailed_window(program, mode, &mut stats, spec.measure)?;
+            s.intervals += 1;
+            s.measured_cycles += w.cycles;
+            s.measured_instrs += w.instrs;
+            if w.instrs > 0 {
+                cpis.push(w.cycles as f64 / w.instrs as f64);
+            }
+            if w.exited {
+                break;
+            }
+
+            // Fast-forward through the gap at functional speed.
+            let mut arch = self.gpp.arch_state().clone();
+            let r = ff.run(&mut arch, &mut self.mem, spec.ff).map_err(SimError::Exec)?;
+            self.gpp.set_arch_state(arch);
+            s.ff_instrs += r.retired;
+            if r.exited {
+                break;
+            }
+
+            // Warm the microarchitecture back up; timing discarded.
+            if spec.warm > 0 {
+                let w = self.detailed_window(program, mode, &mut stats, spec.warm)?;
+                s.warm_cycles += w.cycles;
+                s.warm_instrs += w.instrs;
+                if w.exited {
+                    break;
+                }
+            }
+        }
+
+        let gpp_stats = self.gpp.stats();
+        stats.cycles = gpp_stats.cycles - base_cycles;
+        stats.gpp = gpp_stats;
+        stats.finalize(
+            &self.config.energy,
+            matches!(self.config.gpp.kind, GppKind::OutOfOrder { .. }),
+        );
+
+        // Extrapolate: charge every skipped (fast-forwarded or warmed)
+        // instruction at the measured CPI, and scale energy by the
+        // instruction ratio. `measured_instrs` is nonzero — the first
+        // window always retires at least `exit`.
+        let detailed_instret = stats.instret;
+        let cpi_hat = s.measured_cycles as f64 / (s.measured_instrs.max(1)) as f64;
+        let skipped = s.ff_instrs + s.warm_instrs;
+        s.extrapolated_cycles = (cpi_hat * skipped as f64).round() as u64;
+        s.rel_stderr = rel_stderr(&cpis);
+        stats.cycles = s.measured_cycles + s.extrapolated_cycles;
+        stats.instret = detailed_instret + s.ff_instrs;
+        if detailed_instret > 0 {
+            stats.energy_nj *= stats.instret as f64 / detailed_instret as f64;
+        }
+        stats.sampling = Some(s);
+        Ok(stats)
+    }
+
+    /// One bounded window of cycle-accurate execution: the canonical
+    /// dispatch loop (chunked GPP runs, xloops handed to the LPSU or the
+    /// adaptive profiler), stopping at the first chunk/loop boundary at or
+    /// past `budget` cycles. Specialized phases are atomic, so a window can
+    /// overrun its budget by one loop instance; the overrun is real
+    /// detailed work and stays charged to this window.
+    fn detailed_window(
+        &mut self,
+        program: &Program,
+        mode: ExecMode,
+        stats: &mut SystemStats,
+        budget: u64,
+    ) -> Result<Window, SimError> {
+        let start_cycle = self.gpp.clock();
+        let start_instrs = self.gpp.instret() + stats.lpsu.instret;
+        let mut handoff = 0u64;
+        let exited = loop {
+            let mut opts = if mode == ExecMode::Traditional {
+                RunOpts::traditional()
+            } else {
+                RunOpts::specialized()
+            };
+            // Chunked re-entry: the step limit bounds how far past the
+            // budget a chunk can run. The GPP keeps no cross-call timing
+            // state, so stopping between instructions is invisible.
+            opts.max_steps = 256;
+            opts.ignore_pcs = self.fallback_pcs.clone();
+            if mode == ExecMode::Adaptive {
+                opts.ignore_pcs.extend(self.apt.traditional_pcs());
+            }
+            match self.gpp.run(program, &mut self.mem, &opts) {
+                Ok(StopReason::Exited) => break true,
+                Ok(StopReason::XloopTaken { pc }) => {
+                    if mode == ExecMode::Adaptive && self.apt.decision(pc).is_none() {
+                        if self.adaptive_profile(program, pc, stats, None, &mut handoff)? {
+                            break true;
+                        }
+                    } else {
+                        self.specialize(program, pc, None, stats, None)?;
+                    }
+                }
+                Ok(StopReason::WatchDone { .. }) => {
+                    return Err(SimError::Protocol("watch stop from a sampling window"));
+                }
+                Err(xloops_func::ExecError::StepLimit(_)) => {}
+                Err(e) => return Err(e.into()),
+            }
+            if self.gpp.clock().saturating_sub(start_cycle) >= budget {
+                break false;
+            }
+        };
+        Ok(Window {
+            cycles: self.gpp.clock() - start_cycle,
+            instrs: (self.gpp.instret() + stats.lpsu.instret) - start_instrs,
+            exited,
+        })
+    }
+}
+
+/// `(stddev / √n) / mean` of a CPI sample; 0 for fewer than two points.
+fn rel_stderr(cpis: &[f64]) -> f64 {
+    let n = cpis.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mean = cpis.iter().sum::<f64>() / n as f64;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = cpis.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / (n - 1) as f64;
+    (var.sqrt() / (n as f64).sqrt()) / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use xloops_asm::assemble;
+
+    fn store_loop(n: u32) -> Program {
+        assemble(&format!(
+            "
+            li r2, 0
+            li r3, {n}
+        body:
+            sll r5, r2, 2
+            sw r2, 0x1000(r5)
+            addiu r2, r2, 1
+            xloop.uc body, r2, r3
+            exit"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn spec_parses_and_round_trips() {
+        let s: SampleSpec = "1000:200:5000".parse().unwrap();
+        assert_eq!(s, SampleSpec { ff: 1000, warm: 200, measure: 5000 });
+        assert_eq!(s.to_string().parse::<SampleSpec>().unwrap(), s);
+        for bad in ["", "5", "1:2", "1:2:3:4", "0:1:1", "1:1:0", "a:b:c", "-1:0:1"] {
+            assert!(bad.parse::<SampleSpec>().is_err(), "{bad:?} should not parse");
+        }
+        assert_eq!("  8 : 0 : 4 ".trim().parse::<SampleSpec>().unwrap().warm, 0);
+    }
+
+    #[test]
+    fn sampled_run_is_architecturally_exact() {
+        let p = store_loop(512);
+        let mut full = System::new(SystemConfig::io());
+        let f = full.run(&p, ExecMode::Traditional).unwrap();
+        let mut sampled = System::new(SystemConfig::io());
+        let spec = SampleSpec::new(300, 50, 200).unwrap();
+        let stats = sampled.run_sampled(&p, ExecMode::Traditional, spec).unwrap();
+        for i in 0..512 {
+            assert_eq!(sampled.load_word(0x1000 + 4 * i), i, "mem[{i}]");
+        }
+        let s = stats.sampling.as_ref().unwrap();
+        assert!(s.intervals > 1, "run long enough to sample: {s:?}");
+        assert!(s.ff_instrs > 0);
+        assert_eq!(stats.instret, f.instret, "every dynamic instruction is accounted once");
+    }
+
+    #[test]
+    fn sampled_cycles_track_full_run() {
+        let p = store_loop(2048);
+        let mut full = System::new(SystemConfig::io());
+        let f = full.run(&p, ExecMode::Traditional).unwrap();
+        let mut sampled = System::new(SystemConfig::io());
+        let spec = SampleSpec::new(2000, 500, 2000).unwrap();
+        let s = sampled.run_sampled(&p, ExecMode::Traditional, spec).unwrap();
+        let err = (s.cycles as f64 - f.cycles as f64).abs() / f.cycles as f64;
+        assert!(err < 0.05, "estimate {} vs full {} ({:.1}%)", s.cycles, f.cycles, 100.0 * err);
+        assert_eq!(s.instret, f.instret, "instruction counts are exact, not estimated");
+    }
+
+    #[test]
+    fn sampled_specialized_run_uses_the_lpsu_and_matches_memory() {
+        let p = store_loop(256);
+        let mut full = System::new(SystemConfig::io_x());
+        let f = full.run(&p, ExecMode::Specialized).unwrap();
+        let mut sampled = System::new(SystemConfig::io_x());
+        let spec = SampleSpec::new(100, 20, 100).unwrap();
+        let s = sampled.run_sampled(&p, ExecMode::Specialized, spec).unwrap();
+        for i in 0..256 {
+            assert_eq!(sampled.load_word(0x1000 + 4 * i), i);
+        }
+        assert!(s.xloops_specialized >= 1, "the loop still runs specialized");
+        assert_eq!(f.instret, s.instret);
+    }
+
+    #[test]
+    fn whole_program_inside_first_window_is_exact() {
+        let p = store_loop(4);
+        let mut full = System::new(SystemConfig::io());
+        let f = full.run(&p, ExecMode::Traditional).unwrap();
+        let mut sampled = System::new(SystemConfig::io());
+        let spec = SampleSpec::new(1_000_000, 0, 1_000_000).unwrap();
+        let s = sampled.run_sampled(&p, ExecMode::Traditional, spec).unwrap();
+        let smp = s.sampling.as_ref().unwrap();
+        assert_eq!(smp.intervals, 1);
+        assert_eq!(smp.ff_instrs, 0);
+        assert_eq!(smp.extrapolated_cycles, 0);
+        assert_eq!(s.cycles, f.cycles, "no gap, no estimate: exact cycles");
+        assert_eq!(s.energy_nj, f.energy_nj);
+    }
+
+    #[test]
+    fn sampled_without_lpsu_is_an_error() {
+        let p = store_loop(8);
+        let mut sys = System::new(SystemConfig::io());
+        let spec = SampleSpec::new(10, 0, 10).unwrap();
+        assert_eq!(sys.run_sampled(&p, ExecMode::Specialized, spec), Err(SimError::NoLpsu));
+    }
+
+    #[test]
+    fn sampling_node_present_only_on_sampled_runs() {
+        let p = store_loop(64);
+        let mut sys = System::new(SystemConfig::io());
+        let full = sys.run(&p, ExecMode::Traditional).unwrap();
+        assert!(full.stat_set(false).lookup("sampling.intervals").is_none());
+        let mut sys = System::new(SystemConfig::io());
+        let spec = SampleSpec::new(50, 10, 50).unwrap();
+        let sampled = sys.run_sampled(&p, ExecMode::Traditional, spec).unwrap();
+        let set = sampled.stat_set(false);
+        assert!(set.lookup("sampling.intervals").is_some());
+        assert!(set.lookup("sampling.rel_stderr").is_some());
+        assert!(set.lookup("sampling.extrapolated_cycles").is_some());
+    }
+
+    #[test]
+    fn rel_stderr_formula() {
+        assert_eq!(rel_stderr(&[]), 0.0);
+        assert_eq!(rel_stderr(&[2.0]), 0.0);
+        assert_eq!(rel_stderr(&[2.0, 2.0, 2.0]), 0.0);
+        // Two points 1.0 and 3.0: mean 2, stddev √2, stderr 1, rel 0.5.
+        let r = rel_stderr(&[1.0, 3.0]);
+        assert!((r - 0.5).abs() < 1e-12, "{r}");
+    }
+}

@@ -3,6 +3,7 @@ use xloops_gpp::GppStats;
 use xloops_lpsu::LpsuStats;
 use xloops_stats::{ratio, StatSet};
 
+use crate::sampling::SamplingStats;
 use crate::supervisor::SupervisorStats;
 
 /// Statistics of one system-level run.
@@ -36,6 +37,42 @@ pub struct SystemStats {
     /// Supervisor activity (checkpoints, rewinds, degradations); all zero
     /// for unsupervised runs.
     pub supervisor: SupervisorStats,
+    /// Interval-sampling measurements and the extrapolation error bar;
+    /// `None` for full (unsampled) runs.
+    pub sampling: Option<SamplingStats>,
+    /// Host wall-time breakdown per simulation phase; `None` unless
+    /// profiling is on ([`crate::System::set_profiling`] /
+    /// `XLOOPS_BENCH_PROFILE`).
+    pub profile: Option<ProfileStats>,
+}
+
+/// Host wall-clock nanoseconds spent in each phase of a run — where the
+/// *simulator* spends its time, as opposed to where the simulated machine
+/// spends its cycles. The one stat family that is not deterministic, which
+/// is why it only appears when explicitly requested and is kept out of
+/// every golden artifact.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProfileStats {
+    /// Wall time inside cycle-accurate GPP phases.
+    pub gpp_ns: u64,
+    /// Wall time inside LPSU scan phases.
+    pub scan_ns: u64,
+    /// Wall time inside LPSU engine (specialized-execution) phases.
+    pub engine_ns: u64,
+    /// GPP→LPSU handoffs (scan attempts, accepted or rejected).
+    pub handoffs: u64,
+}
+
+impl ProfileStats {
+    /// The breakdown as a `profile` node of the unified stats schema.
+    pub fn stat_set(&self) -> StatSet {
+        let mut s = StatSet::new("profile");
+        s.set("gpp_ns", self.gpp_ns)
+            .set("scan_ns", self.scan_ns)
+            .set("engine_ns", self.engine_ns)
+            .set("handoffs", self.handoffs);
+        s
+    }
 }
 
 impl SystemStats {
@@ -100,6 +137,14 @@ impl SystemStats {
         // pre-supervisor output.
         if self.supervisor != SupervisorStats::default() {
             s.push_child(self.supervisor.stat_set());
+        }
+        // Likewise, only sampled runs carry a sampling child.
+        if let Some(sampling) = &self.sampling {
+            s.push_child(sampling.stat_set());
+        }
+        // And only profiled runs a (non-deterministic) profile child.
+        if let Some(profile) = &self.profile {
+            s.push_child(profile.stat_set());
         }
         s
     }

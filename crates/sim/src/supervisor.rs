@@ -202,10 +202,15 @@ pub(crate) fn run_supervised(
     if mode == ExecMode::Traditional {
         let mut opts = RunOpts::traditional();
         opts.max_steps = max_steps;
+        let t0 = sys.profiling.then(std::time::Instant::now);
         sys.gpp.run(program, &mut sys.mem, &opts).map_err(|e| {
             let spent = sys.gpp.last_dispatch_cycle().saturating_sub(base_cycles);
             budgeted(e.into(), cfg.cycle_budget, spent)
         })?;
+        if let Some(t) = t0 {
+            let p = stats.profile.get_or_insert_with(Default::default);
+            p.gpp_ns += t.elapsed().as_nanos() as u64;
+        }
     } else {
         let mut checkpoint: Option<SystemSnapshot> = None;
         let mut last_ckpt = 0u64;
@@ -221,10 +226,15 @@ pub(crate) fn run_supervised(
             if mode == ExecMode::Adaptive {
                 opts.ignore_pcs.extend(sys.apt.traditional_pcs());
             }
+            let t0 = sys.profiling.then(std::time::Instant::now);
             let stop = sys.gpp.run(program, &mut sys.mem, &opts).map_err(|e| {
                 let spent = sys.gpp.last_dispatch_cycle().saturating_sub(base_cycles);
                 budgeted(e.into(), cfg.cycle_budget, spent)
             })?;
+            if let Some(t) = t0 {
+                let p = stats.profile.get_or_insert_with(Default::default);
+                p.gpp_ns += t.elapsed().as_nanos() as u64;
+            }
             let pc = match stop {
                 StopReason::Exited => break,
                 StopReason::XloopTaken { pc } => pc,

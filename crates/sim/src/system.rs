@@ -53,6 +53,7 @@ pub struct System {
     pub(crate) mem: Memory,
     pub(crate) apt: Apt,
     pub(crate) fallback_pcs: FxHashSet<u32>,
+    pub(crate) profiling: bool,
 }
 
 impl System {
@@ -65,7 +66,16 @@ impl System {
             mem: Memory::new(),
             apt: Apt::new(),
             fallback_pcs: FxHashSet::default(),
+            profiling: false,
         }
+    }
+
+    /// Enables host wall-time profiling: subsequent runs attach a
+    /// [`crate::ProfileStats`] breakdown (`profile.*`) to their stats.
+    /// Simulated timing is unaffected; only the stat tree grows a
+    /// (non-deterministic) child, so this stays off for golden artifacts.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.profiling = on;
     }
 
     /// The system configuration.
@@ -165,6 +175,10 @@ impl System {
         let Some(lpsu) = self.lpsu.clone() else {
             return Err(SimError::NoLpsu);
         };
+        let t0 = self.profiling.then(std::time::Instant::now);
+        if let Some(p) = t0.map(|_| stats.profile.get_or_insert_with(Default::default)) {
+            p.handoffs += 1;
+        }
         let s = match scan(program, pc, self.gpp.reg_file(), lpsu.config()) {
             Ok(s) => s,
             Err(_) => {
@@ -173,7 +187,12 @@ impl System {
                 return Ok(None);
             }
         };
+        if let Some(t) = t0 {
+            let p = stats.profile.get_or_insert_with(Default::default);
+            p.scan_ns += t.elapsed().as_nanos() as u64;
+        }
         let scan_end = self.scan_timing(&s);
+        let t0 = self.profiling.then(std::time::Instant::now);
         let res = lpsu
             .execute_with(
                 Stepper::default_for_build(),
@@ -184,6 +203,10 @@ impl System {
                 inj,
             )
             .map_err(|e| SimError::from_lpsu(e, pc))?;
+        if let Some(t) = t0 {
+            let p = stats.profile.get_or_insert_with(Default::default);
+            p.engine_ns += t.elapsed().as_nanos() as u64;
+        }
         self.gpp.stall_until(scan_end + res.cycles);
 
         // Architectural handback: induction and bound registers take their

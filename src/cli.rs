@@ -23,6 +23,9 @@
 //!   --faults SEED[:N]      inject N (default 3) seeded faults (supervised run)
 //!   --checkpoint CYCLES    supervise with this checkpoint interval
 //!   --budget CYCLES        supervise with an end-to-end cycle budget
+//!   --sample N:W:M         interval-sampled run: fast-forward N instructions,
+//!                          warm W cycles, measure M cycles per window
+//!                          (mutually exclusive with supervision flags)
 //! ```
 //!
 //! The binary image format is the raw little-endian instruction words,
@@ -39,7 +42,7 @@ use crate::bench::experiments::{all_specs, spec_by_name};
 use crate::bench::manifest::{merge, render_spec, run_shard, ExperimentSpec, ShardDoc};
 use crate::kernels;
 use crate::sim::{
-    ExecMode, FaultPlan, SimError, Supervisor, SupervisorConfig, System, SystemConfig,
+    ExecMode, FaultPlan, SampleSpec, SimError, Supervisor, SupervisorConfig, System, SystemConfig,
 };
 use crate::stats::{JsonValue, StatValue};
 
@@ -151,6 +154,8 @@ pub struct RunOptions {
     pub checkpoint: Option<u64>,
     /// `--budget CYCLES`: supervise with an end-to-end cycle budget.
     pub budget: Option<u64>,
+    /// `--sample N:W:M`: interval-sampled simulation.
+    pub sample: Option<SampleSpec>,
 }
 
 impl Default for RunOptions {
@@ -165,6 +170,7 @@ impl Default for RunOptions {
             faults: None,
             checkpoint: None,
             budget: None,
+            sample: None,
         }
     }
 }
@@ -184,6 +190,13 @@ impl RunOptions {
         sys: &mut System,
         program: &Program,
     ) -> Result<crate::sim::SystemStats, SimError> {
+        // Host-phase profiling rides on the same env knob everywhere
+        // (`XLOOPS_BENCH_PROFILE`); stats gain a `profile.*` node.
+        sys.set_profiling(crate::sim::RunOptions::from_env().profile);
+        if let Some(spec) = self.sample {
+            // Parsing rejects --sample alongside supervision flags.
+            return sys.run_sampled(program, self.mode, spec);
+        }
         if !self.supervised() {
             return sys.run(program, self.mode);
         }
@@ -215,6 +228,7 @@ pub fn usage() -> &'static str {
      configs: io ooo2 ooo4 io+x ooo2+x ooo4+x   modes: traditional specialized adaptive\n\
      stats formats: text (default) json\n\
      supervision (run/kernel): --faults SEED[:N]  --checkpoint CYCLES  --budget CYCLES\n\
+     sampling (run/kernel):    --sample N:W:M (ff N instrs, warm W cycles, measure M cycles)\n\
      exit codes: 0 ok, 1 error, 2 usage, 3 wedge, 4 fault, 5 cycle budget\n"
 }
 
@@ -293,6 +307,10 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
             }
             "--checkpoint" => opts.checkpoint = Some(parse_u32(&next("a cycle interval")?)? as u64),
             "--budget" => opts.budget = Some(parse_u32(&next("a cycle budget")?)? as u64),
+            "--sample" => {
+                let spec = next("N:W:M")?;
+                opts.sample = Some(spec.parse().map_err(|e| format!("{e}"))?);
+            }
             "--stats" => {
                 opts.stats_json = match next("a format (text|json)")?.as_str() {
                     "json" => true,
@@ -302,6 +320,11 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
             }
             other => return Err(format!("unknown option `{other}`")),
         }
+    }
+    if opts.sample.is_some() && opts.supervised() {
+        return Err("--sample cannot be combined with --faults/--checkpoint/--budget \
+             (sampled runs are not supervised)"
+            .into());
     }
     Ok(opts)
 }
@@ -623,6 +646,18 @@ fn report(sys: &System, stats: &crate::sim::SystemStats) -> String {
             counter("adaptive_to_gpp")
         );
     }
+    if counter("sampling.intervals") > 0 {
+        let _ = writeln!(
+            t,
+            "sampling         {} windows: {} measured + {} extrapolated cycles, \
+             {} fast-forwarded instructions (rel stderr {:.4})",
+            counter("sampling.intervals"),
+            counter("sampling.measured_cycles"),
+            counter("sampling.extrapolated_cycles"),
+            counter("sampling.ff_instrs"),
+            metric("sampling.rel_stderr")
+        );
+    }
     if counter("supervisor.checkpoints") + counter("supervisor.rewinds") > 0 {
         let _ = writeln!(
             t,
@@ -753,6 +788,38 @@ mod tests {
         assert_eq!(parse_run_options(&sv(&["--faults", "9"])).unwrap().faults, Some((9, 3)));
         assert!(parse_run_options(&sv(&["--faults", "x:y"])).is_err());
         assert!(parse_run_options(&sv(&["--budget"])).is_err());
+    }
+
+    #[test]
+    fn sample_flag_parses_and_rejects_supervision_combos() {
+        let o = parse_run_options(&sv(&["--sample", "10000:2000:50000"])).unwrap();
+        assert_eq!(o.sample, Some(SampleSpec::new(10_000, 2_000, 50_000).unwrap()));
+        assert!(parse_run_options(&sv(&["--sample", "0:1:1"])).is_err());
+        assert!(parse_run_options(&sv(&["--sample", "nope"])).is_err());
+        assert!(parse_run_options(&sv(&["--sample"])).is_err());
+        let e = parse_run_options(&sv(&["--sample", "1:1:1", "--budget", "99"])).unwrap_err();
+        assert!(e.contains("not supervised"), "{e}");
+    }
+
+    #[test]
+    fn sampled_kernel_run_verifies_and_reports_sampling_stats() {
+        let opts = RunOptions {
+            sample: Some(SampleSpec::new(500, 100, 500).unwrap()),
+            ..RunOptions::default()
+        };
+        let (text, _) = execute(Command::Kernel { name: "huffman-ua".into(), opts }).unwrap();
+        assert!(text.contains("verified OK"), "{text}");
+        assert!(text.contains("sampling"), "{text}");
+
+        // And the JSON surface carries the sampling node with the error bar.
+        let opts = RunOptions {
+            sample: Some(SampleSpec::new(500, 100, 500).unwrap()),
+            stats_json: true,
+            ..RunOptions::default()
+        };
+        let (json, _) = execute(Command::Kernel { name: "huffman-ua".into(), opts }).unwrap();
+        assert!(json.contains("\"name\":\"sampling\""), "{json}");
+        assert!(json.contains("rel_stderr"), "{json}");
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! Three-way differential oracle for the fast-forward functional engine.
+//!
+//! The pre-decoded threaded-code engine ([`xloops::func::FastForward`])
+//! exists purely for simulation speed: it must be bit-identical to the
+//! reference interpreter. This suite pins that claim from three angles on
+//! every Table II kernel:
+//!
+//! 1. **interp vs fast-forward** — same final [`ArchState`] (pc and all 32
+//!    registers), same memory image, same retired-instruction count.
+//! 2. **interp vs event-driven GPP** — the cycle-accurate core wraps the
+//!    same interpreter, so its architectural outcome must match too (this
+//!    is what makes fast-forward → detailed hand-off sound).
+//! 3. **interp vs full specialized system** — the LPSU path produces the
+//!    serial-equivalent memory image. This leg routes through the LPSU
+//!    stepper selected at build time, so CI runs the file twice: once
+//!    default (event-driven) and once with `--features
+//!    xloops-lpsu/naive-stepper`.
+//!
+//! A property test then checks that *arbitrary* sampling specs never
+//! change the functional result: interval-sampled simulation may estimate
+//! cycles, but the committed memory image is exact by construction.
+
+use proptest::prelude::*;
+use xloops::func::{ArchState, FastForward, Interp, Step};
+use xloops::gpp::{GppConfig, GppCore, RunOpts, StopReason};
+use xloops::kernels::{by_name, table2, Kernel};
+use xloops::mem::Memory;
+use xloops::sim::{ExecMode, SampleSpec, System, SystemConfig};
+
+const MAX_STEPS: u64 = 50_000_000;
+
+/// The kernels' working set lives in 0x1000..0x7000 (see
+/// `tests/cross_model.rs`); comparing the whole span catches stray stores,
+/// not just the verified outputs.
+fn heap(mem: &Memory) -> Vec<u32> {
+    mem.read_words(0x1000, (0x7000 - 0x1000) / 4)
+}
+
+/// Everything architecturally observable after a run.
+struct Outcome {
+    state: ArchState,
+    heap: Vec<u32>,
+    instret: u64,
+}
+
+/// Reference: the step-at-a-time interpreter.
+fn interp_outcome(kernel: &Kernel) -> Outcome {
+    let mut mem = Memory::new();
+    kernel.init_memory(&mut mem);
+    let mut cpu = Interp::new();
+    for _ in 0..MAX_STEPS {
+        match cpu.step(&kernel.program, &mut mem) {
+            Ok(Step::Exit) => {
+                return Outcome {
+                    state: cpu.state().clone(),
+                    heap: heap(&mem),
+                    instret: cpu.mix().total(),
+                }
+            }
+            Ok(_) => {}
+            Err(e) => panic!("{}: interp run failed: {e:?}", kernel.name),
+        }
+    }
+    panic!("{}: interp did not exit in {MAX_STEPS} steps", kernel.name);
+}
+
+/// The threaded-code fast-forward engine.
+fn ff_outcome(kernel: &Kernel) -> Outcome {
+    let mut mem = Memory::new();
+    kernel.init_memory(&mut mem);
+    let ff = FastForward::new(&kernel.program);
+    let mut state = ArchState::new();
+    let run = ff
+        .run(&mut state, &mut mem, MAX_STEPS)
+        .unwrap_or_else(|e| panic!("{}: fast-forward failed: {e:?}", kernel.name));
+    assert!(run.exited, "{}: fast-forward did not exit in {MAX_STEPS} steps", kernel.name);
+    Outcome { state, heap: heap(&mem), instret: run.retired }
+}
+
+/// The event-driven cycle-accurate GPP in traditional mode.
+fn gpp_outcome(kernel: &Kernel) -> Outcome {
+    let mut mem = Memory::new();
+    kernel.init_memory(&mut mem);
+    let mut core = GppCore::new(GppConfig::io());
+    let stop = core
+        .run(&kernel.program, &mut mem, &RunOpts::traditional())
+        .unwrap_or_else(|e| panic!("{}: GPP run failed: {e:?}", kernel.name));
+    assert_eq!(stop, StopReason::Exited, "{}: GPP stopped early", kernel.name);
+    Outcome { state: core.arch_state().clone(), heap: heap(&mem), instret: core.instret() }
+}
+
+/// Legs 1 and 2: every Table II kernel, all three engines, full
+/// architectural equality.
+#[test]
+fn fast_forward_is_bit_identical_to_interp_and_gpp() {
+    for kernel in table2() {
+        let reference = interp_outcome(kernel);
+        let ff = ff_outcome(kernel);
+        assert_eq!(ff.state, reference.state, "{}: fast-forward ArchState diverged", kernel.name);
+        assert_eq!(ff.heap, reference.heap, "{}: fast-forward memory diverged", kernel.name);
+        assert_eq!(ff.instret, reference.instret, "{}: retired count diverged", kernel.name);
+
+        let gpp = gpp_outcome(kernel);
+        assert_eq!(gpp.state, reference.state, "{}: GPP ArchState diverged", kernel.name);
+        assert_eq!(gpp.heap, reference.heap, "{}: GPP memory diverged", kernel.name);
+        assert_eq!(gpp.instret, reference.instret, "{}: GPP retired count diverged", kernel.name);
+    }
+}
+
+/// Leg 3: the full specialized system (GPP + LPSU under the build's
+/// stepper) commits the serial-equivalent memory image the interpreter
+/// computes. Run under both steppers in CI. The two `uc-db` kernels have
+/// order-insensitive AMO races (see `tests/cross_model.rs`), so for them
+/// only the semantic verifier applies, not word-exact comparison.
+#[test]
+fn specialized_system_commits_the_interp_memory_image() {
+    for kernel in table2() {
+        let reference = interp_outcome(kernel);
+        let mut sys = System::new(SystemConfig::io_x());
+        kernel.init_memory(sys.mem_mut());
+        sys.run(&kernel.program, ExecMode::Specialized)
+            .unwrap_or_else(|e| panic!("{}: specialized run failed: {e}", kernel.name));
+        let word_exact = !matches!(kernel.name, "bfs-uc-db" | "qsort-uc-db");
+        if word_exact {
+            assert_eq!(
+                heap(sys.mem()),
+                reference.heap,
+                "{}: specialized memory image diverged from the functional reference",
+                kernel.name
+            );
+        }
+        kernel.verify(sys.mem()).unwrap_or_else(|e| panic!("{}: verify failed: {e}", kernel.name));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary sampling specs never change the functional result: the
+    /// sampled run's memory image equals the full run's, kernel
+    /// verification passes, and the instruction count is exact.
+    #[test]
+    fn arbitrary_sample_specs_preserve_functional_results(
+        ff in any::<u64>(),
+        warm in any::<u64>(),
+        measure in any::<u64>(),
+        kernel_pick in any::<u64>(),
+    ) {
+        // Small-but-real windows: huge ff windows are just "one window
+        // covers the whole program", which the unit suite already pins.
+        let spec = SampleSpec::new(ff % 4_000 + 1, warm % 1_000, measure % 4_000 + 1)
+            .expect("positive ff/measure");
+        let names = ["huffman-ua", "rgb2cmyk-uc", "ksack-sm-om"];
+        let kernel = by_name(names[(kernel_pick % names.len() as u64) as usize]).unwrap();
+
+        // Same-mode full run: the invariant is that sampling changes the
+        // cycle *estimate*, never the architectural outcome.
+        let mut full = System::new(SystemConfig::io_x());
+        kernel.init_memory(full.mem_mut());
+        let full_stats = full
+            .run(&kernel.program, ExecMode::Specialized)
+            .unwrap_or_else(|e| panic!("{} full run failed: {e}", kernel.name));
+
+        let mut sys = System::new(SystemConfig::io_x());
+        kernel.init_memory(sys.mem_mut());
+        let stats = sys
+            .run_sampled(&kernel.program, ExecMode::Specialized, spec)
+            .unwrap_or_else(|e| panic!("{} sampled {spec} failed: {e}", kernel.name));
+        prop_assert_eq!(
+            heap(sys.mem()),
+            heap(full.mem()),
+            "{} sampled {} memory diverged", kernel.name, spec
+        );
+        kernel.verify(sys.mem())
+            .unwrap_or_else(|e| panic!("{} sampled {spec} verify failed: {e}", kernel.name));
+        prop_assert_eq!(stats.instret, full_stats.instret);
+        prop_assert!(stats.sampling.is_some() && full_stats.sampling.is_none());
+    }
+}

@@ -1,0 +1,70 @@
+//! Accuracy bound for interval-sampled simulation.
+//!
+//! Sampling trades exact cycle counts for wall-clock speed; this suite
+//! pins how much accuracy the trade costs. For every Table II kernel on
+//! every Figure 9 LPSU design point, the sampled estimate must land
+//! within 5% of the full cycle-accurate run, and the reported relative
+//! standard error must be finite and sane. (The architectural outcome is
+//! exact by construction — `tests/ff_oracle.rs` covers that side.)
+
+use xloops::kernels::table2;
+use xloops::lpsu::LpsuConfig;
+use xloops::sim::{ExecMode, SampleSpec, System, SystemConfig};
+
+/// The Figure 9 LPSU design space on the ooo/4 host.
+fn fig9_configs() -> Vec<(&'static str, SystemConfig)> {
+    let d = LpsuConfig::default4;
+    vec![
+        ("x4", SystemConfig::ooo4_x()),
+        ("x4+mt", SystemConfig::ooo4_x().with_lpsu(d().with_multithreading())),
+        ("x8", SystemConfig::ooo4_x().with_lpsu(d().with_lanes(8))),
+        ("x8+r", SystemConfig::ooo4_x().with_lpsu(d().with_lanes(8).with_double_resources())),
+        (
+            "x8+r+lsq",
+            SystemConfig::ooo4_x()
+                .with_lpsu(d().with_lanes(8).with_double_resources().with_big_lsq()),
+        ),
+    ]
+}
+
+#[test]
+fn sampled_cycles_within_5pct_on_every_kernel_and_fig9_config() {
+    // The headline sampling configuration: fast-forward 10k instructions,
+    // warm 2k cycles, measure 10k cycles per interval.
+    let spec = SampleSpec::new(10_000, 2_000, 10_000).unwrap();
+    let mut worst: (f64, String) = (0.0, String::new());
+    for kernel in table2() {
+        for (tag, config) in fig9_configs() {
+            let mut full = System::new(config);
+            kernel.init_memory(full.mem_mut());
+            let exact = full
+                .run(&kernel.program, ExecMode::Specialized)
+                .unwrap_or_else(|e| panic!("{} {tag} full: {e}", kernel.name))
+                .cycles;
+
+            let mut sys = System::new(config);
+            kernel.init_memory(sys.mem_mut());
+            let stats = sys
+                .run_sampled(&kernel.program, ExecMode::Specialized, spec)
+                .unwrap_or_else(|e| panic!("{} {tag} sampled: {e}", kernel.name));
+
+            let err = (stats.cycles as f64 - exact as f64).abs() / exact as f64;
+            if err > worst.0 {
+                worst = (err, format!("{} {tag}", kernel.name));
+            }
+            assert!(
+                err <= 0.05,
+                "{} {tag}: sampled {} vs exact {exact} ({:.2}% error)",
+                kernel.name,
+                stats.cycles,
+                100.0 * err
+            );
+
+            let s = stats.sampling.as_ref().expect("sampled run reports sampling stats");
+            assert!(s.intervals >= 1);
+            assert!(s.rel_stderr.is_finite() && s.rel_stderr >= 0.0, "{}", s.rel_stderr);
+            assert_eq!(s.measured_cycles + s.extrapolated_cycles, stats.cycles);
+        }
+    }
+    eprintln!("worst sampling error: {:.3}% on {}", 100.0 * worst.0, worst.1);
+}

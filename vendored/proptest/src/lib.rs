@@ -215,6 +215,8 @@ tuple_strategy! {
     (A, B, C, D)
     (A, B, C, D, E)
     (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
 }
 
 /// Full-domain strategy for primitives, mirroring `proptest::arbitrary`.
