@@ -8,16 +8,49 @@
 //! (byte-identical artifacts either way) — before pass 2 renders from the
 //! warm cache. Wall-clock timing per phase and per artifact, plus cache
 //! statistics, are printed at the end.
+//!
+//! With `--store DIR` (or `XLOOPS_STORE=DIR`) the sweep goes through the
+//! durable result store: previously finished points are read from disk,
+//! only the rest simulate, and fresh results are written back — the
+//! artifacts are byte-identical either way. Without a store this binary
+//! behaves exactly as it always has.
 
 use std::time::Instant;
 
 use xloops_bench::experiments::all_specs;
-use xloops_bench::manifest::render_with_runner;
-use xloops_bench::{emit, Runner};
+use xloops_bench::manifest::{render_spec, render_with_runner, ExperimentSpec};
+use xloops_bench::store::run_specs_stored;
+use xloops_bench::{emit, ResultStore, Runner};
 
 fn main() {
     let total = Instant::now();
     let specs = all_specs();
+
+    let mut args = std::env::args().skip(1);
+    let store = match args.next().as_deref() {
+        Some("--store") => {
+            let dir = args.next().unwrap_or_else(|| {
+                eprintln!("--store expects a directory");
+                std::process::exit(2);
+            });
+            match ResultStore::open(&dir) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    eprintln!("--store {dir}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        Some(other) => {
+            eprintln!("unknown option `{other}` (usage: all [--store DIR])");
+            std::process::exit(2);
+        }
+        None => ResultStore::from_env(),
+    };
+    if let Some(store) = store {
+        run_stored(&specs, &store, total);
+        return;
+    }
 
     let t = Instant::now();
     let runner = Runner::collecting();
@@ -66,17 +99,56 @@ fn main() {
     // fail loudly so CI catches it.
     let failures = runner.failures();
     if !failures.is_empty() {
-        eprintln!("[errors] {} simulation point(s) quarantined:", failures.len());
-        for f in &failures {
-            eprintln!(
-                "[errors]   {} on {:?} ({:?}{}): {}",
-                f.key.kernel,
-                f.key.config,
-                f.key.mode,
-                if f.key.gp_lowered { ", gp-lowered" } else { "" },
-                f.message
-            );
-        }
+        report_failures(&failures);
         std::process::exit(1);
+    }
+}
+
+/// The store-backed regeneration path: one shared store-consulting sweep
+/// over every spec, then the same per-artifact emit loop.
+fn run_stored(specs: &[ExperimentSpec], store: &ResultStore, total: Instant) {
+    let options = xloops_sim::RunOptions::from_env();
+    let t = Instant::now();
+    let swept = run_specs_stored(specs, &options, store);
+    let simulate_s = t.elapsed().as_secs_f64();
+
+    for (spec, results) in specs.iter().zip(&swept.results) {
+        let t = Instant::now();
+        emit(&spec.name, &render_spec(spec, results));
+        println!("[time] render {:<8}{:8.3} s", spec.name, t.elapsed().as_secs_f64());
+    }
+
+    let s = store.stats();
+    println!(
+        "[time] load+simulate  {simulate_s:8.3} s  ({} simulated point(s), {} worker thread(s))",
+        swept.prefill.unique_points, swept.prefill.workers,
+    );
+    println!(
+        "[store] {} hits, {} misses, {} bytes read, {} bytes written ({})",
+        s.hits,
+        s.misses,
+        s.bytes_read,
+        s.bytes_written,
+        store.dir().display(),
+    );
+    println!("[time] total          {:8.3} s", total.elapsed().as_secs_f64());
+
+    if !swept.failures.is_empty() {
+        report_failures(&swept.failures);
+        std::process::exit(1);
+    }
+}
+
+fn report_failures(failures: &[xloops_bench::RunFailure]) {
+    eprintln!("[errors] {} simulation point(s) quarantined:", failures.len());
+    for f in failures {
+        eprintln!(
+            "[errors]   {} on {:?} ({:?}{}): {}",
+            f.key.kernel,
+            f.key.config,
+            f.key.mode,
+            if f.key.gp_lowered { ", gp-lowered" } else { "" },
+            f.message
+        );
     }
 }

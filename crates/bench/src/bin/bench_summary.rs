@@ -10,7 +10,10 @@
 //! workspace root with per-point wall-clock, simulated cycles, and
 //! simulated-cycles-per-second. With `XLOOPS_BENCH_PROFILE=1` each
 //! simulation point also carries the per-phase host wall-time breakdown
-//! (`profile.gpp_ns` / `scan_ns` / `engine_ns` / `handoffs`). The
+//! (`profile.gpp_ns` / `scan_ns` / `engine_ns` / `handoffs`). With
+//! `XLOOPS_STORE=DIR` the regeneration phase goes through the durable
+//! result store and the JSON gains a `store` section (hits, misses,
+//! bytes read/written; `null` without a store). The
 //! document is built on the shared deterministic JSON writer of
 //! `xloops-stats` — the same encoder the CLI's `--stats json` output and
 //! the manifest shard files use. Future PRs compare these files
@@ -24,8 +27,9 @@ use std::path::PathBuf;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use xloops_bench::experiments::all_specs;
-use xloops_bench::manifest::{mode_tag, render_with_runner};
-use xloops_bench::{run_kernel, run_kernel_with, Runner};
+use xloops_bench::manifest::{mode_tag, render_spec, render_with_runner};
+use xloops_bench::store::run_specs_stored;
+use xloops_bench::{run_kernel, run_kernel_with, ResultStore, Runner, StoreStats};
 use xloops_func::{ArchState, FastForward};
 use xloops_kernels::{scaled, table2, Kernel};
 use xloops_mem::Memory;
@@ -154,25 +158,47 @@ fn main() {
     }
 
     // One full artifact regeneration, rendered to strings only: the
-    // `all` binary stays the sole writer of `results/`.
+    // `all` binary stays the sole writer of `results/`. Under
+    // `XLOOPS_STORE=DIR` the regeneration reads/writes the durable store,
+    // and the summary JSON's `store` section reports the traffic.
     let regen_total = Instant::now();
     let specs = all_specs();
-    let runner = Runner::collecting();
-    for spec in &specs {
-        let _ = render_with_runner(&runner, spec);
-    }
-    let t = Instant::now();
-    let info = runner.prefill();
-    let simulate_s = t.elapsed().as_secs_f64();
-    let t = Instant::now();
-    for spec in &specs {
-        let _ = render_with_runner(&runner, spec);
-    }
-    let render_s = t.elapsed().as_secs_f64();
+    let store = ResultStore::from_env();
+    let (unique_points, simulate_s, render_s, store_stats) = match &store {
+        Some(store) => {
+            let t = Instant::now();
+            let swept = run_specs_stored(&specs, &RunOptions::from_env(), store);
+            let simulate_s = t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            for (spec, results) in specs.iter().zip(&swept.results) {
+                let _ = render_spec(spec, results);
+            }
+            let render_s = t.elapsed().as_secs_f64();
+            for f in swept.failures {
+                errors.push(format!("regen {} ({:?}): {}", f.key.kernel, f.key.mode, f.message));
+            }
+            (swept.prefill.unique_points, simulate_s, render_s, Some(store.stats()))
+        }
+        None => {
+            let runner = Runner::collecting();
+            for spec in &specs {
+                let _ = render_with_runner(&runner, spec);
+            }
+            let t = Instant::now();
+            let info = runner.prefill();
+            let simulate_s = t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            for spec in &specs {
+                let _ = render_with_runner(&runner, spec);
+            }
+            let render_s = t.elapsed().as_secs_f64();
+            for f in runner.failures() {
+                errors.push(format!("regen {} ({:?}): {}", f.key.kernel, f.key.mode, f.message));
+            }
+            (info.unique_points, simulate_s, render_s, None)
+        }
+    };
     let regen_s = regen_total.elapsed().as_secs_f64();
-    for f in runner.failures() {
-        errors.push(format!("regen {} ({:?}): {}", f.key.kernel, f.key.mode, f.message));
-    }
 
     let date = bench_date();
     let json = render_json(RenderInput {
@@ -181,10 +207,11 @@ fn main() {
         functional: &functional,
         sampled: &sampled,
         errors: &errors,
-        unique_points: info.unique_points,
+        unique_points,
         simulate_s,
         render_s,
         regen_s,
+        store: store_stats,
     });
     let path = workspace_root().join(format!("BENCH_{date}.json"));
     std::fs::write(&path, &json).expect("write BENCH json");
@@ -261,6 +288,8 @@ struct RenderInput<'a> {
     simulate_s: f64,
     render_s: f64,
     regen_s: f64,
+    /// Durable-store traffic of the regen phase (`None` = no store).
+    store: Option<StoreStats>,
 }
 
 fn render_json(input: RenderInput<'_>) -> String {
@@ -274,6 +303,7 @@ fn render_json(input: RenderInput<'_>) -> String {
         simulate_s,
         render_s,
         regen_s,
+        store,
     } = input;
     let total_wall: f64 = points.iter().map(|p| p.wall_s).sum();
     let total_cycles: u64 = points.iter().map(|p| p.sim_cycles).sum();
@@ -401,6 +431,7 @@ fn render_json(input: RenderInput<'_>) -> String {
                 ("total_s", JsonValue::Float(r6(regen_s))),
             ]),
         ),
+        ("store", store.map_or(JsonValue::Null, |s| s.to_json_value())),
     ]);
     let mut s = doc.render_pretty();
     s.push('\n');

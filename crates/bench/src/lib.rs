@@ -26,6 +26,7 @@
 pub mod experiments;
 pub mod manifest;
 pub mod runner;
+pub mod store;
 
 use std::fmt::Write as _;
 use std::fs;
@@ -36,6 +37,7 @@ use xloops_kernels::Kernel;
 use xloops_sim::{ExecMode, RunOptions, Supervisor, System, SystemConfig, SystemStats};
 
 pub use runner::{render_artifact, run_reports, RunFailure, Runner};
+pub use store::{ResultStore, StoreStats};
 
 /// Result of one kernel execution.
 #[derive(Clone, Debug)]

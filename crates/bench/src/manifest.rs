@@ -33,7 +33,7 @@ use xloops_energy::EnergyTable;
 use xloops_kernels::by_name;
 use xloops_lpsu::LpsuConfig;
 use xloops_sim::{ExecMode, RunOptions, SampleSpec, SystemConfig};
-use xloops_stats::{JsonError, JsonValue, StatSet, StatValue};
+use xloops_stats::{binary, BinaryError, JsonError, JsonValue, StatSet, StatValue};
 
 use crate::{f2, RunResult, Runner, TextTable};
 
@@ -378,6 +378,8 @@ impl SpecBuilder {
 pub enum ManifestError {
     /// The document is not well-formed JSON.
     Json(JsonError),
+    /// The document is not a well-formed binary document.
+    Binary(BinaryError),
     /// The JSON is well-formed but does not match the manifest schema.
     Schema(String),
     /// A point names a kernel the kernel library does not provide.
@@ -422,6 +424,7 @@ impl fmt::Display for ManifestError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ManifestError::Json(e) => write!(f, "malformed JSON: {e}"),
+            ManifestError::Binary(e) => write!(f, "malformed binary document: {e}"),
             ManifestError::Schema(what) => write!(f, "manifest schema violation: {what}"),
             ManifestError::UnknownKernel(name) => write!(f, "unknown kernel: {name}"),
             ManifestError::PointIndex { index, points } => {
@@ -451,6 +454,12 @@ impl std::error::Error for ManifestError {}
 impl From<JsonError> for ManifestError {
     fn from(e: JsonError) -> ManifestError {
         ManifestError::Json(e)
+    }
+}
+
+impl From<BinaryError> for ManifestError {
+    fn from(e: BinaryError) -> ManifestError {
+        ManifestError::Binary(e)
     }
 }
 
@@ -918,8 +927,30 @@ pub struct PointResult {
 }
 
 impl PointResult {
-    fn from_run(run: &RunResult, is_ooo: bool) -> PointResult {
+    pub(crate) fn from_run(run: &RunResult, is_ooo: bool) -> PointResult {
         PointResult { stats: run.stats.stat_set(is_ooo), error: run.error.clone() }
+    }
+
+    /// The result as `{"error": ..., "stats": ...}` — the body of a shard
+    /// document's per-point entry and of a durable store entry.
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("error", self.error.as_ref().map_or(JsonValue::Null, |e| JsonValue::Str(e.clone()))),
+            ("stats", self.stats.to_json_value()),
+        ])
+    }
+
+    /// Parses a [`PointResult::to_json_value`] document (extra fields,
+    /// such as a shard entry's `point`, are ignored).
+    pub fn from_json_value(v: &JsonValue) -> Result<PointResult, ManifestError> {
+        let error = match field(v, "error")? {
+            JsonValue::Null => None,
+            e => Some(
+                e.as_str().ok_or_else(|| schema("`error` must be null or a string"))?.to_string(),
+            ),
+        };
+        let stats = StatSet::from_json_value(field(v, "stats")?).map_err(ManifestError::Json)?;
+        Ok(PointResult { stats, error })
     }
 
     fn counter(&self, path: &str) -> u64 {
@@ -946,7 +977,7 @@ pub struct SpecResult {
     pub results: Vec<PointResult>,
 }
 
-fn request_point(r: &Runner, p: &SpecPoint) -> RunResult {
+pub(crate) fn request_point(r: &Runner, p: &SpecPoint) -> RunResult {
     let kernel =
         by_name(&p.kernel).unwrap_or_else(|| panic!("spec references unknown kernel {}", p.kernel));
     let config = p.config.resolve();
@@ -1120,19 +1151,46 @@ impl ShardDoc {
         s
     }
 
-    /// Parses and validates one shard document.
+    /// The shard as one binary document — the `.dxs` file format. Same
+    /// data model as [`ShardDoc::to_json`], roughly a third the bytes.
+    pub fn to_binary(&self) -> Vec<u8> {
+        binary::encode(&self.to_json_value())
+    }
+
+    /// Decodes a [`ShardDoc::to_binary`] document.
+    pub fn from_binary(bytes: &[u8]) -> Result<ShardDoc, ManifestError> {
+        Self::from_json_value(&binary::decode(bytes)?)
+    }
+
+    /// Decodes a shard file of either format, sniffing the binary magic
+    /// (`0xD8` cannot begin UTF-8 text, so the formats never alias).
+    pub fn from_bytes(bytes: &[u8]) -> Result<ShardDoc, ManifestError> {
+        if binary::is_binary(bytes) {
+            Self::from_binary(bytes)
+        } else {
+            let text = std::str::from_utf8(bytes)
+                .map_err(|_| schema("shard file is neither a binary document nor UTF-8 JSON"))?;
+            Self::from_json(text)
+        }
+    }
+
+    /// Parses and validates one shard document from JSON text.
     pub fn from_json(text: &str) -> Result<ShardDoc, ManifestError> {
-        let v = JsonValue::parse(text)?;
-        let shard = field(&v, "shard")?;
+        Self::from_json_value(&JsonValue::parse(text)?)
+    }
+
+    /// [`ShardDoc::from_json`] on an already-parsed document.
+    pub fn from_json_value(v: &JsonValue) -> Result<ShardDoc, ManifestError> {
+        let shard = field(v, "shard")?;
         let index = usize_field(shard, "index")?;
         let of = usize_field(shard, "of")?;
         if of == 0 || index >= of {
             return Err(ManifestError::ShardIndex { index, of });
         }
-        let options = RunOptions::from_json_value(field(&v, "options")?)
+        let options = RunOptions::from_json_value(field(v, "options")?)
             .ok_or_else(|| schema("`options` does not match the run-options schema"))?;
-        let spec = ExperimentSpec::from_json_value(field(&v, "spec")?)?;
-        let results = array_field(&v, "results")?
+        let spec = ExperimentSpec::from_json_value(field(v, "spec")?)?;
+        let results = array_field(v, "results")?
             .iter()
             .map(|entry| {
                 let point = usize_field(entry, "point")?;
@@ -1142,21 +1200,11 @@ impl ShardDoc {
                         points: spec.points.len(),
                     });
                 }
-                let error = match field(entry, "error")? {
-                    JsonValue::Null => None,
-                    e => Some(
-                        e.as_str()
-                            .ok_or_else(|| schema("`error` must be null or a string"))?
-                            .to_string(),
-                    ),
-                };
-                let stats = StatSet::from_json_value(field(entry, "stats")?)
-                    .map_err(ManifestError::Json)?;
-                Ok((point, PointResult { stats, error }))
+                Ok((point, PointResult::from_json_value(entry)?))
             })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(ShardDoc {
-            fingerprint: str_field(&v, "fingerprint")?,
+            fingerprint: str_field(v, "fingerprint")?,
             index,
             of,
             options,
@@ -1195,41 +1243,89 @@ pub fn run_shard(spec: &ExperimentSpec, index: usize, of: usize, options: RunOpt
     }
 }
 
+/// The streaming heart of [`merge`]: shard documents are folded in one at
+/// a time — each is consumed (and can be dropped before the next file is
+/// even read), so merging N shards never holds more than one document in
+/// memory on top of the accumulating per-point result slots.
+///
+/// Validation is incremental with the same precedence as the batch API:
+/// fingerprint/spec agreement, then shard count, then duplicates at fold
+/// time; coverage (missing shards, then missing points) at finish time.
+#[derive(Debug, Default)]
+pub struct MergeFold {
+    /// `(fingerprint, of, spec)` of the first folded shard.
+    first: Option<(String, usize, ExperimentSpec)>,
+    seen: Vec<bool>,
+    slots: Vec<Option<PointResult>>,
+}
+
+impl MergeFold {
+    /// An empty fold; [`MergeFold::finish`] without any
+    /// [`MergeFold::fold`] reports "no shard documents to merge".
+    pub fn new() -> MergeFold {
+        MergeFold::default()
+    }
+
+    /// Folds one shard document in, consuming it.
+    pub fn fold(&mut self, doc: ShardDoc) -> Result<(), ManifestError> {
+        match &self.first {
+            None => {
+                self.seen = vec![false; doc.of];
+                self.slots = vec![None; doc.spec.points.len()];
+                self.first = Some((doc.fingerprint.clone(), doc.of, doc.spec.clone()));
+            }
+            Some((fingerprint, of, spec)) => {
+                if doc.fingerprint != *fingerprint || doc.spec != *spec {
+                    return Err(ManifestError::FingerprintMismatch {
+                        expected: fingerprint.clone(),
+                        found: doc.fingerprint,
+                    });
+                }
+                if doc.of != *of {
+                    return Err(ManifestError::ShardCountMismatch { expected: *of, found: doc.of });
+                }
+            }
+        }
+        if doc.index >= self.seen.len() {
+            return Err(ManifestError::ShardIndex { index: doc.index, of: self.seen.len() });
+        }
+        if self.seen[doc.index] {
+            return Err(ManifestError::DuplicateShard(doc.index));
+        }
+        self.seen[doc.index] = true;
+        for (i, pr) in doc.results {
+            self.slots[i] = Some(pr);
+        }
+        Ok(())
+    }
+
+    /// Validates coverage and returns the shared spec plus the per-point
+    /// results (spec order), ready for [`render_spec`].
+    pub fn finish(self) -> Result<(ExperimentSpec, Vec<PointResult>), ManifestError> {
+        let (_, of, spec) = self.first.ok_or_else(|| schema("no shard documents to merge"))?;
+        let missing: Vec<usize> = (0..of).filter(|&i| !self.seen[i]).collect();
+        if !missing.is_empty() {
+            return Err(ManifestError::MissingShards(missing));
+        }
+        let mut results = Vec::with_capacity(self.slots.len());
+        for (i, slot) in self.slots.into_iter().enumerate() {
+            results.push(slot.ok_or(ManifestError::MissingPoint(i))?);
+        }
+        Ok((spec, results))
+    }
+}
+
 /// Recombines shard documents into the full result vector, validating
 /// that the shards belong to one manifest and cover it completely.
 /// Returns the shared spec and the per-point results (spec order), ready
-/// for [`render_spec`].
+/// for [`render_spec`]. Batch convenience over [`MergeFold`]; callers
+/// reading shards from disk should fold file-by-file instead.
 pub fn merge(shards: &[ShardDoc]) -> Result<(ExperimentSpec, Vec<PointResult>), ManifestError> {
-    let first = shards.first().ok_or_else(|| schema("no shard documents to merge"))?;
-    let mut seen = vec![false; first.of];
-    let mut slots: Vec<Option<PointResult>> = vec![None; first.spec.points.len()];
+    let mut fold = MergeFold::new();
     for doc in shards {
-        if doc.fingerprint != first.fingerprint || doc.spec != first.spec {
-            return Err(ManifestError::FingerprintMismatch {
-                expected: first.fingerprint.clone(),
-                found: doc.fingerprint.clone(),
-            });
-        }
-        if doc.of != first.of {
-            return Err(ManifestError::ShardCountMismatch { expected: first.of, found: doc.of });
-        }
-        if seen[doc.index] {
-            return Err(ManifestError::DuplicateShard(doc.index));
-        }
-        seen[doc.index] = true;
-        for (i, pr) in &doc.results {
-            slots[*i] = Some(pr.clone());
-        }
+        fold.fold(doc.clone())?;
     }
-    let missing: Vec<usize> = (0..first.of).filter(|&i| !seen[i]).collect();
-    if !missing.is_empty() {
-        return Err(ManifestError::MissingShards(missing));
-    }
-    let mut results = Vec::with_capacity(slots.len());
-    for (i, slot) in slots.into_iter().enumerate() {
-        results.push(slot.ok_or(ManifestError::MissingPoint(i))?);
-    }
-    Ok((first.spec.clone(), results))
+    fold.finish()
 }
 
 #[cfg(test)]

@@ -30,6 +30,13 @@
 //! whole artifact regeneration, and `--bin all` reports the quarantined
 //! set (and exits nonzero) instead of dying mid-render.
 //!
+//! The memo cache is per-process by design; durability is layered on
+//! top, not in. The drivers in [`crate::store`] consult a
+//! [`crate::ResultStore`] at collect time and request only the missed
+//! points here, so the runner stays a pure in-memory dedup engine and the
+//! on-disk format never learns about [`RunKey`]s (store entries are keyed
+//! by manifest fingerprint + point index + options instead).
+//!
 //! A runner carries a [`RunOptions`] value fixing its supervision policy
 //! and executor knobs (serial fill, worker count, profiling). The
 //! convenience constructors [`Runner::new`] / [`Runner::collecting`] read

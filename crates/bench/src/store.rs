@@ -1,0 +1,565 @@
+//! Durable content-addressed result store.
+//!
+//! A [`crate::Runner`]'s memo cache dies with its process, so repeat
+//! sweeps re-simulate every point. This module persists finished point
+//! results on disk, keyed by *what produced them* rather than where they
+//! ran: the store key is FNV-1a-64 over
+//!
+//! ```text
+//! "<spec fingerprint>/<point index>/<result-affecting RunOptions JSON>"
+//! ```
+//!
+//! so any machine sweeping the same manifest under the same options
+//! computes the same keys — and a warm sweep becomes a directory of cache
+//! reads. Sharding does not enter the key: a store warmed by a sharded
+//! sweep serves an unsharded one and vice versa. Neither do the
+//! [`RunOptions`] knobs that cannot change a result — `serial`/`threads`
+//! (CI pins serial == parallel byte identity) and the `bench_date` stamp
+//! — so a dated `bench-summary` run hits a store warmed by `--bin all`.
+//!
+//! Each entry is one file, `<key>.dxr`, holding the point's
+//! [`PointResult`] (`{"error": ..., "stats": ...}`) in the
+//! [`xloops_stats::binary`] wire format. Crash safety is the classic
+//! temp-file-plus-rename argument: an entry is written to a `.tmp-*`
+//! sibling, fsynced, then atomically renamed into place, so a reader can
+//! only ever observe a complete entry or no entry. Defense in depth on
+//! the read side: the binary format's trailing checksum means a torn,
+//! truncated, or bit-rotted file decodes to a typed error, which the
+//! store treats as a miss (warn, re-simulate, rewrite) — corruption can
+//! cost time, never correctness, and never a panic.
+//!
+//! Two policy decisions worth their weight:
+//!
+//! - `XLOOPS_STORE` is deliberately *not* part of [`RunOptions`]: the
+//!   options value is serialized into shard documents and into the store
+//!   key itself, and where the cache lives must not change what a result
+//!   *is* (or poison every key with the path that produced it).
+//! - Errored (quarantined) points are never written: a panic diagnosis
+//!   may be transient (cycle budget, fault injection), and a durable
+//!   cache must not make a bad day permanent.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use xloops_sim::RunOptions;
+use xloops_stats::{binary, JsonValue, StatSet};
+
+use crate::manifest::{request_point, ExperimentSpec, PointResult, ShardDoc};
+use crate::runner::{PrefillInfo, RunFailure, Runner};
+
+/// Store-entry filename extension (binary-encoded [`PointResult`]).
+const ENTRY_EXT: &str = "dxr";
+
+/// A directory of durable point results. Cheap to open (one
+/// `create_dir_all`); all traffic counters are monotonic and
+/// thread-safe, mirroring [`crate::runner::Runner::cache_stats`] one
+/// layer down.
+#[derive(Debug)]
+pub struct ResultStore {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+/// Snapshot of a store's traffic counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Entries served from disk.
+    pub hits: u64,
+    /// Probes that found no (usable) entry.
+    pub misses: u64,
+    /// Total bytes of entries read.
+    pub bytes_read: u64,
+    /// Total bytes of entries written.
+    pub bytes_written: u64,
+}
+
+impl StoreStats {
+    /// The snapshot as a JSON object (the `store` section of
+    /// `BENCH_<date>.json`).
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("hits", JsonValue::UInt(self.hits)),
+            ("misses", JsonValue::UInt(self.misses)),
+            ("bytes_read", JsonValue::UInt(self.bytes_read)),
+            ("bytes_written", JsonValue::UInt(self.bytes_written)),
+        ])
+    }
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) the store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<ResultStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(ResultStore {
+            dir,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+        })
+    }
+
+    /// The store named by `XLOOPS_STORE`, if set. An unopenable directory
+    /// is a warning and `None` (the sweep still runs, just cold), keeping
+    /// the knob's failure mode consistent with the corruption policy.
+    pub fn from_env() -> Option<ResultStore> {
+        let dir = std::env::var("XLOOPS_STORE").ok().filter(|d| !d.is_empty())?;
+        match ResultStore::open(&dir) {
+            Ok(store) => Some(store),
+            Err(e) => {
+                eprintln!("[store] warning: cannot open {dir}: {e}; running without a store");
+                None
+            }
+        }
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The content-addressed key of one point: FNV-1a-64 (the manifest
+    /// fingerprint hash) over `"<fingerprint>/<index>/<options JSON>"`,
+    /// formatted as 16 hex digits. The options JSON keeps only the
+    /// result-affecting knobs of the canonical
+    /// [`RunOptions::to_json_value`] rendering — supervision changes
+    /// degradation behaviour, `profile` adds stat nodes, `sample`
+    /// changes the timing estimate — while pure scheduling/metadata
+    /// knobs (`serial`, `threads`, `bench_date`) are dropped so they
+    /// cannot fragment the cache.
+    pub fn point_key(fingerprint: &str, index: usize, options: &RunOptions) -> String {
+        let opts = match options.to_json_value() {
+            JsonValue::Object(fields) => JsonValue::Object(
+                fields
+                    .into_iter()
+                    .filter(|(k, _)| matches!(k.as_str(), "supervisor" | "profile" | "sample"))
+                    .collect(),
+            ),
+            v => v,
+        };
+        let text = format!("{fingerprint}/{index}/{}", opts.render());
+        format!("{:016x}", binary::fnv1a64(text.as_bytes()))
+    }
+
+    fn entry_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.{ENTRY_EXT}"))
+    }
+
+    /// Loads the entry under `key`, returning the result and the entry's
+    /// size in bytes. Any failure — absent file, I/O error, failed
+    /// checksum, schema mismatch — is a miss; only the non-absent kinds
+    /// warn on stderr.
+    pub fn load(&self, key: &str) -> Option<(PointResult, u64)> {
+        let path = self.entry_path(key);
+        let miss = |warn: Option<String>| {
+            if let Some(w) = warn {
+                eprintln!("[store] warning: {}: {w}; treating as a miss", path.display());
+            }
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            None
+        };
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return miss(None),
+            Err(e) => return miss(Some(e.to_string())),
+        };
+        let value = match binary::decode(&bytes) {
+            Ok(v) => v,
+            Err(e) => return miss(Some(e.to_string())),
+        };
+        let result = match PointResult::from_json_value(&value) {
+            Ok(r) => r,
+            Err(e) => return miss(Some(e.to_string())),
+        };
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        Some((result, bytes.len() as u64))
+    }
+
+    /// Writes `result` under `key` via temp file + fsync + atomic rename,
+    /// returning the entry size. A reader never sees a partial entry: the
+    /// rename is atomic within the store directory, and a crash before it
+    /// leaves only a `.tmp-*` straggler the next write ignores.
+    pub fn save(&self, key: &str, result: &PointResult) -> std::io::Result<u64> {
+        let bytes = binary::encode(&result.to_json_value());
+        let path = self.entry_path(key);
+        let tmp = self.dir.join(format!(".tmp-{key}-{}", std::process::id()));
+        let write = (|| {
+            fs::write(&tmp, &bytes)?;
+            fs::File::open(&tmp)?.sync_all()?;
+            fs::rename(&tmp, &path)
+        })();
+        if write.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        write?;
+        self.bytes_written.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        Ok(bytes.len() as u64)
+    }
+
+    /// Copies a shard document's results into the store — how
+    /// `merge --store` turns a pile of shard files into a warm cache.
+    /// Usable entries already present are left alone (a corrupt one is a
+    /// load miss and gets rewritten); errored points are never stored.
+    pub fn backfill(&self, doc: &ShardDoc) {
+        for (i, pr) in &doc.results {
+            if pr.error.is_some() {
+                continue;
+            }
+            let key = ResultStore::point_key(&doc.fingerprint, *i, &doc.options);
+            if self.load(&key).is_some() {
+                continue;
+            }
+            if let Err(e) = self.save(&key, pr) {
+                eprintln!("[store] warning: cannot backfill entry {key}: {e}");
+            }
+        }
+    }
+
+    /// Snapshot of the traffic counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Grafts a `store` child onto the result's `profile` node (creating the
+/// node if the tree has none) so per-point cache traffic rides in the
+/// non-deterministic profile stat family, never in golden artifacts.
+fn attach_store_counters(stats: &mut StatSet, hit: bool, bytes: u64) {
+    let mut store = StatSet::new("store");
+    store.set("hits", hit as u64);
+    store.set("misses", !hit as u64);
+    store.set("bytes_read", if hit { bytes } else { 0 });
+    store.set("bytes_written", if hit { 0 } else { bytes });
+    match stats.child_mut("profile") {
+        Some(profile) => {
+            profile.push_child(store);
+        }
+        None => {
+            let mut profile = StatSet::new("profile");
+            profile.push_child(store);
+            stats.push_child(profile);
+        }
+    }
+}
+
+/// One spec's store probe: the point indices in play and, per index, the
+/// loaded entry (hit) or `None` (miss, to be simulated).
+struct Probe {
+    fingerprint: String,
+    indices: Vec<usize>,
+    loaded: Vec<Option<(PointResult, u64)>>,
+}
+
+fn probe(
+    store: &ResultStore,
+    spec: &ExperimentSpec,
+    indices: Vec<usize>,
+    options: &RunOptions,
+) -> Probe {
+    let fingerprint = spec.fingerprint();
+    let loaded = indices
+        .iter()
+        .map(|&i| store.load(&ResultStore::point_key(&fingerprint, i, options)))
+        .collect();
+    Probe { fingerprint, indices, loaded }
+}
+
+/// Requests every *missed* point of `probe` through the runner — called
+/// once collecting and once live, like [`crate::manifest::run_spec`].
+fn request_misses(r: &Runner, spec: &ExperimentSpec, probe: &Probe) -> Vec<PointResult> {
+    probe
+        .indices
+        .iter()
+        .zip(&probe.loaded)
+        .filter(|(_, slot)| slot.is_none())
+        .map(|(&i, _)| {
+            let p = &spec.points[i];
+            PointResult::from_run(&request_point(r, p), p.config.is_ooo())
+        })
+        .collect()
+}
+
+/// Zips hits and freshly simulated misses back into point order, saving
+/// each fresh non-errored result and (under `options.profile`) grafting
+/// the per-point `profile.store` counters on.
+fn assemble(
+    store: &ResultStore,
+    probe: Probe,
+    fresh: Vec<PointResult>,
+    options: &RunOptions,
+) -> Vec<(usize, PointResult)> {
+    let mut fresh = fresh.into_iter();
+    probe
+        .indices
+        .into_iter()
+        .zip(probe.loaded)
+        .map(|(i, slot)| {
+            let (hit, bytes, mut result) = match slot {
+                Some((result, bytes)) => (true, bytes, result),
+                None => {
+                    let result = fresh.next().expect("one fresh result per miss");
+                    let mut written = 0;
+                    if result.error.is_none() {
+                        let key = ResultStore::point_key(&probe.fingerprint, i, options);
+                        match store.save(&key, &result) {
+                            Ok(n) => written = n,
+                            Err(e) => eprintln!(
+                                "[store] warning: cannot write entry {key}: {e}; result kept in memory"
+                            ),
+                        }
+                    }
+                    (false, written, result)
+                }
+            };
+            if options.profile {
+                attach_store_counters(&mut result.stats, hit, bytes);
+            }
+            (i, result)
+        })
+        .collect()
+}
+
+/// [`crate::manifest::run_shard`] with an optional durable store: hits
+/// are served from disk, only misses enter the two-pass simulate
+/// protocol, and fresh results are written back. `None` is exactly the
+/// storeless behavior.
+pub fn run_shard_stored(
+    spec: &ExperimentSpec,
+    index: usize,
+    of: usize,
+    options: RunOptions,
+    store: Option<&ResultStore>,
+) -> ShardDoc {
+    let Some(store) = store else {
+        return crate::manifest::run_shard(spec, index, of, options);
+    };
+    assert!(of > 0 && index < of, "impossible shard {index}/{of}");
+    let owned = crate::manifest::shard_points(spec, index, of);
+    let probed = probe(store, spec, owned, &options);
+    let runner = Runner::collecting_with(options.clone());
+    let _ = request_misses(&runner, spec, &probed);
+    runner.prefill();
+    let fresh = request_misses(&runner, spec, &probed);
+    let results = assemble(store, probed, fresh, &options);
+    ShardDoc { fingerprint: spec.fingerprint(), index, of, options, spec: spec.clone(), results }
+}
+
+/// Results of a store-backed multi-spec sweep.
+#[derive(Clone, Debug)]
+pub struct StoredSweepResult {
+    /// Per-spec, per-point results (spec and point order), ready for
+    /// [`crate::manifest::render_spec`].
+    pub results: Vec<Vec<PointResult>>,
+    /// Quarantined simulation points across all specs.
+    pub failures: Vec<RunFailure>,
+    /// Prefill summary (unique *simulated* points; hits never enter it).
+    pub prefill: PrefillInfo,
+}
+
+/// Runs every spec against one shared runner with store consultation:
+/// points present in the store are read, the rest are deduplicated
+/// *across specs* (like `--bin all`'s shared collecting runner) and
+/// simulated once, then written back.
+pub fn run_specs_stored(
+    specs: &[ExperimentSpec],
+    options: &RunOptions,
+    store: &ResultStore,
+) -> StoredSweepResult {
+    let probes: Vec<Probe> = specs
+        .iter()
+        .map(|spec| probe(store, spec, (0..spec.points.len()).collect(), options))
+        .collect();
+    let runner = Runner::collecting_with(options.clone());
+    let simulate = |r: &Runner| -> Vec<Vec<PointResult>> {
+        specs.iter().zip(&probes).map(|(spec, p)| request_misses(r, spec, p)).collect()
+    };
+    let _ = simulate(&runner);
+    let prefill = runner.prefill();
+    let fresh = simulate(&runner);
+    let results = probes
+        .into_iter()
+        .zip(fresh)
+        .map(|(p, f)| assemble(store, p, f, options).into_iter().map(|(_, r)| r).collect())
+        .collect();
+    StoredSweepResult { results, failures: runner.failures(), prefill }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::{merge, render_spec, run_shard};
+
+    fn store_dir(tag: &str) -> PathBuf {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("xloops-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn fig9ish_spec() -> ExperimentSpec {
+        // Small but real: two points sharing a kernel, one baseline.
+        crate::experiments::all_specs()
+            .into_iter()
+            .find(|s| s.name == "table2")
+            .map(|mut s| {
+                s.points.truncate(3);
+                s.sections.clear();
+                s
+            })
+            .expect("table2 spec exists")
+    }
+
+    #[test]
+    fn cold_sweep_populates_and_warm_sweep_reads() {
+        let dir = store_dir("warm");
+        let store = ResultStore::open(&dir).unwrap();
+        let spec = fig9ish_spec();
+        let options = RunOptions::default();
+
+        let cold = run_shard_stored(&spec, 0, 1, options.clone(), Some(&store));
+        let s = store.stats();
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.misses as usize, spec.points.len());
+        assert!(s.bytes_written > 0);
+
+        let warm_store = ResultStore::open(&dir).unwrap();
+        let warm = run_shard_stored(&spec, 0, 1, options.clone(), Some(&warm_store));
+        let w = warm_store.stats();
+        assert_eq!(w.hits as usize, spec.points.len());
+        assert_eq!(w.misses, 0);
+        assert_eq!(w.bytes_written, 0);
+        assert_eq!(cold, warm, "warm shard doc must equal the cold one");
+        // And both equal the storeless run.
+        assert_eq!(warm, run_shard(&spec, 0, 1, options));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn options_change_misses_the_cache() {
+        let dir = store_dir("options");
+        let store = ResultStore::open(&dir).unwrap();
+        let spec = fig9ish_spec();
+        let plain = RunOptions::default();
+        let _ = run_shard_stored(&spec, 0, 1, plain.clone(), Some(&store));
+
+        let sampled = RunOptions {
+            sample: Some(xloops_sim::SampleSpec::new(500, 100, 500).unwrap()),
+            ..RunOptions::default()
+        };
+        let fp = spec.fingerprint();
+        for i in 0..spec.points.len() {
+            assert_ne!(
+                ResultStore::point_key(&fp, i, &plain),
+                ResultStore::point_key(&fp, i, &sampled),
+            );
+            assert!(store.load(&ResultStore::point_key(&fp, i, &sampled)).is_none());
+        }
+
+        // Scheduling/metadata knobs are proven result-neutral (CI pins
+        // serial == parallel byte identity) and must not fragment the
+        // cache: same keys, and the warm entries still serve.
+        let relabeled = RunOptions {
+            serial: true,
+            threads: Some(7),
+            bench_date: Some("2026-08-08".into()),
+            ..RunOptions::default()
+        };
+        for i in 0..spec.points.len() {
+            let key = ResultStore::point_key(&fp, i, &relabeled);
+            assert_eq!(ResultStore::point_key(&fp, i, &plain), key);
+            assert!(store.load(&key).is_some());
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_are_misses_and_get_rewritten() {
+        let dir = store_dir("corrupt");
+        let store = ResultStore::open(&dir).unwrap();
+        let spec = fig9ish_spec();
+        let options = RunOptions::default();
+        let cold = run_shard_stored(&spec, 0, 1, options.clone(), Some(&store));
+
+        // Truncate one entry, garble another, leave the rest alone.
+        let mut entries: Vec<PathBuf> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|x| x == ENTRY_EXT))
+            .collect();
+        entries.sort();
+        assert_eq!(entries.len(), spec.points.len());
+        let full = fs::read(&entries[0]).unwrap();
+        fs::write(&entries[0], &full[..full.len() / 2]).unwrap();
+        fs::write(&entries[1], b"\xd8XLS garbage").unwrap();
+
+        let warm_store = ResultStore::open(&dir).unwrap();
+        let warm = run_shard_stored(&spec, 0, 1, options, Some(&warm_store));
+        let w = warm_store.stats();
+        assert_eq!(w.misses, 2, "both damaged entries must re-simulate");
+        assert_eq!(w.hits as usize, spec.points.len() - 2);
+        assert_eq!(warm, cold, "recovery must reproduce the cold results");
+        // The damaged entries were rewritten whole.
+        let again = ResultStore::open(&dir).unwrap();
+        let rewarm = run_shard_stored(&spec, 0, 1, cold.options.clone(), Some(&again));
+        assert_eq!(again.stats().hits as usize, spec.points.len());
+        assert_eq!(rewarm, cold);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn profile_mode_grafts_store_counters() {
+        let dir = store_dir("profile");
+        let store = ResultStore::open(&dir).unwrap();
+        let spec = fig9ish_spec();
+        let options = RunOptions { profile: true, ..RunOptions::default() };
+        let cold = run_shard_stored(&spec, 0, 1, options.clone(), Some(&store));
+        for (_, pr) in &cold.results {
+            let miss = pr.stats.lookup("profile.store.misses").unwrap().as_counter();
+            assert_eq!(miss, Some(1));
+        }
+        let warm_store = ResultStore::open(&dir).unwrap();
+        let warm = run_shard_stored(&spec, 0, 1, options, Some(&warm_store));
+        for (_, pr) in &warm.results {
+            assert_eq!(pr.stats.lookup("profile.store.hits").unwrap().as_counter(), Some(1));
+            assert!(pr.stats.lookup("profile.store.bytes_read").unwrap().as_counter().unwrap() > 0);
+        }
+        // Store entries themselves never carry the grafted counters: the
+        // warm read's trees differ from the cold ones only in the graft.
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stored_multi_spec_sweep_matches_plain_render_and_dedups() {
+        let dir = store_dir("specs");
+        let store = ResultStore::open(&dir).unwrap();
+        let spec = fig9ish_spec();
+        let options = RunOptions::default();
+        let specs = vec![spec.clone(), spec.clone()];
+        let swept = run_specs_stored(&specs, &options, &store);
+        assert!(swept.failures.is_empty());
+        // Identical specs: the shared runner simulates each unique point
+        // once even though the store records misses for both spec copies.
+        assert!(swept.prefill.unique_points <= spec.points.len());
+        let direct = run_shard(&spec, 0, 1, options.clone());
+        let (merged_spec, merged) = merge(&[direct]).unwrap();
+        for rendered in &swept.results {
+            assert_eq!(
+                render_spec(&spec, rendered),
+                render_spec(&merged_spec, &merged),
+                "store-backed render must match the plain one"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

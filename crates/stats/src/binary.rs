@@ -1,0 +1,478 @@
+//! Compact self-describing binary encoding of [`JsonValue`] documents.
+//!
+//! The durable result store and the `.dxs` shard files need the same
+//! documents the JSON layer already models, but repeated thousands of
+//! times per sweep — where pretty JSON pays for its readability in
+//! repeated object keys and decimal digits. This module is the wire
+//! sibling of [`crate::json`]: one length-prefixed binary container that
+//! encodes exactly the [`JsonValue`] data model (so every document that
+//! round-trips through JSON round-trips through binary, and vice versa),
+//! at a fraction of the size.
+//!
+//! # Format grammar
+//!
+//! ```text
+//! document := magic version keytable value checksum
+//! magic    := 0xD8 'X' 'L' 'S'            (0xD8 is never valid leading UTF-8,
+//!                                          so no JSON text aliases a document)
+//! version  := 0x01
+//! keytable := varint(count) key*           (all object keys, interned in
+//! key      := varint(len) utf8-bytes        first-appearance order)
+//! value    := 0x00                         null
+//!           | 0x01 | 0x02                  false | true
+//!           | 0x03 varint(u64)             non-negative integer
+//!           | 0x04 varint(zigzag(i64))     negative integer
+//!           | 0x05 le64(f64::to_bits)      float, bit-exact (NaN payloads
+//!                                          and -0.0 survive, unlike JSON)
+//!           | 0x06 varint(len) utf8-bytes  string
+//!           | 0x07 varint(count) value*    array
+//!           | 0x08 varint(count) field*    object
+//! field    := varint(key-index) value
+//! checksum := le64(fnv1a64 of every preceding byte, magic included)
+//! varint   := LEB128 (7 bits per byte, 0x80 continuation, max 10 bytes)
+//! ```
+//!
+//! The trailing FNV-1a-64 checksum is verified *before* any structural
+//! decoding, so a truncated or bit-flipped document fails fast with
+//! [`BinaryError`] instead of being misread; decoding never panics on
+//! arbitrary bytes (same depth guard as the JSON parser).
+//!
+//! Determinism: encoding is a pure function of the value (key-table order
+//! is first appearance, field order is insertion order), so equal
+//! documents encode to identical bytes — the property the
+//! content-addressed store and the shard-merge diff tests rely on.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::json::JsonValue;
+
+/// First four bytes of every binary document.
+pub const MAGIC: [u8; 4] = [0xD8, b'X', b'L', b'S'];
+
+/// Current format version (byte five).
+pub const VERSION: u8 = 1;
+
+/// Decode depth guard, mirroring the JSON parser's.
+const MAX_DEPTH: usize = 128;
+
+const TAG_NULL: u8 = 0x00;
+const TAG_FALSE: u8 = 0x01;
+const TAG_TRUE: u8 = 0x02;
+const TAG_UINT: u8 = 0x03;
+const TAG_INT: u8 = 0x04;
+const TAG_FLOAT: u8 = 0x05;
+const TAG_STR: u8 = 0x06;
+const TAG_ARRAY: u8 = 0x07;
+const TAG_OBJECT: u8 = 0x08;
+
+/// A malformed binary document: byte offset and diagnosis. The typed
+/// sibling of [`crate::json::JsonError`] for the binary container.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BinaryError {
+    /// Byte offset the decoder had reached.
+    pub pos: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for BinaryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "binary document error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for BinaryError {}
+
+/// FNV-1a-64 over `bytes` — the same hash the manifest fingerprint uses.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Whether `bytes` starts with the binary-document magic — the sniff the
+/// mixed-format shard reader uses to pick a decoder.
+pub fn is_binary(bytes: &[u8]) -> bool {
+    bytes.len() >= 4 && bytes[..4] == MAGIC
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Collects every object key of `v` into `keys` in first-appearance order.
+fn collect_keys<'a>(v: &'a JsonValue, keys: &mut Vec<&'a str>, index: &mut HashMap<&'a str, u64>) {
+    match v {
+        JsonValue::Array(items) => {
+            for item in items {
+                collect_keys(item, keys, index);
+            }
+        }
+        JsonValue::Object(fields) => {
+            for (k, item) in fields {
+                if !index.contains_key(k.as_str()) {
+                    index.insert(k.as_str(), keys.len() as u64);
+                    keys.push(k.as_str());
+                }
+                collect_keys(item, keys, index);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn put_value(out: &mut Vec<u8>, v: &JsonValue, index: &HashMap<&str, u64>) {
+    match v {
+        JsonValue::Null => out.push(TAG_NULL),
+        JsonValue::Bool(false) => out.push(TAG_FALSE),
+        JsonValue::Bool(true) => out.push(TAG_TRUE),
+        JsonValue::UInt(n) => {
+            out.push(TAG_UINT);
+            put_varint(out, *n);
+        }
+        JsonValue::Int(n) => {
+            out.push(TAG_INT);
+            put_varint(out, zigzag(*n));
+        }
+        JsonValue::Float(f) => {
+            out.push(TAG_FLOAT);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        JsonValue::Str(s) => {
+            out.push(TAG_STR);
+            put_varint(out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+        JsonValue::Array(items) => {
+            out.push(TAG_ARRAY);
+            put_varint(out, items.len() as u64);
+            for item in items {
+                put_value(out, item, index);
+            }
+        }
+        JsonValue::Object(fields) => {
+            out.push(TAG_OBJECT);
+            put_varint(out, fields.len() as u64);
+            for (k, item) in fields {
+                put_varint(out, index[k.as_str()]);
+                put_value(out, item, index);
+            }
+        }
+    }
+}
+
+/// Encodes `v` as one binary document (header, interned key table, value,
+/// trailing checksum). Deterministic: equal values yield identical bytes.
+pub fn encode(v: &JsonValue) -> Vec<u8> {
+    let mut keys = Vec::new();
+    let mut index = HashMap::new();
+    collect_keys(v, &mut keys, &mut index);
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    put_varint(&mut out, keys.len() as u64);
+    for k in &keys {
+        put_varint(&mut out, k.len() as u64);
+        out.extend_from_slice(k.as_bytes());
+    }
+    put_value(&mut out, v, &index);
+    let check = fnv1a64(&out);
+    out.extend_from_slice(&check.to_le_bytes());
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn err(&self, message: impl Into<String>) -> BinaryError {
+        BinaryError { pos: self.pos, message: message.into() }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], BinaryError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| self.err(format!("truncated: {n} byte(s) expected")))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn byte(&mut self) -> Result<u8, BinaryError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn varint(&mut self) -> Result<u64, BinaryError> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let b = self.byte()?;
+            let low = (b & 0x7f) as u64;
+            if shift == 63 && low > 1 {
+                return Err(self.err("varint overflows u64"));
+            }
+            v |= low << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(self.err("varint longer than 10 bytes"))
+    }
+
+    /// A varint validated against the remaining byte count, so a forged
+    /// huge length cannot drive a with_capacity allocation.
+    fn len(&mut self, what: &str) -> Result<usize, BinaryError> {
+        let n = self.varint()?;
+        if n > (self.bytes.len() - self.pos) as u64 {
+            return Err(self.err(format!("{what} length {n} exceeds the document")));
+        }
+        Ok(n as usize)
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, BinaryError> {
+        let n = self.len(what)?;
+        let pos = self.pos;
+        let bytes = self.take(n)?;
+        std::str::from_utf8(bytes).map(str::to_string).map_err(|e| BinaryError {
+            pos: pos + e.valid_up_to(),
+            message: format!("{what} is not UTF-8"),
+        })
+    }
+
+    fn value(&mut self, keys: &[String]) -> Result<JsonValue, BinaryError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH}")));
+        }
+        self.depth += 1;
+        let v = match self.byte()? {
+            TAG_NULL => JsonValue::Null,
+            TAG_FALSE => JsonValue::Bool(false),
+            TAG_TRUE => JsonValue::Bool(true),
+            TAG_UINT => JsonValue::UInt(self.varint()?),
+            TAG_INT => JsonValue::Int(unzigzag(self.varint()?)),
+            TAG_FLOAT => {
+                let b = self.take(8)?;
+                JsonValue::Float(f64::from_bits(u64::from_le_bytes([
+                    b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+                ])))
+            }
+            TAG_STR => JsonValue::Str(self.string("string")?),
+            TAG_ARRAY => {
+                let n = self.len("array")?;
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(self.value(keys)?);
+                }
+                JsonValue::Array(items)
+            }
+            TAG_OBJECT => {
+                let n = self.len("object")?;
+                let mut fields = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let i = self.varint()?;
+                    let key = keys
+                        .get(i as usize)
+                        .ok_or_else(|| self.err(format!("key index {i} out of table")))?;
+                    fields.push((key.clone(), self.value(keys)?));
+                }
+                JsonValue::Object(fields)
+            }
+            tag => return Err(self.err(format!("unknown value tag {tag:#04x}"))),
+        };
+        self.depth -= 1;
+        Ok(v)
+    }
+}
+
+/// Decodes one binary document. Total: any byte string either decodes or
+/// returns a typed [`BinaryError`] — never a panic — and the checksum is
+/// verified before structural decoding, so corruption is caught up front.
+pub fn decode(bytes: &[u8]) -> Result<JsonValue, BinaryError> {
+    if !is_binary(bytes) {
+        return Err(BinaryError { pos: 0, message: "missing binary-document magic".into() });
+    }
+    if bytes.len() < MAGIC.len() + 1 + 8 {
+        return Err(BinaryError { pos: bytes.len(), message: "truncated header".into() });
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes([
+        tail[0], tail[1], tail[2], tail[3], tail[4], tail[5], tail[6], tail[7],
+    ]);
+    let computed = fnv1a64(body);
+    if stored != computed {
+        return Err(BinaryError {
+            pos: body.len(),
+            message: format!("checksum mismatch (stored {stored:016x}, computed {computed:016x})"),
+        });
+    }
+    let mut r = Reader { bytes: body, pos: MAGIC.len(), depth: 0 };
+    let version = r.byte()?;
+    if version != VERSION {
+        return Err(r.err(format!("unsupported version {version} (expected {VERSION})")));
+    }
+    let key_count = r.len("key table")?;
+    let mut keys = Vec::with_capacity(key_count);
+    for _ in 0..key_count {
+        keys.push(r.string("key")?);
+    }
+    let value = r.value(&keys)?;
+    if r.pos != body.len() {
+        return Err(r.err(format!("{} trailing byte(s) after the value", body.len() - r.pos)));
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> JsonValue {
+        JsonValue::object(vec![
+            ("name", JsonValue::Str("system".into())),
+            (
+                "counters",
+                JsonValue::object(vec![
+                    ("cycles", JsonValue::UInt(123_456)),
+                    ("instret", JsonValue::UInt(0)),
+                ]),
+            ),
+            ("neg", JsonValue::Int(-42)),
+            ("f", JsonValue::Float(2.5)),
+            ("flag", JsonValue::Bool(true)),
+            ("nothing", JsonValue::Null),
+            (
+                "children",
+                JsonValue::Array(vec![JsonValue::object(vec![
+                    ("name", JsonValue::Str("lpsu".into())),
+                    ("counters", JsonValue::object(vec![("cycles", JsonValue::UInt(7))])),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let v = sample();
+        let bytes = encode(&v);
+        assert!(is_binary(&bytes));
+        assert_eq!(decode(&bytes).unwrap(), v);
+        // Deterministic: re-encoding the decoded value is byte-identical.
+        assert_eq!(encode(&decode(&bytes).unwrap()), bytes);
+    }
+
+    #[test]
+    fn interned_keys_make_repetition_cheap() {
+        // 64 objects sharing the same keys: the names are stored once, so
+        // the binary form undercuts even compact (non-pretty) JSON.
+        let row = JsonValue::object(vec![
+            ("a_rather_long_counter_name", JsonValue::UInt(1)),
+            ("another_long_counter_name", JsonValue::UInt(2)),
+        ]);
+        let doc = JsonValue::Array(vec![row; 64]);
+        let bytes = encode(&doc);
+        assert!(
+            bytes.len() * 3 <= doc.render().len(),
+            "binary {} vs compact JSON {}",
+            bytes.len(),
+            doc.render().len()
+        );
+    }
+
+    #[test]
+    fn floats_survive_bit_exactly() {
+        for f in [0.0, -0.0, 2.5, f64::NAN, f64::INFINITY, f64::from_bits(0x7ff8_dead_beef_0001)] {
+            let v = JsonValue::Float(f);
+            match decode(&encode(&v)).unwrap() {
+                JsonValue::Float(back) => assert_eq!(back.to_bits(), f.to_bits()),
+                other => panic!("expected a float, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn zigzag_covers_the_i64_domain() {
+        for v in [0, -1, 1, i64::MIN, i64::MAX, -123_456_789] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn corruption_is_a_typed_error_not_a_panic() {
+        let good = encode(&sample());
+        // Truncations at every length.
+        for n in 0..good.len() {
+            assert!(decode(&good[..n]).is_err(), "truncation to {n} bytes must fail");
+        }
+        // A single flipped bit anywhere breaks the checksum (or the magic).
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x40;
+            assert!(decode(&bad).is_err(), "bit flip at byte {i} must fail");
+        }
+        // Garbage that happens to carry the magic still fails cleanly.
+        let mut soup = MAGIC.to_vec();
+        soup.extend_from_slice(&[VERSION, 0xff, 0xff, 0xff, 0xff]);
+        assert!(decode(&soup).is_err());
+    }
+
+    #[test]
+    fn json_text_is_never_mistaken_for_binary() {
+        assert!(!is_binary(b"{\"name\":\"system\"}"));
+        assert!(!is_binary(b""));
+        assert!(!is_binary(b"\xd8XL"));
+        assert!(decode(b"{\"name\":\"system\"}").is_err());
+    }
+
+    #[test]
+    fn version_and_trailing_bytes_are_checked() {
+        let v = sample();
+        let mut bumped = encode(&v);
+        bumped[4] = 2; // forge version 2
+        let len = bumped.len();
+        let check = fnv1a64(&bumped[..len - 8]).to_le_bytes();
+        bumped[len - 8..].copy_from_slice(&check); // keep the checksum valid
+        let e = decode(&bumped).unwrap_err();
+        assert!(e.message.contains("unsupported version"), "{e}");
+
+        let mut padded = encode(&v);
+        let body_len = padded.len() - 8;
+        padded.truncate(body_len);
+        padded.push(TAG_NULL); // an extra value after the root
+        let check = fnv1a64(&padded).to_le_bytes();
+        padded.extend_from_slice(&check);
+        let e = decode(&padded).unwrap_err();
+        assert!(e.message.contains("trailing"), "{e}");
+    }
+}

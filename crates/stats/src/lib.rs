@@ -15,8 +15,10 @@
 //! Determinism: counters, metrics, and children preserve insertion order,
 //! so the JSON rendering of a given run is byte-stable.
 
+pub mod binary;
 pub mod json;
 
+pub use binary::BinaryError;
 pub use json::{JsonError, JsonValue};
 
 /// A value retrieved from a [`StatSet`] by [`StatSet::lookup`].
@@ -112,6 +114,13 @@ impl StatSet {
     /// The child named `name`, if present.
     pub fn child(&self, name: &str) -> Option<&StatSet> {
         self.children.iter().find(|c| c.name == name)
+    }
+
+    /// Mutable access to the child named `name`, if present. Lets callers
+    /// graft late-arriving nodes (e.g. the result store's `profile.store`
+    /// counters) into an existing tree without rebuilding it.
+    pub fn child_mut(&mut self, name: &str) -> Option<&mut StatSet> {
+        self.children.iter_mut().find(|c| c.name == name)
     }
 
     /// The counter named `name` in this node, if present.
@@ -217,6 +226,20 @@ impl StatSet {
     /// byte-identical to `encode(x)`.
     pub fn from_json(text: &str) -> Result<StatSet, JsonError> {
         Self::from_json_value(&JsonValue::parse(text)?)
+    }
+
+    /// The tree as one [`binary`] document — the compact wire form the
+    /// durable result store writes. Deterministic: equal trees encode to
+    /// identical bytes.
+    pub fn to_binary(&self) -> Vec<u8> {
+        binary::encode(&self.to_json_value())
+    }
+
+    /// Decodes a [`StatSet::to_binary`] document. Exact inverse: unlike
+    /// the JSON text path, non-finite metrics survive bit-for-bit.
+    pub fn from_binary(bytes: &[u8]) -> Result<StatSet, BinaryError> {
+        let value = binary::decode(bytes)?;
+        Self::from_json_value(&value).map_err(|e| BinaryError { pos: 0, message: e.message })
     }
 
     /// [`StatSet::from_json`] on an already-parsed [`JsonValue`].

@@ -2,10 +2,13 @@
 //! `render(parse(render(x)))` must be byte-identical to `render(x)` for
 //! arbitrary [`JsonValue`] documents and arbitrary [`StatSet`] trees —
 //! the invariant that lets experiment manifests and shard result files
-//! ship through the same encoder/parser pair without drift.
+//! ship through the same encoder/parser pair without drift. The binary
+//! sibling (`xloops_stats::binary`) must agree: `encode -> decode ->
+//! encode` is the identity on the bytes, decoding re-renders to the same
+//! JSON text, and arbitrary byte soup never panics the decoder.
 
 use proptest::prelude::*;
-use xloops_stats::{JsonValue, StatSet};
+use xloops_stats::{binary, JsonValue, StatSet};
 
 /// Names exercising the escaping rules: quotes, backslashes, control
 /// characters, non-ASCII, and plain identifiers.
@@ -136,5 +139,54 @@ proptest! {
         let text: String = bytes.into_iter().map(|b| b as char).collect();
         let _ = JsonValue::parse(&text); // Ok or Err, never an unwind.
         let _ = StatSet::from_json(&text);
+    }
+
+    #[test]
+    fn binary_encode_decode_encode_is_identity(v in value_strategy()) {
+        let bytes = binary::encode(&v);
+        prop_assert!(binary::is_binary(&bytes));
+        let decoded = binary::decode(&bytes)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        // Byte identity of the re-encode (structural equality would choke
+        // on NaN != NaN; the encoding is bit-exact, so this is stronger).
+        prop_assert_eq!(binary::encode(&decoded), bytes);
+        // And both sides render to identical JSON text: binary ≡ JSON.
+        prop_assert_eq!(decoded.render(), v.render());
+    }
+
+    #[test]
+    fn stat_set_binary_round_trips_and_agrees_with_json(s in stat_set_strategy()) {
+        let bytes = s.to_binary();
+        let back = StatSet::from_binary(&bytes)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(back.to_binary(), bytes);
+        prop_assert_eq!(back.to_json(), s.to_json());
+    }
+
+    #[test]
+    fn binary_decoder_never_panics_on_byte_soup(
+        bytes in prop::collection::vec(any::<u8>(), 0..128),
+        magic in any::<bool>(),
+    ) {
+        // Half the cases are prefixed with a valid magic so the decoder
+        // gets past the sniff and into the structural code paths.
+        let soup = if magic {
+            let mut b = binary::MAGIC.to_vec();
+            b.push(binary::VERSION);
+            b.extend_from_slice(&bytes);
+            b
+        } else {
+            bytes
+        };
+        let _ = binary::decode(&soup); // Ok or Err, never an unwind.
+        let _ = StatSet::from_binary(&soup);
+    }
+
+    #[test]
+    fn binary_rejects_any_truncation(v in value_strategy()) {
+        let bytes = binary::encode(&v);
+        for n in 0..bytes.len() {
+            prop_assert!(binary::decode(&bytes[..n]).is_err());
+        }
     }
 }

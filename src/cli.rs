@@ -9,9 +9,9 @@
 //! xloops kernels                             list the bundled paper kernels
 //! xloops kernel <name> [options]             run a bundled kernel and verify
 //! xloops manifest [<name>] [-o <file>]       list specs / emit one as JSON
-//! xloops sweep --manifest <file> [--shard K/N] [--out <file>]
+//! xloops sweep --manifest <file> [--shard K/N] [--store DIR] [--out <file>]
 //!                                            run one shard of a manifest
-//! xloops merge <shard.json>...               recombine shards and render
+//! xloops merge [--store DIR] <shard>...      recombine shards and render
 //!
 //! run/kernel options:
 //!   --config io|ooo2|ooo4|io+x|ooo2+x|ooo4+x   (default io+x)
@@ -39,7 +39,9 @@ use std::fmt::Write as _;
 
 use crate::asm::{assemble, disassemble, Program};
 use crate::bench::experiments::{all_specs, spec_by_name};
-use crate::bench::manifest::{merge, render_spec, run_shard, ExperimentSpec, ShardDoc};
+use crate::bench::manifest::{render_spec, ExperimentSpec, MergeFold, ShardDoc};
+use crate::bench::store::run_shard_stored;
+use crate::bench::ResultStore;
 use crate::kernels;
 use crate::sim::{
     ExecMode, FaultPlan, SampleSpec, SimError, Supervisor, SupervisorConfig, System, SystemConfig,
@@ -96,6 +98,19 @@ fn manifest_error(e: impl std::fmt::Display) -> CliError {
     CliError { code: 2, message: e.to_string(), json: None }
 }
 
+/// Resolves the durable store for `sweep`/`merge`: an explicit `--store`
+/// directory must open (usage error otherwise); absent the flag, the
+/// `XLOOPS_STORE` environment knob is consulted, whose failure is soft (a
+/// sweep without a store is merely cold).
+fn open_store(flag: Option<String>) -> Result<Option<ResultStore>, CliError> {
+    match flag {
+        Some(dir) => ResultStore::open(&dir)
+            .map(Some)
+            .map_err(|e| manifest_error(format!("--store {dir}: {e}"))),
+        None => Ok(ResultStore::from_env()),
+    }
+}
+
 /// A parsed CLI invocation.
 #[derive(Debug)]
 pub enum Command {
@@ -121,17 +136,22 @@ pub enum Command {
         name: Option<String>,
         out: Option<String>,
     },
-    /// `sweep --manifest FILE [--shard K/N] [--out FILE]`: run one shard
-    /// of a spec; `manifest` holds the spec file's contents.
+    /// `sweep --manifest FILE [--shard K/N] [--store DIR] [--out FILE]`:
+    /// run one shard of a spec; `manifest` holds the spec file's contents.
+    /// An `--out` path ending in `.dxs` writes the binary shard format.
     Sweep {
         manifest: String,
         shard: (usize, usize),
         out: Option<String>,
+        store: Option<String>,
     },
-    /// `merge FILE...`: recombine shard documents and render the artifact;
-    /// each entry is `(path, contents)`.
+    /// `merge [--store DIR] FILE...`: recombine shard documents (JSON or
+    /// binary, sniffed per file) and render the artifact. `shards` holds
+    /// paths, not contents: merging is a streaming fold, each file read,
+    /// folded, and dropped before the next is opened.
     Merge {
-        shards: Vec<(String, String)>,
+        shards: Vec<String>,
+        store: Option<String>,
     },
     Help,
 }
@@ -223,12 +243,14 @@ pub fn usage() -> &'static str {
      \x20 xloops kernels\n\
      \x20 xloops kernel <name> [--config C] [--mode M] [--stats F]\n\
      \x20 xloops manifest [<name>] [-o <file>]\n\
-     \x20 xloops sweep --manifest <file> [--shard K/N] [--out <file>]\n\
-     \x20 xloops merge <shard.json>...\n\n\
+     \x20 xloops sweep --manifest <file> [--shard K/N] [--store DIR] [--out <file>]\n\
+     \x20 xloops merge [--store DIR] <shard.json|shard.dxs>...\n\n\
      configs: io ooo2 ooo4 io+x ooo2+x ooo4+x   modes: traditional specialized adaptive\n\
      stats formats: text (default) json\n\
      supervision (run/kernel): --faults SEED[:N]  --checkpoint CYCLES  --budget CYCLES\n\
      sampling (run/kernel):    --sample N:W:M (ff N instrs, warm W cycles, measure M cycles)\n\
+     store (sweep/merge): --store DIR (or XLOOPS_STORE=DIR) caches point results durably;\n\
+     \x20                  a sweep --out ending in .dxs writes the binary shard format\n\
      exit codes: 0 ok, 1 error, 2 usage, 3 wedge, 4 fault, 5 cycle budget\n"
 }
 
@@ -330,7 +352,9 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
 }
 
 /// Parses `argv[1..]` into a [`Command`]; file arguments are read here so
-/// [`execute`] is pure.
+/// [`execute`] is pure — with one deliberate exception: `merge` keeps its
+/// shard *paths* and streams the files during execution, so an N-shard
+/// merge never holds more than one document in memory.
 ///
 /// # Errors
 ///
@@ -385,6 +409,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut manifest = None;
             let mut shard = (0, 1);
             let mut out = None;
+            let mut store = None;
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 let mut next =
@@ -398,22 +423,34 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     }
                     "--shard" => shard = parse_shard(&next("K/N")?)?,
                     "--out" => out = Some(next("a path")?),
+                    "--store" => store = Some(next("a directory")?),
                     other => return Err(format!("unknown option `{other}`")),
                 }
             }
             let manifest = manifest.ok_or("sweep expects --manifest FILE")?;
-            Ok(Command::Sweep { manifest, shard, out })
+            Ok(Command::Sweep { manifest, shard, out, store })
         }
         "merge" => {
-            if args.len() < 2 {
+            // Paths only: merge streams the files at execute time, folding
+            // each shard in before the next is even read.
+            let mut shards = Vec::new();
+            let mut store = None;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--store" => {
+                        store = Some(it.next().ok_or("--store expects a directory")?.clone());
+                    }
+                    other if other.starts_with('-') => {
+                        return Err(format!("unknown option `{other}`"));
+                    }
+                    path => shards.push(path.to_string()),
+                }
+            }
+            if shards.is_empty() {
                 return Err("merge expects at least one shard file".into());
             }
-            let mut shards = Vec::new();
-            for path in &args[1..] {
-                let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-                shards.push((path.clone(), text));
-            }
-            Ok(Command::Merge { shards })
+            Ok(Command::Merge { shards, store })
         }
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown subcommand `{other}`\n\n{}", usage())),
@@ -572,31 +609,57 @@ pub fn execute(cmd: Command) -> Result<CommandOutput, CliError> {
                 None => Ok((json, None)),
             }
         }
-        Command::Sweep { manifest, shard: (index, of), out } => {
+        Command::Sweep { manifest, shard: (index, of), out, store } => {
             let spec = ExperimentSpec::from_json(&manifest).map_err(manifest_error)?;
-            let doc = run_shard(&spec, index, of, crate::sim::RunOptions::from_env());
-            let json = doc.to_json();
+            let store = open_store(store)?;
+            let doc = run_shard_stored(
+                &spec,
+                index,
+                of,
+                crate::sim::RunOptions::from_env(),
+                store.as_ref(),
+            );
             match out {
                 Some(path) => {
-                    let text = format!(
+                    // Extension-driven format: `.dxs` writes the compact
+                    // binary shard document, anything else the pretty JSON.
+                    let bytes = if path.ends_with(".dxs") {
+                        doc.to_binary()
+                    } else {
+                        doc.to_json().into_bytes()
+                    };
+                    let mut text = format!(
                         "sweep {}: shard {index}/{of}, {} of {} points\n",
                         spec.name,
                         doc.results.len(),
                         spec.points.len()
                     );
-                    Ok((text, Some((path, json.into_bytes()))))
+                    if let Some(store) = &store {
+                        let s = store.stats();
+                        let _ = writeln!(text, "store: {} hits, {} misses", s.hits, s.misses);
+                    }
+                    Ok((text, Some((path, bytes))))
                 }
-                None => Ok((json, None)),
+                None => Ok((doc.to_json(), None)),
             }
         }
-        Command::Merge { shards } => {
-            let docs = shards
-                .iter()
-                .map(|(path, text)| {
-                    ShardDoc::from_json(text).map_err(|e| manifest_error(format!("{path}: {e}")))
-                })
-                .collect::<Result<Vec<_>, _>>()?;
-            let (spec, results) = merge(&docs).map_err(manifest_error)?;
+        Command::Merge { shards, store } => {
+            let store = open_store(store)?;
+            let mut fold = MergeFold::new();
+            for path in &shards {
+                // Streaming: read -> decode -> fold -> drop, one file at a
+                // time; decode failures and mismatched shards are usage
+                // errors naming the offending file.
+                let bytes =
+                    std::fs::read(path).map_err(|e| manifest_error(format!("{path}: {e}")))?;
+                let doc = ShardDoc::from_bytes(&bytes)
+                    .map_err(|e| manifest_error(format!("{path}: {e}")))?;
+                if let Some(store) = &store {
+                    store.backfill(&doc);
+                }
+                fold.fold(doc).map_err(|e| manifest_error(format!("{path}: {e}")))?;
+            }
+            let (spec, results) = fold.finish().map_err(manifest_error)?;
             // The rendered artifact *is* the output, byte-for-byte what the
             // unsharded binary writes under `results/` — so a plain `diff`
             // proves the sharded path reproduced it.
@@ -900,38 +963,115 @@ mod tests {
         assert!(parse_shard("1").is_err());
     }
 
+    /// A scratch directory for tests that exercise the streaming (path
+    /// based) merge; removed on drop.
+    struct TempDir(std::path::PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let dir = std::env::temp_dir().join(format!("xloops-cli-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+
+        fn file(&self, name: &str, contents: &[u8]) -> String {
+            let path = self.0.join(name);
+            std::fs::write(&path, contents).unwrap();
+            path.to_string_lossy().into_owned()
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
     #[test]
     fn sweep_then_merge_reproduces_the_rendered_artifact() {
         // table5 is the analytical artifact (zero simulation points), so
         // the whole sweep -> merge path runs instantly even in debug.
+        let tmp = TempDir::new("merge");
         let (json, _) =
             execute(Command::Manifest { name: Some("table5".into()), out: None }).unwrap();
         let (shard_json, _) =
-            execute(Command::Sweep { manifest: json, shard: (0, 1), out: None }).unwrap();
-        let (merged, _) =
-            execute(Command::Merge { shards: vec![("shard0.json".into(), shard_json.clone())] })
+            execute(Command::Sweep { manifest: json, shard: (0, 1), out: None, store: None })
                 .unwrap();
+        let shard0 = tmp.file("shard0.json", shard_json.as_bytes());
+        let (merged, _) =
+            execute(Command::Merge { shards: vec![shard0.clone()], store: None }).unwrap();
         let spec = crate::bench::experiments::spec_by_name("table5").unwrap();
         let expect = render_spec(&spec, &[]);
         assert_eq!(merged, expect, "merge renders the artifact byte-for-byte");
 
+        // The binary form of the same shard merges to identical output.
+        let doc = ShardDoc::from_json(&shard_json).unwrap();
+        let dxs = tmp.file("shard0.dxs", &doc.to_binary());
+        let (from_binary, _) = execute(Command::Merge { shards: vec![dxs], store: None }).unwrap();
+        assert_eq!(from_binary, expect, "binary shard renders byte-identically");
+
         // An unparseable shard is a usage-class failure (exit code 2) with
-        // the offending file named in the diagnosis.
-        let truncated = shard_json[..shard_json.len() / 2].to_string();
-        let e =
-            execute(Command::Merge { shards: vec![("bad.json".into(), truncated)] }).unwrap_err();
+        // the offending file named in the diagnosis; so is a missing file.
+        let bad = tmp.file("bad.json", &shard_json.as_bytes()[..shard_json.len() / 2]);
+        let e = execute(Command::Merge { shards: vec![bad], store: None }).unwrap_err();
         assert_eq!(e.code, 2);
         assert!(e.message.contains("bad.json"), "{}", e.message);
+        let e = execute(Command::Merge { shards: vec!["no-such.json".into()], store: None })
+            .unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("no-such.json"), "{}", e.message);
 
         // Shards from different manifests parse fine but refuse to merge,
         // also exit code 2.
-        let forged = shard_json.replace("\"fingerprint\": \"", "\"fingerprint\": \"dead");
-        let e = execute(Command::Merge {
-            shards: vec![("shard0.json".into(), shard_json), ("forged.json".into(), forged)],
-        })
-        .unwrap_err();
+        let forged = tmp.file(
+            "forged.json",
+            shard_json.replace("\"fingerprint\": \"", "\"fingerprint\": \"dead").as_bytes(),
+        );
+        let e = execute(Command::Merge { shards: vec![shard0, forged], store: None }).unwrap_err();
         assert_eq!(e.code, 2);
         assert!(e.message.contains("different manifests"), "{}", e.message);
+    }
+
+    #[test]
+    fn merge_parse_collects_paths_and_store_flag() {
+        let cmd = parse(&sv(&["merge", "--store", "/tmp/s", "a.json", "b.dxs"])).unwrap();
+        match cmd {
+            Command::Merge { shards, store } => {
+                assert_eq!(shards, vec!["a.json".to_string(), "b.dxs".to_string()]);
+                assert_eq!(store.as_deref(), Some("/tmp/s"));
+            }
+            other => panic!("expected merge, got {other:?}"),
+        }
+        assert!(parse(&sv(&["merge"])).is_err());
+        assert!(parse(&sv(&["merge", "--bogus", "a.json"])).is_err());
+    }
+
+    #[test]
+    fn sweep_with_store_serves_the_warm_run_from_disk() {
+        let tmp = TempDir::new("sweep-store");
+        let store_dir = tmp.0.join("store").to_string_lossy().into_owned();
+        let (json, _) =
+            execute(Command::Manifest { name: Some("table5".into()), out: None }).unwrap();
+        let run = |out: &str| {
+            execute(Command::Sweep {
+                manifest: json.clone(),
+                shard: (0, 1),
+                out: Some(out.into()),
+                store: Some(store_dir.clone()),
+            })
+            .unwrap()
+        };
+        let (cold_text, cold_file) = run("cold.json");
+        // table5 has zero points, so both counters are zero — the line
+        // format is what this pins (CI greps it on a real manifest).
+        assert!(cold_text.contains("store: 0 hits, 0 misses"), "{cold_text}");
+        let (warm_text, warm_file) = run("warm.dxs");
+        assert!(warm_text.contains("store: 0 hits, 0 misses"), "{warm_text}");
+        // JSON out vs .dxs out: different bytes, same document.
+        let cold_doc = ShardDoc::from_bytes(&cold_file.unwrap().1).unwrap();
+        let warm_doc = ShardDoc::from_bytes(&warm_file.unwrap().1).unwrap();
+        assert_eq!(cold_doc, warm_doc);
     }
 
     #[test]
