@@ -33,7 +33,7 @@ use xloops_bench::{run_kernel, run_kernel_with, ResultStore, Runner, StoreStats}
 use xloops_func::{ArchState, FastForward};
 use xloops_kernels::{scaled, table2, Kernel};
 use xloops_mem::Memory;
-use xloops_sim::{ExecMode, ProfileStats, RunOptions, SampleSpec, SystemConfig};
+use xloops_sim::{error_doc, ExecMode, ProfileStats, RunOptions, SampleSpec, SystemConfig};
 use xloops_stats::JsonValue;
 
 struct Point {
@@ -76,7 +76,10 @@ fn main() {
     ];
 
     let mut points = Vec::new();
-    let mut errors: Vec<String> = Vec::new();
+    // Every quarantined point lands here as the canonical `error_doc`
+    // (`{"message", "exit_code"}`) — the same rendering the daemon uses
+    // for failed jobs, so downstream tooling parses one shape.
+    let mut errors: Vec<JsonValue> = Vec::new();
     for kernel in table2() {
         for (config, mode) in design_points {
             let t = Instant::now();
@@ -95,13 +98,14 @@ fn main() {
                     profile: r.stats.profile,
                 }),
                 Err(payload) => {
-                    errors.push(format!(
+                    let message = format!(
                         "{} on {} ({}): {}",
                         kernel.name,
                         config.name(),
                         mode_tag(mode),
                         panic_message(payload)
-                    ));
+                    );
+                    errors.push(error_doc(&message, 1));
                 }
             }
         }
@@ -116,7 +120,8 @@ fn main() {
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_functional(kernel))) {
             Ok(p) => functional.push(p),
             Err(payload) => {
-                errors.push(format!("{} (functional): {}", kernel.name, panic_message(payload)))
+                let message = format!("{} (functional): {}", kernel.name, panic_message(payload));
+                errors.push(error_doc(&message, 1));
             }
         }
     }
@@ -148,12 +153,15 @@ fn main() {
                 full_cycles,
                 rel_stderr: r.stats.sampling.map_or(0.0, |s| s.rel_stderr),
             }),
-            Err(payload) => errors.push(format!(
-                "{} on {} (sampled {SAMPLE_SPEC}): {}",
-                kernel.name,
-                config.name(),
-                panic_message(payload)
-            )),
+            Err(payload) => {
+                let message = format!(
+                    "{} on {} (sampled {SAMPLE_SPEC}): {}",
+                    kernel.name,
+                    config.name(),
+                    panic_message(payload)
+                );
+                errors.push(error_doc(&message, 1));
+            }
         }
     }
 
@@ -175,7 +183,8 @@ fn main() {
             }
             let render_s = t.elapsed().as_secs_f64();
             for f in swept.failures {
-                errors.push(format!("regen {} ({:?}): {}", f.key.kernel, f.key.mode, f.message));
+                let message = format!("regen {} ({:?}): {}", f.key.kernel, f.key.mode, f.message);
+                errors.push(error_doc(&message, f.sim.as_ref().map_or(1, |e| e.exit_code())));
             }
             (swept.prefill.unique_points, simulate_s, render_s, Some(store.stats()))
         }
@@ -193,7 +202,8 @@ fn main() {
             }
             let render_s = t.elapsed().as_secs_f64();
             for f in runner.failures() {
-                errors.push(format!("regen {} ({:?}): {}", f.key.kernel, f.key.mode, f.message));
+                let message = format!("regen {} ({:?}): {}", f.key.kernel, f.key.mode, f.message);
+                errors.push(error_doc(&message, f.sim.as_ref().map_or(1, |e| e.exit_code())));
             }
             (info.unique_points, simulate_s, render_s, None)
         }
@@ -283,7 +293,7 @@ struct RenderInput<'a> {
     points: &'a [Point],
     functional: &'a [FuncPoint],
     sampled: &'a [SampledPoint],
-    errors: &'a [String],
+    errors: &'a [JsonValue],
     unique_points: usize,
     simulate_s: f64,
     render_s: f64,
@@ -410,7 +420,7 @@ fn render_json(input: RenderInput<'_>) -> String {
                     .collect(),
             ),
         ),
-        ("errors", JsonValue::Array(errors.iter().map(|e| JsonValue::Str(e.clone())).collect())),
+        ("errors", JsonValue::Array(errors.to_vec())),
         (
             "totals",
             JsonValue::object(vec![

@@ -24,8 +24,11 @@
 //! assembler, functional core, and LPSU engine).
 
 pub mod experiments;
+pub mod job;
 pub mod manifest;
 pub mod runner;
+pub mod sched;
+pub mod serve;
 pub mod store;
 
 use std::fmt::Write as _;
@@ -34,7 +37,7 @@ use std::path::PathBuf;
 
 use xloops_asm::{lower_gp, Program};
 use xloops_kernels::Kernel;
-use xloops_sim::{ExecMode, RunOptions, Supervisor, System, SystemConfig, SystemStats};
+use xloops_sim::{ExecMode, RunOptions, SimError, Supervisor, System, SystemConfig, SystemStats};
 
 pub use runner::{render_artifact, run_reports, RunFailure, Runner};
 pub use store::{ResultStore, StoreStats};
@@ -68,6 +71,22 @@ pub(crate) fn run_program(
     options: &RunOptions,
     what: &str,
 ) -> RunResult {
+    try_run_program(kernel, program, config, mode, options, what)
+        .unwrap_or_else(|e| panic!("{} {what} on {}: {e}", kernel.name, config.name()))
+}
+
+/// The typed-error variant of [`run_program`]: simulation failures come
+/// back as the [`SimError`] itself (so schedulers can keep the class and
+/// its exit code), while result-verification failures still panic — a
+/// wrong answer is a harness bug, not a reportable run outcome.
+pub(crate) fn try_run_program(
+    kernel: &Kernel,
+    program: &Program,
+    config: SystemConfig,
+    mode: ExecMode,
+    options: &RunOptions,
+    what: &str,
+) -> Result<RunResult, SimError> {
     let mut sys = System::new(config);
     sys.set_profiling(options.profile);
     kernel.init_memory(sys.mem_mut());
@@ -78,11 +97,11 @@ pub(crate) fn run_program(
         (None, Some(cfg)) => Supervisor::new(&mut sys, cfg.clone()).run(program, mode),
         (None, None) => sys.run(program, mode),
     };
-    let stats = run.unwrap_or_else(|e| panic!("{} {what} on {}: {e}", kernel.name, config.name()));
+    let stats = run?;
     kernel
         .verify(sys.mem())
         .unwrap_or_else(|e| panic!("{} {what} on {} ({mode:?}): {e}", kernel.name, config.name()));
-    RunResult { cycles: stats.cycles, energy_nj: stats.energy_nj, stats, error: None }
+    Ok(RunResult { cycles: stats.cycles, energy_nj: stats.energy_nj, stats, error: None })
 }
 
 /// Runs a kernel's XLOOPS binary in the given mode, with options from the

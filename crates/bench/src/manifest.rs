@@ -1214,33 +1214,12 @@ impl ShardDoc {
     }
 }
 
-/// Executes shard `index` of `of` of a spec under explicit options, with
+/// Executes shard `index` of `of` of a spec under explicit options — the
+/// storeless adapter over the scheduler ([`crate::sched`]), which runs
 /// the same two-pass collect/prefill protocol the full-artifact binaries
 /// use (so the shard's unique points still fan out over worker threads).
 pub fn run_shard(spec: &ExperimentSpec, index: usize, of: usize, options: RunOptions) -> ShardDoc {
-    assert!(of > 0 && index < of, "impossible shard {index}/{of}");
-    let owned = shard_points(spec, index, of);
-    let runner = Runner::collecting_with(options.clone());
-    let collect = |r: &Runner| -> Vec<PointResult> {
-        owned
-            .iter()
-            .map(|&i| {
-                let p = &spec.points[i];
-                PointResult::from_run(&request_point(r, p), p.config.is_ooo())
-            })
-            .collect()
-    };
-    let _ = collect(&runner);
-    runner.prefill();
-    let results = collect(&runner);
-    ShardDoc {
-        fingerprint: spec.fingerprint(),
-        index,
-        of,
-        options,
-        spec: spec.clone(),
-        results: owned.into_iter().zip(results).collect(),
-    }
+    crate::sched::run_shard_stored(spec, index, of, options, None)
 }
 
 /// The streaming heart of [`merge`]: shard documents are folded in one at

@@ -14,9 +14,10 @@
 //!    choosing *which* runs to request, so the collected job set is exactly
 //!    the set the real render needs.
 //! 2. **Execute + render** — the unique jobs are simulated (fanned out
-//!    over [`std::thread::available_parallelism`] worker threads via
-//!    [`std::thread::scope`], or serially with `XLOOPS_BENCH_SERIAL=1`),
-//!    then every report renders again from the warm cache.
+//!    over [`std::thread::available_parallelism`] workers on the
+//!    work-stealing pool in [`crate::sched`], or serially with
+//!    `XLOOPS_BENCH_SERIAL=1`), then every report renders again from the
+//!    warm cache.
 //!
 //! Each job builds a fresh [`xloops_sim::System`] and the simulator is deterministic,
 //! so results are independent of worker scheduling: parallel and serial
@@ -46,14 +47,16 @@
 
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use xloops_asm::{lower_gp, Program};
 use xloops_kernels::{by_name, Kernel};
-use xloops_sim::{ConfigKey, ExecMode, RunOptions, SampleSpec, SystemConfig, SystemStats};
+use xloops_sim::{
+    ConfigKey, ExecMode, RunOptions, SampleSpec, SimError, SystemConfig, SystemStats,
+};
 
-use crate::{run_program, RunResult};
+use crate::{try_run_program, RunResult};
 
 /// Canonical identity of one simulation point.
 ///
@@ -102,8 +105,12 @@ pub struct CacheStats {
 pub struct RunFailure {
     /// Identity of the failed point.
     pub key: RunKey,
-    /// The diagnosis (panic payload).
+    /// The diagnosis (panic payload or rendered simulation error).
     pub message: String,
+    /// The typed error class when the failure was a [`SimError`] rather
+    /// than a panic — kept so downstream reporting (job states, error
+    /// documents) preserves the class and its exit code.
+    pub sim: Option<SimError>,
 }
 
 /// Result of [`Runner::prefill`].
@@ -243,44 +250,56 @@ impl Runner {
         result
     }
 
-    /// [`Runner::execute`] behind a panic firewall: a point that panics is
-    /// quarantined into the failure list and yields a placeholder result
-    /// carrying the diagnosis, so the rest of the job list still runs.
+    /// [`Runner::try_execute`] behind a panic firewall: a point that
+    /// panics — or surfaces a typed [`SimError`] — is quarantined into the
+    /// failure list and yields a placeholder result carrying the
+    /// diagnosis, so the rest of the job list still runs. A typed error
+    /// keeps its class on the [`RunFailure`]; the diagnosis message is the
+    /// same line the panic path has always produced for it.
     fn execute_caught(&self, job: &Job) -> RunResult {
-        match catch_unwind(AssertUnwindSafe(|| self.execute(job))) {
-            Ok(result) => result,
+        let (message, sim) = match catch_unwind(AssertUnwindSafe(|| self.try_execute(job))) {
+            Ok(Ok(result)) => return result,
+            Ok(Err(e)) => {
+                let what = if job.key.gp_lowered { "baseline" } else { "run" };
+                (format!("{} {what} on {}: {e}", job.key.kernel, job.config.name()), Some(e))
+            }
             Err(payload) => {
                 let message = payload
                     .downcast_ref::<String>()
                     .cloned()
                     .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
                     .unwrap_or_else(|| "non-string panic payload".to_string());
-                self.failures
-                    .lock()
-                    .unwrap()
-                    .push(RunFailure { key: job.key, message: message.clone() });
-                RunResult {
-                    cycles: 1,
-                    energy_nj: 1.0,
-                    stats: SystemStats::default(),
-                    error: Some(message),
-                }
+                (message, None)
             }
-        }
+        };
+        self.failures.lock().unwrap().push(RunFailure {
+            key: job.key,
+            message: message.clone(),
+            sim,
+        });
+        RunResult { cycles: 1, energy_nj: 1.0, stats: SystemStats::default(), error: Some(message) }
     }
 
-    /// Simulates one job on a fresh system. The key's effective sampling
-    /// spec (per-point override already folded in) replaces the runner-wide
+    /// Simulates one job on a fresh system, surfacing simulation failures
+    /// as the typed [`SimError`]. The key's effective sampling spec
+    /// (per-point override already folded in) replaces the runner-wide
     /// one, so `run_program` sees exactly what the key promises.
-    fn execute(&self, job: &Job) -> RunResult {
+    fn try_execute(&self, job: &Job) -> Result<RunResult, SimError> {
         let kernel = by_name(job.key.kernel)
             .unwrap_or_else(|| panic!("unknown kernel in run cache: {}", job.key.kernel));
         let options = RunOptions { sample: job.key.sample, ..self.options.clone() };
         if job.key.gp_lowered {
             let program = self.gp_program(kernel);
-            run_program(kernel, &program, job.config, ExecMode::Traditional, &options, "baseline")
+            try_run_program(
+                kernel,
+                &program,
+                job.config,
+                ExecMode::Traditional,
+                &options,
+                "baseline",
+            )
         } else {
-            run_program(kernel, &kernel.program, job.config, job.key.mode, &options, "run")
+            try_run_program(kernel, &kernel.program, job.config, job.key.mode, &options, "run")
         }
     }
 
@@ -310,7 +329,11 @@ impl Runner {
 
     /// [`Runner::prefill`] with an explicit worker-thread count (ignores
     /// the environment). Exposed so determinism tests can pit a parallel
-    /// fill against a serial one directly.
+    /// fill against a serial one directly. The fan-out itself lives in
+    /// [`crate::sched::run_jobs`] — the one worker pool in the workspace —
+    /// this method only supplies the per-job closure (execute behind the
+    /// panic firewall, time under `--profile`) and folds the results into
+    /// the cache.
     pub fn prefill_with(&self, workers: usize) -> PrefillInfo {
         let jobs = {
             let (jobs, _) = &mut *self.pending.lock().unwrap();
@@ -319,44 +342,38 @@ impl Runner {
         self.collecting.store(false, Ordering::Relaxed);
         let workers = workers.min(jobs.len().max(1));
 
-        if workers <= 1 {
-            let profile = self.options.profile;
-            let mut timings = Vec::new();
-            for job in &jobs {
-                let t = std::time::Instant::now();
-                let result = self.execute_caught(job);
-                if profile {
-                    timings.push((t.elapsed(), job.key));
-                }
-                self.sims.fetch_add(1, Ordering::Relaxed);
-                self.cache.lock().unwrap().insert(job.key, result);
-            }
+        // Wall-clock profiling is only meaningful serially (parallel
+        // timings measure contention, not the simulator).
+        let profile = self.options.profile && workers <= 1;
+        let timings = Mutex::new(Vec::new());
+        let results = crate::sched::run_jobs(&jobs, workers, |_, job| {
+            let t = std::time::Instant::now();
+            let result = self.execute_caught(job);
             if profile {
-                timings.sort_by_key(|&(d, _)| std::cmp::Reverse(d));
-                eprintln!("[profile] slowest simulation points:");
-                for (d, key) in timings.iter().take(20) {
-                    eprintln!(
-                        "[profile] {:8.1} ms  {} {:?} gp={}",
-                        d.as_secs_f64() * 1e3,
-                        key.kernel,
-                        key.mode,
-                        key.gp_lowered,
-                    );
-                }
+                timings.lock().unwrap().push((t.elapsed(), job.key));
             }
-        } else {
-            let next = AtomicUsize::new(0);
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(job) = jobs.get(i) else { break };
-                        let result = self.execute_caught(job);
-                        self.sims.fetch_add(1, Ordering::Relaxed);
-                        self.cache.lock().unwrap().insert(job.key, result);
-                    });
-                }
-            });
+            self.sims.fetch_add(1, Ordering::Relaxed);
+            result
+        });
+        let mut cache = self.cache.lock().unwrap();
+        for (job, result) in jobs.iter().zip(results) {
+            cache.insert(job.key, result);
+        }
+        drop(cache);
+
+        if profile {
+            let mut timings = timings.into_inner().unwrap();
+            timings.sort_by_key(|&(d, _)| std::cmp::Reverse(d));
+            eprintln!("[profile] slowest simulation points:");
+            for (d, key) in timings.iter().take(20) {
+                eprintln!(
+                    "[profile] {:8.1} ms  {} {:?} gp={}",
+                    d.as_secs_f64() * 1e3,
+                    key.kernel,
+                    key.mode,
+                    key.gp_lowered,
+                );
+            }
         }
 
         PrefillInfo { unique_points: jobs.len(), workers, serial: false }

@@ -1,0 +1,444 @@
+//! The service layer: a long-running sweep daemon over the scheduler.
+//!
+//! `xloops serve` hosts the [`crate::sched::Scheduler`] behind a
+//! newline-delimited-JSON protocol on a Unix socket (the path comes from
+//! `--sock` or `XLOOPS_SOCK`), so repeated sweeps amortize one warm
+//! durable store across many client invocations. `xloops submit` and
+//! `xloops status` are thin clients — one request line out, one response
+//! line back — and the CLI's synchronous sweep mode is the same scheduler
+//! called in-process, so the daemon adds no second orchestration path.
+//!
+//! ## Wire protocol
+//!
+//! One request per line, one response line per request, any number of
+//! requests per connection:
+//!
+//! ```text
+//! request  = object "\n"
+//! object   = {"cmd":"ping"}
+//!          | {"cmd":"submit","manifest":SPEC}          fire and forget
+//!          | {"cmd":"submit","manifest":SPEC,"wait":true}
+//!          | {"cmd":"status","job":FINGERPRINT}
+//!          | {"cmd":"shutdown"}
+//! response = {"ok":true, ...} | {"ok":false,"error":{"message":M,"exit_code":2}}
+//! ```
+//!
+//! `SPEC` is a full experiment-manifest document
+//! ([`ExperimentSpec::to_json_value`]) — the client embeds the manifest
+//! file, so the daemon never needs the client's filesystem. A sweep's job
+//! id **is** the manifest fingerprint: submitting the manifest that is
+//! already queued/running *attaches* to it (both `--wait` clients get the
+//! artifact), and `status` works from any client that knows the
+//! fingerprint.
+//!
+//! Malformed input — non-UTF-8 bytes, broken JSON, schema violations, an
+//! invalid manifest — produces an `ok:false` response with the canonical
+//! [`error_doc`] shape and exit code 2 (the CLI's usage-error code), never
+//! a daemon panic; the protocol proptests feed byte soup straight into
+//! [`handle_line`] to pin that.
+//!
+//! ## Crash safety
+//!
+//! The daemon holds no result state the store doesn't: each sweep runs
+//! through the scheduler against the daemon's store directory, so a
+//! `kill -9` mid-sweep loses only in-flight points. Resubmitting after a
+//! restart re-derives the job list and finds every completed point as a
+//! store hit — resume is a property of the layering, not a recovery
+//! subsystem.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use xloops_sim::{error_doc, RunOptions};
+use xloops_stats::JsonValue;
+
+use crate::manifest::{render_spec, ExperimentSpec, PointResult};
+use crate::sched::Scheduler;
+use crate::store::ResultStore;
+
+/// Resolves the daemon socket path: an explicit `--sock` value wins,
+/// otherwise `XLOOPS_SOCK`.
+pub fn sock_from(flag: Option<PathBuf>) -> Option<PathBuf> {
+    flag.or_else(|| std::env::var("XLOOPS_SOCK").ok().filter(|s| !s.is_empty()).map(PathBuf::from))
+}
+
+/// Everything a finished sweep produced, kept until the daemon exits so
+/// late `status` queries (and duplicate submits) answer instantly.
+#[derive(Clone, Debug)]
+pub struct SweepDone {
+    /// The rendered artifact text.
+    pub artifact: String,
+    /// Total points swept.
+    pub total: usize,
+    /// Points that ended `Failed` or `Quarantined`.
+    pub failed: usize,
+    /// Canonical [`error_doc`] per failed point.
+    pub failures: Vec<JsonValue>,
+    /// Store hits while sweeping (0 without a store).
+    pub store_hits: u64,
+    /// Store misses while sweeping (0 without a store).
+    pub store_misses: u64,
+}
+
+/// A submitted sweep's lifecycle — the sweep-level analogue of
+/// [`crate::job::JobState`], with the same wire labels.
+#[derive(Clone, Debug)]
+pub enum SweepPhase {
+    /// Accepted, worker not yet running.
+    Queued,
+    /// The scheduler is sweeping.
+    Running,
+    /// Finished; the artifact and failure report.
+    Done(Box<SweepDone>),
+}
+
+impl SweepPhase {
+    fn label(&self) -> &'static str {
+        match self {
+            SweepPhase::Queued => "queued",
+            SweepPhase::Running => "running",
+            SweepPhase::Done(_) => "done",
+        }
+    }
+}
+
+/// One submitted sweep: the manifest plus its current phase. `cond` is
+/// notified on every phase change so any number of `--wait` clients can
+/// block on the same sweep.
+pub struct SweepJob {
+    spec: ExperimentSpec,
+    phase: Mutex<SweepPhase>,
+    cond: Condvar,
+}
+
+impl SweepJob {
+    fn set_phase(&self, phase: SweepPhase) {
+        *self.phase.lock().unwrap() = phase;
+        self.cond.notify_all();
+    }
+
+    /// Blocks until the sweep is done, then returns the report.
+    pub fn wait_done(&self) -> SweepDone {
+        let mut phase = self.phase.lock().unwrap();
+        loop {
+            if let SweepPhase::Done(done) = &*phase {
+                return (**done).clone();
+            }
+            phase = self.cond.wait(phase).unwrap();
+        }
+    }
+}
+
+/// Shared daemon state: the sweep registry plus everything a worker needs
+/// to run one (store directory, run options).
+pub struct ServiceState {
+    store_dir: Option<PathBuf>,
+    options: RunOptions,
+    sweeps: Mutex<HashMap<String, Arc<SweepJob>>>,
+    shutdown: AtomicBool,
+    sock: PathBuf,
+}
+
+impl ServiceState {
+    /// Fresh state for a daemon listening on `sock`, sweeping under
+    /// `options` against the store at `store_dir` (when given).
+    pub fn new(sock: PathBuf, store_dir: Option<PathBuf>, options: RunOptions) -> ServiceState {
+        ServiceState {
+            store_dir,
+            options,
+            sweeps: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+            sock,
+        }
+    }
+}
+
+/// One response line plus whether the daemon should stop accepting.
+pub struct Response {
+    /// The JSON document to write back (one line).
+    pub body: JsonValue,
+    /// `true` after a `shutdown` command.
+    pub shutdown: bool,
+}
+
+fn ok_fields(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+    let mut all = vec![("ok".to_string(), JsonValue::Bool(true))];
+    all.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+    JsonValue::Object(all)
+}
+
+fn refuse(message: String) -> Response {
+    let body =
+        JsonValue::object(vec![("ok", JsonValue::Bool(false)), ("error", error_doc(&message, 2))]);
+    Response { body, shutdown: false }
+}
+
+/// The sweep's current phase as a response document. A done sweep reports
+/// its artifact, counts, per-point [`error_doc`]s, and store traffic.
+fn phase_doc(job_id: &str, phase: &SweepPhase) -> JsonValue {
+    let mut fields = vec![
+        ("job", JsonValue::Str(job_id.to_string())),
+        ("state", JsonValue::Str(phase.label().to_string())),
+    ];
+    if let SweepPhase::Done(done) = phase {
+        fields.push(("points", JsonValue::UInt(done.total as u64)));
+        fields.push(("failed", JsonValue::UInt(done.failed as u64)));
+        fields.push(("errors", JsonValue::Array(done.failures.clone())));
+        fields.push((
+            "store",
+            JsonValue::object(vec![
+                ("hits", JsonValue::UInt(done.store_hits)),
+                ("misses", JsonValue::UInt(done.store_misses)),
+            ]),
+        ));
+        fields.push(("artifact", JsonValue::Str(done.artifact.clone())));
+    }
+    ok_fields(fields)
+}
+
+/// Handles one request line. This is the daemon's entire parse surface
+/// and it must never panic: every malformed input path — bad UTF-8, bad
+/// JSON, missing fields, invalid manifests — returns an `ok:false`
+/// response instead (pinned by the protocol proptests).
+pub fn handle_line(state: &Arc<ServiceState>, line: &[u8]) -> Response {
+    let text = match std::str::from_utf8(line) {
+        Ok(t) => t.trim(),
+        Err(e) => return refuse(format!("request is not UTF-8: {e}")),
+    };
+    if text.is_empty() {
+        return refuse("empty request line".to_string());
+    }
+    let doc = match JsonValue::parse(text) {
+        Ok(d) => d,
+        Err(e) => return refuse(format!("request is not JSON: {e}")),
+    };
+    let Some(cmd) = doc.get("cmd").and_then(JsonValue::as_str) else {
+        return refuse("request has no string `cmd` field".to_string());
+    };
+    match cmd {
+        "ping" => {
+            Response { body: ok_fields(vec![("pong", JsonValue::Bool(true))]), shutdown: false }
+        }
+        "shutdown" => {
+            Response { body: ok_fields(vec![("shutdown", JsonValue::Bool(true))]), shutdown: true }
+        }
+        "status" => {
+            let Some(job_id) = doc.get("job").and_then(JsonValue::as_str) else {
+                return refuse("status needs a string `job` field".to_string());
+            };
+            let sweeps = state.sweeps.lock().unwrap();
+            match sweeps.get(job_id) {
+                Some(job) => {
+                    let phase = job.phase.lock().unwrap();
+                    Response { body: phase_doc(job_id, &phase), shutdown: false }
+                }
+                None => refuse(format!("unknown job {job_id}")),
+            }
+        }
+        "submit" => {
+            let Some(manifest) = doc.get("manifest") else {
+                return refuse("submit needs a `manifest` field".to_string());
+            };
+            let spec = match ExperimentSpec::from_json_value(manifest) {
+                Ok(s) => s,
+                Err(e) => return refuse(format!("invalid manifest: {e}")),
+            };
+            let wait = doc.get("wait").and_then(JsonValue::as_bool).unwrap_or(false);
+            let job_id = spec.fingerprint();
+            let job = submit(state, job_id.clone(), spec);
+            let body = if wait {
+                let done = job.wait_done();
+                phase_doc(&job_id, &SweepPhase::Done(Box::new(done)))
+            } else {
+                phase_doc(&job_id, &job.phase.lock().unwrap())
+            };
+            Response { body, shutdown: false }
+        }
+        other => refuse(format!("unknown command `{other}`")),
+    }
+}
+
+/// Registers a sweep (or attaches to the already-registered one with the
+/// same fingerprint) and, when fresh, spawns its worker thread.
+fn submit(state: &Arc<ServiceState>, job_id: String, spec: ExperimentSpec) -> Arc<SweepJob> {
+    let mut sweeps = state.sweeps.lock().unwrap();
+    if let Some(existing) = sweeps.get(&job_id) {
+        return Arc::clone(existing);
+    }
+    let job =
+        Arc::new(SweepJob { spec, phase: Mutex::new(SweepPhase::Queued), cond: Condvar::new() });
+    sweeps.insert(job_id.clone(), Arc::clone(&job));
+    drop(sweeps);
+    let state = Arc::clone(state);
+    let worker = Arc::clone(&job);
+    std::thread::spawn(move || {
+        worker.set_phase(SweepPhase::Running);
+        let done = catch_unwind(AssertUnwindSafe(|| run_sweep(&state, &worker.spec)))
+            .unwrap_or_else(|_| SweepDone {
+                artifact: String::new(),
+                total: worker.spec.points.len(),
+                failed: worker.spec.points.len(),
+                failures: vec![error_doc(&format!("sweep {job_id} panicked"), 1)],
+                store_hits: 0,
+                store_misses: 0,
+            });
+        worker.set_phase(SweepPhase::Done(Box::new(done)));
+    });
+    job
+}
+
+/// One sweep through the scheduler: every point of the spec, against a
+/// fresh handle on the daemon's store (fresh so the hit/miss counters are
+/// per-sweep — that is what `submit --wait` reports to its client).
+fn run_sweep(state: &ServiceState, spec: &ExperimentSpec) -> SweepDone {
+    let store = state.store_dir.as_ref().and_then(|d| match ResultStore::open(d) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("[serve] cannot open store {}: {e}; sweeping cold", d.display());
+            None
+        }
+    });
+    let swept = Scheduler::new(state.options.clone(), store.as_ref())
+        .run(&[(spec, (0..spec.points.len()).collect())]);
+    let outcomes = &swept.outcomes[0];
+    let results: Vec<PointResult> = outcomes.iter().map(|o| o.result.clone()).collect();
+    let (store_hits, store_misses) = store
+        .map(|s| {
+            let st = s.stats();
+            (st.hits, st.misses)
+        })
+        .unwrap_or((0, 0));
+    SweepDone {
+        artifact: render_spec(spec, &results),
+        total: outcomes.len(),
+        failed: outcomes.iter().filter(|o| !o.state.is_done()).count(),
+        failures: outcomes.iter().filter_map(|o| o.to_error_doc()).collect(),
+        store_hits,
+        store_misses,
+    }
+}
+
+/// The accept loop: a bound socket plus the shared state.
+pub struct Daemon {
+    listener: UnixListener,
+    state: Arc<ServiceState>,
+}
+
+impl Daemon {
+    /// Binds `sock` (replacing a stale socket file from a dead daemon) and
+    /// prepares the shared state. The socket file is removed again on
+    /// clean shutdown.
+    pub fn bind(
+        sock: &Path,
+        store_dir: Option<PathBuf>,
+        options: RunOptions,
+    ) -> std::io::Result<Daemon> {
+        // A dead daemon leaves its socket file behind and bind would fail
+        // with AddrInUse; a *live* daemon holds the listener, so probe
+        // with a connect before clobbering.
+        if sock.exists() {
+            if UnixStream::connect(sock).is_ok() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::AddrInUse,
+                    format!("a daemon is already listening on {}", sock.display()),
+                ));
+            }
+            std::fs::remove_file(sock)?;
+        }
+        let listener = UnixListener::bind(sock)?;
+        let state = Arc::new(ServiceState::new(sock.to_path_buf(), store_dir, options));
+        Ok(Daemon { listener, state })
+    }
+
+    /// The daemon's shared state (exposed for in-process tests).
+    pub fn state(&self) -> &Arc<ServiceState> {
+        &self.state
+    }
+
+    /// Serves until a `shutdown` command arrives: accepts connections,
+    /// one handler thread per client, any number of request lines per
+    /// connection. Returns the number of sweeps the daemon ran.
+    pub fn run(self) -> std::io::Result<usize> {
+        for conn in self.listener.incoming() {
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("[serve] accept failed: {e}");
+                    continue;
+                }
+            };
+            let state = Arc::clone(&self.state);
+            std::thread::spawn(move || serve_connection(&state, stream));
+        }
+        let swept = self.state.sweeps.lock().unwrap().len();
+        let _ = std::fs::remove_file(&self.state.sock);
+        Ok(swept)
+    }
+}
+
+/// Request/response loop for one client connection.
+fn serve_connection(state: &Arc<ServiceState>, stream: UnixStream) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("[serve] cannot clone connection: {e}");
+            return;
+        }
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = Vec::new();
+    loop {
+        line.clear();
+        match reader.read_until(b'\n', &mut line) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("[serve] read failed: {e}");
+                return;
+            }
+        }
+        if line.iter().all(|b| b.is_ascii_whitespace()) {
+            continue;
+        }
+        let response = handle_line(state, &line);
+        let mut out = response.body.render();
+        out.push('\n');
+        if let Err(e) = writer.write_all(out.as_bytes()) {
+            eprintln!("[serve] write failed: {e}");
+            return;
+        }
+        if response.shutdown {
+            // Flip the flag, then poke the accept loop awake with a
+            // throwaway connection so it observes the flag and exits.
+            state.shutdown.store(true, Ordering::SeqCst);
+            let _ = UnixStream::connect(&state.sock);
+            return;
+        }
+    }
+}
+
+/// One client round-trip: connect, send `body` as a line, read one
+/// response line back.
+pub fn request(sock: &Path, body: &JsonValue) -> std::io::Result<JsonValue> {
+    let mut stream = UnixStream::connect(sock)?;
+    let mut out = body.render();
+    out.push('\n');
+    stream.write_all(out.as_bytes())?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    JsonValue::parse(line.trim()).map_err(|e| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("malformed daemon response: {e}"),
+        )
+    })
+}

@@ -38,15 +38,17 @@
 //!   may be transient (cycle budget, fault injection), and a durable
 //!   cache must not make a bad day permanent.
 
+use std::collections::HashSet;
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use xloops_sim::RunOptions;
 use xloops_stats::{binary, JsonValue, StatSet};
 
-use crate::manifest::{request_point, ExperimentSpec, PointResult, ShardDoc};
-use crate::runner::{PrefillInfo, RunFailure, Runner};
+use crate::manifest::{PointResult, ShardDoc};
+
+pub use crate::sched::{run_shard_stored, run_specs_stored, StoredSweepResult};
 
 /// Store-entry filename extension (binary-encoded [`PointResult`]).
 const ENTRY_EXT: &str = "dxr";
@@ -58,8 +60,10 @@ const ENTRY_EXT: &str = "dxr";
 #[derive(Debug)]
 pub struct ResultStore {
     dir: PathBuf,
+    quiet: AtomicBool,
     hits: AtomicU64,
     misses: AtomicU64,
+    corrupt: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
 }
@@ -71,6 +75,9 @@ pub struct StoreStats {
     pub hits: u64,
     /// Probes that found no (usable) entry.
     pub misses: u64,
+    /// The subset of misses caused by a *damaged* entry (torn write,
+    /// bit rot, schema drift) rather than an absent one.
+    pub corrupt: u64,
     /// Total bytes of entries read.
     pub bytes_read: u64,
     /// Total bytes of entries written.
@@ -84,10 +91,39 @@ impl StoreStats {
         JsonValue::object(vec![
             ("hits", JsonValue::UInt(self.hits)),
             ("misses", JsonValue::UInt(self.misses)),
+            ("corrupt", JsonValue::UInt(self.corrupt)),
             ("bytes_read", JsonValue::UInt(self.bytes_read)),
             ("bytes_written", JsonValue::UInt(self.bytes_written)),
         ])
     }
+}
+
+/// How a [`ResultStore::load_classified`] probe resolved. The scheduler
+/// needs the three-way split — an absent entry is normal cold-cache
+/// behavior, a corrupt one is worth a warning and a
+/// `profile.store.corrupt` count — while plain [`ResultStore::load`]
+/// callers still see both as a miss.
+#[derive(Debug)]
+pub(crate) enum Loaded {
+    /// A usable entry: the decoded result and its size in bytes.
+    Hit(PointResult, u64),
+    /// No entry on disk.
+    Absent,
+    /// An entry exists but cannot be used (I/O error, failed checksum,
+    /// schema mismatch); the point must re-simulate and the entry will be
+    /// rewritten whole.
+    Corrupt,
+}
+
+/// Report of a [`ResultStore::prune`] pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PruneReport {
+    /// Entries whose key is live under some given manifest.
+    pub kept: u64,
+    /// Entries (and temp-file stragglers) deleted.
+    pub pruned: u64,
+    /// Total size of the deleted files.
+    pub bytes_freed: u64,
 }
 
 impl ResultStore {
@@ -95,13 +131,33 @@ impl ResultStore {
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<ResultStore> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
+        let quiet = std::env::var("XLOOPS_STORE_QUIET").is_ok_and(|v| v == "1");
         Ok(ResultStore {
             dir,
+            quiet: AtomicBool::new(quiet),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
             bytes_read: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
         })
+    }
+
+    /// Silences (or re-enables) the store's stderr warnings. Initialized
+    /// from `XLOOPS_STORE_QUIET=1`; the serve daemon also sets it, because
+    /// a daemon's corruption diagnostics belong in its own log stream, not
+    /// interleaved with whatever client happens to be connected. Damage is
+    /// still *counted* (`StoreStats::corrupt`, `profile.store.corrupt`)
+    /// either way — quiet mutes the messenger, never the measurement.
+    pub fn set_quiet(&self, quiet: bool) {
+        self.quiet.store(quiet, Ordering::Relaxed);
+    }
+
+    /// One store warning on stderr, unless the store is quiet.
+    pub(crate) fn warn(&self, message: std::fmt::Arguments<'_>) {
+        if !self.quiet.load(Ordering::Relaxed) {
+            eprintln!("[store] warning: {message}");
+        }
     }
 
     /// The store named by `XLOOPS_STORE`, if set. An unopenable directory
@@ -153,32 +209,44 @@ impl ResultStore {
     /// Loads the entry under `key`, returning the result and the entry's
     /// size in bytes. Any failure — absent file, I/O error, failed
     /// checksum, schema mismatch — is a miss; only the non-absent kinds
-    /// warn on stderr.
+    /// warn on stderr (through the quiet-respecting path) and count as
+    /// corruption.
     pub fn load(&self, key: &str) -> Option<(PointResult, u64)> {
+        match self.load_classified(key) {
+            Loaded::Hit(result, bytes) => Some((result, bytes)),
+            Loaded::Absent | Loaded::Corrupt => None,
+        }
+    }
+
+    /// [`ResultStore::load`] with the miss cause preserved — the
+    /// scheduler's probe wants to know a damaged entry from a cold one.
+    pub(crate) fn load_classified(&self, key: &str) -> Loaded {
         let path = self.entry_path(key);
-        let miss = |warn: Option<String>| {
-            if let Some(w) = warn {
-                eprintln!("[store] warning: {}: {w}; treating as a miss", path.display());
-            }
+        let corrupt = |w: String| {
+            self.warn(format_args!("{}: {w}; treating as a miss", path.display()));
             self.misses.fetch_add(1, Ordering::Relaxed);
-            None
+            self.corrupt.fetch_add(1, Ordering::Relaxed);
+            Loaded::Corrupt
         };
         let bytes = match fs::read(&path) {
             Ok(b) => b,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return miss(None),
-            Err(e) => return miss(Some(e.to_string())),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return Loaded::Absent;
+            }
+            Err(e) => return corrupt(e.to_string()),
         };
         let value = match binary::decode(&bytes) {
             Ok(v) => v,
-            Err(e) => return miss(Some(e.to_string())),
+            Err(e) => return corrupt(e.to_string()),
         };
         let result = match PointResult::from_json_value(&value) {
             Ok(r) => r,
-            Err(e) => return miss(Some(e.to_string())),
+            Err(e) => return corrupt(e.to_string()),
         };
         self.hits.fetch_add(1, Ordering::Relaxed);
         self.bytes_read.fetch_add(bytes.len() as u64, Ordering::Relaxed);
-        Some((result, bytes.len() as u64))
+        Loaded::Hit(result, bytes.len() as u64)
     }
 
     /// Writes `result` under `key` via temp file + fsync + atomic rename,
@@ -216,9 +284,37 @@ impl ResultStore {
                 continue;
             }
             if let Err(e) = self.save(&key, pr) {
-                eprintln!("[store] warning: cannot backfill entry {key}: {e}");
+                self.warn(format_args!("cannot backfill entry {key}: {e}"));
             }
         }
+    }
+
+    /// Deletes every entry whose key is not in `live`, plus any `.tmp-*`
+    /// stragglers a crashed writer left behind. Files that are neither
+    /// entries nor stragglers are not the store's to touch and are left
+    /// alone. The caller assembles `live` from manifests via
+    /// [`ResultStore::point_key`] — see `xloops store prune`.
+    pub fn prune(&self, live: &HashSet<String>) -> std::io::Result<PruneReport> {
+        let mut report = PruneReport::default();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+            let dead = match name.strip_suffix(&format!(".{ENTRY_EXT}")) {
+                Some(key) => !live.contains(key),
+                None => name.starts_with(".tmp-"),
+            };
+            if !dead {
+                if !name.starts_with(".tmp-") && name.ends_with(&format!(".{ENTRY_EXT}")) {
+                    report.kept += 1;
+                }
+                continue;
+            }
+            let bytes = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            fs::remove_file(&path)?;
+            report.pruned += 1;
+            report.bytes_freed += bytes;
+        }
+        Ok(report)
     }
 
     /// Snapshot of the traffic counters.
@@ -226,6 +322,7 @@ impl ResultStore {
         StoreStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
         }
@@ -235,10 +332,12 @@ impl ResultStore {
 /// Grafts a `store` child onto the result's `profile` node (creating the
 /// node if the tree has none) so per-point cache traffic rides in the
 /// non-deterministic profile stat family, never in golden artifacts.
-fn attach_store_counters(stats: &mut StatSet, hit: bool, bytes: u64) {
+/// Called by the scheduler's assembly pass ([`crate::sched`]).
+pub(crate) fn attach_store_counters(stats: &mut StatSet, hit: bool, bytes: u64, corrupt: bool) {
     let mut store = StatSet::new("store");
     store.set("hits", hit as u64);
     store.set("misses", !hit as u64);
+    store.set("corrupt", corrupt as u64);
     store.set("bytes_read", if hit { bytes } else { 0 });
     store.set("bytes_written", if hit { 0 } else { bytes });
     match stats.child_mut("profile") {
@@ -253,152 +352,10 @@ fn attach_store_counters(stats: &mut StatSet, hit: bool, bytes: u64) {
     }
 }
 
-/// One spec's store probe: the point indices in play and, per index, the
-/// loaded entry (hit) or `None` (miss, to be simulated).
-struct Probe {
-    fingerprint: String,
-    indices: Vec<usize>,
-    loaded: Vec<Option<(PointResult, u64)>>,
-}
-
-fn probe(
-    store: &ResultStore,
-    spec: &ExperimentSpec,
-    indices: Vec<usize>,
-    options: &RunOptions,
-) -> Probe {
-    let fingerprint = spec.fingerprint();
-    let loaded = indices
-        .iter()
-        .map(|&i| store.load(&ResultStore::point_key(&fingerprint, i, options)))
-        .collect();
-    Probe { fingerprint, indices, loaded }
-}
-
-/// Requests every *missed* point of `probe` through the runner — called
-/// once collecting and once live, like [`crate::manifest::run_spec`].
-fn request_misses(r: &Runner, spec: &ExperimentSpec, probe: &Probe) -> Vec<PointResult> {
-    probe
-        .indices
-        .iter()
-        .zip(&probe.loaded)
-        .filter(|(_, slot)| slot.is_none())
-        .map(|(&i, _)| {
-            let p = &spec.points[i];
-            PointResult::from_run(&request_point(r, p), p.config.is_ooo())
-        })
-        .collect()
-}
-
-/// Zips hits and freshly simulated misses back into point order, saving
-/// each fresh non-errored result and (under `options.profile`) grafting
-/// the per-point `profile.store` counters on.
-fn assemble(
-    store: &ResultStore,
-    probe: Probe,
-    fresh: Vec<PointResult>,
-    options: &RunOptions,
-) -> Vec<(usize, PointResult)> {
-    let mut fresh = fresh.into_iter();
-    probe
-        .indices
-        .into_iter()
-        .zip(probe.loaded)
-        .map(|(i, slot)| {
-            let (hit, bytes, mut result) = match slot {
-                Some((result, bytes)) => (true, bytes, result),
-                None => {
-                    let result = fresh.next().expect("one fresh result per miss");
-                    let mut written = 0;
-                    if result.error.is_none() {
-                        let key = ResultStore::point_key(&probe.fingerprint, i, options);
-                        match store.save(&key, &result) {
-                            Ok(n) => written = n,
-                            Err(e) => eprintln!(
-                                "[store] warning: cannot write entry {key}: {e}; result kept in memory"
-                            ),
-                        }
-                    }
-                    (false, written, result)
-                }
-            };
-            if options.profile {
-                attach_store_counters(&mut result.stats, hit, bytes);
-            }
-            (i, result)
-        })
-        .collect()
-}
-
-/// [`crate::manifest::run_shard`] with an optional durable store: hits
-/// are served from disk, only misses enter the two-pass simulate
-/// protocol, and fresh results are written back. `None` is exactly the
-/// storeless behavior.
-pub fn run_shard_stored(
-    spec: &ExperimentSpec,
-    index: usize,
-    of: usize,
-    options: RunOptions,
-    store: Option<&ResultStore>,
-) -> ShardDoc {
-    let Some(store) = store else {
-        return crate::manifest::run_shard(spec, index, of, options);
-    };
-    assert!(of > 0 && index < of, "impossible shard {index}/{of}");
-    let owned = crate::manifest::shard_points(spec, index, of);
-    let probed = probe(store, spec, owned, &options);
-    let runner = Runner::collecting_with(options.clone());
-    let _ = request_misses(&runner, spec, &probed);
-    runner.prefill();
-    let fresh = request_misses(&runner, spec, &probed);
-    let results = assemble(store, probed, fresh, &options);
-    ShardDoc { fingerprint: spec.fingerprint(), index, of, options, spec: spec.clone(), results }
-}
-
-/// Results of a store-backed multi-spec sweep.
-#[derive(Clone, Debug)]
-pub struct StoredSweepResult {
-    /// Per-spec, per-point results (spec and point order), ready for
-    /// [`crate::manifest::render_spec`].
-    pub results: Vec<Vec<PointResult>>,
-    /// Quarantined simulation points across all specs.
-    pub failures: Vec<RunFailure>,
-    /// Prefill summary (unique *simulated* points; hits never enter it).
-    pub prefill: PrefillInfo,
-}
-
-/// Runs every spec against one shared runner with store consultation:
-/// points present in the store are read, the rest are deduplicated
-/// *across specs* (like `--bin all`'s shared collecting runner) and
-/// simulated once, then written back.
-pub fn run_specs_stored(
-    specs: &[ExperimentSpec],
-    options: &RunOptions,
-    store: &ResultStore,
-) -> StoredSweepResult {
-    let probes: Vec<Probe> = specs
-        .iter()
-        .map(|spec| probe(store, spec, (0..spec.points.len()).collect(), options))
-        .collect();
-    let runner = Runner::collecting_with(options.clone());
-    let simulate = |r: &Runner| -> Vec<Vec<PointResult>> {
-        specs.iter().zip(&probes).map(|(spec, p)| request_misses(r, spec, p)).collect()
-    };
-    let _ = simulate(&runner);
-    let prefill = runner.prefill();
-    let fresh = simulate(&runner);
-    let results = probes
-        .into_iter()
-        .zip(fresh)
-        .map(|(p, f)| assemble(store, p, f, options).into_iter().map(|(_, r)| r).collect())
-        .collect();
-    StoredSweepResult { results, failures: runner.failures(), prefill }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::manifest::{merge, render_spec, run_shard};
+    use crate::manifest::{merge, render_spec, run_shard, ExperimentSpec};
 
     fn store_dir(tag: &str) -> PathBuf {
         let mut dir = std::env::temp_dir();
@@ -560,6 +517,88 @@ mod tests {
                 "store-backed render must match the plain one"
             );
         }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Golden keys: `point_key` is the on-disk address of every stored
+    /// result, so changing it silently orphans every existing store. This
+    /// pins the exact hash for a representative options spread; if it
+    /// fails, either restore compatibility or document the store
+    /// generation bump in DESIGN.md and bump `FORMAT_VERSION`.
+    #[test]
+    fn point_key_is_pinned() {
+        let fp = "0123456789abcdef";
+        let sampled = RunOptions {
+            sample: Some(xloops_sim::SampleSpec::new(10000, 2000, 10000).unwrap()),
+            ..RunOptions::default()
+        };
+        let supervised = RunOptions {
+            supervisor: Some(xloops_sim::SupervisorConfig::protected()),
+            ..RunOptions::default()
+        };
+        let keys = [
+            ResultStore::point_key(fp, 7, &RunOptions::default()),
+            ResultStore::point_key(fp, 7, &sampled),
+            ResultStore::point_key(fp, 7, &supervised),
+            ResultStore::point_key(fp, 8, &RunOptions::default()),
+        ];
+        assert_eq!(
+            keys,
+            [
+                "3bbd390446adcd6c".to_string(),
+                "98f07319880c7d9b".to_string(),
+                "c2c3c6d55398b2bf".to_string(),
+                "2ab873f2b7d076d5".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn prune_keeps_live_entries_and_sweeps_the_rest() {
+        let dir = store_dir("prune");
+        let store = ResultStore::open(&dir).unwrap();
+        let spec = fig9ish_spec();
+        let options = RunOptions::default();
+        let _ = run_shard_stored(&spec, 0, 1, options.clone(), Some(&store));
+
+        // A dead entry (stale key), an orphaned temp file, and a foreign
+        // file that prune must not touch.
+        fs::write(dir.join(format!("{:016x}.{ENTRY_EXT}", 0xdeadu64)), b"stale").unwrap();
+        fs::write(dir.join(".tmp-feedface-99999"), b"orphan").unwrap();
+        fs::write(dir.join("README.txt"), b"not a store entry").unwrap();
+
+        let fp = spec.fingerprint();
+        let live: HashSet<String> =
+            (0..spec.points.len()).map(|i| ResultStore::point_key(&fp, i, &options)).collect();
+        let report = store.prune(&live).unwrap();
+        assert_eq!(report.kept as usize, spec.points.len());
+        assert_eq!(report.pruned, 2, "stale entry + orphaned temp file");
+        assert!(report.bytes_freed > 0);
+        assert!(dir.join("README.txt").exists(), "foreign files survive prune");
+
+        // Every live entry still serves.
+        let warm = ResultStore::open(&dir).unwrap();
+        let _ = run_shard_stored(&spec, 0, 1, options, Some(&warm));
+        assert_eq!(warm.stats().hits as usize, spec.points.len());
+        assert_eq!(warm.stats().misses, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_loads_are_counted_and_quiet_suppresses_nothing_else() {
+        let dir = store_dir("quietcorrupt");
+        let store = ResultStore::open(&dir).unwrap();
+        store.set_quiet(true); // keep the damage warning out of test output
+        let key = ResultStore::point_key("feedfacefeedface", 0, &RunOptions::default());
+        fs::write(dir.join(format!("{key}.{ENTRY_EXT}")), b"\xd8XLS garbage").unwrap();
+        assert!(store.load(&key).is_none());
+        let s = store.stats();
+        assert_eq!(s.corrupt, 1, "damaged entry must be counted, not just missed");
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.to_json_value().get("corrupt").and_then(JsonValue::as_f64), Some(1.0));
+        // An absent key is a plain miss, not corruption.
+        assert!(store.load("0000000000000000").is_none());
+        assert_eq!(store.stats().corrupt, 1);
         let _ = fs::remove_dir_all(&dir);
     }
 }

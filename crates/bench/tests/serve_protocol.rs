@@ -1,0 +1,128 @@
+//! Property tests for the daemon's parse surface: [`handle_line`] is the
+//! only place `xloops serve` touches client-controlled bytes, and it must
+//! never panic — a malformed line from one client must not take down the
+//! sweeps every other client is waiting on. Byte soup, ASCII soup, and
+//! JSON-shaped soup all go straight in; every response must be a
+//! single-line document with an `ok` flag, and every refusal must carry
+//! the canonical `error_doc` shape (`message` + `exit_code` 2, the CLI's
+//! usage-error code). The deterministic cases below pin the happy-path
+//! round trips the thin clients rely on.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use xloops_bench::serve::{handle_line, ServiceState};
+use xloops_sim::RunOptions;
+use xloops_stats::JsonValue;
+
+fn state() -> Arc<ServiceState> {
+    // The socket path is never dereferenced by `handle_line`; no store and
+    // default options keep refused requests from touching the filesystem.
+    Arc::new(ServiceState::new(
+        PathBuf::from("/nonexistent/xloops-protocol-test.sock"),
+        None,
+        RunOptions::default(),
+    ))
+}
+
+fn ok_flag(doc: &JsonValue) -> Option<bool> {
+    doc.get("ok").and_then(JsonValue::as_bool)
+}
+
+fn exit_code(doc: &JsonValue) -> Option<f64> {
+    doc.get("error").and_then(|e| e.get("exit_code")).and_then(JsonValue::as_f64)
+}
+
+/// Every well-formed refusal or success must satisfy the wire contract:
+/// an `ok` flag, one line, and (when refused) a complete error document.
+fn assert_wire_contract(resp: &xloops_bench::serve::Response) {
+    let ok = ok_flag(&resp.body).expect("response carries an `ok` flag");
+    let rendered = resp.body.render();
+    assert!(!rendered.contains('\n'), "responses are single lines: {rendered}");
+    if !ok {
+        assert!(!resp.shutdown, "a refused request must not stop the daemon");
+        let msg = resp.body.get("error").and_then(|e| e.get("message")).and_then(JsonValue::as_str);
+        assert!(msg.is_some(), "refusals carry a message: {rendered}");
+        assert_eq!(exit_code(&resp.body), Some(2.0), "refusals use the usage-error code");
+    }
+}
+
+proptest! {
+    /// Arbitrary bytes (including interior NULs and invalid UTF-8) never
+    /// panic the daemon and always produce a contract-conforming line.
+    #[test]
+    fn byte_soup_never_panics(line in prop::collection::vec(any::<u8>(), 0..256)) {
+        let st = state();
+        let resp = handle_line(&st, &line);
+        assert_wire_contract(&resp);
+    }
+
+    /// Printable-ASCII soup: mostly JSON-adjacent garbage.
+    #[test]
+    fn text_soup_never_panics(bytes in prop::collection::vec(0x20u8..0x7f, 0..200)) {
+        let st = state();
+        let resp = handle_line(&st, &bytes);
+        assert_wire_contract(&resp);
+    }
+
+    /// JSON-shaped soup: structurally valid documents with arbitrary
+    /// command names and junk fields exercise the dispatch arms.
+    #[test]
+    fn json_soup_never_panics(
+        cmd in prop::sample::select(vec![
+            "", "ping", "submit", "status", "shutdown", "frobnicate", "PING", "submit ",
+        ]),
+        job in prop::sample::select(vec!["", "0", "0000000000000000", "not-a-fingerprint"]),
+        extra in any::<u64>(),
+    ) {
+        let st = state();
+        let doc = JsonValue::object(vec![
+            ("cmd", JsonValue::Str(cmd.to_string())),
+            ("job", JsonValue::Str(job.to_string())),
+            ("manifest", JsonValue::UInt(extra)),
+        ]);
+        let resp = handle_line(&st, doc.render().as_bytes());
+        assert_wire_contract(&resp);
+    }
+}
+
+#[test]
+fn ping_round_trips() {
+    let st = state();
+    let resp = handle_line(&st, br#"{"cmd":"ping"}"#);
+    assert_eq!(ok_flag(&resp.body), Some(true));
+    assert_eq!(resp.body.get("pong").and_then(JsonValue::as_bool), Some(true));
+    assert!(!resp.shutdown);
+}
+
+#[test]
+fn shutdown_flags_the_daemon() {
+    let st = state();
+    let resp = handle_line(&st, br#"{"cmd":"shutdown"}"#);
+    assert_eq!(ok_flag(&resp.body), Some(true));
+    assert!(resp.shutdown);
+}
+
+#[test]
+fn malformed_requests_are_refused_not_fatal() {
+    let st = state();
+    for line in [
+        &b""[..],
+        b"   \n",
+        b"\xff\xfe{\"cmd\":\"ping\"}",
+        b"not json at all",
+        b"{\"cmd\":42}",
+        b"{\"no\":\"cmd\"}",
+        b"{\"cmd\":\"frobnicate\"}",
+        b"{\"cmd\":\"status\"}",
+        b"{\"cmd\":\"status\",\"job\":\"0000000000000000\"}",
+        b"{\"cmd\":\"submit\"}",
+        b"{\"cmd\":\"submit\",\"manifest\":{}}",
+        b"{\"cmd\":\"submit\",\"manifest\":[1,2,3]}",
+    ] {
+        let resp = handle_line(&st, line);
+        assert_eq!(ok_flag(&resp.body), Some(false), "{:?}", String::from_utf8_lossy(line));
+        assert_wire_contract(&resp);
+    }
+}

@@ -3,6 +3,21 @@ use std::fmt;
 use xloops_func::{ExecError, ExecFault};
 use xloops_isa::Reg;
 use xloops_lpsu::LpsuError;
+use xloops_stats::JsonValue;
+
+/// The one canonical error-document shape every machine-readable surface
+/// uses: `{"message": ..., "exit_code": ...}`. The CLI's `--stats json`
+/// error output, `bench-summary`'s `"errors"` array, and the serve
+/// daemon's per-job failure reports all render through here, so a client
+/// parses one schema no matter which surface produced the failure.
+/// Failures with no [`SimError`] class behind them (panics, verification
+/// failures) use the generic exit code `1`.
+pub fn error_doc(message: &str, exit_code: i32) -> JsonValue {
+    JsonValue::object(vec![
+        ("message", JsonValue::Str(message.to_string())),
+        ("exit_code", JsonValue::Int(exit_code as i64)),
+    ])
+}
 
 /// Errors surfaced by a system-level run — the typed, non-panicking
 /// taxonomy every engine's failure threads through. Each variant carries
@@ -120,6 +135,12 @@ impl SimError {
             SimError::CycleBudget { .. } => 5,
             _ => 1,
         }
+    }
+
+    /// The error as the canonical [`error_doc`] document: the one-line
+    /// diagnosis plus the class's exit code.
+    pub fn to_json_value(&self) -> JsonValue {
+        error_doc(&self.to_string(), self.exit_code())
     }
 }
 

@@ -29,7 +29,7 @@ mod system;
 
 pub use adaptive::{Apt, Decision};
 pub use config::{ConfigKey, ExecMode, SystemConfig};
-pub use error::SimError;
+pub use error::{error_doc, SimError};
 pub use options::RunOptions;
 pub use sampling::{ParseSampleSpecError, SampleSpec, SamplingStats};
 pub use stats::{ProfileStats, SystemStats};

@@ -22,7 +22,11 @@
 //! | `XLOOPS_SAMPLE=N:W:M` | interval-sampled simulation: fast-forward N instructions, warm W cycles, measure M cycles |
 //!
 //! (`XLOOPS_PROFILE_KERNELS` / `XLOOPS_PROFILE_REPS` belong to the
-//! `profile_lpsu` example only and stay local to it.)
+//! `profile_lpsu` example only and stay local to it. Three knobs are
+//! *deliberately* outside [`RunOptions`] because they name infrastructure
+//! rather than run semantics and must never change results or store keys:
+//! `XLOOPS_STORE` / `XLOOPS_STORE_QUIET` are read by the bench crate's
+//! `ResultStore`, and `XLOOPS_SOCK` by the sweep-daemon clients.)
 
 use xloops_stats::JsonValue;
 

@@ -35,11 +35,14 @@
 //! `3` simulation wedge ([`crate::sim::SimError::NoForwardProgress`]),
 //! `4` architectural/injected fault, `5` exceeded cycle budget.
 
+use std::collections::HashSet;
 use std::fmt::Write as _;
+use std::path::PathBuf;
 
 use crate::asm::{assemble, disassemble, Program};
 use crate::bench::experiments::{all_specs, spec_by_name};
 use crate::bench::manifest::{render_spec, ExperimentSpec, MergeFold, ShardDoc};
+use crate::bench::serve::{self, Daemon};
 use crate::bench::store::run_shard_stored;
 use crate::bench::ResultStore;
 use crate::kernels;
@@ -77,15 +80,12 @@ impl From<&str> for CliError {
 /// Maps a simulation error to its CLI surface: distinct exit code, the
 /// one-line diagnosis (a wedge reports the loop pc and stalled-context
 /// count), and a JSON error document when `--stats json` was requested.
+/// The document body is [`SimError::to_json_value`] — the same canonical
+/// shape `bench-summary`'s `"errors"` array and the serve daemon's
+/// per-job failure reports use.
 fn sim_error(e: SimError, stats_json: bool) -> CliError {
     let json = stats_json.then(|| {
-        let doc = JsonValue::object(vec![(
-            "error",
-            JsonValue::object(vec![
-                ("message", JsonValue::Str(e.to_string())),
-                ("exit_code", JsonValue::Int(e.exit_code() as i64)),
-            ]),
-        )]);
+        let doc = JsonValue::object(vec![("error", e.to_json_value())]);
         doc.render() + "\n"
     });
     CliError { code: e.exit_code(), message: e.to_string(), json }
@@ -151,6 +151,37 @@ pub enum Command {
     /// folded, and dropped before the next is opened.
     Merge {
         shards: Vec<String>,
+        store: Option<String>,
+    },
+    /// `serve [--sock PATH] [--store DIR]`: host the scheduler as a
+    /// long-running daemon on a Unix socket (blocks until `shutdown`).
+    Serve {
+        sock: Option<String>,
+        store: Option<String>,
+    },
+    /// `submit MANIFEST [--wait] [--sock PATH]`: send a manifest to the
+    /// daemon; `manifest` holds the spec file's contents. With `--wait`
+    /// the rendered artifact is the output.
+    Submit {
+        manifest: String,
+        wait: bool,
+        sock: Option<String>,
+    },
+    /// `status JOB [--sock PATH]`: query a submitted sweep by its job id
+    /// (the manifest fingerprint).
+    Status {
+        job: String,
+        sock: Option<String>,
+    },
+    /// `shutdown [--sock PATH]`: stop the daemon cleanly.
+    Shutdown {
+        sock: Option<String>,
+    },
+    /// `store prune --manifest FILE... [--store DIR]`: delete store
+    /// entries no manifest's points (under the current `XLOOPS_*` run
+    /// options) can ever hit again. `manifests` holds spec file contents.
+    StorePrune {
+        manifests: Vec<String>,
         store: Option<String>,
     },
     Help,
@@ -244,13 +275,21 @@ pub fn usage() -> &'static str {
      \x20 xloops kernel <name> [--config C] [--mode M] [--stats F]\n\
      \x20 xloops manifest [<name>] [-o <file>]\n\
      \x20 xloops sweep --manifest <file> [--shard K/N] [--store DIR] [--out <file>]\n\
-     \x20 xloops merge [--store DIR] <shard.json|shard.dxs>...\n\n\
+     \x20 xloops merge [--store DIR] <shard.json|shard.dxs>...\n\
+     \x20 xloops serve [--sock PATH] [--store DIR]\n\
+     \x20 xloops submit <spec.json> [--wait] [--sock PATH]\n\
+     \x20 xloops status <job> [--sock PATH]\n\
+     \x20 xloops shutdown [--sock PATH]\n\
+     \x20 xloops store prune --manifest <file>... [--store DIR]\n\n\
      configs: io ooo2 ooo4 io+x ooo2+x ooo4+x   modes: traditional specialized adaptive\n\
      stats formats: text (default) json\n\
      supervision (run/kernel): --faults SEED[:N]  --checkpoint CYCLES  --budget CYCLES\n\
      sampling (run/kernel):    --sample N:W:M (ff N instrs, warm W cycles, measure M cycles)\n\
-     store (sweep/merge): --store DIR (or XLOOPS_STORE=DIR) caches point results durably;\n\
-     \x20                  a sweep --out ending in .dxs writes the binary shard format\n\
+     store (sweep/merge/serve/prune): --store DIR (or XLOOPS_STORE=DIR) caches point\n\
+     \x20                  results durably; a sweep --out ending in .dxs writes the\n\
+     \x20                  binary shard format\n\
+     daemon (serve/submit/status/shutdown): --sock PATH (or XLOOPS_SOCK=PATH) names the\n\
+     \x20                  Unix socket; a sweep's job id is its manifest fingerprint\n\
      exit codes: 0 ok, 1 error, 2 usage, 3 wedge, 4 fault, 5 cycle budget\n"
 }
 
@@ -451,6 +490,101 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 return Err("merge expects at least one shard file".into());
             }
             Ok(Command::Merge { shards, store })
+        }
+        "serve" => {
+            let mut sock = None;
+            let mut store = None;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                let mut next =
+                    |what: &str| it.next().cloned().ok_or_else(|| format!("{a} expects {what}"));
+                match a.as_str() {
+                    "--sock" => sock = Some(next("a socket path")?),
+                    "--store" => store = Some(next("a directory")?),
+                    other => return Err(format!("unknown option `{other}`")),
+                }
+            }
+            Ok(Command::Serve { sock, store })
+        }
+        "submit" => {
+            let mut manifest = None;
+            let mut wait = false;
+            let mut sock = None;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--wait" => wait = true,
+                    "--sock" => {
+                        sock = Some(it.next().ok_or("--sock expects a socket path")?.clone());
+                    }
+                    other if !other.starts_with('-') && manifest.is_none() => {
+                        manifest = Some(
+                            std::fs::read_to_string(other).map_err(|e| format!("{other}: {e}"))?,
+                        );
+                    }
+                    other => return Err(format!("unknown option `{other}`")),
+                }
+            }
+            let manifest = manifest.ok_or("submit expects a manifest file")?;
+            Ok(Command::Submit { manifest, wait, sock })
+        }
+        "status" => {
+            let mut job = None;
+            let mut sock = None;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--sock" => {
+                        sock = Some(it.next().ok_or("--sock expects a socket path")?.clone());
+                    }
+                    other if !other.starts_with('-') && job.is_none() => {
+                        job = Some(other.to_string());
+                    }
+                    other => return Err(format!("unknown option `{other}`")),
+                }
+            }
+            Ok(Command::Status { job: job.ok_or("status expects a job id")?, sock })
+        }
+        "shutdown" => {
+            let mut sock = None;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--sock" => {
+                        sock = Some(it.next().ok_or("--sock expects a socket path")?.clone());
+                    }
+                    other => return Err(format!("unknown option `{other}`")),
+                }
+            }
+            Ok(Command::Shutdown { sock })
+        }
+        "store" => {
+            match args.get(1).map(String::as_str) {
+                Some("prune") => {}
+                Some(other) => return Err(format!("unknown store action `{other}`")),
+                None => return Err("store expects an action (prune)".into()),
+            }
+            let mut manifests = Vec::new();
+            let mut store = None;
+            let mut it = args[2..].iter();
+            while let Some(a) = it.next() {
+                let mut next =
+                    |what: &str| it.next().cloned().ok_or_else(|| format!("{a} expects {what}"));
+                match a.as_str() {
+                    "--manifest" => {
+                        let path = next("a spec file")?;
+                        manifests.push(
+                            std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?,
+                        );
+                    }
+                    "--store" => store = Some(next("a directory")?),
+                    other => return Err(format!("unknown option `{other}`")),
+                }
+            }
+            if manifests.is_empty() {
+                return Err("store prune expects at least one --manifest FILE".into());
+            }
+            Ok(Command::StorePrune { manifests, store })
         }
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown subcommand `{other}`\n\n{}", usage())),
@@ -665,7 +799,152 @@ pub fn execute(cmd: Command) -> Result<CommandOutput, CliError> {
             // proves the sharded path reproduced it.
             Ok((render_spec(&spec, &results), None))
         }
+        Command::Serve { sock, store } => {
+            let sock = resolve_sock(sock)?;
+            let store_dir = store.map(PathBuf::from).or_else(|| {
+                std::env::var("XLOOPS_STORE").ok().filter(|d| !d.is_empty()).map(PathBuf::from)
+            });
+            let daemon = Daemon::bind(&sock, store_dir, crate::sim::RunOptions::from_env())
+                .map_err(|e| manifest_error(format!("cannot bind {}: {e}", sock.display())))?;
+            eprintln!("[serve] listening on {}", sock.display());
+            let swept =
+                daemon.run().map_err(|e| CliError::from(format!("{}: {e}", sock.display())))?;
+            Ok((format!("served {swept} sweep(s) on {}\n", sock.display()), None))
+        }
+        Command::Submit { manifest, wait, sock } => {
+            let sock = resolve_sock(sock)?;
+            let spec = ExperimentSpec::from_json(&manifest).map_err(manifest_error)?;
+            let req = JsonValue::object(vec![
+                ("cmd", JsonValue::Str("submit".to_string())),
+                ("manifest", spec.to_json_value()),
+                ("wait", JsonValue::Bool(wait)),
+            ]);
+            let resp = daemon_request(&sock, &req)?;
+            if !wait {
+                let state = resp.get("state").and_then(JsonValue::as_str).unwrap_or("?");
+                let job = resp.get("job").and_then(JsonValue::as_str).unwrap_or("?");
+                return Ok((format!("submitted {}: job {job} ({state})\n", spec.name), None));
+            }
+            // --wait: the artifact is the output (stdout), so the traffic
+            // summary goes to stderr — exactly like `serve`'s own banner.
+            if let Some(store) = resp.get("store") {
+                let n = |k: &str| store.get(k).and_then(JsonValue::as_u64).unwrap_or(0);
+                eprintln!("store: {} hits, {} misses", n("hits"), n("misses"));
+            }
+            let failed = resp.get("failed").and_then(JsonValue::as_u64).unwrap_or(0);
+            if failed > 0 {
+                let errors = resp.get("errors").and_then(JsonValue::as_array).unwrap_or(&[]);
+                let first = errors.first();
+                let message = first
+                    .and_then(|e| e.get("message"))
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("unknown failure");
+                let code =
+                    first.and_then(|e| e.get("exit_code")).and_then(JsonValue::as_u64).unwrap_or(1)
+                        as i32;
+                return Err(CliError {
+                    code,
+                    message: format!("{failed} point(s) failed; first: {message}"),
+                    json: None,
+                });
+            }
+            let artifact =
+                resp.get("artifact").and_then(JsonValue::as_str).unwrap_or_default().to_string();
+            Ok((artifact, None))
+        }
+        Command::Status { job, sock } => {
+            let sock = resolve_sock(sock)?;
+            let req = JsonValue::object(vec![
+                ("cmd", JsonValue::Str("status".to_string())),
+                ("job", JsonValue::Str(job)),
+            ]);
+            let resp = daemon_request(&sock, &req)?;
+            let job = resp.get("job").and_then(JsonValue::as_str).unwrap_or("?");
+            let state = resp.get("state").and_then(JsonValue::as_str).unwrap_or("?");
+            let mut text = format!("job {job}: {state}\n");
+            if state == "done" {
+                let n = |k: &str| resp.get(k).and_then(JsonValue::as_u64).unwrap_or(0);
+                let _ = writeln!(text, "points: {} ({} failed)", n("points"), n("failed"));
+                if let Some(store) = resp.get("store") {
+                    let s = |k: &str| store.get(k).and_then(JsonValue::as_u64).unwrap_or(0);
+                    let _ = writeln!(text, "store: {} hits, {} misses", s("hits"), s("misses"));
+                }
+                for e in resp.get("errors").and_then(JsonValue::as_array).unwrap_or(&[]) {
+                    if let Some(m) = e.get("message").and_then(JsonValue::as_str) {
+                        let _ = writeln!(text, "error: {m}");
+                    }
+                }
+            }
+            Ok((text, None))
+        }
+        Command::Shutdown { sock } => {
+            let sock = resolve_sock(sock)?;
+            let req = JsonValue::object(vec![("cmd", JsonValue::Str("shutdown".to_string()))]);
+            daemon_request(&sock, &req)?;
+            Ok((format!("daemon on {} shutting down\n", sock.display()), None))
+        }
+        Command::StorePrune { manifests, store } => {
+            let store = open_store(store)?
+                .ok_or_else(|| manifest_error("store prune needs --store DIR or XLOOPS_STORE"))?;
+            // Live keys are options-dependent (the key hashes the
+            // result-affecting RunOptions), so prune under the same
+            // XLOOPS_* knobs the sweeps ran with.
+            let options = crate::sim::RunOptions::from_env();
+            let mut live = HashSet::new();
+            let mut text = String::new();
+            for manifest in &manifests {
+                let spec = ExperimentSpec::from_json(manifest).map_err(manifest_error)?;
+                let fingerprint = spec.fingerprint();
+                for i in 0..spec.points.len() {
+                    live.insert(ResultStore::point_key(&fingerprint, i, &options));
+                }
+                let _ = writeln!(
+                    text,
+                    "live: {} ({} points, fingerprint {fingerprint})",
+                    spec.name,
+                    spec.points.len()
+                );
+            }
+            let report = store
+                .prune(&live)
+                .map_err(|e| CliError::from(format!("prune {}: {e}", store.dir().display())))?;
+            let _ = writeln!(
+                text,
+                "pruned {}: kept {}, removed {}, freed {} bytes",
+                store.dir().display(),
+                report.kept,
+                report.pruned,
+                report.bytes_freed
+            );
+            Ok((text, None))
+        }
     }
+}
+
+/// Resolves the daemon socket path (`--sock` flag, else `XLOOPS_SOCK`);
+/// its absence is a usage error.
+fn resolve_sock(flag: Option<String>) -> Result<PathBuf, CliError> {
+    serve::sock_from(flag.map(PathBuf::from))
+        .ok_or_else(|| manifest_error("no daemon socket: pass --sock PATH or set XLOOPS_SOCK"))
+}
+
+/// One client round-trip to the daemon, with `ok:false` responses mapped
+/// to a [`CliError`] carrying the daemon's message and exit code.
+fn daemon_request(sock: &std::path::Path, req: &JsonValue) -> Result<JsonValue, CliError> {
+    let resp = serve::request(sock, req)
+        .map_err(|e| CliError::from(format!("{}: {e}", sock.display())))?;
+    if resp.get("ok").and_then(JsonValue::as_bool) == Some(true) {
+        return Ok(resp);
+    }
+    let error = resp.get("error");
+    let message = error
+        .and_then(|e| e.get("message"))
+        .and_then(JsonValue::as_str)
+        .unwrap_or("malformed daemon response")
+        .to_string();
+    let code =
+        error.and_then(|e| e.get("exit_code")).and_then(JsonValue::as_u64).unwrap_or(1) as i32;
+    Err(CliError { code, message, json: None })
 }
 
 /// Whether the configured GPP pays out-of-order energy accounting (the
