@@ -30,6 +30,7 @@ pub mod runner;
 pub mod sched;
 pub mod serve;
 pub mod store;
+pub mod worker;
 
 use std::fmt::Write as _;
 use std::fs;

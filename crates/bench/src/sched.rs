@@ -39,15 +39,20 @@
 //! finished ones in the store, and only dispatches the rest.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
-use xloops_sim::RunOptions;
-use xloops_stats::StatSet;
+use xloops_kernels::by_name;
+use xloops_sim::{ExecMode, RunOptions, SystemConfig};
+use xloops_stats::{JsonValue, StatSet};
 
 use crate::job::{Job, JobState};
-use crate::manifest::{request_point, shard_points, ExperimentSpec, PointResult, ShardDoc};
-use crate::runner::{PrefillInfo, RunFailure, Runner};
+use crate::manifest::{
+    request_point, shard_points, ExperimentSpec, PointResult, ShardDoc, SpecPoint,
+};
+use crate::runner::{PrefillInfo, RunFailure, RunKey, Runner};
 use crate::store::{attach_store_counters, Loaded, ResultStore};
+use crate::worker::{PoolConfig, WireJob, WorkerPool};
 
 /// Runs every item through `run` on a work-stealing pool of `workers`
 /// threads, returning the results in item order. `run` receives the item
@@ -111,6 +116,89 @@ pub enum ProgressEvent {
         /// Whether the terminal state is `Done` (vs failed/quarantined).
         ok: bool,
     },
+}
+
+/// Live, lock-free sweep progress: the mutable counterpart of the
+/// deterministic [`ProgressEvent`] stream, for *observers* (the serve
+/// daemon's `status` responses) rather than for artifacts. The scheduler
+/// ticks it as jobs are admitted, resolved from the store, dispatched,
+/// and finished; under the worker pool the ticks are live per job, while
+/// the in-process path is coarser (misses all start together) and is
+/// trued up by [`SweepProgress::finalize`] when the sweep assembles.
+/// Readers may see momentarily stale counts — never a torn document.
+#[derive(Debug, Default)]
+pub struct SweepProgress {
+    total: AtomicU64,
+    running: AtomicU64,
+    done: AtomicU64,
+    failed: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl SweepProgress {
+    /// A zeroed tracker.
+    pub fn new() -> SweepProgress {
+        SweepProgress::default()
+    }
+
+    /// Admits `n` jobs to the sweep.
+    pub fn admit(&self, n: u64) {
+        self.total.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Resolves `n` jobs from the durable store (hits count as done).
+    pub fn hit(&self, n: u64) {
+        self.hits.fetch_add(n, Ordering::Relaxed);
+        self.done.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Marks `n` jobs dispatched.
+    pub fn start(&self, n: u64) {
+        self.running.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Marks `n` dispatched jobs terminal.
+    pub fn finish(&self, n: u64, ok: bool) {
+        self.running.fetch_sub(n, Ordering::Relaxed);
+        if ok {
+            self.done.fetch_add(n, Ordering::Relaxed);
+        } else {
+            self.failed.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Settles the exact terminal counts once the sweep has assembled
+    /// (the in-process path only ticks coarsely while running).
+    pub fn finalize(&self, done: u64, failed: u64) {
+        self.done.store(done, Ordering::Relaxed);
+        self.failed.store(failed, Ordering::Relaxed);
+        self.running.store(0, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough snapshot: `(total, queued, running, done,
+    /// failed, hits)`, with `queued` derived so the five always sum.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64, u64) {
+        let total = self.total.load(Ordering::Relaxed);
+        let running = self.running.load(Ordering::Relaxed);
+        let done = self.done.load(Ordering::Relaxed);
+        let failed = self.failed.load(Ordering::Relaxed);
+        let hits = self.hits.load(Ordering::Relaxed);
+        let queued = total.saturating_sub(running + done + failed);
+        (total, queued, running, done, failed, hits)
+    }
+
+    /// The snapshot as the JSON document `status` responses embed.
+    pub fn to_json_value(&self) -> JsonValue {
+        let (total, queued, running, done, failed, hits) = self.snapshot();
+        JsonValue::object(vec![
+            ("total", JsonValue::UInt(total)),
+            ("queued", JsonValue::UInt(queued)),
+            ("running", JsonValue::UInt(running)),
+            ("done", JsonValue::UInt(done)),
+            ("failed", JsonValue::UInt(failed)),
+            ("hits", JsonValue::UInt(hits)),
+        ])
+    }
 }
 
 /// The terminal record of one job: its identity, the lifecycle state it
@@ -179,34 +267,52 @@ struct Probe {
 pub struct Scheduler<'a> {
     options: RunOptions,
     store: Option<&'a ResultStore>,
+    pool: Option<PoolConfig>,
+    progress: Option<Arc<SweepProgress>>,
 }
 
 impl<'a> Scheduler<'a> {
     /// A scheduler over `options`, consulting `store` before dispatch
-    /// (and writing fresh results through it) when present.
+    /// (and writing fresh results through it) when present. The worker
+    /// pool comes from the environment ([`PoolConfig::from_env`], i.e.
+    /// `XLOOPS_WORKERS` and friends); [`Scheduler::with_pool`] overrides.
     pub fn new(options: RunOptions, store: Option<&'a ResultStore>) -> Scheduler<'a> {
-        Scheduler { options, store }
+        Scheduler { options, store, pool: PoolConfig::from_env(), progress: None }
+    }
+
+    /// Overrides the worker-pool policy (`None` forces in-process
+    /// execution regardless of the environment).
+    pub fn with_pool(mut self, pool: Option<PoolConfig>) -> Scheduler<'a> {
+        self.pool = pool;
+        self
+    }
+
+    /// Attaches a live progress tracker for observers to poll.
+    pub fn with_progress(mut self, progress: Arc<SweepProgress>) -> Scheduler<'a> {
+        self.progress = Some(progress);
+        self
     }
 
     /// Runs every owned point of every work item: store hits resolve
-    /// immediately, the rest deduplicate through the two-pass runner
-    /// protocol and fan out over [`run_jobs`], fresh non-errored results
-    /// are written back to the store, and the outcomes come back in work
-    /// order with the deterministic event stream alongside.
+    /// immediately, the rest deduplicate and execute — on the supervised
+    /// multi-process [`WorkerPool`] when one is configured (and can
+    /// spawn), else through the two-pass runner protocol fanned out over
+    /// the in-process [`run_jobs`] — fresh non-errored results are
+    /// written back to the store, and the outcomes come back in work
+    /// order with the deterministic event stream alongside. Both
+    /// execution routes fill the same item-ordered miss slots, so the
+    /// assembled artifact bytes cannot depend on the route.
     pub fn run(&self, work: &[(&ExperimentSpec, Vec<usize>)]) -> SweepOutcome {
         let probes: Vec<Probe> =
             work.iter().map(|(spec, indices)| self.probe(spec, indices.clone())).collect();
+        if let Some(progress) = &self.progress {
+            for p in &probes {
+                progress.admit(p.indices.len() as u64);
+                progress.hit(p.loaded.iter().flatten().count() as u64);
+            }
+        }
 
-        // Two-pass protocol over the union of misses: collect the
-        // deduplicated job list, fill the cache once, render live.
-        let runner = Runner::collecting_with(self.options.clone());
-        let simulate = |r: &Runner| -> Vec<Vec<PointResult>> {
-            work.iter().zip(&probes).map(|((spec, _), p)| request_misses(r, spec, p)).collect()
-        };
-        let _ = simulate(&runner);
-        let prefill = runner.prefill();
-        let fresh = simulate(&runner);
-        let failures = runner.failures();
+        let (fresh, failures, prefill) = self.simulate(work, &probes);
 
         // Map a quarantine diagnosis back to its typed class, when the
         // failure carried one (see `RunFailure::sim`).
@@ -217,12 +323,115 @@ impl<'a> Scheduler<'a> {
 
         let mut events = Vec::new();
         let mut job = 0;
-        let outcomes = probes
+        let outcomes: Vec<Vec<JobOutcome>> = probes
             .into_iter()
             .zip(fresh)
             .map(|(p, fresh)| self.assemble(p, fresh, &typed, &mut events, &mut job))
             .collect();
+        if let Some(progress) = &self.progress {
+            let done = outcomes.iter().flatten().filter(|o| o.state.is_done()).count() as u64;
+            let failed = outcomes.iter().flatten().filter(|o| !o.state.is_done()).count() as u64;
+            progress.finalize(done, failed);
+        }
         SweepOutcome { outcomes, events, failures, prefill }
+    }
+
+    /// Simulates every missed point, per probe in index order: the
+    /// worker-pool route when configured and spawnable (degrading to
+    /// in-process with a warning otherwise), else the in-process
+    /// two-pass protocol.
+    fn simulate(
+        &self,
+        work: &[(&ExperimentSpec, Vec<usize>)],
+        probes: &[Probe],
+    ) -> (Vec<Vec<PointResult>>, Vec<RunFailure>, PrefillInfo) {
+        if let Some(cfg) = &self.pool {
+            match WorkerPool::spawn(cfg.clone()) {
+                Ok(pool) => return self.simulate_pooled(&pool, work, probes),
+                Err(e) => {
+                    eprintln!("xloops: worker pool unavailable ({e}); running in-process");
+                }
+            }
+        }
+        // Two-pass protocol over the union of misses: collect the
+        // deduplicated job list, fill the cache once, render live.
+        let misses: u64 =
+            probes.iter().map(|p| p.loaded.iter().filter(|s| s.is_none()).count() as u64).sum();
+        if let Some(progress) = &self.progress {
+            // Coarse in-process accounting: every miss is in flight for
+            // the duration of the prefill; `finalize` trues it up.
+            progress.start(misses);
+        }
+        let runner = Runner::collecting_with(self.options.clone());
+        let simulate = |r: &Runner| -> Vec<Vec<PointResult>> {
+            work.iter().zip(probes).map(|((spec, _), p)| request_misses(r, spec, p)).collect()
+        };
+        let _ = simulate(&runner);
+        let prefill = runner.prefill();
+        let fresh = simulate(&runner);
+        (fresh, runner.failures(), prefill)
+    }
+
+    /// The pooled route: deduplicate the misses by store key (the same
+    /// `(fingerprint, index, options)` identity the durable store uses),
+    /// ship each unique job to the supervised pool once, and fan the
+    /// outcomes back out to every probe slot that aliased them. The
+    /// slots are filled in exactly the order [`request_misses`] would
+    /// produce, so [`Scheduler::assemble`] — and therefore the artifact
+    /// bytes — cannot tell the routes apart.
+    fn simulate_pooled(
+        &self,
+        pool: &WorkerPool,
+        work: &[(&ExperimentSpec, Vec<usize>)],
+        probes: &[Probe],
+    ) -> (Vec<Vec<PointResult>>, Vec<RunFailure>, PrefillInfo) {
+        let mut unique: HashMap<String, usize> = HashMap::new();
+        let mut jobs: Vec<WireJob<'_>> = Vec::new();
+        // Per probe, the unique-job slot of each miss, in index order.
+        let mut slots: Vec<Vec<usize>> = Vec::with_capacity(probes.len());
+        for ((spec, _), probe) in work.iter().zip(probes) {
+            let mut mine = Vec::new();
+            for (&i, slot) in probe.indices.iter().zip(&probe.loaded) {
+                if slot.is_some() {
+                    continue;
+                }
+                let key = ResultStore::point_key(&probe.fingerprint, i, &self.options);
+                let at = *unique.entry(key).or_insert_with(|| {
+                    jobs.push(WireJob {
+                        spec,
+                        fingerprint: probe.fingerprint.clone(),
+                        index: i,
+                        options: &self.options,
+                        fanout: 0,
+                    });
+                    jobs.len() - 1
+                });
+                jobs[at].fanout += 1;
+                mine.push(at);
+            }
+            slots.push(mine);
+        }
+
+        let outcomes = pool.run(&jobs, self.progress.as_deref());
+
+        let failures = jobs
+            .iter()
+            .zip(&outcomes)
+            .filter_map(|(job, outcome)| {
+                outcome.result.error.as_ref().map(|message| RunFailure {
+                    key: run_key_for(&job.spec.points[job.index], &self.options),
+                    message: message.clone(),
+                    sim: outcome.sim.clone(),
+                })
+            })
+            .collect();
+        let fresh = slots
+            .into_iter()
+            .map(|mine| mine.into_iter().map(|at| outcomes[at].result.clone()).collect())
+            .collect();
+        let prefill =
+            PrefillInfo { unique_points: jobs.len(), workers: pool.workers(), serial: false };
+        (fresh, failures, prefill)
     }
 
     fn probe(&self, spec: &ExperimentSpec, indices: Vec<usize>) -> Probe {
@@ -331,6 +540,35 @@ impl<'a> Scheduler<'a> {
                 JobOutcome { job, state, result, hit }
             })
             .collect()
+    }
+}
+
+/// The [`RunKey`] a failed pooled point would have carried through the
+/// in-process runner: same baseline normalization (LPSU stripped, mode
+/// forced traditional, lowered) and same sampling fallback as
+/// [`request_point`], so quarantine reports name identical identities on
+/// both routes. A kernel name the spec invented keys as itself-unknown
+/// rather than panicking — the failure is the report, not a crash.
+fn run_key_for(p: &SpecPoint, options: &RunOptions) -> RunKey {
+    let kernel = by_name(&p.kernel).map(|k| k.name).unwrap_or("unknown-kernel");
+    let config = p.config.resolve();
+    if p.gp_lowered {
+        let config = SystemConfig { lpsu: None, ..config };
+        RunKey {
+            kernel,
+            config: config.key(),
+            mode: ExecMode::Traditional,
+            gp_lowered: true,
+            sample: options.sample,
+        }
+    } else {
+        RunKey {
+            kernel,
+            config: config.key(),
+            mode: p.mode,
+            gp_lowered: false,
+            sample: p.sampling.or(options.sample),
+        }
     }
 }
 

@@ -10,14 +10,18 @@
 //!
 //! ## Wire protocol
 //!
-//! One request per line, one response line per request, any number of
-//! requests per connection:
+//! One request per line, any number of requests per connection. Every
+//! request gets exactly one *final* response line; a `submit` with
+//! `wait:true` additionally streams keep-alive progress lines (marked
+//! `"hb":true`) every couple of seconds until the sweep finishes, so
+//! clients with read timeouts can tell a working daemon from a hung one:
 //!
 //! ```text
 //! request  = object "\n"
 //! object   = {"cmd":"ping"}
 //!          | {"cmd":"submit","manifest":SPEC}          fire and forget
 //!          | {"cmd":"submit","manifest":SPEC,"wait":true}
+//!          | {"cmd":"status"}                          list all jobs
 //!          | {"cmd":"status","job":FINGERPRINT}
 //!          | {"cmd":"shutdown"}
 //! response = {"ok":true, ...} | {"ok":false,"error":{"message":M,"exit_code":2}}
@@ -53,13 +57,18 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use xloops_sim::{error_doc, RunOptions};
 use xloops_stats::JsonValue;
 
+use crate::job::JobState;
 use crate::manifest::{render_spec, ExperimentSpec, PointResult};
-use crate::sched::Scheduler;
+use crate::sched::{Scheduler, SweepProgress};
 use crate::store::ResultStore;
+
+/// Cadence of the keep-alive progress lines a waiting `submit` streams.
+const WAIT_HEARTBEAT: Duration = Duration::from_secs(2);
 
 /// Resolves the daemon socket path: an explicit `--sock` value wins,
 /// otherwise `XLOOPS_SOCK`.
@@ -77,6 +86,9 @@ pub struct SweepDone {
     pub total: usize,
     /// Points that ended `Failed` or `Quarantined`.
     pub failed: usize,
+    /// The subset of `failed` that ended `Quarantined` (an untyped
+    /// diagnosis, e.g. an exhausted worker-retry budget or a panic).
+    pub quarantined: usize,
     /// Canonical [`error_doc`] per failed point.
     pub failures: Vec<JsonValue>,
     /// Store hits while sweeping (0 without a store).
@@ -107,11 +119,14 @@ impl SweepPhase {
     }
 }
 
-/// One submitted sweep: the manifest plus its current phase. `cond` is
+/// One submitted sweep: the manifest, its current phase, and the live
+/// progress tracker the scheduler ticks while sweeping. `cond` is
 /// notified on every phase change so any number of `--wait` clients can
 /// block on the same sweep.
 pub struct SweepJob {
+    id: String,
     spec: ExperimentSpec,
+    progress: Arc<SweepProgress>,
     phase: Mutex<SweepPhase>,
     cond: Condvar,
 }
@@ -130,6 +145,20 @@ impl SweepJob {
                 return (**done).clone();
             }
             phase = self.cond.wait(phase).unwrap();
+        }
+    }
+
+    /// Blocks up to `timeout` for the sweep to finish; `None` means it is
+    /// still going (time to stream a keep-alive line, not to give up).
+    pub fn wait_done_for(&self, timeout: Duration) -> Option<SweepDone> {
+        let deadline = Instant::now() + timeout;
+        let mut phase = self.phase.lock().unwrap();
+        loop {
+            if let SweepPhase::Done(done) = &*phase {
+                return Some((**done).clone());
+            }
+            let left = deadline.checked_duration_since(Instant::now())?;
+            phase = self.cond.wait_timeout(phase, left).unwrap().0;
         }
     }
 }
@@ -164,6 +193,10 @@ pub struct Response {
     pub body: JsonValue,
     /// `true` after a `shutdown` command.
     pub shutdown: bool,
+    /// Set on a waiting `submit`: the connection loop streams keep-alive
+    /// progress lines for this sweep and writes its final report as the
+    /// response, instead of `body`.
+    pub wait: Option<Arc<SweepJob>>,
 }
 
 fn ok_fields(fields: Vec<(&str, JsonValue)>) -> JsonValue {
@@ -175,19 +208,22 @@ fn ok_fields(fields: Vec<(&str, JsonValue)>) -> JsonValue {
 fn refuse(message: String) -> Response {
     let body =
         JsonValue::object(vec![("ok", JsonValue::Bool(false)), ("error", error_doc(&message, 2))]);
-    Response { body, shutdown: false }
+    Response { body, shutdown: false, wait: None }
 }
 
-/// The sweep's current phase as a response document. A done sweep reports
+/// The sweep's current phase as a response document, with the live
+/// queued/running/done progress counts alongside. A done sweep reports
 /// its artifact, counts, per-point [`error_doc`]s, and store traffic.
-fn phase_doc(job_id: &str, phase: &SweepPhase) -> JsonValue {
+fn phase_doc(job_id: &str, phase: &SweepPhase, progress: &SweepProgress) -> JsonValue {
     let mut fields = vec![
         ("job", JsonValue::Str(job_id.to_string())),
         ("state", JsonValue::Str(phase.label().to_string())),
+        ("progress", progress.to_json_value()),
     ];
     if let SweepPhase::Done(done) = phase {
         fields.push(("points", JsonValue::UInt(done.total as u64)));
         fields.push(("failed", JsonValue::UInt(done.failed as u64)));
+        fields.push(("quarantined", JsonValue::UInt(done.quarantined as u64)));
         fields.push(("errors", JsonValue::Array(done.failures.clone())));
         fields.push((
             "store",
@@ -199,6 +235,24 @@ fn phase_doc(job_id: &str, phase: &SweepPhase) -> JsonValue {
         fields.push(("artifact", JsonValue::Str(done.artifact.clone())));
     }
     ok_fields(fields)
+}
+
+/// One row of the job listing a bare `status` returns: identity, phase,
+/// live progress, and — once done — the terminal point counts.
+fn listing_doc(job: &SweepJob) -> JsonValue {
+    let phase = job.phase.lock().unwrap();
+    let mut fields = vec![
+        ("job".to_string(), JsonValue::Str(job.id.clone())),
+        ("state".to_string(), JsonValue::Str(phase.label().to_string())),
+        ("points".to_string(), JsonValue::UInt(job.spec.points.len() as u64)),
+        ("progress".to_string(), job.progress.to_json_value()),
+    ];
+    if let SweepPhase::Done(done) = &*phase {
+        fields.push(("done".to_string(), JsonValue::UInt((done.total - done.failed) as u64)));
+        fields.push(("failed".to_string(), JsonValue::UInt(done.failed as u64)));
+        fields.push(("quarantined".to_string(), JsonValue::UInt(done.quarantined as u64)));
+    }
+    JsonValue::Object(fields)
 }
 
 /// Handles one request line. This is the daemon's entire parse surface
@@ -221,21 +275,46 @@ pub fn handle_line(state: &Arc<ServiceState>, line: &[u8]) -> Response {
         return refuse("request has no string `cmd` field".to_string());
     };
     match cmd {
-        "ping" => {
-            Response { body: ok_fields(vec![("pong", JsonValue::Bool(true))]), shutdown: false }
-        }
-        "shutdown" => {
-            Response { body: ok_fields(vec![("shutdown", JsonValue::Bool(true))]), shutdown: true }
-        }
+        "ping" => Response {
+            body: ok_fields(vec![("pong", JsonValue::Bool(true))]),
+            shutdown: false,
+            wait: None,
+        },
+        "shutdown" => Response {
+            body: ok_fields(vec![("shutdown", JsonValue::Bool(true))]),
+            shutdown: true,
+            wait: None,
+        },
         "status" => {
-            let Some(job_id) = doc.get("job").and_then(JsonValue::as_str) else {
-                return refuse("status needs a string `job` field".to_string());
+            // A malformed `job` value (present but not a string) is a
+            // schema violation; an *absent* or empty one asks for the
+            // listing of every known job.
+            let job_id = match doc.get("job") {
+                Some(v) => match v.as_str() {
+                    Some(id) => id,
+                    None => return refuse("status `job` field must be a string".to_string()),
+                },
+                None => "",
             };
             let sweeps = state.sweeps.lock().unwrap();
+            if job_id.is_empty() {
+                let mut ids: Vec<&String> = sweeps.keys().collect();
+                ids.sort();
+                let jobs = ids.into_iter().map(|id| listing_doc(&sweeps[id])).collect::<Vec<_>>();
+                return Response {
+                    body: ok_fields(vec![("jobs", JsonValue::Array(jobs))]),
+                    shutdown: false,
+                    wait: None,
+                };
+            }
             match sweeps.get(job_id) {
                 Some(job) => {
                     let phase = job.phase.lock().unwrap();
-                    Response { body: phase_doc(job_id, &phase), shutdown: false }
+                    Response {
+                        body: phase_doc(job_id, &phase, &job.progress),
+                        shutdown: false,
+                        wait: None,
+                    }
                 }
                 None => refuse(format!("unknown job {job_id}")),
             }
@@ -251,13 +330,12 @@ pub fn handle_line(state: &Arc<ServiceState>, line: &[u8]) -> Response {
             let wait = doc.get("wait").and_then(JsonValue::as_bool).unwrap_or(false);
             let job_id = spec.fingerprint();
             let job = submit(state, job_id.clone(), spec);
-            let body = if wait {
-                let done = job.wait_done();
-                phase_doc(&job_id, &SweepPhase::Done(Box::new(done)))
-            } else {
-                phase_doc(&job_id, &job.phase.lock().unwrap())
-            };
-            Response { body, shutdown: false }
+            let body = phase_doc(&job_id, &job.phase.lock().unwrap(), &job.progress);
+            // Waiting is the connection loop's business, not ours: it
+            // streams keep-alive progress lines and the final report, so
+            // one slow sweep never pins this dispatch path.
+            let wait = wait.then_some(job);
+            Response { body, shutdown: false, wait }
         }
         other => refuse(format!("unknown command `{other}`")),
     }
@@ -270,22 +348,30 @@ fn submit(state: &Arc<ServiceState>, job_id: String, spec: ExperimentSpec) -> Ar
     if let Some(existing) = sweeps.get(&job_id) {
         return Arc::clone(existing);
     }
-    let job =
-        Arc::new(SweepJob { spec, phase: Mutex::new(SweepPhase::Queued), cond: Condvar::new() });
+    let job = Arc::new(SweepJob {
+        id: job_id.clone(),
+        spec,
+        progress: Arc::new(SweepProgress::new()),
+        phase: Mutex::new(SweepPhase::Queued),
+        cond: Condvar::new(),
+    });
     sweeps.insert(job_id.clone(), Arc::clone(&job));
     drop(sweeps);
     let state = Arc::clone(state);
     let worker = Arc::clone(&job);
     std::thread::spawn(move || {
         worker.set_phase(SweepPhase::Running);
-        let done = catch_unwind(AssertUnwindSafe(|| run_sweep(&state, &worker.spec)))
-            .unwrap_or_else(|_| SweepDone {
-                artifact: String::new(),
-                total: worker.spec.points.len(),
-                failed: worker.spec.points.len(),
-                failures: vec![error_doc(&format!("sweep {job_id} panicked"), 1)],
-                store_hits: 0,
-                store_misses: 0,
+        let done =
+            catch_unwind(AssertUnwindSafe(|| run_sweep(&state, &worker))).unwrap_or_else(|_| {
+                SweepDone {
+                    artifact: String::new(),
+                    total: worker.spec.points.len(),
+                    failed: worker.spec.points.len(),
+                    quarantined: worker.spec.points.len(),
+                    failures: vec![error_doc(&format!("sweep {job_id} panicked"), 1)],
+                    store_hits: 0,
+                    store_misses: 0,
+                }
             });
         worker.set_phase(SweepPhase::Done(Box::new(done)));
     });
@@ -295,7 +381,8 @@ fn submit(state: &Arc<ServiceState>, job_id: String, spec: ExperimentSpec) -> Ar
 /// One sweep through the scheduler: every point of the spec, against a
 /// fresh handle on the daemon's store (fresh so the hit/miss counters are
 /// per-sweep — that is what `submit --wait` reports to its client).
-fn run_sweep(state: &ServiceState, spec: &ExperimentSpec) -> SweepDone {
+fn run_sweep(state: &ServiceState, job: &SweepJob) -> SweepDone {
+    let spec = &job.spec;
     let store = state.store_dir.as_ref().and_then(|d| match ResultStore::open(d) {
         Ok(s) => Some(s),
         Err(e) => {
@@ -304,6 +391,7 @@ fn run_sweep(state: &ServiceState, spec: &ExperimentSpec) -> SweepDone {
         }
     });
     let swept = Scheduler::new(state.options.clone(), store.as_ref())
+        .with_progress(Arc::clone(&job.progress))
         .run(&[(spec, (0..spec.points.len()).collect())]);
     let outcomes = &swept.outcomes[0];
     let results: Vec<PointResult> = outcomes.iter().map(|o| o.result.clone()).collect();
@@ -317,6 +405,10 @@ fn run_sweep(state: &ServiceState, spec: &ExperimentSpec) -> SweepDone {
         artifact: render_spec(spec, &results),
         total: outcomes.len(),
         failed: outcomes.iter().filter(|o| !o.state.is_done()).count(),
+        quarantined: outcomes
+            .iter()
+            .filter(|o| matches!(o.state, JobState::Quarantined(_)))
+            .count(),
         failures: outcomes.iter().filter_map(|o| o.to_error_doc()).collect(),
         store_hits,
         store_misses,
@@ -409,7 +501,33 @@ fn serve_connection(state: &Arc<ServiceState>, stream: UnixStream) {
             continue;
         }
         let response = handle_line(state, &line);
-        let mut out = response.body.render();
+        let body = match &response.wait {
+            // A waiting submit: stream keep-alive progress lines until
+            // the sweep is done, then its final report. A client that
+            // hung up mid-wait just ends this connection; the sweep
+            // itself is unaffected.
+            Some(job) => loop {
+                match job.wait_done_for(WAIT_HEARTBEAT) {
+                    Some(done) => {
+                        break phase_doc(&job.id, &SweepPhase::Done(Box::new(done)), &job.progress)
+                    }
+                    None => {
+                        let mut beat =
+                            phase_doc(&job.id, &job.phase.lock().unwrap().clone(), &job.progress);
+                        if let JsonValue::Object(fields) = &mut beat {
+                            fields.push(("hb".to_string(), JsonValue::Bool(true)));
+                        }
+                        let mut out = beat.render();
+                        out.push('\n');
+                        if writer.write_all(out.as_bytes()).is_err() {
+                            return;
+                        }
+                    }
+                }
+            },
+            None => response.body.clone(),
+        };
+        let mut out = body.render();
         out.push('\n');
         if let Err(e) = writer.write_all(out.as_bytes()) {
             eprintln!("[serve] write failed: {e}");
@@ -425,20 +543,60 @@ fn serve_connection(state: &Arc<ServiceState>, stream: UnixStream) {
     }
 }
 
-/// One client round-trip: connect, send `body` as a line, read one
-/// response line back.
+/// The client-side socket deadline: `XLOOPS_CLIENT_TIMEOUT` in ms (`0`
+/// disables), defaulting to 10 s. Long waits survive it because a
+/// waiting submit receives a keep-alive line every `WAIT_HEARTBEAT` —
+/// each received line rearms the deadline, so only a daemon that has
+/// genuinely stopped talking trips it.
+pub fn client_timeout() -> Option<Duration> {
+    match std::env::var("XLOOPS_CLIENT_TIMEOUT").ok().and_then(|v| v.trim().parse::<u64>().ok()) {
+        Some(0) => None,
+        Some(ms) => Some(Duration::from_millis(ms)),
+        None => Some(Duration::from_secs(10)),
+    }
+}
+
+/// One client round-trip: connect, send `body` as a line, read response
+/// lines until the final (non-keep-alive) one. Read and write deadlines
+/// come from [`client_timeout`], so a hung daemon surfaces as a timed-out
+/// I/O error instead of blocking the client forever.
 pub fn request(sock: &Path, body: &JsonValue) -> std::io::Result<JsonValue> {
+    request_with(sock, body, client_timeout())
+}
+
+/// [`request`] with an explicit socket deadline (`None` blocks forever).
+pub fn request_with(
+    sock: &Path,
+    body: &JsonValue,
+    timeout: Option<Duration>,
+) -> std::io::Result<JsonValue> {
     let mut stream = UnixStream::connect(sock)?;
+    stream.set_read_timeout(timeout)?;
+    stream.set_write_timeout(timeout)?;
     let mut out = body.render();
     out.push('\n');
     stream.write_all(out.as_bytes())?;
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
-    reader.read_line(&mut line)?;
-    JsonValue::parse(line.trim()).map_err(|e| {
-        std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            format!("malformed daemon response: {e}"),
-        )
-    })
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection before responding",
+            ));
+        }
+        let doc = JsonValue::parse(line.trim()).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("malformed daemon response: {e}"),
+            )
+        })?;
+        // Keep-alive progress lines rearm the deadline and are skipped;
+        // the first line without the marker is the response.
+        if doc.get("hb").is_some() {
+            continue;
+        }
+        return Ok(doc);
+    }
 }

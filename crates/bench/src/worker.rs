@@ -1,0 +1,858 @@
+//! The crash-isolation layer: a supervised multi-process worker pool.
+//!
+//! The scheduler historically ran every simulation as a thread inside the
+//! calling process, so one aborting or wedging point could take down a
+//! whole `xloops serve` daemon and every attached `--wait` client. This
+//! module moves job *execution* into disposable child processes while
+//! leaving job *identity and ordering* exactly where they were: the
+//! parent still owns the store probe, the item-ordered result slots, and
+//! the artifact render, so artifacts are byte-identical whether a job ran
+//! in-process, in a worker, or across worker deaths.
+//!
+//! ## Wire protocol
+//!
+//! Each worker is an `xloops worker` child (a hidden subcommand) speaking
+//! newline-delimited JSON on its stdin/stdout pipe pair — the same
+//! NDJSON idiom as the serve daemon's socket protocol:
+//!
+//! ```text
+//! parent → worker   {"cmd":"ping"}
+//!                   {"cmd":"manifest","manifest":SPEC}        register a spec
+//!                   {"cmd":"job","job":FP,"index":I,"options":OPTS}
+//!                   {"cmd":"exit"}
+//! worker → parent   {"ok":true,"pong":true}
+//!                   {"ok":true,"manifest":FP}
+//!                   {"ok":true,"index":I,"result":RESULT[,"exit_code":C]}
+//!                   {"hb":true}                               every 250 ms
+//! ```
+//!
+//! A job is shipped as the store-key triple — `(fingerprint, index,
+//! options)`, see [`crate::job::Job`] — against a manifest registered
+//! once per worker. The worker executes the point through the *same*
+//! code path as an in-process run ([`Runner`] +
+//! `manifest::request_point`), so diagnosis messages, stats, and
+//! the rendered [`PointResult`] are bit-identical; a typed [`SimError`]
+//! additionally ships its class exit code, which the parent re-wraps as
+//! [`SimError::Remote`] so error documents keep their original codes.
+//!
+//! ## Supervision
+//!
+//! The parent supervises each worker with two clocks: a heartbeat line
+//! every 250 ms (a worker silent past [`PoolConfig::heartbeat_grace`] is
+//! presumed hung) and an optional per-attempt job deadline
+//! (`XLOOPS_JOB_TIMEOUT`, default off so determinism-sensitive tests
+//! never race a timer). A worker that exits (SIGKILL, abort, OOM),
+//! wedges, or writes garbage is killed and reaped, and its job is retried
+//! on a fresh worker after a seeded exponential backoff
+//! ([`backoff_delay`]) up to [`PoolConfig::max_retries`] retries. An
+//! exhausted job is quarantined through the existing lifecycle with a
+//! typed [`SimError::WorkerLost`] / [`SimError::Timeout`] error document;
+//! the sweep itself always completes.
+//!
+//! ## Degradation rule
+//!
+//! [`WorkerPool::spawn`] handshakes with a probe worker before the pool
+//! is trusted. If the worker binary cannot be spawned or does not speak
+//! the protocol (wrong executable, exec restrictions), the scheduler
+//! falls back to the existing in-process threads with a warning —
+//! `xloops sweep/all/serve` never regress just because process isolation
+//! is unavailable.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use xloops_sim::{RunOptions, SimError, SystemStats};
+use xloops_stats::JsonValue;
+
+use crate::manifest::{request_point, ExperimentSpec, PointResult};
+use crate::runner::Runner;
+use crate::sched::SweepProgress;
+use crate::RunResult;
+
+/// How often a worker writes a `{"hb":true}` line.
+const HEARTBEAT_PERIOD: Duration = Duration::from_millis(250);
+
+/// Deadline for protocol acks (ping, manifest registration) — generous,
+/// because only `job` execution can legitimately take long.
+const ACK_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Supervision policy for a [`WorkerPool`]. Every knob here names
+/// *infrastructure*, not run semantics: none of them enter
+/// [`RunOptions`], store keys, or artifacts (see `sim::options`).
+#[derive(Clone, Debug)]
+pub struct PoolConfig {
+    /// Worker processes to run concurrently (`XLOOPS_WORKERS`).
+    pub workers: usize,
+    /// Per-attempt wall-clock deadline for one job (`XLOOPS_JOB_TIMEOUT`
+    /// in ms); `None` (the default) never times a job out.
+    pub job_timeout: Option<Duration>,
+    /// Retries after the first attempt before a job is quarantined
+    /// (`XLOOPS_MAX_RETRIES`, default 2).
+    pub max_retries: u32,
+    /// How long a worker may go without writing any line (heartbeat or
+    /// reply) before it is presumed hung and reaped.
+    pub heartbeat_grace: Duration,
+    /// Base delay of the seeded exponential backoff between retries.
+    pub backoff_base: Duration,
+    /// The worker executable (defaults to the current executable;
+    /// `XLOOPS_WORKER_EXE` overrides, e.g. for harnesses whose own binary
+    /// has no `worker` subcommand).
+    pub exe: PathBuf,
+    /// Extra environment for spawned workers (test chaos hooks ride
+    /// here so the parent process's environment stays untouched).
+    pub env: Vec<(String, String)>,
+}
+
+impl PoolConfig {
+    /// A pool of `workers` processes with default supervision: no job
+    /// deadline, 2 retries, 10 s heartbeat grace, 25 ms backoff base.
+    pub fn new(workers: usize) -> PoolConfig {
+        PoolConfig {
+            workers: workers.max(1),
+            job_timeout: None,
+            max_retries: 2,
+            heartbeat_grace: Duration::from_secs(10),
+            backoff_base: Duration::from_millis(25),
+            exe: worker_exe(),
+            env: Vec::new(),
+        }
+    }
+
+    /// Reads the worker knobs from the environment: `None` unless
+    /// `XLOOPS_WORKERS` is a positive count, with `XLOOPS_JOB_TIMEOUT`
+    /// (ms), `XLOOPS_MAX_RETRIES`, and `XLOOPS_HEARTBEAT_GRACE` (ms)
+    /// layered on top when set.
+    pub fn from_env() -> Option<PoolConfig> {
+        let workers: usize = std::env::var("XLOOPS_WORKERS").ok()?.trim().parse().ok()?;
+        if workers == 0 {
+            return None;
+        }
+        let mut cfg = PoolConfig::new(workers);
+        cfg.job_timeout = env_ms("XLOOPS_JOB_TIMEOUT").filter(|d| !d.is_zero());
+        if let Some(n) = std::env::var("XLOOPS_MAX_RETRIES").ok().and_then(|v| v.parse().ok()) {
+            cfg.max_retries = n;
+        }
+        if let Some(grace) = env_ms("XLOOPS_HEARTBEAT_GRACE").filter(|d| !d.is_zero()) {
+            cfg.heartbeat_grace = grace;
+        }
+        Some(cfg)
+    }
+}
+
+/// A millisecond-valued environment knob; unparsable reads as unset.
+fn env_ms(name: &str) -> Option<Duration> {
+    std::env::var(name).ok()?.trim().parse().ok().map(Duration::from_millis)
+}
+
+/// The executable to spawn workers from.
+fn worker_exe() -> PathBuf {
+    std::env::var_os("XLOOPS_WORKER_EXE")
+        .map(PathBuf::from)
+        .or_else(|| std::env::current_exe().ok())
+        .unwrap_or_else(|| PathBuf::from("xloops"))
+}
+
+/// One job as the pool ships it: the spec to register, the store-key
+/// triple naming the point, and how many admitted sweep jobs this unique
+/// simulation resolves (for progress accounting; deduplicated points
+/// fan back out to every admitted job that aliased them).
+pub struct WireJob<'a> {
+    /// The owning manifest (registered once per worker per fingerprint).
+    pub spec: &'a ExperimentSpec,
+    /// [`ExperimentSpec::fingerprint`] of `spec`.
+    pub fingerprint: String,
+    /// Index into the manifest's point list.
+    pub index: usize,
+    /// The options the point runs under.
+    pub options: &'a RunOptions,
+    /// Admitted jobs this unique simulation resolves (progress weight).
+    pub fanout: u64,
+}
+
+/// The pool's verdict on one [`WireJob`]: the point result exactly as an
+/// in-process run would have produced it (placeholder stats plus
+/// diagnosis when the point failed), the typed error class when one is
+/// known, and how many attempts it took.
+#[derive(Clone, Debug)]
+pub struct WorkerOutcome {
+    /// The point result (always present; failed points carry the
+    /// diagnosis in [`PointResult::error`]).
+    pub result: PointResult,
+    /// The typed class behind a failure: [`SimError::Remote`] for a
+    /// typed simulation error relayed from the worker,
+    /// [`SimError::WorkerLost`] / [`SimError::Timeout`] for supervision
+    /// failures, `None` for successes and untyped (panic) failures.
+    pub sim: Option<SimError>,
+    /// Attempts made (1 = first dispatch succeeded).
+    pub attempts: u32,
+}
+
+/// Why an attempt on a worker was abandoned.
+#[derive(Debug)]
+enum Loss {
+    /// The worker exited (crash, SIGKILL, OOM): its stdout hit EOF.
+    Exited,
+    /// The worker wrote a line that does not parse as a valid reply.
+    Garbage,
+    /// The worker went silent past the heartbeat grace.
+    Silent,
+    /// The job's per-attempt deadline expired.
+    Deadline,
+    /// A replacement worker could not even be spawned.
+    Spawn(String),
+}
+
+impl Loss {
+    fn cause(&self) -> String {
+        match self {
+            Loss::Exited => "worker exited".to_string(),
+            Loss::Garbage => "garbage reply".to_string(),
+            Loss::Silent => "heartbeat silence".to_string(),
+            Loss::Deadline => "job deadline expired".to_string(),
+            Loss::Spawn(e) => format!("spawn failed: {e}"),
+        }
+    }
+}
+
+/// One live worker child: its process, request pipe, reply channel (fed
+/// by a reader thread that drops the sender on EOF), and which manifests
+/// it already knows.
+struct WorkerHandle {
+    child: Child,
+    stdin: ChildStdin,
+    rx: Receiver<Option<JsonValue>>,
+    known: HashSet<String>,
+    last_line: Instant,
+}
+
+impl WorkerHandle {
+    fn spawn(cfg: &PoolConfig) -> std::io::Result<WorkerHandle> {
+        let mut child = Command::new(&cfg.exe)
+            .arg("worker")
+            .envs(cfg.env.iter().map(|(k, v)| (k.as_str(), v.as_str())))
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || read_lines(stdout, tx));
+        Ok(WorkerHandle { child, stdin, rx, known: HashSet::new(), last_line: Instant::now() })
+    }
+
+    fn send(&mut self, doc: &JsonValue) -> std::io::Result<()> {
+        let mut line = doc.render();
+        line.push('\n');
+        self.stdin.write_all(line.as_bytes())?;
+        self.stdin.flush()
+    }
+
+    /// Waits for the next non-heartbeat reply, policing the job deadline
+    /// and the heartbeat grace. Any line (heartbeat or reply) counts as
+    /// proof of life.
+    fn await_reply(
+        &mut self,
+        deadline: Option<Instant>,
+        grace: Duration,
+    ) -> Result<JsonValue, Loss> {
+        loop {
+            match self.rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(Some(doc)) => {
+                    self.last_line = Instant::now();
+                    if doc.get("hb").is_some() {
+                        continue;
+                    }
+                    return Ok(doc);
+                }
+                Ok(None) => return Err(Loss::Garbage),
+                Err(RecvTimeoutError::Disconnected) => return Err(Loss::Exited),
+                Err(RecvTimeoutError::Timeout) => {}
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Err(Loss::Deadline);
+            }
+            if self.last_line.elapsed() > grace {
+                return Err(Loss::Silent);
+            }
+        }
+    }
+
+    fn ping(&mut self, grace: Duration) -> Result<(), Loss> {
+        let req = JsonValue::object(vec![("cmd", JsonValue::Str("ping".to_string()))]);
+        self.send(&req).map_err(|_| Loss::Exited)?;
+        let reply = self.await_reply(Some(Instant::now() + ACK_DEADLINE), grace)?;
+        match reply.get("pong").and_then(JsonValue::as_bool) {
+            Some(true) => Ok(()),
+            _ => Err(Loss::Garbage),
+        }
+    }
+
+    /// Registers the job's manifest on this worker, once per fingerprint.
+    fn ensure_manifest(&mut self, job: &WireJob<'_>, grace: Duration) -> Result<(), Loss> {
+        if self.known.contains(&job.fingerprint) {
+            return Ok(());
+        }
+        let req = JsonValue::object(vec![
+            ("cmd", JsonValue::Str("manifest".to_string())),
+            ("manifest", job.spec.to_json_value()),
+        ]);
+        self.send(&req).map_err(|_| Loss::Exited)?;
+        let reply = self.await_reply(Some(Instant::now() + ACK_DEADLINE), grace)?;
+        if reply.get("ok").and_then(JsonValue::as_bool) != Some(true) {
+            return Err(Loss::Garbage);
+        }
+        self.known.insert(job.fingerprint.clone());
+        Ok(())
+    }
+
+    /// Ships one job and awaits its result under the per-attempt deadline.
+    fn run_job(
+        &mut self,
+        job: &WireJob<'_>,
+        cfg: &PoolConfig,
+    ) -> Result<(PointResult, Option<i32>), Loss> {
+        let req = JsonValue::object(vec![
+            ("cmd", JsonValue::Str("job".to_string())),
+            ("job", JsonValue::Str(job.fingerprint.clone())),
+            ("index", JsonValue::UInt(job.index as u64)),
+            ("options", job.options.to_json_value()),
+        ]);
+        self.send(&req).map_err(|_| Loss::Exited)?;
+        let deadline = cfg.job_timeout.map(|t| Instant::now() + t);
+        let reply = self.await_reply(deadline, cfg.heartbeat_grace)?;
+        parse_job_reply(&reply, job.index).ok_or(Loss::Garbage)
+    }
+
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Feeds a worker's stdout lines into the reply channel; EOF (the worker
+/// died) drops the sender, which the parent observes as `Disconnected`.
+/// Unparseable lines are forwarded as `None` (garbage).
+fn read_lines(stdout: ChildStdout, tx: Sender<Option<JsonValue>>) {
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        if tx.send(JsonValue::parse(line.trim()).ok()).is_err() {
+            return;
+        }
+    }
+}
+
+/// A worker's job reply: `ok`, the echoed index, a parseable result, and
+/// optionally the typed class's exit code. Anything else is garbage.
+fn parse_job_reply(doc: &JsonValue, index: usize) -> Option<(PointResult, Option<i32>)> {
+    if doc.get("ok").and_then(JsonValue::as_bool) != Some(true) {
+        return None;
+    }
+    if doc.get("index").and_then(JsonValue::as_u64) != Some(index as u64) {
+        return None;
+    }
+    let result = PointResult::from_json_value(doc.get("result")?).ok()?;
+    let exit = doc.get("exit_code").and_then(JsonValue::as_u64).map(|c| c as i32);
+    Some((result, exit))
+}
+
+/// Deterministic seeded exponential backoff: FNV-1a over the job identity
+/// xor the attempt, finalized with splitmix64 into a jitter factor in
+/// `[0.5, 1.5)`. Two runs of the same sweep sleep the same schedule, and
+/// distinct jobs spread apart instead of thundering back together.
+/// Doubles per retry from `base`, capped at 2 s.
+pub fn backoff_delay(base: Duration, fingerprint: &str, index: usize, attempt: u32) -> Duration {
+    let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in fingerprint.bytes() {
+        seed = (seed ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    seed ^= (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    seed ^= attempt as u64;
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    let jitter = 0.5 + (z >> 11) as f64 / (1u64 << 53) as f64;
+    let doublings = attempt.saturating_sub(2).min(6);
+    let ms = (base.as_millis() as f64 * (1u64 << doublings) as f64 * jitter).min(2_000.0);
+    Duration::from_millis(ms.max(1.0) as u64)
+}
+
+/// The supervised pool: spawn-verified once, then [`WorkerPool::run`]
+/// executes job lists with per-thread workers, retries, and quarantine.
+pub struct WorkerPool {
+    cfg: PoolConfig,
+    probe: Mutex<Option<WorkerHandle>>,
+}
+
+impl WorkerPool {
+    /// Spawns one probe worker and handshakes with a ping. An executable
+    /// that cannot be spawned — or that does not speak the worker
+    /// protocol — is an error here, *before* any job is at risk; the
+    /// scheduler reacts by degrading to in-process execution.
+    pub fn spawn(cfg: PoolConfig) -> std::io::Result<WorkerPool> {
+        let mut probe = WorkerHandle::spawn(&cfg)?;
+        if let Err(loss) = probe.ping(cfg.heartbeat_grace) {
+            probe.kill();
+            return Err(std::io::Error::other(format!(
+                "worker handshake failed: {}",
+                loss.cause()
+            )));
+        }
+        Ok(WorkerPool { cfg, probe: Mutex::new(Some(probe)) })
+    }
+
+    /// The configured worker-process count.
+    pub fn workers(&self) -> usize {
+        self.cfg.workers
+    }
+
+    /// Runs every job on the pool, returning outcomes in job order (the
+    /// same item-ordered-slots discipline as [`crate::sched::run_jobs`],
+    /// so artifact byte-identity is preserved by construction). Worker
+    /// deaths cost retries, never result order; `progress` (when given)
+    /// is ticked live per job with its fanout weight.
+    pub fn run(
+        &self,
+        jobs: &[WireJob<'_>],
+        progress: Option<&SweepProgress>,
+    ) -> Vec<WorkerOutcome> {
+        let queue: Mutex<VecDeque<usize>> = Mutex::new((0..jobs.len()).collect());
+        let slots: Vec<Mutex<Option<WorkerOutcome>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        let threads = self.cfg.workers.clamp(1, jobs.len().max(1));
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let (queue, slots, cfg) = (&queue, &slots, &self.cfg);
+                // The probe worker from the spawn handshake serves the
+                // first dispatcher; the rest spawn lazily on first use.
+                let mut handle = if t == 0 { self.probe.lock().unwrap().take() } else { None };
+                scope.spawn(move || {
+                    loop {
+                        let claimed = queue.lock().unwrap().pop_front();
+                        let Some(i) = claimed else { break };
+                        let job = &jobs[i];
+                        if let Some(p) = progress {
+                            p.start(job.fanout);
+                        }
+                        let outcome = run_with_retries(&mut handle, job, cfg);
+                        if let Some(p) = progress {
+                            p.finish(job.fanout, outcome.result.error.is_none());
+                        }
+                        *slots[i].lock().unwrap() = Some(outcome);
+                    }
+                    if let Some(mut h) = handle {
+                        let bye = JsonValue::object(vec![("cmd", JsonValue::Str("exit".into()))]);
+                        let _ = h.send(&bye);
+                        h.kill();
+                    }
+                });
+            }
+        });
+        slots.into_iter().map(|s| s.into_inner().unwrap().expect("pool ran every job")).collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        if let Some(mut probe) = self.probe.lock().unwrap().take() {
+            probe.kill();
+        }
+    }
+}
+
+/// One job through the retry loop: dispatch on the current worker (spawn
+/// one if needed), and on any loss reap the worker, sleep the seeded
+/// backoff, and retry on a fresh one. Exhaustion quarantines the job
+/// with a typed [`SimError::Timeout`] (last loss was the deadline) or
+/// [`SimError::WorkerLost`] error, in the same placeholder-result shape
+/// the in-process panic firewall produces.
+fn run_with_retries(
+    handle: &mut Option<WorkerHandle>,
+    job: &WireJob<'_>,
+    cfg: &PoolConfig,
+) -> WorkerOutcome {
+    let attempts_max = cfg.max_retries.saturating_add(1);
+    let mut backoff_ms = 0u64;
+    let mut attempt = 0u32;
+    let mut last = Loss::Exited;
+    while attempt < attempts_max {
+        attempt += 1;
+        if attempt > 1 {
+            let delay = backoff_delay(cfg.backoff_base, &job.fingerprint, job.index, attempt);
+            backoff_ms += delay.as_millis() as u64;
+            std::thread::sleep(delay);
+        }
+        let h = match handle {
+            Some(h) => h,
+            None => match WorkerHandle::spawn(cfg) {
+                Ok(h) => handle.insert(h),
+                Err(e) => {
+                    last = Loss::Spawn(e.to_string());
+                    continue;
+                }
+            },
+        };
+        match h.ensure_manifest(job, cfg.heartbeat_grace).and_then(|()| h.run_job(job, cfg)) {
+            Ok((result, exit_code)) => {
+                let sim = match (&result.error, exit_code) {
+                    (Some(message), Some(code)) => {
+                        Some(SimError::Remote { message: message.clone(), exit_code: code })
+                    }
+                    _ => None,
+                };
+                return WorkerOutcome { result, sim, attempts: attempt };
+            }
+            Err(loss) => {
+                if let Some(mut dead) = handle.take() {
+                    dead.kill();
+                }
+                last = loss;
+            }
+        }
+    }
+    let sim = match last {
+        Loss::Deadline => SimError::Timeout {
+            timeout_ms: cfg.job_timeout.map_or(0, |t| t.as_millis() as u64),
+            attempts: attempt,
+        },
+        loss => SimError::WorkerLost { cause: loss.cause(), attempts: attempt, backoff_ms },
+    };
+    let p = &job.spec.points[job.index];
+    let what = if p.gp_lowered { "baseline" } else { "run" };
+    let message = format!("{} {what} on {}: {sim}", p.kernel, p.config.resolve().name());
+    let run = RunResult {
+        cycles: 1,
+        energy_nj: 1.0,
+        stats: SystemStats::default(),
+        error: Some(message),
+    };
+    WorkerOutcome {
+        result: PointResult::from_run(&run, p.config.is_ooo()),
+        sim: Some(sim),
+        attempts: attempt,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker child
+// ---------------------------------------------------------------------------
+
+/// Writes one NDJSON line to stdout (locked, so the heartbeat thread and
+/// the reply path never interleave mid-line). `false` means the parent
+/// is gone and the worker should die.
+fn emit(doc: &JsonValue) -> bool {
+    let mut line = doc.render();
+    line.push('\n');
+    let mut out = std::io::stdout().lock();
+    out.write_all(line.as_bytes()).and_then(|()| out.flush()).is_ok()
+}
+
+fn worker_refuse(message: String) -> JsonValue {
+    JsonValue::object(vec![
+        ("ok", JsonValue::Bool(false)),
+        ("error", xloops_sim::error_doc(&message, 2)),
+    ])
+}
+
+/// Entry point of the hidden `xloops worker` subcommand: reads NDJSON
+/// commands from stdin, executes jobs through the exact in-process code
+/// path ([`Runner`] + `request_point`), streams results back on
+/// stdout, and heartbeats every 250 ms from a side thread. EOF or an
+/// `exit` command ends the loop. Returns the process exit code.
+pub fn worker_main() -> i32 {
+    std::thread::spawn(|| loop {
+        std::thread::sleep(HEARTBEAT_PERIOD);
+        if !emit(&JsonValue::object(vec![("hb", JsonValue::Bool(true))])) {
+            return;
+        }
+    });
+    let mut specs: HashMap<String, ExperimentSpec> = HashMap::new();
+    let stdin = std::io::stdin();
+    let mut input = stdin.lock();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match input.read_line(&mut line) {
+            Ok(0) | Err(_) => return 0,
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match handle_worker_line(&mut specs, line.trim()) {
+            Some(reply) => reply,
+            None => return 0,
+        };
+        if !emit(&reply) {
+            return 1;
+        }
+    }
+}
+
+/// One worker command line → one reply document (`None` = `exit`).
+fn handle_worker_line(
+    specs: &mut HashMap<String, ExperimentSpec>,
+    line: &str,
+) -> Option<JsonValue> {
+    let doc = match JsonValue::parse(line) {
+        Ok(d) => d,
+        Err(e) => return Some(worker_refuse(format!("request is not JSON: {e}"))),
+    };
+    match doc.get("cmd").and_then(JsonValue::as_str) {
+        Some("ping") => Some(JsonValue::object(vec![
+            ("ok", JsonValue::Bool(true)),
+            ("pong", JsonValue::Bool(true)),
+        ])),
+        Some("exit") => None,
+        Some("manifest") => {
+            let Some(manifest) = doc.get("manifest") else {
+                return Some(worker_refuse("manifest command needs a `manifest` field".into()));
+            };
+            let spec = match ExperimentSpec::from_json_value(manifest) {
+                Ok(s) => s,
+                Err(e) => return Some(worker_refuse(format!("invalid manifest: {e}"))),
+            };
+            let fingerprint = spec.fingerprint();
+            specs.insert(fingerprint.clone(), spec);
+            Some(JsonValue::object(vec![
+                ("ok", JsonValue::Bool(true)),
+                ("manifest", JsonValue::Str(fingerprint)),
+            ]))
+        }
+        Some("job") => {
+            let Some(fingerprint) = doc.get("job").and_then(JsonValue::as_str) else {
+                return Some(worker_refuse("job command needs a string `job` field".into()));
+            };
+            let Some(index) = doc.get("index").and_then(JsonValue::as_u64) else {
+                return Some(worker_refuse("job command needs an `index` field".into()));
+            };
+            let options = match doc.get("options").and_then(RunOptions::from_json_value) {
+                Some(o) => o,
+                None => return Some(worker_refuse("job command needs valid `options`".into())),
+            };
+            let Some(spec) = specs.get(fingerprint) else {
+                return Some(worker_refuse(format!("unknown manifest {fingerprint}")));
+            };
+            let index = index as usize;
+            if index >= spec.points.len() {
+                return Some(worker_refuse(format!("point index {index} out of range")));
+            }
+            chaos_hook(fingerprint, index);
+            Some(run_wire_job(spec, index, options))
+        }
+        Some(other) => Some(worker_refuse(format!("unknown command `{other}`"))),
+        None => Some(worker_refuse("request has no string `cmd` field".into())),
+    }
+}
+
+/// Executes one point exactly as the in-process scheduler would — same
+/// runner, same panic firewall semantics, same diagnosis messages — and
+/// renders the reply. A typed [`SimError`] ships its class exit code so
+/// the parent can preserve it in error documents.
+fn run_wire_job(spec: &ExperimentSpec, index: usize, options: RunOptions) -> JsonValue {
+    let p = &spec.points[index];
+    let (result, exit_code) = catch_unwind(AssertUnwindSafe(|| {
+        let runner = Runner::with_options(options);
+        let run = request_point(&runner, p);
+        let exit = runner
+            .failures()
+            .iter()
+            .find(|f| Some(&f.message) == run.error.as_ref())
+            .and_then(|f| f.sim.as_ref().map(SimError::exit_code));
+        (PointResult::from_run(&run, p.config.is_ooo()), exit)
+    }))
+    .unwrap_or_else(|payload| {
+        // A panic that escaped the runner's firewall (e.g. an unknown
+        // kernel name caught before the runner executes): quarantine the
+        // point, keep the worker.
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        let run = RunResult {
+            cycles: 1,
+            energy_nj: 1.0,
+            stats: SystemStats::default(),
+            error: Some(message),
+        };
+        (PointResult::from_run(&run, p.config.is_ooo()), None)
+    });
+    let mut fields = vec![
+        ("ok", JsonValue::Bool(true)),
+        ("index", JsonValue::UInt(index as u64)),
+        ("result", result.to_json_value()),
+    ];
+    if let Some(code) = exit_code {
+        fields.push(("exit_code", JsonValue::UInt(code as u64)));
+    }
+    JsonValue::object(fields)
+}
+
+/// Test-only chaos hooks, consulted right before a job executes.
+///
+/// `XLOOPS_WORKER_CRASH=FP:INDEX[:MARKER]` SIGKILLs this worker when it
+/// is about to run that point — with a `MARKER` path, only while the
+/// marker file can be freshly created, so exactly the first attempt dies
+/// and the retry goes through. `XLOOPS_WORKER_WEDGE=FP:INDEX` hangs the
+/// job forever (still heartbeating), which only the per-job deadline can
+/// detect — exercising the `Timeout` path.
+fn chaos_hook(fingerprint: &str, index: usize) {
+    if hook_armed("XLOOPS_WORKER_CRASH", fingerprint, index) {
+        kill_self();
+    }
+    if hook_armed("XLOOPS_WORKER_WEDGE", fingerprint, index) {
+        loop {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+}
+
+fn hook_armed(var: &str, fingerprint: &str, index: usize) -> bool {
+    let Ok(v) = std::env::var(var) else { return false };
+    let mut parts = v.splitn(3, ':');
+    let (Some(fp), Some(i)) = (parts.next(), parts.next()) else { return false };
+    if fp != fingerprint || i.parse() != Ok(index) {
+        return false;
+    }
+    match parts.next() {
+        // The marker arms the hook once: create-new succeeds only the
+        // first time, so retries run clean.
+        Some(marker) => {
+            std::fs::OpenOptions::new().write(true).create_new(true).open(marker).is_ok()
+        }
+        None => true,
+    }
+}
+
+/// Dies by SIGKILL — no unwinding, no exit handlers, exactly the
+/// `kill -9` shape the supervisor must absorb. Falls back to `abort`
+/// (SIGABRT) if no shell is available to deliver the signal.
+fn kill_self() -> ! {
+    let pid = std::process::id().to_string();
+    let _ = Command::new("sh").args(["-c", &format!("kill -9 {pid}")]).status();
+    std::process::abort();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_grows_and_caps() {
+        let base = Duration::from_millis(25);
+        let first = backoff_delay(base, "deadbeefdeadbeef", 3, 2);
+        assert_eq!(first, backoff_delay(base, "deadbeefdeadbeef", 3, 2));
+        let later = backoff_delay(base, "deadbeefdeadbeef", 3, 6);
+        assert!(later > first, "{later:?} vs {first:?}");
+        assert!(backoff_delay(base, "deadbeefdeadbeef", 3, 40) <= Duration::from_millis(2_000));
+        // Distinct jobs jitter apart (seeded by identity, not shared state).
+        assert_ne!(
+            backoff_delay(base, "deadbeefdeadbeef", 3, 2),
+            backoff_delay(base, "deadbeefdeadbeef", 4, 2)
+        );
+    }
+
+    #[test]
+    fn pool_config_defaults_are_deterministic_safe() {
+        let cfg = PoolConfig::new(4);
+        assert_eq!(cfg.workers, 4);
+        assert_eq!(cfg.max_retries, 2);
+        // No deadline by default: determinism-sensitive tests never race
+        // a timer.
+        assert!(cfg.job_timeout.is_none());
+        assert_eq!(PoolConfig::new(0).workers, 1);
+    }
+
+    #[test]
+    fn worker_protocol_refuses_malformed_lines_without_dying() {
+        let mut specs = HashMap::new();
+        for bad in [
+            "not json",
+            "{}",
+            "{\"cmd\":\"job\"}",
+            "{\"cmd\":\"job\",\"job\":\"0000000000000000\",\"index\":0}",
+            "{\"cmd\":\"nope\"}",
+            "{\"cmd\":\"manifest\"}",
+            "{\"cmd\":\"manifest\",\"manifest\":{\"bogus\":1}}",
+        ] {
+            let reply = handle_worker_line(&mut specs, bad).expect("refusal, not exit");
+            assert_eq!(
+                reply.get("ok").and_then(JsonValue::as_bool),
+                Some(false),
+                "{bad} must be refused: {}",
+                reply.render()
+            );
+            let code = reply
+                .get("error")
+                .and_then(|e| e.get("exit_code"))
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0);
+            assert_eq!(code, 2.0, "{bad}");
+        }
+        // Ping and exit still work after the abuse.
+        let pong = handle_worker_line(&mut specs, "{\"cmd\":\"ping\"}").unwrap();
+        assert_eq!(pong.get("pong").and_then(JsonValue::as_bool), Some(true));
+        assert!(handle_worker_line(&mut specs, "{\"cmd\":\"exit\"}").is_none());
+    }
+
+    #[test]
+    fn manifest_then_job_round_trips_a_point_identically() {
+        // Register a tiny spec and run one point through the worker-side
+        // handler; the result must be byte-identical to the in-process
+        // runner's answer for the same point.
+        let spec = crate::experiments::spec_by_name("table2")
+            .map(|mut s| {
+                s.points.truncate(1);
+                s.sections.clear();
+                s
+            })
+            .expect("table2 spec exists");
+        let fp = spec.fingerprint();
+        let mut specs = HashMap::new();
+        let req = JsonValue::object(vec![
+            ("cmd", JsonValue::Str("manifest".to_string())),
+            ("manifest", spec.to_json_value()),
+        ]);
+        let ack = handle_worker_line(&mut specs, &req.render()).unwrap();
+        assert_eq!(ack.get("manifest").and_then(JsonValue::as_str), Some(fp.as_str()));
+
+        let options = RunOptions::default();
+        let req = JsonValue::object(vec![
+            ("cmd", JsonValue::Str("job".to_string())),
+            ("job", JsonValue::Str(fp.clone())),
+            ("index", JsonValue::UInt(0)),
+            ("options", options.to_json_value()),
+        ]);
+        let reply = handle_worker_line(&mut specs, &req.render()).unwrap();
+        let (result, exit) = parse_job_reply(&reply, 0).expect("valid job reply");
+        assert!(exit.is_none(), "healthy point carries no exit code");
+        assert!(result.error.is_none());
+        let reference = {
+            let runner = Runner::with_options(options);
+            let p = &spec.points[0];
+            PointResult::from_run(&request_point(&runner, p), p.config.is_ooo())
+        };
+        assert_eq!(
+            result.to_json_value().render(),
+            reference.to_json_value().render(),
+            "wire round-trip must be byte-identical to in-process"
+        );
+    }
+}

@@ -100,6 +100,16 @@ fn concurrent_clients_then_warm_restart() {
     )
     .expect("status round trip");
     assert_eq!(status.get("state").and_then(JsonValue::as_str), Some("done"));
+    // Live progress counters ride every status doc; a finished sweep
+    // reports every admitted point done and nothing in flight.
+    let progress = status.get("progress").expect("progress section");
+    let n = |field: &str| progress.get(field).and_then(JsonValue::as_u64);
+    assert_eq!(n("total"), Some(points));
+    assert_eq!(n("done"), Some(points));
+    assert_eq!(n("queued"), Some(0));
+    assert_eq!(n("running"), Some(0));
+    assert_eq!(n("failed"), Some(0));
+    assert_eq!(status.get("quarantined").and_then(JsonValue::as_u64), Some(0));
 
     shutdown(&sock);
     let swept = server.join().expect("server thread");

@@ -105,6 +105,21 @@ fn shutdown_flags_the_daemon() {
 }
 
 #[test]
+fn bare_status_lists_jobs_instead_of_erroring() {
+    // With no job id, `status` is the listing query: an empty daemon
+    // answers ok with an empty `jobs` array (not a refusal), and an
+    // explicit empty id means the same thing.
+    let st = state();
+    for line in [&b"{\"cmd\":\"status\"}"[..], b"{\"cmd\":\"status\",\"job\":\"\"}"] {
+        let resp = handle_line(&st, line);
+        assert_eq!(ok_flag(&resp.body), Some(true), "{:?}", String::from_utf8_lossy(line));
+        assert_wire_contract(&resp);
+        let jobs = resp.body.get("jobs").and_then(JsonValue::as_array).expect("jobs array");
+        assert!(jobs.is_empty(), "no sweeps submitted yet");
+    }
+}
+
+#[test]
 fn malformed_requests_are_refused_not_fatal() {
     let st = state();
     for line in [
@@ -115,7 +130,7 @@ fn malformed_requests_are_refused_not_fatal() {
         b"{\"cmd\":42}",
         b"{\"no\":\"cmd\"}",
         b"{\"cmd\":\"frobnicate\"}",
-        b"{\"cmd\":\"status\"}",
+        b"{\"cmd\":\"status\",\"job\":42}",
         b"{\"cmd\":\"status\",\"job\":\"0000000000000000\"}",
         b"{\"cmd\":\"submit\"}",
         b"{\"cmd\":\"submit\",\"manifest\":{}}",

@@ -33,7 +33,14 @@
 //!
 //! Exit codes: `0` success, `1` generic failure, `2` usage/parse error,
 //! `3` simulation wedge ([`crate::sim::SimError::NoForwardProgress`]),
-//! `4` architectural/injected fault, `5` exceeded cycle budget.
+//! `4` architectural/injected fault, `5` exceeded cycle budget, `6` lost
+//! worker process ([`crate::sim::SimError::WorkerLost`]), `7` expired job
+//! deadline ([`crate::sim::SimError::Timeout`]).
+//!
+//! There is also a hidden `xloops worker` subcommand: the child half of
+//! the supervised worker pool (`XLOOPS_WORKERS`), speaking NDJSON on
+//! stdin/stdout. It is spawned by the scheduler, not by people — see
+//! [`crate::bench::worker`].
 
 use std::collections::HashSet;
 use std::fmt::Write as _;
@@ -167,12 +174,16 @@ pub enum Command {
         wait: bool,
         sock: Option<String>,
     },
-    /// `status JOB [--sock PATH]`: query a submitted sweep by its job id
-    /// (the manifest fingerprint).
+    /// `status [JOB] [--sock PATH]`: query a submitted sweep by its job
+    /// id (the manifest fingerprint), or — with no job id — list every
+    /// job the daemon knows.
     Status {
-        job: String,
+        job: Option<String>,
         sock: Option<String>,
     },
+    /// Hidden: the worker-pool child process (`xloops worker`). Speaks
+    /// the NDJSON job protocol on stdin/stdout until EOF or `exit`.
+    Worker,
     /// `shutdown [--sock PATH]`: stop the daemon cleanly.
     Shutdown {
         sock: Option<String>,
@@ -278,7 +289,7 @@ pub fn usage() -> &'static str {
      \x20 xloops merge [--store DIR] <shard.json|shard.dxs>...\n\
      \x20 xloops serve [--sock PATH] [--store DIR]\n\
      \x20 xloops submit <spec.json> [--wait] [--sock PATH]\n\
-     \x20 xloops status <job> [--sock PATH]\n\
+     \x20 xloops status [<job>] [--sock PATH]\n\
      \x20 xloops shutdown [--sock PATH]\n\
      \x20 xloops store prune --manifest <file>... [--store DIR]\n\n\
      configs: io ooo2 ooo4 io+x ooo2+x ooo4+x   modes: traditional specialized adaptive\n\
@@ -289,8 +300,15 @@ pub fn usage() -> &'static str {
      \x20                  results durably; a sweep --out ending in .dxs writes the\n\
      \x20                  binary shard format\n\
      daemon (serve/submit/status/shutdown): --sock PATH (or XLOOPS_SOCK=PATH) names the\n\
-     \x20                  Unix socket; a sweep's job id is its manifest fingerprint\n\
-     exit codes: 0 ok, 1 error, 2 usage, 3 wedge, 4 fault, 5 cycle budget\n"
+     \x20                  Unix socket; a sweep's job id is its manifest fingerprint;\n\
+     \x20                  status with no job lists every known job; clients time out\n\
+     \x20                  after XLOOPS_CLIENT_TIMEOUT ms (default 10000, 0 = never)\n\
+     workers (sweep/serve): XLOOPS_WORKERS=N runs jobs in N supervised worker\n\
+     \x20                  processes; XLOOPS_JOB_TIMEOUT=MS sets a per-attempt job\n\
+     \x20                  deadline (default off); XLOOPS_MAX_RETRIES=N bounds retries\n\
+     \x20                  after worker crashes (default 2)\n\
+     exit codes: 0 ok, 1 error, 2 usage, 3 wedge, 4 fault, 5 cycle budget,\n\
+     \x20           6 worker lost, 7 job deadline\n"
 }
 
 fn parse_u32(s: &str) -> Result<u32, String> {
@@ -543,7 +561,15 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     other => return Err(format!("unknown option `{other}`")),
                 }
             }
-            Ok(Command::Status { job: job.ok_or("status expects a job id")?, sock })
+            Ok(Command::Status { job, sock })
+        }
+        // Hidden: spawned by the worker pool, never typed by people (and
+        // so absent from the usage text).
+        "worker" => {
+            if args.len() > 1 {
+                return Err("worker takes no arguments".into());
+            }
+            Ok(Command::Worker)
         }
         "shutdown" => {
             let mut sock = None;
@@ -852,7 +878,7 @@ pub fn execute(cmd: Command) -> Result<CommandOutput, CliError> {
                 resp.get("artifact").and_then(JsonValue::as_str).unwrap_or_default().to_string();
             Ok((artifact, None))
         }
-        Command::Status { job, sock } => {
+        Command::Status { job: Some(job), sock } => {
             let sock = resolve_sock(sock)?;
             let req = JsonValue::object(vec![
                 ("cmd", JsonValue::Str("status".to_string())),
@@ -862,9 +888,20 @@ pub fn execute(cmd: Command) -> Result<CommandOutput, CliError> {
             let job = resp.get("job").and_then(JsonValue::as_str).unwrap_or("?");
             let state = resp.get("state").and_then(JsonValue::as_str).unwrap_or("?");
             let mut text = format!("job {job}: {state}\n");
+            if state == "running" {
+                if let Some(p) = resp.get("progress") {
+                    let _ = writeln!(text, "progress: {}", render_progress(p));
+                }
+            }
             if state == "done" {
                 let n = |k: &str| resp.get(k).and_then(JsonValue::as_u64).unwrap_or(0);
-                let _ = writeln!(text, "points: {} ({} failed)", n("points"), n("failed"));
+                let _ = writeln!(
+                    text,
+                    "points: {} ({} failed, {} quarantined)",
+                    n("points"),
+                    n("failed"),
+                    n("quarantined")
+                );
                 if let Some(store) = resp.get("store") {
                     let s = |k: &str| store.get(k).and_then(JsonValue::as_u64).unwrap_or(0);
                     let _ = writeln!(text, "store: {} hits, {} misses", s("hits"), s("misses"));
@@ -876,6 +913,47 @@ pub fn execute(cmd: Command) -> Result<CommandOutput, CliError> {
                 }
             }
             Ok((text, None))
+        }
+        Command::Status { job: None, sock } => {
+            let sock = resolve_sock(sock)?;
+            let req = JsonValue::object(vec![("cmd", JsonValue::Str("status".to_string()))]);
+            let resp = daemon_request(&sock, &req)?;
+            let jobs = resp.get("jobs").and_then(JsonValue::as_array).unwrap_or(&[]);
+            if jobs.is_empty() {
+                return Ok(("no jobs\n".to_string(), None));
+            }
+            let mut text = String::new();
+            for j in jobs {
+                let id = j.get("job").and_then(JsonValue::as_str).unwrap_or("?");
+                let state = j.get("state").and_then(JsonValue::as_str).unwrap_or("?");
+                let n = |k: &str| j.get(k).and_then(JsonValue::as_u64).unwrap_or(0);
+                let _ = write!(text, "job {id}: {state}, {} points", n("points"));
+                if state == "done" {
+                    let _ = write!(
+                        text,
+                        " ({} done, {} failed, {} quarantined)",
+                        n("done"),
+                        n("failed"),
+                        n("quarantined")
+                    );
+                } else if let Some(p) = j.get("progress") {
+                    let _ = write!(text, " ({})", render_progress(p));
+                }
+                text.push('\n');
+            }
+            Ok((text, None))
+        }
+        Command::Worker => {
+            // The child half of the supervised worker pool: this blocks on
+            // stdin until the parent closes the pipe or sends `exit`.
+            match crate::bench::worker::worker_main() {
+                0 => Ok((String::new(), None)),
+                code => Err(CliError {
+                    code,
+                    message: "worker lost its parent pipe".into(),
+                    json: None,
+                }),
+            }
         }
         Command::Shutdown { sock } => {
             let sock = resolve_sock(sock)?;
@@ -928,11 +1006,47 @@ fn resolve_sock(flag: Option<String>) -> Result<PathBuf, CliError> {
         .ok_or_else(|| manifest_error("no daemon socket: pass --sock PATH or set XLOOPS_SOCK"))
 }
 
+/// Renders a daemon progress document as one human-readable clause.
+fn render_progress(p: &JsonValue) -> String {
+    let n = |k: &str| p.get(k).and_then(JsonValue::as_u64).unwrap_or(0);
+    format!(
+        "{} queued, {} running, {} done, {} failed, {} store hits",
+        n("queued"),
+        n("running"),
+        n("done"),
+        n("failed"),
+        n("hits")
+    )
+}
+
+/// Maps a client-side socket failure to its CLI surface: a tripped read
+/// or write deadline (the daemon accepted but never answered) is a typed
+/// protocol failure with the usage exit code `2`; anything else (no
+/// socket, connection refused) stays the generic `1`.
+fn client_io_error(sock: &std::path::Path, e: std::io::Error) -> CliError {
+    let timed_out =
+        matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut);
+    if timed_out {
+        CliError {
+            code: 2,
+            message: format!(
+                "{}: daemon did not respond before the client timeout ({e})",
+                sock.display()
+            ),
+            json: None,
+        }
+    } else {
+        CliError::from(format!("{}: {e}", sock.display()))
+    }
+}
+
 /// One client round-trip to the daemon, with `ok:false` responses mapped
-/// to a [`CliError`] carrying the daemon's message and exit code.
+/// to a [`CliError`] carrying the daemon's message and exit code. A hung
+/// daemon trips the client's socket deadline ([`serve::client_timeout`]),
+/// which maps through [`client_io_error`] to the usage/protocol exit
+/// code `2` — a deliberate typed failure, never an indefinite block.
 fn daemon_request(sock: &std::path::Path, req: &JsonValue) -> Result<JsonValue, CliError> {
-    let resp = serve::request(sock, req)
-        .map_err(|e| CliError::from(format!("{}: {e}", sock.display())))?;
+    let resp = serve::request(sock, req).map_err(|e| client_io_error(sock, e))?;
     if resp.get("ok").and_then(JsonValue::as_bool) == Some(true) {
         return Ok(resp);
     }
@@ -1351,6 +1465,68 @@ mod tests {
         let cold_doc = ShardDoc::from_bytes(&cold_file.unwrap().1).unwrap();
         let warm_doc = ShardDoc::from_bytes(&warm_file.unwrap().1).unwrap();
         assert_eq!(cold_doc, warm_doc);
+    }
+
+    #[test]
+    fn status_parses_with_and_without_a_job_id() {
+        match parse(&sv(&["status", "abc123", "--sock", "/tmp/x.sock"])).unwrap() {
+            Command::Status { job, sock } => {
+                assert_eq!(job.as_deref(), Some("abc123"));
+                assert_eq!(sock.as_deref(), Some("/tmp/x.sock"));
+            }
+            other => panic!("expected status, got {other:?}"),
+        }
+        // No job id is the listing query, not a usage error.
+        match parse(&sv(&["status"])).unwrap() {
+            Command::Status { job: None, sock: None } => {}
+            other => panic!("expected bare status, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worker_subcommand_is_hidden_but_parses() {
+        assert!(matches!(parse(&sv(&["worker"])).unwrap(), Command::Worker));
+        assert!(parse(&sv(&["worker", "--frob"])).is_err());
+        // Hidden means hidden: the usage text never mentions it as a
+        // subcommand people should type.
+        assert!(!usage().contains("xloops worker"), "worker must stay off the usage text");
+    }
+
+    #[test]
+    fn hung_daemon_times_out_with_the_protocol_exit_code() {
+        // A listener that accepts but never answers: the client must trip
+        // its read deadline and map it to exit code 2, not block forever.
+        let tmp = TempDir::new("hung-daemon");
+        let sock = tmp.0.join("hung.sock");
+        let listener = std::os::unix::net::UnixListener::bind(&sock).unwrap();
+        let hold = std::thread::spawn(move || {
+            // Hold the accepted connection open, silently, until the
+            // client gives up and the test ends.
+            listener.incoming().next().map(|c| {
+                let c = c.unwrap();
+                std::thread::sleep(std::time::Duration::from_millis(900));
+                drop(c);
+            })
+        });
+        let req = JsonValue::object(vec![("cmd", JsonValue::Str("status".to_string()))]);
+        let t = std::time::Instant::now();
+        // Route through the explicit-timeout entry so the test does not
+        // depend on (or mutate) the process environment.
+        let resp = serve::request_with(&sock, &req, Some(std::time::Duration::from_millis(200)));
+        let e = resp.expect_err("a silent daemon must time the client out");
+        assert!(t.elapsed() < std::time::Duration::from_millis(800), "{:?}", t.elapsed());
+        // The CLI maps exactly that error to the typed protocol failure
+        // with the usage exit code — a hung daemon is never exit 1 noise.
+        let cli = client_io_error(&sock, e);
+        assert_eq!(cli.code, 2, "{}", cli.message);
+        assert!(cli.message.contains("client timeout"), "{}", cli.message);
+        // Other socket failures keep the generic class.
+        let refused = client_io_error(
+            std::path::Path::new("/nonexistent.sock"),
+            std::io::Error::new(std::io::ErrorKind::NotFound, "no such socket"),
+        );
+        assert_eq!(refused.code, 1);
+        let _ = hold.join();
     }
 
     #[test]
