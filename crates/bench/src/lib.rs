@@ -26,10 +26,12 @@
 pub mod experiments;
 pub mod job;
 pub mod manifest;
+pub mod proto;
 pub mod runner;
 pub mod sched;
 pub mod serve;
 pub mod store;
+pub mod transport;
 pub mod worker;
 
 use std::fmt::Write as _;

@@ -52,7 +52,7 @@ use crate::manifest::{
 };
 use crate::runner::{PrefillInfo, RunFailure, RunKey, Runner};
 use crate::store::{attach_store_counters, Loaded, ResultStore};
-use crate::worker::{PoolConfig, WireJob, WorkerPool};
+use crate::worker::{PoolConfig, RemoteRegistry, WireJob, WorkerPool};
 
 /// Runs every item through `run` on a work-stealing pool of `workers`
 /// threads, returning the results in item order. `run` receives the item
@@ -269,6 +269,7 @@ pub struct Scheduler<'a> {
     store: Option<&'a ResultStore>,
     pool: Option<PoolConfig>,
     progress: Option<Arc<SweepProgress>>,
+    remotes: Option<Arc<RemoteRegistry>>,
 }
 
 impl<'a> Scheduler<'a> {
@@ -277,13 +278,23 @@ impl<'a> Scheduler<'a> {
     /// pool comes from the environment ([`PoolConfig::from_env`], i.e.
     /// `XLOOPS_WORKERS` and friends); [`Scheduler::with_pool`] overrides.
     pub fn new(options: RunOptions, store: Option<&'a ResultStore>) -> Scheduler<'a> {
-        Scheduler { options, store, pool: PoolConfig::from_env(), progress: None }
+        Scheduler { options, store, pool: PoolConfig::from_env(), progress: None, remotes: None }
     }
 
     /// Overrides the worker-pool policy (`None` forces in-process
     /// execution regardless of the environment).
     pub fn with_pool(mut self, pool: Option<PoolConfig>) -> Scheduler<'a> {
         self.pool = pool;
+        self
+    }
+
+    /// Attaches the daemon's registered remote executors. With remotes
+    /// present they join (or, with no local pool configured, *become*)
+    /// the worker pool — a remotes-only pool forbids spawning children,
+    /// so a daemon without `XLOOPS_WORKERS` still dispatches to its
+    /// registered workers and degrades to in-process when none remain.
+    pub fn with_remotes(mut self, remotes: Option<Arc<RemoteRegistry>>) -> Scheduler<'a> {
+        self.remotes = remotes;
         self
     }
 
@@ -345,8 +356,16 @@ impl<'a> Scheduler<'a> {
         work: &[(&ExperimentSpec, Vec<usize>)],
         probes: &[Probe],
     ) -> (Vec<Vec<PointResult>>, Vec<RunFailure>, PrefillInfo) {
-        if let Some(cfg) = &self.pool {
-            match WorkerPool::spawn(cfg.clone()) {
+        let registered = self.remotes.as_ref().map_or(0, |r| r.available());
+        let cfg = match (&self.pool, registered) {
+            (Some(cfg), _) => Some(cfg.clone()),
+            // No local pool configured, but remote executors are
+            // registered: run a remotes-only pool sized to them.
+            (None, n) if n > 0 => Some(PoolConfig::for_remotes(n)),
+            (None, 0..) => None,
+        };
+        if let Some(cfg) = cfg {
+            match WorkerPool::spawn_with(cfg, self.remotes.clone()) {
                 Ok(pool) => return self.simulate_pooled(&pool, work, probes),
                 Err(e) => {
                     eprintln!("xloops: worker pool unavailable ({e}); running in-process");

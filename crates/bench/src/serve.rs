@@ -1,39 +1,26 @@
 //! The service layer: a long-running sweep daemon over the scheduler.
 //!
-//! `xloops serve` hosts the [`crate::sched::Scheduler`] behind a
-//! newline-delimited-JSON protocol on a Unix socket (the path comes from
-//! `--sock` or `XLOOPS_SOCK`), so repeated sweeps amortize one warm
-//! durable store across many client invocations. `xloops submit` and
-//! `xloops status` are thin clients — one request line out, one response
-//! line back — and the CLI's synchronous sweep mode is the same scheduler
+//! `xloops serve` hosts the [`crate::sched::Scheduler`] behind the
+//! unified NDJSON wire protocol ([`crate::proto`]) on a Unix socket (the
+//! path comes from `--sock` or `XLOOPS_SOCK`) and, when asked, a TCP
+//! listener alongside it (`--listen tcp://HOST:PORT` or `XLOOPS_LISTEN`),
+//! so repeated sweeps amortize one warm durable store across many client
+//! invocations — local or cross-machine. `xloops submit` and `xloops
+//! status` are thin clients — one request line out, one response line
+//! back — and the CLI's synchronous sweep mode is the same scheduler
 //! called in-process, so the daemon adds no second orchestration path.
 //!
-//! ## Wire protocol
+//! The wire grammar, framing, deadlines, and handshake rules live in
+//! [`crate::proto`]; the transports in [`crate::transport`]. This module
+//! is transport-blind: `serve_connection` speaks to a [`Conn`] and
+//! only consults [`Conn::is_remote`] to decide whether the version/token
+//! handshake is mandatory (TCP) or optional (Unix, whose filesystem
+//! permissions are the access control).
 //!
-//! One request per line, any number of requests per connection. Every
-//! request gets exactly one *final* response line; a `submit` with
-//! `wait:true` additionally streams keep-alive progress lines (marked
-//! `"hb":true`) every couple of seconds until the sweep finishes, so
-//! clients with read timeouts can tell a working daemon from a hung one:
-//!
-//! ```text
-//! request  = object "\n"
-//! object   = {"cmd":"ping"}
-//!          | {"cmd":"submit","manifest":SPEC}          fire and forget
-//!          | {"cmd":"submit","manifest":SPEC,"wait":true}
-//!          | {"cmd":"status"}                          list all jobs
-//!          | {"cmd":"status","job":FINGERPRINT}
-//!          | {"cmd":"shutdown"}
-//! response = {"ok":true, ...} | {"ok":false,"error":{"message":M,"exit_code":2}}
-//! ```
-//!
-//! `SPEC` is a full experiment-manifest document
-//! ([`ExperimentSpec::to_json_value`]) — the client embeds the manifest
-//! file, so the daemon never needs the client's filesystem. A sweep's job
-//! id **is** the manifest fingerprint: submitting the manifest that is
-//! already queued/running *attaches* to it (both `--wait` clients get the
-//! artifact), and `status` works from any client that knows the
-//! fingerprint.
+//! A remote `xloops worker --connect` process `register`s over the same
+//! listener; its connection is handed to the daemon's
+//! [`RemoteRegistry`], where the scheduler's pool machinery checks it
+//! out as just another worker (see [`crate::worker`]).
 //!
 //! Malformed input — non-UTF-8 bytes, broken JSON, schema violations, an
 //! invalid manifest — produces an `ok:false` response with the canonical
@@ -48,13 +35,14 @@
 //! `kill -9` mid-sweep loses only in-flight points. Resubmitting after a
 //! restart re-derives the job list and finds every completed point as a
 //! store hit — resume is a property of the layering, not a recovery
-//! subsystem.
+//! subsystem. Clean exits (`shutdown`, SIGTERM via the CLI's handler)
+//! unlink the Unix socket and close the TCP listener, so restarts never
+//! rely solely on stale-socket takeover.
 
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
-use std::os::unix::net::{UnixListener, UnixStream};
+use std::net::SocketAddr;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -64,16 +52,30 @@ use xloops_stats::JsonValue;
 
 use crate::job::JobState;
 use crate::manifest::{render_spec, ExperimentSpec, PointResult};
+use crate::proto::{
+    self, check_handshake, hello_ok, ok_fields, FrameReader, FrameWriter, Refusal, Request,
+    WAIT_HEARTBEAT,
+};
 use crate::sched::{Scheduler, SweepProgress};
 use crate::store::ResultStore;
+use crate::transport::{Conn, Endpoint, Listener};
+use crate::worker::{RemoteHandle, RemoteRegistry};
 
-/// Cadence of the keep-alive progress lines a waiting `submit` streams.
-const WAIT_HEARTBEAT: Duration = Duration::from_secs(2);
+/// Resolves the daemon endpoint: an explicit `--sock` value wins,
+/// otherwise `XLOOPS_SOCK`. Both accept a Unix socket path or a
+/// `tcp://HOST:PORT` address (thin clients can dial either).
+pub fn sock_from(flag: Option<String>) -> Option<Endpoint> {
+    flag.or_else(|| std::env::var("XLOOPS_SOCK").ok())
+        .filter(|s| !s.is_empty())
+        .map(|s| Endpoint::parse(&s))
+}
 
-/// Resolves the daemon socket path: an explicit `--sock` value wins,
-/// otherwise `XLOOPS_SOCK`.
-pub fn sock_from(flag: Option<PathBuf>) -> Option<PathBuf> {
-    flag.or_else(|| std::env::var("XLOOPS_SOCK").ok().filter(|s| !s.is_empty()).map(PathBuf::from))
+/// Resolves the extra TCP listen address: `--listen` wins, otherwise
+/// `XLOOPS_LISTEN`.
+pub fn listen_from(flag: Option<String>) -> Option<Endpoint> {
+    flag.or_else(|| std::env::var("XLOOPS_LISTEN").ok())
+        .filter(|s| !s.is_empty())
+        .map(|s| Endpoint::parse(&s))
 }
 
 /// Everything a finished sweep produced, kept until the daemon exits so
@@ -163,27 +165,67 @@ impl SweepJob {
     }
 }
 
+/// How a daemon binds its listeners: the Unix socket (always), the
+/// optional TCP listener, the store, run options, and the TCP token.
+pub struct ServeConfig {
+    /// The Unix socket path.
+    pub sock: PathBuf,
+    /// An optional TCP listen address alongside the Unix socket.
+    pub listen: Option<Endpoint>,
+    /// The durable store directory, when sweeps should be durable.
+    pub store_dir: Option<PathBuf>,
+    /// The options every sweep runs under.
+    pub options: RunOptions,
+    /// The shared secret TCP peers must present (`XLOOPS_TOKEN`); `None`
+    /// accepts any version-matched TCP peer.
+    pub token: Option<String>,
+}
+
+impl ServeConfig {
+    /// A Unix-only daemon config (the pre-network shape) under `options`.
+    pub fn unix(sock: impl Into<PathBuf>, store_dir: Option<PathBuf>, options: RunOptions) -> Self {
+        ServeConfig { sock: sock.into(), listen: None, store_dir, options, token: None }
+    }
+}
+
 /// Shared daemon state: the sweep registry plus everything a worker needs
-/// to run one (store directory, run options).
+/// to run one (store directory, run options), the remote-worker registry,
+/// and the identity facts `status` reports (version, uptime).
 pub struct ServiceState {
     store_dir: Option<PathBuf>,
     options: RunOptions,
     sweeps: Mutex<HashMap<String, Arc<SweepJob>>>,
     shutdown: AtomicBool,
-    sock: PathBuf,
+    /// Every bound endpoint, poked awake on shutdown.
+    poke: Mutex<Vec<Endpoint>>,
+    token: Option<String>,
+    started: Instant,
+    remotes: Arc<RemoteRegistry>,
 }
 
 impl ServiceState {
-    /// Fresh state for a daemon listening on `sock`, sweeping under
-    /// `options` against the store at `store_dir` (when given).
-    pub fn new(sock: PathBuf, store_dir: Option<PathBuf>, options: RunOptions) -> ServiceState {
+    /// Fresh state for a daemon sweeping under `options` against the
+    /// store at `store_dir` (when given), gating TCP peers on `token`.
+    pub fn new(store_dir: Option<PathBuf>, options: RunOptions, token: Option<String>) -> Self {
         ServiceState {
             store_dir,
             options,
             sweeps: Mutex::new(HashMap::new()),
             shutdown: AtomicBool::new(false),
-            sock,
+            poke: Mutex::new(Vec::new()),
+            token,
+            started: Instant::now(),
+            remotes: Arc::new(RemoteRegistry::new()),
         }
+    }
+
+    /// The remote-worker registry (exposed for in-process tests).
+    pub fn remotes(&self) -> &Arc<RemoteRegistry> {
+        &self.remotes
+    }
+
+    fn handshake(&self, version: u64, token: Option<&str>) -> Result<(), Refusal> {
+        check_handshake(version, token, self.token.as_deref())
     }
 }
 
@@ -199,16 +241,8 @@ pub struct Response {
     pub wait: Option<Arc<SweepJob>>,
 }
 
-fn ok_fields(fields: Vec<(&str, JsonValue)>) -> JsonValue {
-    let mut all = vec![("ok".to_string(), JsonValue::Bool(true))];
-    all.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
-    JsonValue::Object(all)
-}
-
 fn refuse(message: String) -> Response {
-    let body =
-        JsonValue::object(vec![("ok", JsonValue::Bool(false)), ("error", error_doc(&message, 2))]);
-    Response { body, shutdown: false, wait: None }
+    Response { body: Refusal::new(message).to_json_value(), shutdown: false, wait: None }
 }
 
 /// The sweep's current phase as a response document, with the live
@@ -255,63 +289,60 @@ fn listing_doc(job: &SweepJob) -> JsonValue {
     JsonValue::Object(fields)
 }
 
-/// Handles one request line. This is the daemon's entire parse surface
-/// and it must never panic: every malformed input path — bad UTF-8, bad
-/// JSON, missing fields, invalid manifests — returns an `ok:false`
-/// response instead (pinned by the protocol proptests).
+/// Handles one raw request line: [`Request::parse`] plus
+/// [`handle_request`]. This is the daemon's entire per-line surface and
+/// it must never panic — every malformed input path returns an
+/// `ok:false` response instead (pinned by the codec proptests).
 pub fn handle_line(state: &Arc<ServiceState>, line: &[u8]) -> Response {
-    let text = match std::str::from_utf8(line) {
-        Ok(t) => t.trim(),
-        Err(e) => return refuse(format!("request is not UTF-8: {e}")),
-    };
-    if text.is_empty() {
-        return refuse("empty request line".to_string());
+    match Request::parse(line) {
+        Ok(req) => handle_request(state, req),
+        Err(refusal) => Response { body: refusal.to_json_value(), shutdown: false, wait: None },
     }
-    let doc = match JsonValue::parse(text) {
-        Ok(d) => d,
-        Err(e) => return refuse(format!("request is not JSON: {e}")),
-    };
-    let Some(cmd) = doc.get("cmd").and_then(JsonValue::as_str) else {
-        return refuse("request has no string `cmd` field".to_string());
-    };
-    match cmd {
-        "ping" => Response {
+}
+
+/// Dispatches one typed request on the daemon. Worker-half commands are
+/// refused here — they belong on a worker's connection, and `register`
+/// is handled at the connection level (`serve_connection`) because it
+/// changes what the connection *is*.
+pub fn handle_request(state: &Arc<ServiceState>, req: Request) -> Response {
+    match req {
+        Request::Ping => Response {
             body: ok_fields(vec![("pong", JsonValue::Bool(true))]),
             shutdown: false,
             wait: None,
         },
-        "shutdown" => Response {
+        Request::Shutdown => Response {
             body: ok_fields(vec![("shutdown", JsonValue::Bool(true))]),
             shutdown: true,
             wait: None,
         },
-        "status" => {
-            // A malformed `job` value (present but not a string) is a
-            // schema violation; an *absent* or empty one asks for the
-            // listing of every known job.
-            let job_id = match doc.get("job") {
-                Some(v) => match v.as_str() {
-                    Some(id) => id,
-                    None => return refuse("status `job` field must be a string".to_string()),
-                },
-                None => "",
-            };
+        Request::Hello { version, token } => match state.handshake(version, token.as_deref()) {
+            Ok(()) => Response { body: hello_ok(), shutdown: false, wait: None },
+            Err(refusal) => refuse(refusal.message),
+        },
+        Request::Status { job: None } => {
             let sweeps = state.sweeps.lock().unwrap();
-            if job_id.is_empty() {
-                let mut ids: Vec<&String> = sweeps.keys().collect();
-                ids.sort();
-                let jobs = ids.into_iter().map(|id| listing_doc(&sweeps[id])).collect::<Vec<_>>();
-                return Response {
-                    body: ok_fields(vec![("jobs", JsonValue::Array(jobs))]),
-                    shutdown: false,
-                    wait: None,
-                };
+            let mut ids: Vec<&String> = sweeps.keys().collect();
+            ids.sort();
+            let jobs = ids.into_iter().map(|id| listing_doc(&sweeps[id])).collect::<Vec<_>>();
+            Response {
+                body: ok_fields(vec![
+                    ("jobs", JsonValue::Array(jobs)),
+                    ("version", JsonValue::Str(proto::build_version().to_string())),
+                    ("uptime_ms", JsonValue::UInt(state.started.elapsed().as_millis() as u64)),
+                    ("workers", JsonValue::UInt(state.remotes.available() as u64)),
+                ]),
+                shutdown: false,
+                wait: None,
             }
-            match sweeps.get(job_id) {
+        }
+        Request::Status { job: Some(job_id) } => {
+            let sweeps = state.sweeps.lock().unwrap();
+            match sweeps.get(&job_id) {
                 Some(job) => {
                     let phase = job.phase.lock().unwrap();
                     Response {
-                        body: phase_doc(job_id, &phase, &job.progress),
+                        body: phase_doc(&job_id, &phase, &job.progress),
                         shutdown: false,
                         wait: None,
                     }
@@ -319,17 +350,9 @@ pub fn handle_line(state: &Arc<ServiceState>, line: &[u8]) -> Response {
                 None => refuse(format!("unknown job {job_id}")),
             }
         }
-        "submit" => {
-            let Some(manifest) = doc.get("manifest") else {
-                return refuse("submit needs a `manifest` field".to_string());
-            };
-            let spec = match ExperimentSpec::from_json_value(manifest) {
-                Ok(s) => s,
-                Err(e) => return refuse(format!("invalid manifest: {e}")),
-            };
-            let wait = doc.get("wait").and_then(JsonValue::as_bool).unwrap_or(false);
+        Request::Submit { spec, wait } => {
             let job_id = spec.fingerprint();
-            let job = submit(state, job_id.clone(), spec);
+            let job = submit(state, job_id.clone(), *spec);
             let body = phase_doc(&job_id, &job.phase.lock().unwrap(), &job.progress);
             // Waiting is the connection loop's business, not ours: it
             // streams keep-alive progress lines and the final report, so
@@ -337,7 +360,12 @@ pub fn handle_line(state: &Arc<ServiceState>, line: &[u8]) -> Response {
             let wait = wait.then_some(job);
             Response { body, shutdown: false, wait }
         }
-        other => refuse(format!("unknown command `{other}`")),
+        Request::Register { .. } => {
+            refuse("register must be the first request of a worker connection".to_string())
+        }
+        req @ (Request::Manifest { .. } | Request::Job { .. } | Request::Exit) => {
+            refuse(format!("command `{}` is for workers, not the daemon", req.name()))
+        }
     }
 }
 
@@ -381,6 +409,7 @@ fn submit(state: &Arc<ServiceState>, job_id: String, spec: ExperimentSpec) -> Ar
 /// One sweep through the scheduler: every point of the spec, against a
 /// fresh handle on the daemon's store (fresh so the hit/miss counters are
 /// per-sweep — that is what `submit --wait` reports to its client).
+/// Registered remote workers ride along as executors.
 fn run_sweep(state: &ServiceState, job: &SweepJob) -> SweepDone {
     let spec = &job.spec;
     let store = state.store_dir.as_ref().and_then(|d| match ResultStore::open(d) {
@@ -391,6 +420,7 @@ fn run_sweep(state: &ServiceState, job: &SweepJob) -> SweepDone {
         }
     });
     let swept = Scheduler::new(state.options.clone(), store.as_ref())
+        .with_remotes(Some(Arc::clone(&state.remotes)))
         .with_progress(Arc::clone(&job.progress))
         .run(&[(spec, (0..spec.points.len()).collect())]);
     let outcomes = &swept.outcomes[0];
@@ -415,36 +445,31 @@ fn run_sweep(state: &ServiceState, job: &SweepJob) -> SweepDone {
     }
 }
 
-/// The accept loop: a bound socket plus the shared state.
+/// The accept loops: the bound listeners plus the shared state.
 pub struct Daemon {
-    listener: UnixListener,
+    listeners: Vec<Listener>,
     state: Arc<ServiceState>,
 }
 
 impl Daemon {
-    /// Binds `sock` (replacing a stale socket file from a dead daemon) and
-    /// prepares the shared state. The socket file is removed again on
-    /// clean shutdown.
-    pub fn bind(
-        sock: &Path,
-        store_dir: Option<PathBuf>,
-        options: RunOptions,
-    ) -> std::io::Result<Daemon> {
-        // A dead daemon leaves its socket file behind and bind would fail
-        // with AddrInUse; a *live* daemon holds the listener, so probe
-        // with a connect before clobbering.
-        if sock.exists() {
-            if UnixStream::connect(sock).is_ok() {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::AddrInUse,
-                    format!("a daemon is already listening on {}", sock.display()),
-                ));
+    /// Binds the Unix socket (replacing a stale socket file from a dead
+    /// daemon) and, when configured, the TCP listener, and prepares the
+    /// shared state. Both are closed — and the socket file unlinked —
+    /// on clean shutdown.
+    pub fn bind(cfg: ServeConfig) -> std::io::Result<Daemon> {
+        let mut listeners = vec![Listener::bind(&Endpoint::Unix(cfg.sock.clone()))?];
+        if let Some(ep) = &cfg.listen {
+            match Listener::bind(ep) {
+                Ok(l) => listeners.push(l),
+                Err(e) => {
+                    listeners.remove(0).close();
+                    return Err(e);
+                }
             }
-            std::fs::remove_file(sock)?;
         }
-        let listener = UnixListener::bind(sock)?;
-        let state = Arc::new(ServiceState::new(sock.to_path_buf(), store_dir, options));
-        Ok(Daemon { listener, state })
+        let state = Arc::new(ServiceState::new(cfg.store_dir, cfg.options, cfg.token));
+        *state.poke.lock().unwrap() = listeners.iter().map(Listener::endpoint).collect();
+        Ok(Daemon { listeners, state })
     }
 
     /// The daemon's shared state (exposed for in-process tests).
@@ -452,55 +477,130 @@ impl Daemon {
         &self.state
     }
 
-    /// Serves until a `shutdown` command arrives: accepts connections,
-    /// one handler thread per client, any number of request lines per
-    /// connection. Returns the number of sweeps the daemon ran.
+    /// The bound TCP address, when a TCP listener was configured (port
+    /// `0` resolves to the real port).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.listeners.iter().find_map(Listener::tcp_addr)
+    }
+
+    /// Serves until a `shutdown` command arrives: accepts connections on
+    /// every listener, one handler thread per client, any number of
+    /// request lines per connection. Returns the number of sweeps the
+    /// daemon ran.
     pub fn run(self) -> std::io::Result<usize> {
-        for conn in self.listener.incoming() {
-            if self.state.shutdown.load(Ordering::SeqCst) {
-                break;
+        let Daemon { listeners, state } = self;
+        std::thread::scope(|scope| {
+            for listener in &listeners[1..] {
+                let state = Arc::clone(&state);
+                scope.spawn(move || accept_loop(listener, &state));
             }
-            let stream = match conn {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("[serve] accept failed: {e}");
-                    continue;
-                }
-            };
-            let state = Arc::clone(&self.state);
-            std::thread::spawn(move || serve_connection(&state, stream));
+            accept_loop(&listeners[0], &state);
+        });
+        let swept = state.sweeps.lock().unwrap().len();
+        for listener in listeners {
+            listener.close();
         }
-        let swept = self.state.sweeps.lock().unwrap().len();
-        let _ = std::fs::remove_file(&self.state.sock);
         Ok(swept)
     }
 }
 
-/// Request/response loop for one client connection.
-fn serve_connection(state: &Arc<ServiceState>, stream: UnixStream) {
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
+fn accept_loop(listener: &Listener, state: &Arc<ServiceState>) {
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let conn = match listener.accept() {
+            Ok(c) => c,
+            Err(e) => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                eprintln!("[serve] accept failed: {e}");
+                continue;
+            }
+        };
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let state = Arc::clone(state);
+        std::thread::spawn(move || serve_connection(&state, conn));
+    }
+}
+
+/// Request/response loop for one client connection, transport-blind: a
+/// TCP peer must open with `hello` (client) or `register` (worker) and
+/// pass the version/token handshake; Unix peers speak the pre-network
+/// wire unchanged (a handshake is answered if offered, never required).
+fn serve_connection(state: &Arc<ServiceState>, conn: Conn) {
+    let remote = conn.is_remote();
+    let peer = match conn.split() {
+        Ok(parts) => parts,
         Err(e) => {
-            eprintln!("[serve] cannot clone connection: {e}");
+            eprintln!("[serve] cannot split connection: {e}");
             return;
         }
     };
-    let mut reader = BufReader::new(stream);
-    let mut line = Vec::new();
+    let (read, write, control) = peer;
+    let mut reader = FrameReader::new(read);
+    let mut writer = FrameWriter::new(write);
+    let mut control = Some(control);
+    let mut greeted = !remote;
     loop {
-        line.clear();
-        match reader.read_until(b'\n', &mut line) {
-            Ok(0) => return,
-            Ok(_) => {}
+        let req = match reader.next_line() {
+            Ok(Some(line)) => Request::parse(line),
+            Ok(None) => return,
             Err(e) => {
                 eprintln!("[serve] read failed: {e}");
                 return;
             }
+        };
+        if !greeted && !matches!(req, Ok(Request::Hello { .. }) | Ok(Request::Register { .. })) {
+            let refusal = Refusal::new(format!(
+                "TCP connections must open with a `hello` or `register` handshake \
+                 (protocol v{})",
+                proto::PROTO_VERSION
+            ));
+            let _ = writer.send(&refusal.to_json_value());
+            return;
         }
-        if line.iter().all(|b| b.is_ascii_whitespace()) {
-            continue;
+        // `register` rebinds the connection as a worker: handshake, ack,
+        // then hand the split halves to the registry and leave the loop.
+        if let Ok(Request::Register { version, token }) = &req {
+            match state.handshake(*version, token.as_deref()) {
+                Ok(()) => {
+                    if writer.send(&hello_ok()).is_err() {
+                        return;
+                    }
+                    let (tx, rx) = std::sync::mpsc::channel();
+                    std::thread::spawn(move || proto::pump_lines(reader, tx));
+                    state.remotes.register(RemoteHandle::new(
+                        writer,
+                        control.take().expect("control handle unused until handoff"),
+                        rx,
+                    ));
+                }
+                Err(refusal) => {
+                    let _ = writer.send(&refusal.to_json_value());
+                }
+            }
+            return;
         }
-        let response = handle_line(state, &line);
+        let response = match req {
+            Ok(req) => {
+                let hello = matches!(req, Request::Hello { .. });
+                let resp = handle_request(state, req);
+                if hello && resp.body.get("ok").and_then(JsonValue::as_bool) == Some(true) {
+                    greeted = true;
+                } else if hello && remote {
+                    // A failed TCP handshake closes the connection after
+                    // the refusal is written.
+                    let _ = writer.send(&resp.body);
+                    return;
+                }
+                resp
+            }
+            Err(refusal) => Response { body: refusal.to_json_value(), shutdown: false, wait: None },
+        };
         let body = match &response.wait {
             // A waiting submit: stream keep-alive progress lines until
             // the sweep is done, then its final report. A client that
@@ -517,9 +617,7 @@ fn serve_connection(state: &Arc<ServiceState>, stream: UnixStream) {
                         if let JsonValue::Object(fields) = &mut beat {
                             fields.push(("hb".to_string(), JsonValue::Bool(true)));
                         }
-                        let mut out = beat.render();
-                        out.push('\n');
-                        if writer.write_all(out.as_bytes()).is_err() {
+                        if writer.send(&beat).is_err() {
                             return;
                         }
                     }
@@ -527,76 +625,59 @@ fn serve_connection(state: &Arc<ServiceState>, stream: UnixStream) {
             },
             None => response.body.clone(),
         };
-        let mut out = body.render();
-        out.push('\n');
-        if let Err(e) = writer.write_all(out.as_bytes()) {
+        if let Err(e) = writer.send(&body) {
             eprintln!("[serve] write failed: {e}");
             return;
         }
         if response.shutdown {
-            // Flip the flag, then poke the accept loop awake with a
+            // Flip the flag, then poke every accept loop awake with a
             // throwaway connection so it observes the flag and exits.
             state.shutdown.store(true, Ordering::SeqCst);
-            let _ = UnixStream::connect(&state.sock);
+            for ep in state.poke.lock().unwrap().iter() {
+                let _ = Conn::connect(ep);
+            }
             return;
         }
     }
 }
 
-/// The client-side socket deadline: `XLOOPS_CLIENT_TIMEOUT` in ms (`0`
-/// disables), defaulting to 10 s. Long waits survive it because a
-/// waiting submit receives a keep-alive line every `WAIT_HEARTBEAT` —
-/// each received line rearms the deadline, so only a daemon that has
-/// genuinely stopped talking trips it.
-pub fn client_timeout() -> Option<Duration> {
-    match std::env::var("XLOOPS_CLIENT_TIMEOUT").ok().and_then(|v| v.trim().parse::<u64>().ok()) {
-        Some(0) => None,
-        Some(ms) => Some(Duration::from_millis(ms)),
-        None => Some(Duration::from_secs(10)),
+/// Installs a SIGTERM handler that unlinks `sock` before exiting, so an
+/// orchestrator's `kill` leaves no stale socket file behind. Raw C FFI
+/// (`signal`/`unlink`/`_exit`) because the handler must be async-signal
+/// safe and the repo carries no libc crate. Installed only by the CLI's
+/// `serve` path — library embedders and in-process tests keep their
+/// process's signal disposition untouched.
+#[cfg(unix)]
+pub fn install_sigterm_unlink(sock: &std::path::Path) {
+    use std::os::unix::ffi::OsStrExt;
+    use std::sync::atomic::AtomicPtr;
+
+    static TERM_PATH: AtomicPtr<u8> = AtomicPtr::new(std::ptr::null_mut());
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+        fn unlink(path: *const u8) -> i32;
+        fn _exit(code: i32) -> !;
     }
-}
 
-/// One client round-trip: connect, send `body` as a line, read response
-/// lines until the final (non-keep-alive) one. Read and write deadlines
-/// come from [`client_timeout`], so a hung daemon surfaces as a timed-out
-/// I/O error instead of blocking the client forever.
-pub fn request(sock: &Path, body: &JsonValue) -> std::io::Result<JsonValue> {
-    request_with(sock, body, client_timeout())
-}
+    extern "C" fn on_term(_sig: i32) {
+        let path = TERM_PATH.load(Ordering::SeqCst);
+        unsafe {
+            if !path.is_null() {
+                unlink(path);
+            }
+            _exit(0);
+        }
+    }
 
-/// [`request`] with an explicit socket deadline (`None` blocks forever).
-pub fn request_with(
-    sock: &Path,
-    body: &JsonValue,
-    timeout: Option<Duration>,
-) -> std::io::Result<JsonValue> {
-    let mut stream = UnixStream::connect(sock)?;
-    stream.set_read_timeout(timeout)?;
-    stream.set_write_timeout(timeout)?;
-    let mut out = body.render();
-    out.push('\n');
-    stream.write_all(out.as_bytes())?;
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "daemon closed the connection before responding",
-            ));
-        }
-        let doc = JsonValue::parse(line.trim()).map_err(|e| {
-            std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("malformed daemon response: {e}"),
-            )
-        })?;
-        // Keep-alive progress lines rearm the deadline and are skipped;
-        // the first line without the marker is the response.
-        if doc.get("hb").is_some() {
-            continue;
-        }
-        return Ok(doc);
+    let mut bytes = sock.as_os_str().as_bytes().to_vec();
+    bytes.push(0);
+    // Leaked intentionally: the handler may fire at any point for the
+    // rest of the process's life.
+    let nul_terminated: &'static mut [u8] = Box::leak(bytes.into_boxed_slice());
+    TERM_PATH.store(nul_terminated.as_mut_ptr(), Ordering::SeqCst);
+    unsafe {
+        signal(SIGTERM, on_term);
     }
 }

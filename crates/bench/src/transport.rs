@@ -1,0 +1,330 @@
+//! The transport layer: pluggable byte streams under one wire protocol.
+//!
+//! [`crate::proto`] owns *what* travels on the wire (framed NDJSON,
+//! deadlines, heartbeats); this module owns *where* it travels. A
+//! [`Conn`] is one bidirectional byte stream — a Unix socket, a TCP
+//! socket, or a child process's stdin/stdout pipe pair — and a
+//! [`Listener`] accepts them, so `serve_connection` and the worker
+//! supervisor are transport-blind: the same daemon loop serves a local
+//! CLI over the Unix socket and a cross-machine client over TCP, and the
+//! same supervision machinery drives a piped child worker and a remote
+//! `xloops worker --connect` executor.
+//!
+//! Addresses are [`Endpoint`]s: a `tcp://HOST:PORT` string names a TCP
+//! endpoint, anything else is a Unix socket path. Dial-style strings
+//! (`xloops worker --connect HOST:PORT`) may omit the scheme — a
+//! path-free `HOST:PORT` is TCP ([`Endpoint::parse_dial`]).
+//!
+//! TCP is the only transport that crosses a trust boundary
+//! ([`Conn::is_remote`]): the protocol layer requires a version/token
+//! handshake there, while Unix sockets (guarded by filesystem
+//! permissions) and pipes (guarded by process ancestry) stay
+//! handshake-optional for byte-compatibility with the pre-network wire.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// A daemon address: a Unix socket path or a TCP `HOST:PORT`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A filesystem socket path.
+    Unix(PathBuf),
+    /// A TCP address, e.g. `127.0.0.1:7070`.
+    Tcp(String),
+}
+
+impl Endpoint {
+    /// Parses a listen/sock-style address: a `tcp://` scheme names a TCP
+    /// endpoint, anything else is a Unix socket path.
+    pub fn parse(s: &str) -> Endpoint {
+        match s.strip_prefix("tcp://") {
+            Some(addr) => Endpoint::Tcp(addr.to_string()),
+            None => Endpoint::Unix(PathBuf::from(s)),
+        }
+    }
+
+    /// Parses a dial-style address (`--connect`): like [`Endpoint::parse`],
+    /// but a scheme-less `HOST:PORT` (no path separator) is TCP, so
+    /// `--connect 10.0.0.2:7070` works without the `tcp://` spelling.
+    pub fn parse_dial(s: &str) -> Endpoint {
+        match Endpoint::parse(s) {
+            Endpoint::Unix(p) if s.contains(':') && !s.contains('/') => {
+                let _ = p;
+                Endpoint::Tcp(s.to_string())
+            }
+            ep => ep,
+        }
+    }
+
+    /// A Unix endpoint from a socket path.
+    pub fn unix(path: impl Into<PathBuf>) -> Endpoint {
+        Endpoint::Unix(path.into())
+    }
+
+    /// The address as users wrote it (TCP keeps its scheme).
+    pub fn describe(&self) -> String {
+        match self {
+            Endpoint::Unix(p) => p.display().to_string(),
+            Endpoint::Tcp(addr) => format!("tcp://{addr}"),
+        }
+    }
+}
+
+/// A bound accept source for one endpoint.
+pub enum Listener {
+    /// A Unix socket listener and the path it owns (unlinked on close).
+    Unix {
+        /// The bound listener.
+        listener: UnixListener,
+        /// The socket path, removed again by [`Listener::close`].
+        path: PathBuf,
+    },
+    /// A TCP listener.
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    /// Binds `ep`. A dead daemon leaves its Unix socket file behind and
+    /// bind would fail with `AddrInUse`; a *live* daemon holds the
+    /// listener, so stale paths are probed with a connect before being
+    /// clobbered.
+    pub fn bind(ep: &Endpoint) -> std::io::Result<Listener> {
+        match ep {
+            Endpoint::Unix(path) => {
+                if path.exists() {
+                    if UnixStream::connect(path).is_ok() {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::AddrInUse,
+                            format!("a daemon is already listening on {}", path.display()),
+                        ));
+                    }
+                    std::fs::remove_file(path)?;
+                }
+                Ok(Listener::Unix { listener: UnixListener::bind(path)?, path: path.clone() })
+            }
+            Endpoint::Tcp(addr) => Ok(Listener::Tcp(TcpListener::bind(addr.as_str())?)),
+        }
+    }
+
+    /// Accepts the next connection.
+    pub fn accept(&self) -> std::io::Result<Conn> {
+        match self {
+            Listener::Unix { listener, .. } => listener.accept().map(|(s, _)| Conn::Unix(s)),
+            Listener::Tcp(listener) => listener.accept().map(|(s, _)| Conn::Tcp(s)),
+        }
+    }
+
+    /// The *bound* endpoint — for TCP this is the actual local address,
+    /// so binding port `0` yields a connectable endpoint.
+    pub fn endpoint(&self) -> Endpoint {
+        match self {
+            Listener::Unix { path, .. } => Endpoint::Unix(path.clone()),
+            Listener::Tcp(listener) => Endpoint::Tcp(
+                listener
+                    .local_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|_| "0.0.0.0:0".to_string()),
+            ),
+        }
+    }
+
+    /// The bound TCP address, when this is a TCP listener.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        match self {
+            Listener::Tcp(listener) => listener.local_addr().ok(),
+            Listener::Unix { .. } => None,
+        }
+    }
+
+    /// Closes the listener; a Unix socket also unlinks its path, so a
+    /// clean shutdown never relies on stale-socket takeover.
+    pub fn close(self) {
+        if let Listener::Unix { listener, path } = self {
+            drop(listener);
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// One bidirectional byte stream carrying the NDJSON protocol.
+pub enum Conn {
+    /// A Unix-socket connection (local clients).
+    Unix(UnixStream),
+    /// A TCP connection (remote clients and remote workers).
+    Tcp(TcpStream),
+    /// A child process's pipe pair (the worker pool's spawn route).
+    Pipe {
+        /// The receiving half (the peer's stdout).
+        read: Box<dyn Read + Send>,
+        /// The sending half (the peer's stdin).
+        write: Box<dyn Write + Send>,
+    },
+}
+
+impl Conn {
+    /// Dials `ep`.
+    pub fn connect(ep: &Endpoint) -> std::io::Result<Conn> {
+        match ep {
+            Endpoint::Unix(path) => UnixStream::connect(path).map(Conn::Unix),
+            Endpoint::Tcp(addr) => TcpStream::connect(addr.as_str()).map(Conn::Tcp),
+        }
+    }
+
+    /// Whether the peer is outside this machine's trust boundary (TCP):
+    /// the protocol layer requires the version/token handshake here.
+    pub fn is_remote(&self) -> bool {
+        matches!(self, Conn::Tcp(_))
+    }
+
+    /// Sets the read *and* write deadline. Pipes have no socket deadline
+    /// (the worker supervisor polices them with its own two clocks), so
+    /// this is a no-op there.
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Conn::Unix(s) => {
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)
+            }
+            Conn::Tcp(s) => {
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)
+            }
+            Conn::Pipe { .. } => Ok(()),
+        }
+    }
+
+    /// Splits into independently owned read/write halves plus a control
+    /// handle (sockets share one file description via `try_clone`, so
+    /// deadlines set on any handle govern all of them).
+    pub fn split(self) -> std::io::Result<SplitConn> {
+        match self {
+            Conn::Unix(s) => {
+                let (w, c) = (s.try_clone()?, s.try_clone()?);
+                Ok((Box::new(s), Box::new(w), ConnControl::Unix(c)))
+            }
+            Conn::Tcp(s) => {
+                let (w, c) = (s.try_clone()?, s.try_clone()?);
+                Ok((Box::new(s), Box::new(w), ConnControl::Tcp(c)))
+            }
+            Conn::Pipe { read, write } => Ok((read, write, ConnControl::Pipe)),
+        }
+    }
+}
+
+/// The owned halves of a split [`Conn`]: boxed reader, boxed writer, and
+/// the out-of-band control handle.
+pub type SplitConn = (Box<dyn Read + Send>, Box<dyn Write + Send>, ConnControl);
+
+/// Out-of-band control over a split [`Conn`]: hang up a socket mid-read
+/// (reaping a remote worker) or re-arm its deadlines after a handshake.
+pub enum ConnControl {
+    /// Control handle on a Unix socket.
+    Unix(UnixStream),
+    /// Control handle on a TCP socket.
+    Tcp(TcpStream),
+    /// Pipes have no control plane (drop the halves instead).
+    Pipe,
+}
+
+impl ConnControl {
+    /// Shuts the connection down in both directions; the peer observes
+    /// EOF. No-op for pipes.
+    pub fn shutdown(&self) {
+        match self {
+            ConnControl::Unix(s) => {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+            ConnControl::Tcp(s) => {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+            ConnControl::Pipe => {}
+        }
+    }
+
+    /// Re-arms (or clears) the socket deadlines — e.g. a remote worker
+    /// dials with an ack deadline, then clears it to wait for jobs that
+    /// may arrive hours later.
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            ConnControl::Unix(s) => {
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)
+            }
+            ConnControl::Tcp(s) => {
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)
+            }
+            ConnControl::Pipe => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_parsing_distinguishes_schemes_paths_and_dials() {
+        assert_eq!(Endpoint::parse("tcp://127.0.0.1:7070"), Endpoint::Tcp("127.0.0.1:7070".into()));
+        assert_eq!(Endpoint::parse("/tmp/x.sock"), Endpoint::Unix(PathBuf::from("/tmp/x.sock")));
+        // A scheme-less host:port dials TCP; anything with a path
+        // separator stays a Unix path even if it contains colons.
+        assert_eq!(Endpoint::parse_dial("10.0.0.2:7070"), Endpoint::Tcp("10.0.0.2:7070".into()));
+        assert_eq!(
+            Endpoint::parse_dial("/tmp/odd:name.sock"),
+            Endpoint::Unix(PathBuf::from("/tmp/odd:name.sock"))
+        );
+        assert_eq!(
+            Endpoint::parse("relative.sock"),
+            Endpoint::Unix(PathBuf::from("relative.sock"))
+        );
+        assert_eq!(Endpoint::parse_dial("tcp://h:1").describe(), "tcp://h:1");
+    }
+
+    #[test]
+    fn only_tcp_is_remote() {
+        let (a, b) = UnixStream::pair().expect("socketpair");
+        assert!(!Conn::Unix(a).is_remote());
+        assert!(
+            !Conn::Pipe { read: Box::new(b.try_clone().unwrap()), write: Box::new(b) }.is_remote()
+        );
+    }
+
+    #[test]
+    fn tcp_listener_round_trips_bytes_and_reports_its_bound_port() {
+        let listener = Listener::bind(&Endpoint::Tcp("127.0.0.1:0".into())).expect("bind port 0");
+        let ep = listener.endpoint();
+        assert_ne!(ep.describe(), "tcp://127.0.0.1:0", "port 0 resolves to the real port");
+        let client = std::thread::spawn(move || {
+            let conn = Conn::connect(&ep).expect("dial");
+            let (mut r, mut w, _ctl) = conn.split().expect("split");
+            w.write_all(b"ping\n").unwrap();
+            w.flush().unwrap();
+            let mut buf = [0u8; 5];
+            r.read_exact(&mut buf).unwrap();
+            buf
+        });
+        let conn = listener.accept().expect("accept");
+        assert!(conn.is_remote());
+        let (mut r, mut w, _ctl) = conn.split().expect("split");
+        let mut buf = [0u8; 5];
+        r.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping\n");
+        w.write_all(b"pong\n").unwrap();
+        assert_eq!(&client.join().unwrap(), b"pong\n");
+    }
+
+    #[test]
+    fn closing_a_unix_listener_unlinks_its_socket_file() {
+        let path = std::env::temp_dir()
+            .join(format!("xloops-transport-close-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let listener = Listener::bind(&Endpoint::Unix(path.clone())).expect("bind");
+        assert!(path.exists());
+        listener.close();
+        assert!(!path.exists(), "close must unlink the socket file");
+    }
+}

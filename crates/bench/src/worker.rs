@@ -1,39 +1,30 @@
-//! The crash-isolation layer: a supervised multi-process worker pool.
+//! The crash-isolation layer: a supervised worker pool over pluggable
+//! transports.
 //!
 //! The scheduler historically ran every simulation as a thread inside the
 //! calling process, so one aborting or wedging point could take down a
 //! whole `xloops serve` daemon and every attached `--wait` client. This
-//! module moves job *execution* into disposable child processes while
-//! leaving job *identity and ordering* exactly where they were: the
-//! parent still owns the store probe, the item-ordered result slots, and
-//! the artifact render, so artifacts are byte-identical whether a job ran
-//! in-process, in a worker, or across worker deaths.
+//! module moves job *execution* into disposable workers — spawned child
+//! processes on stdin/stdout pipes, or remote `xloops worker --connect`
+//! processes on TCP — while leaving job *identity and ordering* exactly
+//! where they were: the parent still owns the store probe, the
+//! item-ordered result slots, and the artifact render, so artifacts are
+//! byte-identical whether a job ran in-process, in a child, on a remote
+//! machine, or across worker deaths.
 //!
 //! ## Wire protocol
 //!
-//! Each worker is an `xloops worker` child (a hidden subcommand) speaking
-//! newline-delimited JSON on its stdin/stdout pipe pair — the same
-//! NDJSON idiom as the serve daemon's socket protocol:
-//!
-//! ```text
-//! parent → worker   {"cmd":"ping"}
-//!                   {"cmd":"manifest","manifest":SPEC}        register a spec
-//!                   {"cmd":"job","job":FP,"index":I,"options":OPTS}
-//!                   {"cmd":"exit"}
-//! worker → parent   {"ok":true,"pong":true}
-//!                   {"ok":true,"manifest":FP}
-//!                   {"ok":true,"index":I,"result":RESULT[,"exit_code":C]}
-//!                   {"hb":true}                               every 250 ms
-//! ```
-//!
-//! A job is shipped as the store-key triple — `(fingerprint, index,
-//! options)`, see [`crate::job::Job`] — against a manifest registered
-//! once per worker. The worker executes the point through the *same*
-//! code path as an in-process run ([`Runner`] +
-//! `manifest::request_point`), so diagnosis messages, stats, and
-//! the rendered [`PointResult`] are bit-identical; a typed [`SimError`]
-//! additionally ships its class exit code, which the parent re-wraps as
-//! [`SimError::Remote`] so error documents keep their original codes.
+//! Workers speak the worker half of the unified protocol
+//! ([`crate::proto`]): `ping` / `manifest` / `job` / `exit` requests,
+//! `{"ok":...}` replies, `{"hb":true}` heartbeats. A job is shipped as
+//! the store-key triple — `(fingerprint, index, options)`, see
+//! [`crate::job::Job`] — against a manifest registered once per worker.
+//! The worker executes the point through the *same* code path as an
+//! in-process run ([`Runner`] + `manifest::request_point`), so diagnosis
+//! messages, stats, and the rendered [`PointResult`] are bit-identical; a
+//! typed [`SimError`] additionally ships its class exit code, which the
+//! parent re-wraps as [`SimError::Remote`] so error documents keep their
+//! original codes.
 //!
 //! ## Supervision
 //!
@@ -49,6 +40,15 @@
 //! typed [`SimError::WorkerLost`] / [`SimError::Timeout`] error document;
 //! the sweep itself always completes.
 //!
+//! Remote workers inherit the whole machinery: a registered connection
+//! checks out of the daemon's [`RemoteRegistry`] like a spawned child,
+//! runs the same manifest-once-per-fingerprint protocol under the same
+//! two clocks, and a yanked network cable is just another reaped worker —
+//! the job retries (on another remote, or a local child when spawning is
+//! allowed) and the artifact bytes cannot tell. Piped children heartbeat
+//! unconditionally; a remote worker heartbeats only while busy, so an
+//! idle registered executor writes nothing and the registry stays cheap.
+//!
 //! ## Degradation rule
 //!
 //! [`WorkerPool::spawn`] handshakes with a probe worker before the pool
@@ -59,28 +59,31 @@
 //! is unavailable.
 
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
-use std::sync::Mutex;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, TryRecvError};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use xloops_sim::{RunOptions, SimError, SystemStats};
 use xloops_stats::JsonValue;
 
 use crate::manifest::{request_point, ExperimentSpec, PointResult};
+use crate::proto::{
+    self, hb_doc, is_heartbeat, job_request, manifest_request, register_request, token_from_env,
+    FrameReader, FrameWriter, Refusal, Request, ACK_DEADLINE, HEARTBEAT_PERIOD,
+};
 use crate::runner::Runner;
 use crate::sched::SweepProgress;
+use crate::transport::{Conn, ConnControl, Endpoint};
 use crate::RunResult;
 
-/// How often a worker writes a `{"hb":true}` line.
-const HEARTBEAT_PERIOD: Duration = Duration::from_millis(250);
-
-/// Deadline for protocol acks (ping, manifest registration) — generous,
-/// because only `job` execution can legitimately take long.
-const ACK_DEADLINE: Duration = Duration::from_secs(30);
+/// How long a dispatcher without local spawning waits for a remote worker
+/// to (re)register before giving the attempt up as a spawn failure.
+const REMOTE_CHECKOUT_WAIT: Duration = Duration::from_secs(1);
 
 /// Supervision policy for a [`WorkerPool`]. Every knob here names
 /// *infrastructure*, not run semantics: none of them enter
@@ -107,6 +110,10 @@ pub struct PoolConfig {
     /// Extra environment for spawned workers (test chaos hooks ride
     /// here so the parent process's environment stays untouched).
     pub env: Vec<(String, String)>,
+    /// Whether the pool may spawn local child workers. `false` for a
+    /// remotes-only pool ([`PoolConfig::for_remotes`]): lost jobs then
+    /// wait up to a grace for another remote instead of forking locally.
+    pub spawn_children: bool,
 }
 
 impl PoolConfig {
@@ -121,7 +128,19 @@ impl PoolConfig {
             backoff_base: Duration::from_millis(25),
             exe: worker_exe(),
             env: Vec::new(),
+            spawn_children: true,
         }
+    }
+
+    /// A remotes-only pool sized for `workers` registered executors: no
+    /// local children are ever spawned, and the supervision knobs
+    /// (`XLOOPS_JOB_TIMEOUT` / `XLOOPS_MAX_RETRIES` /
+    /// `XLOOPS_HEARTBEAT_GRACE`) still come from the environment.
+    pub fn for_remotes(workers: usize) -> PoolConfig {
+        let mut cfg = PoolConfig::new(workers);
+        cfg.spawn_children = false;
+        cfg.overlay_env();
+        cfg
     }
 
     /// Reads the worker knobs from the environment: `None` unless
@@ -134,14 +153,18 @@ impl PoolConfig {
             return None;
         }
         let mut cfg = PoolConfig::new(workers);
-        cfg.job_timeout = env_ms("XLOOPS_JOB_TIMEOUT").filter(|d| !d.is_zero());
+        cfg.overlay_env();
+        Some(cfg)
+    }
+
+    fn overlay_env(&mut self) {
+        self.job_timeout = env_ms("XLOOPS_JOB_TIMEOUT").filter(|d| !d.is_zero());
         if let Some(n) = std::env::var("XLOOPS_MAX_RETRIES").ok().and_then(|v| v.parse().ok()) {
-            cfg.max_retries = n;
+            self.max_retries = n;
         }
         if let Some(grace) = env_ms("XLOOPS_HEARTBEAT_GRACE").filter(|d| !d.is_zero()) {
-            cfg.heartbeat_grace = grace;
+            self.heartbeat_grace = grace;
         }
-        Some(cfg)
     }
 }
 
@@ -196,7 +219,7 @@ pub struct WorkerOutcome {
 /// Why an attempt on a worker was abandoned.
 #[derive(Debug)]
 enum Loss {
-    /// The worker exited (crash, SIGKILL, OOM): its stdout hit EOF.
+    /// The worker exited (crash, SIGKILL, OOM, severed link): EOF.
     Exited,
     /// The worker wrote a line that does not parse as a valid reply.
     Garbage,
@@ -204,7 +227,7 @@ enum Loss {
     Silent,
     /// The job's per-attempt deadline expired.
     Deadline,
-    /// A replacement worker could not even be spawned.
+    /// A replacement worker could not even be acquired.
     Spawn(String),
 }
 
@@ -220,12 +243,108 @@ impl Loss {
     }
 }
 
-/// One live worker child: its process, request pipe, reply channel (fed
-/// by a reader thread that drops the sender on EOF), and which manifests
-/// it already knows.
+/// A registered remote executor at rest: the framed halves of its
+/// connection, the control handle that can hang it up, and which
+/// manifests it already knows (preserved across checkouts, so a remote
+/// serves a whole sweep with one manifest registration).
+pub struct RemoteHandle {
+    writer: FrameWriter<Box<dyn Write + Send>>,
+    control: ConnControl,
+    rx: Receiver<Option<JsonValue>>,
+    known: HashSet<String>,
+}
+
+impl RemoteHandle {
+    /// Wraps a freshly registered connection (see
+    /// [`crate::serve`]'s `register` handling).
+    pub fn new(
+        writer: FrameWriter<Box<dyn Write + Send>>,
+        control: ConnControl,
+        rx: Receiver<Option<JsonValue>>,
+    ) -> RemoteHandle {
+        RemoteHandle { writer, control, rx, known: HashSet::new() }
+    }
+
+    /// Whether the connection behind this handle is still up: drains any
+    /// queued heartbeats; a dropped sender (EOF on the socket) or queued
+    /// garbage means the remote is gone.
+    fn is_live(&self) -> bool {
+        loop {
+            match self.rx.try_recv() {
+                Ok(Some(_)) => continue,
+                Ok(None) => return false,
+                Err(TryRecvError::Empty) => return true,
+                Err(TryRecvError::Disconnected) => return false,
+            }
+        }
+    }
+}
+
+/// The daemon's pool of registered remote executors. Dispatchers check
+/// handles out, run jobs on them, and check them back in; a handle whose
+/// connection died is discarded at checkout (and its loss mid-job is just
+/// another retry). The registry is shared between the accept path (which
+/// registers) and every concurrently running sweep.
+#[derive(Default)]
+pub struct RemoteRegistry {
+    idle: Mutex<VecDeque<RemoteHandle>>,
+    cond: Condvar,
+}
+
+impl RemoteRegistry {
+    /// An empty registry.
+    pub fn new() -> RemoteRegistry {
+        RemoteRegistry::default()
+    }
+
+    /// Adds a freshly registered remote worker.
+    pub fn register(&self, handle: RemoteHandle) {
+        self.idle.lock().unwrap().push_back(handle);
+        self.cond.notify_all();
+    }
+
+    /// Returns a checked-out handle to the pool.
+    pub fn checkin(&self, handle: RemoteHandle) {
+        self.register(handle);
+    }
+
+    /// How many idle remote workers are registered right now.
+    pub fn available(&self) -> usize {
+        self.idle.lock().unwrap().len()
+    }
+
+    /// Checks out an idle live handle, waiting up to `wait` for one to
+    /// register or check back in. Dead handles found on the way are
+    /// discarded.
+    fn checkout(&self, wait: Duration) -> Option<RemoteHandle> {
+        let deadline = Instant::now() + wait;
+        let mut idle = self.idle.lock().unwrap();
+        loop {
+            while let Some(handle) = idle.pop_front() {
+                if handle.is_live() {
+                    return Some(handle);
+                }
+                handle.control.shutdown();
+            }
+            let left = deadline.checked_duration_since(Instant::now())?;
+            idle = self.cond.wait_timeout(idle, left).unwrap().0;
+        }
+    }
+}
+
+/// What carries a live worker's bytes: a spawned child process (pipes) or
+/// a checked-out remote connection (its control handle).
+enum Link {
+    Child(Child),
+    Remote(ConnControl),
+}
+
+/// One live worker: its link, framed request writer, reply channel (fed
+/// by a pump thread that drops the sender on EOF), which manifests it
+/// already knows, and its liveness clock.
 struct WorkerHandle {
-    child: Child,
-    stdin: ChildStdin,
+    link: Link,
+    writer: FrameWriter<Box<dyn Write + Send>>,
     rx: Receiver<Option<JsonValue>>,
     known: HashSet<String>,
     last_line: Instant,
@@ -235,6 +354,9 @@ impl WorkerHandle {
     fn spawn(cfg: &PoolConfig) -> std::io::Result<WorkerHandle> {
         let mut child = Command::new(&cfg.exe)
             .arg("worker")
+            // A daemon's own dial-out knob must never leak into its
+            // children: a spawned child serves its pipes, full stop.
+            .env_remove("XLOOPS_CONNECT")
             .envs(cfg.env.iter().map(|(k, v)| (k.as_str(), v.as_str())))
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
@@ -243,15 +365,44 @@ impl WorkerHandle {
         let stdin = child.stdin.take().expect("piped stdin");
         let stdout = child.stdout.take().expect("piped stdout");
         let (tx, rx) = std::sync::mpsc::channel();
-        std::thread::spawn(move || read_lines(stdout, tx));
-        Ok(WorkerHandle { child, stdin, rx, known: HashSet::new(), last_line: Instant::now() })
+        std::thread::spawn(move || proto::pump_lines(FrameReader::new(stdout), tx));
+        Ok(WorkerHandle {
+            link: Link::Child(child),
+            writer: FrameWriter::new(Box::new(stdin)),
+            rx,
+            known: HashSet::new(),
+            last_line: Instant::now(),
+        })
+    }
+
+    /// Adopts a checked-out remote executor, keeping its manifest set.
+    fn from_remote(remote: RemoteHandle) -> WorkerHandle {
+        WorkerHandle {
+            link: Link::Remote(remote.control),
+            writer: remote.writer,
+            rx: remote.rx,
+            known: remote.known,
+            last_line: Instant::now(),
+        }
+    }
+
+    /// Releases a healthy remote back to handle form; `None` for
+    /// children (they are exited and reaped instead).
+    fn into_remote(self) -> Option<RemoteHandle> {
+        match self.link {
+            Link::Remote(control) => {
+                Some(RemoteHandle { writer: self.writer, control, rx: self.rx, known: self.known })
+            }
+            Link::Child(_) => None,
+        }
+    }
+
+    fn is_remote(&self) -> bool {
+        matches!(self.link, Link::Remote(_))
     }
 
     fn send(&mut self, doc: &JsonValue) -> std::io::Result<()> {
-        let mut line = doc.render();
-        line.push('\n');
-        self.stdin.write_all(line.as_bytes())?;
-        self.stdin.flush()
+        self.writer.send(doc)
     }
 
     /// Waits for the next non-heartbeat reply, policing the job deadline
@@ -266,7 +417,7 @@ impl WorkerHandle {
             match self.rx.recv_timeout(Duration::from_millis(50)) {
                 Ok(Some(doc)) => {
                     self.last_line = Instant::now();
-                    if doc.get("hb").is_some() {
+                    if is_heartbeat(&doc) {
                         continue;
                     }
                     return Ok(doc);
@@ -285,8 +436,7 @@ impl WorkerHandle {
     }
 
     fn ping(&mut self, grace: Duration) -> Result<(), Loss> {
-        let req = JsonValue::object(vec![("cmd", JsonValue::Str("ping".to_string()))]);
-        self.send(&req).map_err(|_| Loss::Exited)?;
+        self.send(&Request::Ping.to_json_value()).map_err(|_| Loss::Exited)?;
         let reply = self.await_reply(Some(Instant::now() + ACK_DEADLINE), grace)?;
         match reply.get("pong").and_then(JsonValue::as_bool) {
             Some(true) => Ok(()),
@@ -299,11 +449,7 @@ impl WorkerHandle {
         if self.known.contains(&job.fingerprint) {
             return Ok(());
         }
-        let req = JsonValue::object(vec![
-            ("cmd", JsonValue::Str("manifest".to_string())),
-            ("manifest", job.spec.to_json_value()),
-        ]);
-        self.send(&req).map_err(|_| Loss::Exited)?;
+        self.send(&manifest_request(job.spec)).map_err(|_| Loss::Exited)?;
         let reply = self.await_reply(Some(Instant::now() + ACK_DEADLINE), grace)?;
         if reply.get("ok").and_then(JsonValue::as_bool) != Some(true) {
             return Err(Loss::Garbage);
@@ -318,41 +464,23 @@ impl WorkerHandle {
         job: &WireJob<'_>,
         cfg: &PoolConfig,
     ) -> Result<(PointResult, Option<i32>), Loss> {
-        let req = JsonValue::object(vec![
-            ("cmd", JsonValue::Str("job".to_string())),
-            ("job", JsonValue::Str(job.fingerprint.clone())),
-            ("index", JsonValue::UInt(job.index as u64)),
-            ("options", job.options.to_json_value()),
-        ]);
-        self.send(&req).map_err(|_| Loss::Exited)?;
+        self.send(&job_request(&job.fingerprint, job.index, job.options))
+            .map_err(|_| Loss::Exited)?;
         let deadline = cfg.job_timeout.map(|t| Instant::now() + t);
         let reply = self.await_reply(deadline, cfg.heartbeat_grace)?;
         parse_job_reply(&reply, job.index).ok_or(Loss::Garbage)
     }
 
+    /// Destroys the worker: a child is killed and reaped; a remote's
+    /// connection is hung up (the remote process survives and may
+    /// re-register — that is its supervisor's business, not ours).
     fn kill(&mut self) {
-        let _ = self.child.kill();
-        let _ = self.child.wait();
-    }
-}
-
-/// Feeds a worker's stdout lines into the reply channel; EOF (the worker
-/// died) drops the sender, which the parent observes as `Disconnected`.
-/// Unparseable lines are forwarded as `None` (garbage).
-fn read_lines(stdout: ChildStdout, tx: Sender<Option<JsonValue>>) {
-    let mut reader = BufReader::new(stdout);
-    let mut line = String::new();
-    loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return,
-            Ok(_) => {}
-        }
-        if line.trim().is_empty() {
-            continue;
-        }
-        if tx.send(JsonValue::parse(line.trim()).ok()).is_err() {
-            return;
+        match &mut self.link {
+            Link::Child(child) => {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            Link::Remote(control) => control.shutdown(),
         }
     }
 }
@@ -395,17 +523,40 @@ pub fn backoff_delay(base: Duration, fingerprint: &str, index: usize, attempt: u
 
 /// The supervised pool: spawn-verified once, then [`WorkerPool::run`]
 /// executes job lists with per-thread workers, retries, and quarantine.
+/// With a [`RemoteRegistry`] attached, registered remote executors are
+/// preferred over spawning children (and are the only route when the
+/// config forbids children).
 pub struct WorkerPool {
     cfg: PoolConfig,
     probe: Mutex<Option<WorkerHandle>>,
+    remotes: Option<Arc<RemoteRegistry>>,
 }
 
 impl WorkerPool {
     /// Spawns one probe worker and handshakes with a ping. An executable
     /// that cannot be spawned — or that does not speak the worker
-    /// protocol — is an error here, *before* any job is at risk; the
-    /// scheduler reacts by degrading to in-process execution.
+    /// protocol (wrong executable, exec restrictions) — is an error here,
+    /// *before* any job is at risk; the scheduler reacts by degrading to
+    /// in-process execution.
     pub fn spawn(cfg: PoolConfig) -> std::io::Result<WorkerPool> {
+        WorkerPool::spawn_with(cfg, None)
+    }
+
+    /// [`WorkerPool::spawn`] with a remote registry: when registered
+    /// remote workers exist, the pool is trusted without a local probe
+    /// (their register handshake already vouched for them); otherwise a
+    /// child-spawning config probes as usual, and a remotes-only config
+    /// with nobody registered is an error (degrade to in-process).
+    pub fn spawn_with(
+        cfg: PoolConfig,
+        remotes: Option<Arc<RemoteRegistry>>,
+    ) -> std::io::Result<WorkerPool> {
+        if remotes.as_ref().is_some_and(|r| r.available() > 0) {
+            return Ok(WorkerPool { cfg, probe: Mutex::new(None), remotes });
+        }
+        if !cfg.spawn_children {
+            return Err(std::io::Error::other("no remote workers connected"));
+        }
         let mut probe = WorkerHandle::spawn(&cfg)?;
         if let Err(loss) = probe.ping(cfg.heartbeat_grace) {
             probe.kill();
@@ -414,7 +565,7 @@ impl WorkerPool {
                 loss.cause()
             )));
         }
-        Ok(WorkerPool { cfg, probe: Mutex::new(Some(probe)) })
+        Ok(WorkerPool { cfg, probe: Mutex::new(Some(probe)), remotes })
     }
 
     /// The configured worker-process count.
@@ -435,12 +586,14 @@ impl WorkerPool {
         let queue: Mutex<VecDeque<usize>> = Mutex::new((0..jobs.len()).collect());
         let slots: Vec<Mutex<Option<WorkerOutcome>>> =
             jobs.iter().map(|_| Mutex::new(None)).collect();
-        let threads = self.cfg.workers.clamp(1, jobs.len().max(1));
+        let width = self.cfg.workers.max(self.remotes.as_ref().map_or(0, |r| r.available()));
+        let threads = width.clamp(1, jobs.len().max(1));
+        let remotes = self.remotes.as_deref();
         std::thread::scope(|scope| {
             for t in 0..threads {
                 let (queue, slots, cfg) = (&queue, &slots, &self.cfg);
                 // The probe worker from the spawn handshake serves the
-                // first dispatcher; the rest spawn lazily on first use.
+                // first dispatcher; the rest acquire lazily on first use.
                 let mut handle = if t == 0 { self.probe.lock().unwrap().take() } else { None };
                 scope.spawn(move || {
                     loop {
@@ -450,16 +603,14 @@ impl WorkerPool {
                         if let Some(p) = progress {
                             p.start(job.fanout);
                         }
-                        let outcome = run_with_retries(&mut handle, job, cfg);
+                        let outcome = run_with_retries(&mut handle, job, cfg, remotes);
                         if let Some(p) = progress {
                             p.finish(job.fanout, outcome.result.error.is_none());
                         }
                         *slots[i].lock().unwrap() = Some(outcome);
                     }
-                    if let Some(mut h) = handle {
-                        let bye = JsonValue::object(vec![("cmd", JsonValue::Str("exit".into()))]);
-                        let _ = h.send(&bye);
-                        h.kill();
+                    if let Some(h) = handle {
+                        retire(h, remotes);
                     }
                 });
             }
@@ -476,16 +627,59 @@ impl Drop for WorkerPool {
     }
 }
 
-/// One job through the retry loop: dispatch on the current worker (spawn
-/// one if needed), and on any loss reap the worker, sleep the seeded
-/// backoff, and retry on a fresh one. Exhaustion quarantines the job
-/// with a typed [`SimError::Timeout`] (last loss was the deadline) or
+/// Releases a dispatcher's worker at the end of a run: a healthy remote
+/// checks back into the registry for the next sweep; a child is asked to
+/// exit and reaped.
+fn retire(mut handle: WorkerHandle, remotes: Option<&RemoteRegistry>) {
+    if handle.is_remote() {
+        match remotes {
+            Some(registry) => {
+                if let Some(remote) = handle.into_remote() {
+                    registry.checkin(remote);
+                }
+            }
+            None => handle.kill(),
+        }
+        return;
+    }
+    let _ = handle.send(&Request::Exit.to_json_value());
+    handle.kill();
+}
+
+/// Acquires a worker for a dispatcher: a registered remote first (waiting
+/// out a re-register window when children are forbidden), then a spawned
+/// child when the config allows one.
+fn acquire(cfg: &PoolConfig, remotes: Option<&RemoteRegistry>) -> Result<WorkerHandle, String> {
+    if let Some(registry) = remotes {
+        let wait = if cfg.spawn_children { Duration::ZERO } else { REMOTE_CHECKOUT_WAIT };
+        if let Some(remote) = registry.checkout(wait) {
+            return Ok(WorkerHandle::from_remote(remote));
+        }
+        if !cfg.spawn_children {
+            return Err("no remote workers available".to_string());
+        }
+    }
+    if !cfg.spawn_children {
+        return Err("no remote workers connected".to_string());
+    }
+    WorkerHandle::spawn(cfg).map_err(|e| e.to_string())
+}
+
+/// One job through the retry loop: dispatch on the current worker
+/// (acquire one if needed), and on any loss reap the worker, sleep the
+/// seeded backoff, and retry on a fresh one. Exhaustion quarantines the
+/// job with a typed [`SimError::Timeout`] (last loss was the deadline) or
 /// [`SimError::WorkerLost`] error, in the same placeholder-result shape
-/// the in-process panic firewall produces.
+/// the in-process panic firewall produces. A remotes-only pool whose
+/// registry is empty even after the checkout wait does not quarantine:
+/// the dispatcher degrades to [`run_job_in_process`] — slower, never
+/// wrong — since a fleet that disconnected is an infrastructure outage,
+/// not a defect of the point.
 fn run_with_retries(
     handle: &mut Option<WorkerHandle>,
     job: &WireJob<'_>,
     cfg: &PoolConfig,
+    remotes: Option<&RemoteRegistry>,
 ) -> WorkerOutcome {
     let attempts_max = cfg.max_retries.saturating_add(1);
     let mut backoff_ms = 0u64;
@@ -500,10 +694,18 @@ fn run_with_retries(
         }
         let h = match handle {
             Some(h) => h,
-            None => match WorkerHandle::spawn(cfg) {
+            None => match acquire(cfg, remotes) {
                 Ok(h) => handle.insert(h),
                 Err(e) => {
-                    last = Loss::Spawn(e.to_string());
+                    if !cfg.spawn_children {
+                        // No remote came back within the checkout wait
+                        // and children are forbidden: retries cannot
+                        // succeed until a worker re-registers, so run
+                        // the point here instead of quarantining it.
+                        eprintln!("xloops: {e}; running point {} in-process", job.index);
+                        return run_job_in_process(job, attempt);
+                    }
+                    last = Loss::Spawn(e);
                     continue;
                 }
             },
@@ -549,115 +751,165 @@ fn run_with_retries(
     }
 }
 
+/// The degradation terminus of a remotes-only pool: the dispatcher runs
+/// the point itself through the exact worker executor — same runner, same
+/// panic firewall, same diagnosis messages, same bytes — so a vanished
+/// remote fleet costs throughput, never correctness.
+fn run_job_in_process(job: &WireJob<'_>, attempts: u32) -> WorkerOutcome {
+    let doc = run_wire_job(job.spec, job.index, job.options.clone());
+    let (result, exit_code) =
+        parse_job_reply(&doc, job.index).expect("in-process replies are well-formed");
+    let sim = match (&result.error, exit_code) {
+        (Some(message), Some(code)) => {
+            Some(SimError::Remote { message: message.clone(), exit_code: code })
+        }
+        _ => None,
+    };
+    WorkerOutcome { result, sim, attempts }
+}
+
 // ---------------------------------------------------------------------------
 // Worker child
 // ---------------------------------------------------------------------------
 
-/// Writes one NDJSON line to stdout (locked, so the heartbeat thread and
-/// the reply path never interleave mid-line). `false` means the parent
-/// is gone and the worker should die.
-fn emit(doc: &JsonValue) -> bool {
-    let mut line = doc.render();
-    line.push('\n');
-    let mut out = std::io::stdout().lock();
-    out.write_all(line.as_bytes()).and_then(|()| out.flush()).is_ok()
-}
-
 fn worker_refuse(message: String) -> JsonValue {
-    JsonValue::object(vec![
-        ("ok", JsonValue::Bool(false)),
-        ("error", xloops_sim::error_doc(&message, 2)),
-    ])
+    Refusal::new(message).to_json_value()
 }
 
-/// Entry point of the hidden `xloops worker` subcommand: reads NDJSON
-/// commands from stdin, executes jobs through the exact in-process code
-/// path ([`Runner`] + `request_point`), streams results back on
-/// stdout, and heartbeats every 250 ms from a side thread. EOF or an
-/// `exit` command ends the loop. Returns the process exit code.
+/// Entry point of the hidden `xloops worker` subcommand: serves the
+/// worker protocol on its stdin/stdout pipe pair, heartbeating
+/// unconditionally (the pre-network wire contract). EOF or an `exit`
+/// command ends the loop. Returns the process exit code.
 pub fn worker_main() -> i32 {
-    std::thread::spawn(|| loop {
-        std::thread::sleep(HEARTBEAT_PERIOD);
-        if !emit(&JsonValue::object(vec![("hb", JsonValue::Bool(true))])) {
-            return;
-        }
-    });
+    let mut reader = FrameReader::new(std::io::stdin());
+    let writer = Mutex::new(FrameWriter::new(std::io::stdout()));
+    worker_serve(&mut reader, &writer, true)
+}
+
+/// Entry point of `xloops worker --connect ADDR`: dials the daemon,
+/// registers as a remote executor (version/token handshake), then serves
+/// the same worker protocol over the socket — heartbeating only while
+/// busy, so an idle registered worker writes nothing. Returns the exit
+/// code on a served-out connection, or `(code, message)` when the dial or
+/// the handshake fails (`2` for a typed refusal — wrong version or
+/// token — `1` for transport errors).
+pub fn worker_connect(addr: &str) -> Result<i32, (i32, String)> {
+    let ep = Endpoint::parse_dial(addr);
+    let conn =
+        Conn::connect(&ep).map_err(|e| (1, format!("cannot connect to {}: {e}", ep.describe())))?;
+    conn.set_timeout(Some(ACK_DEADLINE)).map_err(|e| (1, e.to_string()))?;
+    let (read, write, control) = conn.split().map_err(|e| (1, e.to_string()))?;
+    let mut reader = FrameReader::new(read);
+    let writer = Mutex::new(FrameWriter::new(write));
+    writer
+        .lock()
+        .unwrap()
+        .send(&register_request(token_from_env()))
+        .map_err(|e| (1, format!("cannot register with {}: {e}", ep.describe())))?;
+    let ack = reader
+        .next_reply()
+        .map_err(|e| (1, format!("no register ack from {}: {e}", ep.describe())))?;
+    if ack.get("ok").and_then(JsonValue::as_bool) != Some(true) {
+        let message = ack
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(JsonValue::as_str)
+            .unwrap_or("register refused")
+            .to_string();
+        return Err((2, message));
+    }
+    // Registered: jobs may arrive hours apart, so the ack deadline comes
+    // off and the daemon's two clocks own liveness from here.
+    control.set_timeout(None).map_err(|e| (1, e.to_string()))?;
+    Ok(worker_serve(&mut reader, &writer, false))
+}
+
+/// The worker protocol loop shared by both entry points: framed requests
+/// in, framed replies out, a scoped heartbeat thread alongside. With
+/// `hb_always` the heartbeat runs unconditionally (piped children — the
+/// byte-compatible pre-network behavior); without it, only while a
+/// request is being served (remote workers — an idle one stays silent).
+fn worker_serve<R: Read, W: Write + Send>(
+    reader: &mut FrameReader<R>,
+    writer: &Mutex<FrameWriter<W>>,
+    hb_always: bool,
+) -> i32 {
+    let stop = AtomicBool::new(false);
+    let busy = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        scope.spawn(|| loop {
+            std::thread::sleep(HEARTBEAT_PERIOD);
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            if !(hb_always || busy.load(Ordering::SeqCst)) {
+                continue;
+            }
+            if writer.lock().unwrap().send(&hb_doc()).is_err() {
+                return;
+            }
+        });
+        let code = worker_loop(reader, writer, &busy);
+        stop.store(true, Ordering::SeqCst);
+        code
+    })
+}
+
+fn worker_loop<R: Read, W: Write>(
+    reader: &mut FrameReader<R>,
+    writer: &Mutex<FrameWriter<W>>,
+    busy: &AtomicBool,
+) -> i32 {
     let mut specs: HashMap<String, ExperimentSpec> = HashMap::new();
-    let stdin = std::io::stdin();
-    let mut input = stdin.lock();
-    let mut line = String::new();
     loop {
-        line.clear();
-        match input.read_line(&mut line) {
-            Ok(0) | Err(_) => return 0,
-            Ok(_) => {}
-        }
-        if line.trim().is_empty() {
-            continue;
-        }
-        let reply = match handle_worker_line(&mut specs, line.trim()) {
-            Some(reply) => reply,
-            None => return 0,
+        let parsed = match reader.next_line() {
+            Ok(Some(line)) => Request::parse(line),
+            Ok(None) | Err(_) => return 0,
         };
-        if !emit(&reply) {
+        busy.store(true, Ordering::SeqCst);
+        let reply = match parsed {
+            Ok(req) => handle_worker_request(&mut specs, req),
+            Err(refusal) => Some(refusal.to_json_value()),
+        };
+        busy.store(false, Ordering::SeqCst);
+        let Some(reply) = reply else { return 0 };
+        if writer.lock().unwrap().send(&reply).is_err() {
             return 1;
         }
     }
 }
 
-/// One worker command line → one reply document (`None` = `exit`).
-fn handle_worker_line(
+/// One worker request → one reply document (`None` = `exit`). The
+/// daemon-half commands are refused — they belong on a daemon connection.
+fn handle_worker_request(
     specs: &mut HashMap<String, ExperimentSpec>,
-    line: &str,
+    req: Request,
 ) -> Option<JsonValue> {
-    let doc = match JsonValue::parse(line) {
-        Ok(d) => d,
-        Err(e) => return Some(worker_refuse(format!("request is not JSON: {e}"))),
-    };
-    match doc.get("cmd").and_then(JsonValue::as_str) {
-        Some("ping") => Some(JsonValue::object(vec![
+    match req {
+        Request::Ping => Some(JsonValue::object(vec![
             ("ok", JsonValue::Bool(true)),
             ("pong", JsonValue::Bool(true)),
         ])),
-        Some("exit") => None,
-        Some("manifest") => {
-            let Some(manifest) = doc.get("manifest") else {
-                return Some(worker_refuse("manifest command needs a `manifest` field".into()));
-            };
-            let spec = match ExperimentSpec::from_json_value(manifest) {
-                Ok(s) => s,
-                Err(e) => return Some(worker_refuse(format!("invalid manifest: {e}"))),
-            };
+        Request::Exit => None,
+        Request::Manifest { spec } => {
             let fingerprint = spec.fingerprint();
-            specs.insert(fingerprint.clone(), spec);
+            specs.insert(fingerprint.clone(), *spec);
             Some(JsonValue::object(vec![
                 ("ok", JsonValue::Bool(true)),
                 ("manifest", JsonValue::Str(fingerprint)),
             ]))
         }
-        Some("job") => {
-            let Some(fingerprint) = doc.get("job").and_then(JsonValue::as_str) else {
-                return Some(worker_refuse("job command needs a string `job` field".into()));
-            };
-            let Some(index) = doc.get("index").and_then(JsonValue::as_u64) else {
-                return Some(worker_refuse("job command needs an `index` field".into()));
-            };
-            let options = match doc.get("options").and_then(RunOptions::from_json_value) {
-                Some(o) => o,
-                None => return Some(worker_refuse("job command needs valid `options`".into())),
-            };
-            let Some(spec) = specs.get(fingerprint) else {
+        Request::Job { fingerprint, index, options } => {
+            let Some(spec) = specs.get(&fingerprint) else {
                 return Some(worker_refuse(format!("unknown manifest {fingerprint}")));
             };
-            let index = index as usize;
             if index >= spec.points.len() {
                 return Some(worker_refuse(format!("point index {index} out of range")));
             }
-            chaos_hook(fingerprint, index);
-            Some(run_wire_job(spec, index, options))
+            chaos_hook(&fingerprint, index);
+            Some(run_wire_job(spec, index, *options))
         }
-        Some(other) => Some(worker_refuse(format!("unknown command `{other}`"))),
-        None => Some(worker_refuse("request has no string `cmd` field".into())),
+        req => Some(worker_refuse(format!("command `{}` is not a worker request", req.name()))),
     }
 }
 
@@ -754,6 +1006,17 @@ fn kill_self() -> ! {
 mod tests {
     use super::*;
 
+    /// One line through the worker half, as the serve loop would route it.
+    fn handle_worker_line(
+        specs: &mut HashMap<String, ExperimentSpec>,
+        line: &str,
+    ) -> Option<JsonValue> {
+        match Request::parse(line.as_bytes()) {
+            Ok(req) => handle_worker_request(specs, req),
+            Err(refusal) => Some(refusal.to_json_value()),
+        }
+    }
+
     #[test]
     fn backoff_is_deterministic_grows_and_caps() {
         let base = Duration::from_millis(25);
@@ -774,25 +1037,29 @@ mod tests {
         let cfg = PoolConfig::new(4);
         assert_eq!(cfg.workers, 4);
         assert_eq!(cfg.max_retries, 2);
+        assert!(cfg.spawn_children);
         // No deadline by default: determinism-sensitive tests never race
         // a timer.
         assert!(cfg.job_timeout.is_none());
         assert_eq!(PoolConfig::new(0).workers, 1);
+        assert!(!PoolConfig::for_remotes(2).spawn_children);
     }
 
     #[test]
-    fn worker_protocol_refuses_malformed_lines_without_dying() {
+    fn worker_half_refuses_worker_state_errors_and_misrouted_commands() {
+        // The byte-level malformed-input contract now lives in the
+        // unified codec (see `tests/proto_codec.rs`); this pins the
+        // worker-side *state* checks and the misrouted-command refusals.
         let mut specs = HashMap::new();
+        let opts = RunOptions::default().to_json_value().render();
         for bad in [
-            "not json",
-            "{}",
-            "{\"cmd\":\"job\"}",
-            "{\"cmd\":\"job\",\"job\":\"0000000000000000\",\"index\":0}",
-            "{\"cmd\":\"nope\"}",
-            "{\"cmd\":\"manifest\"}",
-            "{\"cmd\":\"manifest\",\"manifest\":{\"bogus\":1}}",
+            format!(
+                "{{\"cmd\":\"job\",\"job\":\"0000000000000000\",\"index\":0,\"options\":{opts}}}"
+            ),
+            "{\"cmd\":\"shutdown\"}".to_string(),
+            "{\"cmd\":\"status\"}".to_string(),
         ] {
-            let reply = handle_worker_line(&mut specs, bad).expect("refusal, not exit");
+            let reply = handle_worker_line(&mut specs, &bad).expect("refusal, not exit");
             assert_eq!(
                 reply.get("ok").and_then(JsonValue::as_bool),
                 Some(false),
@@ -826,21 +1093,12 @@ mod tests {
             .expect("table2 spec exists");
         let fp = spec.fingerprint();
         let mut specs = HashMap::new();
-        let req = JsonValue::object(vec![
-            ("cmd", JsonValue::Str("manifest".to_string())),
-            ("manifest", spec.to_json_value()),
-        ]);
-        let ack = handle_worker_line(&mut specs, &req.render()).unwrap();
+        let ack = handle_worker_line(&mut specs, &manifest_request(&spec).render()).unwrap();
         assert_eq!(ack.get("manifest").and_then(JsonValue::as_str), Some(fp.as_str()));
 
         let options = RunOptions::default();
-        let req = JsonValue::object(vec![
-            ("cmd", JsonValue::Str("job".to_string())),
-            ("job", JsonValue::Str(fp.clone())),
-            ("index", JsonValue::UInt(0)),
-            ("options", options.to_json_value()),
-        ]);
-        let reply = handle_worker_line(&mut specs, &req.render()).unwrap();
+        let reply =
+            handle_worker_line(&mut specs, &job_request(&fp, 0, &options).render()).unwrap();
         let (result, exit) = parse_job_reply(&reply, 0).expect("valid job reply");
         assert!(exit.is_none(), "healthy point carries no exit code");
         assert!(result.error.is_none());
@@ -854,5 +1112,31 @@ mod tests {
             reference.to_json_value().render(),
             "wire round-trip must be byte-identical to in-process"
         );
+    }
+
+    #[test]
+    fn remote_registry_checkout_discards_dead_handles() {
+        use std::os::unix::net::UnixStream;
+        let registry = RemoteRegistry::new();
+        assert_eq!(registry.available(), 0);
+        assert!(registry.checkout(Duration::from_millis(10)).is_none());
+
+        // A live socketpair-backed handle checks out and back in.
+        let (a, b) = UnixStream::pair().expect("socketpair");
+        let conn = Conn::Unix(a);
+        let (read, write, control) = conn.split().expect("split");
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || proto::pump_lines(FrameReader::new(read), tx));
+        registry.register(RemoteHandle::new(FrameWriter::new(write), control, rx));
+        assert_eq!(registry.available(), 1);
+        let handle = registry.checkout(Duration::from_millis(10)).expect("live handle");
+        registry.checkin(handle);
+
+        // Sever the peer: the pump thread drops its sender and the next
+        // checkout discards the dead handle instead of returning it.
+        drop(b);
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(registry.checkout(Duration::from_millis(10)).is_none());
+        assert_eq!(registry.available(), 0);
     }
 }

@@ -11,7 +11,9 @@
 use std::path::{Path, PathBuf};
 
 use xloops_bench::manifest::{render_spec, run_shard, ExperimentSpec};
-use xloops_bench::serve::{request, Daemon};
+use xloops_bench::proto::request;
+use xloops_bench::serve::{Daemon, ServeConfig};
+use xloops_bench::transport::Endpoint;
 use xloops_sim::RunOptions;
 use xloops_stats::JsonValue;
 
@@ -37,12 +39,12 @@ fn submit_wait(sock: &Path, spec: &ExperimentSpec) -> JsonValue {
         ("manifest", spec.to_json_value()),
         ("wait", JsonValue::Bool(true)),
     ]);
-    request(sock, &req).expect("submit round trip")
+    request(&Endpoint::unix(sock), &req).expect("submit round trip")
 }
 
 fn shutdown(sock: &Path) {
     let req = JsonValue::object(vec![("cmd", JsonValue::Str("shutdown".to_string()))]);
-    let resp = request(sock, &req).expect("shutdown round trip");
+    let resp = request(&Endpoint::unix(sock), &req).expect("shutdown round trip");
     assert_eq!(resp.get("ok").and_then(JsonValue::as_bool), Some(true));
 }
 
@@ -60,7 +62,8 @@ fn concurrent_clients_then_warm_restart() {
     let results: Vec<_> = shard.results.into_iter().map(|(_, pr)| pr).collect();
     let reference = render_spec(&spec, &results);
 
-    let daemon = Daemon::bind(&sock, Some(store_dir.clone()), RunOptions::default()).expect("bind");
+    let cfg = ServeConfig::unix(sock.clone(), Some(store_dir.clone()), RunOptions::default());
+    let daemon = Daemon::bind(cfg).expect("bind");
     let server = std::thread::spawn(move || daemon.run().expect("daemon run"));
 
     // Two concurrent --wait clients submitting the same manifest: the
@@ -92,7 +95,7 @@ fn concurrent_clients_then_warm_restart() {
 
     // A late status query answers from the registry.
     let status = request(
-        &sock,
+        &Endpoint::unix(&sock),
         &JsonValue::object(vec![
             ("cmd", JsonValue::Str("status".to_string())),
             ("job", JsonValue::Str(job_id)),
@@ -118,8 +121,8 @@ fn concurrent_clients_then_warm_restart() {
 
     // Restart on the same socket and store: the resubmitted sweep finds
     // every point already durable — crash-safe resume is just a warm read.
-    let daemon =
-        Daemon::bind(&sock, Some(store_dir.clone()), RunOptions::default()).expect("rebind");
+    let cfg = ServeConfig::unix(sock.clone(), Some(store_dir.clone()), RunOptions::default());
+    let daemon = Daemon::bind(cfg).expect("rebind");
     let server = std::thread::spawn(move || daemon.run().expect("daemon rerun"));
     let resp = submit_wait(&sock, &spec);
     assert_eq!(resp.get("state").and_then(JsonValue::as_str), Some("done"));

@@ -27,13 +27,15 @@
 //! infrastructure rather than run semantics and must never change
 //! results or store keys: `XLOOPS_STORE` / `XLOOPS_STORE_QUIET` are
 //! read by the bench crate's `ResultStore`, `XLOOPS_SOCK` and
-//! `XLOOPS_CLIENT_TIMEOUT` by the sweep-daemon clients, and the
-//! worker-pool supervision knobs — `XLOOPS_WORKERS`,
-//! `XLOOPS_JOB_TIMEOUT`, `XLOOPS_MAX_RETRIES`,
+//! `XLOOPS_CLIENT_TIMEOUT` by the sweep-daemon clients, the networking
+//! knobs — `XLOOPS_LISTEN` (daemon TCP listener), `XLOOPS_CONNECT`
+//! (remote-worker dial address), `XLOOPS_TOKEN` (shared secret) — by the
+//! bench crate's transport layer, and the worker-pool supervision knobs
+//! — `XLOOPS_WORKERS`, `XLOOPS_JOB_TIMEOUT`, `XLOOPS_MAX_RETRIES`,
 //! `XLOOPS_HEARTBEAT_GRACE`, `XLOOPS_WORKER_EXE` — by the bench crate's
-//! `PoolConfig`. Crash isolation, retries, and deadlines decide *where*
-//! and *how patiently* a point simulates, never *what* it computes, so
-//! keying results on them would only fragment the store.)
+//! `PoolConfig`. Crash isolation, retries, deadlines, and transports
+//! decide *where* and *how patiently* a point simulates, never *what* it
+//! computes, so keying results on them would only fragment the store.)
 
 use xloops_stats::JsonValue;
 

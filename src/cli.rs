@@ -39,8 +39,9 @@
 //!
 //! There is also a hidden `xloops worker` subcommand: the child half of
 //! the supervised worker pool (`XLOOPS_WORKERS`), speaking NDJSON on
-//! stdin/stdout. It is spawned by the scheduler, not by people — see
-//! [`crate::bench::worker`].
+//! stdin/stdout. It is spawned by the scheduler, not by people — except
+//! in its `xloops worker --connect HOST:PORT` form, which dials a TCP
+//! daemon and registers as a remote executor. See [`crate::bench::worker`].
 
 use std::collections::HashSet;
 use std::fmt::Write as _;
@@ -49,8 +50,10 @@ use std::path::PathBuf;
 use crate::asm::{assemble, disassemble, Program};
 use crate::bench::experiments::{all_specs, spec_by_name};
 use crate::bench::manifest::{render_spec, ExperimentSpec, MergeFold, ShardDoc};
-use crate::bench::serve::{self, Daemon};
+use crate::bench::proto;
+use crate::bench::serve::{self, Daemon, ServeConfig};
 use crate::bench::store::run_shard_stored;
+use crate::bench::transport::Endpoint;
 use crate::bench::ResultStore;
 use crate::kernels;
 use crate::sim::{
@@ -160,10 +163,13 @@ pub enum Command {
         shards: Vec<String>,
         store: Option<String>,
     },
-    /// `serve [--sock PATH] [--store DIR]`: host the scheduler as a
-    /// long-running daemon on a Unix socket (blocks until `shutdown`).
+    /// `serve [--sock PATH] [--listen tcp://ADDR] [--store DIR]`: host
+    /// the scheduler as a long-running daemon on a Unix socket — and,
+    /// with `--listen` (or `XLOOPS_LISTEN`), a TCP listener alongside it
+    /// (blocks until `shutdown`).
     Serve {
         sock: Option<String>,
+        listen: Option<String>,
         store: Option<String>,
     },
     /// `submit MANIFEST [--wait] [--sock PATH]`: send a manifest to the
@@ -182,8 +188,12 @@ pub enum Command {
         sock: Option<String>,
     },
     /// Hidden: the worker-pool child process (`xloops worker`). Speaks
-    /// the NDJSON job protocol on stdin/stdout until EOF or `exit`.
-    Worker,
+    /// the NDJSON job protocol on stdin/stdout until EOF or `exit` — or,
+    /// with `--connect HOST:PORT` (or `XLOOPS_CONNECT`), dials a TCP
+    /// daemon and serves as a registered remote executor.
+    Worker {
+        connect: Option<String>,
+    },
     /// `shutdown [--sock PATH]`: stop the daemon cleanly.
     Shutdown {
         sock: Option<String>,
@@ -287,7 +297,7 @@ pub fn usage() -> &'static str {
      \x20 xloops manifest [<name>] [-o <file>]\n\
      \x20 xloops sweep --manifest <file> [--shard K/N] [--store DIR] [--out <file>]\n\
      \x20 xloops merge [--store DIR] <shard.json|shard.dxs>...\n\
-     \x20 xloops serve [--sock PATH] [--store DIR]\n\
+     \x20 xloops serve [--sock PATH] [--listen tcp://ADDR] [--store DIR]\n\
      \x20 xloops submit <spec.json> [--wait] [--sock PATH]\n\
      \x20 xloops status [<job>] [--sock PATH]\n\
      \x20 xloops shutdown [--sock PATH]\n\
@@ -300,9 +310,15 @@ pub fn usage() -> &'static str {
      \x20                  results durably; a sweep --out ending in .dxs writes the\n\
      \x20                  binary shard format\n\
      daemon (serve/submit/status/shutdown): --sock PATH (or XLOOPS_SOCK=PATH) names the\n\
-     \x20                  Unix socket; a sweep's job id is its manifest fingerprint;\n\
-     \x20                  status with no job lists every known job; clients time out\n\
-     \x20                  after XLOOPS_CLIENT_TIMEOUT ms (default 10000, 0 = never)\n\
+     \x20                  Unix socket (clients may also dial tcp://HOST:PORT); a sweep's\n\
+     \x20                  job id is its manifest fingerprint; status with no job lists\n\
+     \x20                  every known job; clients time out after XLOOPS_CLIENT_TIMEOUT\n\
+     \x20                  ms (default 10000, 0 = never)\n\
+     network (serve): --listen tcp://HOST:PORT (or XLOOPS_LISTEN) opens a TCP listener\n\
+     \x20                  alongside the Unix socket; XLOOPS_TOKEN=SECRET gates TCP\n\
+     \x20                  peers (clients and remote workers send the same token);\n\
+     \x20                  remote executors dial in with `xloops worker --connect\n\
+     \x20                  HOST:PORT` (or XLOOPS_CONNECT)\n\
      workers (sweep/serve): XLOOPS_WORKERS=N runs jobs in N supervised worker\n\
      \x20                  processes; XLOOPS_JOB_TIMEOUT=MS sets a per-attempt job\n\
      \x20                  deadline (default off); XLOOPS_MAX_RETRIES=N bounds retries\n\
@@ -511,6 +527,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         }
         "serve" => {
             let mut sock = None;
+            let mut listen = None;
             let mut store = None;
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
@@ -518,11 +535,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     |what: &str| it.next().cloned().ok_or_else(|| format!("{a} expects {what}"));
                 match a.as_str() {
                     "--sock" => sock = Some(next("a socket path")?),
+                    "--listen" => listen = Some(next("a tcp://HOST:PORT address")?),
                     "--store" => store = Some(next("a directory")?),
                     other => return Err(format!("unknown option `{other}`")),
                 }
             }
-            Ok(Command::Serve { sock, store })
+            Ok(Command::Serve { sock, listen, store })
         }
         "submit" => {
             let mut manifest = None;
@@ -563,13 +581,21 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Status { job, sock })
         }
-        // Hidden: spawned by the worker pool, never typed by people (and
-        // so absent from the usage text).
+        // Mostly hidden: the pipe-serving form is spawned by the worker
+        // pool, never typed by people. The `--connect` form is the
+        // user-facing remote executor.
         "worker" => {
-            if args.len() > 1 {
-                return Err("worker takes no arguments".into());
+            let mut connect = None;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--connect" => {
+                        connect = Some(it.next().ok_or("--connect expects HOST:PORT")?.clone());
+                    }
+                    other => return Err(format!("unknown option `{other}`")),
+                }
             }
-            Ok(Command::Worker)
+            Ok(Command::Worker { connect })
         }
         "shutdown" => {
             let mut sock = None;
@@ -825,27 +851,54 @@ pub fn execute(cmd: Command) -> Result<CommandOutput, CliError> {
             // proves the sharded path reproduced it.
             Ok((render_spec(&spec, &results), None))
         }
-        Command::Serve { sock, store } => {
-            let sock = resolve_sock(sock)?;
+        Command::Serve { sock, listen, store } => {
+            let sock = match resolve_sock(sock)? {
+                Endpoint::Unix(path) => path,
+                ep @ Endpoint::Tcp(_) => {
+                    return Err(manifest_error(format!(
+                        "serve --sock must be a Unix socket path, not {}; use --listen for TCP",
+                        ep.describe()
+                    )))
+                }
+            };
             let store_dir = store.map(PathBuf::from).or_else(|| {
                 std::env::var("XLOOPS_STORE").ok().filter(|d| !d.is_empty()).map(PathBuf::from)
             });
-            let daemon = Daemon::bind(&sock, store_dir, crate::sim::RunOptions::from_env())
+            let cfg = ServeConfig {
+                sock: sock.clone(),
+                listen: serve::listen_from(listen),
+                store_dir,
+                options: crate::sim::RunOptions::from_env(),
+                token: proto::token_from_env(),
+            };
+            let listen_ep = cfg.listen.clone();
+            let daemon = Daemon::bind(cfg)
                 .map_err(|e| manifest_error(format!("cannot bind {}: {e}", sock.display())))?;
+            // A `kill` from an orchestrator must not strand a stale
+            // socket file (the `shutdown` command unlinks it in-band).
+            #[cfg(unix)]
+            serve::install_sigterm_unlink(&sock);
             eprintln!("[serve] listening on {}", sock.display());
+            if let Some(ep) = &listen_ep {
+                let bound = daemon
+                    .tcp_addr()
+                    .map(|a| format!("tcp://{a}"))
+                    .unwrap_or_else(|| ep.describe());
+                eprintln!("[serve] listening on {bound}");
+            }
             let swept =
                 daemon.run().map_err(|e| CliError::from(format!("{}: {e}", sock.display())))?;
             Ok((format!("served {swept} sweep(s) on {}\n", sock.display()), None))
         }
         Command::Submit { manifest, wait, sock } => {
-            let sock = resolve_sock(sock)?;
+            let ep = resolve_sock(sock)?;
             let spec = ExperimentSpec::from_json(&manifest).map_err(manifest_error)?;
             let req = JsonValue::object(vec![
                 ("cmd", JsonValue::Str("submit".to_string())),
                 ("manifest", spec.to_json_value()),
                 ("wait", JsonValue::Bool(wait)),
             ]);
-            let resp = daemon_request(&sock, &req)?;
+            let resp = daemon_request(&ep, &req)?;
             if !wait {
                 let state = resp.get("state").and_then(JsonValue::as_str).unwrap_or("?");
                 let job = resp.get("job").and_then(JsonValue::as_str).unwrap_or("?");
@@ -879,12 +932,12 @@ pub fn execute(cmd: Command) -> Result<CommandOutput, CliError> {
             Ok((artifact, None))
         }
         Command::Status { job: Some(job), sock } => {
-            let sock = resolve_sock(sock)?;
+            let ep = resolve_sock(sock)?;
             let req = JsonValue::object(vec![
                 ("cmd", JsonValue::Str("status".to_string())),
                 ("job", JsonValue::Str(job)),
             ]);
-            let resp = daemon_request(&sock, &req)?;
+            let resp = daemon_request(&ep, &req)?;
             let job = resp.get("job").and_then(JsonValue::as_str).unwrap_or("?");
             let state = resp.get("state").and_then(JsonValue::as_str).unwrap_or("?");
             let mut text = format!("job {job}: {state}\n");
@@ -915,14 +968,24 @@ pub fn execute(cmd: Command) -> Result<CommandOutput, CliError> {
             Ok((text, None))
         }
         Command::Status { job: None, sock } => {
-            let sock = resolve_sock(sock)?;
+            let ep = resolve_sock(sock)?;
             let req = JsonValue::object(vec![("cmd", JsonValue::Str("status".to_string()))]);
-            let resp = daemon_request(&sock, &req)?;
+            let resp = daemon_request(&ep, &req)?;
+            let mut text = String::new();
+            if let Some(version) = resp.get("version").and_then(JsonValue::as_str) {
+                let uptime = resp.get("uptime_ms").and_then(JsonValue::as_u64).unwrap_or(0);
+                let workers = resp.get("workers").and_then(JsonValue::as_u64).unwrap_or(0);
+                let _ = writeln!(
+                    text,
+                    "daemon v{version}, up {}s, {workers} remote worker(s)",
+                    uptime / 1000
+                );
+            }
             let jobs = resp.get("jobs").and_then(JsonValue::as_array).unwrap_or(&[]);
             if jobs.is_empty() {
-                return Ok(("no jobs\n".to_string(), None));
+                text.push_str("no jobs\n");
+                return Ok((text, None));
             }
-            let mut text = String::new();
             for j in jobs {
                 let id = j.get("job").and_then(JsonValue::as_str).unwrap_or("?");
                 let state = j.get("state").and_then(JsonValue::as_str).unwrap_or("?");
@@ -943,23 +1006,38 @@ pub fn execute(cmd: Command) -> Result<CommandOutput, CliError> {
             }
             Ok((text, None))
         }
-        Command::Worker => {
-            // The child half of the supervised worker pool: this blocks on
-            // stdin until the parent closes the pipe or sends `exit`.
-            match crate::bench::worker::worker_main() {
-                0 => Ok((String::new(), None)),
-                code => Err(CliError {
-                    code,
-                    message: "worker lost its parent pipe".into(),
-                    json: None,
-                }),
+        Command::Worker { connect } => {
+            let dial =
+                connect.or_else(|| std::env::var("XLOOPS_CONNECT").ok().filter(|s| !s.is_empty()));
+            match dial {
+                // Remote executor: dial a daemon, register, serve jobs until
+                // the daemon hangs up or sends `exit`.
+                Some(addr) => match crate::bench::worker::worker_connect(&addr) {
+                    Ok(0) => Ok((String::new(), None)),
+                    Ok(code) => Err(CliError {
+                        code,
+                        message: "worker lost its daemon connection".into(),
+                        json: None,
+                    }),
+                    Err((code, message)) => Err(CliError { code, message, json: None }),
+                },
+                // The child half of the supervised worker pool: this blocks
+                // on stdin until the parent closes the pipe or sends `exit`.
+                None => match crate::bench::worker::worker_main() {
+                    0 => Ok((String::new(), None)),
+                    code => Err(CliError {
+                        code,
+                        message: "worker lost its parent pipe".into(),
+                        json: None,
+                    }),
+                },
             }
         }
         Command::Shutdown { sock } => {
-            let sock = resolve_sock(sock)?;
+            let ep = resolve_sock(sock)?;
             let req = JsonValue::object(vec![("cmd", JsonValue::Str("shutdown".to_string()))]);
-            daemon_request(&sock, &req)?;
-            Ok((format!("daemon on {} shutting down\n", sock.display()), None))
+            daemon_request(&ep, &req)?;
+            Ok((format!("daemon on {} shutting down\n", ep.describe()), None))
         }
         Command::StorePrune { manifests, store } => {
             let store = open_store(store)?
@@ -999,10 +1077,10 @@ pub fn execute(cmd: Command) -> Result<CommandOutput, CliError> {
     }
 }
 
-/// Resolves the daemon socket path (`--sock` flag, else `XLOOPS_SOCK`);
-/// its absence is a usage error.
-fn resolve_sock(flag: Option<String>) -> Result<PathBuf, CliError> {
-    serve::sock_from(flag.map(PathBuf::from))
+/// Resolves the daemon endpoint (`--sock` flag, else `XLOOPS_SOCK`; a
+/// `tcp://HOST:PORT` value dials TCP); its absence is a usage error.
+fn resolve_sock(flag: Option<String>) -> Result<Endpoint, CliError> {
+    serve::sock_from(flag)
         .ok_or_else(|| manifest_error("no daemon socket: pass --sock PATH or set XLOOPS_SOCK"))
 }
 
@@ -1023,30 +1101,27 @@ fn render_progress(p: &JsonValue) -> String {
 /// or write deadline (the daemon accepted but never answered) is a typed
 /// protocol failure with the usage exit code `2`; anything else (no
 /// socket, connection refused) stays the generic `1`.
-fn client_io_error(sock: &std::path::Path, e: std::io::Error) -> CliError {
+fn client_io_error(at: &str, e: std::io::Error) -> CliError {
     let timed_out =
         matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut);
     if timed_out {
         CliError {
             code: 2,
-            message: format!(
-                "{}: daemon did not respond before the client timeout ({e})",
-                sock.display()
-            ),
+            message: format!("{at}: daemon did not respond before the client timeout ({e})"),
             json: None,
         }
     } else {
-        CliError::from(format!("{}: {e}", sock.display()))
+        CliError::from(format!("{at}: {e}"))
     }
 }
 
 /// One client round-trip to the daemon, with `ok:false` responses mapped
 /// to a [`CliError`] carrying the daemon's message and exit code. A hung
-/// daemon trips the client's socket deadline ([`serve::client_timeout`]),
+/// daemon trips the client's socket deadline ([`proto::client_timeout`]),
 /// which maps through [`client_io_error`] to the usage/protocol exit
 /// code `2` — a deliberate typed failure, never an indefinite block.
-fn daemon_request(sock: &std::path::Path, req: &JsonValue) -> Result<JsonValue, CliError> {
-    let resp = serve::request(sock, req).map_err(|e| client_io_error(sock, e))?;
+fn daemon_request(ep: &Endpoint, req: &JsonValue) -> Result<JsonValue, CliError> {
+    let resp = proto::request(ep, req).map_err(|e| client_io_error(&ep.describe(), e))?;
     if resp.get("ok").and_then(JsonValue::as_bool) == Some(true) {
         return Ok(resp);
     }
@@ -1485,11 +1560,16 @@ mod tests {
 
     #[test]
     fn worker_subcommand_is_hidden_but_parses() {
-        assert!(matches!(parse(&sv(&["worker"])).unwrap(), Command::Worker));
+        assert!(matches!(parse(&sv(&["worker"])).unwrap(), Command::Worker { connect: None }));
+        match parse(&sv(&["worker", "--connect", "127.0.0.1:9"])).unwrap() {
+            Command::Worker { connect } => assert_eq!(connect.as_deref(), Some("127.0.0.1:9")),
+            other => panic!("expected worker, got {other:?}"),
+        }
         assert!(parse(&sv(&["worker", "--frob"])).is_err());
-        // Hidden means hidden: the usage text never mentions it as a
-        // subcommand people should type.
-        assert!(!usage().contains("xloops worker"), "worker must stay off the usage text");
+        // Hidden means hidden: the usage text has no `xloops worker`
+        // synopsis line; only the remote-executor form is documented.
+        assert!(!usage().contains("\n  xloops worker"), "worker must stay off the synopsis");
+        assert!(usage().contains("worker --connect"), "the remote form must be documented");
     }
 
     #[test]
@@ -1512,17 +1592,18 @@ mod tests {
         let t = std::time::Instant::now();
         // Route through the explicit-timeout entry so the test does not
         // depend on (or mutate) the process environment.
-        let resp = serve::request_with(&sock, &req, Some(std::time::Duration::from_millis(200)));
+        let ep = Endpoint::unix(&sock);
+        let resp = proto::request_with(&ep, &req, Some(std::time::Duration::from_millis(200)));
         let e = resp.expect_err("a silent daemon must time the client out");
         assert!(t.elapsed() < std::time::Duration::from_millis(800), "{:?}", t.elapsed());
         // The CLI maps exactly that error to the typed protocol failure
         // with the usage exit code — a hung daemon is never exit 1 noise.
-        let cli = client_io_error(&sock, e);
+        let cli = client_io_error(&ep.describe(), e);
         assert_eq!(cli.code, 2, "{}", cli.message);
         assert!(cli.message.contains("client timeout"), "{}", cli.message);
         // Other socket failures keep the generic class.
         let refused = client_io_error(
-            std::path::Path::new("/nonexistent.sock"),
+            "/nonexistent.sock",
             std::io::Error::new(std::io::ErrorKind::NotFound, "no such socket"),
         );
         assert_eq!(refused.code, 1);

@@ -1,0 +1,60 @@
+//! Single-source guard for the wire protocol: every NDJSON frame that
+//! crosses a process boundary must go through `bench::proto`'s
+//! `FrameReader`/`FrameWriter`. This grep-style test fails the build if a
+//! hand-rolled line loop (`read_line`, `read_until`, or a raw
+//! `BufReader`) reappears in any of the transport-adjacent modules — the
+//! daemon, the worker halves, the scheduler, the transport layer, or the
+//! CLI. Three hand-rolled loops drifting apart is exactly the bug class
+//! the unified codec retired; this test keeps it retired.
+
+use std::path::Path;
+
+/// Framing primitives that only `proto.rs` may touch.
+const BANNED: &[&str] = &["read_line", "read_until", "BufReader"];
+
+/// The modules that sit next to the wire and are not allowed to frame.
+const GUARDED: &[&str] = &[
+    "crates/bench/src/serve.rs",
+    "crates/bench/src/worker.rs",
+    "crates/bench/src/sched.rs",
+    "crates/bench/src/transport.rs",
+    "src/cli.rs",
+];
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn ndjson_framing_lives_only_in_the_proto_module() {
+    for rel in GUARDED {
+        let path = workspace_root().join(rel);
+        let source = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        for token in BANNED {
+            for (i, line) in source.lines().enumerate() {
+                assert!(
+                    !line.contains(token),
+                    "{rel}:{}: `{token}` outside bench::proto — route this frame \
+                     through proto::FrameReader/FrameWriter instead:\n    {}",
+                    i + 1,
+                    line.trim()
+                );
+            }
+        }
+    }
+}
+
+/// The inverse sanity check: the guard only means something while the
+/// codec itself still uses the primitives it monopolizes.
+#[test]
+fn the_proto_module_actually_owns_the_framing_primitives() {
+    let path = workspace_root().join("crates/bench/src/proto.rs");
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    assert!(
+        source.contains("BufReader") && source.contains("read_until"),
+        "proto.rs no longer frames with BufReader/read_until; update this guard \
+         alongside the codec"
+    );
+}
