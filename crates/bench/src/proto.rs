@@ -20,7 +20,7 @@
 //! skips them while rearming its liveness clocks:
 //!
 //! ```text
-//! request  = object "\n"
+//! request  = object "\n"            ; at most MAX_FRAME bytes
 //! object   = {"cmd":"hello","v":V[,"token":T]}      client handshake
 //!          | {"cmd":"register","v":V[,"token":T]}   remote-worker handshake
 //!          | {"cmd":"ping"}
@@ -63,6 +63,15 @@ use crate::transport::{Conn, Endpoint};
 /// The wire-protocol version both handshakes carry. Bump on any change
 /// that an old peer would misparse.
 pub const PROTO_VERSION: u64 = 1;
+
+/// Hard cap on one frame (one NDJSON line), reader-enforced *while*
+/// bytes arrive — not after a newline shows up — so an unauthenticated
+/// TCP peer streaming newline-free bytes cannot grow a daemon buffer
+/// past this before the handshake is even checked. Generously above any
+/// legitimate frame (the largest are submit manifests and done-sweep
+/// artifacts, well under a megabyte); an oversized frame is an
+/// `InvalidData` I/O error and the connection closes after a refusal.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
 
 /// How often a worker writes a `{"hb":true}` line while serving.
 pub const HEARTBEAT_PERIOD: Duration = Duration::from_millis(250);
@@ -420,16 +429,42 @@ pub fn check_handshake(
         )));
     }
     if let Some(want) = want_token {
-        if token != Some(want) {
+        if !token.is_some_and(|got| token_eq(got, want)) {
             return Err(Refusal::new("bad or missing token"));
         }
     }
     Ok(())
 }
 
+/// Constant-time token equality: both values are expanded to
+/// fixed-length digests (four FNV-1a-64 lanes with distinct seeds) and
+/// compared by folding XOR over every digest byte, so neither the
+/// comparison's duration nor its memory access pattern depends on where
+/// the first mismatching byte sits — an unauthenticated TCP peer learns
+/// nothing about a token prefix from response timing. The hashing is
+/// length hiding and timing flattening, not cryptography; the token's
+/// threat model is documented in DESIGN.md §4.12.
+fn token_eq(got: &str, want: &str) -> bool {
+    fn digest(s: &str) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for lane in 0u64..4 {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ lane.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            for &b in s.as_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            out[lane as usize * 8..][..8].copy_from_slice(&h.to_be_bytes());
+        }
+        out
+    }
+    let (a, b) = (digest(got), digest(want));
+    a.iter().zip(b.iter()).fold(0u8, |acc, (x, y)| acc | (x ^ y)) == 0
+}
+
 /// The reading half of the framed loop: buffered line reads with blank
-/// lines skipped. This (with [`FrameWriter`] and [`pump_lines`]) is the
-/// only place the repository reads NDJSON off a byte stream.
+/// lines skipped and the [`MAX_FRAME`] byte cap enforced as bytes
+/// arrive. This (with [`FrameWriter`] and [`pump_lines`]) is the only
+/// place the repository reads NDJSON off a byte stream.
 pub struct FrameReader<R> {
     inner: BufReader<R>,
     buf: Vec<u8>,
@@ -441,12 +476,49 @@ impl<R: Read> FrameReader<R> {
         FrameReader { inner: BufReader::new(inner), buf: Vec::new() }
     }
 
+    /// Fills `self.buf` with the next frame (up to and including its
+    /// newline; a final unterminated line is returned as-is at EOF) and
+    /// returns its length — `0` only at clean EOF. The [`MAX_FRAME`]
+    /// cap is checked chunk by chunk *while* reading, never waiting for
+    /// the newline, so a peer streaming newline-free bytes trips an
+    /// `InvalidData` error at the cap instead of growing the buffer.
+    fn read_frame(&mut self) -> std::io::Result<usize> {
+        self.buf.clear();
+        loop {
+            let (used, done) = {
+                let chunk = self.inner.fill_buf()?;
+                if chunk.is_empty() {
+                    return Ok(self.buf.len());
+                }
+                match chunk.iter().position(|&b| b == b'\n') {
+                    Some(pos) => {
+                        self.buf.extend_from_slice(&chunk[..=pos]);
+                        (pos + 1, true)
+                    }
+                    None => {
+                        self.buf.extend_from_slice(chunk);
+                        (chunk.len(), false)
+                    }
+                }
+            };
+            self.inner.consume(used);
+            if self.buf.len() > MAX_FRAME {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("frame exceeds the {MAX_FRAME} byte cap"),
+                ));
+            }
+            if done {
+                return Ok(self.buf.len());
+            }
+        }
+    }
+
     /// The next non-blank line (without framing whitespace stripped —
     /// parsing owns that); `Ok(None)` is EOF.
     pub fn next_line(&mut self) -> std::io::Result<Option<&[u8]>> {
         loop {
-            self.buf.clear();
-            if self.inner.read_until(b'\n', &mut self.buf)? == 0 {
+            if self.read_frame()? == 0 {
                 return Ok(None);
             }
             if self.buf.iter().all(|b| b.is_ascii_whitespace()) {
@@ -461,8 +533,7 @@ impl<R: Read> FrameReader<R> {
     /// deadline), and maps EOF / malformed lines to typed I/O errors.
     pub fn next_reply(&mut self) -> std::io::Result<JsonValue> {
         loop {
-            self.buf.clear();
-            if self.inner.read_until(b'\n', &mut self.buf)? == 0 {
+            if self.read_frame()? == 0 {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::UnexpectedEof,
                     "daemon closed the connection before responding",
@@ -582,6 +653,34 @@ mod tests {
         // the peer learns the load-bearing fact first.
         let both = check_handshake(99, Some("wrong"), Some("s")).unwrap_err();
         assert!(both.message.contains("version mismatch"), "{}", both.message);
+    }
+
+    #[test]
+    fn token_compare_accepts_equal_rejects_unequal() {
+        assert!(token_eq("s3cret", "s3cret"));
+        assert!(!token_eq("s3cret", "s3cret!"));
+        assert!(!token_eq("", "s3cret"));
+        assert!(!token_eq("s3crex", "s3cret"), "shared prefix must not pass");
+    }
+
+    #[test]
+    fn oversized_frames_error_without_buffering_them() {
+        // A newline-free byte stream longer than the cap: the reader
+        // must refuse it (InvalidData) instead of buffering until a
+        // newline that never comes. `repeat` yields an endless stream,
+        // so finishing at all proves the cap fires mid-line.
+        let endless = std::io::repeat(b'x');
+        let mut reader = FrameReader::new(endless);
+        let err = reader.next_line().expect_err("cap must trip");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("byte cap"), "{err}");
+        // The same cap guards reply waits on the client side.
+        let mut reader = FrameReader::new(std::io::repeat(b'{'));
+        assert!(reader.next_reply().is_err());
+        // A frame under the cap still round-trips, terminal newline or not.
+        let mut reader = FrameReader::new(&b"{\"ok\":true}"[..]);
+        let line = reader.next_line().expect("read").expect("one line");
+        assert_eq!(line, b"{\"ok\":true}");
     }
 
     #[test]

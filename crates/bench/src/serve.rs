@@ -330,7 +330,8 @@ pub fn handle_request(state: &Arc<ServiceState>, req: Request) -> Response {
                     ("jobs", JsonValue::Array(jobs)),
                     ("version", JsonValue::Str(proto::build_version().to_string())),
                     ("uptime_ms", JsonValue::UInt(state.started.elapsed().as_millis() as u64)),
-                    ("workers", JsonValue::UInt(state.remotes.available() as u64)),
+                    ("workers", JsonValue::UInt(state.remotes.registered() as u64)),
+                    ("workers_idle", JsonValue::UInt(state.remotes.available() as u64)),
                 ]),
                 shutdown: false,
                 wait: None,
@@ -468,7 +469,9 @@ impl Daemon {
             }
         }
         let state = Arc::new(ServiceState::new(cfg.store_dir, cfg.options, cfg.token));
-        *state.poke.lock().unwrap() = listeners.iter().map(Listener::endpoint).collect();
+        // Poke addresses, not bind addresses: a TCP wildcard bind is
+        // rewritten to loopback so the shutdown poke always connects.
+        *state.poke.lock().unwrap() = listeners.iter().map(Listener::poke_endpoint).collect();
         Ok(Daemon { listeners, state })
     }
 
@@ -533,6 +536,18 @@ fn accept_loop(listener: &Listener, state: &Arc<ServiceState>) {
 /// wire unchanged (a handshake is answered if offered, never required).
 fn serve_connection(state: &Arc<ServiceState>, conn: Conn) {
     let remote = conn.is_remote();
+    if remote {
+        // Slowloris guard: an unauthenticated TCP peer gets ACK_DEADLINE
+        // to complete the handshake — a connection that sends nothing
+        // (or dribbles bytes) times out instead of pinning this thread
+        // and its file descriptor forever. The deadline comes off once
+        // the peer is greeted or registered, because legitimate traffic
+        // (waiting submits, idle workers) is quiet for long stretches.
+        if let Err(e) = conn.set_timeout(Some(proto::ACK_DEADLINE)) {
+            eprintln!("[serve] cannot arm handshake deadline: {e}");
+            return;
+        }
+    }
     let peer = match conn.split() {
         Ok(parts) => parts,
         Err(e) => {
@@ -550,6 +565,12 @@ fn serve_connection(state: &Arc<ServiceState>, conn: Conn) {
             Ok(Some(line)) => Request::parse(line),
             Ok(None) => return,
             Err(e) => {
+                // An oversized frame (the MAX_FRAME cap) is a protocol
+                // violation, not a transport failure: tell the peer why
+                // before hanging up.
+                if e.kind() == std::io::ErrorKind::InvalidData {
+                    let _ = writer.send(&Refusal::new(e.to_string()).to_json_value());
+                }
                 eprintln!("[serve] read failed: {e}");
                 return;
             }
@@ -568,16 +589,20 @@ fn serve_connection(state: &Arc<ServiceState>, conn: Conn) {
         if let Ok(Request::Register { version, token }) = &req {
             match state.handshake(*version, token.as_deref()) {
                 Ok(()) => {
+                    let control = control.take().expect("control handle unused until handoff");
+                    // A registered worker may idle for hours between
+                    // jobs: the handshake deadline comes off, and the
+                    // pool's two-clock supervision owns liveness.
+                    if let Err(e) = control.set_timeout(None) {
+                        eprintln!("[serve] cannot clear handshake deadline: {e}");
+                        return;
+                    }
                     if writer.send(&hello_ok()).is_err() {
                         return;
                     }
                     let (tx, rx) = std::sync::mpsc::channel();
                     std::thread::spawn(move || proto::pump_lines(reader, tx));
-                    state.remotes.register(RemoteHandle::new(
-                        writer,
-                        control.take().expect("control handle unused until handoff"),
-                        rx,
-                    ));
+                    state.remotes.register(RemoteHandle::new(writer, control, rx));
                 }
                 Err(refusal) => {
                     let _ = writer.send(&refusal.to_json_value());
@@ -591,6 +616,14 @@ fn serve_connection(state: &Arc<ServiceState>, conn: Conn) {
                 let resp = handle_request(state, req);
                 if hello && resp.body.get("ok").and_then(JsonValue::as_bool) == Some(true) {
                     greeted = true;
+                    // Greeted TCP clients may legitimately go quiet (a
+                    // `submit --wait` reads for a whole sweep): relax
+                    // the handshake deadline now that they are trusted.
+                    if remote {
+                        if let Some(c) = &control {
+                            let _ = c.set_timeout(None);
+                        }
+                    }
                 } else if hello && remote {
                     // A failed TCP handshake closes the connection after
                     // the refusal is written.

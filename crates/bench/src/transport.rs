@@ -22,7 +22,7 @@
 //! handshake-optional for byte-compatibility with the pre-network wire.
 
 use std::io::{Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::time::Duration;
@@ -128,6 +128,33 @@ impl Listener {
                     .map(|a| a.to_string())
                     .unwrap_or_else(|_| "0.0.0.0:0".to_string()),
             ),
+        }
+    }
+
+    /// The endpoint a process on *this* machine dials to reach the
+    /// listener — [`Listener::endpoint`], except that a TCP wildcard
+    /// bind (`0.0.0.0` / `[::]`) is rewritten to its loopback address:
+    /// connecting to an unspecified address is platform-dependent, and
+    /// the daemon's shutdown poke must always land so the accept loop
+    /// observes the flag and exits.
+    pub fn poke_endpoint(&self) -> Endpoint {
+        match self {
+            Listener::Unix { path, .. } => Endpoint::Unix(path.clone()),
+            Listener::Tcp(listener) => {
+                let addr = listener
+                    .local_addr()
+                    .map(|mut a| {
+                        if a.ip().is_unspecified() {
+                            a.set_ip(match a.ip() {
+                                IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                                IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+                            });
+                        }
+                        a.to_string()
+                    })
+                    .unwrap_or_else(|_| "127.0.0.1:0".to_string());
+                Endpoint::Tcp(addr)
+            }
         }
     }
 
@@ -315,6 +342,17 @@ mod tests {
         assert_eq!(&buf, b"ping\n");
         w.write_all(b"pong\n").unwrap();
         assert_eq!(&client.join().unwrap(), b"pong\n");
+    }
+
+    #[test]
+    fn poke_endpoint_rewrites_wildcard_binds_to_loopback() {
+        let listener = Listener::bind(&Endpoint::Tcp("0.0.0.0:0".into())).expect("bind wildcard");
+        let port = listener.tcp_addr().expect("tcp").port();
+        assert_eq!(listener.poke_endpoint(), Endpoint::Tcp(format!("127.0.0.1:{port}")));
+        assert!(Conn::connect(&listener.poke_endpoint()).is_ok(), "poke must land");
+        // An explicit loopback bind passes through untouched.
+        let lo = Listener::bind(&Endpoint::Tcp("127.0.0.1:0".into())).expect("bind loopback");
+        assert_eq!(lo.poke_endpoint(), lo.endpoint());
     }
 
     #[test]

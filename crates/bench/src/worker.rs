@@ -63,7 +63,7 @@ use std::io::{Read, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, TryRecvError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -289,6 +289,10 @@ impl RemoteHandle {
 pub struct RemoteRegistry {
     idle: Mutex<VecDeque<RemoteHandle>>,
     cond: Condvar,
+    /// Handles currently checked out by dispatchers — counted so
+    /// `registered` (what `status` reports) includes busy workers, not
+    /// just the idle queue.
+    checked_out: AtomicUsize,
 }
 
 impl RemoteRegistry {
@@ -305,12 +309,32 @@ impl RemoteRegistry {
 
     /// Returns a checked-out handle to the pool.
     pub fn checkin(&self, handle: RemoteHandle) {
+        self.uncheckout();
         self.register(handle);
+    }
+
+    /// Forgets a checked-out handle whose connection died mid-job (the
+    /// dispatcher killed it instead of checking it back in).
+    pub fn discard(&self) {
+        self.uncheckout();
+    }
+
+    fn uncheckout(&self) {
+        let _ = self.checked_out.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+            Some(n.saturating_sub(1))
+        });
     }
 
     /// How many idle remote workers are registered right now.
     pub fn available(&self) -> usize {
         self.idle.lock().unwrap().len()
+    }
+
+    /// How many remote workers the daemon believes are connected: the
+    /// idle queue plus handles checked out by running sweeps — the
+    /// count `status` reports, so busy workers don't read as zero.
+    pub fn registered(&self) -> usize {
+        self.idle.lock().unwrap().len() + self.checked_out.load(Ordering::SeqCst)
     }
 
     /// Checks out an idle live handle, waiting up to `wait` for one to
@@ -322,6 +346,7 @@ impl RemoteRegistry {
         loop {
             while let Some(handle) = idle.pop_front() {
                 if handle.is_live() {
+                    self.checked_out.fetch_add(1, Ordering::SeqCst);
                     return Some(handle);
                 }
                 handle.control.shutdown();
@@ -722,7 +747,15 @@ fn run_with_retries(
             }
             Err(loss) => {
                 if let Some(mut dead) = handle.take() {
+                    let was_remote = dead.is_remote();
                     dead.kill();
+                    // A reaped remote leaves the registry's books too,
+                    // or `registered` would count ghosts forever.
+                    if was_remote {
+                        if let Some(registry) = remotes {
+                            registry.discard();
+                        }
+                    }
                 }
                 last = loss;
             }
@@ -1129,8 +1162,14 @@ mod tests {
         std::thread::spawn(move || proto::pump_lines(FrameReader::new(read), tx));
         registry.register(RemoteHandle::new(FrameWriter::new(write), control, rx));
         assert_eq!(registry.available(), 1);
+        assert_eq!(registry.registered(), 1);
         let handle = registry.checkout(Duration::from_millis(10)).expect("live handle");
+        // Checked out: no longer idle, but still a registered worker —
+        // this is the count `status` reports mid-sweep.
+        assert_eq!(registry.available(), 0);
+        assert_eq!(registry.registered(), 1);
         registry.checkin(handle);
+        assert_eq!(registry.registered(), 1);
 
         // Sever the peer: the pump thread drops its sender and the next
         // checkout discards the dead handle instead of returning it.
@@ -1138,5 +1177,27 @@ mod tests {
         std::thread::sleep(Duration::from_millis(50));
         assert!(registry.checkout(Duration::from_millis(10)).is_none());
         assert_eq!(registry.available(), 0);
+        assert_eq!(registry.registered(), 0);
+    }
+
+    #[test]
+    fn remote_registry_discard_forgets_a_checked_out_handle() {
+        use std::os::unix::net::UnixStream;
+        let registry = RemoteRegistry::new();
+        let (a, _b) = UnixStream::pair().expect("socketpair");
+        let (read, write, control) = Conn::Unix(a).split().expect("split");
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || proto::pump_lines(FrameReader::new(read), tx));
+        registry.register(RemoteHandle::new(FrameWriter::new(write), control, rx));
+        let handle = registry.checkout(Duration::from_millis(10)).expect("live handle");
+        assert_eq!(registry.registered(), 1);
+        // The dispatcher reaps the handle mid-job instead of checking
+        // it back in; the registry's books must not count a ghost.
+        drop(handle);
+        registry.discard();
+        assert_eq!(registry.registered(), 0);
+        // Defensive floor: a stray discard never underflows.
+        registry.discard();
+        assert_eq!(registry.registered(), 0);
     }
 }

@@ -975,9 +975,10 @@ pub fn execute(cmd: Command) -> Result<CommandOutput, CliError> {
             if let Some(version) = resp.get("version").and_then(JsonValue::as_str) {
                 let uptime = resp.get("uptime_ms").and_then(JsonValue::as_u64).unwrap_or(0);
                 let workers = resp.get("workers").and_then(JsonValue::as_u64).unwrap_or(0);
+                let idle = resp.get("workers_idle").and_then(JsonValue::as_u64).unwrap_or(workers);
                 let _ = writeln!(
                     text,
-                    "daemon v{version}, up {}s, {workers} remote worker(s)",
+                    "daemon v{version}, up {}s, {workers} remote worker(s) ({idle} idle)",
                     uptime / 1000
                 );
             }

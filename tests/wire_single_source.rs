@@ -52,9 +52,12 @@ fn the_proto_module_actually_owns_the_framing_primitives() {
     let path = workspace_root().join("crates/bench/src/proto.rs");
     let source = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    // The codec frames with `fill_buf`/`consume` rather than
+    // `read_until` so the MAX_FRAME cap is enforced while bytes arrive,
+    // not after a newline finally shows up.
     assert!(
-        source.contains("BufReader") && source.contains("read_until"),
-        "proto.rs no longer frames with BufReader/read_until; update this guard \
+        source.contains("BufReader") && source.contains("fill_buf") && source.contains("MAX_FRAME"),
+        "proto.rs no longer frames with a capped BufReader loop; update this guard \
          alongside the codec"
     );
 }
